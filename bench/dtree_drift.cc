@@ -1,0 +1,85 @@
+// Decision-tree model class under systematic evolution: incremental
+// maintenance cost vs rebuild-from-scratch, and the GEMM most-recent-
+// window option's accuracy advantage under concept drift. Extends the
+// paper's framework to the third FOCUS model class (the paper defers
+// decision-tree maintenance to BOAT [GGRL99b]; this is our stand-in).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/gemm.h"
+#include "datagen/labeled_generator.h"
+#include "dtree/dtree_maintainer.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const LabeledBlock>;
+
+void Run() {
+  LabeledSchema schema;
+  schema.attribute_cardinalities.assign(10, 3);
+  schema.num_classes = 4;
+
+  LabeledGenerator::Params gen_params;
+  gen_params.schema = schema;
+  gen_params.concept_depth = 5;
+  gen_params.label_noise = 0.05;
+  gen_params.seed = 7;
+  LabeledGenerator old_concept(gen_params);
+  gen_params.seed = 99;
+  LabeledGenerator new_concept(gen_params);
+
+  const size_t block_size = bench::Scaled(200000, 5000);
+  const size_t w = 4;
+  DTreeOptions options;
+  options.min_split_weight = 200.0;
+
+  DTreeMaintainer unrestricted(schema, options);
+  Gemm<DTreeMaintainer, BlockPtr> windowed(
+      BlockSelectionSequence::AllBlocks(), w,
+      [&] { return DTreeMaintainer(schema, options); });
+
+  bench::PrintHeader("Decision trees under drift (block size " +
+                     std::to_string(block_size) + ", drift at block 7)");
+  std::printf("%-6s %12s %12s %12s | %10s %10s\n", "block", "incr(s)",
+              "rebuild(s)", "leaves", "UW acc", "MRW acc");
+
+  std::vector<BlockPtr> history;
+  for (int b = 1; b <= 12; ++b) {
+    LabeledGenerator& source = b <= 6 ? old_concept : new_concept;
+    auto block = std::make_shared<LabeledBlock>(source.NextBlock(block_size));
+    history.push_back(block);
+
+    WallTimer timer;
+    unrestricted.AddBlock(block);
+    windowed.AddBlock(block);
+    const double incremental_seconds = timer.ElapsedSeconds();
+
+    // Rebuild-from-scratch baseline: re-reads the whole history.
+    timer.Reset();
+    DTreeMaintainer rebuild(schema, options);
+    for (const auto& old : history) rebuild.AddBlock(old);
+    const double rebuild_seconds = timer.ElapsedSeconds();
+
+    const LabeledBlock test = (b <= 6 ? old_concept : new_concept)
+                                  .NextBlock(block_size / 4);
+    std::printf("%-6d %12.3f %12.3f %12zu | %10.3f %10.3f\n", b,
+                incremental_seconds, rebuild_seconds,
+                unrestricted.model().NumLeaves(),
+                unrestricted.Accuracy(test),
+                windowed.current().Accuracy(test));
+  }
+  std::printf("shape check: incremental cost flat while rebuild grows "
+              "linearly; after the drift the MRW model's accuracy "
+              "recovers, the UW model's stays depressed\n");
+}
+
+}  // namespace
+}  // namespace demon
+
+int main() {
+  demon::Run();
+  return 0;
+}

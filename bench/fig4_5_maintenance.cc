@@ -1,0 +1,13 @@
+// Reproduces Figures 4 and 5 of the paper: overall maintenance time
+// (detection + update) for BORDERS with PT-Scan / ECUT / ECUT+ update
+// counting when a second block with distribution *.20L.1I.8pats.4plen and
+// size 10K..400K (scaled) is added to 2M.20L.1I.4pats.4plen, at minimum
+// supports 0.008 (Fig 4) and 0.009 (Fig 5).
+
+#include "bench/maintenance_common.h"
+
+int main() {
+  demon::bench::RunMaintenanceExperiment("Figure 4", 0.008, 8000, 4.0);
+  demon::bench::RunMaintenanceExperiment("Figure 5", 0.009, 8000, 4.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figures 6 and 7 of the paper: as Figures 4-5 but the second
+// block comes from *.20L.1I.4pats.5plen — longer patterns, which cause
+// more change in the set of frequent itemsets and hence a more expensive
+// update phase.
+
+#include "bench/maintenance_common.h"
+
+int main() {
+  demon::bench::RunMaintenanceExperiment("Figure 6", 0.008, 4000, 5.0);
+  demon::bench::RunMaintenanceExperiment("Figure 7", 0.009, 4000, 5.0);
+  return 0;
+}

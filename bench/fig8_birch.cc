@@ -1,0 +1,86 @@
+// Reproduces Figure 8 of the paper: running time of non-incremental BIRCH
+// (re-clusters the whole database) vs BIRCH+ (resumes phase 1 on the new
+// block only) as the size of the new block grows from 100K to 800K points
+// (scaled), on top of a 1M.50c.5d base block with 2% uniform noise.
+// The phase-2 time of BIRCH+ is reported separately, as in the figure.
+//
+// Expected shape: BIRCH grows with base+new; BIRCH+ grows only with the
+// new block and is dominated by phase 1 on that block; phase 2 is a small
+// near-constant cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "clustering/birch.h"
+#include "common/timer.h"
+#include "datagen/cluster_generator.h"
+
+namespace demon {
+namespace {
+
+void Run() {
+  const size_t base_n = bench::Scaled(1000000, 20000);
+
+  ClusterGenParams params;
+  params.num_points = base_n;
+  params.num_clusters = 50;
+  params.dim = 5;
+  params.noise_fraction = 0.02;
+  params.seed = 7;
+
+  BirchOptions options;
+  options.num_clusters = 50;
+  // Weighted k-means phase 2: like the original BIRCH, its cost on the
+  // in-memory sub-clusters is negligible next to scanning the data.
+  options.phase2 = Phase2Algorithm::kWeightedKMeans;
+  options.tree.max_leaf_entries = 1024;
+  options.tree.leaf_capacity = 32;
+  options.tree.branching = 16;
+
+  bench::PrintHeader("Figure 8: BIRCH vs BIRCH+ (dataset 1M.50c.5d scaled)");
+  std::printf("base block: %zu points, 50 clusters, 5-d, 2%% noise\n",
+              base_n);
+  std::printf("%-14s %12s %12s %14s\n", "new-block", "BIRCH(s)", "BIRCH+(s)",
+              "Phase2(s)");
+
+  const size_t paper_sizes[] = {100000, 200000, 300000, 400000,
+                                500000, 600000, 700000, 800000};
+  for (size_t paper_size : paper_sizes) {
+    const size_t new_n = bench::Scaled(paper_size, 2000);
+
+    // Fresh generator so base+new are drawn identically for both systems.
+    ClusterGenerator gen(params);
+    const auto base =
+        std::make_shared<const PointBlock>(gen.NextBlock(base_n));
+    const auto fresh =
+        std::make_shared<const PointBlock>(gen.NextBlock(new_n));
+
+    // BIRCH+: pay the base once (that model existed before the block
+    // arrived), then time the incremental update.
+    BirchPlus birch_plus(params.dim, options);
+    birch_plus.AddBlock(*base);
+    WallTimer timer;
+    birch_plus.AddBlock(*fresh);
+    const double plus_seconds = timer.ElapsedSeconds();
+    const double phase2_seconds = birch_plus.last_stats().phase2_seconds;
+
+    // Non-incremental BIRCH re-clusters everything.
+    timer.Reset();
+    BirchStats stats;
+    RunBirch({base, fresh}, params.dim, options, &stats);
+    const double birch_seconds = timer.ElapsedSeconds();
+
+    std::printf("%-14zu %12.3f %12.3f %14.3f\n", new_n, birch_seconds,
+                plus_seconds, phase2_seconds);
+  }
+  std::printf("shape check: BIRCH+ should significantly outperform BIRCH "
+              "at every size (paper §5.2)\n");
+}
+
+}  // namespace
+}  // namespace demon
+
+int main() {
+  demon::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Baseline comparison (paper §6): FUP [CHNW96], the first incremental
+// frequent-itemset maintainer, against BORDERS with PT-Scan and with the
+// paper's ECUT counting. FUP re-scans the old database once per level
+// with new candidates; BORDERS scans old data only when the border
+// expands — "the BORDERS algorithm improves the FUP algorithm by
+// reducing the number of scans of the old database".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "itemsets/borders.h"
+#include "itemsets/fup.h"
+
+namespace demon {
+namespace {
+
+void Run() {
+  // The paper's increment regime: a large base, then small daily blocks
+  // (a few % of the base). FUP's per-level old-database scans then cost
+  // full base scans, while BORDERS' detection touches only the new block.
+  const size_t base_size = bench::Scaled(2000000, 20000);
+  const size_t block_size = bench::Scaled(50000, 1000);
+  const size_t num_blocks = 6;
+  const double minsup = 0.01;
+
+  QuestParams params =
+      bench::PaperQuestParams(base_size + block_size * num_blocks, 7);
+  QuestGenerator gen(params);
+
+  FupMaintainer fup(minsup, params.num_items);
+  BordersOptions pt_options;
+  pt_options.minsup = minsup;
+  pt_options.num_items = params.num_items;
+  pt_options.strategy = CountingStrategy::kPtScan;
+  BordersMaintainer borders_pt(pt_options);
+  BordersOptions ecut_options = pt_options;
+  ecut_options.strategy = CountingStrategy::kEcut;
+  BordersMaintainer borders_ecut(ecut_options);
+
+  bench::PrintHeader("FUP vs BORDERS maintenance per block (" +
+                     params.ToString() + ", minsup 0.01)");
+  std::printf("%-6s %10s %12s | %14s %10s | %12s %10s\n", "block", "FUP(s)",
+              "FUP:oldscans", "BORDERS+PT(s)", "cands", "BORDERS+EC(s)",
+              "cands");
+
+  Tid tid = 0;
+  for (size_t b = 0; b <= num_blocks; ++b) {
+    const size_t size = b == 0 ? base_size : block_size;
+    auto block = bench::MakeSharedBlock(gen.NextBlock(size, tid));
+    tid += block->size();
+    fup.AddBlock(block);
+    borders_pt.AddBlock(block);
+    borders_ecut.AddBlock(block);
+    std::printf("%-6zu %10.3f %12zu | %14.3f %10zu | %12.3f %10zu\n", b,
+                fup.last_stats().seconds, fup.last_stats().old_db_scans,
+                borders_pt.last_stats().detection_seconds +
+                    borders_pt.last_stats().update_seconds,
+                borders_pt.last_stats().new_candidates,
+                borders_ecut.last_stats().detection_seconds +
+                    borders_ecut.last_stats().update_seconds,
+                borders_ecut.last_stats().new_candidates);
+  }
+  std::printf("models agree: FUP frequents == BORDERS frequents: %s\n",
+              fup.model().entries().size() ==
+                      borders_pt.model().NumFrequent()
+                  ? "yes"
+                  : "NO (bug!)");
+  std::printf("shape check: FUP touches the old database on EVERY block "
+              "(old-scans column) while BORDERS touches it only when the "
+              "border expands (cands column) — with disk-resident data "
+              "those per-block scans are the dominant cost the paper's "
+              "BORDERS removes; in memory the times are close\n");
+}
+
+}  // namespace
+}  // namespace demon
+
+int main() {
+  demon::Run();
+  return 0;
+}

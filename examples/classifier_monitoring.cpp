@@ -1,0 +1,80 @@
+// Monitoring a classifier over evolving data — the decision-tree model
+// class under DEMON's machinery. A labeled stream drifts to a new concept
+// mid-way; three paper components work together:
+//
+//  1. an unrestricted-window incremental tree (one scan per block),
+//  2. a GEMM most-recent-window tree that forgets the old concept,
+//  3. FOCUS (decision-tree instantiation) comparing consecutive blocks,
+//     whose deviation significance pinpoints the drift block — pattern
+//     detection applied to classification data.
+//
+// Build & run:  ./build/examples/classifier_monitoring
+
+#include <cstdio>
+
+#include "core/gemm.h"
+#include "datagen/labeled_generator.h"
+#include "deviation/focus_dtree.h"
+#include "dtree/dtree_maintainer.h"
+
+int main() {
+  using namespace demon;
+  using BlockPtr = std::shared_ptr<const LabeledBlock>;
+
+  LabeledSchema schema;
+  schema.attribute_cardinalities.assign(8, 3);
+  schema.num_classes = 3;
+
+  LabeledGenerator::Params params;
+  params.schema = schema;
+  params.concept_depth = 4;
+  params.label_noise = 0.05;
+  params.seed = 21;
+  LabeledGenerator before_drift(params);
+  params.seed = 84;  // a different hidden concept
+  LabeledGenerator after_drift(params);
+
+  DTreeOptions tree_options;
+  tree_options.min_split_weight = 150.0;
+  DTreeMaintainer unrestricted(schema, tree_options);
+  const size_t w = 3;
+  Gemm<DTreeMaintainer, BlockPtr> windowed(
+      BlockSelectionSequence::AllBlocks(), w,
+      [&] { return DTreeMaintainer(schema, tree_options); });
+
+  FocusDecisionTrees focus(FocusDecisionTrees::Options{});
+
+  std::printf("block | UW acc | MRW acc | FOCUS dev vs prev | significance\n");
+  BlockPtr previous;
+  for (int b = 1; b <= 10; ++b) {
+    LabeledGenerator& source = (b <= 5) ? before_drift : after_drift;
+    auto block = std::make_shared<LabeledBlock>(source.NextBlock(4000));
+
+    unrestricted.AddBlock(block);
+    windowed.AddBlock(block);
+
+    double deviation = 0.0;
+    double significance = 0.0;
+    if (previous != nullptr) {
+      const DeviationResult result = focus.Compare(*previous, *block);
+      deviation = result.deviation;
+      significance = result.significance;
+    }
+    const LabeledBlock test = source.NextBlock(1500);
+    std::printf("%5d | %6.3f | %7.3f | %17.3f | %11.3f%s\n", b,
+                unrestricted.Accuracy(test),
+                windowed.current().Accuracy(test), deviation, significance,
+                (previous != nullptr && significance > 0.99)
+                    ? "  <-- drift detected"
+                    : "");
+    previous = block;
+  }
+
+  std::printf("\nfinal unrestricted-window tree: %zu leaves, depth %zu\n",
+              unrestricted.model().NumLeaves(),
+              unrestricted.model().Depth());
+  std::printf("The FOCUS deviation flags the drift block; the GEMM window "
+              "recovers to the new concept\nwhile the unrestricted-window "
+              "tree keeps paying for stale history (§2.2's motivation).\n");
+  return 0;
+}

@@ -1,0 +1,284 @@
+// demon_cli — command-line driver over the library, operating on blocks
+// stored as TransactionFile binaries. A minimal deployment surface:
+//
+//   demon_cli gen --out day1.bin --transactions 20000 --seed 1
+//   demon_cli mine --minsup 0.01 --data day1.bin,day2.bin
+//   demon_cli maintain --minsup 0.01 --strategy ecut --bss all \
+//       --data day1.bin,day2.bin,day3.bin
+//   demon_cli patterns --minsup 0.01 --alpha 0.99 --data day*.bin...
+//   demon_cli rules --minsup 0.02 --confidence 0.6 --data day1.bin
+//
+// Build & run:  ./build/examples/demon_cli <command> [flags]
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bss.h"
+#include "data/transaction_file.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+#include "itemsets/association_rules.h"
+#include "itemsets/borders.h"
+#include "patterns/compact_sequences.h"
+
+namespace demon {
+namespace {
+
+// --------------------------------------------------------------------------
+// Tiny flag parser: --key value pairs after the subcommand.
+
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+        return Status::InvalidArgument(
+            std::string("expected --flag value, got: ") + argv[i]);
+      }
+      flags.values_[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+Result<std::vector<std::shared_ptr<const TransactionBlock>>> LoadBlocks(
+    const Flags& flags) {
+  if (!flags.Has("data")) {
+    return Status::InvalidArgument("--data file1[,file2,...] is required");
+  }
+  std::vector<std::shared_ptr<const TransactionBlock>> blocks;
+  Tid tid = 0;
+  for (const std::string& path : SplitCommas(flags.GetString("data", ""))) {
+    DEMON_ASSIGN_OR_RETURN(TransactionBlock block,
+                           TransactionFile::Read(path, tid));
+    tid += block.size();
+    block.mutable_info()->id = static_cast<BlockId>(blocks.size() + 1);
+    block.mutable_info()->label = path;
+    blocks.push_back(std::make_shared<TransactionBlock>(std::move(block)));
+  }
+  if (blocks.empty()) return Status::InvalidArgument("no data files given");
+  return blocks;
+}
+
+size_t InferNumItems(
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks) {
+  Item max_item = 0;
+  for (const auto& block : blocks) {
+    for (const Transaction& t : block->transactions()) {
+      for (Item item : t.items()) max_item = std::max(max_item, item);
+    }
+  }
+  return static_cast<size_t>(max_item) + 1;
+}
+
+void PrintTopItemsets(const ItemsetModel& model, size_t top_k) {
+  std::vector<std::pair<uint64_t, Itemset>> ranked;
+  for (const auto& [itemset, entry] : model.entries()) {
+    if (entry.frequent && itemset.size() >= 2) {
+      ranked.push_back({entry.count, itemset});
+    }
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("frequent itemsets: %zu (border: %zu) over %llu transactions\n",
+              model.NumFrequent(), model.NumBorder(),
+              static_cast<unsigned long long>(model.num_transactions()));
+  for (size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+    std::printf("  %s  support %.3f%%\n", ToString(ranked[i].second).c_str(),
+                100.0 * model.SupportOf(ranked[i].second));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Subcommands.
+
+Status RunGen(const Flags& flags) {
+  if (!flags.Has("out")) return Status::InvalidArgument("--out is required");
+  QuestParams params;
+  params.num_transactions =
+      static_cast<size_t>(flags.GetInt("transactions", 10000));
+  params.num_items = static_cast<size_t>(flags.GetInt("items", 1000));
+  params.num_patterns = static_cast<size_t>(flags.GetInt("patterns", 2000));
+  params.avg_transaction_len = flags.GetDouble("len", 10.0);
+  params.avg_pattern_len = flags.GetDouble("plen", 4.0);
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  DEMON_RETURN_NOT_OK(
+      TransactionFile::Write(block, flags.GetString("out", "")));
+  std::printf("wrote %zu transactions (%s) to %s\n", block.size(),
+              params.ToString().c_str(), flags.GetString("out", "").c_str());
+  return Status::OK();
+}
+
+Status RunMine(const Flags& flags) {
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  const double minsup = flags.GetDouble("minsup", 0.01);
+  const ItemsetModel model = Apriori(blocks, minsup, InferNumItems(blocks));
+  PrintTopItemsets(model, static_cast<size_t>(flags.GetInt("top", 15)));
+  return Status::OK();
+}
+
+Status RunMaintain(const Flags& flags) {
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  DEMON_ASSIGN_OR_RETURN(
+      BlockSelectionSequence bss,
+      BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
+  if (bss.is_window_relative()) {
+    return Status::InvalidArgument(
+        "maintain supports window-independent BSS; window-relative "
+        "sequences need the most-recent-window option");
+  }
+  BordersOptions options;
+  options.minsup = flags.GetDouble("minsup", 0.01);
+  options.num_items = InferNumItems(blocks);
+  const std::string strategy = flags.GetString("strategy", "ecut");
+  if (strategy == "ptscan") {
+    options.strategy = CountingStrategy::kPtScan;
+  } else if (strategy == "ecut") {
+    options.strategy = CountingStrategy::kEcut;
+  } else if (strategy == "ecut+") {
+    options.strategy = CountingStrategy::kEcutPlus;
+  } else {
+    return Status::InvalidArgument("unknown --strategy: " + strategy);
+  }
+
+  BordersMaintainer maintainer(options);
+  std::printf("block | selected | frequent | border | new-cands | time(ms)\n");
+  for (const auto& block : blocks) {
+    const bool selected = bss.SelectsBlock(block->info().id);
+    if (selected) maintainer.AddBlock(block);
+    const auto& stats = maintainer.last_stats();
+    std::printf("%5u | %8s | %8zu | %6zu | %9zu | %.1f\n", block->info().id,
+                selected ? "yes" : "no", maintainer.model().NumFrequent(),
+                maintainer.model().NumBorder(),
+                selected ? stats.new_candidates : 0,
+                selected ? (stats.detection_seconds + stats.update_seconds) *
+                               1e3
+                         : 0.0);
+  }
+  PrintTopItemsets(maintainer.model(),
+                   static_cast<size_t>(flags.GetInt("top", 10)));
+  return Status::OK();
+}
+
+Status RunPatterns(const Flags& flags) {
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = flags.GetDouble("minsup", 0.01);
+  options.focus.num_items = InferNumItems(blocks);
+  options.alpha = flags.GetDouble("alpha", 0.95);
+  options.window_size = static_cast<size_t>(flags.GetInt("window", 0));
+  CompactSequenceMiner miner(options);
+  for (const auto& block : blocks) miner.AddBlock(block);
+
+  std::printf("maximal compact sequences (>= 2 blocks):\n");
+  for (const auto& sequence : miner.MaximalSequences(2)) {
+    std::printf("  {");
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  miner.blocks()[sequence[i]]->info().label.c_str());
+    }
+    std::printf("}\n");
+  }
+  return Status::OK();
+}
+
+Status RunRules(const Flags& flags) {
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  const double minsup = flags.GetDouble("minsup", 0.01);
+  const double confidence = flags.GetDouble("confidence", 0.5);
+  const ItemsetModel model = Apriori(blocks, minsup, InferNumItems(blocks));
+  const auto rules = DeriveRules(model, confidence);
+  std::printf("%zu rules at minsup %.3f, confidence %.2f:\n", rules.size(),
+              minsup, confidence);
+  const size_t top = static_cast<size_t>(flags.GetInt("top", 20));
+  for (size_t i = 0; i < rules.size() && i < top; ++i) {
+    std::printf("  %s\n", rules[i].ToString().c_str());
+  }
+  return Status::OK();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: demon_cli <gen|mine|maintain|patterns|rules> [--flag value]\n"
+      "  gen       --out F [--transactions N --items I --patterns P "
+      "--len L --plen L --seed S]\n"
+      "  mine      --data F1[,F2...] [--minsup 0.01 --top 15]\n"
+      "  maintain  --data F1[,F2...] [--minsup 0.01 --strategy "
+      "ptscan|ecut|ecut+ --bss all|10110|periodic:7/0]\n"
+      "  patterns  --data F1[,F2...] [--minsup 0.01 --alpha 0.95 "
+      "--window W]\n"
+      "  rules     --data F1[,F2...] [--minsup 0.01 --confidence 0.5]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags_result = Flags::Parse(argc, argv, 2);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+    return Usage();
+  }
+  const Flags& flags = flags_result.value();
+  Status status;
+  if (command == "gen") {
+    status = RunGen(flags);
+  } else if (command == "mine") {
+    status = RunMine(flags);
+  } else if (command == "maintain") {
+    status = RunMaintain(flags);
+  } else if (command == "patterns") {
+    status = RunPatterns(flags);
+  } else if (command == "rules") {
+    status = RunRules(flags);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace demon
+
+int main(int argc, char** argv) { return demon::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// The Demons'R'Us scenario (paper §2.2/§2.3): a toy store's warehouse
+// receives one block of transactions per day. The marketing analyst cares
+// about *recent* trends, so the model is maintained over the most recent
+// window with GEMM — here two monitors run side by side:
+//
+//  1. "last week":         MRW of size 7, BSS <1111111> (all days);
+//  2. "same weekday":      MRW of size 7, window-relative BSS <1000000>
+//                          (the paper's "data collected on the same day of
+//                          the week as today within the past w days").
+//
+// GEMM keeps one BORDERS maintainer per overlapping future window, so the
+// response time per day is a single incremental update — no deletions and
+// no re-mining, regardless of the BSS.
+//
+// Build & run:  ./build/examples/retail_monitoring
+
+#include <cstdio>
+
+#include "core/gemm.h"
+#include "core/maintainers.h"
+#include "datagen/quest_generator.h"
+
+int main() {
+  using namespace demon;
+  using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+  const size_t w = 7;
+
+  BordersOptions model_options;
+  model_options.minsup = 0.02;
+  model_options.num_items = 500;
+  model_options.strategy = CountingStrategy::kEcut;
+  const auto factory = [&model_options] {
+    return BordersMaintainer(model_options);
+  };
+
+  Gemm<BordersMaintainer, BlockPtr> last_week(
+      BlockSelectionSequence::AllBlocks(), w, factory);
+  Gemm<BordersMaintainer, BlockPtr> same_weekday(
+      BlockSelectionSequence::WindowRelative(
+          {true, false, false, false, false, false, false}),
+      w, factory);
+
+  // Weekday sales come from one pattern table, weekend sales from
+  // another — the "latest customer trends" the analyst is after differ by
+  // day of week.
+  QuestParams weekday_params;
+  weekday_params.num_transactions = 1;  // streamed via NextBlock
+  weekday_params.num_items = 500;
+  weekday_params.num_patterns = 300;
+  weekday_params.avg_transaction_len = 8;
+  weekday_params.seed = 11;
+  QuestParams weekend_params = weekday_params;
+  weekend_params.num_patterns = 150;
+  weekend_params.avg_pattern_len = 5;
+  weekend_params.seed = 22;
+  QuestGenerator weekday_gen(weekday_params);
+  QuestGenerator weekend_gen(weekend_params);
+
+  const char* day_names[7] = {"Mon", "Tue", "Wed", "Thu",
+                              "Fri", "Sat", "Sun"};
+  std::printf("day | last-week model      | same-weekday model   | "
+              "response (ms)\n");
+  std::printf("    | txns    freq  bord   | txns    freq  bord   |\n");
+
+  Tid next_tid = 0;
+  for (int day = 0; day < 21; ++day) {
+    const bool weekend = (day % 7) >= 5;
+    auto block = std::make_shared<TransactionBlock>(
+        (weekend ? weekend_gen : weekday_gen).NextBlock(3000, next_tid));
+    next_tid += block->size();
+    block->mutable_info()->id = static_cast<BlockId>(day + 1);
+
+    last_week.AddBlock(block);
+    same_weekday.AddBlock(block);
+
+    const ItemsetModel& week_model = last_week.current().model();
+    const ItemsetModel& dow_model = same_weekday.current().model();
+    std::printf("%s | %6llu %6zu %5zu | %6llu %6zu %5zu | %.1f + %.1f\n",
+                day_names[day % 7],
+                static_cast<unsigned long long>(week_model.num_transactions()),
+                week_model.NumFrequent(), week_model.NumBorder(),
+                static_cast<unsigned long long>(dow_model.num_transactions()),
+                dow_model.NumFrequent(), dow_model.NumBorder(),
+                last_week.last_response_seconds() * 1e3,
+                same_weekday.last_response_seconds() * 1e3);
+  }
+
+  std::printf("\nNote how the same-weekday monitor always summarizes "
+              "exactly one block\n(the most recent Monday/.../Sunday) "
+              "while the last-week monitor covers the full window.\n");
+  return 0;
+}

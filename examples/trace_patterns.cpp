@@ -1,0 +1,75 @@
+// Pattern detection on evolving data (paper §4/§5.3): discover compact
+// sequences of similar blocks in a web-proxy trace — "which time periods
+// behave alike?" — without the analyst specifying any block selection
+// sequence up front.
+//
+// The trace is the synthetic stand-in for the DEC proxy logs (see
+// DESIGN.md). Each request becomes a 2-item transaction {object type,
+// size bucket}; blocks are 24-hour slices; similarity is judged by the
+// FOCUS deviation between the blocks' frequent-itemset models at 1%
+// minimum support.
+//
+// Build & run:  ./build/examples/trace_patterns
+
+#include <cstdio>
+
+#include "datagen/trace_generator.h"
+#include "patterns/compact_sequences.h"
+
+int main() {
+  using namespace demon;
+
+  TraceGenerator::Params trace_params;
+  trace_params.rate_scale = 0.05;
+  trace_params.seed = 3;
+  TraceGenerator generator(trace_params);
+  const auto trace = generator.Generate();
+  const auto blocks = SegmentTrace(trace, /*granularity_hours=*/24,
+                                   /*start_hour=*/24);  // midnight-aligned
+  std::printf("trace: %zu requests, %zu daily blocks\n", trace.size(),
+              blocks.size());
+
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.01;
+  options.focus.num_items =
+      TraceGenerator::kNumObjectTypes + TraceGenerator::kNumSizeBuckets;
+  options.alpha = 0.99;
+  CompactSequenceMiner miner(options);
+
+  for (const auto& block : blocks) {
+    miner.AddBlock(std::make_shared<TransactionBlock>(block));
+    std::printf("  + %-22s (%5zu reqs)  update %.1f ms, %zu block scans\n",
+                block.info().label.c_str(), block.size(),
+                miner.last_add_seconds() * 1e3, miner.last_scan_count());
+  }
+
+  std::printf("\ndiscovered compact sequences (maximal, >= 3 blocks):\n");
+  for (const auto& sequence : miner.MaximalSequences(3)) {
+    std::printf("  {");
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  miner.blocks()[sequence[i]]->info().label.substr(0, 9)
+                      .c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // The anomalous Monday 9-9: which days is it similar to?
+  std::printf("\nsimilarity of the anomalous Mon 09-09 to other days: ");
+  size_t anomaly_index = 0;
+  for (size_t i = 0; i < miner.blocks().size(); ++i) {
+    if (miner.blocks()[i]->info().label.find("09-09") != std::string::npos) {
+      anomaly_index = i;
+    }
+  }
+  size_t similar_days = 0;
+  for (size_t i = 0; i < miner.blocks().size(); ++i) {
+    if (i != anomaly_index && miner.Similar(i, anomaly_index)) {
+      ++similar_days;
+    }
+  }
+  std::printf("%zu of %zu (paper: recognized as unusual, "
+              "excluded from all patterns)\n",
+              similar_days, miner.blocks().size() - 1);
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "clustering/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+// Active-cluster bookkeeping with cached nearest neighbours: merges are
+// O(m) each amortized except when a merge invalidates cached neighbours,
+// which triggers an O(m) rescan for the affected clusters.
+struct Active {
+  ClusterFeature cf;
+  bool alive = true;
+  size_t nn = 0;
+  double nn_d2 = std::numeric_limits<double>::infinity();
+};
+
+void RecomputeNeighbor(std::vector<Active>* actives, size_t i) {
+  auto& a = (*actives)[i];
+  a.nn_d2 = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < actives->size(); ++j) {
+    if (j == i || !(*actives)[j].alive) continue;
+    const double d2 = a.cf.SquaredCentroidDistance((*actives)[j].cf);
+    if (d2 < a.nn_d2) {
+      a.nn_d2 = d2;
+      a.nn = j;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> AgglomerativeMerge(const std::vector<ClusterFeature>& entries,
+                                    size_t k,
+                                    std::vector<ClusterFeature>* clusters) {
+  DEMON_CHECK(!entries.empty());
+  DEMON_CHECK(k >= 1);
+  const size_t m = entries.size();
+
+  std::vector<Active> actives(m);
+  // parent[i] tracks which active cluster each original entry belongs to.
+  std::vector<size_t> parent(m);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (size_t i = 0; i < m; ++i) actives[i].cf = entries[i];
+  size_t alive = m;
+  if (alive > 1) {
+    for (size_t i = 0; i < m; ++i) RecomputeNeighbor(&actives, i);
+  }
+
+  while (alive > k) {
+    // Find the globally closest pair via the cached neighbours.
+    size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (actives[i].alive && actives[i].nn_d2 < best_d2 &&
+          actives[actives[i].nn].alive) {
+        best_d2 = actives[i].nn_d2;
+        best = i;
+      }
+    }
+    size_t a = best;
+    size_t b = actives[best].nn;
+    DEMON_CHECK(actives[a].alive && actives[b].alive && a != b);
+    if (b < a) std::swap(a, b);
+
+    actives[a].cf.Merge(actives[b].cf);
+    actives[b].alive = false;
+    --alive;
+    for (size_t i = 0; i < m; ++i) {
+      if (parent[i] == b) parent[i] = a;
+    }
+    if (alive == 1) break;
+    // Refresh caches: the merged cluster; anyone pointing at a or b; and
+    // anyone the moved centroid of a got closer to than its cached nn.
+    RecomputeNeighbor(&actives, a);
+    for (size_t i = 0; i < m; ++i) {
+      if (!actives[i].alive || i == a) continue;
+      if (actives[i].nn == a || actives[i].nn == b) {
+        RecomputeNeighbor(&actives, i);
+      } else {
+        const double d2 =
+            actives[i].cf.SquaredCentroidDistance(actives[a].cf);
+        if (d2 < actives[i].nn_d2) {
+          actives[i].nn_d2 = d2;
+          actives[i].nn = a;
+        }
+      }
+    }
+  }
+
+  // Compact alive clusters and translate assignments.
+  clusters->clear();
+  std::vector<int> remap(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    if (actives[i].alive) {
+      remap[i] = static_cast<int>(clusters->size());
+      clusters->push_back(std::move(actives[i].cf));
+    }
+  }
+  std::vector<int> assignments(m);
+  for (size_t i = 0; i < m; ++i) assignments[i] = remap[parent[i]];
+  return assignments;
+}
+
+}  // namespace demon

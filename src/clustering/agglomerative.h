@@ -1,0 +1,25 @@
+#ifndef DEMON_CLUSTERING_AGGLOMERATIVE_H_
+#define DEMON_CLUSTERING_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "clustering/cluster_feature.h"
+
+namespace demon {
+
+/// \brief Centroid-linkage agglomerative clustering of weighted
+/// sub-clusters: repeatedly merges the pair of clusters with the closest
+/// centroids until `k` remain. The other "traditional" phase-2 algorithm
+/// ([JD88], [DH73]) BIRCH can apply to its in-memory sub-clusters.
+///
+/// Input sub-clusters are given as CFs; merging is exact CF addition, so
+/// the resulting clusters carry exact counts, centroids and radii of their
+/// member points. Returns the assignment of each input CF to an output
+/// cluster, parallel to `entries`.
+std::vector<int> AgglomerativeMerge(const std::vector<ClusterFeature>& entries,
+                                    size_t k,
+                                    std::vector<ClusterFeature>* clusters);
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_AGGLOMERATIVE_H_

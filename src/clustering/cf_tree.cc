@@ -1,0 +1,228 @@
+#include "clustering/cf_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace demon {
+
+CFTree::CFTree(size_t dim, const CFTreeOptions& options)
+    : dim_(dim),
+      options_(options),
+      threshold_(options.initial_threshold),
+      root_(std::make_unique<Node>()),
+      root_cf_(dim) {
+  DEMON_CHECK(dim_ > 0);
+  DEMON_CHECK(options_.branching >= 2);
+  DEMON_CHECK(options_.leaf_capacity >= 2);
+  DEMON_CHECK(options_.max_leaf_entries >= options_.leaf_capacity);
+}
+
+void CFTree::Insert(const double* point) {
+  const ClusterFeature cf = ClusterFeature::FromPoint(point, dim_);
+  root_cf_.Merge(cf);
+  InsertResult result = InsertCF(root_.get(), cf);
+  if (result.split) {
+    // Grow a new root one level up.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    ClusterFeature old_root_cf(dim_);
+    for (const ClusterFeature& entry : root_->entries) {
+      old_root_cf.Merge(entry);
+    }
+    new_root->entries.push_back(std::move(old_root_cf));
+    new_root->children.push_back(std::move(root_));
+    new_root->entries.push_back(std::move(result.new_entry));
+    new_root->children.push_back(std::move(result.new_child));
+    root_ = std::move(new_root);
+  }
+  if (num_leaf_entries_ > options_.max_leaf_entries) {
+    RebuildWithLargerThreshold();
+  }
+}
+
+void CFTree::InsertBlock(const PointBlock& block) {
+  DEMON_CHECK(block.dim() == dim_);
+  for (size_t i = 0; i < block.size(); ++i) Insert(block.PointAt(i));
+}
+
+size_t CFTree::ClosestEntry(const Node& node,
+                            const ClusterFeature& cf) const {
+  DEMON_CHECK(!node.entries.empty());
+  size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const double d2 = node.entries[i].SquaredCentroidDistance(cf);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+CFTree::InsertResult CFTree::InsertCF(Node* node, const ClusterFeature& cf) {
+  if (node->is_leaf) {
+    if (!node->entries.empty()) {
+      const size_t closest = ClosestEntry(*node, cf);
+      ClusterFeature& entry = node->entries[closest];
+      // Absorption test: the merged sub-cluster must stay within T.
+      if (std::sqrt(entry.MergedSquaredRadius(cf)) <= threshold_) {
+        entry.Merge(cf);
+        return {};
+      }
+    }
+    node->entries.push_back(cf);
+    ++num_leaf_entries_;
+    if (node->entries.size() > options_.leaf_capacity) return Split(node);
+    return {};
+  }
+
+  const size_t closest = ClosestEntry(*node, cf);
+  InsertResult child_result = InsertCF(node->children[closest].get(), cf);
+  // Refresh the summary of the descended child.
+  ClusterFeature refreshed(dim_);
+  for (const ClusterFeature& entry : node->children[closest]->entries) {
+    refreshed.Merge(entry);
+  }
+  node->entries[closest] = std::move(refreshed);
+  if (child_result.split) {
+    node->entries.push_back(std::move(child_result.new_entry));
+    node->children.push_back(std::move(child_result.new_child));
+    if (node->entries.size() > options_.branching) return Split(node);
+  }
+  return {};
+}
+
+CFTree::InsertResult CFTree::Split(Node* node) {
+  // Seed the two halves with the farthest pair of entries (BIRCH's split).
+  const size_t n = node->entries.size();
+  DEMON_CHECK(n >= 2);
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double max_d2 = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d2 =
+          node->entries[i].SquaredCentroidDistance(node->entries[j]);
+      if (d2 > max_d2) {
+        max_d2 = d2;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  std::vector<ClusterFeature> keep_entries;
+  std::vector<NodePtr> keep_children;
+  // Copy the seeds: entries are moved out below while later iterations
+  // still measure distances against the seeds.
+  const ClusterFeature cf_a = node->entries[seed_a];
+  const ClusterFeature cf_b = node->entries[seed_b];
+  for (size_t i = 0; i < n; ++i) {
+    const double da = node->entries[i].SquaredCentroidDistance(cf_a);
+    const double db = node->entries[i].SquaredCentroidDistance(cf_b);
+    // Ties (and the seeds themselves) go by proximity, seed_a winning.
+    const bool to_sibling = db < da;
+    if (to_sibling) {
+      sibling->entries.push_back(std::move(node->entries[i]));
+      if (!node->is_leaf) {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    } else {
+      keep_entries.push_back(std::move(node->entries[i]));
+      if (!node->is_leaf) {
+        keep_children.push_back(std::move(node->children[i]));
+      }
+    }
+  }
+  DEMON_CHECK(!keep_entries.empty());
+  DEMON_CHECK(!sibling->entries.empty());
+  node->entries = std::move(keep_entries);
+  node->children = std::move(keep_children);
+
+  InsertResult result;
+  result.split = true;
+  ClusterFeature sibling_cf(dim_);
+  for (const ClusterFeature& entry : sibling->entries) {
+    sibling_cf.Merge(entry);
+  }
+  result.new_entry = std::move(sibling_cf);
+  result.new_child = std::move(sibling);
+  return result;
+}
+
+void CFTree::CollectLeafEntries(const Node& node,
+                                std::vector<ClusterFeature>* out) const {
+  if (node.is_leaf) {
+    out->insert(out->end(), node.entries.begin(), node.entries.end());
+    return;
+  }
+  for (const NodePtr& child : node.children) {
+    CollectLeafEntries(*child, out);
+  }
+}
+
+std::vector<ClusterFeature> CFTree::LeafEntries() const {
+  std::vector<ClusterFeature> out;
+  out.reserve(num_leaf_entries_);
+  CollectLeafEntries(*root_, &out);
+  return out;
+}
+
+double CFTree::MinLeafEntryDistance(const Node& node) const {
+  double min_d = std::numeric_limits<double>::infinity();
+  if (node.is_leaf) {
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      for (size_t j = i + 1; j < node.entries.size(); ++j) {
+        min_d = std::min(
+            min_d, node.entries[i].SquaredCentroidDistance(node.entries[j]));
+      }
+    }
+    return min_d;
+  }
+  for (const NodePtr& child : node.children) {
+    min_d = std::min(min_d, MinLeafEntryDistance(*child));
+  }
+  return min_d;
+}
+
+void CFTree::RebuildWithLargerThreshold() {
+  while (num_leaf_entries_ > options_.max_leaf_entries) {
+    ++num_rebuilds_;
+    // Data-driven threshold bump: at least the closest pair of sibling
+    // sub-clusters must become mergeable, and grow geometrically so the
+    // loop terminates fast.
+    const double min_d2 = MinLeafEntryDistance(*root_);
+    double next = std::isfinite(min_d2) ? std::sqrt(min_d2) : threshold_;
+    next = std::max(next, threshold_ * 1.5);
+    if (next <= threshold_) next = threshold_ > 0.0 ? threshold_ * 2.0 : 1.0;
+    threshold_ = next;
+
+    std::vector<ClusterFeature> entries = LeafEntries();
+    root_ = std::make_unique<Node>();
+    num_leaf_entries_ = 0;
+    for (const ClusterFeature& cf : entries) {
+      InsertResult result = InsertCF(root_.get(), cf);
+      if (result.split) {
+        auto new_root = std::make_unique<Node>();
+        new_root->is_leaf = false;
+        ClusterFeature old_root_cf(dim_);
+        for (const ClusterFeature& entry : root_->entries) {
+          old_root_cf.Merge(entry);
+        }
+        new_root->entries.push_back(std::move(old_root_cf));
+        new_root->children.push_back(std::move(root_));
+        new_root->entries.push_back(std::move(result.new_entry));
+        new_root->children.push_back(std::move(result.new_child));
+        root_ = std::move(new_root);
+      }
+    }
+  }
+}
+
+}  // namespace demon

@@ -1,0 +1,108 @@
+#ifndef DEMON_CLUSTERING_CF_TREE_H_
+#define DEMON_CLUSTERING_CF_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clustering/cluster_feature.h"
+#include "data/block.h"
+
+namespace demon {
+
+/// Configuration of a CF-tree (BIRCH phase 1).
+struct CFTreeOptions {
+  /// Maximum entries in an internal node (branching factor B).
+  size_t branching = 16;
+  /// Maximum entries in a leaf node (L).
+  size_t leaf_capacity = 32;
+  /// The tree rebuilds with a larger threshold whenever the number of leaf
+  /// entries (sub-clusters) exceeds this — the "memory limit" of BIRCH.
+  size_t max_leaf_entries = 2048;
+  /// Initial absorption threshold T (radius); 0 means "absorb only
+  /// coincident points" and lets the tree derive a data-driven T at the
+  /// first rebuild.
+  double initial_threshold = 0.0;
+};
+
+/// \brief BIRCH's height-balanced CF-tree [ZRL96]: leaf entries are
+/// sub-clusters summarized by cluster features; internal entries summarize
+/// their subtrees. A new point descends to the closest leaf entry and is
+/// absorbed if the merged sub-cluster's radius stays within the threshold
+/// T; otherwise it starts a new entry, splitting nodes that overflow.
+///
+/// When the tree outgrows `max_leaf_entries` it is rebuilt with a larger T
+/// by reinserting the existing sub-clusters — BIRCH's standard rebuild,
+/// which never rescans the data. Insertion is deterministic, so suspending
+/// and resuming phase 1 across blocks (BIRCH+, paper §3.1.2) yields
+/// exactly the tree a single pass over the concatenated data would.
+class CFTree {
+ public:
+  CFTree(size_t dim, const CFTreeOptions& options);
+
+  CFTree(const CFTree&) = delete;
+  CFTree& operator=(const CFTree&) = delete;
+  CFTree(CFTree&&) = default;
+  CFTree& operator=(CFTree&&) = default;
+
+  /// Inserts one point (dim() doubles).
+  void Insert(const double* point);
+
+  /// Inserts every point of a block.
+  void InsertBlock(const PointBlock& block);
+
+  /// The current sub-clusters (all leaf entries), in leaf order.
+  std::vector<ClusterFeature> LeafEntries() const;
+
+  size_t dim() const { return dim_; }
+  double threshold() const { return threshold_; }
+  size_t num_leaf_entries() const { return num_leaf_entries_; }
+  /// Total points inserted.
+  double total_weight() const { return root_cf_.n(); }
+  /// Number of rebuilds performed so far.
+  size_t num_rebuilds() const { return num_rebuilds_; }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Node {
+    bool is_leaf = true;
+    std::vector<ClusterFeature> entries;
+    /// Children, parallel to `entries`; empty for leaves.
+    std::vector<NodePtr> children;
+  };
+
+  /// Outcome of a recursive insert: if the child split, `new_entry` and
+  /// `new_child` describe the sibling to add at the parent level.
+  struct InsertResult {
+    bool split = false;
+    ClusterFeature new_entry;
+    NodePtr new_child;
+  };
+
+  InsertResult InsertCF(Node* node, const ClusterFeature& cf);
+  size_t ClosestEntry(const Node& node, const ClusterFeature& cf) const;
+  /// Splits `node` in two using the farthest-pair seeding of BIRCH;
+  /// returns the new sibling and its summary CF.
+  InsertResult Split(Node* node);
+  void CollectLeafEntries(const Node& node,
+                          std::vector<ClusterFeature>* out) const;
+  /// Rebuilds with a larger threshold until the size limit is respected.
+  void RebuildWithLargerThreshold();
+  /// Smallest distance between two entries sharing a leaf — the rebuild
+  /// threshold heuristic.
+  double MinLeafEntryDistance(const Node& node) const;
+
+  size_t dim_;
+  CFTreeOptions options_;
+  double threshold_;
+  NodePtr root_;
+  ClusterFeature root_cf_;
+  size_t num_leaf_entries_ = 0;
+  size_t num_rebuilds_ = 0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_CF_TREE_H_

@@ -1,0 +1,124 @@
+#ifndef DEMON_CLUSTERING_CLUSTER_FEATURE_H_
+#define DEMON_CLUSTERING_CLUSTER_FEATURE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "data/point.h"
+
+namespace demon {
+
+/// \brief A BIRCH cluster feature [ZRL96]: the triple (N, LS, SS) — point
+/// count, linear sum and squared sum of a set of d-dimensional points.
+///
+/// CFs are additive: the CF of a union of point sets is the component-wise
+/// sum. This is what makes the set of sub-clusters incrementally
+/// maintainable, the property BIRCH+ exploits (paper §3.1.2).
+class ClusterFeature {
+ public:
+  ClusterFeature() = default;
+
+  explicit ClusterFeature(size_t dim) : ls_(dim, 0.0) {}
+
+  /// CF of a single point.
+  static ClusterFeature FromPoint(const double* point, size_t dim) {
+    ClusterFeature cf(dim);
+    cf.Add(point, dim);
+    return cf;
+  }
+
+  size_t dim() const { return ls_.size(); }
+  double n() const { return n_; }
+  const std::vector<double>& ls() const { return ls_; }
+  double ss() const { return ss_; }
+  bool empty() const { return n_ == 0.0; }
+
+  /// Adds one point.
+  void Add(const double* point, size_t dim) {
+    DEMON_CHECK(dim == ls_.size());
+    n_ += 1.0;
+    for (size_t i = 0; i < dim; ++i) {
+      ls_[i] += point[i];
+      ss_ += point[i] * point[i];
+    }
+  }
+
+  /// Merges another CF into this one (CF additivity theorem).
+  void Merge(const ClusterFeature& other) {
+    DEMON_CHECK(other.ls_.size() == ls_.size());
+    n_ += other.n_;
+    for (size_t i = 0; i < ls_.size(); ++i) ls_[i] += other.ls_[i];
+    ss_ += other.ss_;
+  }
+
+  /// Centroid LS / N. Requires a non-empty CF.
+  Point Centroid() const {
+    DEMON_CHECK(n_ > 0.0);
+    Point c(ls_.size());
+    for (size_t i = 0; i < ls_.size(); ++i) c[i] = ls_[i] / n_;
+    return c;
+  }
+
+  /// Squared radius: average squared distance of the members to the
+  /// centroid, SS/N - ||LS/N||^2 (clamped at 0 against rounding).
+  double SquaredRadius() const {
+    DEMON_CHECK(n_ > 0.0);
+    double centroid_norm2 = 0.0;
+    for (double v : ls_) centroid_norm2 += (v / n_) * (v / n_);
+    const double r2 = ss_ / n_ - centroid_norm2;
+    return r2 > 0.0 ? r2 : 0.0;
+  }
+
+  double Radius() const { return std::sqrt(SquaredRadius()); }
+
+  /// Squared Euclidean distance between the centroids of two CFs — the D0
+  /// metric BIRCH uses to pick the closest entry.
+  double SquaredCentroidDistance(const ClusterFeature& other) const {
+    DEMON_CHECK(n_ > 0.0 && other.n_ > 0.0);
+    double sum = 0.0;
+    for (size_t i = 0; i < ls_.size(); ++i) {
+      const double d = ls_[i] / n_ - other.ls_[i] / other.n_;
+      sum += d * d;
+    }
+    return sum;
+  }
+
+  /// Squared distance of a raw point to this CF's centroid.
+  double SquaredDistanceToPoint(const double* point, size_t dim) const {
+    DEMON_CHECK(n_ > 0.0 && dim == ls_.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = ls_[i] / n_ - point[i];
+      sum += d * d;
+    }
+    return sum;
+  }
+
+  /// Squared radius the merge of this CF and `other` would have, without
+  /// performing the merge — the absorption test of the CF-tree insert.
+  double MergedSquaredRadius(const ClusterFeature& other) const {
+    const double n = n_ + other.n_;
+    DEMON_CHECK(n > 0.0);
+    double centroid_norm2 = 0.0;
+    for (size_t i = 0; i < ls_.size(); ++i) {
+      const double c = (ls_[i] + other.ls_[i]) / n;
+      centroid_norm2 += c * c;
+    }
+    const double r2 = (ss_ + other.ss_) / n - centroid_norm2;
+    return r2 > 0.0 ? r2 : 0.0;
+  }
+
+  bool operator==(const ClusterFeature& other) const {
+    return n_ == other.n_ && ls_ == other.ls_ && ss_ == other.ss_;
+  }
+
+ private:
+  double n_ = 0.0;
+  std::vector<double> ls_;
+  double ss_ = 0.0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_CLUSTER_FEATURE_H_

@@ -1,0 +1,32 @@
+#include "clustering/cluster_model.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace demon {
+
+int ClusterModel::Assign(const double* point, size_t dim) const {
+  DEMON_CHECK(!clusters_.empty());
+  int best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const double d2 = clusters_[c].SquaredDistanceToPoint(point, dim);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> LabelBlock(const PointBlock& block,
+                            const ClusterModel& model) {
+  std::vector<int> labels(block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    labels[i] = model.Assign(block.PointAt(i), block.dim());
+  }
+  return labels;
+}
+
+}  // namespace demon

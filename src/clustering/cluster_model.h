@@ -1,0 +1,57 @@
+#ifndef DEMON_CLUSTERING_CLUSTER_MODEL_H_
+#define DEMON_CLUSTERING_CLUSTER_MODEL_H_
+
+#include <vector>
+
+#include "clustering/cluster_feature.h"
+#include "data/block.h"
+#include "data/point.h"
+
+namespace demon {
+
+/// \brief The cluster model DEMON maintains: all clusters identified in
+/// the data (paper §3), each summarized by a cluster feature (count,
+/// centroid, radius). Obtained by BIRCH phase 2 from the sub-clusters.
+class ClusterModel {
+ public:
+  ClusterModel() = default;
+
+  explicit ClusterModel(std::vector<ClusterFeature> clusters)
+      : clusters_(std::move(clusters)) {}
+
+  const std::vector<ClusterFeature>& clusters() const { return clusters_; }
+  size_t NumClusters() const { return clusters_.size(); }
+  bool empty() const { return clusters_.empty(); }
+
+  /// Total points summarized across clusters.
+  double TotalWeight() const {
+    double total = 0.0;
+    for (const auto& cf : clusters_) total += cf.n();
+    return total;
+  }
+
+  /// Index of the cluster whose centroid is closest to `point`.
+  /// Requires a non-empty model.
+  int Assign(const double* point, size_t dim) const;
+
+  /// Centroids of all clusters.
+  std::vector<Point> Centroids() const {
+    std::vector<Point> out;
+    out.reserve(clusters_.size());
+    for (const auto& cf : clusters_) out.push_back(cf.Centroid());
+    return out;
+  }
+
+ private:
+  std::vector<ClusterFeature> clusters_;
+};
+
+/// \brief The membership scan of §3.1.2: labels every point of a block
+/// with the cluster it belongs to (second scan; characteristic of all
+/// summary-based clustering algorithms).
+std::vector<int> LabelBlock(const PointBlock& block,
+                            const ClusterModel& model);
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_CLUSTER_MODEL_H_

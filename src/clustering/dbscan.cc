@@ -1,0 +1,170 @@
+#include "clustering/dbscan.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "data/point.h"
+
+namespace demon {
+
+namespace {
+
+// Hashes a grid cell coordinate vector into a key. Cells are eps-sized,
+// so all neighbors of a point lie within the 3^d surrounding cells.
+uint64_t HashCells(const std::vector<int64_t>& cell) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int64_t c : cell) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+IncrementalDbscan::IncrementalDbscan(size_t dim, const DbscanParams& params)
+    : dim_(dim), params_(params) {
+  DEMON_CHECK(dim_ >= 1);
+  DEMON_CHECK(params_.eps > 0.0);
+  DEMON_CHECK(params_.min_pts >= 1);
+}
+
+IncrementalDbscan::CellKey IncrementalDbscan::KeyOf(
+    const double* point) const {
+  std::vector<int64_t> cell(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    cell[d] = static_cast<int64_t>(std::floor(point[d] / params_.eps));
+  }
+  return HashCells(cell);
+}
+
+void IncrementalDbscan::Neighbors(const double* point, size_t exclude,
+                                  std::vector<size_t>* out) const {
+  out->clear();
+  const double eps2 = params_.eps * params_.eps;
+  // Enumerate the 3^d neighboring cells.
+  std::vector<int64_t> base(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    base[d] = static_cast<int64_t>(std::floor(point[d] / params_.eps));
+  }
+  std::vector<int64_t> cell(dim_);
+  size_t total = 1;
+  for (size_t d = 0; d < dim_; ++d) total *= 3;
+  for (size_t mask = 0; mask < total; ++mask) {
+    size_t rest = mask;
+    for (size_t d = 0; d < dim_; ++d) {
+      cell[d] = base[d] + static_cast<int64_t>(rest % 3) - 1;
+      rest /= 3;
+    }
+    const auto it = grid_.find(HashCells(cell));
+    if (it == grid_.end()) continue;
+    for (size_t index : it->second) {
+      if (index == exclude) continue;
+      if (SquaredDistance(point, PointAt(index), dim_) <= eps2) {
+        out->push_back(index);
+      }
+    }
+  }
+}
+
+size_t IncrementalDbscan::Find(size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void IncrementalDbscan::Union(size_t a, size_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+}
+
+size_t IncrementalDbscan::Insert(const double* point) {
+  const size_t index = num_points_++;
+  coords_.insert(coords_.end(), point, point + dim_);
+  parent_.push_back(index);
+  rank_.push_back(0);
+
+  std::vector<size_t> neighbors;
+  Neighbors(point, /*exclude=*/SIZE_MAX, &neighbors);
+  grid_[KeyOf(point)].push_back(index);
+
+  neighbor_counts_.push_back(neighbors.size() + 1);  // + itself
+  core_.push_back(neighbor_counts_[index] >= params_.min_pts);
+
+  std::vector<size_t> second_order;
+  for (size_t n : neighbors) {
+    ++neighbor_counts_[n];
+    if (!core_[n] && neighbor_counts_[n] >= params_.min_pts) {
+      // The insertion promoted this neighbor to core: connect it to every
+      // core in ITS neighborhood (its edges existed but were dormant).
+      core_[n] = true;
+      Neighbors(PointAt(n), /*exclude=*/n, &second_order);
+      for (size_t m : second_order) {
+        if (core_[m]) Union(n, m);
+      }
+    }
+  }
+  if (core_[index]) {
+    for (size_t n : neighbors) {
+      if (core_[n]) Union(index, n);
+    }
+  }
+  return index;
+}
+
+void IncrementalDbscan::AddBlock(const PointBlock& block) {
+  DEMON_CHECK(block.dim() == dim_);
+  for (size_t i = 0; i < block.size(); ++i) Insert(block.PointAt(i));
+}
+
+DbscanResult IncrementalDbscan::Label() const {
+  DbscanResult result;
+  result.labels.assign(num_points_, -1);
+  // Dense cluster ids for core components, in order of first appearance
+  // by point index (deterministic).
+  std::unordered_map<size_t, int> component_to_cluster;
+  for (size_t i = 0; i < num_points_; ++i) {
+    if (!core_[i]) continue;
+    const size_t root = Find(i);
+    auto [it, inserted] = component_to_cluster.emplace(
+        root, static_cast<int>(component_to_cluster.size()));
+    result.labels[i] = it->second;
+  }
+  result.num_clusters = component_to_cluster.size();
+
+  // Border points: cluster of the lowest-indexed neighboring core.
+  std::vector<size_t> neighbors;
+  for (size_t i = 0; i < num_points_; ++i) {
+    if (core_[i]) continue;
+    Neighbors(PointAt(i), /*exclude=*/i, &neighbors);
+    size_t best = SIZE_MAX;
+    for (size_t n : neighbors) {
+      if (core_[n] && n < best) best = n;
+    }
+    if (best != SIZE_MAX) result.labels[i] = result.labels[best];
+  }
+  return result;
+}
+
+DbscanResult Dbscan(const std::vector<double>& coords, size_t dim,
+                    const DbscanParams& params) {
+  // The batch algorithm is the insert-only incremental one fed all points;
+  // both produce the canonical deterministic labeling, and the test suite
+  // additionally checks the incremental path against a brute-force
+  // neighborhood implementation.
+  IncrementalDbscan incremental(dim, params);
+  DEMON_CHECK(coords.size() % dim == 0);
+  for (size_t offset = 0; offset < coords.size(); offset += dim) {
+    incremental.Insert(coords.data() + offset);
+  }
+  return incremental.Label();
+}
+
+}  // namespace demon

@@ -1,0 +1,99 @@
+#ifndef DEMON_CLUSTERING_DBSCAN_H_
+#define DEMON_CLUSTERING_DBSCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/block.h"
+
+namespace demon {
+
+/// DBScan parameters [EKX95]: the eps-neighborhood radius and the core
+/// threshold (a point is core when its eps-neighborhood, itself included,
+/// holds at least min_pts points).
+struct DbscanParams {
+  double eps = 1.0;
+  size_t min_pts = 5;
+};
+
+/// \brief Result of a clustering: per-point labels (cluster id >= 0, or
+/// -1 for noise) and the number of clusters.
+struct DbscanResult {
+  std::vector<int> labels;
+  size_t num_clusters = 0;
+};
+
+/// \brief Batch DBScan over a flat point array (row-major, `dim` doubles
+/// per point). Border points are assigned to the cluster of their
+/// lowest-indexed neighboring core point, making the labeling
+/// deterministic and order-independent (classic DBScan leaves border
+/// assignment to visit order; pinning it lets the incremental variant be
+/// compared bit-for-bit).
+DbscanResult Dbscan(const std::vector<double>& coords, size_t dim,
+                    const DbscanParams& params);
+
+/// \brief Incremental DBScan under insertions (Ester et al. [EKS+98], the
+/// algorithm §3.2.4 cites): new points update neighbor counts, may turn
+/// neighbors into cores, and core-core edges only ever get *added* — so
+/// cluster merges are union-find unions and insertion is cheap. Deletion
+/// would require splitting connected components (the expensive direction
+/// the paper calls out); DEMON's answer is GEMM, which never deletes, so
+/// this implementation is insert-only and satisfies the GEMM maintainer
+/// concept via AddBlock.
+///
+/// After any sequence of insertions, Label() output equals batch Dbscan
+/// over the same points — the invariant the test suite checks.
+class IncrementalDbscan {
+ public:
+  IncrementalDbscan(size_t dim, const DbscanParams& params);
+
+  /// Inserts one point (dim doubles); returns its index.
+  size_t Insert(const double* point);
+
+  /// Inserts every point of a block (GEMM maintainer surface).
+  void AddBlock(const PointBlock& block);
+  void AddBlock(const std::shared_ptr<const PointBlock>& block) {
+    AddBlock(*block);
+  }
+
+  size_t NumPoints() const { return num_points_; }
+  size_t dim() const { return dim_; }
+
+  /// True if point `index` is currently a core point.
+  bool IsCore(size_t index) const { return core_[index]; }
+
+  /// Current labels (cluster id per point, -1 noise) and cluster count.
+  DbscanResult Label() const;
+
+ private:
+  using CellKey = uint64_t;
+
+  CellKey KeyOf(const double* point) const;
+  /// Indices of points within eps of `point` (excluding `exclude`,
+  /// pass SIZE_MAX for none).
+  void Neighbors(const double* point, size_t exclude,
+                 std::vector<size_t>* out) const;
+  const double* PointAt(size_t index) const {
+    return coords_.data() + index * dim_;
+  }
+
+  // Union-find over points (only cores participate in unions).
+  size_t Find(size_t x) const;
+  void Union(size_t a, size_t b);
+
+  size_t dim_;
+  DbscanParams params_;
+  std::vector<double> coords_;
+  size_t num_points_ = 0;
+  std::unordered_map<CellKey, std::vector<size_t>> grid_;
+  std::vector<size_t> neighbor_counts_;  // |N_eps(p)| including p
+  std::vector<bool> core_;
+  mutable std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_DBSCAN_H_

@@ -1,0 +1,109 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace demon {
+
+namespace {
+
+// k-means++ seeding: first centroid weighted-uniform, each next one with
+// probability proportional to weight * D(x)^2.
+std::vector<Point> SeedPlusPlus(const std::vector<Point>& points,
+                                const std::vector<double>& weights, size_t k,
+                                Rng* rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  AliasSampler first_sampler(weights);
+  centroids.push_back(points[first_sampler.Sample(rng)]);
+
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    const Point& latest = centroids.back();
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredDistance(points[i], latest));
+      total += weights[i] * d2[i];
+    }
+    if (total <= 0.0) {
+      // All mass sits on existing centroids; duplicate one.
+      centroids.push_back(centroids[rng->NextUint64(centroids.size())]);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= weights[i] * d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult WeightedKMeans(const std::vector<Point>& points,
+                            const std::vector<double>& weights, size_t k,
+                            uint64_t seed, size_t max_iterations) {
+  DEMON_CHECK(!points.empty());
+  DEMON_CHECK(k >= 1);
+  const size_t dim = points[0].size();
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(points.size(), 1.0);
+  DEMON_CHECK(w.size() == points.size());
+
+  Rng rng(seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, w, k, &rng);
+  result.assignments.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.cost = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double d2 = SquaredDistance(points[i], result.centroids[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+      result.cost += w[i] * best_d2;
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step (empty clusters keep their centroid).
+    std::vector<Point> sums(k, Point(dim, 0.0));
+    std::vector<double> mass(k, 0.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = result.assignments[i];
+      mass[c] += w[i];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += w[i] * points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (mass[c] <= 0.0) continue;
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / mass[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace demon

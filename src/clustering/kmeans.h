@@ -1,0 +1,36 @@
+#ifndef DEMON_CLUSTERING_KMEANS_H_
+#define DEMON_CLUSTERING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point.h"
+
+namespace demon {
+
+/// Result of a weighted k-means run.
+struct KMeansResult {
+  std::vector<Point> centroids;
+  /// Cluster index of each input point.
+  std::vector<int> assignments;
+  /// Weighted sum of squared distances to assigned centroids.
+  double cost = 0.0;
+  size_t iterations = 0;
+};
+
+/// \brief Weighted Lloyd's k-means with k-means++ seeding.
+///
+/// This is one of the "traditional clustering algorithms" BIRCH phase 2
+/// applies to the in-memory sub-clusters: each input point is a
+/// sub-cluster centroid weighted by its point count, so the result
+/// approximates k-means over the full data (paper §3.1.2, [ZRL96]).
+///
+/// `weights` may be empty (all ones). If there are fewer distinct points
+/// than k, surplus centroids duplicate existing ones and end up empty.
+KMeansResult WeightedKMeans(const std::vector<Point>& points,
+                            const std::vector<double>& weights, size_t k,
+                            uint64_t seed, size_t max_iterations = 100);
+
+}  // namespace demon
+
+#endif  // DEMON_CLUSTERING_KMEANS_H_

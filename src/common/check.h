@@ -1,0 +1,48 @@
+#ifndef DEMON_COMMON_CHECK_H_
+#define DEMON_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace demon::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "DEMON_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace demon::internal
+
+/// Aborts with a diagnostic if `cond` is false. For programming errors
+/// (invariant violations), not recoverable conditions.
+#define DEMON_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::demon::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (false)
+
+#define DEMON_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::demon::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                  \
+  } while (false)
+
+/// Aborts if a Status-returning expression fails. For examples/benchmarks
+/// where recovery is pointless.
+#define DEMON_CHECK_OK(expr)                                              \
+  do {                                                                    \
+    ::demon::Status demon_check_status_ = (expr);                         \
+    if (!demon_check_status_.ok()) {                                      \
+      ::demon::internal::CheckFailed(__FILE__, __LINE__, #expr,           \
+                                     demon_check_status_.ToString().c_str()); \
+    }                                                                     \
+  } while (false)
+
+#endif  // DEMON_COMMON_CHECK_H_

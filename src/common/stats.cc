@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace demon {
+
+double LogGamma(double x) {
+  DEMON_CHECK(x > 0.0);
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoefficients[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoefficients[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoefficients[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+
+// Series representation of P(a, x), valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  const double log_prefix = a * std::log(x) - x - LogGamma(a);
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 1000; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return std::exp(log_prefix) * sum;
+}
+
+// Continued-fraction representation of Q(a, x) = 1 - P(a, x), x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double log_prefix = a * std::log(x) - x - LogGamma(a);
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(log_prefix) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  DEMON_CHECK(a > 0.0);
+  DEMON_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double df) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquarePValue(double x, double df) {
+  return 1.0 - ChiSquareCdf(x, df);
+}
+
+ChiSquareTestResult ChiSquareHomogeneity(const std::vector<double>& counts1,
+                                         double n1,
+                                         const std::vector<double>& counts2,
+                                         double n2) {
+  DEMON_CHECK(counts1.size() == counts2.size());
+  ChiSquareTestResult result;
+  if (n1 <= 0.0 || n2 <= 0.0) return result;
+  int used = 0;
+  for (size_t i = 0; i < counts1.size(); ++i) {
+    const double pooled = (counts1[i] + counts2[i]) / (n1 + n2);
+    if (pooled <= 1e-12) continue;
+    const double expected1 = n1 * pooled;
+    const double expected2 = n2 * pooled;
+    const double d1 = counts1[i] - expected1;
+    const double d2 = counts2[i] - expected2;
+    result.statistic += d1 * d1 / expected1 + d2 * d2 / expected2;
+    ++used;
+  }
+  result.degrees_of_freedom = used > 1 ? used - 1 : 1;
+  result.p_value = ChiSquarePValue(result.statistic,
+                                   result.degrees_of_freedom);
+  return result;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace demon

@@ -1,0 +1,51 @@
+#ifndef DEMON_COMMON_STATS_H_
+#define DEMON_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace demon {
+
+/// \brief Natural log of the Gamma function (Lanczos approximation).
+/// Accurate to ~1e-13 for x > 0.
+double LogGamma(double x);
+
+/// \brief Regularized lower incomplete gamma function P(a, x).
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// \brief CDF of the chi-square distribution with `df` degrees of freedom
+/// evaluated at `x` (probability mass below `x`).
+double ChiSquareCdf(double x, double df);
+
+/// \brief Upper-tail p-value of a chi-square statistic: P(X >= x | df).
+double ChiSquarePValue(double x, double df);
+
+/// \brief Result of a two-sample chi-square homogeneity test over a set of
+/// regions (see deviation/significance.h for the DEMON use).
+struct ChiSquareTestResult {
+  double statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// P(observing a statistic at least this large under H0: same source).
+  double p_value = 1.0;
+};
+
+/// \brief Chi-square homogeneity test of two count vectors over the same
+/// regions. `counts1[i]` / `counts2[i]` are absolute counts of region i in
+/// each sample; `n1`, `n2` the sample sizes. Regions where both pooled
+/// expectations are ~0 are skipped. Returns df = (#used regions - 1),
+/// clamped to at least 1.
+ChiSquareTestResult ChiSquareHomogeneity(const std::vector<double>& counts1,
+                                         double n1,
+                                         const std::vector<double>& counts2,
+                                         double n2);
+
+/// \brief Mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// \brief Population variance of `values` (0 for fewer than 2 entries).
+double Variance(const std::vector<double>& values);
+
+}  // namespace demon
+
+#endif  // DEMON_COMMON_STATS_H_

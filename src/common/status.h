@@ -1,0 +1,143 @@
+#ifndef DEMON_COMMON_STATUS_H_
+#define DEMON_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace demon {
+
+/// \brief Error category for a failed operation.
+///
+/// The library does not use exceptions (database-style codebase); every
+/// fallible operation returns a `Status` or a `Result<T>`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kResourceExhausted = 9,
+};
+
+/// \brief Returns a short human-readable name for `code` (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error value describing the outcome of an operation.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a code plus message otherwise. Modeled on the Arrow/RocksDB idiom.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// A default-constructed `Result` is an internal error; always initialize
+/// from a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return status;`.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). The DEMON_ASSIGN_OR_RETURN macro and callers must
+  /// check `ok()` first.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Moves the value out; precondition: ok().
+  T ValueOrDie() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace demon
+
+/// Propagates a non-OK status to the caller.
+#define DEMON_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::demon::Status demon_status_ = (expr);       \
+    if (!demon_status_.ok()) return demon_status_; \
+  } while (false)
+
+#define DEMON_CONCAT_IMPL(x, y) x##y
+#define DEMON_CONCAT(x, y) DEMON_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define DEMON_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto DEMON_CONCAT(demon_result_, __LINE__) = (rexpr);           \
+  if (!DEMON_CONCAT(demon_result_, __LINE__).ok())                \
+    return DEMON_CONCAT(demon_result_, __LINE__).status();        \
+  lhs = std::move(DEMON_CONCAT(demon_result_, __LINE__)).value()
+
+#endif  // DEMON_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef DEMON_COMMON_TIMER_H_
+#define DEMON_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace demon {
+
+/// \brief Simple wall-clock stopwatch used by the benchmark harnesses to
+/// report per-phase times (detection vs. update, phase 1 vs. phase 2).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed time across multiple start/stop intervals,
+/// e.g. total detection time over a sequence of block additions.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  double total_seconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_COMMON_TIMER_H_

@@ -1,0 +1,24 @@
+#ifndef DEMON_CORE_BLOCK_OPS_H_
+#define DEMON_CORE_BLOCK_OPS_H_
+
+#include <vector>
+
+#include "data/block.h"
+
+namespace demon {
+
+/// \brief Merges consecutive blocks into one (paper §2.1: hierarchies on
+/// the time dimension are handled by "merging all blocks that fall under
+/// the same parent" — e.g. day blocks into a week block). The merged
+/// block keeps the first block's first TID and spans the union of the
+/// inputs' time intervals.
+TransactionBlock MergeBlocks(const std::vector<const TransactionBlock*>& blocks);
+
+/// \brief Coarsens a block sequence by merging every `factor` consecutive
+/// blocks (the last group may be smaller). factor >= 1.
+std::vector<TransactionBlock> CoarsenBlocks(
+    const std::vector<TransactionBlock>& blocks, size_t factor);
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_BLOCK_OPS_H_

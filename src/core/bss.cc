@@ -1,0 +1,130 @@
+#include "core/bss.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace demon {
+
+BlockSelectionSequence BlockSelectionSequence::WindowIndependent(
+    std::vector<bool> bits, bool tail_bit) {
+  return BlockSelectionSequence(Kind::kWindowIndependent, std::move(bits),
+                                tail_bit, 0, 0);
+}
+
+BlockSelectionSequence BlockSelectionSequence::AllBlocks() {
+  return WindowIndependent({}, /*tail_bit=*/true);
+}
+
+BlockSelectionSequence BlockSelectionSequence::Periodic(size_t period,
+                                                        size_t phase) {
+  DEMON_CHECK(period > 0);
+  DEMON_CHECK(phase < period);
+  return BlockSelectionSequence(Kind::kWindowIndependent, {}, false, period,
+                                phase);
+}
+
+BlockSelectionSequence BlockSelectionSequence::WindowRelative(
+    std::vector<bool> bits) {
+  DEMON_CHECK(!bits.empty());
+  return BlockSelectionSequence(Kind::kWindowRelative, std::move(bits), false,
+                                0, 0);
+}
+
+bool BlockSelectionSequence::SelectsBlock(BlockId id) const {
+  DEMON_CHECK(kind_ == Kind::kWindowIndependent);
+  DEMON_CHECK(id >= 1);
+  if (period_ > 0) return (id - 1) % period_ == phase_;
+  if (id <= bits_.size()) return bits_[id - 1];
+  return tail_bit_;
+}
+
+const std::vector<bool>& BlockSelectionSequence::window_bits() const {
+  DEMON_CHECK(kind_ == Kind::kWindowRelative);
+  return bits_;
+}
+
+std::vector<bool> BlockSelectionSequence::Project(BlockId t, size_t w,
+                                                  size_t k) const {
+  DEMON_CHECK(kind_ == Kind::kWindowIndependent);
+  DEMON_CHECK(k < w);
+  DEMON_CHECK(t >= w);
+  std::vector<bool> out(w, false);
+  for (size_t i = k; i < w; ++i) {
+    // Position i+1 of the window [t-w+1, t] is block t-w+1+i.
+    out[i] = SelectsBlock(static_cast<BlockId>(t - w + 1 + i));
+  }
+  return out;
+}
+
+std::vector<bool> BlockSelectionSequence::RightShift(
+    const std::vector<bool>& bits, size_t k) {
+  const size_t w = bits.size();
+  std::vector<bool> out(w, false);
+  for (size_t i = k; i < w; ++i) out[i] = bits[i - k];
+  return out;
+}
+
+Result<BlockSelectionSequence> BlockSelectionSequence::FromString(
+    const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty BSS specification");
+  }
+  if (text == "all") return AllBlocks();
+
+  const auto parse_bits = [](const std::string& s) -> Result<std::vector<bool>> {
+    std::vector<bool> bits;
+    for (char c : s) {
+      if (c == '0') {
+        bits.push_back(false);
+      } else if (c == '1') {
+        bits.push_back(true);
+      } else {
+        return Status::InvalidArgument("BSS bits must be 0/1, got: " + s);
+      }
+    }
+    if (bits.empty()) return Status::InvalidArgument("empty BSS bits");
+    return bits;
+  };
+
+  if (text.rfind("periodic:", 0) == 0) {
+    const size_t slash = text.find('/', 9);
+    if (slash == std::string::npos) {
+      return Status::InvalidArgument("expected periodic:<period>/<phase>");
+    }
+    const int period = std::atoi(text.substr(9, slash - 9).c_str());
+    const int phase = std::atoi(text.substr(slash + 1).c_str());
+    if (period <= 0 || phase < 0 || phase >= period) {
+      return Status::InvalidArgument("invalid period/phase in: " + text);
+    }
+    return Periodic(static_cast<size_t>(period), static_cast<size_t>(phase));
+  }
+  if (text.rfind("relative:", 0) == 0) {
+    DEMON_ASSIGN_OR_RETURN(std::vector<bool> bits,
+                           parse_bits(text.substr(9)));
+    return WindowRelative(std::move(bits));
+  }
+  if (text.size() > 3 && text.substr(text.size() - 3) == "...") {
+    DEMON_ASSIGN_OR_RETURN(std::vector<bool> bits,
+                           parse_bits(text.substr(0, text.size() - 3)));
+    const bool tail = bits.back();
+    return WindowIndependent(std::move(bits), tail);
+  }
+  DEMON_ASSIGN_OR_RETURN(std::vector<bool> bits, parse_bits(text));
+  return WindowIndependent(std::move(bits), false);
+}
+
+std::string BlockSelectionSequence::ToString() const {
+  std::string out = "<";
+  if (period_ > 0) {
+    out += "periodic:" + std::to_string(period_) + "/" +
+           std::to_string(phase_);
+  } else {
+    for (bool b : bits_) out += b ? '1' : '0';
+    if (kind_ == Kind::kWindowIndependent) out += tail_bit_ ? "1..." : "0...";
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace demon

@@ -1,0 +1,93 @@
+#ifndef DEMON_CORE_BSS_H_
+#define DEMON_CORE_BSS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/types.h"
+
+namespace demon {
+
+/// \brief A block selection sequence (paper Definition 2.1): which blocks
+/// of the evolving database participate in the mined model.
+///
+/// Two kinds exist, mirroring the paper:
+///  * window-independent: a bit per absolute block id (b_1, b_2, ...);
+///    "blocks added on Mondays". Meaningful under both data-span options.
+///  * window-relative: w bits, one per position inside the most recent
+///    window; "every other block within the past 30"; it slides with the
+///    window and only exists under the most-recent-window option.
+class BlockSelectionSequence {
+ public:
+  enum class Kind { kWindowIndependent, kWindowRelative };
+
+  /// Window-independent BSS from an explicit prefix of bits; block id t
+  /// (1-based) uses bits[t-1], ids beyond the prefix use `tail_bit`.
+  static BlockSelectionSequence WindowIndependent(std::vector<bool> bits,
+                                                  bool tail_bit = false);
+
+  /// Window-independent BSS selecting every block (the common b = <11...>).
+  static BlockSelectionSequence AllBlocks();
+
+  /// Window-independent periodic BSS: selects block ids t with
+  /// (t - 1) % period == phase — "every Monday" style patterns.
+  static BlockSelectionSequence Periodic(size_t period, size_t phase);
+
+  /// Window-relative BSS of exactly the window size; bits[i] selects the
+  /// (i+1)-th block of the most recent window (oldest first).
+  static BlockSelectionSequence WindowRelative(std::vector<bool> bits);
+
+  Kind kind() const { return kind_; }
+  bool is_window_relative() const { return kind_ == Kind::kWindowRelative; }
+
+  /// Window-independent only: whether block `id` is selected.
+  bool SelectsBlock(BlockId id) const;
+
+  /// Window-relative only: the per-position bits (size == window size).
+  const std::vector<bool>& window_bits() const;
+
+  /// The k-projection of a window-independent BSS onto a window of size w
+  /// ending at block t (paper §3.2.1): w bits whose first k are zero and
+  /// whose remaining entries are the bits of blocks t-w+1+k .. t.
+  std::vector<bool> Project(BlockId t, size_t w, size_t k) const;
+
+  /// The k-right-shift of a window-relative BSS (paper §3.2.2): slides the
+  /// bits forward by k, zero-padding on the left and truncating on the
+  /// right.
+  static std::vector<bool> RightShift(const std::vector<bool>& bits,
+                                      size_t k);
+
+  /// Renders "<1011...>" for experiment output (prefix only for
+  /// window-independent sequences).
+  std::string ToString() const;
+
+  /// Parses the textual forms used by the CLI and config files:
+  ///   "all"            -> AllBlocks()
+  ///   "10110"          -> WindowIndependent prefix, tail 0
+  ///   "10110..."       -> WindowIndependent prefix, tail = last bit
+  ///   "periodic:7/0"   -> Periodic(7, 0)
+  ///   "relative:101"   -> WindowRelative bits
+  static Result<BlockSelectionSequence> FromString(const std::string& text);
+
+ private:
+  BlockSelectionSequence(Kind kind, std::vector<bool> bits, bool tail_bit,
+                         size_t period, size_t phase)
+      : kind_(kind),
+        bits_(std::move(bits)),
+        tail_bit_(tail_bit),
+        period_(period),
+        phase_(phase) {}
+
+  Kind kind_;
+  std::vector<bool> bits_;
+  bool tail_bit_ = false;
+  /// period_ > 0 means periodic window-independent form.
+  size_t period_ = 0;
+  size_t phase_ = 0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_BSS_H_

@@ -1,0 +1,137 @@
+#include "core/demon_monitor.h"
+
+namespace demon {
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddUnrestrictedItemsetMonitor(
+    std::string name, double minsup, BlockSelectionSequence bss,
+    CountingStrategy strategy) {
+  if (minsup <= 0.0 || minsup >= 1.0) {
+    return Status::InvalidArgument("minsup must be in (0, 1)");
+  }
+  if (bss.is_window_relative()) {
+    return Status::InvalidArgument(
+        "window-relative BSS requires a most-recent-window monitor (§2.3)");
+  }
+  if (!snapshot_.empty()) {
+    return Status::FailedPrecondition(
+        "monitors must be registered before the first block");
+  }
+  BordersOptions options;
+  options.minsup = minsup;
+  options.num_items = num_items_;
+  options.strategy = strategy;
+  Monitor monitor;
+  monitor.kind = Kind::kUnrestrictedItemsets;
+  monitor.name = std::move(name);
+  monitor.bss = std::move(bss);
+  monitor.unrestricted = std::make_unique<BordersMaintainer>(options);
+  monitors_.push_back(std::move(monitor));
+  return monitors_.size() - 1;
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedItemsetMonitor(
+    std::string name, double minsup, size_t window,
+    BlockSelectionSequence bss, CountingStrategy strategy) {
+  if (minsup <= 0.0 || minsup >= 1.0) {
+    return Status::InvalidArgument("minsup must be in (0, 1)");
+  }
+  if (window == 0) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  if (bss.is_window_relative() && bss.window_bits().size() != window) {
+    return Status::InvalidArgument(
+        "window-relative BSS must have exactly `window` bits");
+  }
+  if (!snapshot_.empty()) {
+    return Status::FailedPrecondition(
+        "monitors must be registered before the first block");
+  }
+  BordersOptions options;
+  options.minsup = minsup;
+  options.num_items = num_items_;
+  options.strategy = strategy;
+  Monitor monitor;
+  monitor.kind = Kind::kWindowedItemsets;
+  monitor.name = std::move(name);
+  monitor.windowed = std::make_unique<
+      Gemm<BordersMaintainer, std::shared_ptr<const TransactionBlock>>>(
+      std::move(bss), window,
+      [options] { return BordersMaintainer(options); });
+  monitors_.push_back(std::move(monitor));
+  return monitors_.size() - 1;
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddPatternDetector(
+    std::string name, double minsup, double alpha, size_t window) {
+  if (minsup <= 0.0 || minsup >= 1.0 || alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("minsup and alpha must be in (0, 1)");
+  }
+  if (!snapshot_.empty()) {
+    return Status::FailedPrecondition(
+        "monitors must be registered before the first block");
+  }
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = minsup;
+  options.focus.num_items = num_items_;
+  options.alpha = alpha;
+  options.window_size = window;
+  Monitor monitor;
+  monitor.kind = Kind::kPatterns;
+  monitor.name = std::move(name);
+  monitor.patterns = std::make_unique<CompactSequenceMiner>(options);
+  monitors_.push_back(std::move(monitor));
+  return monitors_.size() - 1;
+}
+
+void DemonMonitor::AddBlock(TransactionBlock block) {
+  const BlockId id = snapshot_.Append(std::move(block));
+  const auto& stored = snapshot_.block(id);
+  for (Monitor& monitor : monitors_) {
+    switch (monitor.kind) {
+      case Kind::kUnrestrictedItemsets:
+        // The BSS gates which blocks reach the model (§3.1: if b_t = 0
+        // the model simply carries over).
+        if (monitor.bss.SelectsBlock(id)) {
+          monitor.unrestricted->AddBlock(stored);
+        }
+        break;
+      case Kind::kWindowedItemsets:
+        monitor.windowed->AddBlock(stored);
+        break;
+      case Kind::kPatterns:
+        monitor.patterns->AddBlock(stored);
+        break;
+    }
+  }
+}
+
+Result<const ItemsetModel*> DemonMonitor::ItemsetModelOf(
+    MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  const Monitor& monitor = monitors_[id];
+  switch (monitor.kind) {
+    case Kind::kUnrestrictedItemsets:
+      return &monitor.unrestricted->model();
+    case Kind::kWindowedItemsets:
+      return &monitor.windowed->current().model();
+    case Kind::kPatterns:
+      return Status::InvalidArgument("monitor is a pattern detector");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<const CompactSequenceMiner*> DemonMonitor::PatternsOf(
+    MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  if (monitors_[id].kind != Kind::kPatterns) {
+    return Status::InvalidArgument("monitor is not a pattern detector");
+  }
+  return monitors_[id].patterns.get();
+}
+
+Result<std::string> DemonMonitor::NameOf(MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  return monitors_[id].name;
+}
+
+}  // namespace demon

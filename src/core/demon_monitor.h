@@ -1,0 +1,101 @@
+#ifndef DEMON_CORE_DEMON_MONITOR_H_
+#define DEMON_CORE_DEMON_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aum.h"
+#include "core/bss.h"
+#include "core/gemm.h"
+#include "data/snapshot.h"
+#include "itemsets/borders.h"
+#include "patterns/compact_sequences.h"
+
+namespace demon {
+
+/// \brief The integration façade over the paper's problem space (its
+/// Figure 11): one evolving transaction database feeding any number of
+/// registered monitors —
+///
+///   * unrestricted-window itemset models under a window-independent BSS
+///     (BORDERS maintainer, §3.1),
+///   * most-recent-window itemset models under any BSS (GEMM, §3.2),
+///   * compact-sequence pattern detection (§4), optionally windowed.
+///
+/// `AddBlock` appends the block to the snapshot and routes it to every
+/// monitor; each monitor's model stays queryable between blocks. This is
+/// the object a deployment embeds; the underlying algorithm classes stay
+/// usable directly for finer control.
+class DemonMonitor {
+ public:
+  /// Identifies a registered monitor.
+  using MonitorId = size_t;
+
+  explicit DemonMonitor(size_t num_items) : num_items_(num_items) {}
+
+  /// Registers an unrestricted-window frequent-itemset monitor fed the
+  /// blocks selected by a window-independent `bss`.
+  Result<MonitorId> AddUnrestrictedItemsetMonitor(
+      std::string name, double minsup, BlockSelectionSequence bss,
+      CountingStrategy strategy = CountingStrategy::kEcut);
+
+  /// Registers a most-recent-window frequent-itemset monitor of size
+  /// `window` under any `bss` (GEMM-backed).
+  Result<MonitorId> AddWindowedItemsetMonitor(
+      std::string name, double minsup, size_t window,
+      BlockSelectionSequence bss,
+      CountingStrategy strategy = CountingStrategy::kEcut);
+
+  /// Registers a compact-sequence pattern detector (window 0 =
+  /// unrestricted).
+  Result<MonitorId> AddPatternDetector(std::string name, double minsup,
+                                       double alpha, size_t window = 0);
+
+  /// Appends the next block and updates every monitor.
+  void AddBlock(TransactionBlock block);
+
+  /// The itemset model of a registered itemset monitor.
+  Result<const ItemsetModel*> ItemsetModelOf(MonitorId id) const;
+
+  /// The pattern detector of a registered detector id.
+  Result<const CompactSequenceMiner*> PatternsOf(MonitorId id) const;
+
+  /// Name of a monitor (as registered).
+  Result<std::string> NameOf(MonitorId id) const;
+
+  const TransactionSnapshot& snapshot() const { return snapshot_; }
+  size_t num_items() const { return num_items_; }
+  size_t NumMonitors() const { return monitors_.size(); }
+
+ private:
+  enum class Kind { kUnrestrictedItemsets, kWindowedItemsets, kPatterns };
+
+  struct Monitor {
+    Kind kind;
+    std::string name;
+    BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks();
+    // Exactly one of these is set, per kind.
+    std::unique_ptr<BordersMaintainer> unrestricted;
+    std::unique_ptr<Gemm<BordersMaintainer,
+                         std::shared_ptr<const TransactionBlock>>> windowed;
+    std::unique_ptr<CompactSequenceMiner> patterns;
+  };
+
+  Status CheckId(MonitorId id) const {
+    if (id >= monitors_.size()) {
+      return Status::NotFound("no monitor with id " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+
+  size_t num_items_;
+  TransactionSnapshot snapshot_;
+  std::vector<Monitor> monitors_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_DEMON_MONITOR_H_

@@ -1,0 +1,141 @@
+#ifndef DEMON_CORE_GEMM_H_
+#define DEMON_CORE_GEMM_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/bss.h"
+#include "data/types.h"
+
+namespace demon {
+
+/// \brief GEMM, the GEneric Model Maintainer (paper §3.2): lifts any
+/// incremental model maintenance algorithm A_M for the unrestricted-window
+/// option to the most-recent-window option of size w, under both
+/// window-independent and window-relative block selection sequences.
+///
+/// `Maintainer` is any type with `void AddBlock(BlockPtr)` that evolves a
+/// model by absorbing blocks (e.g. BordersMaintainer, ClusterMaintainer).
+/// GEMM never deletes from a model: it keeps one maintainer per future
+/// window overlapping the current one (w models in total), each fed only
+/// the blocks its projected/right-shifted BSS selects. When a block
+/// arrives, the model whose window just became current needs exactly one
+/// A_M invocation — so the response time equals A_M's (§3.2.3) — and the
+/// remaining models can be brought up to date off-line.
+///
+/// The current model is `current().model()`; GEMM reports the time split
+/// between the time-critical update and the off-line ones.
+template <typename Maintainer, typename BlockPtr>
+class Gemm {
+ public:
+  using Factory = std::function<Maintainer()>;
+
+  /// `bss` may be window-independent or window-relative; a window-relative
+  /// BSS must have exactly `window_size` bits.
+  Gemm(BlockSelectionSequence bss, size_t window_size, Factory factory)
+      : bss_(std::move(bss)),
+        window_size_(window_size),
+        factory_(std::move(factory)) {
+    DEMON_CHECK(window_size_ >= 1);
+    if (bss_.is_window_relative()) {
+      DEMON_CHECK_MSG(bss_.window_bits().size() == window_size_,
+                      "window-relative BSS must have w bits");
+    }
+  }
+
+  /// Feeds the next block (ids are implicit: 1, 2, ... in call order).
+  void AddBlock(BlockPtr block) {
+    ++t_;
+    // Spawn the model for the future window starting at this block.
+    models_.push_back({static_cast<BlockId>(t_), factory_()});
+    // Retire the model whose window no longer overlaps the current one.
+    const BlockId current_start =
+        t_ >= window_size_ ? static_cast<BlockId>(t_ - window_size_ + 1) : 1;
+    while (!models_.empty() && models_.front().start < current_start) {
+      models_.pop_front();
+    }
+    DEMON_CHECK(!models_.empty());
+
+    // The new current model is updated first — this is the time-critical
+    // path whose latency is the response time of §3.2.3.
+    WallTimer timer;
+    if (ShouldInclude(models_.front().start)) {
+      models_.front().maintainer.AddBlock(block);
+    }
+    last_response_seconds_ = timer.ElapsedSeconds();
+
+    // The other models cover future windows; their updates are off-line.
+    timer.Reset();
+    for (size_t i = 1; i < models_.size(); ++i) {
+      if (ShouldInclude(models_[i].start)) {
+        models_[i].maintainer.AddBlock(block);
+      }
+    }
+    last_offline_seconds_ = timer.ElapsedSeconds();
+  }
+
+  /// The maintainer of the current window's model.
+  const Maintainer& current() const {
+    DEMON_CHECK(!models_.empty());
+    return models_.front().maintainer;
+  }
+
+  /// Number of models currently maintained (w once t >= w; paper §3.2).
+  size_t NumModels() const { return models_.size(); }
+
+  /// Latest block id fed in (t).
+  BlockId latest_block() const { return static_cast<BlockId>(t_); }
+
+  /// Seconds spent updating the current model on the last AddBlock — the
+  /// response time (at most one A_M invocation, §3.2.3).
+  double last_response_seconds() const { return last_response_seconds_; }
+
+  /// Seconds spent updating the future-window models on the last AddBlock
+  /// (deferrable to idle time, §3.2.3).
+  double last_offline_seconds() const { return last_offline_seconds_; }
+
+  /// The start block id of every maintained model, oldest first (exposed
+  /// for tests).
+  std::vector<BlockId> ModelStarts() const {
+    std::vector<BlockId> starts;
+    starts.reserve(models_.size());
+    for (const auto& m : models_) starts.push_back(m.start);
+    return starts;
+  }
+
+ private:
+  struct Entry {
+    BlockId start;  // first block of the (future) window this model covers
+    Maintainer maintainer;
+  };
+
+  /// Whether the just-arrived block t_ belongs to the model whose window
+  /// starts at `start`, according to the BSS.
+  bool ShouldInclude(BlockId start) const {
+    if (!bss_.is_window_relative()) {
+      // Window-independent: the bit of the absolute block id decides for
+      // every model alike (Algorithm 3.1's b_{w+1} test).
+      return bss_.SelectsBlock(static_cast<BlockId>(t_));
+    }
+    // Window-relative: the block's position within this model's window
+    // decides (the right-shift rule of §3.2.2).
+    const size_t position = t_ - start + 1;  // 1-based
+    DEMON_CHECK(position >= 1 && position <= window_size_);
+    return bss_.window_bits()[position - 1];
+  }
+
+  BlockSelectionSequence bss_;
+  size_t window_size_;
+  Factory factory_;
+  std::deque<Entry> models_;
+  size_t t_ = 0;
+  double last_response_seconds_ = 0.0;
+  double last_offline_seconds_ = 0.0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_GEMM_H_

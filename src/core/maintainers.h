@@ -1,0 +1,61 @@
+#ifndef DEMON_CORE_MAINTAINERS_H_
+#define DEMON_CORE_MAINTAINERS_H_
+
+#include <memory>
+#include <utility>
+
+#include "clustering/birch.h"
+#include "data/block.h"
+#include "itemsets/borders.h"
+
+namespace demon {
+
+/// \brief Adapter turning BIRCH+ into a GEMM maintainer: the sub-cluster
+/// set is incrementally maintainable under insertions (paper §3.1.2), and
+/// GEMM supplies the most-recent-window semantics BIRCH cannot provide
+/// itself (sub-clusters are not maintainable under deletions, §3.2.4).
+class ClusterMaintainer {
+ public:
+  using BlockPtr = std::shared_ptr<const PointBlock>;
+
+  ClusterMaintainer(size_t dim, const BirchOptions& options)
+      : birch_(dim, options) {}
+
+  void AddBlock(const BlockPtr& block) { birch_.AddBlock(*block); }
+
+  const ClusterModel& model() const { return birch_.model(); }
+  const BirchPlus& birch() const { return birch_; }
+
+ private:
+  BirchPlus birch_;
+};
+
+/// \brief Trivial maintainer counting records and item occurrences; used
+/// by tests to check GEMM's block-routing logic independently of any
+/// mining algorithm (GEMM is generic over the model class, §3.2).
+class CountingMaintainer {
+ public:
+  using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+  void AddBlock(const BlockPtr& block) {
+    records_ += block->size();
+    occurrences_ += block->TotalItemOccurrences();
+    block_ids_.push_back(block->info().id);
+  }
+
+  uint64_t records() const { return records_; }
+  uint64_t occurrences() const { return occurrences_; }
+  const std::vector<BlockId>& block_ids() const { return block_ids_; }
+
+ private:
+  uint64_t records_ = 0;
+  uint64_t occurrences_ = 0;
+  std::vector<BlockId> block_ids_;
+};
+
+// BordersMaintainer already satisfies the GEMM maintainer concept
+// (AddBlock(std::shared_ptr<const TransactionBlock>)); no adapter needed.
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_MAINTAINERS_H_

@@ -1,0 +1,120 @@
+#ifndef DEMON_DATA_BLOCK_H_
+#define DEMON_DATA_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "data/point.h"
+#include "data/transaction.h"
+#include "data/types.h"
+
+namespace demon {
+
+/// \brief Descriptive metadata attached to a block: its position in the
+/// evolving database plus the (application-level) time interval it spans.
+/// The trace experiments (paper §5.3) label blocks with wall-clock windows
+/// like "[8AM-12PM] Mon 9-9-1996"; other workloads leave times at zero.
+struct BlockInfo {
+  BlockId id = kInvalidBlockId;
+  /// Inclusive start / exclusive end of the time interval covered, in
+  /// seconds since an application-defined epoch.
+  int64_t start_time = 0;
+  int64_t end_time = 0;
+  /// Free-form label used in experiment output (e.g. "Mon 12:00-18:00").
+  std::string label;
+};
+
+/// \brief A block of market-basket transactions — the unit of systematic
+/// evolution (paper §2.1). Immutable once constructed.
+///
+/// TIDs are implicit and globally increasing: the k-th transaction has TID
+/// `first_tid() + k`. This keeps per-block TID-lists sorted and lets the
+/// additivity property of §3.1.1 hold by construction.
+class TransactionBlock {
+ public:
+  TransactionBlock() = default;
+
+  TransactionBlock(std::vector<Transaction> transactions, Tid first_tid)
+      : transactions_(std::move(transactions)), first_tid_(first_tid) {}
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  Tid first_tid() const { return first_tid_; }
+  /// TID of the k-th transaction in this block.
+  Tid TidAt(size_t k) const {
+    DEMON_CHECK(k < transactions_.size());
+    return first_tid_ + k;
+  }
+
+  const BlockInfo& info() const { return info_; }
+  BlockInfo* mutable_info() { return &info_; }
+
+  /// Total number of item occurrences, i.e. the size of the block stored in
+  /// transactional format (unit: item slots). The TID-list representation
+  /// of the block occupies exactly the same number of slots (paper §3.1.1).
+  size_t TotalItemOccurrences() const {
+    size_t total = 0;
+    for (const Transaction& t : transactions_) total += t.size();
+    return total;
+  }
+
+ private:
+  std::vector<Transaction> transactions_;
+  Tid first_tid_ = 0;
+  BlockInfo info_;
+};
+
+/// \brief A block of d-dimensional points for the clustering experiments.
+/// Points are stored row-major in a flat array. Immutable once constructed.
+class PointBlock {
+ public:
+  PointBlock() = default;
+
+  PointBlock(std::vector<double> coords, size_t dim)
+      : coords_(std::move(coords)), dim_(dim) {
+    DEMON_CHECK(dim_ > 0);
+    DEMON_CHECK(coords_.size() % dim_ == 0);
+  }
+
+  /// Builds a block from individual points (all must share `dim`).
+  static PointBlock FromPoints(const std::vector<Point>& points, size_t dim) {
+    std::vector<double> coords;
+    coords.reserve(points.size() * dim);
+    for (const Point& p : points) {
+      DEMON_CHECK(p.size() == dim);
+      coords.insert(coords.end(), p.begin(), p.end());
+    }
+    return PointBlock(std::move(coords), dim);
+  }
+
+  size_t size() const { return dim_ == 0 ? 0 : coords_.size() / dim_; }
+  bool empty() const { return coords_.empty(); }
+  size_t dim() const { return dim_; }
+
+  /// Pointer to the coordinates of the k-th point (dim() doubles).
+  const double* PointAt(size_t k) const {
+    DEMON_CHECK(k < size());
+    return coords_.data() + k * dim_;
+  }
+
+  const std::vector<double>& coords() const { return coords_; }
+
+  const BlockInfo& info() const { return info_; }
+  BlockInfo* mutable_info() { return &info_; }
+
+ private:
+  std::vector<double> coords_;
+  size_t dim_ = 0;
+  BlockInfo info_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATA_BLOCK_H_

@@ -1,0 +1,40 @@
+#ifndef DEMON_DATA_POINT_H_
+#define DEMON_DATA_POINT_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace demon {
+
+/// A d-dimensional point. Kept as a plain vector: the clustering substrate
+/// stores bulk data in flat PointBlock arrays, and `Point` is only used at
+/// API boundaries (centroids, generator output).
+using Point = std::vector<double>;
+
+/// \brief Squared Euclidean distance between two points of dimension `dim`
+/// given as raw coordinate arrays.
+inline double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// \brief Squared Euclidean distance between two points.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  DEMON_CHECK(a.size() == b.size());
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+/// \brief Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace demon
+
+#endif  // DEMON_DATA_POINT_H_

@@ -1,0 +1,65 @@
+#ifndef DEMON_DATA_TRANSACTION_H_
+#define DEMON_DATA_TRANSACTION_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "data/types.h"
+
+namespace demon {
+
+/// \brief A market-basket transaction: a sorted, duplicate-free set of
+/// items. The transaction's TID is implicit: a transaction stored at offset
+/// `k` of a block with first TID `f` has TID `f + k`.
+class Transaction {
+ public:
+  Transaction() = default;
+
+  /// Takes ownership of `items`, sorting and deduplicating them.
+  explicit Transaction(std::vector<Item> items) : items_(std::move(items)) {
+    Normalize();
+  }
+
+  Transaction(std::initializer_list<Item> items)
+      : Transaction(std::vector<Item>(items)) {}
+
+  const std::vector<Item>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// True if this transaction contains item `x` (binary search).
+  bool Contains(Item x) const {
+    return std::binary_search(items_.begin(), items_.end(), x);
+  }
+
+  /// True if this transaction contains every item of the sorted range
+  /// [first, last) — i.e. the transaction supports that itemset.
+  template <typename It>
+  bool ContainsAll(It first, It last) const {
+    auto pos = items_.begin();
+    for (; first != last; ++first) {
+      pos = std::lower_bound(pos, items_.end(), *first);
+      if (pos == items_.end() || *pos != *first) return false;
+      ++pos;
+    }
+    return true;
+  }
+
+  bool operator==(const Transaction& other) const {
+    return items_ == other.items_;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<Item> items_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATA_TRANSACTION_H_

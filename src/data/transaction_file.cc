@@ -1,0 +1,87 @@
+#include "data/transaction_file.h"
+
+namespace demon {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x44454d4f4e545831ULL;  // "DEMONTX1"
+
+}  // namespace
+
+Status TransactionFile::Write(const TransactionBlock& block,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const uint64_t count = block.size();
+  bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (const Transaction& t : block.transactions()) {
+    if (!ok) break;
+    const uint32_t length = static_cast<uint32_t>(t.size());
+    ok = std::fwrite(&length, sizeof(length), 1, f) == 1 &&
+         (length == 0 ||
+          std::fwrite(t.items().data(), sizeof(Item), length, f) == length);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<TransactionBlock> TransactionFile::Read(const std::string& path,
+                                               Tid first_tid) {
+  DEMON_ASSIGN_OR_RETURN(auto scanner, TransactionFileScanner::Open(path));
+  std::vector<Transaction> transactions;
+  transactions.reserve(scanner->num_transactions());
+  DEMON_RETURN_NOT_OK(scanner->Scan(
+      [&transactions](const Transaction& t) { transactions.push_back(t); }));
+  return TransactionBlock(std::move(transactions), first_tid);
+}
+
+TransactionFileScanner::~TransactionFileScanner() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<TransactionFileScanner>> TransactionFileScanner::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto scanner = std::unique_ptr<TransactionFileScanner>(
+      new TransactionFileScanner());
+  scanner->file_ = f;
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic ||
+      std::fread(&count, sizeof(count), 1, f) != 1) {
+    return Status::IoError("corrupt transaction file: " + path);
+  }
+  scanner->num_transactions_ = count;
+  scanner->position_ = 0;
+  return scanner;
+}
+
+Status TransactionFileScanner::Rewind() {
+  if (std::fseek(file_, 2 * sizeof(uint64_t), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TransactionFileScanner::Next(Transaction* out) {
+  if (position_ >= num_transactions_) return false;
+  uint32_t length = 0;
+  if (std::fread(&length, sizeof(length), 1, file_) != 1) {
+    return Status::IoError("short read (length)");
+  }
+  std::vector<Item> items(length);
+  if (length > 0 &&
+      std::fread(items.data(), sizeof(Item), length, file_) != length) {
+    return Status::IoError("short read (items)");
+  }
+  bytes_read_ += sizeof(length) + length * sizeof(Item);
+  *out = Transaction(std::move(items));
+  ++position_;
+  return true;
+}
+
+}  // namespace demon

@@ -1,0 +1,72 @@
+#ifndef DEMON_DATA_TRANSACTION_FILE_H_
+#define DEMON_DATA_TRANSACTION_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/block.h"
+
+namespace demon {
+
+/// \brief Sequential on-disk format for a transaction block: the layout a
+/// full scan (PT-Scan) streams through. Together with TidListFile this
+/// models the paper's storage choices — transactional format for scans,
+/// TID-lists as the alternative representation (§3.1.1 argues the lists
+/// can replace it outright).
+class TransactionFile {
+ public:
+  /// Writes the block's transactions (items only; TIDs are implicit).
+  static Status Write(const TransactionBlock& block, const std::string& path);
+
+  /// Reads the whole file back into a block with the given first TID.
+  static Result<TransactionBlock> Read(const std::string& path,
+                                       Tid first_tid = 0);
+};
+
+/// \brief Streaming reader over a TransactionFile: visits each
+/// transaction without materializing the block, tracking bytes read.
+class TransactionFileScanner {
+ public:
+  ~TransactionFileScanner();
+
+  TransactionFileScanner(const TransactionFileScanner&) = delete;
+  TransactionFileScanner& operator=(const TransactionFileScanner&) = delete;
+
+  static Result<std::unique_ptr<TransactionFileScanner>> Open(
+      const std::string& path);
+
+  /// Calls `fn(transaction)` for every transaction, in file order. May be
+  /// called repeatedly (rewinds first).
+  template <typename Fn>
+  Status Scan(Fn&& fn) {
+    DEMON_RETURN_NOT_OK(Rewind());
+    Transaction transaction;
+    for (;;) {
+      DEMON_ASSIGN_OR_RETURN(const bool more, Next(&transaction));
+      if (!more) break;
+      fn(transaction);
+    }
+    return Status::OK();
+  }
+
+  size_t num_transactions() const { return num_transactions_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  TransactionFileScanner() = default;
+
+  Status Rewind();
+  /// Reads the next transaction; false when the file is exhausted.
+  Result<bool> Next(Transaction* out);
+
+  std::FILE* file_ = nullptr;
+  size_t num_transactions_ = 0;
+  size_t position_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATA_TRANSACTION_FILE_H_

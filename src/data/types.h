@@ -1,0 +1,25 @@
+#ifndef DEMON_DATA_TYPES_H_
+#define DEMON_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace demon {
+
+/// An item literal (paper §3: I = {i1, ..., in}). Items are dense integers
+/// in [0, num_items).
+using Item = uint32_t;
+
+/// A transaction identifier. TIDs increase in arrival order across the
+/// whole database (paper §3.1.1), so per-block TID-lists stay sorted.
+using Tid = uint64_t;
+
+/// Identifier of a block in a systematically evolving database (paper
+/// §2.1). Blocks are numbered 1, 2, ... in arrival order; 0 is reserved as
+/// an invalid id.
+using BlockId = uint32_t;
+
+inline constexpr BlockId kInvalidBlockId = 0;
+
+}  // namespace demon
+
+#endif  // DEMON_DATA_TYPES_H_

@@ -1,0 +1,69 @@
+#include "datagen/cluster_generator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace demon {
+
+std::string ClusterGenParams::ToString() const {
+  std::string out;
+  if (num_points % 1000000 == 0 && num_points >= 1000000) {
+    out = std::to_string(num_points / 1000000) + "M";
+  } else if (num_points % 1000 == 0 && num_points >= 1000) {
+    out = std::to_string(num_points / 1000) + "K";
+  } else {
+    out = std::to_string(num_points);
+  }
+  out += "." + std::to_string(num_clusters) + "c." + std::to_string(dim) + "d";
+  return out;
+}
+
+ClusterGenerator::ClusterGenerator(const ClusterGenParams& params)
+    : params_(params), rng_(params.seed) {
+  DEMON_CHECK(params_.num_clusters >= 1);
+  DEMON_CHECK(params_.dim >= 1);
+  DEMON_CHECK(params_.min_sigma > 0.0);
+  DEMON_CHECK(params_.max_sigma >= params_.min_sigma);
+  DEMON_CHECK(params_.noise_fraction >= 0.0 && params_.noise_fraction < 1.0);
+
+  centers_.reserve(params_.num_clusters);
+  sigmas_.reserve(params_.num_clusters);
+  weights_.reserve(params_.num_clusters);
+  for (size_t k = 0; k < params_.num_clusters; ++k) {
+    Point center(params_.dim);
+    for (double& c : center) c = rng_.NextDouble() * params_.domain_size;
+    centers_.push_back(std::move(center));
+    sigmas_.push_back(params_.min_sigma +
+                      rng_.NextDouble() *
+                          (params_.max_sigma - params_.min_sigma));
+    // Mildly uneven mixing weights.
+    weights_.push_back(0.5 + rng_.NextDouble());
+  }
+}
+
+PointBlock ClusterGenerator::NextBlock(size_t n) {
+  AliasSampler sampler(weights_);
+  std::vector<double> coords;
+  coords.reserve(n * params_.dim);
+  labels_.reserve(labels_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng_.NextBernoulli(params_.noise_fraction)) {
+      for (size_t d = 0; d < params_.dim; ++d) {
+        coords.push_back(rng_.NextDouble() * params_.domain_size);
+      }
+      labels_.push_back(-1);
+      continue;
+    }
+    const size_t k = sampler.Sample(&rng_);
+    const Point& center = centers_[k];
+    const double sigma = sigmas_[k];
+    for (size_t d = 0; d < params_.dim; ++d) {
+      coords.push_back(rng_.NextGaussian(center[d], sigma));
+    }
+    labels_.push_back(static_cast<int>(k));
+  }
+  return PointBlock(std::move(coords), params_.dim);
+}
+
+}  // namespace demon

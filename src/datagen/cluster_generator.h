@@ -1,0 +1,70 @@
+#ifndef DEMON_DATAGEN_CLUSTER_GENERATOR_H_
+#define DEMON_DATAGEN_CLUSTER_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/block.h"
+#include "data/point.h"
+
+namespace demon {
+
+/// \brief Parameters of the synthetic cluster generator used for the BIRCH+
+/// experiments (paper §5.2, generator of Agrawal et al. [AGGR98]).
+///
+/// The paper's naming `N M.Kc.dd` maps to `num_points` (N millions),
+/// `num_clusters` (K), `dim` (d). Noise points are sampled uniformly over
+/// the domain (the paper perturbs with 2% uniform noise).
+struct ClusterGenParams {
+  size_t num_points = 100000;
+  size_t num_clusters = 50;
+  size_t dim = 5;
+  /// Coordinates of cluster centers are uniform in [0, domain_size]^d.
+  double domain_size = 100.0;
+  /// Per-cluster standard deviations are uniform in [min_sigma, max_sigma].
+  double min_sigma = 0.5;
+  double max_sigma = 2.0;
+  /// Fraction of points drawn uniformly over the domain instead of from a
+  /// cluster (paper uses 0.02).
+  double noise_fraction = 0.0;
+  uint64_t seed = 42;
+
+  /// Paper-style name, e.g. "100K.50c.5d".
+  std::string ToString() const;
+};
+
+/// \brief Streaming generator of Gaussian clusters with uniform noise.
+/// The cluster layout (centers, sigmas, mixing weights) is fixed at
+/// construction so successive blocks come from the same distribution —
+/// exactly the setting BIRCH+ assumes when resuming phase 1.
+class ClusterGenerator {
+ public:
+  explicit ClusterGenerator(const ClusterGenParams& params);
+
+  /// Generates the next `n` points as a block.
+  PointBlock NextBlock(size_t n);
+
+  /// Generates all `params.num_points` points as one block.
+  PointBlock GenerateAll() { return NextBlock(params_.num_points); }
+
+  const ClusterGenParams& params() const { return params_; }
+  const std::vector<Point>& centers() const { return centers_; }
+  const std::vector<double>& sigmas() const { return sigmas_; }
+
+  /// Index of the true cluster (or -1 for noise) of every point generated
+  /// so far, in generation order. Used by tests to score clusterings.
+  const std::vector<int>& true_labels() const { return labels_; }
+
+ private:
+  ClusterGenParams params_;
+  Rng rng_;
+  std::vector<Point> centers_;
+  std::vector<double> sigmas_;
+  std::vector<double> weights_;
+  std::vector<int> labels_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATAGEN_CLUSTER_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "datagen/labeled_generator.h"
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+// Builds a random concept tree: internal nodes split on a random unused
+// attribute; leaves get a random class (stored as a unit count vector).
+void BuildConcept(DecisionTree::Node* node, const LabeledSchema& schema,
+                  std::vector<bool> used, size_t depth, size_t max_depth,
+                  Rng* rng) {
+  size_t unused = 0;
+  for (bool u : used) unused += u ? 0 : 1;
+  if (depth >= max_depth || unused == 0) {
+    node->split_attribute = -1;
+    node->class_counts.assign(schema.num_classes, 0.0);
+    node->class_counts[rng->NextUint64(schema.num_classes)] = 1.0;
+    return;
+  }
+  size_t pick = rng->NextUint64(unused);
+  size_t attribute = 0;
+  for (size_t a = 0; a < used.size(); ++a) {
+    if (used[a]) continue;
+    if (pick == 0) {
+      attribute = a;
+      break;
+    }
+    --pick;
+  }
+  used[attribute] = true;
+  node->split_attribute = static_cast<int>(attribute);
+  node->children.resize(schema.attribute_cardinalities[attribute]);
+  for (auto& child : node->children) {
+    child = std::make_unique<DecisionTree::Node>();
+    BuildConcept(child.get(), schema, used, depth + 1, max_depth, rng);
+  }
+}
+
+}  // namespace
+
+LabeledGenerator::LabeledGenerator(const Params& params)
+    : params_(params), rng_(params.seed), concept_(params.schema) {
+  DEMON_CHECK(params_.schema.num_attributes() > 0);
+  DEMON_CHECK(params_.schema.num_classes >= 2);
+  DEMON_CHECK(params_.label_noise >= 0.0 && params_.label_noise < 1.0);
+  std::vector<bool> used(params_.schema.num_attributes(), false);
+  BuildConcept(concept_.mutable_root(), params_.schema, used, 1,
+               params_.concept_depth, &rng_);
+  concept_.AssignLeafIds();
+}
+
+uint32_t LabeledGenerator::TrueLabel(
+    const std::vector<uint32_t>& attributes) const {
+  LabeledRecord probe;
+  probe.attributes = attributes;
+  const DecisionTree::Node* leaf = concept_.Route(probe);
+  for (uint32_t c = 0; c < leaf->class_counts.size(); ++c) {
+    if (leaf->class_counts[c] > 0.0) return c;
+  }
+  return 0;
+}
+
+LabeledBlock LabeledGenerator::NextBlock(size_t n) {
+  std::vector<LabeledRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LabeledRecord record;
+    record.attributes.resize(params_.schema.num_attributes());
+    for (size_t a = 0; a < record.attributes.size(); ++a) {
+      record.attributes[a] = static_cast<uint32_t>(
+          rng_.NextUint64(params_.schema.attribute_cardinalities[a]));
+    }
+    record.label = TrueLabel(record.attributes);
+    if (rng_.NextBernoulli(params_.label_noise)) {
+      record.label = static_cast<uint32_t>(
+          rng_.NextUint64(params_.schema.num_classes));
+    }
+    records.push_back(std::move(record));
+  }
+  return LabeledBlock(params_.schema, std::move(records));
+}
+
+}  // namespace demon

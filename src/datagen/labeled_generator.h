@@ -1,0 +1,51 @@
+#ifndef DEMON_DATAGEN_LABELED_GENERATOR_H_
+#define DEMON_DATAGEN_LABELED_GENERATOR_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "dtree/decision_tree.h"
+#include "dtree/labeled_block.h"
+
+namespace demon {
+
+/// \brief Synthetic labeled-data generator for the decision-tree model
+/// class: attribute vectors are uniform over the schema; labels come from
+/// a hidden random decision tree ("concept") plus label noise — the
+/// classic setup of the incremental-classifier literature (and of the
+/// generators in [GGRL99b]).
+///
+/// Two generators with different seeds embody different concepts, which
+/// is how concept drift between blocks is simulated.
+class LabeledGenerator {
+ public:
+  struct Params {
+    LabeledSchema schema;
+    /// Depth of the hidden concept tree (root = depth 1).
+    size_t concept_depth = 4;
+    /// Probability a record's label is flipped to a random class.
+    double label_noise = 0.05;
+    uint64_t seed = 42;
+  };
+
+  explicit LabeledGenerator(const Params& params);
+
+  /// Generates the next `n` records.
+  LabeledBlock NextBlock(size_t n);
+
+  /// Noise-free label of an attribute vector under the hidden concept.
+  uint32_t TrueLabel(const std::vector<uint32_t>& attributes) const;
+
+  const Params& params() const { return params_; }
+  /// The hidden concept, exposed for tests.
+  const DecisionTree& concept_tree() const { return concept_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  DecisionTree concept_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATAGEN_LABELED_GENERATOR_H_

@@ -1,0 +1,85 @@
+#ifndef DEMON_DATAGEN_QUEST_GENERATOR_H_
+#define DEMON_DATAGEN_QUEST_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/block.h"
+#include "data/types.h"
+
+namespace demon {
+
+/// \brief Parameters of the IBM Quest synthetic market-basket generator
+/// (Agrawal & Srikant, VLDB'94), the workload used throughout the paper's
+/// itemset experiments (§5.1).
+///
+/// The paper's dataset naming `N M.tl L.|I|I.Np pats.p plen` maps to:
+/// `num_transactions` (N millions), `avg_transaction_len` (tl),
+/// `num_items` (|I| thousands), `num_patterns` (Np thousands),
+/// `avg_pattern_len` (p).
+struct QuestParams {
+  /// Number of transactions to generate (|D|).
+  size_t num_transactions = 100000;
+  /// Average transaction length |T| (Poisson distributed).
+  double avg_transaction_len = 20.0;
+  /// Size of the item universe N.
+  size_t num_items = 1000;
+  /// Number of maximal potentially-large itemsets |L|.
+  size_t num_patterns = 4000;
+  /// Average pattern length |I| (Poisson distributed, minimum 1).
+  double avg_pattern_len = 4.0;
+  /// Mean fraction of a pattern's items drawn from its predecessor
+  /// (exponentially distributed per pattern). AS94 default: 0.5.
+  double correlation = 0.5;
+  /// Corruption level distribution N(mean, sd) clipped to [0, 1).
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.1;
+  uint64_t seed = 42;
+
+  /// Paper-style name, e.g. "100K.20L.1I.4pats.4plen".
+  std::string ToString() const;
+};
+
+/// \brief Streaming Quest generator. The pattern table (itemsets, weights,
+/// corruption levels) is fixed at construction; transactions are drawn from
+/// it on demand, so a database can be evolved block by block from one
+/// generator, or blocks with *different* distribution parameters can come
+/// from distinct generators sharing an item universe (as in Figs 4-7, where
+/// the second block uses 8pats.4plen or 4pats.5plen).
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(const QuestParams& params);
+
+  /// Generates the next `n` transactions as a block whose first TID is
+  /// `first_tid`. Thread-compatible (single generator, sequential calls).
+  TransactionBlock NextBlock(size_t n, Tid first_tid);
+
+  /// Generates all `params.num_transactions` transactions as one block.
+  TransactionBlock GenerateAll(Tid first_tid = 0) {
+    return NextBlock(params_.num_transactions, first_tid);
+  }
+
+  const QuestParams& params() const { return params_; }
+
+  /// The generated pattern table (exposed for tests).
+  const std::vector<std::vector<Item>>& patterns() const { return patterns_; }
+
+ private:
+  Transaction NextTransaction();
+
+  QuestParams params_;
+  Rng rng_;
+  std::vector<std::vector<Item>> patterns_;
+  std::vector<double> corruption_;
+  std::unique_ptr<AliasSampler> pattern_sampler_;
+  /// Pattern carried over to the next transaction when it did not fit
+  /// (AS94: "assigned to the next transaction half the time").
+  std::vector<Item> carry_over_;
+  bool has_carry_over_ = false;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DATAGEN_QUEST_GENERATOR_H_

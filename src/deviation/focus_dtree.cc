@@ -1,0 +1,58 @@
+#include "deviation/focus_dtree.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace demon {
+
+DecisionTree FocusDecisionTrees::MineModel(const LabeledBlock& block) const {
+  DTreeMaintainer maintainer(block.schema(), options_.dtree);
+  maintainer.AddBlock(std::shared_ptr<const LabeledBlock>(
+      std::shared_ptr<const LabeledBlock>(), &block));
+  return std::move(maintainer).TakeModel();
+}
+
+DeviationResult FocusDecisionTrees::Compare(const LabeledBlock& d1,
+                                            const LabeledBlock& d2) const {
+  const DecisionTree m1 = MineModel(d1);
+  const DecisionTree m2 = MineModel(d2);
+  return CompareWithModels(d1, m1, d2, m2);
+}
+
+DeviationResult FocusDecisionTrees::CompareWithModels(
+    const LabeledBlock& d1, const DecisionTree& m1, const LabeledBlock& d2,
+    const DecisionTree& m2) const {
+  DEMON_CHECK(m1.root() != nullptr && m2.root() != nullptr);
+  const size_t leaves2 = m2.NumLeaves();
+  const size_t classes = d1.schema().num_classes;
+
+  // GCR cell of a record: (leaf in T1, leaf in T2, class). Dense ids via a
+  // map since the overlay is usually much smaller than leaves1 x leaves2.
+  std::unordered_map<uint64_t, size_t> cell_ids;
+  std::vector<double> counts1;
+  std::vector<double> counts2;
+  const auto tally = [&](const LabeledBlock& block, bool first) {
+    for (const LabeledRecord& record : block.records()) {
+      const uint64_t key =
+          (static_cast<uint64_t>(m1.Route(record)->leaf_id) * leaves2 +
+           static_cast<uint64_t>(m2.Route(record)->leaf_id)) *
+              classes +
+          record.label;
+      auto [it, inserted] = cell_ids.emplace(key, cell_ids.size());
+      if (inserted) {
+        counts1.push_back(0.0);
+        counts2.push_back(0.0);
+      }
+      (first ? counts1 : counts2)[it->second] += 1.0;
+    }
+  };
+  tally(d1, true);
+  tally(d2, false);
+
+  return SummarizeRegionCounts(counts1, static_cast<double>(d1.size()),
+                               counts2, static_cast<double>(d2.size()),
+                               /*scanned=*/true);
+}
+
+}  // namespace demon

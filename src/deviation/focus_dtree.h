@@ -1,0 +1,50 @@
+#ifndef DEMON_DEVIATION_FOCUS_DTREE_H_
+#define DEMON_DEVIATION_FOCUS_DTREE_H_
+
+#include "deviation/focus.h"
+#include "dtree/decision_tree.h"
+#include "dtree/dtree_maintainer.h"
+
+namespace demon {
+
+/// \brief FOCUS instantiated with decision-tree models — the third model
+/// class of [GGRL99a] ("frequent itemsets, decision tree classifiers, and
+/// clusters").
+///
+/// Structural component: the leaf partition of attribute space. The
+/// greatest common refinement of two trees is their overlay — the
+/// partition whose cells are intersections of a T1 leaf region with a T2
+/// leaf region. Rather than intersecting regions symbolically, each block
+/// is scanned once and every record is routed through *both* trees; the
+/// pair (leaf-in-T1, leaf-in-T2, class) identifies its GCR cell, and the
+/// cell counts are the measures. Deviation and significance then follow
+/// the common FOCUS summarization.
+class FocusDecisionTrees {
+ public:
+  struct Options {
+    DTreeOptions dtree;
+  };
+
+  explicit FocusDecisionTrees(const Options& options) : options_(options) {}
+
+  /// Mines a tree per block and compares them.
+  DeviationResult Compare(const LabeledBlock& d1,
+                          const LabeledBlock& d2) const;
+
+  /// Compares with already-built models (always scans both blocks once:
+  /// the overlay measures are not part of either model).
+  DeviationResult CompareWithModels(const LabeledBlock& d1,
+                                    const DecisionTree& m1,
+                                    const LabeledBlock& d2,
+                                    const DecisionTree& m2) const;
+
+  /// Builds the decision-tree model of one block.
+  DecisionTree MineModel(const LabeledBlock& block) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DEVIATION_FOCUS_DTREE_H_

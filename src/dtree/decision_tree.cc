@@ -1,0 +1,218 @@
+#include "dtree/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace demon {
+
+DecisionTree::DecisionTree(LabeledSchema schema)
+    : schema_(std::move(schema)), root_(std::make_unique<Node>()) {
+  root_->class_counts.assign(schema_.num_classes, 0.0);
+  root_->used_attributes.assign(schema_.num_attributes(), false);
+}
+
+namespace {
+
+std::unique_ptr<DecisionTree::Node> CloneNode(const DecisionTree::Node* node) {
+  auto copy = std::make_unique<DecisionTree::Node>();
+  copy->split_attribute = node->split_attribute;
+  copy->class_counts = node->class_counts;
+  copy->leaf_id = node->leaf_id;
+  copy->avc = node->avc;
+  copy->used_attributes = node->used_attributes;
+  copy->children.reserve(node->children.size());
+  for (const auto& child : node->children) {
+    copy->children.push_back(CloneNode(child.get()));
+  }
+  return copy;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Clone() const {
+  DecisionTree copy;
+  copy.schema_ = schema_;
+  if (root_ != nullptr) {
+    // Clone preserves node ids, statistics and structure exactly.
+    copy.root_ = CloneNode(root_.get());
+  }
+  return copy;
+}
+
+const DecisionTree::Node* DecisionTree::Route(
+    const LabeledRecord& record) const {
+  DEMON_CHECK(root_ != nullptr);
+  const Node* node = root_.get();
+  while (node->split_attribute >= 0) {
+    node = node->children[record.attributes[node->split_attribute]].get();
+  }
+  return node;
+}
+
+DecisionTree::Node* DecisionTree::MutableRoute(const LabeledRecord& record) {
+  return const_cast<Node*>(Route(record));
+}
+
+uint32_t DecisionTree::Classify(const LabeledRecord& record) const {
+  const Node* leaf = Route(record);
+  uint32_t best = 0;
+  double best_count = -1.0;
+  for (uint32_t c = 0; c < leaf->class_counts.size(); ++c) {
+    if (leaf->class_counts[c] > best_count) {
+      best_count = leaf->class_counts[c];
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void AssignIds(DecisionTree::Node* node, int* next) {
+  if (node->split_attribute < 0) {
+    node->leaf_id = (*next)++;
+    return;
+  }
+  node->leaf_id = -1;
+  for (auto& child : node->children) AssignIds(child.get(), next);
+}
+
+size_t CountLeaves(const DecisionTree::Node* node) {
+  if (node->split_attribute < 0) return 1;
+  size_t total = 0;
+  for (const auto& child : node->children) total += CountLeaves(child.get());
+  return total;
+}
+
+size_t NodeDepth(const DecisionTree::Node* node) {
+  if (node->split_attribute < 0) return 1;
+  size_t deepest = 0;
+  for (const auto& child : node->children) {
+    deepest = std::max(deepest, NodeDepth(child.get()));
+  }
+  return deepest + 1;
+}
+
+void Dump(const DecisionTree::Node* node, int indent, std::string* out) {
+  out->append(indent * 2, ' ');
+  if (node->split_attribute < 0) {
+    out->append("leaf#" + std::to_string(node->leaf_id) + " [");
+    for (size_t c = 0; c < node->class_counts.size(); ++c) {
+      if (c > 0) out->append(", ");
+      out->append(std::to_string(static_cast<long long>(
+          node->class_counts[c])));
+    }
+    out->append("]\n");
+    return;
+  }
+  out->append("split a" + std::to_string(node->split_attribute) + "\n");
+  for (size_t v = 0; v < node->children.size(); ++v) {
+    out->append(indent * 2 + 1, ' ');
+    out->append("= " + std::to_string(v) + ":\n");
+    Dump(node->children[v].get(), indent + 1, out);
+  }
+}
+
+}  // namespace
+
+size_t DecisionTree::AssignLeafIds() {
+  DEMON_CHECK(root_ != nullptr);
+  int next = 0;
+  AssignIds(root_.get(), &next);
+  return static_cast<size_t>(next);
+}
+
+size_t DecisionTree::NumLeaves() const {
+  return root_ == nullptr ? 0 : CountLeaves(root_.get());
+}
+
+size_t DecisionTree::Depth() const {
+  return root_ == nullptr ? 0 : NodeDepth(root_.get());
+}
+
+namespace {
+
+double NodeWeight(const DecisionTree::Node* node) {
+  // A node's class_counts hold the records recorded there that were not
+  // pushed into children (for leaves: everything seen; for internal
+  // nodes: the residual inherited from splits whose attribute breakdown
+  // is unknown). Summing over all nodes conserves the insert count.
+  double total = 0.0;
+  for (double c : node->class_counts) total += c;
+  for (const auto& child : node->children) total += NodeWeight(child.get());
+  return total;
+}
+
+}  // namespace
+
+double DecisionTree::TotalWeight() const {
+  return root_ == nullptr ? 0.0 : NodeWeight(root_.get());
+}
+
+std::string DecisionTree::ToString() const {
+  if (root_ == nullptr) return "(empty tree)\n";
+  std::string out;
+  Dump(root_.get(), 0, &out);
+  return out;
+}
+
+double Entropy(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+SplitChoice BestSplit(
+    const std::vector<std::vector<std::vector<double>>>& avc,
+    const std::vector<bool>& used, double min_gain) {
+  SplitChoice choice;
+  if (avc.empty()) return choice;
+
+  // Node class distribution from attribute 0's counts (same totals for
+  // every attribute).
+  std::vector<double> node_counts;
+  for (const auto& value_counts : avc[0]) {
+    if (node_counts.size() < value_counts.size()) {
+      node_counts.resize(value_counts.size(), 0.0);
+    }
+    for (size_t c = 0; c < value_counts.size(); ++c) {
+      node_counts[c] += value_counts[c];
+    }
+  }
+  double total = 0.0;
+  for (double c : node_counts) total += c;
+  if (total <= 0.0) return choice;
+  const double node_entropy = Entropy(node_counts);
+
+  for (size_t a = 0; a < avc.size(); ++a) {
+    if (used[a]) continue;
+    double weighted = 0.0;
+    for (const auto& value_counts : avc[a]) {
+      double value_total = 0.0;
+      for (double c : value_counts) value_total += c;
+      if (value_total <= 0.0) continue;
+      weighted += value_total / total * Entropy(value_counts);
+    }
+    const double gain = node_entropy - weighted;
+    if (gain > choice.gain) {
+      choice.gain = gain;
+      choice.attribute = static_cast<int>(a);
+    }
+  }
+  if (choice.gain < min_gain) {
+    choice.attribute = -1;
+    choice.gain = 0.0;
+  }
+  return choice;
+}
+
+}  // namespace demon

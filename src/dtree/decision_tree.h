@@ -1,0 +1,95 @@
+#ifndef DEMON_DTREE_DECISION_TREE_H_
+#define DEMON_DTREE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtree/labeled_block.h"
+
+namespace demon {
+
+/// \brief A multiway decision tree over categorical attributes: internal
+/// nodes split on one attribute (one child per value), leaves carry class
+/// counts. This is the model class FOCUS's decision-tree instantiation
+/// compares (structural component = the leaf partition of attribute
+/// space; measure = the class distribution per leaf).
+class DecisionTree {
+ public:
+  struct Node {
+    /// -1 for leaves; otherwise the attribute split on.
+    int split_attribute = -1;
+    /// Children, one per attribute value (empty for leaves).
+    std::vector<std::unique_ptr<Node>> children;
+    /// Class counts of the training records that reached this node
+    /// (maintained for leaves; internal nodes keep the counts they had
+    /// when they split).
+    std::vector<double> class_counts;
+    /// Stable id assigned to each leaf in depth-first order by
+    /// AssignLeafIds (used by the FOCUS overlay).
+    int leaf_id = -1;
+    /// Leaves only: attribute-value-class counts of the records seen here
+    /// (avc[a][v][c]) — the sufficient statistics the incremental
+    /// maintainer grows the tree from. Cleared when the leaf splits.
+    std::vector<std::vector<std::vector<double>>> avc;
+    /// Leaves only: attributes already split on along the path.
+    std::vector<bool> used_attributes;
+  };
+
+  DecisionTree() = default;
+  explicit DecisionTree(LabeledSchema schema);
+
+  DecisionTree(DecisionTree&&) = default;
+  DecisionTree& operator=(DecisionTree&&) = default;
+
+  /// Deep copy (the tree owns its nodes, so copying is explicit).
+  DecisionTree Clone() const;
+
+  const LabeledSchema& schema() const { return schema_; }
+  const Node* root() const { return root_.get(); }
+  Node* mutable_root() { return root_.get(); }
+
+  /// The leaf a record is routed to (never null once a root exists).
+  const Node* Route(const LabeledRecord& record) const;
+  Node* MutableRoute(const LabeledRecord& record);
+
+  /// Majority-class prediction for a record.
+  uint32_t Classify(const LabeledRecord& record) const;
+
+  /// Number of leaves; also (re)assigns dense leaf ids in DFS order.
+  size_t AssignLeafIds();
+
+  size_t NumLeaves() const;
+  size_t Depth() const;
+
+  /// Total weight of training records seen at the root.
+  double TotalWeight() const;
+
+  /// Multi-line dump for debugging and example output.
+  std::string ToString() const;
+
+ private:
+  LabeledSchema schema_;
+  std::unique_ptr<Node> root_;
+};
+
+/// \brief Shannon entropy of a count vector (0 for empty/degenerate).
+double Entropy(const std::vector<double>& counts);
+
+/// \brief Result of evaluating the best split at a node.
+struct SplitChoice {
+  int attribute = -1;   // -1: no admissible split
+  double gain = 0.0;    // information gain of the best attribute
+};
+
+/// \brief Picks the attribute with the highest information gain from
+/// per-(attribute, value, class) counts. `avc[a][v][c]` are counts;
+/// attributes in `used` are skipped. Gains below `min_gain` yield -1.
+SplitChoice BestSplit(
+    const std::vector<std::vector<std::vector<double>>>& avc,
+    const std::vector<bool>& used, double min_gain);
+
+}  // namespace demon
+
+#endif  // DEMON_DTREE_DECISION_TREE_H_

@@ -1,0 +1,99 @@
+#include "dtree/dtree_maintainer.h"
+
+#include "common/check.h"
+
+namespace demon {
+
+DTreeMaintainer::DTreeMaintainer(const LabeledSchema& schema,
+                                 const DTreeOptions& options)
+    : schema_(schema), options_(options), tree_(schema) {
+  DEMON_CHECK(schema_.num_attributes() > 0);
+  DEMON_CHECK(schema_.num_classes >= 2);
+  DEMON_CHECK(options_.max_depth >= 1);
+}
+
+void DTreeMaintainer::EnsureLeafStats(DecisionTree::Node* leaf) {
+  if (!leaf->avc.empty()) return;
+  leaf->avc.resize(schema_.num_attributes());
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    leaf->avc[a].assign(schema_.attribute_cardinalities[a],
+                        std::vector<double>(schema_.num_classes, 0.0));
+  }
+  if (leaf->class_counts.empty()) {
+    leaf->class_counts.assign(schema_.num_classes, 0.0);
+  }
+  if (leaf->used_attributes.empty()) {
+    leaf->used_attributes.assign(schema_.num_attributes(), false);
+  }
+}
+
+DecisionTree::Node* DTreeMaintainer::RouteTracked(
+    const LabeledRecord& record, size_t* depth) {
+  DecisionTree::Node* node = tree_.mutable_root();
+  *depth = 1;
+  while (node->split_attribute >= 0) {
+    node = node->children[record.attributes[node->split_attribute]].get();
+    ++*depth;
+  }
+  return node;
+}
+
+void DTreeMaintainer::MaybeSplit(DecisionTree::Node* leaf, size_t depth) {
+  if (depth >= options_.max_depth) return;
+  double weight = 0.0;
+  for (double c : leaf->class_counts) weight += c;
+  if (weight < options_.min_split_weight) return;
+
+  const SplitChoice choice =
+      BestSplit(leaf->avc, leaf->used_attributes, options_.min_gain);
+  if (choice.attribute < 0) return;
+
+  // Split: children take the per-value class counts recorded in this
+  // leaf's AVC statistics; their own AVC starts empty and fills from
+  // future records. Counts the leaf itself inherited from an earlier
+  // split (whose attribute breakdown is unknown) stay behind as the
+  // node's residual, so total weight is conserved across splits.
+  const size_t attribute = static_cast<size_t>(choice.attribute);
+  leaf->split_attribute = choice.attribute;
+  leaf->children.resize(schema_.attribute_cardinalities[attribute]);
+  for (size_t v = 0; v < leaf->children.size(); ++v) {
+    auto child = std::make_unique<DecisionTree::Node>();
+    child->class_counts = leaf->avc[attribute][v];
+    child->used_attributes = leaf->used_attributes;
+    child->used_attributes[attribute] = true;
+    for (size_t c = 0; c < child->class_counts.size(); ++c) {
+      leaf->class_counts[c] -= child->class_counts[c];
+      if (leaf->class_counts[c] < 0.0) leaf->class_counts[c] = 0.0;
+    }
+    leaf->children[v] = std::move(child);
+  }
+  leaf->avc.clear();
+}
+
+void DTreeMaintainer::AddBlock(const BlockPtr& block) {
+  DEMON_CHECK(block != nullptr);
+  DEMON_CHECK(block->schema().num_attributes() == schema_.num_attributes());
+  ++blocks_seen_;
+  for (const LabeledRecord& record : block->records()) {
+    size_t depth = 0;
+    DecisionTree::Node* leaf = RouteTracked(record, &depth);
+    EnsureLeafStats(leaf);
+    leaf->class_counts[record.label] += 1.0;
+    for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+      leaf->avc[a][record.attributes[a]][record.label] += 1.0;
+    }
+    MaybeSplit(leaf, depth);
+  }
+  tree_.AssignLeafIds();
+}
+
+double DTreeMaintainer::Accuracy(const LabeledBlock& block) const {
+  if (block.empty()) return 0.0;
+  size_t correct = 0;
+  for (const LabeledRecord& record : block.records()) {
+    correct += (tree_.Classify(record) == record.label) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(block.size());
+}
+
+}  // namespace demon

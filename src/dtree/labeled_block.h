@@ -1,0 +1,66 @@
+#ifndef DEMON_DTREE_LABELED_BLOCK_H_
+#define DEMON_DTREE_LABELED_BLOCK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "data/block.h"
+
+namespace demon {
+
+/// \brief Schema of a labeled dataset: all attributes are categorical with
+/// a fixed number of values, plus a class label. (The decision-tree model
+/// class of FOCUS/DEMON; categorical-only keeps the overlay of tree
+/// partitions exact.)
+struct LabeledSchema {
+  /// attribute_cardinalities[a] = number of distinct values of attribute a.
+  std::vector<uint32_t> attribute_cardinalities;
+  uint32_t num_classes = 2;
+
+  size_t num_attributes() const { return attribute_cardinalities.size(); }
+};
+
+/// \brief One labeled record: attribute values (parallel to the schema)
+/// and a class label.
+struct LabeledRecord {
+  std::vector<uint32_t> attributes;
+  uint32_t label = 0;
+};
+
+/// \brief A block of labeled records — the unit of systematic evolution
+/// for the classification model class. Immutable once constructed.
+class LabeledBlock {
+ public:
+  LabeledBlock() = default;
+
+  LabeledBlock(LabeledSchema schema, std::vector<LabeledRecord> records)
+      : schema_(std::move(schema)), records_(std::move(records)) {
+    for (const LabeledRecord& record : records_) {
+      DEMON_CHECK(record.attributes.size() == schema_.num_attributes());
+      DEMON_CHECK(record.label < schema_.num_classes);
+      for (size_t a = 0; a < record.attributes.size(); ++a) {
+        DEMON_CHECK(record.attributes[a] <
+                    schema_.attribute_cardinalities[a]);
+      }
+    }
+  }
+
+  const LabeledSchema& schema() const { return schema_; }
+  const std::vector<LabeledRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const BlockInfo& info() const { return info_; }
+  BlockInfo* mutable_info() { return &info_; }
+
+ private:
+  LabeledSchema schema_;
+  std::vector<LabeledRecord> records_;
+  BlockInfo info_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_DTREE_LABELED_BLOCK_H_

@@ -1,0 +1,74 @@
+#include "itemsets/apriori.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "itemsets/candidate_generation.h"
+#include "itemsets/prefix_tree.h"
+
+namespace demon {
+
+ItemsetModel Apriori(
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+    double minsup, size_t num_items) {
+  ItemsetModel model(minsup, num_items);
+  uint64_t num_transactions = 0;
+  for (const auto& block : blocks) num_transactions += block->size();
+  model.set_num_transactions(num_transactions);
+  const uint64_t min_count = model.MinCount();
+  auto& entries = *model.mutable_entries();
+
+  // Level 1: count every item with a dense array (cheaper than the tree).
+  std::vector<uint64_t> item_counts(num_items, 0);
+  for (const auto& block : blocks) {
+    for (const Transaction& t : block->transactions()) {
+      for (Item item : t.items()) {
+        DEMON_CHECK_MSG(item < num_items, "item outside universe");
+        ++item_counts[item];
+      }
+    }
+  }
+  std::vector<Itemset> frequent_prev;
+  for (Item item = 0; item < num_items; ++item) {
+    const bool frequent = item_counts[item] >= min_count;
+    entries.emplace(Itemset{item},
+                    ItemsetModel::Entry{item_counts[item], frequent});
+    if (frequent) frequent_prev.push_back(Itemset{item});
+  }
+
+  // Levels k >= 2: generate, count with one scan, split into L_k / border.
+  auto is_frequent = [&entries](const Itemset& itemset) {
+    const auto it = entries.find(itemset);
+    return it != entries.end() && it->second.frequent;
+  };
+  while (!frequent_prev.empty()) {
+    std::vector<Itemset> candidates =
+        GenerateCandidates(std::move(frequent_prev), is_frequent);
+    frequent_prev.clear();
+    if (candidates.empty()) break;
+
+    PrefixTree tree;
+    std::vector<size_t> ids;
+    ids.reserve(candidates.size());
+    for (const Itemset& c : candidates) ids.push_back(tree.Insert(c));
+    tree.CountBlocks(blocks);
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const uint64_t count = tree.CountOf(ids[i]);
+      const bool frequent = count >= min_count;
+      entries.emplace(candidates[i], ItemsetModel::Entry{count, frequent});
+      if (frequent) frequent_prev.push_back(std::move(candidates[i]));
+    }
+  }
+  return model;
+}
+
+ItemsetModel AprioriOnBlock(const TransactionBlock& block, double minsup,
+                            size_t num_items) {
+  // Wrap the block in a non-owning shared_ptr: Apriori only reads it.
+  auto alias = std::shared_ptr<const TransactionBlock>(
+      std::shared_ptr<const TransactionBlock>(), &block);
+  return Apriori({alias}, minsup, num_items);
+}
+
+}  // namespace demon

@@ -1,0 +1,49 @@
+#ifndef DEMON_ITEMSETS_ASSOCIATION_RULES_H_
+#define DEMON_ITEMSETS_ASSOCIATION_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "itemsets/itemset_model.h"
+
+namespace demon {
+
+/// \brief An association rule X => Y with the standard quality measures
+/// [AMS+96]. X and Y are disjoint, non-empty, and X ∪ Y is frequent.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  /// Fractional support of X ∪ Y.
+  double support = 0.0;
+  /// Confidence sup(X ∪ Y) / sup(X).
+  double confidence = 0.0;
+  /// Lift confidence / sup(Y); > 1 means positive correlation.
+  double lift = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Derives all association rules with at least `min_confidence`
+/// from a maintained frequent-itemset model.
+///
+/// This is the layer the Demons'R'Us analyst of §2.2 actually consumes:
+/// DEMON maintains L(D, κ) incrementally, and rules are (re)derived from
+/// the in-memory model on demand — no data access at all. Uses the
+/// standard anti-monotonicity of confidence in the consequent (growing
+/// the consequent of a rule over the same itemset can only lower
+/// confidence) to prune the consequent lattice [AMS+96].
+///
+/// Rules are returned sorted by descending confidence, then descending
+/// support, then antecedent order.
+std::vector<AssociationRule> DeriveRules(const ItemsetModel& model,
+                                         double min_confidence);
+
+/// \brief Rules derived from the single frequent itemset `itemset`
+/// (must be frequent in `model`); helper for targeted queries.
+std::vector<AssociationRule> DeriveRulesFrom(const ItemsetModel& model,
+                                             const Itemset& itemset,
+                                             double min_confidence);
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_ASSOCIATION_RULES_H_

@@ -1,0 +1,223 @@
+#include "itemsets/borders.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "itemsets/apriori.h"
+#include "itemsets/prefix_tree.h"
+
+namespace demon {
+
+BordersMaintainer::BordersMaintainer(const BordersOptions& options)
+    : options_(options), model_(options.minsup, options.num_items) {
+  DEMON_CHECK(options_.minsup > 0.0 && options_.minsup < 1.0);
+  DEMON_CHECK(options_.num_items > 0);
+}
+
+void BordersMaintainer::FoldBlockCounts(const TransactionBlock& block,
+                                        int sign) {
+  if (model_.entries().empty()) return;
+  PrefixTree tree;
+  // Entry pointers are stable across unordered_map lookups (no inserts
+  // happen while counting), so bind them once.
+  std::vector<std::pair<ItemsetModel::Entry*, size_t>> ids;
+  ids.reserve(model_.entries().size());
+  for (auto& [itemset, entry] : *model_.mutable_entries()) {
+    ids.push_back({&entry, tree.Insert(itemset)});
+  }
+  for (const Transaction& t : block.transactions()) {
+    tree.CountTransaction(t);
+  }
+  for (const auto& [entry, id] : ids) {
+    const uint64_t delta = tree.CountOf(id);
+    if (sign > 0) {
+      entry->count += delta;
+    } else {
+      DEMON_CHECK_MSG(entry->count >= delta, "deletion underflows a count");
+      entry->count -= delta;
+    }
+  }
+}
+
+void BordersMaintainer::AddBlock(
+    std::shared_ptr<const TransactionBlock> block) {
+  DEMON_CHECK(block != nullptr);
+  last_stats_ = UpdateStats{};
+  WallTimer timer;
+
+  const bool needs_tidlists = options_.strategy != CountingStrategy::kPtScan;
+  if (needs_tidlists) {
+    // Materialize the block's TID-lists; for ECUT+ also the frequent
+    // 2-itemsets of the *current* model, highest support first, within the
+    // space budget (paper §3.1.1 heuristic). This is part of storing the
+    // block (the lists replace the transactional format), not of model
+    // maintenance, so it is not counted in detection/update time.
+    PairMaterializationSpec spec;
+    std::shared_ptr<const BlockTidLists> lists;
+    if (options_.strategy == CountingStrategy::kEcutPlus &&
+        !model_.entries().empty()) {
+      spec.pairs = model_.Frequent2ItemsetsBySupport();
+      spec.budget_slots = static_cast<size_t>(
+          options_.pair_budget_fraction *
+          static_cast<double>(block->TotalItemOccurrences()));
+      lists = BlockTidLists::Build(*block, options_.num_items, &spec);
+    } else {
+      lists = BlockTidLists::Build(*block, options_.num_items, nullptr);
+    }
+    tidlists_.Append(std::move(lists));
+  }
+
+  timer.Reset();
+  if (blocks_.empty() && model_.entries().empty()) {
+    // First selected block: build the model from scratch (base case).
+    blocks_.push_back(std::move(block));
+    model_ = Apriori(blocks_, options_.minsup, options_.num_items);
+    last_stats_.detection_seconds = timer.ElapsedSeconds();
+    return;
+  }
+
+  // Detection phase: one scan of the new block refreshes the supports of
+  // L ∪ NB- and flags any itemset that crossed the threshold.
+  FoldBlockCounts(*block, +1);
+  model_.AddTransactions(block->size());
+  blocks_.push_back(std::move(block));
+  last_stats_.detection_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  Refresh({});
+  last_stats_.update_seconds = timer.ElapsedSeconds();
+}
+
+void BordersMaintainer::RemoveBlockAt(size_t index) {
+  DEMON_CHECK(index < blocks_.size());
+  last_stats_ = UpdateStats{};
+  WallTimer timer;
+
+  const auto victim = blocks_[index];
+  FoldBlockCounts(*victim, -1);
+  DEMON_CHECK(model_.num_transactions() >= victim->size());
+  model_.set_num_transactions(model_.num_transactions() - victim->size());
+  blocks_.erase(blocks_.begin() + index);
+  if (options_.strategy != CountingStrategy::kPtScan) {
+    tidlists_.DropAt(index);
+  }
+  last_stats_.detection_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  Refresh({});
+  last_stats_.update_seconds = timer.ElapsedSeconds();
+}
+
+void BordersMaintainer::ChangeMinSupport(double minsup) {
+  DEMON_CHECK(minsup > 0.0 && minsup < 1.0);
+  options_.minsup = minsup;
+  model_.set_minsup(minsup);
+  last_stats_ = UpdateStats{};
+  WallTimer timer;
+  Refresh({});
+  last_stats_.update_seconds = timer.ElapsedSeconds();
+}
+
+void BordersMaintainer::Refresh(const std::vector<Itemset>& promotion_seeds) {
+  const uint64_t min_count = model_.MinCount();
+  auto& entries = *model_.mutable_entries();
+
+  // Flip frequency flags; newly frequent itemsets seed candidate growth.
+  std::vector<Itemset> seeds = promotion_seeds;
+  bool any_demotion = false;
+  for (auto& [itemset, entry] : entries) {
+    const bool should_be_frequent = entry.count >= min_count;
+    if (should_be_frequent == entry.frequent) continue;
+    entry.frequent = should_be_frequent;
+    if (should_be_frequent) {
+      seeds.push_back(itemset);
+    } else {
+      any_demotion = true;
+    }
+  }
+  // Demotions invalidate border entries that now have an infrequent subset
+  // (footnote 6: delete supersets of demoted itemsets from NB-).
+  if (any_demotion) PruneBorder();
+
+  // Update phase: grow new candidates from the promoted itemsets, count
+  // them over the full selected history with the configured strategy, and
+  // iterate while new frequent itemsets keep appearing (§3.1.1).
+  while (!seeds.empty()) {
+    ++last_stats_.update_iterations;
+    std::vector<Itemset> candidates = SeededCandidates(seeds);
+    seeds.clear();
+    if (candidates.empty()) break;
+    last_stats_.new_candidates += candidates.size();
+    const std::vector<uint64_t> counts =
+        CountSupports(options_.strategy, candidates, blocks_, tidlists_,
+                      &last_stats_.counting);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const bool frequent = counts[i] >= min_count;
+      entries.emplace(candidates[i],
+                      ItemsetModel::Entry{counts[i], frequent});
+      if (frequent) seeds.push_back(std::move(candidates[i]));
+    }
+  }
+}
+
+std::vector<Itemset> BordersMaintainer::SeededCandidates(
+    const std::vector<Itemset>& seeds) {
+  // A (k+1)-itemset Y needs counting now iff it is untracked and all of its
+  // k-subsets are frequent; untracked-but-eligible means at least one of
+  // those subsets was *just* promoted (otherwise Y would already have been
+  // generated). So every new candidate is some seed extended by one item,
+  // with all other k-subsets frequent — a seeded version of the prefix
+  // join of [AMS+96] that the paper's update phase uses.
+  ItemsetSet produced;
+  std::vector<Itemset> result;
+  std::vector<Item> frequent_items;
+  for (const auto& [itemset, entry] : model_.entries()) {
+    if (entry.frequent && itemset.size() == 1) {
+      frequent_items.push_back(itemset[0]);
+    }
+  }
+  std::sort(frequent_items.begin(), frequent_items.end());
+
+  for (const Itemset& seed : seeds) {
+    for (Item extension : frequent_items) {
+      if (std::binary_search(seed.begin(), seed.end(), extension)) continue;
+      Itemset candidate = seed;
+      candidate.insert(
+          std::lower_bound(candidate.begin(), candidate.end(), extension),
+          extension);
+      if (model_.Contains(candidate) || produced.count(candidate) > 0) {
+        continue;
+      }
+      // Prune: every |seed|-subset must be frequent (the seed itself is,
+      // by construction).
+      bool keep = true;
+      for (size_t drop = 0; drop < candidate.size() && keep; ++drop) {
+        Itemset subset = WithoutIndex(candidate, drop);
+        if (subset == seed) continue;
+        keep = IsFrequentEntry(subset);
+      }
+      if (!keep) continue;
+      produced.insert(candidate);
+      result.push_back(std::move(candidate));
+    }
+  }
+  return result;
+}
+
+void BordersMaintainer::PruneBorder() {
+  auto& entries = *model_.mutable_entries();
+  std::vector<Itemset> to_delete;
+  for (const auto& [itemset, entry] : entries) {
+    if (entry.frequent || itemset.size() <= 1) continue;
+    for (size_t drop = 0; drop < itemset.size(); ++drop) {
+      if (!IsFrequentEntry(WithoutIndex(itemset, drop))) {
+        to_delete.push_back(itemset);
+        break;
+      }
+    }
+  }
+  for (const Itemset& itemset : to_delete) entries.erase(itemset);
+}
+
+}  // namespace demon

@@ -1,0 +1,124 @@
+#ifndef DEMON_ITEMSETS_BORDERS_H_
+#define DEMON_ITEMSETS_BORDERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/block.h"
+#include "itemsets/itemset_model.h"
+#include "itemsets/support_counting.h"
+#include "tidlist/tidlist_store.h"
+
+namespace demon {
+
+/// Configuration of a BordersMaintainer.
+struct BordersOptions {
+  /// Minimum support κ ∈ (0, 1).
+  double minsup = 0.01;
+  /// Item-universe size.
+  size_t num_items = 1000;
+  /// How the update phase counts new candidates (paper Figs 2, 4-7).
+  CountingStrategy strategy = CountingStrategy::kPtScan;
+  /// ECUT+ only: per-block space budget for materialized 2-itemset lists,
+  /// as a fraction of the block's item-list slots. The paper observed the
+  /// full materialization needs < 25% extra space at κ >= 0.008 (Fig 3).
+  double pair_budget_fraction = 1.0;
+};
+
+/// \brief Incremental maintainer of the frequent-itemset model under
+/// systematic block evolution — the BORDERS algorithm of [FAAM97, TBAR97]
+/// with the paper's ECUT / ECUT+ counting in the update phase (§3.1.1).
+///
+/// Usage: construct, then call AddBlock for every block *selected by the
+/// BSS* (unselected blocks are simply not passed in; the model carries
+/// over, §3.1.1). After each call, `model()` equals the model Apriori
+/// would compute from scratch over all added blocks — the invariant the
+/// test suite checks.
+///
+/// The maintainer also supports deletion of the oldest block
+/// (RemoveOldestBlock), which is what the direct most-recent-window
+/// maintainer AuM of §3.2.4 needs; GEMM does not use deletions.
+///
+/// Copying a maintainer deep-copies the model but shares the immutable
+/// block data and TID-lists — the cheap clone GEMM relies on to keep w
+/// models alive.
+class BordersMaintainer {
+ public:
+  /// Timing/volume breakdown of the last AddBlock/RemoveOldestBlock call,
+  /// matching the phases reported in Figures 4-7.
+  struct UpdateStats {
+    double detection_seconds = 0.0;
+    double update_seconds = 0.0;
+    /// New candidate itemsets whose support was counted over the history.
+    size_t new_candidates = 0;
+    /// Iterations of the update loop (0 if detection found no change).
+    size_t update_iterations = 0;
+    /// Counting-volume metrics of the update phase.
+    CountingStats counting;
+  };
+
+  explicit BordersMaintainer(const BordersOptions& options);
+
+  /// Adds a selected block and brings the model up to date.
+  void AddBlock(std::shared_ptr<const TransactionBlock> block);
+
+  /// Removes the oldest previously added block and brings the model up to
+  /// date (supports AuM-style sliding windows). Requires NumBlocks() >= 1.
+  void RemoveOldestBlock() { RemoveBlockAt(0); }
+
+  /// Removes the block at position `index` (0 = oldest) among the blocks
+  /// added so far. Arbitrary window-relative BSSs make AuM delete blocks
+  /// from the middle of its selected set (§3.2.4).
+  void RemoveBlockAt(size_t index);
+
+  /// Block ids currently contributing to the model, in addition order.
+  std::vector<BlockId> BlockIds() const {
+    std::vector<BlockId> ids;
+    ids.reserve(blocks_.size());
+    for (const auto& block : blocks_) ids.push_back(block->info().id);
+    return ids;
+  }
+
+  /// Changes the minimum support threshold (paper §3.1.1: trivial when
+  /// raising; re-runs the update machinery when lowering).
+  void ChangeMinSupport(double minsup);
+
+  const ItemsetModel& model() const { return model_; }
+  const BordersOptions& options() const { return options_; }
+  const UpdateStats& last_stats() const { return last_stats_; }
+  size_t NumBlocks() const { return blocks_.size(); }
+  const TidListStore& tidlist_store() const { return tidlists_; }
+
+ private:
+  /// Counts all tracked itemsets over `block` and folds the counts into the
+  /// model (sign = +1 for addition, -1 for deletion). Returns block size.
+  void FoldBlockCounts(const TransactionBlock& block, int sign);
+
+  /// Re-derives frequent flags, handles demotions/promotions, runs the
+  /// candidate-expansion update loop, and prunes the border. The core of
+  /// the detection/update machinery shared by add, delete and κ-change.
+  void Refresh(const std::vector<Itemset>& promotion_seeds);
+
+  /// Generates the not-yet-tracked candidates obtainable by joining the
+  /// given newly frequent seeds with the frequent sets of the same size.
+  std::vector<Itemset> SeededCandidates(const std::vector<Itemset>& seeds);
+
+  /// Drops border entries that have an infrequent proper subset (restores
+  /// the NB- invariant after demotions).
+  void PruneBorder();
+
+  bool IsFrequentEntry(const Itemset& itemset) const {
+    const auto it = model_.entries().find(itemset);
+    return it != model_.entries().end() && it->second.frequent;
+  }
+
+  BordersOptions options_;
+  ItemsetModel model_;
+  std::vector<std::shared_ptr<const TransactionBlock>> blocks_;
+  TidListStore tidlists_;
+  UpdateStats last_stats_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_BORDERS_H_

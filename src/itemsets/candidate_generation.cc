@@ -1,0 +1,21 @@
+#include "itemsets/candidate_generation.h"
+
+#include <algorithm>
+
+namespace demon {
+
+std::vector<Itemset> GeneratePairCandidates(
+    const std::vector<Item>& frequent_items) {
+  std::vector<Item> items = frequent_items;
+  std::sort(items.begin(), items.end());
+  std::vector<Itemset> candidates;
+  candidates.reserve(items.size() * (items.size() - 1) / 2);
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      candidates.push_back(Itemset{items[i], items[j]});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace demon

@@ -1,0 +1,36 @@
+#ifndef DEMON_ITEMSETS_DISK_COUNTING_H_
+#define DEMON_ITEMSETS_DISK_COUNTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/transaction_file.h"
+#include "itemsets/itemset.h"
+#include "itemsets/support_counting.h"
+#include "tidlist/tidlist_file.h"
+
+namespace demon {
+
+/// \brief PT-Scan over disk-resident transaction files: the candidates go
+/// into a prefix tree and every file is streamed once. `stats` (optional)
+/// receives the true bytes read.
+Result<std::vector<uint64_t>> PtScanCountDisk(
+    const std::vector<Itemset>& itemsets,
+    const std::vector<TransactionFileScanner*>& scanners,
+    CountingStats* stats = nullptr);
+
+/// \brief ECUT / ECUT+ over disk-resident TID-list files: per block, the
+/// covering lists are chosen from the file *index* (no I/O), then each
+/// chosen list is fetched with one seek+read and the intersection is
+/// computed in memory — the paper's "retrieve only the relevant portion"
+/// made literal. With `use_pair_lists`, materialized 2-itemset lists are
+/// preferred greedily (smallest first), as in ECUT+.
+Result<std::vector<uint64_t>> EcutCountDisk(
+    const std::vector<Itemset>& itemsets,
+    const std::vector<TidListFileReader*>& readers, bool use_pair_lists,
+    CountingStats* stats = nullptr);
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_DISK_COUNTING_H_

@@ -1,0 +1,59 @@
+#ifndef DEMON_ITEMSETS_FUP_H_
+#define DEMON_ITEMSETS_FUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/block.h"
+#include "itemsets/itemset_model.h"
+
+namespace demon {
+
+/// \brief FUP [CHNW96]: the first incremental frequent-itemset
+/// maintenance algorithm, and the baseline BORDERS improves on (paper
+/// §6: "The BORDERS algorithm improves the FUP algorithm by reducing the
+/// number of scans of the old database").
+///
+/// FUP keeps only the frequent itemsets (with counts) — no negative
+/// border. When a block db arrives it iterates level-wise:
+///  * old frequent k-itemsets are re-validated by counting them in db
+///    only (their old counts are known);
+///  * new candidates (generated from the updated L_{k-1}, minus old
+///    frequent k-itemsets) are first counted in db; by FUP's lemma, a
+///    newly frequent itemset must be frequent *within db*, so candidates
+///    infrequent in db are pruned — the rest need a scan of the ENTIRE
+///    old database to complete their counts.
+/// The per-level old-database scans are FUP's cost; BORDERS replaces them
+/// with border bookkeeping and (in DEMON) TID-list reads.
+class FupMaintainer {
+ public:
+  struct Stats {
+    /// Levels that needed a scan of the old database.
+    size_t old_db_scans = 0;
+    /// Candidates counted against the old database.
+    size_t candidates_counted = 0;
+    double seconds = 0.0;
+  };
+
+  FupMaintainer(double minsup, size_t num_items);
+
+  /// Adds the next block and updates the frequent itemsets.
+  void AddBlock(std::shared_ptr<const TransactionBlock> block);
+
+  /// The maintained frequent itemsets (the model has an empty border:
+  /// FUP does not track one).
+  const ItemsetModel& model() const { return model_; }
+  const Stats& last_stats() const { return last_stats_; }
+  size_t NumBlocks() const { return blocks_.size(); }
+
+ private:
+  double minsup_;
+  size_t num_items_;
+  ItemsetModel model_;
+  std::vector<std::shared_ptr<const TransactionBlock>> blocks_;
+  Stats last_stats_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_FUP_H_

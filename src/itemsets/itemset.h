@@ -1,0 +1,84 @@
+#ifndef DEMON_ITEMSETS_ITEMSET_H_
+#define DEMON_ITEMSETS_ITEMSET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/types.h"
+
+namespace demon {
+
+/// An itemset: a sorted, duplicate-free vector of items. All functions in
+/// this module require the sorted representation.
+using Itemset = std::vector<Item>;
+
+/// \brief FNV-1a style hash over the items, usable as the hash functor of
+/// unordered containers keyed by Itemset.
+struct ItemsetHash {
+  size_t operator()(const Itemset& itemset) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Item item : itemset) {
+      h ^= item;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using ItemsetSet = std::unordered_set<Itemset, ItemsetHash>;
+
+template <typename V>
+using ItemsetMap = std::unordered_map<Itemset, V, ItemsetHash>;
+
+/// \brief True if sorted itemset `a` is a subset of sorted itemset `b`.
+inline bool IsSubset(const Itemset& a, const Itemset& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// \brief Returns the union of two sorted itemsets (sorted).
+inline Itemset Union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// \brief Returns `itemset` with the element at `index` removed — the
+/// (k-1)-subset used for Apriori pruning.
+inline Itemset WithoutIndex(const Itemset& itemset, size_t index) {
+  Itemset out;
+  out.reserve(itemset.size() - 1);
+  for (size_t i = 0; i < itemset.size(); ++i) {
+    if (i != index) out.push_back(itemset[i]);
+  }
+  return out;
+}
+
+/// \brief Renders "{1, 5, 9}" for logs and experiment output.
+inline std::string ToString(const Itemset& itemset) {
+  std::string out = "{";
+  for (size_t i = 0; i < itemset.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(itemset[i]);
+  }
+  out += "}";
+  return out;
+}
+
+/// \brief Lexicographic comparison used to canonically order itemset lists
+/// in tests and candidate generation (first by size is NOT implied).
+struct ItemsetLess {
+  bool operator()(const Itemset& a, const Itemset& b) const {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_ITEMSET_H_

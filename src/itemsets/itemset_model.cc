@@ -1,0 +1,25 @@
+#include "itemsets/itemset_model.h"
+
+#include <algorithm>
+
+namespace demon {
+
+std::vector<std::pair<Item, Item>> ItemsetModel::Frequent2ItemsetsBySupport()
+    const {
+  std::vector<std::pair<std::pair<Item, Item>, uint64_t>> pairs;
+  for (const auto& [itemset, entry] : entries_) {
+    if (entry.frequent && itemset.size() == 2) {
+      pairs.push_back({{itemset[0], itemset[1]}, entry.count});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::pair<Item, Item>> out;
+  out.reserve(pairs.size());
+  for (const auto& [pair, count] : pairs) out.push_back(pair);
+  return out;
+}
+
+}  // namespace demon

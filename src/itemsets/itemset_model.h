@@ -1,0 +1,127 @@
+#ifndef DEMON_ITEMSETS_ITEMSET_MODEL_H_
+#define DEMON_ITEMSETS_ITEMSET_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "itemsets/itemset.h"
+
+namespace demon {
+
+/// \brief The frequent-itemset model maintained by DEMON: the set of
+/// frequent itemsets L(D, κ) *and* the negative border NB-(D, κ), each with
+/// absolute support counts, plus the total transaction count (paper §3).
+///
+/// Storing the border with counts is what makes BORDERS-style detection
+/// possible: when a block arrives, only the supports of L ∪ NB- need to be
+/// refreshed to decide whether the model changed.
+class ItemsetModel {
+ public:
+  struct Entry {
+    uint64_t count = 0;
+    bool frequent = false;
+  };
+
+  ItemsetModel() = default;
+
+  /// `minsup` is the fractional minimum support κ in (0, 1); `num_items`
+  /// the size of the item universe (needed so the 1-itemset layer of the
+  /// border is complete).
+  ItemsetModel(double minsup, size_t num_items)
+      : minsup_(minsup), num_items_(num_items) {
+    DEMON_CHECK(minsup_ > 0.0 && minsup_ < 1.0);
+  }
+
+  double minsup() const { return minsup_; }
+  /// Changes the threshold (the κ-change scenario of §3.1.1); the caller
+  /// (BordersMaintainer::ChangeMinSupport) re-establishes the invariants.
+  void set_minsup(double minsup) {
+    DEMON_CHECK(minsup > 0.0 && minsup < 1.0);
+    minsup_ = minsup;
+  }
+  size_t num_items() const { return num_items_; }
+
+  uint64_t num_transactions() const { return num_transactions_; }
+  void set_num_transactions(uint64_t n) { num_transactions_ = n; }
+  void AddTransactions(uint64_t n) { num_transactions_ += n; }
+
+  /// The absolute count an itemset needs to be frequent:
+  /// ceil(minsup * num_transactions), at least 1.
+  uint64_t MinCount() const {
+    if (num_transactions_ == 0) return 1;
+    const double exact = minsup_ * static_cast<double>(num_transactions_);
+    uint64_t min_count = static_cast<uint64_t>(exact);
+    if (static_cast<double>(min_count) < exact) ++min_count;
+    return min_count == 0 ? 1 : min_count;
+  }
+
+  const ItemsetMap<Entry>& entries() const { return entries_; }
+  ItemsetMap<Entry>* mutable_entries() { return &entries_; }
+
+  /// True if the itemset is tracked and currently frequent.
+  bool IsFrequent(const Itemset& itemset) const {
+    const auto it = entries_.find(itemset);
+    return it != entries_.end() && it->second.frequent;
+  }
+
+  /// True if the itemset is tracked (frequent or border).
+  bool Contains(const Itemset& itemset) const {
+    return entries_.find(itemset) != entries_.end();
+  }
+
+  /// Absolute count of a tracked itemset; 0 for untracked ones (untracked
+  /// itemsets are guaranteed infrequent but their count is unknown — this
+  /// accessor is for tracked sets; see Entry lookup for distinction).
+  uint64_t CountOf(const Itemset& itemset) const {
+    const auto it = entries_.find(itemset);
+    return it == entries_.end() ? 0 : it->second.count;
+  }
+
+  /// Fractional support of a tracked itemset.
+  double SupportOf(const Itemset& itemset) const {
+    if (num_transactions_ == 0) return 0.0;
+    return static_cast<double>(CountOf(itemset)) /
+           static_cast<double>(num_transactions_);
+  }
+
+  /// All frequent itemsets (unordered).
+  std::vector<Itemset> FrequentItemsets() const {
+    std::vector<Itemset> out;
+    for (const auto& [itemset, entry] : entries_) {
+      if (entry.frequent) out.push_back(itemset);
+    }
+    return out;
+  }
+
+  /// All negative-border itemsets (unordered).
+  std::vector<Itemset> NegativeBorder() const {
+    std::vector<Itemset> out;
+    for (const auto& [itemset, entry] : entries_) {
+      if (!entry.frequent) out.push_back(itemset);
+    }
+    return out;
+  }
+
+  size_t NumFrequent() const {
+    size_t n = 0;
+    for (const auto& [itemset, entry] : entries_) n += entry.frequent ? 1 : 0;
+    return n;
+  }
+
+  size_t NumBorder() const { return entries_.size() - NumFrequent(); }
+
+  /// Frequent 2-itemsets as item pairs sorted by decreasing count — the
+  /// materialization priority order of the ECUT+ heuristic (paper §3.1.1).
+  std::vector<std::pair<Item, Item>> Frequent2ItemsetsBySupport() const;
+
+ private:
+  double minsup_ = 0.01;
+  size_t num_items_ = 0;
+  uint64_t num_transactions_ = 0;
+  ItemsetMap<Entry> entries_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_ITEMSET_MODEL_H_

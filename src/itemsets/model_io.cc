@@ -1,0 +1,97 @@
+#include "itemsets/model_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace demon {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x44454d4f4e4d4431ULL;  // "DEMONMD1"
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status WriteItemsetModel(const ItemsetModel& model, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+
+  const double minsup = model.minsup();
+  uint64_t minsup_bits = 0;
+  static_assert(sizeof(minsup_bits) == sizeof(minsup));
+  std::memcpy(&minsup_bits, &minsup, sizeof(minsup));
+
+  bool ok = WriteU64(f, kMagic) && WriteU64(f, minsup_bits) &&
+            WriteU64(f, model.num_items()) &&
+            WriteU64(f, model.num_transactions()) &&
+            WriteU64(f, model.entries().size());
+  for (auto it = model.entries().begin(); ok && it != model.entries().end();
+       ++it) {
+    const auto& [itemset, entry] = *it;
+    ok = WriteU64(f, itemset.size()) &&
+         (itemset.empty() ||
+          std::fwrite(itemset.data(), sizeof(Item), itemset.size(), f) ==
+              itemset.size()) &&
+         WriteU64(f, entry.count) && WriteU64(f, entry.frequent ? 1 : 0);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<ItemsetModel> ReadItemsetModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+
+  uint64_t magic = 0;
+  uint64_t minsup_bits = 0;
+  uint64_t num_items = 0;
+  uint64_t num_transactions = 0;
+  uint64_t num_entries = 0;
+  bool ok = ReadU64(f, &magic) && magic == kMagic &&
+            ReadU64(f, &minsup_bits) && ReadU64(f, &num_items) &&
+            ReadU64(f, &num_transactions) && ReadU64(f, &num_entries);
+  double minsup = 0.0;
+  std::memcpy(&minsup, &minsup_bits, sizeof(minsup));
+  if (!ok || minsup <= 0.0 || minsup >= 1.0) {
+    std::fclose(f);
+    return Status::IoError("corrupt model file: " + path);
+  }
+  ItemsetModel model(minsup, num_items);
+  model.set_num_transactions(num_transactions);
+  for (uint64_t e = 0; ok && e < num_entries; ++e) {
+    uint64_t size = 0;
+    ok = ReadU64(f, &size);
+    Itemset itemset(size);
+    if (ok && size > 0) {
+      ok = std::fread(itemset.data(), sizeof(Item), size, f) == size;
+    }
+    uint64_t count = 0;
+    uint64_t frequent = 0;
+    ok = ok && ReadU64(f, &count) && ReadU64(f, &frequent);
+    if (ok) {
+      model.mutable_entries()->emplace(
+          std::move(itemset), ItemsetModel::Entry{count, frequent != 0});
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("corrupt model file: " + path);
+  return model;
+}
+
+uint64_t SerializedModelBytes(const ItemsetModel& model) {
+  uint64_t bytes = 5 * sizeof(uint64_t);
+  for (const auto& [itemset, entry] : model.entries()) {
+    bytes += 3 * sizeof(uint64_t) + itemset.size() * sizeof(Item);
+  }
+  return bytes;
+}
+
+}  // namespace demon

@@ -1,0 +1,28 @@
+#ifndef DEMON_ITEMSETS_MODEL_IO_H_
+#define DEMON_ITEMSETS_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "itemsets/itemset_model.h"
+
+namespace demon {
+
+/// \brief Binary serialization of an ItemsetModel (frequent itemsets and
+/// negative border with counts, threshold, universe, transaction count).
+///
+/// §3.2.3's point about GEMM: of the w maintained models only the current
+/// one is needed in memory; the rest "can be stored on disk and retrieved
+/// when necessary", and a model is tiny next to the block data. These
+/// functions provide that spill/restore path and round-trip exactly.
+Status WriteItemsetModel(const ItemsetModel& model, const std::string& path);
+
+Result<ItemsetModel> ReadItemsetModel(const std::string& path);
+
+/// Serialized size of a model in bytes, without writing it (what §3.2.3
+/// calls the "negligible" additional disk space for the w - 1 models).
+uint64_t SerializedModelBytes(const ItemsetModel& model);
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_MODEL_IO_H_

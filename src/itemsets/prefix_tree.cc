@@ -1,0 +1,76 @@
+#include "itemsets/prefix_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace demon {
+
+size_t PrefixTree::Insert(const Itemset& itemset) {
+  DEMON_CHECK(!itemset.empty());
+  uint32_t node = 0;
+  for (Item item : itemset) {
+    // Children are kept sorted by item for the merge-style descent.
+    auto& children = nodes_[node].children;
+    auto it = std::lower_bound(children.begin(), children.end(), item,
+                               [this](uint32_t child, Item value) {
+                                 return nodes_[child].item < value;
+                               });
+    if (it != children.end() && nodes_[*it].item == item) {
+      node = *it;
+      continue;
+    }
+    const uint32_t fresh = static_cast<uint32_t>(nodes_.size());
+    Node child;
+    child.item = item;
+    // nodes_.push_back may invalidate `children`; recompute the insert
+    // position afterwards.
+    const size_t insert_at = static_cast<size_t>(it - children.begin());
+    nodes_.push_back(child);
+    auto& children_after = nodes_[node].children;
+    children_after.insert(children_after.begin() + insert_at, fresh);
+    node = fresh;
+  }
+  if (nodes_[node].terminal_id < 0) {
+    nodes_[node].terminal_id = static_cast<int32_t>(counts_.size());
+    counts_.push_back(0);
+  }
+  return static_cast<size_t>(nodes_[node].terminal_id);
+}
+
+void PrefixTree::CountTransaction(const Transaction& transaction,
+                                  uint64_t weight) {
+  const auto& items = transaction.items();
+  if (items.empty()) return;
+  weight_ = weight;
+  CountRecursive(0, items.data(), items.data() + items.size());
+}
+
+void PrefixTree::CountRecursive(uint32_t node_index, const Item* pos,
+                                const Item* end) {
+  const Node& node = nodes_[node_index];
+  if (node.terminal_id >= 0) counts_[node.terminal_id] += weight_;
+  if (node.children.empty() || pos == end) return;
+
+  // Merge-walk the sorted children against the sorted remaining items.
+  size_t c = 0;
+  const Item* p = pos;
+  while (c < node.children.size() && p != end) {
+    const Item child_item = nodes_[node.children[c]].item;
+    if (child_item < *p) {
+      ++c;
+    } else if (*p < child_item) {
+      ++p;
+    } else {
+      CountRecursive(node.children[c], p + 1, end);
+      ++c;
+      ++p;
+    }
+  }
+}
+
+void PrefixTree::ResetCounts() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+}  // namespace demon

@@ -1,0 +1,68 @@
+#ifndef DEMON_ITEMSETS_PREFIX_TREE_H_
+#define DEMON_ITEMSETS_PREFIX_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction.h"
+#include "itemsets/itemset.h"
+
+namespace demon {
+
+/// \brief Prefix tree (trie) for counting the supports of a set of
+/// itemsets in one scan of the data — the candidate-counting structure of
+/// [Mue95] that BORDERS' PT-Scan uses (paper §3.1.1).
+///
+/// Itemsets of mixed sizes may be inserted; each insertion returns a dense
+/// id. `CountTransaction` increments the count of every inserted itemset
+/// contained in the transaction via sorted subset descent.
+class PrefixTree {
+ public:
+  PrefixTree() { nodes_.push_back(Node{}); }
+
+  /// Inserts a (sorted) itemset and returns its id. Re-inserting an
+  /// existing itemset returns the previously assigned id. The empty
+  /// itemset is not insertable.
+  size_t Insert(const Itemset& itemset);
+
+  /// Number of distinct itemsets inserted.
+  size_t NumItemsets() const { return counts_.size(); }
+
+  /// Adds `weight` to the count of every inserted itemset that is a subset
+  /// of the (sorted) transaction.
+  void CountTransaction(const Transaction& transaction, uint64_t weight = 1);
+
+  /// Counts all transactions of a range of blocks.
+  template <typename BlockRange>
+  void CountBlocks(const BlockRange& blocks) {
+    for (const auto& block : blocks) {
+      for (const Transaction& t : block->transactions()) {
+        CountTransaction(t);
+      }
+    }
+  }
+
+  /// Count accumulated for the itemset with the given id.
+  uint64_t CountOf(size_t id) const { return counts_[id]; }
+
+  /// Resets all counts to zero (the tree structure is kept).
+  void ResetCounts();
+
+ private:
+  struct Node {
+    Item item = 0;
+    int32_t terminal_id = -1;  // index into counts_, or -1
+    // Child node indices; the items of children are strictly increasing.
+    std::vector<uint32_t> children;
+  };
+
+  void CountRecursive(uint32_t node_index, const Item* pos, const Item* end);
+
+  std::vector<Node> nodes_;
+  std::vector<uint64_t> counts_;
+  uint64_t weight_ = 1;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_PREFIX_TREE_H_

@@ -1,0 +1,173 @@
+#include "patterns/compact_sequences.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace demon {
+
+const PairwiseSimilarity& CompactSequenceMiner::Similarity(size_t i,
+                                                           size_t j) const {
+  DEMON_CHECK(i != j);
+  if (i > j) std::swap(i, j);
+  DEMON_CHECK(j < pair_.size());
+  return pair_[j][i];
+}
+
+void CompactSequenceMiner::AddBlock(
+    std::shared_ptr<const TransactionBlock> block) {
+  WallTimer timer;
+  last_scan_count_ = 0;
+
+  const size_t t = blocks_.size();
+  blocks_.push_back(block);
+  models_.push_back(focus_.MineModel(*block));
+
+  // Augment the deviation matrix with row t (paper §4: deviations of
+  // D_{t+1} against every earlier in-window block; earlier models come
+  // from cache).
+  std::vector<PairwiseSimilarity> row(t);
+  for (size_t i = window_start_; i < t; ++i) {
+    row[i].deviation = focus_.CompareWithModels(*blocks_[i], models_[i],
+                                                *blocks_[t], models_[t]);
+    row[i].similar = row[i].deviation.significance < options_.alpha;
+    if (row[i].deviation.scanned_blocks) ++last_scan_count_;
+  }
+  pair_.push_back(std::move(row));
+
+  // Most-recent-window variant (footnote 9): evict blocks that fell out
+  // of the window and rebuild the sequence set from the cached matrix.
+  if (options_.window_size > 0 && t + 1 > options_.window_size) {
+    const size_t new_start = t + 1 - options_.window_size;
+    for (size_t i = window_start_; i < new_start; ++i) {
+      blocks_[i].reset();
+      models_[i] = ItemsetModel();
+    }
+    window_start_ = new_start;
+    RebuildSequences();
+    last_add_seconds_ = timer.ElapsedSeconds();
+    return;
+  }
+
+  // Extend every sequence whose extension with block t stays compact.
+  for (std::vector<size_t>& sequence : sequences_) {
+    // (1) t must be similar to every member.
+    bool all_similar = true;
+    for (size_t member : sequence) {
+      if (!Similar(member, t)) {
+        all_similar = false;
+        break;
+      }
+    }
+    if (!all_similar) continue;
+    // (2) no holes: every block strictly between the old tail and t that
+    // is skipped must be dissimilar to at least one member before it.
+    // (Gaps inside the old sequence were validated when it was formed.)
+    bool no_holes = true;
+    for (size_t skipped = sequence.back() + 1; skipped < t && no_holes;
+         ++skipped) {
+      bool excused = false;
+      for (size_t member : sequence) {
+        if (member < skipped && !Similar(member, skipped)) {
+          excused = true;
+          break;
+        }
+      }
+      no_holes = excused;
+    }
+    if (no_holes) sequence.push_back(t);
+  }
+  // The new singleton sequence G_{t+1}.
+  sequences_.push_back({t});
+
+  last_add_seconds_ = timer.ElapsedSeconds();
+}
+
+void CompactSequenceMiner::RebuildSequences() {
+  // Replay the inductive construction over the in-window blocks using the
+  // retained similarity matrix — no deviations are recomputed. This keeps
+  // the same semantics as the unrestricted algorithm restricted to the
+  // window (a plain suffix-trim of a compact sequence can violate the
+  // no-holes condition, so trimming is not enough).
+  sequences_.clear();
+  const size_t end = blocks_.size();
+  for (size_t t = window_start_; t < end; ++t) {
+    for (std::vector<size_t>& sequence : sequences_) {
+      bool all_similar = true;
+      for (size_t member : sequence) {
+        if (!Similar(member, t)) {
+          all_similar = false;
+          break;
+        }
+      }
+      if (!all_similar) continue;
+      bool no_holes = true;
+      for (size_t skipped = sequence.back() + 1; skipped < t && no_holes;
+           ++skipped) {
+        bool excused = false;
+        for (size_t member : sequence) {
+          if (member < skipped && !Similar(member, skipped)) {
+            excused = true;
+            break;
+          }
+        }
+        no_holes = excused;
+      }
+      if (no_holes) sequence.push_back(t);
+    }
+    sequences_.push_back({t});
+  }
+}
+
+bool CompactSequenceMiner::IsCompact(
+    const std::vector<size_t>& sequence) const {
+  if (sequence.empty()) return false;
+  // (1) pairwise similarity.
+  for (size_t a = 0; a < sequence.size(); ++a) {
+    for (size_t b = a + 1; b < sequence.size(); ++b) {
+      if (!Similar(sequence[a], sequence[b])) return false;
+    }
+  }
+  // (2) no holes between first and last.
+  for (size_t candidate = sequence.front() + 1; candidate < sequence.back();
+       ++candidate) {
+    if (std::binary_search(sequence.begin(), sequence.end(), candidate)) {
+      continue;
+    }
+    bool excused = false;
+    for (size_t member : sequence) {
+      if (member >= candidate) break;
+      if (!Similar(member, candidate)) {
+        excused = true;
+        break;
+      }
+    }
+    if (!excused) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<size_t>> CompactSequenceMiner::MaximalSequences(
+    size_t min_length) const {
+  std::vector<std::vector<size_t>> result;
+  for (size_t i = 0; i < sequences_.size(); ++i) {
+    const auto& candidate = sequences_[i];
+    if (candidate.size() < min_length) continue;
+    bool dominated = false;
+    for (size_t j = 0; j < sequences_.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const auto& other = sequences_[j];
+      if (other.size() > candidate.size()) {
+        dominated = std::includes(other.begin(), other.end(),
+                                  candidate.begin(), candidate.end());
+      } else if (j < i && other == candidate) {
+        dominated = true;  // exact duplicate, keep the earliest
+      }
+    }
+    if (!dominated) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace demon

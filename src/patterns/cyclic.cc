@@ -1,0 +1,76 @@
+#include "patterns/cyclic.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace demon {
+
+std::vector<CyclicSequence> ExtractCyclicSequences(
+    const std::vector<size_t>& sequence, size_t min_length) {
+  std::vector<CyclicSequence> result;
+  const size_t n = sequence.size();
+  if (n < 2 || min_length < 2) return result;
+  DEMON_CHECK(std::is_sorted(sequence.begin(), sequence.end()));
+
+  std::unordered_set<size_t> members(sequence.begin(), sequence.end());
+
+  // Longest-arithmetic-subsequence DP: chain[j][d] = length of the
+  // longest progression with difference d ending at sequence[j].
+  // Progressions must be contiguous in value space (every intermediate
+  // multiple of d must be a member) — that is what makes them cycles.
+  std::vector<std::unordered_map<size_t, size_t>> chain(n);
+  // Track which (j, d) states are extended, so only maximal chains emit.
+  std::vector<std::unordered_map<size_t, bool>> extended(n);
+
+  for (size_t j = 1; j < n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      const size_t d = sequence[j] - sequence[i];
+      if (d == 0) continue;
+      const auto it = chain[i].find(d);
+      const size_t length = (it != chain[i].end() ? it->second : 1) + 1;
+      auto [slot, inserted] = chain[j].emplace(d, length);
+      if (!inserted && slot->second < length) slot->second = length;
+      // The chain ending at i with difference d is extendable, hence not
+      // maximal; right-maximal chains are the only ones reported (left
+      // maximality is implied by the DP taking the longest predecessor).
+      extended[i][d] = true;
+    }
+  }
+
+  for (size_t j = 0; j < n; ++j) {
+    for (const auto& [d, length] : chain[j]) {
+      if (length < min_length) continue;
+      if (extended[j].count(d) > 0 && extended[j].at(d)) continue;  // not maximal
+      // A chain ending at j with difference d and `length` elements:
+      // reconstruct by stepping backwards.
+      CyclicSequence cyclic;
+      cyclic.period = d;
+      size_t value = sequence[j];
+      for (size_t step = 0; step < length; ++step) {
+        cyclic.blocks.push_back(value);
+        if (step + 1 < length) {
+          DEMON_CHECK(members.count(value - d) > 0);
+          value -= d;
+        }
+      }
+      std::reverse(cyclic.blocks.begin(), cyclic.blocks.end());
+      result.push_back(std::move(cyclic));
+    }
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const CyclicSequence& a, const CyclicSequence& b) {
+              if (a.blocks.size() != b.blocks.size()) {
+                return a.blocks.size() > b.blocks.size();
+              }
+              if (a.blocks.empty()) return false;
+              if (a.blocks[0] != b.blocks[0]) return a.blocks[0] < b.blocks[0];
+              return a.period < b.period;
+            });
+  return result;
+}
+
+}  // namespace demon

@@ -1,0 +1,30 @@
+#ifndef DEMON_PATTERNS_CYCLIC_H_
+#define DEMON_PATTERNS_CYCLIC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace demon {
+
+/// \brief A cyclic pattern extracted from a compact sequence: block
+/// indices in arithmetic progression (every `period` blocks).
+struct CyclicSequence {
+  std::vector<size_t> blocks;
+  size_t period = 0;
+};
+
+/// \brief Post-processes a compact sequence into its cyclic subsequences
+/// (paper §4: "if <D1, D3, D4, D5, D7> is a compact sequence, we can
+/// easily derive the cyclic sequence <D1, D3, D5, D7>").
+///
+/// Returns every maximal arithmetic subsequence of `sequence` with at
+/// least `min_length` elements, ordered by decreasing length then by
+/// start. Maximal means not extensible within `sequence` on either side
+/// and not a sub-progression reported within a longer returned one with
+/// the same period.
+std::vector<CyclicSequence> ExtractCyclicSequences(
+    const std::vector<size_t>& sequence, size_t min_length = 3);
+
+}  // namespace demon
+
+#endif  // DEMON_PATTERNS_CYCLIC_H_

@@ -1,0 +1,72 @@
+#include "patterns/granularity.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace demon {
+
+double ChainingScore(const CompactSequenceMiner& miner) {
+  const size_t n = miner.NumBlocks();
+  if (n <= 1) return 0.0;
+  // Fraction of blocks that chain with at least one other block (belong
+  // to some maximal sequence of length >= 2). Sequences overlap, so the
+  // union is what counts.
+  std::vector<bool> covered(n, false);
+  for (const auto& sequence : miner.MaximalSequences(/*min_length=*/2)) {
+    for (size_t index : sequence) covered[index] = true;
+  }
+  size_t chained = 0;
+  for (bool c : covered) chained += c ? 1 : 0;
+  return static_cast<double>(chained) / static_cast<double>(n);
+}
+
+std::vector<GranularityReport> EvaluateGranularities(
+    const std::vector<std::vector<TransactionBlock>>& blocks_per_granularity,
+    const std::vector<int>& granularity_hours,
+    const CompactSequenceMiner::Options& options, size_t* best_index) {
+  DEMON_CHECK(blocks_per_granularity.size() == granularity_hours.size());
+  DEMON_CHECK(!blocks_per_granularity.empty());
+
+  std::vector<GranularityReport> reports;
+  reports.reserve(blocks_per_granularity.size());
+  for (size_t g = 0; g < blocks_per_granularity.size(); ++g) {
+    CompactSequenceMiner miner(options);
+    for (const TransactionBlock& block : blocks_per_granularity[g]) {
+      miner.AddBlock(std::make_shared<TransactionBlock>(block));
+    }
+    GranularityReport report;
+    report.granularity_hours = granularity_hours[g];
+    report.num_blocks = miner.NumBlocks();
+    const auto maximal = miner.MaximalSequences(2);
+    report.num_maximal_sequences = maximal.size();
+    for (const auto& sequence : maximal) {
+      report.longest_sequence =
+          std::max(report.longest_sequence, sequence.size());
+    }
+    report.chaining_score = ChainingScore(miner);
+    // Coverage x separation: blocks should chain (regimes are consistent)
+    // without one sequence swallowing everything (regimes are distinct).
+    const double separation =
+        report.num_blocks == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(report.longest_sequence) /
+                        static_cast<double>(report.num_blocks);
+    report.objective = report.chaining_score * separation;
+    reports.push_back(report);
+  }
+
+  if (best_index != nullptr) {
+    *best_index = 0;
+    for (size_t g = 1; g < reports.size(); ++g) {
+      // Strict improvement required: ties go to the earlier (by
+      // convention coarser, hence cheaper) candidate.
+      if (reports[g].objective > reports[*best_index].objective) {
+        *best_index = g;
+      }
+    }
+  }
+  return reports;
+}
+
+}  // namespace demon

@@ -1,0 +1,46 @@
+#ifndef DEMON_PATTERNS_GRANULARITY_H_
+#define DEMON_PATTERNS_GRANULARITY_H_
+
+#include <vector>
+
+#include "data/block.h"
+#include "patterns/compact_sequences.h"
+
+namespace demon {
+
+/// \brief Quality of the pattern structure a block granularity exposes:
+/// the fraction of blocks that chain with at least one other block (i.e.
+/// belong to some maximal compact sequence of length >= 2). 0 = every
+/// block is a singleton; 1 = every block participates in a pattern.
+double ChainingScore(const CompactSequenceMiner& miner);
+
+/// \brief Report for one candidate granularity.
+struct GranularityReport {
+  int granularity_hours = 0;
+  size_t num_blocks = 0;
+  size_t num_maximal_sequences = 0;
+  size_t longest_sequence = 0;
+  double chaining_score = 0.0;
+  /// The selection objective: chaining_score x separation, where
+  /// separation = 1 - longest_sequence / num_blocks. It rewards blocks
+  /// chaining within regimes while regimes stay distinct; ties break
+  /// toward the earlier (coarser, cheaper) candidate.
+  double objective = 0.0;
+};
+
+/// \brief Automatic block-granularity selection (the paper's §7 future
+/// work item 2): segments pre-blocked inputs at each candidate
+/// granularity, mines compact sequences, and scores the structure.
+///
+/// `blocks_per_granularity[i]` holds the block sequence at candidate i
+/// (the caller segments, e.g. with SegmentTrace, since segmentation is
+/// data-source specific). Returns per-candidate reports, ordered as
+/// given; `best_index` receives the argmax of the objective.
+std::vector<GranularityReport> EvaluateGranularities(
+    const std::vector<std::vector<TransactionBlock>>& blocks_per_granularity,
+    const std::vector<int>& granularity_hours,
+    const CompactSequenceMiner::Options& options, size_t* best_index);
+
+}  // namespace demon
+
+#endif  // DEMON_PATTERNS_GRANULARITY_H_

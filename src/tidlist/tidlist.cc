@@ -1,0 +1,91 @@
+#include "tidlist/tidlist.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+// Galloping (exponential) search for the first position in [first, last)
+// with *pos >= value.
+const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
+                                 uint32_t value) {
+  size_t step = 1;
+  const uint32_t* probe = first;
+  while (probe < last && *probe < value) {
+    first = probe + 1;
+    probe = first + step;
+    step *= 2;
+  }
+  if (probe > last) probe = last;
+  return std::lower_bound(first, probe, value);
+}
+
+}  // namespace
+
+void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
+  out->clear();
+  const TidList& small = a.size() <= b.size() ? a : b;
+  const TidList& large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return;
+  out->reserve(small.size());
+
+  // When the size ratio is large, gallop through the large list.
+  if (large.size() / (small.size() + 1) >= 8) {
+    const uint32_t* lo = large.data();
+    const uint32_t* const end = large.data() + large.size();
+    for (uint32_t v : small) {
+      lo = GallopLowerBound(lo, end, v);
+      if (lo == end) break;
+      if (*lo == v) out->push_back(v);
+    }
+    return;
+  }
+
+  // Linear merge.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < small.size() && j < large.size()) {
+    const uint32_t x = small[i];
+    const uint32_t y = large[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out->push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+TidList Intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  IntersectInto(a, b, &out);
+  return out;
+}
+
+uint64_t IntersectionSize(const std::vector<const TidList*>& lists) {
+  DEMON_CHECK(!lists.empty());
+  if (lists.size() == 1) return lists[0]->size();
+
+  // Intersect smallest-first so intermediate results shrink fast.
+  std::vector<const TidList*> order = lists;
+  std::sort(order.begin(), order.end(),
+            [](const TidList* a, const TidList* b) {
+              return a->size() < b->size();
+            });
+  TidList current;
+  TidList next;
+  IntersectInto(*order[0], *order[1], &current);
+  for (size_t i = 2; i < order.size() && !current.empty(); ++i) {
+    IntersectInto(current, *order[i], &next);
+    current.swap(next);
+  }
+  return current.size();
+}
+
+}  // namespace demon

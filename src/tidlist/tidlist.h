@@ -1,0 +1,32 @@
+#ifndef DEMON_TIDLIST_TIDLIST_H_
+#define DEMON_TIDLIST_TIDLIST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace demon {
+
+/// \brief A TID-list: block-local transaction offsets, sorted increasing
+/// (paper §3.1.1). Offsets are 32-bit because lists are per block and
+/// blocks are far smaller than 2^32 transactions; the block's first TID
+/// turns an offset into a global TID.
+using TidList = std::vector<uint32_t>;
+
+/// \brief Intersects two sorted TID-lists into `out` (cleared first).
+/// Uses a linear merge, switching to galloping search when one input is
+/// much longer than the other — the common case when intersecting a rare
+/// 2-itemset list against a frequent item list.
+void IntersectInto(const TidList& a, const TidList& b, TidList* out);
+
+/// \brief Returns the intersection of two sorted TID-lists.
+TidList Intersect(const TidList& a, const TidList& b);
+
+/// \brief Cardinality of the intersection of `lists` (the support of the
+/// itemset whose per-item lists these are; paper §3.1.1's merge-join).
+/// Intersects smallest-first with early exit on empty. An empty `lists`
+/// input is invalid; a single list returns its own size.
+uint64_t IntersectionSize(const std::vector<const TidList*>& lists);
+
+}  // namespace demon
+
+#endif  // DEMON_TIDLIST_TIDLIST_H_

@@ -1,0 +1,154 @@
+#include "tidlist/tidlist_file.h"
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x44454d4f4e544c32ULL;  // "DEMONTL2"
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status TidListFile::Write(const BlockTidLists& lists,
+                          const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+
+  const size_t num_items = lists.num_items();
+  const auto pairs = lists.MaterializedPairs();
+
+  // Header: magic, num_transactions, num_items, num_pairs.
+  bool ok = WriteU64(f, kMagic) && WriteU64(f, lists.num_transactions()) &&
+            WriteU64(f, num_items) && WriteU64(f, pairs.size());
+
+  // Offset tables are written after we know the data layout; compute it.
+  const uint64_t header_bytes = 4 * sizeof(uint64_t);
+  const uint64_t item_table_bytes = num_items * 2 * sizeof(uint64_t);
+  const uint64_t pair_table_bytes = pairs.size() * 3 * sizeof(uint64_t);
+  uint64_t data_offset = header_bytes + item_table_bytes + pair_table_bytes;
+
+  for (Item item = 0; ok && item < num_items; ++item) {
+    const uint64_t length = lists.ItemList(item).size();
+    ok = WriteU64(f, data_offset) && WriteU64(f, length);
+    data_offset += length * sizeof(uint32_t);
+  }
+  for (size_t p = 0; ok && p < pairs.size(); ++p) {
+    const TidList* list = lists.PairList(pairs[p].first, pairs[p].second);
+    DEMON_CHECK(list != nullptr);
+    const uint64_t key = (static_cast<uint64_t>(pairs[p].first) << 32) |
+                         pairs[p].second;
+    ok = WriteU64(f, key) && WriteU64(f, data_offset) &&
+         WriteU64(f, list->size());
+    data_offset += list->size() * sizeof(uint32_t);
+  }
+
+  // Payload: item lists then pair lists, in table order.
+  for (Item item = 0; ok && item < num_items; ++item) {
+    const TidList& list = lists.ItemList(item);
+    if (!list.empty()) {
+      ok = std::fwrite(list.data(), sizeof(uint32_t), list.size(), f) ==
+           list.size();
+    }
+  }
+  for (size_t p = 0; ok && p < pairs.size(); ++p) {
+    const TidList* list = lists.PairList(pairs[p].first, pairs[p].second);
+    if (!list->empty()) {
+      ok = std::fwrite(list->data(), sizeof(uint32_t), list->size(), f) ==
+           list->size();
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+TidListFileReader::~TidListFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<TidListFileReader>> TidListFileReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto reader = std::unique_ptr<TidListFileReader>(new TidListFileReader());
+  reader->file_ = f;
+
+  uint64_t magic = 0;
+  uint64_t num_transactions = 0;
+  uint64_t num_items = 0;
+  uint64_t num_pairs = 0;
+  bool ok = ReadU64(f, &magic) && magic == kMagic &&
+            ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+            ReadU64(f, &num_pairs);
+  if (ok) {
+    reader->num_transactions_ = num_transactions;
+    reader->index_.resize(num_items);
+    for (size_t i = 0; ok && i < num_items; ++i) {
+      ok = ReadU64(f, &reader->index_[i].offset) &&
+           ReadU64(f, &reader->index_[i].length);
+    }
+    for (size_t p = 0; ok && p < num_pairs; ++p) {
+      uint64_t key = 0;
+      Extent extent;
+      ok = ReadU64(f, &key) && ReadU64(f, &extent.offset) &&
+           ReadU64(f, &extent.length);
+      if (ok) reader->pair_index_.emplace(key, extent);
+    }
+  }
+  if (!ok) return Status::IoError("corrupt TID-list file: " + path);
+  return reader;
+}
+
+Status TidListFileReader::ReadExtent(const Extent& extent, TidList* out) {
+  out->resize(extent.length);
+  if (extent.length == 0) return Status::OK();
+  if (std::fseek(file_, static_cast<long>(extent.offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(out->data(), sizeof(uint32_t), extent.length, file_) !=
+      extent.length) {
+    return Status::IoError("short read");
+  }
+  bytes_read_ += extent.length * sizeof(uint32_t);
+  return Status::OK();
+}
+
+Status TidListFileReader::ReadItemList(Item item, TidList* out) {
+  if (item >= index_.size()) {
+    return Status::InvalidArgument("item outside universe");
+  }
+  return ReadExtent(index_[item], out);
+}
+
+Status TidListFileReader::ReadPairList(Item a, Item b, TidList* out) {
+  const auto it = pair_index_.find(PairKey(a, b));
+  if (it == pair_index_.end()) {
+    return Status::NotFound("pair not materialized");
+  }
+  return ReadExtent(it->second, out);
+}
+
+bool TidListFileReader::HasPairList(Item a, Item b) const {
+  return pair_index_.count(PairKey(a, b)) > 0;
+}
+
+size_t TidListFileReader::ItemListLength(Item item) const {
+  DEMON_CHECK(item < index_.size());
+  return index_[item].length;
+}
+
+size_t TidListFileReader::PairListLength(Item a, Item b) const {
+  const auto it = pair_index_.find(PairKey(a, b));
+  return it == pair_index_.end() ? 0 : it->second.length;
+}
+
+}  // namespace demon

@@ -1,0 +1,175 @@
+#include "tidlist/tidlist_store.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace demon {
+
+std::shared_ptr<const BlockTidLists> BlockTidLists::Build(
+    const TransactionBlock& block, size_t num_items,
+    const PairMaterializationSpec* pairs) {
+  auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
+  lists->num_transactions_ = block.size();
+  lists->item_lists_.resize(num_items);
+
+  // One scan of the block appends each transaction offset to the list of
+  // every item it contains (paper §3.1.1 "materialization of TID-lists").
+  const auto& transactions = block.transactions();
+  for (size_t offset = 0; offset < transactions.size(); ++offset) {
+    for (Item item : transactions[offset].items()) {
+      DEMON_CHECK_MSG(item < num_items, "item outside the declared universe");
+      lists->item_lists_[item].push_back(static_cast<uint32_t>(offset));
+    }
+  }
+  for (const TidList& list : lists->item_lists_) {
+    lists->item_list_slots_ += list.size();
+  }
+
+  if (pairs != nullptr) {
+    size_t used = 0;
+    for (const auto& [a, b] : pairs->pairs) {
+      DEMON_CHECK(a != b);
+      TidList joint =
+          Intersect(lists->item_lists_[a], lists->item_lists_[b]);
+      if (used + joint.size() > pairs->budget_slots) {
+        // Paper heuristic: take as many highest-priority 2-itemsets as fit.
+        continue;
+      }
+      used += joint.size();
+      lists->pair_lists_.emplace(PairKey(a, b), std::move(joint));
+    }
+    lists->pair_list_slots_ = used;
+  }
+  return lists;
+}
+
+const TidList& BlockTidLists::ItemList(Item item) const {
+  DEMON_CHECK(item < item_lists_.size());
+  return item_lists_[item];
+}
+
+std::vector<std::pair<Item, Item>> BlockTidLists::MaterializedPairs() const {
+  std::vector<std::pair<Item, Item>> pairs;
+  pairs.reserve(pair_lists_.size());
+  for (const auto& [key, list] : pair_lists_) {
+    pairs.push_back({static_cast<Item>(key >> 32),
+                     static_cast<Item>(key & 0xFFFFFFFFu)});
+  }
+  return pairs;
+}
+
+const TidList* BlockTidLists::PairList(Item a, Item b) const {
+  const auto it = pair_lists_.find(PairKey(a, b));
+  return it == pair_lists_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool WriteList(std::FILE* f, const TidList& list) {
+  if (!WriteU64(f, list.size())) return false;
+  if (list.empty()) return true;
+  return std::fwrite(list.data(), sizeof(uint32_t), list.size(), f) ==
+         list.size();
+}
+
+bool ReadList(std::FILE* f, TidList* list) {
+  uint64_t n = 0;
+  if (!ReadU64(f, &n)) return false;
+  list->resize(n);
+  if (n == 0) return true;
+  return std::fread(list->data(), sizeof(uint32_t), n, f) == n;
+}
+
+constexpr uint64_t kMagic = 0x44454d4f4e544c31ULL;  // "DEMONTL1"
+
+}  // namespace
+
+Status BlockTidLists::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  bool ok = WriteU64(f, kMagic) && WriteU64(f, num_transactions_) &&
+            WriteU64(f, item_lists_.size()) &&
+            WriteU64(f, pair_lists_.size());
+  for (size_t i = 0; ok && i < item_lists_.size(); ++i) {
+    ok = WriteList(f, item_lists_[i]);
+  }
+  for (auto it = pair_lists_.begin(); ok && it != pair_lists_.end(); ++it) {
+    ok = WriteU64(f, it->first) && WriteList(f, it->second);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
+  uint64_t magic = 0;
+  uint64_t num_transactions = 0;
+  uint64_t num_items = 0;
+  uint64_t num_pairs = 0;
+  bool ok = ReadU64(f, &magic) && magic == kMagic &&
+            ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+            ReadU64(f, &num_pairs);
+  if (ok) {
+    lists->num_transactions_ = num_transactions;
+    lists->item_lists_.resize(num_items);
+    for (size_t i = 0; ok && i < num_items; ++i) {
+      ok = ReadList(f, &lists->item_lists_[i]);
+      if (ok) lists->item_list_slots_ += lists->item_lists_[i].size();
+    }
+    for (size_t p = 0; ok && p < num_pairs; ++p) {
+      uint64_t key = 0;
+      TidList list;
+      ok = ReadU64(f, &key) && ReadList(f, &list);
+      if (ok) {
+        lists->pair_list_slots_ += list.size();
+        lists->pair_lists_.emplace(key, std::move(list));
+      }
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("corrupt TID-list file: " + path);
+  return std::shared_ptr<const BlockTidLists>(std::move(lists));
+}
+
+void TidListStore::DropOldest(size_t count) {
+  DEMON_CHECK(count <= blocks_.size());
+  blocks_.erase(blocks_.begin(), blocks_.begin() + count);
+}
+
+void TidListStore::DropAt(size_t index) {
+  DEMON_CHECK(index < blocks_.size());
+  blocks_.erase(blocks_.begin() + index);
+}
+
+size_t TidListStore::TotalTransactions() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b->num_transactions();
+  return total;
+}
+
+size_t TidListStore::TotalItemSlots() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b->item_list_slots();
+  return total;
+}
+
+size_t TidListStore::TotalPairSlots() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b->pair_list_slots();
+  return total;
+}
+
+}  // namespace demon

@@ -1,0 +1,133 @@
+#ifndef DEMON_TIDLIST_TIDLIST_STORE_H_
+#define DEMON_TIDLIST_TIDLIST_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/block.h"
+#include "data/types.h"
+#include "tidlist/tidlist.h"
+
+namespace demon {
+
+/// \brief Priority-ordered request to materialize 2-itemset TID-lists in a
+/// block, with an upper bound on the extra space (ECUT+, paper §3.1.1).
+///
+/// The paper's heuristic: materialize the TID-lists of all frequent
+/// 2-itemsets of the current model; if they exceed the space budget
+/// M_{t+1}, take itemsets in decreasing order of overall support. Callers
+/// build `pairs` already sorted by that priority.
+struct PairMaterializationSpec {
+  /// Item pairs (a < b) in decreasing priority order.
+  std::vector<std::pair<Item, Item>> pairs;
+  /// Maximum number of TID slots (uint32 entries) the pair lists may
+  /// occupy in this block. SIZE_MAX means unbounded.
+  size_t budget_slots = SIZE_MAX;
+};
+
+/// \brief Immutable TID-list representation of one block: one list per
+/// item, plus optionally materialized 2-itemset lists (paper §3.1.1).
+///
+/// Lists hold block-local offsets; by the additivity and 0/1 properties,
+/// per-block lists are built once when the block arrives and never change.
+/// The item lists occupy exactly as many slots as the transactional
+/// representation of the block, so they *replace* it rather than duplicate
+/// it; pair lists are the "additional disk space" of ECUT+.
+class BlockTidLists {
+ public:
+  /// Builds the per-item lists (and requested pair lists) for `block`.
+  /// `num_items` fixes the item-universe size; items outside [0, num_items)
+  /// are invalid.
+  static std::shared_ptr<const BlockTidLists> Build(
+      const TransactionBlock& block, size_t num_items,
+      const PairMaterializationSpec* pairs = nullptr);
+
+  size_t num_transactions() const { return num_transactions_; }
+  size_t num_items() const { return item_lists_.size(); }
+
+  /// TID-list of a single item.
+  const TidList& ItemList(Item item) const;
+
+  /// Materialized list of the pair {a, b} (any order), or nullptr if this
+  /// pair was not materialized in this block.
+  const TidList* PairList(Item a, Item b) const;
+
+  /// Number of materialized pairs.
+  size_t num_pair_lists() const { return pair_lists_.size(); }
+
+  /// All materialized pairs (a < b), in unspecified order.
+  std::vector<std::pair<Item, Item>> MaterializedPairs() const;
+
+  /// Slots (uint32 entries) occupied by the item lists == total item
+  /// occurrences of the block.
+  size_t item_list_slots() const { return item_list_slots_; }
+
+  /// Extra slots occupied by materialized pair lists.
+  size_t pair_list_slots() const { return pair_list_slots_; }
+
+  /// Serializes to a simple binary file (models the paper's on-disk
+  /// TID-list organization).
+  Status WriteToFile(const std::string& path) const;
+
+  /// Reads a file written by WriteToFile.
+  static Result<std::shared_ptr<const BlockTidLists>> ReadFromFile(
+      const std::string& path);
+
+ private:
+  BlockTidLists() = default;
+
+  static uint64_t PairKey(Item a, Item b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  size_t num_transactions_ = 0;
+  std::vector<TidList> item_lists_;
+  std::unordered_map<uint64_t, TidList> pair_lists_;
+  size_t item_list_slots_ = 0;
+  size_t pair_list_slots_ = 0;
+};
+
+/// \brief The TID-list store of an evolving database: one BlockTidLists per
+/// selected block, appended as blocks arrive. Copies are cheap (blocks are
+/// shared immutable state), which is what lets GEMM keep w models whose
+/// histories overlap without duplicating lists.
+class TidListStore {
+ public:
+  TidListStore() = default;
+
+  void Append(std::shared_ptr<const BlockTidLists> block) {
+    blocks_.push_back(std::move(block));
+  }
+
+  /// Drops the `count` oldest blocks (AuM-style deletion support).
+  void DropOldest(size_t count);
+
+  /// Drops the block at position `index`.
+  void DropAt(size_t index);
+
+  size_t NumBlocks() const { return blocks_.size(); }
+  const BlockTidLists& block(size_t index) const { return *blocks_[index]; }
+  const std::vector<std::shared_ptr<const BlockTidLists>>& blocks() const {
+    return blocks_;
+  }
+
+  /// Total transactions across blocks.
+  size_t TotalTransactions() const;
+  /// Total slots in item lists across blocks.
+  size_t TotalItemSlots() const;
+  /// Total extra slots in pair lists across blocks.
+  size_t TotalPairSlots() const;
+
+ private:
+  std::vector<std::shared_ptr<const BlockTidLists>> blocks_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_TIDLIST_TIDLIST_STORE_H_

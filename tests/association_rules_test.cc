@@ -1,0 +1,154 @@
+#include "itemsets/association_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+
+namespace demon {
+namespace {
+
+std::shared_ptr<const TransactionBlock> MakeBlock(
+    std::vector<Transaction> transactions) {
+  return std::make_shared<TransactionBlock>(std::move(transactions), 0);
+}
+
+TEST(AssociationRulesTest, HandWorkedExample) {
+  // 8 transactions: {0,1} x6, {0} x1, {1} x1. sup({0,1}) = 0.75,
+  // sup({0}) = sup({1}) = 0.875.
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 6; ++i) transactions.push_back(Transaction({0, 1}));
+  transactions.push_back(Transaction({0}));
+  transactions.push_back(Transaction({1}));
+  const ItemsetModel model = Apriori({MakeBlock(std::move(transactions))},
+                                     0.5, 2);
+
+  const auto rules = DeriveRules(model, 0.5);
+  ASSERT_EQ(rules.size(), 2u);
+  // Both directions: conf = 0.75 / 0.875 = 6/7.
+  for (const auto& rule : rules) {
+    EXPECT_DOUBLE_EQ(rule.support, 0.75);
+    EXPECT_NEAR(rule.confidence, 6.0 / 7.0, 1e-12);
+    EXPECT_NEAR(rule.lift, (6.0 / 7.0) / 0.875, 1e-12);
+  }
+}
+
+TEST(AssociationRulesTest, MinConfidenceFilters) {
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 6; ++i) transactions.push_back(Transaction({0, 1}));
+  for (int i = 0; i < 6; ++i) transactions.push_back(Transaction({0}));
+  const ItemsetModel model = Apriori({MakeBlock(std::move(transactions))},
+                                     0.4, 2);
+  // {0}=>{1} has conf 0.5; {1}=>{0} has conf 1.0.
+  EXPECT_EQ(DeriveRules(model, 0.9).size(), 1u);
+  EXPECT_EQ(DeriveRules(model, 0.5).size(), 2u);
+  const auto strict = DeriveRules(model, 0.9);
+  EXPECT_EQ(strict[0].antecedent, (Itemset{1}));
+  EXPECT_EQ(strict[0].consequent, (Itemset{0}));
+}
+
+TEST(AssociationRulesTest, MultiItemConsequents) {
+  // {0,1,2} frequent in every transaction: all 6 rules hold at conf 1.
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 4; ++i) transactions.push_back(Transaction({0, 1, 2}));
+  const ItemsetModel model = Apriori({MakeBlock(std::move(transactions))},
+                                     0.5, 3);
+  const auto rules = DeriveRulesFrom(model, {0, 1, 2}, 1.0);
+  // Antecedent/consequent splits of a 3-set: 2^3 - 2 = 6.
+  EXPECT_EQ(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+    EXPECT_EQ(Union(rule.antecedent, rule.consequent), (Itemset{0, 1, 2}));
+  }
+}
+
+TEST(AssociationRulesTest, ConsequentPruningIsLossless) {
+  // Brute-force check on random-ish data: rules from the pruned generator
+  // match exhaustive enumeration over all antecedent/consequent splits.
+  QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 12;
+  params.num_patterns = 8;
+  params.avg_transaction_len = 5;
+  params.avg_pattern_len = 3;
+  params.seed = 5;
+  QuestGenerator gen(params);
+  auto block = std::make_shared<TransactionBlock>(gen.GenerateAll());
+  const ItemsetModel model = Apriori({block}, 0.05, params.num_items);
+  const double min_confidence = 0.4;
+
+  const auto fast = DeriveRules(model, min_confidence);
+
+  std::vector<AssociationRule> brute;
+  for (const auto& [itemset, entry] : model.entries()) {
+    if (!entry.frequent || itemset.size() < 2) continue;
+    const size_t n = itemset.size();
+    for (size_t mask = 1; mask + 1 < (size_t{1} << n); ++mask) {
+      Itemset antecedent;
+      Itemset consequent;
+      for (size_t i = 0; i < n; ++i) {
+        ((mask >> i) & 1 ? antecedent : consequent).push_back(itemset[i]);
+      }
+      const double confidence =
+          model.SupportOf(itemset) / model.SupportOf(antecedent);
+      if (confidence >= min_confidence) {
+        AssociationRule rule;
+        rule.antecedent = antecedent;
+        rule.consequent = consequent;
+        brute.push_back(rule);
+      }
+    }
+  }
+  ASSERT_EQ(fast.size(), brute.size());
+  ItemsetSet fast_keys;
+  for (const auto& rule : fast) {
+    Itemset key = rule.antecedent;
+    key.push_back(1000);  // separator outside the item universe
+    key.insert(key.end(), rule.consequent.begin(), rule.consequent.end());
+    fast_keys.insert(key);
+  }
+  for (const auto& rule : brute) {
+    Itemset key = rule.antecedent;
+    key.push_back(1000);
+    key.insert(key.end(), rule.consequent.begin(), rule.consequent.end());
+    EXPECT_TRUE(fast_keys.count(key) > 0)
+        << ToString(rule.antecedent) << " => " << ToString(rule.consequent);
+  }
+}
+
+TEST(AssociationRulesTest, SortedByConfidenceThenSupport) {
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 8; ++i) transactions.push_back(Transaction({0, 1}));
+  for (int i = 0; i < 2; ++i) transactions.push_back(Transaction({0}));
+  for (int i = 0; i < 5; ++i) transactions.push_back(Transaction({2, 3}));
+  for (int i = 0; i < 5; ++i) transactions.push_back(Transaction({2}));
+  const ItemsetModel model = Apriori({MakeBlock(std::move(transactions))},
+                                     0.2, 4);
+  const auto rules = DeriveRules(model, 0.3);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].confidence, rules[i].confidence);
+  }
+}
+
+TEST(AssociationRulesTest, NoRulesFromSingletonsOrInfrequent) {
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 4; ++i) transactions.push_back(Transaction({0}));
+  transactions.push_back(Transaction({1, 2}));
+  const ItemsetModel model = Apriori({MakeBlock(std::move(transactions))},
+                                     0.5, 3);
+  EXPECT_TRUE(DeriveRules(model, 0.1).empty());
+  EXPECT_TRUE(DeriveRulesFrom(model, {1, 2}, 0.1).empty());  // infrequent
+}
+
+TEST(AssociationRulesTest, ToStringFormat) {
+  AssociationRule rule;
+  rule.antecedent = {1};
+  rule.consequent = {2};
+  rule.support = 0.5;
+  rule.confidence = 0.75;
+  rule.lift = 1.5;
+  EXPECT_EQ(rule.ToString(), "{1} => {2} (sup 0.500, conf 0.750, lift 1.50)");
+}
+
+}  // namespace
+}  // namespace demon

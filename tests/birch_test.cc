@@ -1,0 +1,235 @@
+#include "clustering/birch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clustering/agglomerative.h"
+#include "clustering/kmeans.h"
+#include "datagen/cluster_generator.h"
+
+namespace demon {
+namespace {
+
+// Fraction of generated points whose model assignment agrees with the true
+// generating cluster (after best-effort matching by the true center).
+double ClusterRecovery(const ClusterModel& model, const PointBlock& block,
+                       const std::vector<int>& true_labels,
+                       const std::vector<Point>& true_centers) {
+  // Map each true center to the closest model cluster.
+  std::vector<int> center_to_cluster(true_centers.size());
+  for (size_t k = 0; k < true_centers.size(); ++k) {
+    center_to_cluster[k] =
+        model.Assign(true_centers[k].data(), true_centers[k].size());
+  }
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    if (true_labels[i] < 0) continue;  // skip noise
+    ++total;
+    const int assigned = model.Assign(block.PointAt(i), block.dim());
+    if (assigned == center_to_cluster[true_labels[i]]) ++correct;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) /
+                                static_cast<double>(total);
+}
+
+BirchOptions TestOptions(size_t k, Phase2Algorithm phase2) {
+  BirchOptions options;
+  options.num_clusters = k;
+  options.phase2 = phase2;
+  options.tree.max_leaf_entries = 512;
+  options.tree.leaf_capacity = 16;
+  options.tree.branching = 8;
+  return options;
+}
+
+class BirchPhase2Test : public ::testing::TestWithParam<Phase2Algorithm> {};
+
+TEST_P(BirchPhase2Test, RecoversWellSeparatedClusters) {
+  ClusterGenParams params;
+  params.num_points = 8000;
+  params.num_clusters = 10;
+  params.dim = 4;
+  params.max_sigma = 1.0;
+  params.domain_size = 200.0;  // well separated
+  params.seed = 31;
+  ClusterGenerator gen(params);
+  auto block = std::make_shared<PointBlock>(gen.GenerateAll());
+
+  BirchStats stats;
+  const ClusterModel model =
+      RunBirch({block}, params.dim, TestOptions(10, GetParam()), &stats);
+  EXPECT_EQ(model.NumClusters(), 10u);
+  EXPECT_GT(stats.num_subclusters, 10u);
+  EXPECT_EQ(stats.points_scanned, 8000u);
+  EXPECT_DOUBLE_EQ(model.TotalWeight(), 8000.0);
+
+  const double recovery =
+      ClusterRecovery(model, *block, gen.true_labels(), gen.centers());
+  EXPECT_GT(recovery, 0.95) << "phase2 variant failed to recover clusters";
+}
+
+INSTANTIATE_TEST_SUITE_P(Phase2, BirchPhase2Test,
+                         ::testing::Values(Phase2Algorithm::kAgglomerative,
+                                           Phase2Algorithm::kWeightedKMeans),
+                         [](const auto& info) {
+                           return info.param ==
+                                          Phase2Algorithm::kAgglomerative
+                                      ? "Agglomerative"
+                                      : "KMeans";
+                         });
+
+TEST(BirchPlusTest, MatchesNonIncrementalBirchExactly) {
+  // The §3.1.2 claim: at any time t the BIRCH+ model equals running BIRCH
+  // from scratch on D[1, t]. With the deterministic agglomerative phase 2
+  // the models are bitwise identical.
+  ClusterGenParams params;
+  params.num_points = 6000;
+  params.num_clusters = 12;
+  params.dim = 3;
+  params.noise_fraction = 0.02;
+  params.seed = 32;
+  ClusterGenerator gen(params);
+
+  const BirchOptions options = TestOptions(12, Phase2Algorithm::kAgglomerative);
+  BirchPlus incremental(params.dim, options);
+  std::vector<std::shared_ptr<const PointBlock>> so_far;
+  for (int b = 0; b < 4; ++b) {
+    auto block = std::make_shared<PointBlock>(gen.NextBlock(1500));
+    so_far.push_back(block);
+    incremental.AddBlock(*block);
+
+    const ClusterModel scratch = RunBirch(so_far, params.dim, options);
+    ASSERT_EQ(incremental.model().NumClusters(), scratch.NumClusters());
+    for (size_t c = 0; c < scratch.NumClusters(); ++c) {
+      EXPECT_EQ(incremental.model().clusters()[c], scratch.clusters()[c])
+          << "cluster " << c << " after block " << b;
+    }
+  }
+}
+
+TEST(BirchPlusTest, OnlyScansTheNewBlock) {
+  ClusterGenParams params;
+  params.num_points = 4000;
+  params.num_clusters = 6;
+  params.dim = 3;
+  params.seed = 33;
+  ClusterGenerator gen(params);
+  BirchPlus birch_plus(params.dim,
+                       TestOptions(6, Phase2Algorithm::kAgglomerative));
+  birch_plus.AddBlock(gen.NextBlock(3000));
+  EXPECT_EQ(birch_plus.last_stats().points_scanned, 3000u);
+  birch_plus.AddBlock(gen.NextBlock(1000));
+  EXPECT_EQ(birch_plus.last_stats().points_scanned, 1000u);
+  EXPECT_DOUBLE_EQ(birch_plus.tree().total_weight(), 4000.0);
+}
+
+TEST(BirchPlusTest, LabelingScanPartitionsAllPoints) {
+  ClusterGenParams params;
+  params.num_points = 2000;
+  params.num_clusters = 5;
+  params.dim = 2;
+  params.seed = 34;
+  ClusterGenerator gen(params);
+  const PointBlock block = gen.GenerateAll();
+  BirchPlus birch_plus(params.dim,
+                       TestOptions(5, Phase2Algorithm::kAgglomerative));
+  birch_plus.AddBlock(block);
+  const std::vector<int> labels = LabelBlock(block, birch_plus.model());
+  ASSERT_EQ(labels.size(), block.size());
+  for (int label : labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(birch_plus.model().NumClusters()));
+  }
+}
+
+TEST(KMeansTest, RecoversSeparatedCentroids) {
+  std::vector<Point> points;
+  Rng rng(35);
+  for (int i = 0; i < 300; ++i) {
+    const double cx = (i % 3) * 50.0;
+    points.push_back({cx + rng.NextGaussian(0, 0.5),
+                      rng.NextGaussian(0, 0.5)});
+  }
+  const KMeansResult result = WeightedKMeans(points, {}, 3, 1);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  std::vector<double> xs;
+  for (const Point& c : result.centroids) xs.push_back(c[0]);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[0], 0.0, 1.0);
+  EXPECT_NEAR(xs[1], 50.0, 1.0);
+  EXPECT_NEAR(xs[2], 100.0, 1.0);
+  EXPECT_LT(result.cost / 300.0, 1.0);
+}
+
+TEST(KMeansTest, WeightsPullCentroids) {
+  // Two points, one with overwhelming weight: k=1 centroid sits near it.
+  const std::vector<Point> points = {{0.0}, {10.0}};
+  const std::vector<double> weights = {99.0, 1.0};
+  const KMeansResult result = WeightedKMeans(points, weights, 1, 2);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 0.1, 1e-9);
+}
+
+TEST(KMeansTest, MoreCentersThanPointsIsSafe) {
+  const std::vector<Point> points = {{0.0}, {1.0}};
+  const KMeansResult result = WeightedKMeans(points, {}, 5, 3);
+  EXPECT_EQ(result.centroids.size(), 5u);
+  EXPECT_EQ(result.assignments.size(), 2u);
+}
+
+TEST(AgglomerativeTest, MergesDownToK) {
+  std::vector<ClusterFeature> entries;
+  Rng rng(36);
+  for (int i = 0; i < 60; ++i) {
+    const double cx = (i % 3) * 100.0;
+    double p[2] = {cx + rng.NextGaussian(0, 1.0), rng.NextGaussian(0, 1.0)};
+    entries.push_back(ClusterFeature::FromPoint(p, 2));
+  }
+  std::vector<ClusterFeature> clusters;
+  const std::vector<int> assignments =
+      AgglomerativeMerge(entries, 3, &clusters);
+  ASSERT_EQ(clusters.size(), 3u);
+  ASSERT_EQ(assignments.size(), entries.size());
+  // Each output cluster must be the exact CF sum of its assigned entries.
+  std::vector<ClusterFeature> rebuilt(3, ClusterFeature(2));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ASSERT_GE(assignments[i], 0);
+    ASSERT_LT(assignments[i], 3);
+    rebuilt[assignments[i]].Merge(entries[i]);
+  }
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(rebuilt[c].n(), clusters[c].n());
+    EXPECT_NEAR(rebuilt[c].ss(), clusters[c].ss(), 1e-9);
+  }
+  // The three groups must not be mixed (they are 100 apart, sigma 1).
+  for (size_t c = 0; c < 3; ++c) EXPECT_LT(clusters[c].Radius(), 10.0);
+}
+
+TEST(AgglomerativeTest, KEqualsInputSizeIsIdentity) {
+  std::vector<ClusterFeature> entries;
+  for (int i = 0; i < 5; ++i) {
+    double p[1] = {static_cast<double>(i * 10)};
+    entries.push_back(ClusterFeature::FromPoint(p, 1));
+  }
+  std::vector<ClusterFeature> clusters;
+  const auto assignments = AgglomerativeMerge(entries, 5, &clusters);
+  EXPECT_EQ(clusters.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(assignments[i], static_cast<int>(i));
+}
+
+TEST(AgglomerativeTest, KOneMergesEverything) {
+  std::vector<ClusterFeature> entries;
+  for (int i = 0; i < 7; ++i) {
+    double p[1] = {static_cast<double>(i)};
+    entries.push_back(ClusterFeature::FromPoint(p, 1));
+  }
+  std::vector<ClusterFeature> clusters;
+  AgglomerativeMerge(entries, 1, &clusters);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].n(), 7.0);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,87 @@
+#include "core/bss.h"
+
+#include <gtest/gtest.h>
+
+namespace demon {
+namespace {
+
+TEST(BssTest, WindowIndependentPrefixAndTail) {
+  const auto bss =
+      BlockSelectionSequence::WindowIndependent({true, false, true}, false);
+  EXPECT_TRUE(bss.SelectsBlock(1));
+  EXPECT_FALSE(bss.SelectsBlock(2));
+  EXPECT_TRUE(bss.SelectsBlock(3));
+  EXPECT_FALSE(bss.SelectsBlock(4));
+  EXPECT_FALSE(bss.SelectsBlock(1000));
+  EXPECT_FALSE(bss.is_window_relative());
+}
+
+TEST(BssTest, AllBlocks) {
+  const auto bss = BlockSelectionSequence::AllBlocks();
+  for (BlockId id = 1; id < 100; ++id) EXPECT_TRUE(bss.SelectsBlock(id));
+}
+
+TEST(BssTest, PeriodicSelectsEveryKth) {
+  // "Every Monday" with daily blocks starting on a Monday: period 7,
+  // phase 0.
+  const auto mondays = BlockSelectionSequence::Periodic(7, 0);
+  EXPECT_TRUE(mondays.SelectsBlock(1));
+  EXPECT_FALSE(mondays.SelectsBlock(2));
+  EXPECT_TRUE(mondays.SelectsBlock(8));
+  EXPECT_TRUE(mondays.SelectsBlock(15));
+  const auto alternate = BlockSelectionSequence::Periodic(2, 1);
+  EXPECT_FALSE(alternate.SelectsBlock(1));
+  EXPECT_TRUE(alternate.SelectsBlock(2));
+  EXPECT_TRUE(alternate.SelectsBlock(4));
+}
+
+TEST(BssTest, ProjectionMatchesPaperExample) {
+  // Paper §3.2.1: b = <10110...>, w = 3, window D[1,3].
+  const auto bss = BlockSelectionSequence::WindowIndependent(
+      {true, false, true, true, false});
+  // k = 0: the current window's own bits <101>.
+  EXPECT_EQ(bss.Project(3, 3, 0), (std::vector<bool>{true, false, true}));
+  // k = 1: project b2 b3, pad one zero -> <001>.
+  EXPECT_EQ(bss.Project(3, 3, 1), (std::vector<bool>{false, false, true}));
+  // k = 2: project b3, pad two zeros -> <001>.
+  EXPECT_EQ(bss.Project(3, 3, 2), (std::vector<bool>{false, false, true}));
+}
+
+TEST(BssTest, ProjectionOnLaterWindow) {
+  const auto bss = BlockSelectionSequence::WindowIndependent(
+      {true, false, true, true, false});
+  // Window D[2,4] (t=4, w=3): bits b2 b3 b4 = 0 1 1.
+  EXPECT_EQ(bss.Project(4, 3, 0), (std::vector<bool>{false, true, true}));
+}
+
+TEST(BssTest, RightShiftMatchesPaperExample) {
+  // Paper §3.2.2: right-shifting <101> once gives <010>.
+  EXPECT_EQ(BlockSelectionSequence::RightShift({true, false, true}, 1),
+            (std::vector<bool>{false, true, false}));
+  // Shifting by 0 is the identity.
+  EXPECT_EQ(BlockSelectionSequence::RightShift({true, false, true}, 0),
+            (std::vector<bool>{true, false, true}));
+  // Shifting by w zeroes everything.
+  EXPECT_EQ(BlockSelectionSequence::RightShift({true, true, true}, 3),
+            (std::vector<bool>{false, false, false}));
+}
+
+TEST(BssTest, WindowRelativeBits) {
+  const auto bss =
+      BlockSelectionSequence::WindowRelative({true, false, true});
+  EXPECT_TRUE(bss.is_window_relative());
+  EXPECT_EQ(bss.window_bits().size(), 3u);
+  EXPECT_TRUE(bss.window_bits()[0]);
+  EXPECT_FALSE(bss.window_bits()[1]);
+}
+
+TEST(BssTest, ToStringForms) {
+  EXPECT_EQ(BlockSelectionSequence::WindowRelative({true, false}).ToString(),
+            "<10>");
+  EXPECT_EQ(BlockSelectionSequence::AllBlocks().ToString(), "<1...>");
+  EXPECT_EQ(BlockSelectionSequence::Periodic(7, 2).ToString(),
+            "<periodic:7/2>");
+}
+
+}  // namespace
+}  // namespace demon

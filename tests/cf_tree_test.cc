@@ -1,0 +1,162 @@
+#include "clustering/cf_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/cluster_generator.h"
+
+namespace demon {
+namespace {
+
+CFTreeOptions SmallTree() {
+  CFTreeOptions options;
+  options.branching = 4;
+  options.leaf_capacity = 4;
+  options.max_leaf_entries = 64;
+  return options;
+}
+
+ClusterFeature SumEntries(const std::vector<ClusterFeature>& entries,
+                          size_t dim) {
+  ClusterFeature total(dim);
+  for (const auto& cf : entries) total.Merge(cf);
+  return total;
+}
+
+TEST(CFTreeTest, PreservesTotalsExactly) {
+  Rng rng(1);
+  CFTree tree(3, SmallTree());
+  ClusterFeature expected(3);
+  for (int i = 0; i < 2000; ++i) {
+    double p[3] = {rng.NextGaussian(0, 10), rng.NextGaussian(0, 10),
+                   rng.NextGaussian(0, 10)};
+    tree.Insert(p);
+    expected.Add(p, 3);
+  }
+  EXPECT_DOUBLE_EQ(tree.total_weight(), 2000.0);
+  const ClusterFeature total = SumEntries(tree.LeafEntries(), 3);
+  EXPECT_DOUBLE_EQ(total.n(), expected.n());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(total.ls()[d], expected.ls()[d], 1e-6);
+  }
+  EXPECT_NEAR(total.ss(), expected.ss(), expected.ss() * 1e-12 + 1e-6);
+}
+
+TEST(CFTreeTest, RespectsLeafEntryLimit) {
+  Rng rng(2);
+  CFTreeOptions options = SmallTree();
+  options.max_leaf_entries = 32;
+  CFTree tree(2, options);
+  for (int i = 0; i < 5000; ++i) {
+    double p[2] = {rng.NextDouble() * 100, rng.NextDouble() * 100};
+    tree.Insert(p);
+  }
+  EXPECT_LE(tree.num_leaf_entries(), 32u);
+  EXPECT_GT(tree.num_rebuilds(), 0u);
+  EXPECT_GT(tree.threshold(), 0.0);
+  EXPECT_EQ(tree.LeafEntries().size(), tree.num_leaf_entries());
+}
+
+TEST(CFTreeTest, IdenticalPointsAbsorbIntoOneEntry) {
+  CFTree tree(2, SmallTree());
+  for (int i = 0; i < 100; ++i) {
+    double p[2] = {1.0, 2.0};
+    tree.Insert(p);
+  }
+  EXPECT_EQ(tree.num_leaf_entries(), 1u);
+  const auto entries = tree.LeafEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].n(), 100.0);
+}
+
+TEST(CFTreeTest, HighThresholdAbsorbsAggressively) {
+  Rng rng(3);
+  CFTreeOptions options = SmallTree();
+  options.initial_threshold = 1000.0;  // everything within one entry
+  CFTree tree(2, options);
+  for (int i = 0; i < 500; ++i) {
+    double p[2] = {rng.NextDouble() * 10, rng.NextDouble() * 10};
+    tree.Insert(p);
+  }
+  EXPECT_EQ(tree.num_leaf_entries(), 1u);
+}
+
+TEST(CFTreeTest, WellSeparatedClustersGetSeparateEntries) {
+  // Two tight far-apart groups must never share a sub-cluster when the
+  // threshold starts small.
+  Rng rng(4);
+  CFTreeOptions options = SmallTree();
+  options.max_leaf_entries = 128;
+  CFTree tree(2, options);
+  for (int i = 0; i < 400; ++i) {
+    const double cx = (i % 2 == 0) ? 0.0 : 1000.0;
+    double p[2] = {cx + rng.NextGaussian(0, 0.5),
+                   rng.NextGaussian(0, 0.5)};
+    tree.Insert(p);
+  }
+  size_t low = 0;
+  size_t high = 0;
+  for (const auto& cf : tree.LeafEntries()) {
+    const Point c = cf.Centroid();
+    if (c[0] < 500.0) {
+      low += static_cast<size_t>(cf.n());
+    } else {
+      high += static_cast<size_t>(cf.n());
+    }
+    // A sub-cluster spanning both groups would have a huge radius.
+    EXPECT_LT(cf.Radius(), 100.0);
+  }
+  EXPECT_EQ(low, 200u);
+  EXPECT_EQ(high, 200u);
+}
+
+TEST(CFTreeTest, InsertBlockMatchesPointwiseInsert) {
+  ClusterGenParams params;
+  params.num_points = 1000;
+  params.num_clusters = 5;
+  params.dim = 4;
+  ClusterGenerator gen(params);
+  const PointBlock block = gen.GenerateAll();
+
+  CFTree a(4, SmallTree());
+  CFTree b(4, SmallTree());
+  a.InsertBlock(block);
+  for (size_t i = 0; i < block.size(); ++i) b.Insert(block.PointAt(i));
+  const auto ea = a.LeafEntries();
+  const auto eb = b.LeafEntries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+TEST(CFTreeTest, ResumedInsertionEqualsOneShot) {
+  // The BIRCH+ property at the tree level: suspending phase 1 between
+  // blocks changes nothing (paper §3.1.2).
+  ClusterGenParams params;
+  params.num_points = 3000;
+  params.num_clusters = 8;
+  params.dim = 3;
+  params.seed = 9;
+  ClusterGenerator gen(params);
+  const PointBlock all = gen.GenerateAll();
+
+  CFTree one_shot(3, SmallTree());
+  one_shot.InsertBlock(all);
+
+  CFTree resumed(3, SmallTree());
+  // Split the same data into 3 "blocks" and insert with pauses.
+  const size_t third = all.size() / 3;
+  for (size_t part = 0; part < 3; ++part) {
+    const size_t begin = part * third;
+    const size_t end = (part == 2) ? all.size() : (part + 1) * third;
+    for (size_t i = begin; i < end; ++i) resumed.Insert(all.PointAt(i));
+  }
+  EXPECT_DOUBLE_EQ(one_shot.total_weight(), resumed.total_weight());
+  EXPECT_EQ(one_shot.threshold(), resumed.threshold());
+  const auto ea = one_shot.LeafEntries();
+  const auto eb = resumed.LeafEntries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+}  // namespace
+}  // namespace demon

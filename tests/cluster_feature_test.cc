@@ -1,0 +1,104 @@
+#include "clustering/cluster_feature.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace demon {
+namespace {
+
+TEST(ClusterFeatureTest, SinglePoint) {
+  const double p[2] = {3.0, 4.0};
+  const ClusterFeature cf = ClusterFeature::FromPoint(p, 2);
+  EXPECT_DOUBLE_EQ(cf.n(), 1.0);
+  EXPECT_EQ(cf.Centroid(), (Point{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(cf.ss(), 25.0);
+  EXPECT_DOUBLE_EQ(cf.Radius(), 0.0);
+}
+
+TEST(ClusterFeatureTest, AddAccumulates) {
+  ClusterFeature cf(1);
+  const double a = 0.0;
+  const double b = 2.0;
+  cf.Add(&a, 1);
+  cf.Add(&b, 1);
+  EXPECT_DOUBLE_EQ(cf.n(), 2.0);
+  EXPECT_EQ(cf.Centroid(), Point{1.0});
+  // Radius of {0, 2} around centroid 1 is 1.
+  EXPECT_DOUBLE_EQ(cf.Radius(), 1.0);
+}
+
+TEST(ClusterFeatureTest, MergeEqualsBulkAdd) {
+  Rng rng(5);
+  ClusterFeature merged(3);
+  ClusterFeature a(3);
+  ClusterFeature b(3);
+  ClusterFeature bulk(3);
+  for (int i = 0; i < 100; ++i) {
+    double p[3] = {rng.NextGaussian(), rng.NextGaussian(),
+                   rng.NextGaussian()};
+    ((i % 2 == 0) ? a : b).Add(p, 3);
+    bulk.Add(p, 3);
+  }
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_DOUBLE_EQ(merged.n(), bulk.n());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(merged.ls()[d], bulk.ls()[d], 1e-9);
+  }
+  EXPECT_NEAR(merged.ss(), bulk.ss(), 1e-9);
+}
+
+TEST(ClusterFeatureTest, CentroidDistance) {
+  ClusterFeature a(2);
+  ClusterFeature b(2);
+  const double pa[2] = {0.0, 0.0};
+  const double pb[2] = {3.0, 4.0};
+  a.Add(pa, 2);
+  b.Add(pb, 2);
+  EXPECT_DOUBLE_EQ(a.SquaredCentroidDistance(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistanceToPoint(pb, 2), 25.0);
+}
+
+TEST(ClusterFeatureTest, MergedSquaredRadiusMatchesActualMerge) {
+  Rng rng(6);
+  ClusterFeature a(2);
+  ClusterFeature b(2);
+  for (int i = 0; i < 20; ++i) {
+    double pa[2] = {rng.NextGaussian(), rng.NextGaussian()};
+    double pb[2] = {5.0 + rng.NextGaussian(), rng.NextGaussian()};
+    a.Add(pa, 2);
+    b.Add(pb, 2);
+  }
+  const double predicted = a.MergedSquaredRadius(b);
+  ClusterFeature merged = a;
+  merged.Merge(b);
+  EXPECT_NEAR(predicted, merged.SquaredRadius(), 1e-9);
+}
+
+TEST(ClusterFeatureTest, RadiusMatchesDefinition) {
+  // Radius^2 = average squared distance to the centroid.
+  Rng rng(7);
+  std::vector<Point> points;
+  ClusterFeature cf(2);
+  for (int i = 0; i < 50; ++i) {
+    Point p = {rng.NextGaussian(2.0, 3.0), rng.NextGaussian(-1.0, 0.5)};
+    cf.Add(p.data(), 2);
+    points.push_back(std::move(p));
+  }
+  const Point centroid = cf.Centroid();
+  double sum = 0.0;
+  for (const Point& p : points) sum += SquaredDistance(p, centroid);
+  EXPECT_NEAR(cf.SquaredRadius(), sum / 50.0, 1e-9);
+}
+
+TEST(ClusterFeatureTest, NumericClampToZeroRadius) {
+  ClusterFeature cf(1);
+  const double p = 1e8;
+  cf.Add(&p, 1);
+  cf.Add(&p, 1);
+  EXPECT_GE(cf.SquaredRadius(), 0.0);
+}
+
+}  // namespace
+}  // namespace demon

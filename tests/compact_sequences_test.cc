@@ -1,0 +1,179 @@
+#include "patterns/compact_sequences.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_generator.h"
+#include "datagen/trace_generator.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+// Builds a block of `n` two-item transactions drawn from one of a few
+// fixed "regimes" so similarity between blocks is fully controlled.
+BlockPtr RegimeBlock(int regime, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Transaction> transactions;
+  transactions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Item a = 0;
+    Item b = 0;
+    switch (regime) {
+      case 0:  // items 0/1 dominate
+        a = rng.NextBernoulli(0.8) ? 0 : 2;
+        b = rng.NextBernoulli(0.8) ? 1 : 3;
+        break;
+      case 1:  // items 4/5 dominate
+        a = rng.NextBernoulli(0.8) ? 4 : 6;
+        b = rng.NextBernoulli(0.8) ? 5 : 7;
+        break;
+      default:  // items 8/9 dominate
+        a = rng.NextBernoulli(0.8) ? 8 : 2;
+        b = rng.NextBernoulli(0.8) ? 9 : 3;
+        break;
+    }
+    transactions.push_back(Transaction({a, b}));
+  }
+  return std::make_shared<TransactionBlock>(std::move(transactions), 0);
+}
+
+CompactSequenceMiner::Options MinerOptions() {
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.05;
+  options.focus.num_items = 16;
+  options.alpha = 0.95;
+  return options;
+}
+
+TEST(CompactSequenceMinerTest, SingleBlockIsItsOwnSequence) {
+  CompactSequenceMiner miner(MinerOptions());
+  miner.AddBlock(RegimeBlock(0, 500, 1));
+  ASSERT_EQ(miner.sequences().size(), 1u);
+  EXPECT_EQ(miner.sequences()[0], (std::vector<size_t>{0}));
+}
+
+TEST(CompactSequenceMinerTest, SameRegimeBlocksFormOneLongSequence) {
+  CompactSequenceMiner miner(MinerOptions());
+  for (int b = 0; b < 5; ++b) miner.AddBlock(RegimeBlock(0, 500, 10 + b));
+  // The sequence started at block 0 must have absorbed everything.
+  EXPECT_EQ(miner.sequences()[0], (std::vector<size_t>{0, 1, 2, 3, 4}));
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      EXPECT_TRUE(miner.Similar(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CompactSequenceMinerTest, AlternatingRegimesFormInterleavedSequences) {
+  // Blocks: A B A B A. Sequences {0,2,4} and {1,3} must coexist — the
+  // overlap the paper says clustering formulations cannot express.
+  CompactSequenceMiner miner(MinerOptions());
+  for (int b = 0; b < 5; ++b) {
+    miner.AddBlock(RegimeBlock(b % 2, 500, 20 + b));
+  }
+  EXPECT_EQ(miner.sequences()[0], (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(miner.sequences()[1], (std::vector<size_t>{1, 3}));
+}
+
+TEST(CompactSequenceMinerTest, AnomalousBlockExcludedFromAllSequences) {
+  // A A X A A with X from a different regime: X must stay a singleton.
+  CompactSequenceMiner miner(MinerOptions());
+  miner.AddBlock(RegimeBlock(0, 500, 31));
+  miner.AddBlock(RegimeBlock(0, 500, 32));
+  miner.AddBlock(RegimeBlock(2, 500, 33));  // anomaly
+  miner.AddBlock(RegimeBlock(0, 500, 34));
+  miner.AddBlock(RegimeBlock(0, 500, 35));
+  EXPECT_EQ(miner.sequences()[0], (std::vector<size_t>{0, 1, 3, 4}));
+  EXPECT_EQ(miner.sequences()[2], (std::vector<size_t>{2}));
+}
+
+TEST(CompactSequenceMinerTest, AllMaintainedSequencesAreCompact) {
+  // Mixed regimes; every maintained sequence must satisfy Definition 4.1
+  // against the miner's own similarity matrix.
+  CompactSequenceMiner miner(MinerOptions());
+  const int regimes[] = {0, 1, 0, 2, 1, 0, 0, 2, 1, 0};
+  for (int b = 0; b < 10; ++b) {
+    miner.AddBlock(RegimeBlock(regimes[b], 400, 40 + b));
+  }
+  for (const auto& sequence : miner.sequences()) {
+    EXPECT_TRUE(miner.IsCompact(sequence));
+  }
+}
+
+TEST(CompactSequenceMinerTest, PaperWorkedExample) {
+  // Paper example after Definition 4.1: blocks D1..D4 with similar pairs
+  // exactly (1,2), (1,3), (1,4), (2,4). Then {D1,D2,D4} is compact while
+  // {D1,D2,D3} (pairwise fails) and {D1,D4} (hole at D2) are not.
+  // We validate the IsCompact predicate on a miner whose matrix we build
+  // from regime blocks is impractical; instead check the predicate logic
+  // via a miner with hand-picked blocks is fragile, so this test uses the
+  // algorithmic invariant on the miner's own sequences plus IsCompact on
+  // hand-built index lists where the matrix allows it.
+  CompactSequenceMiner miner(MinerOptions());
+  // Construct A A B A-ish pattern where (0,1),(0,2)? We approximate the
+  // paper's matrix with regimes: 0:A 1:A 2:B 3:A.
+  miner.AddBlock(RegimeBlock(0, 500, 51));
+  miner.AddBlock(RegimeBlock(0, 500, 52));
+  miner.AddBlock(RegimeBlock(1, 500, 53));
+  miner.AddBlock(RegimeBlock(0, 500, 54));
+  // {0,1,3} must be compact; {0,3} alone is not (hole at 1: 1 is similar
+  // to 0); {0,2} is not (dissimilar pair).
+  EXPECT_TRUE(miner.IsCompact({0, 1, 3}));
+  EXPECT_FALSE(miner.IsCompact({0, 3}));
+  EXPECT_FALSE(miner.IsCompact({0, 2}));
+}
+
+TEST(CompactSequenceMinerTest, MaximalSequencesFilterSubsets) {
+  CompactSequenceMiner miner(MinerOptions());
+  for (int b = 0; b < 4; ++b) miner.AddBlock(RegimeBlock(0, 500, 60 + b));
+  // Sequences are {0,1,2,3}, {1,2,3}, {2,3}, {3}; only the first is
+  // maximal.
+  const auto maximal = miner.MaximalSequences(2);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0], (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(CompactSequenceMinerTest, ScanCountsAndTimingReported) {
+  CompactSequenceMiner miner(MinerOptions());
+  miner.AddBlock(RegimeBlock(0, 400, 71));
+  miner.AddBlock(RegimeBlock(1, 400, 72));  // dissimilar: forces scans
+  EXPECT_GE(miner.last_add_seconds(), 0.0);
+  EXPECT_GE(miner.last_scan_count(), 1u);
+}
+
+TEST(CompactSequenceMinerTest, SyntheticTraceSeparatesWeekdayFromWeekend) {
+  // End-to-end smoke of the §5.3 experiment at 24h granularity: weekday
+  // day blocks should chain together and exclude weekend + anomalous 9-9.
+  TraceGenerator::Params params;
+  params.rate_scale = 0.05;
+  params.seed = 7;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  const auto blocks = SegmentTrace(trace, 24, 24);  // from midnight 9-3
+
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.01;
+  options.focus.num_items =
+      TraceGenerator::kNumObjectTypes + TraceGenerator::kNumSizeBuckets;
+  options.alpha = 0.99;
+  CompactSequenceMiner miner(options);
+  for (const auto& block : blocks) {
+    miner.AddBlock(std::make_shared<TransactionBlock>(block));
+  }
+  // Block indices: 0 = Tue 9-3, ..., day i = Sep (3+i). Weekdays (not the
+  // anomaly Mon 9-9 which is index 6) should pairwise chain.
+  // Tue 9-3 (0) and Wed 9-4 (1) are both plain working days.
+  EXPECT_TRUE(miner.Similar(0, 1));
+  // Sat 9-7 (4) differs from Tue 9-3 (0).
+  EXPECT_FALSE(miner.Similar(0, 4));
+  // The anomalous Monday 9-9 (6) differs from normal weekdays and from
+  // weekends.
+  EXPECT_FALSE(miner.Similar(1, 6));
+  EXPECT_FALSE(miner.Similar(4, 6));
+  // Weekend days resemble each other: Sat 9-7 (4) vs Sun 9-8 (5).
+  EXPECT_TRUE(miner.Similar(4, 5));
+}
+
+}  // namespace
+}  // namespace demon

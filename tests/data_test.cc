@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "data/block.h"
+#include "data/point.h"
+#include "data/snapshot.h"
+#include "data/transaction.h"
+
+namespace demon {
+namespace {
+
+TEST(TransactionTest, NormalizesSortsAndDedupes) {
+  Transaction t({5, 1, 3, 5, 1});
+  EXPECT_EQ(t.items(), (std::vector<Item>{1, 3, 5}));
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(TransactionTest, Contains) {
+  Transaction t({2, 4, 8});
+  EXPECT_TRUE(t.Contains(4));
+  EXPECT_FALSE(t.Contains(5));
+}
+
+TEST(TransactionTest, ContainsAll) {
+  Transaction t({1, 3, 5, 7, 9});
+  const std::vector<Item> sub = {3, 7};
+  const std::vector<Item> not_sub = {3, 6};
+  EXPECT_TRUE(t.ContainsAll(sub.begin(), sub.end()));
+  EXPECT_FALSE(t.ContainsAll(not_sub.begin(), not_sub.end()));
+  const std::vector<Item> empty;
+  EXPECT_TRUE(t.ContainsAll(empty.begin(), empty.end()));
+}
+
+TEST(TransactionBlockTest, TidsAreImplicit) {
+  TransactionBlock block({Transaction({1}), Transaction({2})}, 100);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.TidAt(0), 100u);
+  EXPECT_EQ(block.TidAt(1), 101u);
+}
+
+TEST(TransactionBlockTest, TotalItemOccurrences) {
+  TransactionBlock block({Transaction({1, 2}), Transaction({3})}, 0);
+  EXPECT_EQ(block.TotalItemOccurrences(), 3u);
+}
+
+TEST(PointBlockTest, FlatLayout) {
+  PointBlock block({1.0, 2.0, 3.0, 4.0}, 2);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.dim(), 2u);
+  EXPECT_DOUBLE_EQ(block.PointAt(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(block.PointAt(1)[1], 4.0);
+}
+
+TEST(PointBlockTest, FromPoints) {
+  PointBlock block = PointBlock::FromPoints({{1.0, 2.0}, {3.0, 4.0}}, 2);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_DOUBLE_EQ(block.PointAt(0)[1], 2.0);
+}
+
+TEST(PointTest, Distances) {
+  const Point a = {0.0, 0.0};
+  const Point b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(SnapshotTest, AppendAssignsIncreasingIds) {
+  TransactionSnapshot snapshot;
+  EXPECT_TRUE(snapshot.empty());
+  const BlockId id1 = snapshot.Append(TransactionBlock({Transaction({1})}, 0));
+  const BlockId id2 = snapshot.Append(TransactionBlock({Transaction({2})}, 1));
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, 2u);
+  EXPECT_EQ(snapshot.latest_id(), 2u);
+  EXPECT_EQ(snapshot.oldest_id(), 1u);
+  EXPECT_EQ(snapshot.block(1)->info().id, 1u);
+}
+
+TEST(SnapshotTest, MostRecentWindow) {
+  TransactionSnapshot snapshot;
+  for (int i = 0; i < 5; ++i) {
+    snapshot.Append(TransactionBlock({Transaction({static_cast<Item>(i)})},
+                                     static_cast<Tid>(i)));
+  }
+  const auto window = snapshot.MostRecentWindow(3);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0]->info().id, 3u);
+  EXPECT_EQ(window[2]->info().id, 5u);
+  // Window larger than the snapshot returns everything (t < w case, §2.2).
+  EXPECT_EQ(snapshot.MostRecentWindow(10).size(), 5u);
+}
+
+TEST(SnapshotTest, DropOldest) {
+  TransactionSnapshot snapshot;
+  for (int i = 0; i < 4; ++i) {
+    snapshot.Append(TransactionBlock({Transaction({static_cast<Item>(i)})},
+                                     static_cast<Tid>(i)));
+  }
+  snapshot.Drop(2);
+  EXPECT_EQ(snapshot.NumBlocks(), 2u);
+  EXPECT_EQ(snapshot.oldest_id(), 3u);
+  EXPECT_EQ(snapshot.latest_id(), 4u);
+  EXPECT_EQ(snapshot.block(3)->info().id, 3u);
+}
+
+TEST(SnapshotTest, TotalRecords) {
+  TransactionSnapshot snapshot;
+  snapshot.Append(TransactionBlock({Transaction({1}), Transaction({2})}, 0));
+  snapshot.Append(TransactionBlock({Transaction({3})}, 2));
+  EXPECT_EQ(snapshot.TotalRecords(), 3u);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,223 @@
+#include "clustering/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/random.h"
+#include "data/point.h"
+#include "datagen/cluster_generator.h"
+
+namespace demon {
+namespace {
+
+// Independent reference implementation: textbook DBScan with O(n^2)
+// neighborhoods and BFS expansion, using the same canonical border rule
+// (lowest-indexed neighboring core) as the library.
+DbscanResult ReferenceDbscan(const std::vector<double>& coords, size_t dim,
+                             const DbscanParams& params) {
+  const size_t n = coords.size() / dim;
+  const double eps2 = params.eps * params.eps;
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && SquaredDistance(coords.data() + i * dim,
+                                    coords.data() + j * dim, dim) <= eps2) {
+        neighbors[i].push_back(j);
+      }
+    }
+  }
+  std::vector<bool> core(n);
+  for (size_t i = 0; i < n; ++i) {
+    core[i] = neighbors[i].size() + 1 >= params.min_pts;
+  }
+
+  DbscanResult result;
+  result.labels.assign(n, -1);
+  int next_cluster = 0;
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (!core[seed] || result.labels[seed] >= 0) continue;
+    const int cluster = next_cluster++;
+    std::queue<size_t> frontier;
+    frontier.push(seed);
+    result.labels[seed] = cluster;
+    while (!frontier.empty()) {
+      const size_t u = frontier.front();
+      frontier.pop();
+      for (size_t v : neighbors[u]) {
+        if (!core[v] || result.labels[v] >= 0) continue;
+        result.labels[v] = cluster;
+        frontier.push(v);
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(next_cluster);
+  for (size_t i = 0; i < n; ++i) {
+    if (core[i]) continue;
+    size_t best = SIZE_MAX;
+    for (size_t v : neighbors[i]) {
+      if (core[v] && v < best) best = v;
+    }
+    result.labels[i] = best == SIZE_MAX ? -1 : result.labels[best];
+  }
+  return result;
+}
+
+// Cluster ids may be numbered differently; compare as partitions plus the
+// noise set.
+void ExpectSameClustering(const DbscanResult& a, const DbscanResult& b) {
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  ASSERT_EQ(a.num_clusters, b.num_clusters);
+  std::map<int, int> a_to_b;
+  for (size_t i = 0; i < a.labels.size(); ++i) {
+    if ((a.labels[i] < 0) != (b.labels[i] < 0)) {
+      FAIL() << "noise mismatch at point " << i;
+    }
+    if (a.labels[i] < 0) continue;
+    const auto [it, inserted] = a_to_b.emplace(a.labels[i], b.labels[i]);
+    EXPECT_EQ(it->second, b.labels[i]) << "partition mismatch at " << i;
+  }
+}
+
+TEST(DbscanTest, TwoObviousClustersAndNoise) {
+  std::vector<double> coords;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    coords.push_back(rng.NextGaussian(0.0, 0.3));
+    coords.push_back(rng.NextGaussian(0.0, 0.3));
+  }
+  for (int i = 0; i < 40; ++i) {
+    coords.push_back(rng.NextGaussian(10.0, 0.3));
+    coords.push_back(rng.NextGaussian(10.0, 0.3));
+  }
+  coords.push_back(100.0);  // an isolated noise point
+  coords.push_back(100.0);
+
+  DbscanParams params;
+  params.eps = 1.0;
+  params.min_pts = 4;
+  const DbscanResult result = Dbscan(coords, 2, params);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.labels.back(), -1);
+  EXPECT_EQ(result.labels[0], result.labels[10]);
+  EXPECT_NE(result.labels[0], result.labels[50]);
+}
+
+class DbscanRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbscanRandomizedTest, MatchesReferenceImplementation) {
+  Rng rng(GetParam());
+  const size_t dim = 1 + rng.NextUint64(3);
+  const size_t n = 100 + rng.NextUint64(200);
+  std::vector<double> coords;
+  for (size_t i = 0; i < n * dim; ++i) {
+    coords.push_back(rng.NextDouble() * 20.0);
+  }
+  DbscanParams params;
+  params.eps = 0.8 + rng.NextDouble() * 2.0;
+  params.min_pts = 2 + rng.NextUint64(5);
+
+  const DbscanResult fast = Dbscan(coords, dim, params);
+  const DbscanResult reference = ReferenceDbscan(coords, dim, params);
+  ExpectSameClustering(fast, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanRandomizedTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(IncrementalDbscanTest, InsertionOrderDoesNotMatter) {
+  Rng rng(20);
+  std::vector<double> coords;
+  for (int i = 0; i < 300; ++i) coords.push_back(rng.NextDouble() * 15.0);
+  DbscanParams params;
+  params.eps = 1.2;
+  params.min_pts = 3;
+
+  IncrementalDbscan forward(2, params);
+  IncrementalDbscan interleaved(2, params);
+  for (size_t i = 0; i < 150; ++i) forward.Insert(coords.data() + 2 * i);
+  // Insert the same points in a different order; the partition (by
+  // coordinates) must match.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < 150; ++i) order.push_back(i);
+  rng.Shuffle(&order);
+  std::vector<size_t> position(150);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    interleaved.Insert(coords.data() + 2 * order[rank]);
+    position[order[rank]] = rank;
+  }
+  const DbscanResult a = forward.Label();
+  const DbscanResult b = interleaved.Label();
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  // Same-cluster relations agree for core points.
+  for (size_t i = 0; i < 150; ++i) {
+    for (size_t j = i + 1; j < 150; ++j) {
+      if (!forward.IsCore(i) || !forward.IsCore(j)) continue;
+      EXPECT_EQ(a.labels[i] == a.labels[j],
+                b.labels[position[i]] == b.labels[position[j]])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(IncrementalDbscanTest, BlockwiseEqualsBatch) {
+  // The §3.2.4 usage: blocks arrive one at a time; after each block the
+  // incremental clustering equals batch DBScan over everything so far.
+  ClusterGenParams gen_params;
+  gen_params.num_points = 900;
+  gen_params.num_clusters = 5;
+  gen_params.dim = 2;
+  gen_params.max_sigma = 0.8;
+  gen_params.noise_fraction = 0.05;
+  gen_params.seed = 21;
+  ClusterGenerator gen(gen_params);
+
+  DbscanParams params;
+  params.eps = 1.5;
+  params.min_pts = 5;
+  IncrementalDbscan incremental(2, params);
+  std::vector<double> all_coords;
+  for (int b = 0; b < 3; ++b) {
+    const PointBlock block = gen.NextBlock(300);
+    incremental.AddBlock(block);
+    all_coords.insert(all_coords.end(), block.coords().begin(),
+                      block.coords().end());
+    const DbscanResult inc = incremental.Label();
+    const DbscanResult batch = Dbscan(all_coords, 2, params);
+    ASSERT_EQ(inc.labels, batch.labels) << "after block " << b;
+    ASSERT_EQ(inc.num_clusters, batch.num_clusters);
+  }
+}
+
+TEST(IncrementalDbscanTest, InsertionsMergeClusters) {
+  // Two dense groups bridged by a later insertion: the union-find merge
+  // path (a new core connecting two components) must fire.
+  DbscanParams params;
+  params.eps = 1.1;
+  params.min_pts = 3;
+  IncrementalDbscan dbscan(1, params);
+  for (double x : {0.0, 0.5, 1.0}) dbscan.Insert(&x);
+  for (double x : {4.0, 4.5, 5.0}) dbscan.Insert(&x);
+  EXPECT_EQ(dbscan.Label().num_clusters, 2u);
+  // The bridge: 2.0 and 3.0 connect the groups into one component.
+  for (double x : {2.0, 3.0}) dbscan.Insert(&x);
+  const DbscanResult result = dbscan.Label();
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(IncrementalDbscanTest, EmptyAndSinglePoint) {
+  DbscanParams params;
+  params.eps = 1.0;
+  params.min_pts = 2;
+  IncrementalDbscan dbscan(2, params);
+  EXPECT_EQ(dbscan.Label().num_clusters, 0u);
+  const double p[2] = {0.0, 0.0};
+  dbscan.Insert(p);
+  const DbscanResult result = dbscan.Label();
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(result.labels[0], -1);
+}
+
+}  // namespace
+}  // namespace demon

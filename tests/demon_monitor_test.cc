@@ -1,0 +1,196 @@
+#include "core/demon_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/block_ops.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+
+namespace demon {
+namespace {
+
+std::vector<TransactionBlock> MakeBlocks(size_t num_blocks, size_t block_size,
+                                         size_t num_items, uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = num_blocks * block_size;
+  params.num_items = num_items;
+  params.num_patterns = 30;
+  params.avg_transaction_len = 6;
+  params.seed = seed;
+  QuestGenerator gen(params);
+  std::vector<TransactionBlock> blocks;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    blocks.push_back(gen.NextBlock(block_size, tid));
+    tid += block_size;
+  }
+  return blocks;
+}
+
+TEST(BssFromStringTest, ParsesAllForms) {
+  auto all = BlockSelectionSequence::FromString("all");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all.value().SelectsBlock(17));
+
+  auto prefix = BlockSelectionSequence::FromString("10110");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix.value().SelectsBlock(1));
+  EXPECT_FALSE(prefix.value().SelectsBlock(2));
+  EXPECT_FALSE(prefix.value().SelectsBlock(6));  // tail 0
+
+  auto tailed = BlockSelectionSequence::FromString("101...");
+  ASSERT_TRUE(tailed.ok());
+  EXPECT_TRUE(tailed.value().SelectsBlock(9));  // tail = last bit = 1
+
+  auto periodic = BlockSelectionSequence::FromString("periodic:7/0");
+  ASSERT_TRUE(periodic.ok());
+  EXPECT_TRUE(periodic.value().SelectsBlock(8));
+  EXPECT_FALSE(periodic.value().SelectsBlock(9));
+
+  auto relative = BlockSelectionSequence::FromString("relative:101");
+  ASSERT_TRUE(relative.ok());
+  EXPECT_TRUE(relative.value().is_window_relative());
+  EXPECT_EQ(relative.value().window_bits().size(), 3u);
+}
+
+TEST(BssFromStringTest, RejectsMalformedInput) {
+  EXPECT_FALSE(BlockSelectionSequence::FromString("").ok());
+  EXPECT_FALSE(BlockSelectionSequence::FromString("10a1").ok());
+  EXPECT_FALSE(BlockSelectionSequence::FromString("periodic:7").ok());
+  EXPECT_FALSE(BlockSelectionSequence::FromString("periodic:0/0").ok());
+  EXPECT_FALSE(BlockSelectionSequence::FromString("periodic:7/9").ok());
+  EXPECT_FALSE(BlockSelectionSequence::FromString("relative:").ok());
+}
+
+TEST(BlockOpsTest, MergePreservesTransactionsAndTimes) {
+  auto blocks = MakeBlocks(3, 50, 20, 51);
+  blocks[0].mutable_info()->start_time = 100;
+  blocks[0].mutable_info()->end_time = 200;
+  blocks[2].mutable_info()->start_time = 300;
+  blocks[2].mutable_info()->end_time = 400;
+  const TransactionBlock merged =
+      MergeBlocks({&blocks[0], &blocks[1], &blocks[2]});
+  EXPECT_EQ(merged.size(), 150u);
+  EXPECT_EQ(merged.info().start_time, 0);  // block 1 has default times
+  EXPECT_EQ(merged.info().end_time, 400);
+  EXPECT_EQ(merged.transactions()[0], blocks[0].transactions()[0]);
+  EXPECT_EQ(merged.transactions()[149], blocks[2].transactions()[49]);
+}
+
+TEST(BlockOpsTest, CoarsenGroupsAndRemainder) {
+  const auto blocks = MakeBlocks(7, 10, 20, 52);
+  const auto coarse = CoarsenBlocks(blocks, 3);
+  ASSERT_EQ(coarse.size(), 3u);
+  EXPECT_EQ(coarse[0].size(), 30u);
+  EXPECT_EQ(coarse[1].size(), 30u);
+  EXPECT_EQ(coarse[2].size(), 10u);  // remainder group
+  // Coarsening by 1 is the identity on contents.
+  const auto same = CoarsenBlocks(blocks, 1);
+  ASSERT_EQ(same.size(), blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(same[i].size(), blocks[i].size());
+  }
+}
+
+TEST(BlockOpsTest, ModelOnMergedEqualsModelOnParts) {
+  // §2.1's hierarchy claim, verified: mining the merged block equals
+  // mining the parts together.
+  const auto blocks = MakeBlocks(3, 200, 30, 53);
+  const TransactionBlock merged =
+      MergeBlocks({&blocks[0], &blocks[1], &blocks[2]});
+  const ItemsetModel from_merged = AprioriOnBlock(merged, 0.05, 30);
+
+  std::vector<std::shared_ptr<const TransactionBlock>> parts;
+  for (const auto& block : blocks) {
+    parts.push_back(std::make_shared<TransactionBlock>(block));
+  }
+  const ItemsetModel from_parts = Apriori(parts, 0.05, 30);
+  ASSERT_EQ(from_merged.entries().size(), from_parts.entries().size());
+  for (const auto& [itemset, entry] : from_parts.entries()) {
+    EXPECT_EQ(from_merged.CountOf(itemset), entry.count);
+  }
+}
+
+TEST(DemonMonitorTest, RegistrationValidation) {
+  DemonMonitor demon(30);
+  EXPECT_FALSE(demon
+                   .AddUnrestrictedItemsetMonitor(
+                       "bad", 1.5, BlockSelectionSequence::AllBlocks())
+                   .ok());
+  EXPECT_FALSE(demon
+                   .AddUnrestrictedItemsetMonitor(
+                       "bad", 0.1,
+                       BlockSelectionSequence::WindowRelative({true}))
+                   .ok());
+  EXPECT_FALSE(demon
+                   .AddWindowedItemsetMonitor(
+                       "bad", 0.1, 3,
+                       BlockSelectionSequence::WindowRelative({true, false}))
+                   .ok());
+  EXPECT_FALSE(demon.AddPatternDetector("bad", 0.1, 1.5).ok());
+  EXPECT_EQ(demon.NumMonitors(), 0u);
+}
+
+TEST(DemonMonitorTest, RoutesBlocksToAllMonitorKinds) {
+  const size_t num_items = 30;
+  DemonMonitor demon(num_items);
+  auto uw = demon.AddUnrestrictedItemsetMonitor(
+      "every other block", 0.05, BlockSelectionSequence::Periodic(2, 0));
+  auto mrw = demon.AddWindowedItemsetMonitor(
+      "last 3 blocks", 0.05, 3, BlockSelectionSequence::AllBlocks());
+  auto patterns = demon.AddPatternDetector("patterns", 0.05, 0.95);
+  ASSERT_TRUE(uw.ok() && mrw.ok() && patterns.ok());
+
+  const auto blocks = MakeBlocks(6, 150, num_items, 54);
+  for (const auto& block : blocks) demon.AddBlock(block);
+  EXPECT_EQ(demon.snapshot().NumBlocks(), 6u);
+
+  // UW monitor saw blocks 1, 3, 5 (periodic BSS).
+  std::vector<std::shared_ptr<const TransactionBlock>> selected;
+  for (size_t i = 0; i < 6; i += 2) {
+    selected.push_back(std::make_shared<TransactionBlock>(blocks[i]));
+  }
+  auto uw_model = demon.ItemsetModelOf(uw.value());
+  ASSERT_TRUE(uw_model.ok());
+  const ItemsetModel truth_uw = Apriori(selected, 0.05, num_items);
+  EXPECT_EQ((*uw_model.value()).entries().size(), truth_uw.entries().size());
+  EXPECT_EQ((*uw_model.value()).num_transactions(),
+            truth_uw.num_transactions());
+
+  // MRW monitor covers blocks 4, 5, 6.
+  std::vector<std::shared_ptr<const TransactionBlock>> window;
+  for (size_t i = 3; i < 6; ++i) {
+    window.push_back(std::make_shared<TransactionBlock>(blocks[i]));
+  }
+  auto mrw_model = demon.ItemsetModelOf(mrw.value());
+  ASSERT_TRUE(mrw_model.ok());
+  const ItemsetModel truth_mrw = Apriori(window, 0.05, num_items);
+  EXPECT_EQ((*mrw_model.value()).num_transactions(),
+            truth_mrw.num_transactions());
+  EXPECT_EQ((*mrw_model.value()).NumFrequent(), truth_mrw.NumFrequent());
+
+  // Pattern detector tracked all 6 blocks.
+  auto miner = demon.PatternsOf(patterns.value());
+  ASSERT_TRUE(miner.ok());
+  EXPECT_EQ(miner.value()->NumBlocks(), 6u);
+
+  // Wrong-kind and unknown-id queries fail cleanly.
+  EXPECT_FALSE(demon.ItemsetModelOf(patterns.value()).ok());
+  EXPECT_FALSE(demon.PatternsOf(uw.value()).ok());
+  EXPECT_FALSE(demon.NameOf(99).ok());
+  EXPECT_EQ(demon.NameOf(uw.value()).value(), "every other block");
+}
+
+TEST(DemonMonitorTest, RegistrationAfterFirstBlockRejected) {
+  DemonMonitor demon(20);
+  demon.AddBlock(MakeBlocks(1, 10, 20, 55)[0]);
+  EXPECT_EQ(demon
+                .AddUnrestrictedItemsetMonitor(
+                    "late", 0.1, BlockSelectionSequence::AllBlocks())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,248 @@
+#include "dtree/dtree_maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.h"
+#include "datagen/labeled_generator.h"
+#include "deviation/focus_dtree.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const LabeledBlock>;
+
+LabeledSchema BinarySchema(size_t attributes) {
+  LabeledSchema schema;
+  schema.attribute_cardinalities.assign(attributes, 2);
+  schema.num_classes = 2;
+  return schema;
+}
+
+TEST(EntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({10.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({5.0, 5.0}), 1.0);
+  EXPECT_NEAR(Entropy({1.0, 1.0, 1.0, 1.0}), 2.0, 1e-12);
+  EXPECT_GT(Entropy({9.0, 1.0}), 0.0);
+  EXPECT_LT(Entropy({9.0, 1.0}), 1.0);
+}
+
+TEST(BestSplitTest, PicksTheInformativeAttribute) {
+  // Attribute 0 determines the class perfectly; attribute 1 is noise.
+  // avc[a][v][c]:
+  std::vector<std::vector<std::vector<double>>> avc = {
+      {{10.0, 0.0}, {0.0, 10.0}},  // a0: v0 all class0, v1 all class1
+      {{5.0, 5.0}, {5.0, 5.0}},    // a1: uninformative
+  };
+  const SplitChoice choice = BestSplit(avc, {false, false}, 0.01);
+  EXPECT_EQ(choice.attribute, 0);
+  EXPECT_NEAR(choice.gain, 1.0, 1e-12);
+}
+
+TEST(BestSplitTest, RespectsUsedAndMinGain) {
+  std::vector<std::vector<std::vector<double>>> avc = {
+      {{10.0, 0.0}, {0.0, 10.0}},
+      {{5.0, 5.0}, {5.0, 5.0}},
+  };
+  EXPECT_EQ(BestSplit(avc, {true, false}, 0.01).attribute, -1);
+  EXPECT_EQ(BestSplit(avc, {false, false}, 1.5).attribute, -1);
+}
+
+TEST(DecisionTreeTest, RouteAndClassify) {
+  DecisionTree tree(BinarySchema(2));
+  auto* root = tree.mutable_root();
+  root->split_attribute = 0;
+  root->children.resize(2);
+  for (int v = 0; v < 2; ++v) {
+    root->children[v] = std::make_unique<DecisionTree::Node>();
+    root->children[v]->class_counts = {v == 0 ? 9.0 : 1.0,
+                                       v == 0 ? 1.0 : 9.0};
+  }
+  EXPECT_EQ(tree.AssignLeafIds(), 2u);
+  LabeledRecord record;
+  record.attributes = {0, 1};
+  EXPECT_EQ(tree.Classify(record), 0u);
+  record.attributes = {1, 1};
+  EXPECT_EQ(tree.Classify(record), 1u);
+  EXPECT_EQ(tree.NumLeaves(), 2u);
+  EXPECT_EQ(tree.Depth(), 2u);
+  EXPECT_DOUBLE_EQ(tree.TotalWeight(), 20.0);
+}
+
+TEST(DecisionTreeTest, CloneIsDeepAndExact) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(5);
+  params.seed = 3;
+  LabeledGenerator gen(params);
+  DTreeMaintainer maintainer(params.schema, DTreeOptions{});
+  maintainer.AddBlock(std::make_shared<LabeledBlock>(gen.NextBlock(2000)));
+
+  const DecisionTree clone = maintainer.model().Clone();
+  EXPECT_EQ(clone.NumLeaves(), maintainer.model().NumLeaves());
+  EXPECT_EQ(clone.Depth(), maintainer.model().Depth());
+  EXPECT_EQ(clone.ToString(), maintainer.model().ToString());
+}
+
+TEST(DTreeMaintainerTest, LearnsANoiselessConcept) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(6);
+  params.concept_depth = 3;
+  params.label_noise = 0.0;
+  params.seed = 7;
+  LabeledGenerator gen(params);
+
+  DTreeOptions options;
+  options.min_split_weight = 100.0;
+  DTreeMaintainer maintainer(params.schema, options);
+  for (int b = 0; b < 5; ++b) {
+    maintainer.AddBlock(std::make_shared<LabeledBlock>(gen.NextBlock(2000)));
+  }
+  const LabeledBlock test = gen.NextBlock(2000);
+  EXPECT_GT(maintainer.Accuracy(test), 0.97);
+  EXPECT_DOUBLE_EQ(maintainer.model().TotalWeight(), 10000.0);
+}
+
+TEST(DTreeMaintainerTest, NoisyConceptStillLearnable) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(6);
+  params.concept_depth = 3;
+  params.label_noise = 0.1;
+  params.seed = 8;
+  LabeledGenerator gen(params);
+
+  DTreeMaintainer maintainer(params.schema, DTreeOptions{});
+  for (int b = 0; b < 5; ++b) {
+    maintainer.AddBlock(std::make_shared<LabeledBlock>(gen.NextBlock(2000)));
+  }
+  // Bayes accuracy is ~1 - noise + noise/2 = 0.95; stay close to it.
+  const LabeledBlock test = gen.NextBlock(2000);
+  EXPECT_GT(maintainer.Accuracy(test), 0.85);
+}
+
+TEST(DTreeMaintainerTest, IncrementalGrowthIsMonotone) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(8);
+  params.concept_depth = 4;
+  params.seed = 9;
+  LabeledGenerator gen(params);
+  DTreeMaintainer maintainer(params.schema, DTreeOptions{});
+  size_t previous_leaves = 1;
+  for (int b = 0; b < 4; ++b) {
+    maintainer.AddBlock(std::make_shared<LabeledBlock>(gen.NextBlock(1500)));
+    EXPECT_GE(maintainer.model().NumLeaves(), previous_leaves);
+    previous_leaves = maintainer.model().NumLeaves();
+  }
+  EXPECT_GT(previous_leaves, 1u);
+  EXPECT_LE(maintainer.model().Depth(), DTreeOptions{}.max_depth);
+}
+
+TEST(DTreeMaintainerTest, DeterministicAcrossRuns) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(5);
+  params.seed = 10;
+  DTreeMaintainer a(params.schema, DTreeOptions{});
+  DTreeMaintainer b(params.schema, DTreeOptions{});
+  LabeledGenerator gen_a(params);
+  LabeledGenerator gen_b(params);
+  for (int r = 0; r < 3; ++r) {
+    a.AddBlock(std::make_shared<LabeledBlock>(gen_a.NextBlock(1000)));
+    b.AddBlock(std::make_shared<LabeledBlock>(gen_b.NextBlock(1000)));
+  }
+  EXPECT_EQ(a.model().ToString(), b.model().ToString());
+}
+
+TEST(DTreeMaintainerTest, WorksUnderGemm) {
+  // The §3.2 genericity claim with a third model class: decision trees
+  // under the most-recent-window option. After drift, the windowed model
+  // recovers while an unrestricted-window model stays polluted.
+  LabeledGenerator::Params old_params;
+  old_params.schema = BinarySchema(6);
+  old_params.concept_depth = 3;
+  old_params.label_noise = 0.0;
+  old_params.seed = 11;
+  LabeledGenerator::Params new_params = old_params;
+  new_params.seed = 99;  // different concept
+  LabeledGenerator old_gen(old_params);
+  LabeledGenerator new_gen(new_params);
+
+  DTreeOptions options;
+  options.min_split_weight = 100.0;
+  const size_t w = 3;
+  Gemm<DTreeMaintainer, BlockPtr> windowed(
+      BlockSelectionSequence::AllBlocks(), w,
+      [&] { return DTreeMaintainer(old_params.schema, options); });
+  DTreeMaintainer unrestricted(old_params.schema, options);
+
+  for (int b = 0; b < 4; ++b) {
+    auto block = std::make_shared<LabeledBlock>(old_gen.NextBlock(2000));
+    windowed.AddBlock(block);
+    unrestricted.AddBlock(block);
+  }
+  for (int b = 0; b < 4; ++b) {  // concept drift
+    auto block = std::make_shared<LabeledBlock>(new_gen.NextBlock(2000));
+    windowed.AddBlock(block);
+    unrestricted.AddBlock(block);
+  }
+  const LabeledBlock test = new_gen.NextBlock(2000);
+  const double windowed_accuracy = windowed.current().Accuracy(test);
+  const double unrestricted_accuracy = unrestricted.Accuracy(test);
+  EXPECT_GT(windowed_accuracy, 0.9);
+  EXPECT_GT(windowed_accuracy, unrestricted_accuracy);
+}
+
+TEST(LabeledGeneratorTest, RespectsSchemaAndNoise) {
+  LabeledGenerator::Params params;
+  params.schema.attribute_cardinalities = {2, 3, 4};
+  params.schema.num_classes = 3;
+  params.label_noise = 0.0;
+  params.seed = 12;
+  LabeledGenerator gen(params);
+  const LabeledBlock block = gen.NextBlock(3000);
+  ASSERT_EQ(block.size(), 3000u);
+  for (const LabeledRecord& record : block.records()) {
+    ASSERT_EQ(record.attributes.size(), 3u);
+    EXPECT_LT(record.attributes[0], 2u);
+    EXPECT_LT(record.attributes[1], 3u);
+    EXPECT_LT(record.attributes[2], 4u);
+    EXPECT_LT(record.label, 3u);
+    // Noise-free labels match the hidden concept.
+    EXPECT_EQ(record.label, gen.TrueLabel(record.attributes));
+  }
+}
+
+TEST(FocusDecisionTreesTest, SameConceptLowDifferentConceptHigh) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(6);
+  params.concept_depth = 3;
+  params.seed = 13;
+  LabeledGenerator gen(params);
+  LabeledGenerator::Params other_params = params;
+  other_params.seed = 77;
+  LabeledGenerator other(other_params);
+
+  const LabeledBlock a1 = gen.NextBlock(2000);
+  const LabeledBlock a2 = gen.NextBlock(2000);
+  const LabeledBlock b = other.NextBlock(2000);
+
+  FocusDecisionTrees focus(FocusDecisionTrees::Options{});
+  const DeviationResult same = focus.Compare(a1, a2);
+  const DeviationResult different = focus.Compare(a1, b);
+  EXPECT_LT(same.deviation, different.deviation);
+  EXPECT_GT(different.significance, 0.99);
+  EXPECT_GT(different.num_regions, 0u);
+}
+
+TEST(FocusDecisionTreesTest, IdenticalBlocksHaveZeroDeviation) {
+  LabeledGenerator::Params params;
+  params.schema = BinarySchema(4);
+  params.seed = 14;
+  LabeledGenerator gen(params);
+  const LabeledBlock block = gen.NextBlock(1000);
+  FocusDecisionTrees focus(FocusDecisionTrees::Options{});
+  const DeviationResult result = focus.Compare(block, block);
+  EXPECT_DOUBLE_EQ(result.deviation, 0.0);
+  EXPECT_NEAR(result.significance, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace demon

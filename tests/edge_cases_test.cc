@@ -1,0 +1,194 @@
+// Failure-injection and degenerate-input tests across the stack: empty
+// blocks, single-transaction blocks, extreme thresholds, all-identical
+// data — the inputs a production system meets before the benchmarks do.
+
+#include <gtest/gtest.h>
+
+#include "clustering/birch.h"
+#include "core/gemm.h"
+#include "core/maintainers.h"
+#include "deviation/focus.h"
+#include "itemsets/apriori.h"
+#include "itemsets/borders.h"
+#include "patterns/compact_sequences.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+BlockPtr EmptyBlock() {
+  return std::make_shared<TransactionBlock>(std::vector<Transaction>{}, 0);
+}
+
+BlockPtr TinyBlock(std::vector<Transaction> transactions, Tid first = 0) {
+  return std::make_shared<TransactionBlock>(std::move(transactions), first);
+}
+
+TEST(EdgeCaseTest, AprioriOnEmptyData) {
+  const ItemsetModel model = Apriori({EmptyBlock()}, 0.5, 4);
+  EXPECT_EQ(model.num_transactions(), 0u);
+  EXPECT_EQ(model.NumFrequent(), 0u);
+  // All single items sit in the border with count 0.
+  EXPECT_EQ(model.NumBorder(), 4u);
+}
+
+TEST(EdgeCaseTest, BordersMaintainerFirstBlockEmpty) {
+  BordersOptions options;
+  options.minsup = 0.5;
+  options.num_items = 4;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(EmptyBlock());
+  EXPECT_EQ(maintainer.model().NumFrequent(), 0u);
+  // A real block afterwards brings the model up.
+  maintainer.AddBlock(TinyBlock({Transaction({0, 1}), Transaction({0, 1})}));
+  EXPECT_TRUE(maintainer.model().IsFrequent({0, 1}));
+}
+
+TEST(EdgeCaseTest, BordersMaintainerMidStreamEmptyBlock) {
+  BordersOptions options;
+  options.minsup = 0.5;
+  options.num_items = 4;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(TinyBlock({Transaction({0}), Transaction({0, 1})}));
+  const size_t frequent_before = maintainer.model().NumFrequent();
+  maintainer.AddBlock(EmptyBlock());
+  EXPECT_EQ(maintainer.model().NumFrequent(), frequent_before);
+  EXPECT_EQ(maintainer.model().num_transactions(), 2u);
+}
+
+TEST(EdgeCaseTest, BordersRemoveDownToEmpty) {
+  BordersOptions options;
+  options.minsup = 0.5;
+  options.num_items = 3;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(TinyBlock({Transaction({0, 1})}));
+  maintainer.AddBlock(TinyBlock({Transaction({1, 2})}, 1));
+  maintainer.RemoveOldestBlock();
+  maintainer.RemoveOldestBlock();
+  EXPECT_EQ(maintainer.model().num_transactions(), 0u);
+  EXPECT_EQ(maintainer.model().NumFrequent(), 0u);
+  // And it can be refilled afterwards.
+  maintainer.AddBlock(TinyBlock({Transaction({2}), Transaction({2})}, 2));
+  EXPECT_TRUE(maintainer.model().IsFrequent({2}));
+}
+
+TEST(EdgeCaseTest, SingleTransactionUniverse) {
+  // One transaction containing every item: everything is frequent; the
+  // border is empty (no infrequent candidate exists).
+  BordersOptions options;
+  options.minsup = 0.9;
+  options.num_items = 3;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(TinyBlock({Transaction({0, 1, 2})}));
+  EXPECT_EQ(maintainer.model().NumFrequent(), 7u);  // 2^3 - 1 subsets
+  EXPECT_EQ(maintainer.model().NumBorder(), 0u);
+}
+
+TEST(EdgeCaseTest, VeryHighMinSupport) {
+  BordersOptions options;
+  options.minsup = 0.999;
+  options.num_items = 5;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(TinyBlock({Transaction({0}), Transaction({1}),
+                                 Transaction({2})}));
+  EXPECT_EQ(maintainer.model().NumFrequent(), 0u);
+  EXPECT_EQ(maintainer.model().NumBorder(), 5u);
+}
+
+TEST(EdgeCaseTest, DuplicateItemsInInputTransaction) {
+  // Transaction normalization dedupes; supports must not double-count.
+  const ItemsetModel model = Apriori(
+      {TinyBlock({Transaction({1, 1, 1}), Transaction({1})})}, 0.5, 2);
+  EXPECT_EQ(model.CountOf({1}), 2u);
+}
+
+TEST(EdgeCaseTest, GemmWithAllZeroBss) {
+  // A BSS selecting nothing: the current model stays empty forever.
+  BordersOptions options;
+  options.minsup = 0.5;
+  options.num_items = 4;
+  Gemm<BordersMaintainer, BlockPtr> gemm(
+      BlockSelectionSequence::WindowIndependent({}, false), 3,
+      [&options] { return BordersMaintainer(options); });
+  for (int t = 0; t < 5; ++t) {
+    gemm.AddBlock(TinyBlock({Transaction({0})}, t));
+    EXPECT_EQ(gemm.current().model().num_transactions(), 0u);
+  }
+}
+
+TEST(EdgeCaseTest, GemmWindowLargerThanStream) {
+  BordersOptions options;
+  options.minsup = 0.5;
+  options.num_items = 4;
+  Gemm<BordersMaintainer, BlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), 100,
+      [&options] { return BordersMaintainer(options); });
+  gemm.AddBlock(TinyBlock({Transaction({0}), Transaction({0, 1})}));
+  gemm.AddBlock(TinyBlock({Transaction({0})}, 2));
+  EXPECT_EQ(gemm.NumModels(), 2u);
+  EXPECT_EQ(gemm.current().model().num_transactions(), 3u);
+}
+
+TEST(EdgeCaseTest, BirchPlusEmptyBlockIsNoOp) {
+  BirchOptions options;
+  options.num_clusters = 2;
+  BirchPlus birch(2, options);
+  birch.AddBlock(PointBlock({1.0, 1.0, 5.0, 5.0}, 2));
+  const double weight = birch.tree().total_weight();
+  birch.AddBlock(PointBlock({}, 2));
+  EXPECT_DOUBLE_EQ(birch.tree().total_weight(), weight);
+  EXPECT_EQ(birch.model().NumClusters(), 2u);
+}
+
+TEST(EdgeCaseTest, BirchMoreClustersThanPoints) {
+  BirchOptions options;
+  options.num_clusters = 10;
+  auto block = std::make_shared<const PointBlock>(
+      PointBlock({0.0, 0.0, 9.0, 9.0}, 2));
+  const ClusterModel model = RunBirch({block}, 2, options);
+  EXPECT_LE(model.NumClusters(), 2u);
+  EXPECT_DOUBLE_EQ(model.TotalWeight(), 2.0);
+}
+
+TEST(EdgeCaseTest, FocusOnEmptyBlocks) {
+  FocusItemsets::Options options;
+  options.minsup = 0.5;
+  options.num_items = 4;
+  FocusItemsets focus(options);
+  const auto empty = EmptyBlock();
+  const DeviationResult result = focus.Compare(*empty, *empty);
+  EXPECT_DOUBLE_EQ(result.deviation, 0.0);
+  EXPECT_EQ(result.num_regions, 0u);
+}
+
+TEST(EdgeCaseTest, CompactSequencesWithEmptyBlocks) {
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.5;
+  options.focus.num_items = 4;
+  CompactSequenceMiner miner(options);
+  miner.AddBlock(EmptyBlock());
+  miner.AddBlock(TinyBlock({Transaction({0}), Transaction({0})}, 0));
+  miner.AddBlock(EmptyBlock());
+  EXPECT_EQ(miner.NumBlocks(), 3u);
+  for (const auto& sequence : miner.sequences()) {
+    EXPECT_TRUE(miner.IsCompact(sequence));
+  }
+}
+
+TEST(EdgeCaseTest, ChangeMinSupportToSameValueIsStable) {
+  BordersOptions options;
+  options.minsup = 0.4;
+  options.num_items = 4;
+  BordersMaintainer maintainer(options);
+  maintainer.AddBlock(TinyBlock({Transaction({0, 1}), Transaction({0}),
+                                 Transaction({1})}));
+  const size_t frequent = maintainer.model().NumFrequent();
+  const size_t border = maintainer.model().NumBorder();
+  maintainer.ChangeMinSupport(0.4);
+  EXPECT_EQ(maintainer.model().NumFrequent(), frequent);
+  EXPECT_EQ(maintainer.model().NumBorder(), border);
+}
+
+}  // namespace
+}  // namespace demon

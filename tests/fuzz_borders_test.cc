@@ -1,0 +1,102 @@
+// Differential fuzzing of the BORDERS maintainer: random interleavings of
+// block additions (varying sizes and distributions), deletions at random
+// positions, and threshold changes must always leave the model identical
+// to Apriori recomputed from scratch on the surviving blocks. This is the
+// strongest single invariant in the system — everything DEMON layers on
+// top (GEMM, AuM, the monitors) inherits its exactness from it.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+#include "itemsets/borders.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+void ExpectModelsEqual(const ItemsetModel& actual,
+                       const ItemsetModel& expected, const char* context) {
+  ASSERT_EQ(actual.num_transactions(), expected.num_transactions())
+      << context;
+  ASSERT_EQ(actual.entries().size(), expected.entries().size()) << context;
+  for (const auto& [itemset, entry] : expected.entries()) {
+    const auto it = actual.entries().find(itemset);
+    ASSERT_NE(it, actual.entries().end())
+        << context << " missing " << ToString(itemset);
+    ASSERT_EQ(it->second.count, entry.count)
+        << context << " " << ToString(itemset);
+    ASSERT_EQ(it->second.frequent, entry.frequent)
+        << context << " " << ToString(itemset);
+  }
+}
+
+class FuzzBordersTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzBordersTest, RandomOperationSequencesStayExact) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const size_t num_items = 20 + rng.NextUint64(30);
+  double minsup = 0.03 + rng.NextDouble() * 0.15;
+
+  BordersOptions options;
+  options.minsup = minsup;
+  options.num_items = num_items;
+  options.strategy = static_cast<CountingStrategy>(rng.NextUint64(3));
+  BordersMaintainer maintainer(options);
+  std::vector<BlockPtr> reference;
+
+  // A pool of generators with different pattern tables to mix regimes.
+  std::vector<std::unique_ptr<QuestGenerator>> generators;
+  for (int g = 0; g < 3; ++g) {
+    QuestParams params;
+    params.num_transactions = 1;  // streamed
+    params.num_items = num_items;
+    params.num_patterns = 10 + g * 15;
+    params.avg_transaction_len = 4 + g * 2;
+    params.avg_pattern_len = 2 + g;
+    params.seed = seed * 17 + g;
+    generators.push_back(std::make_unique<QuestGenerator>(params));
+  }
+
+  Tid tid = 0;
+  int checks = 0;
+  for (int op = 0; op < 14; ++op) {
+    const double dice = rng.NextDouble();
+    const char* context = "";
+    if (dice < 0.55 || reference.empty()) {
+      // Add a block of random size from a random regime.
+      const size_t size = 30 + rng.NextUint64(170);
+      auto& gen = *generators[rng.NextUint64(generators.size())];
+      auto block = std::make_shared<TransactionBlock>(
+          gen.NextBlock(size, tid));
+      tid += size;
+      maintainer.AddBlock(block);
+      reference.push_back(std::move(block));
+      context = "after add";
+    } else if (dice < 0.8) {
+      // Remove a random block.
+      const size_t index = rng.NextUint64(reference.size());
+      maintainer.RemoveBlockAt(index);
+      reference.erase(reference.begin() + index);
+      context = "after remove";
+    } else {
+      // Change the threshold up or down.
+      minsup = 0.03 + rng.NextDouble() * 0.15;
+      maintainer.ChangeMinSupport(minsup);
+      context = "after minsup change";
+    }
+    const ItemsetModel truth = Apriori(reference, minsup, num_items);
+    ExpectModelsEqual(maintainer.model(), truth, context);
+    ++checks;
+  }
+  EXPECT_EQ(checks, 14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBordersTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace demon

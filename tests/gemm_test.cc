@@ -1,0 +1,323 @@
+#include "core/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/birch.h"
+#include "core/aum.h"
+#include "core/maintainers.h"
+#include "datagen/cluster_generator.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+
+namespace demon {
+namespace {
+
+using TxBlockPtr = std::shared_ptr<const TransactionBlock>;
+using PtBlockPtr = std::shared_ptr<const PointBlock>;
+
+std::vector<TxBlockPtr> MakeBlocks(size_t num_blocks, size_t block_size,
+                                   size_t num_items, uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = num_blocks * block_size;
+  params.num_items = num_items;
+  params.num_patterns = 30;
+  params.avg_transaction_len = 6;
+  params.avg_pattern_len = 3;
+  params.seed = seed;
+  QuestGenerator gen(params);
+  std::vector<TxBlockPtr> blocks;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    auto block =
+        std::make_shared<TransactionBlock>(gen.NextBlock(block_size, tid));
+    tid += block->size();
+    block->mutable_info()->id = static_cast<BlockId>(b + 1);
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+// Ground truth for routing tests: blocks the current model must cover
+// after block t arrived, window size w.
+std::vector<BlockId> ExpectedSelection(const BlockSelectionSequence& bss,
+                                       size_t t, size_t w) {
+  const size_t start = t >= w ? t - w + 1 : 1;
+  std::vector<BlockId> out;
+  for (size_t id = start; id <= t; ++id) {
+    bool selected = false;
+    if (bss.is_window_relative()) {
+      selected = bss.window_bits()[id - start];
+    } else {
+      selected = bss.SelectsBlock(static_cast<BlockId>(id));
+    }
+    if (selected) out.push_back(static_cast<BlockId>(id));
+  }
+  return out;
+}
+
+TEST(GemmTest, MaintainsAtMostWModels) {
+  const auto blocks = MakeBlocks(8, 10, 20, 40);
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), 3,
+      [] { return CountingMaintainer(); });
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    gemm.AddBlock(blocks[i]);
+    EXPECT_LE(gemm.NumModels(), 3u);
+    if (i >= 2) EXPECT_EQ(gemm.NumModels(), 3u);
+  }
+  // Model starts are consecutive: t-w+1 .. t.
+  EXPECT_EQ(gemm.ModelStarts(), (std::vector<BlockId>{6, 7, 8}));
+}
+
+TEST(GemmTest, AllOnesBssCurrentModelCoversWholeWindow) {
+  const auto blocks = MakeBlocks(7, 10, 20, 41);
+  const size_t w = 4;
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), w,
+      [] { return CountingMaintainer(); });
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    const size_t start = t >= w ? t - w + 1 : 1;
+    std::vector<BlockId> expected;
+    for (size_t id = start; id <= t; ++id) {
+      expected.push_back(static_cast<BlockId>(id));
+    }
+    EXPECT_EQ(gemm.current().block_ids(), expected) << "t=" << t;
+  }
+}
+
+TEST(GemmTest, WindowIndependentBssRoutesCorrectly) {
+  // Paper §3.2.1 example: b = <10110...>, w = 3.
+  const auto bss = BlockSelectionSequence::WindowIndependent(
+      {true, false, true, true, false}, false);
+  const auto blocks = MakeBlocks(5, 10, 20, 42);
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(bss, 3,
+                                            [] { return CountingMaintainer(); });
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    EXPECT_EQ(gemm.current().block_ids(), ExpectedSelection(bss, t, 3))
+        << "t=" << t;
+  }
+  // Concretely: after D4 the current model must be built from D3, D4
+  // (the paper's worked update of m(D[2,4], <011>)).
+}
+
+TEST(GemmTest, WindowRelativeBssSlidesWithWindow) {
+  // Paper §3.2.2 example: window-relative <101>, w = 3. After D4 arrives
+  // the model covers D2 and D4.
+  const auto bss =
+      BlockSelectionSequence::WindowRelative({true, false, true});
+  const auto blocks = MakeBlocks(6, 10, 20, 43);
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(bss, 3,
+                                            [] { return CountingMaintainer(); });
+  gemm.AddBlock(blocks[0]);
+  gemm.AddBlock(blocks[1]);
+  gemm.AddBlock(blocks[2]);
+  EXPECT_EQ(gemm.current().block_ids(), (std::vector<BlockId>{1, 3}));
+  gemm.AddBlock(blocks[3]);
+  EXPECT_EQ(gemm.current().block_ids(), (std::vector<BlockId>{2, 4}));
+  gemm.AddBlock(blocks[4]);
+  EXPECT_EQ(gemm.current().block_ids(), (std::vector<BlockId>{3, 5}));
+}
+
+TEST(GemmTest, WindowRelativeAlternatingDisjointSets) {
+  // The §3.2.4 degenerate case for AuM: <1010101010> flips the whole
+  // selected set every slide. GEMM handles it with one A_M call.
+  std::vector<bool> bits(10);
+  for (size_t i = 0; i < 10; ++i) bits[i] = (i % 2 == 0);
+  const auto bss = BlockSelectionSequence::WindowRelative(bits);
+  const auto blocks = MakeBlocks(12, 5, 20, 44);
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(bss, 10,
+                                            [] { return CountingMaintainer(); });
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    EXPECT_EQ(gemm.current().block_ids(), ExpectedSelection(bss, t, 10));
+  }
+  // After t=11 the set is {2,4,...}; after t=12 it is {3,5,...}: disjoint.
+}
+
+TEST(GemmTest, WindowSizeOne) {
+  const auto blocks = MakeBlocks(4, 10, 20, 45);
+  Gemm<CountingMaintainer, TxBlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), 1,
+      [] { return CountingMaintainer(); });
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    EXPECT_EQ(gemm.NumModels(), 1u);
+    EXPECT_EQ(gemm.current().block_ids(),
+              std::vector<BlockId>{static_cast<BlockId>(t)});
+  }
+}
+
+class GemmItemsetBssTest
+    : public ::testing::TestWithParam<BlockSelectionSequence> {};
+
+TEST_P(GemmItemsetBssTest, CurrentItemsetModelEqualsFromScratch) {
+  // End-to-end invariant (§3.2): GEMM instantiated with the BORDERS
+  // maintainer yields, after every block, exactly the model mined from
+  // scratch over the blocks the BSS selects from the current window.
+  const auto bss = GetParam();
+  const size_t w = 4;
+  const auto blocks = MakeBlocks(9, 150, 40, 46);
+
+  BordersOptions options;
+  options.minsup = 0.05;
+  options.num_items = 40;
+  options.strategy = CountingStrategy::kEcut;
+  Gemm<BordersMaintainer, TxBlockPtr> gemm(
+      bss, w, [&options] { return BordersMaintainer(options); });
+
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    std::vector<TxBlockPtr> selected;
+    for (BlockId id : ExpectedSelection(bss, t, w)) {
+      selected.push_back(blocks[id - 1]);
+    }
+    const ItemsetModel& actual = gemm.current().model();
+    if (selected.empty()) {
+      EXPECT_EQ(actual.num_transactions(), 0u) << "t=" << t;
+      continue;
+    }
+    const ItemsetModel expected =
+        Apriori(selected, options.minsup, options.num_items);
+    ASSERT_EQ(actual.entries().size(), expected.entries().size())
+        << "t=" << t;
+    for (const auto& [itemset, entry] : expected.entries()) {
+      const auto it = actual.entries().find(itemset);
+      ASSERT_NE(it, actual.entries().end()) << ToString(itemset);
+      EXPECT_EQ(it->second.count, entry.count) << ToString(itemset);
+      EXPECT_EQ(it->second.frequent, entry.frequent) << ToString(itemset);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BssVariants, GemmItemsetBssTest,
+    ::testing::Values(
+        BlockSelectionSequence::AllBlocks(),
+        BlockSelectionSequence::Periodic(2, 0),
+        BlockSelectionSequence::WindowIndependent(
+            {true, false, true, true, false, true, false, false, true}),
+        BlockSelectionSequence::WindowRelative({true, false, true, true}),
+        BlockSelectionSequence::WindowRelative({false, true, false, true})),
+    [](const auto& info) {
+      switch (info.index) {
+        case 0:
+          return "AllBlocks";
+        case 1:
+          return "PeriodicEven";
+        case 2:
+          return "IndependentMixed";
+        case 3:
+          return "Relative1011";
+        default:
+          return "Relative0101";
+      }
+    });
+
+TEST(GemmTest, ClusterModelMatchesFromScratchBirch) {
+  // GEMM over BIRCH+ gives most-recent-window clustering, which BIRCH
+  // alone cannot (no deletions, §3.2.4). Check against from-scratch BIRCH
+  // on the window's selected blocks.
+  ClusterGenParams params;
+  params.num_points = 4000;
+  params.num_clusters = 6;
+  params.dim = 3;
+  params.seed = 47;
+  ClusterGenerator gen(params);
+  std::vector<PtBlockPtr> blocks;
+  for (int b = 0; b < 5; ++b) {
+    auto block = std::make_shared<PointBlock>(gen.NextBlock(800));
+    block->mutable_info()->id = static_cast<BlockId>(b + 1);
+    blocks.push_back(std::move(block));
+  }
+
+  BirchOptions birch_options;
+  birch_options.num_clusters = 6;
+  birch_options.phase2 = Phase2Algorithm::kAgglomerative;
+  birch_options.tree.max_leaf_entries = 256;
+  const size_t w = 3;
+  const auto bss = BlockSelectionSequence::AllBlocks();
+  Gemm<ClusterMaintainer, PtBlockPtr> gemm(bss, w, [&] {
+    return ClusterMaintainer(params.dim, birch_options);
+  });
+
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    const size_t start = t >= w ? t - w + 1 : 1;
+    std::vector<PtBlockPtr> window(blocks.begin() + (start - 1),
+                                   blocks.begin() + t);
+    const ClusterModel expected = RunBirch(window, params.dim, birch_options);
+    const ClusterModel& actual = gemm.current().model();
+    ASSERT_EQ(actual.NumClusters(), expected.NumClusters()) << "t=" << t;
+    for (size_t c = 0; c < expected.NumClusters(); ++c) {
+      EXPECT_EQ(actual.clusters()[c], expected.clusters()[c]);
+    }
+  }
+}
+
+TEST(GemmTest, ResponseAndOfflineTimesReported) {
+  const auto blocks = MakeBlocks(5, 100, 30, 48);
+  BordersOptions options;
+  options.minsup = 0.05;
+  options.num_items = 30;
+  Gemm<BordersMaintainer, TxBlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), 3,
+      [&options] { return BordersMaintainer(options); });
+  for (const auto& block : blocks) gemm.AddBlock(block);
+  EXPECT_GE(gemm.last_response_seconds(), 0.0);
+  EXPECT_GE(gemm.last_offline_seconds(), 0.0);
+}
+
+TEST(AuMTest, AllOnesBssMatchesGemmModel) {
+  const auto blocks = MakeBlocks(7, 150, 40, 49);
+  BordersOptions options;
+  options.minsup = 0.05;
+  options.num_items = 40;
+  const size_t w = 3;
+
+  AuMItemsetMaintainer aum(options, BlockSelectionSequence::AllBlocks(), w);
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    aum.AddBlock(blocks[t - 1]);
+    const size_t start = t >= w ? t - w + 1 : 1;
+    const std::vector<TxBlockPtr> window(blocks.begin() + (start - 1),
+                                         blocks.begin() + t);
+    const ItemsetModel expected =
+        Apriori(window, options.minsup, options.num_items);
+    ASSERT_EQ(aum.model().entries().size(), expected.entries().size());
+    for (const auto& [itemset, entry] : expected.entries()) {
+      EXPECT_EQ(aum.model().CountOf(itemset), entry.count);
+    }
+    if (t > w) {
+      // Steady state: exactly one addition and one deletion per slide.
+      EXPECT_EQ(aum.last_stats().blocks_added, 1u);
+      EXPECT_EQ(aum.last_stats().blocks_removed, 1u);
+    }
+  }
+}
+
+TEST(AuMTest, AlternatingBssDegeneratesToFullReplacement) {
+  // §3.2.4: with window-relative <1010> the selected sets of consecutive
+  // windows are disjoint, so AuM replaces every block.
+  const auto blocks = MakeBlocks(8, 80, 30, 50);
+  BordersOptions options;
+  options.minsup = 0.06;
+  options.num_items = 30;
+  const auto bss =
+      BlockSelectionSequence::WindowRelative({true, false, true, false});
+  AuMItemsetMaintainer aum(options, bss, 4);
+  for (size_t t = 1; t <= blocks.size(); ++t) aum.AddBlock(blocks[t - 1]);
+  // Window [5..8]: selected {5, 7}; previous window [4..7] selected {4, 6}.
+  EXPECT_EQ(aum.last_stats().blocks_added, 2u);
+  EXPECT_EQ(aum.last_stats().blocks_removed, 2u);
+  const ItemsetModel expected =
+      Apriori({blocks[4], blocks[6]}, options.minsup, options.num_items);
+  ASSERT_EQ(aum.model().entries().size(), expected.entries().size());
+  for (const auto& [itemset, entry] : expected.entries()) {
+    EXPECT_EQ(aum.model().CountOf(itemset), entry.count);
+    EXPECT_EQ(aum.model().IsFrequent(itemset), entry.frequent);
+  }
+}
+
+}  // namespace
+}  // namespace demon

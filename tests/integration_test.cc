@@ -1,0 +1,179 @@
+// Cross-module integration tests: the full DEMON pipeline — synthetic
+// evolving data, incremental model maintenance under data-span and BSS
+// restrictions, and pattern detection — exercised together the way the
+// paper's Figure 11 lays out the problem space.
+
+#include <gtest/gtest.h>
+
+#include "clustering/birch.h"
+#include "core/aum.h"
+#include "core/gemm.h"
+#include "core/maintainers.h"
+#include "datagen/quest_generator.h"
+#include "datagen/trace_generator.h"
+#include "itemsets/apriori.h"
+#include "patterns/compact_sequences.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+TEST(IntegrationTest, UnrestrictedWindowMaintenanceOverTraceBlocks) {
+  // Feed real-ish trace blocks (not Quest data) through the itemset
+  // maintainer and check against from-scratch mining at the end.
+  TraceGenerator::Params params;
+  params.rate_scale = 0.01;
+  params.seed = 5;
+  TraceGenerator gen(params);
+  const auto blocks = SegmentTrace(gen.Generate(), 24, 24);
+
+  BordersOptions options;
+  options.minsup = 0.02;
+  options.num_items =
+      TraceGenerator::kNumObjectTypes + TraceGenerator::kNumSizeBuckets;
+  options.strategy = CountingStrategy::kEcutPlus;
+  BordersMaintainer maintainer(options);
+
+  std::vector<BlockPtr> so_far;
+  for (size_t b = 0; b < 6; ++b) {
+    auto block = std::make_shared<TransactionBlock>(blocks[b]);
+    maintainer.AddBlock(block);
+    so_far.push_back(block);
+  }
+  const ItemsetModel scratch =
+      Apriori(so_far, options.minsup, options.num_items);
+  ASSERT_EQ(maintainer.model().entries().size(), scratch.entries().size());
+  for (const auto& [itemset, entry] : scratch.entries()) {
+    EXPECT_EQ(maintainer.model().CountOf(itemset), entry.count);
+  }
+}
+
+TEST(IntegrationTest, GemmAndAuMAgreeUnderWindowRelativeBss) {
+  // Two independent most-recent-window implementations (GEMM's
+  // collection-of-models vs AuM's add+delete) must produce identical
+  // models for every window — a strong cross-check of both.
+  QuestParams params;
+  params.num_transactions = 8 * 200;
+  params.num_items = 30;
+  params.num_patterns = 20;
+  params.avg_transaction_len = 6;
+  params.seed = 91;
+  QuestGenerator gen(params);
+
+  BordersOptions options;
+  options.minsup = 0.05;
+  options.num_items = 30;
+  const auto bss =
+      BlockSelectionSequence::WindowRelative({true, true, false, true});
+  const size_t w = 4;
+
+  Gemm<BordersMaintainer, BlockPtr> gemm(
+      bss, w, [&options] { return BordersMaintainer(options); });
+  AuMItemsetMaintainer aum(options, bss, w);
+
+  Tid tid = 0;
+  for (int t = 0; t < 8; ++t) {
+    auto block = std::make_shared<TransactionBlock>(gen.NextBlock(200, tid));
+    tid += block->size();
+    block->mutable_info()->id = static_cast<BlockId>(t + 1);
+    gemm.AddBlock(block);
+    aum.AddBlock(block);
+
+    const ItemsetModel& a = gemm.current().model();
+    const ItemsetModel& b = aum.model();
+    ASSERT_EQ(a.num_transactions(), b.num_transactions()) << "t=" << t;
+    ASSERT_EQ(a.entries().size(), b.entries().size()) << "t=" << t;
+    for (const auto& [itemset, entry] : a.entries()) {
+      EXPECT_EQ(b.CountOf(itemset), entry.count) << ToString(itemset);
+      EXPECT_EQ(b.IsFrequent(itemset), entry.frequent) << ToString(itemset);
+    }
+  }
+}
+
+TEST(IntegrationTest, PatternDetectionThenTargetedMonitoring) {
+  // The paper's intended workflow: discover an interesting BSS with the
+  // pattern detector, then monitor exactly those blocks with GEMM.
+  TraceGenerator::Params params;
+  params.rate_scale = 0.02;
+  params.seed = 6;
+  TraceGenerator gen(params);
+  const auto blocks = SegmentTrace(gen.Generate(), 24, 24);
+
+  // Step 1: detect compact sequences over the first two weeks.
+  CompactSequenceMiner::Options miner_options;
+  miner_options.focus.minsup = 0.01;
+  miner_options.focus.num_items =
+      TraceGenerator::kNumObjectTypes + TraceGenerator::kNumSizeBuckets;
+  miner_options.alpha = 0.99;
+  CompactSequenceMiner miner(miner_options);
+  const size_t history = 14;
+  for (size_t b = 0; b < history && b < blocks.size(); ++b) {
+    miner.AddBlock(std::make_shared<TransactionBlock>(blocks[b]));
+  }
+  const auto sequences = miner.MaximalSequences(3);
+  ASSERT_FALSE(sequences.empty());
+
+  // Step 2: turn the longest sequence into a window-independent BSS and
+  // maintain a model over exactly those blocks.
+  const auto* longest = &sequences[0];
+  for (const auto& s : sequences) {
+    if (s.size() > longest->size()) longest = &s;
+  }
+  std::vector<bool> bits(history, false);
+  for (size_t index : *longest) bits[index] = true;
+  const auto bss = BlockSelectionSequence::WindowIndependent(bits, false);
+
+  BordersOptions options;
+  options.minsup = 0.01;
+  options.num_items = miner_options.focus.num_items;
+  BordersMaintainer maintainer(options);
+  std::vector<BlockPtr> selected;
+  for (size_t b = 0; b < history; ++b) {
+    if (!bss.SelectsBlock(static_cast<BlockId>(b + 1))) continue;
+    auto block = std::make_shared<TransactionBlock>(blocks[b]);
+    maintainer.AddBlock(block);
+    selected.push_back(block);
+  }
+  ASSERT_EQ(selected.size(), longest->size());
+  const ItemsetModel scratch =
+      Apriori(selected, options.minsup, options.num_items);
+  EXPECT_EQ(maintainer.model().entries().size(), scratch.entries().size());
+  EXPECT_EQ(maintainer.model().NumFrequent(), scratch.NumFrequent());
+}
+
+TEST(IntegrationTest, ClusterMonitoringUnderMostRecentWindow) {
+  // GEMM + BIRCH+ with a periodic BSS over point blocks; verify the
+  // sub-cluster totals match exactly the selected blocks' point counts.
+  Rng rng(8);
+  BirchOptions birch_options;
+  birch_options.num_clusters = 3;
+  const size_t w = 4;
+  const auto bss = BlockSelectionSequence::Periodic(2, 0);  // odd ids
+  Gemm<ClusterMaintainer, std::shared_ptr<const PointBlock>> gemm(
+      bss, w, [&] { return ClusterMaintainer(2, birch_options); });
+
+  std::vector<size_t> sizes;
+  for (int t = 1; t <= 7; ++t) {
+    const size_t n = 50 + rng.NextUint64(100);
+    sizes.push_back(n);
+    std::vector<double> coords;
+    for (size_t i = 0; i < 2 * n; ++i) {
+      coords.push_back(rng.NextDouble() * 10);
+    }
+    auto block = std::make_shared<PointBlock>(std::move(coords), 2);
+    block->mutable_info()->id = static_cast<BlockId>(t);
+    gemm.AddBlock(std::move(block));
+
+    double expected = 0;
+    const size_t start = t >= static_cast<int>(w) ? t - w + 1 : 1;
+    for (size_t id = start; id <= static_cast<size_t>(t); ++id) {
+      if ((id - 1) % 2 == 0) expected += static_cast<double>(sizes[id - 1]);
+    }
+    EXPECT_DOUBLE_EQ(gemm.current().birch().tree().total_weight(), expected)
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,93 @@
+#include "itemsets/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+
+namespace demon {
+namespace {
+
+ItemsetModel MineModel(uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = 1200;
+  params.num_items = 60;
+  params.num_patterns = 40;
+  params.avg_transaction_len = 8;
+  params.seed = seed;
+  QuestGenerator gen(params);
+  auto block = std::make_shared<TransactionBlock>(gen.GenerateAll());
+  return Apriori({block}, 0.04, params.num_items);
+}
+
+TEST(ModelIoTest, RoundTripIsExact) {
+  const ItemsetModel model = MineModel(41);
+  const std::string path = ::testing::TempDir() + "/model.bin";
+  ASSERT_TRUE(WriteItemsetModel(model, path).ok());
+
+  auto reread = ReadItemsetModel(path);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  const ItemsetModel& loaded = reread.value();
+  EXPECT_DOUBLE_EQ(loaded.minsup(), model.minsup());
+  EXPECT_EQ(loaded.num_items(), model.num_items());
+  EXPECT_EQ(loaded.num_transactions(), model.num_transactions());
+  ASSERT_EQ(loaded.entries().size(), model.entries().size());
+  for (const auto& [itemset, entry] : model.entries()) {
+    const auto it = loaded.entries().find(itemset);
+    ASSERT_NE(it, loaded.entries().end()) << ToString(itemset);
+    EXPECT_EQ(it->second.count, entry.count);
+    EXPECT_EQ(it->second.frequent, entry.frequent);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SerializedBytesMatchesFileSize) {
+  const ItemsetModel model = MineModel(42);
+  const std::string path = ::testing::TempDir() + "/model_size.bin";
+  ASSERT_TRUE(WriteItemsetModel(model, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(static_cast<uint64_t>(file_size), SerializedModelBytes(model));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ModelIsTinyComparedToData) {
+  // §3.2.3: "the space occupied by a model is insignificant when compared
+  // to that occupied by the data in each block".
+  QuestParams params;
+  params.num_transactions = 30000;
+  params.num_items = 100;
+  params.num_patterns = 50;
+  params.avg_transaction_len = 10;
+  params.seed = 43;
+  QuestGenerator gen(params);
+  auto block = std::make_shared<TransactionBlock>(gen.GenerateAll());
+  const ItemsetModel model = Apriori({block}, 0.10, params.num_items);
+  const uint64_t data_bytes = block->TotalItemOccurrences() * sizeof(Item);
+  EXPECT_LT(SerializedModelBytes(model), data_bytes);
+}
+
+TEST(ModelIoTest, MissingFileFails) {
+  auto result = ReadItemsetModel("/nonexistent/model.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, CorruptFileFails) {
+  const std::string path = ::testing::TempDir() + "/corrupt_model.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[16] = "not a model";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadItemsetModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,179 @@
+// Tests for the pattern-detection extensions: most-recent-window compact
+// sequences (paper footnote 9), cyclic post-processing (§4), and the
+// automatic granularity selection of the §7 future work.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/trace_generator.h"
+#include "patterns/compact_sequences.h"
+#include "patterns/cyclic.h"
+#include "patterns/granularity.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+BlockPtr RegimeBlock(int regime, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Transaction> transactions;
+  for (size_t i = 0; i < n; ++i) {
+    const Item base = static_cast<Item>(regime * 4);
+    transactions.push_back(Transaction(
+        {static_cast<Item>(base + (rng.NextBernoulli(0.8) ? 0 : 2)),
+         static_cast<Item>(base + (rng.NextBernoulli(0.8) ? 1 : 3))}));
+  }
+  return std::make_shared<TransactionBlock>(std::move(transactions), 0);
+}
+
+CompactSequenceMiner::Options MinerOptions(size_t window = 0) {
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.05;
+  options.focus.num_items = 16;
+  options.alpha = 0.95;
+  options.window_size = window;
+  return options;
+}
+
+TEST(MrwCompactSequencesTest, EvictsOldBlocksFromSequences) {
+  CompactSequenceMiner miner(MinerOptions(/*window=*/3));
+  for (int b = 0; b < 6; ++b) miner.AddBlock(RegimeBlock(0, 400, 100 + b));
+  EXPECT_EQ(miner.window_start(), 3u);
+  // The only sequences left cover blocks 3, 4, 5.
+  for (const auto& sequence : miner.sequences()) {
+    for (size_t index : sequence) EXPECT_GE(index, 3u);
+  }
+  // Same-regime blocks inside the window still chain fully.
+  bool found_full_window = false;
+  for (const auto& sequence : miner.sequences()) {
+    if (sequence == std::vector<size_t>{3, 4, 5}) found_full_window = true;
+  }
+  EXPECT_TRUE(found_full_window);
+}
+
+TEST(MrwCompactSequencesTest, MatchesUnrestrictedOverSameSuffixRegimes) {
+  // With all blocks from one regime, the windowed miner's sequences equal
+  // the unrestricted miner's sequences intersected with the window.
+  CompactSequenceMiner windowed(MinerOptions(4));
+  CompactSequenceMiner unrestricted(MinerOptions(0));
+  for (int b = 0; b < 7; ++b) {
+    auto block = RegimeBlock(b % 2, 400, 200 + b);
+    windowed.AddBlock(block);
+    unrestricted.AddBlock(block);
+  }
+  // Window covers blocks 3..6; regime parity: 3,5 odd / 4,6 even.
+  bool found_odd = false;
+  bool found_even = false;
+  for (const auto& sequence : windowed.sequences()) {
+    if (sequence == std::vector<size_t>{3, 5}) found_odd = true;
+    if (sequence == std::vector<size_t>{4, 6}) found_even = true;
+  }
+  EXPECT_TRUE(found_odd);
+  EXPECT_TRUE(found_even);
+}
+
+TEST(MrwCompactSequencesTest, WindowedSequencesAreCompact) {
+  CompactSequenceMiner miner(MinerOptions(5));
+  const int regimes[] = {0, 1, 0, 2, 1, 0, 0, 2, 1, 0, 1, 1};
+  for (int b = 0; b < 12; ++b) {
+    miner.AddBlock(RegimeBlock(regimes[b], 300, 300 + b));
+  }
+  for (const auto& sequence : miner.sequences()) {
+    EXPECT_TRUE(miner.IsCompact(sequence));
+  }
+}
+
+TEST(CyclicTest, PaperExample) {
+  // §4: from compact <D1, D3, D4, D5, D7> derive the cycle <D1,D3,D5,D7>.
+  const auto cycles = ExtractCyclicSequences({1, 3, 4, 5, 7}, 3);
+  ASSERT_FALSE(cycles.empty());
+  EXPECT_EQ(cycles[0].blocks, (std::vector<size_t>{1, 3, 5, 7}));
+  EXPECT_EQ(cycles[0].period, 2u);
+}
+
+TEST(CyclicTest, ConsecutiveRunIsPeriodOne) {
+  const auto cycles = ExtractCyclicSequences({4, 5, 6, 7}, 3);
+  ASSERT_FALSE(cycles.empty());
+  EXPECT_EQ(cycles[0].blocks, (std::vector<size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(cycles[0].period, 1u);
+}
+
+TEST(CyclicTest, MultiplePeriodsCoexist) {
+  // {0, 2, 4, 6} has period 2; {0, 3, 6} has period 3. Input {0,2,3,4,6}.
+  const auto cycles = ExtractCyclicSequences({0, 2, 3, 4, 6}, 3);
+  bool period2 = false;
+  bool period3 = false;
+  for (const auto& c : cycles) {
+    if (c.blocks == std::vector<size_t>{0, 2, 4, 6}) period2 = true;
+    if (c.blocks == std::vector<size_t>{0, 3, 6}) period3 = true;
+  }
+  EXPECT_TRUE(period2);
+  EXPECT_TRUE(period3);
+}
+
+TEST(CyclicTest, RespectsMinLengthAndSmallInputs) {
+  EXPECT_TRUE(ExtractCyclicSequences({1, 2}, 3).empty());
+  EXPECT_TRUE(ExtractCyclicSequences({5}, 2).empty());
+  EXPECT_TRUE(ExtractCyclicSequences({}, 2).empty());
+  const auto pairs = ExtractCyclicSequences({1, 4}, 2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].period, 3u);
+}
+
+TEST(CyclicTest, SubProgressionsOfReportedCyclesAreNotRepeated) {
+  const auto cycles = ExtractCyclicSequences({0, 2, 4, 6, 8}, 3);
+  // Only the maximal period-2 progression (plus period-4 {0,4,8}).
+  size_t period2_count = 0;
+  for (const auto& c : cycles) period2_count += (c.period == 2) ? 1 : 0;
+  EXPECT_EQ(period2_count, 1u);
+}
+
+TEST(GranularityTest, ChainingScoreBounds) {
+  // One homogeneous regime: everything chains, score ~1.
+  CompactSequenceMiner all_same(MinerOptions());
+  for (int b = 0; b < 5; ++b) all_same.AddBlock(RegimeBlock(0, 400, 400 + b));
+  EXPECT_GT(ChainingScore(all_same), 0.9);
+
+  // All distinct regimes: nothing chains, score 0.
+  CompactSequenceMiner all_different(MinerOptions());
+  for (int b = 0; b < 4; ++b) {
+    all_different.AddBlock(RegimeBlock(b, 400, 500 + b));
+  }
+  EXPECT_DOUBLE_EQ(ChainingScore(all_different), 0.0);
+}
+
+TEST(GranularityTest, SelectsStructuredGranularityOnTrace) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.02;
+  params.seed = 17;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+
+  const std::vector<int> hours = {24, 12, 6};
+  std::vector<std::vector<TransactionBlock>> blocks;
+  for (int h : hours) blocks.push_back(SegmentTrace(trace, h, 24));
+
+  CompactSequenceMiner::Options options;
+  options.focus.minsup = 0.01;
+  options.focus.num_items =
+      TraceGenerator::kNumObjectTypes + TraceGenerator::kNumSizeBuckets;
+  options.alpha = 0.99;
+
+  size_t best = 999;
+  const auto reports = EvaluateGranularities(blocks, hours, options, &best);
+  ASSERT_EQ(reports.size(), 3u);
+  ASSERT_LT(best, 3u);
+  for (size_t g = 0; g < reports.size(); ++g) {
+    EXPECT_EQ(reports[g].num_blocks, blocks[g].size());
+    EXPECT_GE(reports[g].chaining_score, 0.0);
+    EXPECT_LE(reports[g].chaining_score, 1.0);
+    EXPECT_LE(reports[g].objective, 1.0);
+  }
+  // The winner must actually expose interior structure.
+  EXPECT_GT(reports[best].objective, 0.0);
+  EXPECT_GT(reports[best].num_maximal_sequences, 0u);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,110 @@
+#include "itemsets/prefix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+
+namespace demon {
+namespace {
+
+TEST(PrefixTreeTest, SingleItemsetCounting) {
+  PrefixTree tree;
+  const size_t id = tree.Insert({1, 3});
+  tree.CountTransaction(Transaction({1, 2, 3}));
+  tree.CountTransaction(Transaction({1, 2}));
+  tree.CountTransaction(Transaction({3}));
+  tree.CountTransaction(Transaction({1, 3}));
+  EXPECT_EQ(tree.CountOf(id), 2u);
+}
+
+TEST(PrefixTreeTest, ReinsertReturnsSameId) {
+  PrefixTree tree;
+  const size_t a = tree.Insert({5, 9});
+  const size_t b = tree.Insert({5, 9});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tree.NumItemsets(), 1u);
+}
+
+TEST(PrefixTreeTest, MixedSizesAndSharedPrefixes) {
+  PrefixTree tree;
+  const size_t id1 = tree.Insert({1});
+  const size_t id12 = tree.Insert({1, 2});
+  const size_t id123 = tree.Insert({1, 2, 3});
+  const size_t id13 = tree.Insert({1, 3});
+  tree.CountTransaction(Transaction({1, 2, 3}));
+  EXPECT_EQ(tree.CountOf(id1), 1u);
+  EXPECT_EQ(tree.CountOf(id12), 1u);
+  EXPECT_EQ(tree.CountOf(id123), 1u);
+  EXPECT_EQ(tree.CountOf(id13), 1u);
+  tree.CountTransaction(Transaction({1, 3, 7}));
+  EXPECT_EQ(tree.CountOf(id1), 2u);
+  EXPECT_EQ(tree.CountOf(id12), 1u);
+  EXPECT_EQ(tree.CountOf(id13), 2u);
+}
+
+TEST(PrefixTreeTest, WeightedCounting) {
+  PrefixTree tree;
+  const size_t id = tree.Insert({2});
+  tree.CountTransaction(Transaction({2, 4}), 5);
+  EXPECT_EQ(tree.CountOf(id), 5u);
+}
+
+TEST(PrefixTreeTest, ResetCounts) {
+  PrefixTree tree;
+  const size_t id = tree.Insert({1, 2});
+  tree.CountTransaction(Transaction({1, 2}));
+  EXPECT_EQ(tree.CountOf(id), 1u);
+  tree.ResetCounts();
+  EXPECT_EQ(tree.CountOf(id), 0u);
+}
+
+TEST(PrefixTreeTest, EmptyTransactionCountsNothing) {
+  PrefixTree tree;
+  const size_t id = tree.Insert({1});
+  tree.CountTransaction(Transaction({}));
+  EXPECT_EQ(tree.CountOf(id), 0u);
+}
+
+// Property check: counts from the tree match brute-force subset tests on
+// random itemsets over realistic Quest data.
+TEST(PrefixTreeTest, RandomizedAgainstBruteForce) {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 80;
+  params.num_patterns = 40;
+  params.avg_transaction_len = 8;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+
+  Rng rng(7);
+  std::vector<Itemset> itemsets;
+  for (int i = 0; i < 200; ++i) {
+    Itemset itemset;
+    const size_t size = 1 + rng.NextUint64(4);
+    while (itemset.size() < size) {
+      const Item item = static_cast<Item>(rng.NextUint64(params.num_items));
+      if (!std::binary_search(itemset.begin(), itemset.end(), item)) {
+        itemset.insert(
+            std::lower_bound(itemset.begin(), itemset.end(), item), item);
+      }
+    }
+    itemsets.push_back(std::move(itemset));
+  }
+
+  PrefixTree tree;
+  std::vector<size_t> ids;
+  for (const Itemset& itemset : itemsets) ids.push_back(tree.Insert(itemset));
+  for (const Transaction& t : block.transactions()) tree.CountTransaction(t);
+
+  for (size_t s = 0; s < itemsets.size(); ++s) {
+    uint64_t expected = 0;
+    for (const Transaction& t : block.transactions()) {
+      expected += t.ContainsAll(itemsets[s].begin(), itemsets[s].end()) ? 1 : 0;
+    }
+    ASSERT_EQ(tree.CountOf(ids[s]), expected) << ToString(itemsets[s]);
+  }
+}
+
+}  // namespace
+}  // namespace demon

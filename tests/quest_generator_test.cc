@@ -1,0 +1,225 @@
+#include "datagen/quest_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/cluster_generator.h"
+#include "datagen/trace_generator.h"
+
+namespace demon {
+namespace {
+
+TEST(QuestParamsTest, PaperStyleName) {
+  QuestParams params;
+  params.num_transactions = 2000000;
+  params.avg_transaction_len = 20;
+  params.num_items = 1000;
+  params.num_patterns = 4000;
+  params.avg_pattern_len = 4;
+  EXPECT_EQ(params.ToString(), "2M.20L.1I.4pats.4plen");
+  params.num_transactions = 400000;
+  EXPECT_EQ(params.ToString(), "400K.20L.1I.4pats.4plen");
+}
+
+TEST(QuestGeneratorTest, Deterministic) {
+  QuestParams params;
+  params.num_transactions = 100;
+  params.seed = 99;
+  QuestGenerator a(params);
+  QuestGenerator b(params);
+  const TransactionBlock block_a = a.GenerateAll();
+  const TransactionBlock block_b = b.GenerateAll();
+  ASSERT_EQ(block_a.size(), block_b.size());
+  for (size_t i = 0; i < block_a.size(); ++i) {
+    EXPECT_EQ(block_a.transactions()[i], block_b.transactions()[i]);
+  }
+}
+
+TEST(QuestGeneratorTest, RespectsItemUniverse) {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 50;
+  params.num_patterns = 20;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  for (const Transaction& t : block.transactions()) {
+    EXPECT_FALSE(t.empty());
+    for (Item item : t.items()) EXPECT_LT(item, params.num_items);
+  }
+}
+
+TEST(QuestGeneratorTest, AverageTransactionLengthNearTarget) {
+  QuestParams params;
+  params.num_transactions = 20000;
+  params.avg_transaction_len = 10.0;
+  params.num_items = 500;
+  params.num_patterns = 100;
+  params.avg_pattern_len = 4.0;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  const double avg = static_cast<double>(block.TotalItemOccurrences()) /
+                     static_cast<double>(block.size());
+  // Dedup within transactions and carry-over allow some slack.
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 13.0);
+}
+
+TEST(QuestGeneratorTest, PatternsHaveRequestedShape) {
+  QuestParams params;
+  params.num_patterns = 1000;
+  params.avg_pattern_len = 4.0;
+  params.num_items = 1000;
+  QuestGenerator gen(params);
+  ASSERT_EQ(gen.patterns().size(), 1000u);
+  double total_len = 0;
+  for (const auto& pattern : gen.patterns()) {
+    ASSERT_FALSE(pattern.empty());
+    for (size_t i = 1; i < pattern.size(); ++i) {
+      EXPECT_LT(pattern[i - 1], pattern[i]) << "patterns must be sorted";
+    }
+    total_len += static_cast<double>(pattern.size());
+  }
+  EXPECT_NEAR(total_len / 1000.0, 4.0, 0.5);
+}
+
+TEST(QuestGeneratorTest, BlocksAreContiguousInTids) {
+  QuestParams params;
+  params.num_transactions = 100;
+  QuestGenerator gen(params);
+  const TransactionBlock b1 = gen.NextBlock(40, 0);
+  const TransactionBlock b2 = gen.NextBlock(60, b1.size());
+  EXPECT_EQ(b1.size(), 40u);
+  EXPECT_EQ(b2.first_tid(), 40u);
+}
+
+TEST(QuestGeneratorTest, SkewedItemFrequencies) {
+  // Pattern-based generation should make some items far more frequent
+  // than uniform sampling would.
+  QuestParams params;
+  params.num_transactions = 10000;
+  params.num_items = 1000;
+  params.num_patterns = 50;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  std::vector<size_t> counts(params.num_items, 0);
+  for (const Transaction& t : block.transactions()) {
+    for (Item item : t.items()) ++counts[item];
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  // Top item should be several times the median item.
+  EXPECT_GT(counts[0], 4 * std::max<size_t>(counts[counts.size() / 2], 1));
+}
+
+TEST(ClusterGenParamsTest, PaperStyleName) {
+  ClusterGenParams params;
+  params.num_points = 1000000;
+  params.num_clusters = 50;
+  params.dim = 5;
+  EXPECT_EQ(params.ToString(), "1M.50c.5d");
+}
+
+TEST(ClusterGeneratorTest, PointsNearTheirCenters) {
+  ClusterGenParams params;
+  params.num_points = 5000;
+  params.num_clusters = 4;
+  params.dim = 3;
+  params.max_sigma = 1.0;
+  params.noise_fraction = 0.0;
+  ClusterGenerator gen(params);
+  const PointBlock block = gen.GenerateAll();
+  ASSERT_EQ(block.size(), 5000u);
+  const auto& labels = gen.true_labels();
+  ASSERT_EQ(labels.size(), 5000u);
+  for (size_t i = 0; i < block.size(); ++i) {
+    ASSERT_GE(labels[i], 0);
+    const Point& center = gen.centers()[labels[i]];
+    const double d2 =
+        SquaredDistance(block.PointAt(i), center.data(), params.dim);
+    // Within 6 sigma in 3-d is essentially certain.
+    EXPECT_LT(d2, 36.0 * 3.0);
+  }
+}
+
+TEST(ClusterGeneratorTest, NoiseFractionRoughlyHonored) {
+  ClusterGenParams params;
+  params.num_points = 20000;
+  params.num_clusters = 3;
+  params.noise_fraction = 0.1;
+  ClusterGenerator gen(params);
+  gen.GenerateAll();
+  size_t noise = 0;
+  for (int label : gen.true_labels()) noise += (label < 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(noise) / 20000.0, 0.1, 0.02);
+}
+
+TEST(TraceGeneratorTest, RegimeSchedule) {
+  using R = TraceGenerator::Regime;
+  // Labor day Monday 9-2 is weekend-like.
+  EXPECT_EQ(TraceGenerator::RegimeAt(10), R::kWeekend);
+  // Tue 9-3 10AM is working-day.
+  EXPECT_EQ(TraceGenerator::RegimeAt(24 + 10), R::kWorkdayDay);
+  // Tue 9-3 1PM is the noon mix.
+  EXPECT_EQ(TraceGenerator::RegimeAt(24 + 13), R::kWorkdayNoon);
+  // Tue 9-3 5PM is the Tue/Thu evening mix.
+  EXPECT_EQ(TraceGenerator::RegimeAt(24 + 17), R::kEveningTueThu);
+  // Wed 9-4 5PM is the other-evening mix.
+  EXPECT_EQ(TraceGenerator::RegimeAt(2 * 24 + 17), R::kEveningOther);
+  // Wed 9-4 3AM is night.
+  EXPECT_EQ(TraceGenerator::RegimeAt(2 * 24 + 3), R::kNight);
+  // Sat 9-7 noon is weekend.
+  EXPECT_EQ(TraceGenerator::RegimeAt(5 * 24 + 12), R::kWeekend);
+  // Mon 9-9 is the anomaly, all day.
+  EXPECT_EQ(TraceGenerator::RegimeAt(7 * 24 + 12), R::kAnomaly);
+  EXPECT_EQ(TraceGenerator::RegimeAt(7 * 24 + 2), R::kAnomaly);
+}
+
+TEST(TraceGeneratorTest, GeneratesSortedTimestampsInRange) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.02;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  ASSERT_FALSE(trace.empty());
+  int64_t prev = 0;
+  for (const TraceRequest& r : trace) {
+    EXPECT_GE(r.timestamp, prev);
+    prev = r.timestamp;
+    EXPECT_GE(r.timestamp, TraceGenerator::kTraceStartHour * 3600);
+    EXPECT_LT(r.timestamp, TraceGenerator::kTraceEndHour * 3600);
+    EXPECT_LT(r.object_type, TraceGenerator::kNumObjectTypes);
+    EXPECT_LT(r.size_bucket, TraceGenerator::kNumSizeBuckets);
+  }
+}
+
+TEST(TraceGeneratorTest, SegmentationProducesEightyTwoSixHourBlocks) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.02;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  const auto blocks = SegmentTrace(trace, 6, 12);
+  // Noon 9-2 to midnight 9-22: 82 six-hour periods (paper Fig 10).
+  EXPECT_EQ(blocks.size(), 82u);
+  size_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  size_t in_range = 0;
+  for (const auto& r : trace) in_range += (r.timestamp >= 12 * 3600) ? 1 : 0;
+  EXPECT_EQ(total, in_range);
+  // Labels look like "Mon 09-02 12:00-18:00".
+  EXPECT_EQ(blocks[0].info().label, "Mon 09-02 12:00-18:00");
+}
+
+TEST(TraceGeneratorTest, TransactionsEncodeTypeAndBucket) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.01;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  const auto blocks = SegmentTrace(trace, 24, 12);
+  for (const auto& block : blocks) {
+    for (const Transaction& t : block.transactions()) {
+      ASSERT_EQ(t.size(), 2u);
+      EXPECT_LT(t.items()[0], TraceGenerator::kNumObjectTypes);
+      EXPECT_GE(t.items()[1], TraceGenerator::kNumObjectTypes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace demon

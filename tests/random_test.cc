@@ -1,0 +1,125 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace demon {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(2);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint64(bound), bound);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.NextGaussian());
+  EXPECT_NEAR(Mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(5);
+  for (double mean : {0.5, 4.0, 20.0, 100.0}) {
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+      samples.push_back(rng.NextPoisson(mean));
+    }
+    EXPECT_NEAR(Mean(samples), mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.NextExponential(3.0));
+  EXPECT_NEAR(Mean(samples), 3.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(9);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0 * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.08) << "bucket " << i;
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(10);
+  AliasSampler sampler({5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(11);
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(sampler.Sample(&rng), 1u);
+}
+
+}  // namespace
+}  // namespace demon

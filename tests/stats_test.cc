@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace demon {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // log Gamma(x+1) = log Gamma(x) + log x.
+  for (double x : {0.3, 1.7, 4.2, 10.0, 55.5}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-9) << x;
+  }
+}
+
+TEST(RegularizedGammaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 50.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+}
+
+TEST(ChiSquareCdfTest, KnownQuantiles) {
+  // Classic table values: chi2(df=1) upper 5% point is 3.841,
+  // chi2(df=10) upper 5% point is 18.307.
+  EXPECT_NEAR(ChiSquareCdf(3.841, 1.0), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(18.307, 10.0), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(0.0, 3.0), 0.0, 1e-12);
+}
+
+TEST(ChiSquareCdfTest, MedianApproximation) {
+  // For large df, the median is about df * (1 - 2/(9 df))^3.
+  const double df = 100.0;
+  const double median = df * std::pow(1.0 - 2.0 / (9.0 * df), 3.0);
+  EXPECT_NEAR(ChiSquareCdf(median, df), 0.5, 5e-3);
+}
+
+TEST(ChiSquarePValueTest, ComplementsCdf) {
+  for (double x : {0.5, 2.0, 7.7}) {
+    EXPECT_NEAR(ChiSquarePValue(x, 4.0) + ChiSquareCdf(x, 4.0), 1.0, 1e-12);
+  }
+}
+
+TEST(ChiSquareHomogeneityTest, IdenticalSamplesGiveZero) {
+  const std::vector<double> counts = {50, 30, 20};
+  const auto r = ChiSquareHomogeneity(counts, 100, counts, 100);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquareHomogeneityTest, VeryDifferentSamplesRejected) {
+  const std::vector<double> a = {90, 5, 5};
+  const std::vector<double> b = {5, 5, 90};
+  const auto r = ChiSquareHomogeneity(a, 100, b, 100);
+  EXPECT_GT(r.statistic, 50.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareHomogeneityTest, ProportionalSamplesAccepted) {
+  const std::vector<double> a = {50, 30, 20};
+  const std::vector<double> b = {100, 60, 40};
+  const auto r = ChiSquareHomogeneity(a, 100, b, 200);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+}
+
+TEST(ChiSquareHomogeneityTest, SkipsEmptyRegions) {
+  const std::vector<double> a = {50, 0, 50};
+  const std::vector<double> b = {50, 0, 50};
+  const auto r = ChiSquareHomogeneity(a, 100, b, 100);
+  EXPECT_EQ(r.degrees_of_freedom, 1.0);  // 2 used regions - 1.
+}
+
+TEST(ChiSquareHomogeneityTest, EmptySamplesReturnNeutral) {
+  const auto r = ChiSquareHomogeneity({}, 0, {}, 0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(MomentsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,149 @@
+#include "itemsets/support_counting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+
+namespace demon {
+namespace {
+
+struct Fixture {
+  std::vector<std::shared_ptr<const TransactionBlock>> blocks;
+  TidListStore plain_store;
+  TidListStore pair_store;
+  size_t num_items;
+};
+
+Fixture MakeFixture(size_t num_blocks, size_t block_size, size_t num_items,
+                    uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = num_blocks * block_size;
+  params.num_items = num_items;
+  params.num_patterns = 50;
+  params.avg_transaction_len = 8;
+  params.avg_pattern_len = 3;
+  params.seed = seed;
+  QuestGenerator gen(params);
+
+  Fixture fixture;
+  fixture.num_items = num_items;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    auto block = std::make_shared<TransactionBlock>(
+        gen.NextBlock(block_size, tid));
+    tid += block->size();
+    fixture.blocks.push_back(block);
+    fixture.plain_store.Append(BlockTidLists::Build(*block, num_items));
+    // Materialize a handful of pairs for the ECUT+ store.
+    PairMaterializationSpec spec;
+    for (Item a = 0; a < 10; ++a) {
+      for (Item b2 = a + 1; b2 < 10; ++b2) spec.pairs.push_back({a, b2});
+    }
+    fixture.pair_store.Append(
+        BlockTidLists::Build(*block, num_items, &spec));
+  }
+  return fixture;
+}
+
+std::vector<Itemset> RandomItemsets(size_t count, size_t max_size,
+                                    size_t num_items, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Itemset> itemsets;
+  while (itemsets.size() < count) {
+    Itemset itemset;
+    const size_t size = 1 + rng.NextUint64(max_size);
+    while (itemset.size() < size) {
+      // Bias toward low item ids so pair lists actually get used.
+      const Item item = static_cast<Item>(
+          rng.NextBernoulli(0.5) ? rng.NextUint64(10)
+                                 : rng.NextUint64(num_items));
+      if (!std::binary_search(itemset.begin(), itemset.end(), item)) {
+        itemset.insert(
+            std::lower_bound(itemset.begin(), itemset.end(), item), item);
+      }
+    }
+    itemsets.push_back(std::move(itemset));
+  }
+  return itemsets;
+}
+
+TEST(SupportCountingTest, AllStrategiesAgree) {
+  const Fixture fixture = MakeFixture(4, 500, 100, 11);
+  const auto itemsets = RandomItemsets(150, 4, fixture.num_items, 12);
+
+  const auto pt = PtScanCount(itemsets, fixture.blocks);
+  const auto ecut =
+      EcutCount(itemsets, fixture.plain_store, /*use_pair_lists=*/false);
+  const auto ecut_plus =
+      EcutCount(itemsets, fixture.pair_store, /*use_pair_lists=*/true);
+  ASSERT_EQ(pt.size(), itemsets.size());
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    EXPECT_EQ(pt[i], ecut[i]) << ToString(itemsets[i]);
+    EXPECT_EQ(pt[i], ecut_plus[i]) << ToString(itemsets[i]);
+  }
+}
+
+TEST(SupportCountingTest, DispatchMatchesDirectCalls) {
+  const Fixture fixture = MakeFixture(2, 300, 60, 13);
+  const auto itemsets = RandomItemsets(40, 3, fixture.num_items, 14);
+  const auto direct = PtScanCount(itemsets, fixture.blocks);
+  for (CountingStrategy strategy :
+       {CountingStrategy::kPtScan, CountingStrategy::kEcut,
+        CountingStrategy::kEcutPlus}) {
+    const auto counts = CountSupports(strategy, itemsets, fixture.blocks,
+                                      fixture.pair_store);
+    EXPECT_EQ(counts, direct) << CountingStrategyName(strategy);
+  }
+}
+
+TEST(SupportCountingTest, EcutFetchesLessThanPtScanForFewItemsets) {
+  const Fixture fixture = MakeFixture(4, 1000, 100, 15);
+  const auto itemsets = RandomItemsets(5, 3, fixture.num_items, 16);
+  CountingStats pt_stats;
+  CountingStats ecut_stats;
+  PtScanCount(itemsets, fixture.blocks, &pt_stats);
+  EcutCount(itemsets, fixture.plain_store, false, &ecut_stats);
+  // ECUT reads only the relevant TID-lists; PT-Scan reads everything.
+  EXPECT_LT(ecut_stats.slots_fetched, pt_stats.slots_fetched);
+  EXPECT_GT(ecut_stats.lists_opened, 0u);
+  EXPECT_EQ(pt_stats.lists_opened, 0u);
+}
+
+TEST(SupportCountingTest, PairListsReduceDataFetched) {
+  const Fixture fixture = MakeFixture(3, 1000, 80, 17);
+  // Itemsets entirely within the materialized pair range.
+  std::vector<Itemset> itemsets = {{0, 1}, {2, 3}, {0, 1, 2, 3}, {4, 5, 6}};
+  CountingStats plain_stats;
+  CountingStats pair_stats;
+  const auto a = EcutCount(itemsets, fixture.pair_store, false, &plain_stats);
+  const auto b = EcutCount(itemsets, fixture.pair_store, true, &pair_stats);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(pair_stats.slots_fetched, plain_stats.slots_fetched);
+  EXPECT_LE(pair_stats.lists_opened, plain_stats.lists_opened);
+}
+
+TEST(SupportCountingTest, CountsMatchAprioriModel) {
+  const Fixture fixture = MakeFixture(3, 400, 50, 18);
+  const ItemsetModel model = Apriori(fixture.blocks, 0.05, fixture.num_items);
+  std::vector<Itemset> tracked;
+  std::vector<uint64_t> expected;
+  for (const auto& [itemset, entry] : model.entries()) {
+    tracked.push_back(itemset);
+    expected.push_back(entry.count);
+  }
+  const auto ecut = EcutCount(tracked, fixture.plain_store, false);
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    EXPECT_EQ(ecut[i], expected[i]) << ToString(tracked[i]);
+  }
+}
+
+TEST(SupportCountingTest, EmptyItemsetListYieldsEmptyCounts) {
+  const Fixture fixture = MakeFixture(1, 50, 20, 19);
+  EXPECT_TRUE(PtScanCount({}, fixture.blocks).empty());
+  EXPECT_TRUE(EcutCount({}, fixture.plain_store, false).empty());
+}
+
+}  // namespace
+}  // namespace demon

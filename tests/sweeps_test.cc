@@ -1,0 +1,257 @@
+// Parameterized property sweeps across the stack: each suite re-checks a
+// core invariant over a grid of configurations (thresholds, shapes,
+// window sizes, seeds) rather than a single hand-picked case.
+
+#include <gtest/gtest.h>
+
+#include "clustering/birch.h"
+#include "common/stats.h"
+#include "core/aum.h"
+#include "core/gemm.h"
+#include "core/maintainers.h"
+#include "datagen/cluster_generator.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/apriori.h"
+#include "itemsets/borders.h"
+
+namespace demon {
+namespace {
+
+using BlockPtr = std::shared_ptr<const TransactionBlock>;
+
+std::vector<BlockPtr> QuestBlocks(size_t num_blocks, size_t block_size,
+                                  size_t num_items, uint64_t seed) {
+  QuestParams params;
+  params.num_transactions = num_blocks * block_size;
+  params.num_items = num_items;
+  params.num_patterns = 30;
+  params.avg_transaction_len = 7;
+  params.avg_pattern_len = 3;
+  params.seed = seed;
+  QuestGenerator gen(params);
+  std::vector<BlockPtr> blocks;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    auto block =
+        std::make_shared<TransactionBlock>(gen.NextBlock(block_size, tid));
+    tid += block->size();
+    block->mutable_info()->id = static_cast<BlockId>(b + 1);
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+void ExpectModelsEqual(const ItemsetModel& actual,
+                       const ItemsetModel& expected) {
+  ASSERT_EQ(actual.num_transactions(), expected.num_transactions());
+  ASSERT_EQ(actual.entries().size(), expected.entries().size());
+  for (const auto& [itemset, entry] : expected.entries()) {
+    const auto it = actual.entries().find(itemset);
+    ASSERT_NE(it, actual.entries().end()) << ToString(itemset);
+    ASSERT_EQ(it->second.count, entry.count) << ToString(itemset);
+    ASSERT_EQ(it->second.frequent, entry.frequent) << ToString(itemset);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BORDERS == Apriori over a (minsup, seed) grid.
+
+struct BordersSweepParam {
+  double minsup;
+  uint64_t seed;
+};
+
+class BordersSweep : public ::testing::TestWithParam<BordersSweepParam> {};
+
+TEST_P(BordersSweep, MaintainedModelEqualsFromScratch) {
+  const auto [minsup, seed] = GetParam();
+  const auto blocks = QuestBlocks(4, 300, 50, seed);
+  BordersOptions options;
+  options.minsup = minsup;
+  options.num_items = 50;
+  options.strategy = CountingStrategy::kEcut;
+  BordersMaintainer maintainer(options);
+  for (const auto& block : blocks) maintainer.AddBlock(block);
+  ExpectModelsEqual(maintainer.model(), Apriori(blocks, minsup, 50));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BordersSweep,
+    ::testing::Values(BordersSweepParam{0.02, 1}, BordersSweepParam{0.02, 2},
+                      BordersSweepParam{0.05, 3}, BordersSweepParam{0.05, 4},
+                      BordersSweepParam{0.10, 5}, BordersSweepParam{0.10, 6},
+                      BordersSweepParam{0.20, 7}, BordersSweepParam{0.03, 8}),
+    [](const auto& info) {
+      return "minsup" +
+             std::to_string(static_cast<int>(info.param.minsup * 100)) +
+             "seed" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// BIRCH+ == BIRCH over shapes (dim, clusters, block count).
+
+struct BirchSweepParam {
+  size_t dim;
+  size_t clusters;
+  size_t blocks;
+};
+
+class BirchSweep : public ::testing::TestWithParam<BirchSweepParam> {};
+
+TEST_P(BirchSweep, IncrementalEqualsOneShot) {
+  const auto [dim, clusters, num_blocks] = GetParam();
+  ClusterGenParams params;
+  params.num_points = num_blocks * 800;
+  params.num_clusters = clusters;
+  params.dim = dim;
+  params.seed = 100 + dim * 10 + clusters;
+  ClusterGenerator gen(params);
+
+  BirchOptions options;
+  options.num_clusters = clusters;
+  options.phase2 = Phase2Algorithm::kAgglomerative;
+  options.tree.max_leaf_entries = 256;
+  BirchPlus incremental(dim, options);
+  std::vector<std::shared_ptr<const PointBlock>> all;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    auto block = std::make_shared<PointBlock>(gen.NextBlock(800));
+    all.push_back(block);
+    incremental.AddBlock(*block);
+  }
+  const ClusterModel scratch = RunBirch(all, dim, options);
+  ASSERT_EQ(incremental.model().NumClusters(), scratch.NumClusters());
+  for (size_t c = 0; c < scratch.NumClusters(); ++c) {
+    EXPECT_EQ(incremental.model().clusters()[c], scratch.clusters()[c]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BirchSweep,
+    ::testing::Values(BirchSweepParam{2, 3, 2}, BirchSweepParam{2, 8, 4},
+                      BirchSweepParam{5, 5, 3}, BirchSweepParam{8, 4, 2},
+                      BirchSweepParam{3, 10, 5}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "k" +
+             std::to_string(info.param.clusters) + "b" +
+             std::to_string(info.param.blocks);
+    });
+
+// ---------------------------------------------------------------------------
+// Quest generator delivers the requested mean transaction length across
+// the parameter range.
+
+class QuestLengthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuestLengthSweep, MeanLengthTracksParameter) {
+  const double target = GetParam();
+  QuestParams params;
+  params.num_transactions = 15000;
+  params.avg_transaction_len = target;
+  params.num_items = 800;
+  params.num_patterns = 200;
+  params.avg_pattern_len = 3;
+  params.seed = static_cast<uint64_t>(target * 7);
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  const double mean = static_cast<double>(block.TotalItemOccurrences()) /
+                      static_cast<double>(block.size());
+  // Deduplication inside transactions biases the mean down a little.
+  EXPECT_GT(mean, target * 0.55) << "target " << target;
+  EXPECT_LT(mean, target * 1.25) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, QuestLengthSweep,
+                         ::testing::Values(4.0, 8.0, 12.0, 20.0, 30.0));
+
+// ---------------------------------------------------------------------------
+// Chi-square CDF against classic table quantiles.
+
+struct ChiSquareQuantile {
+  double df;
+  double upper_tail;  // alpha
+  double critical;    // table value
+};
+
+class ChiSquareTableSweep
+    : public ::testing::TestWithParam<ChiSquareQuantile> {};
+
+TEST_P(ChiSquareTableSweep, MatchesTextbookTable) {
+  const auto [df, alpha, critical] = GetParam();
+  EXPECT_NEAR(ChiSquarePValue(critical, df), alpha, 2e-4)
+      << "df=" << df << " critical=" << critical;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, ChiSquareTableSweep,
+    ::testing::Values(ChiSquareQuantile{1, 0.05, 3.8415},
+                      ChiSquareQuantile{2, 0.05, 5.9915},
+                      ChiSquareQuantile{5, 0.05, 11.0705},
+                      ChiSquareQuantile{10, 0.01, 23.2093},
+                      ChiSquareQuantile{20, 0.05, 31.4104},
+                      ChiSquareQuantile{30, 0.01, 50.8922},
+                      ChiSquareQuantile{1, 0.01, 6.6349},
+                      ChiSquareQuantile{50, 0.05, 67.5048}));
+
+// ---------------------------------------------------------------------------
+// GEMM's model count and routing across window sizes.
+
+class GemmWindowSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GemmWindowSweep, CurrentModelCoversExactlyTheWindow) {
+  const size_t w = GetParam();
+  const auto blocks = QuestBlocks(w + 5, 20, 20, 50 + w);
+  Gemm<CountingMaintainer, BlockPtr> gemm(
+      BlockSelectionSequence::AllBlocks(), w,
+      [] { return CountingMaintainer(); });
+  for (size_t t = 1; t <= blocks.size(); ++t) {
+    gemm.AddBlock(blocks[t - 1]);
+    EXPECT_LE(gemm.NumModels(), w);
+    const size_t start = t >= w ? t - w + 1 : 1;
+    std::vector<BlockId> expected;
+    for (size_t id = start; id <= t; ++id) {
+      expected.push_back(static_cast<BlockId>(id));
+    }
+    ASSERT_EQ(gemm.current().block_ids(), expected) << "w=" << w << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, GemmWindowSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// GEMM and AuM agree for random window-relative BSS bit patterns.
+
+class GemmAumRandomBssSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GemmAumRandomBssSweep, TwoImplementationsAgree) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const size_t w = 3 + rng.NextUint64(3);
+  std::vector<bool> bits(w);
+  bool any = false;
+  for (size_t i = 0; i < w; ++i) {
+    bits[i] = rng.NextBernoulli(0.5);
+    any |= bits[i];
+  }
+  if (!any) bits[rng.NextUint64(w)] = true;
+  const auto bss = BlockSelectionSequence::WindowRelative(bits);
+
+  BordersOptions options;
+  options.minsup = 0.05;
+  options.num_items = 30;
+  const auto blocks = QuestBlocks(w + 4, 150, 30, seed * 3 + 1);
+  Gemm<BordersMaintainer, BlockPtr> gemm(
+      bss, w, [&options] { return BordersMaintainer(options); });
+  AuMItemsetMaintainer aum(options, bss, w);
+  for (const auto& block : blocks) {
+    gemm.AddBlock(block);
+    aum.AddBlock(block);
+    ExpectModelsEqual(gemm.current().model(), aum.model());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmAumRandomBssSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,162 @@
+#include "tidlist/tidlist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/random.h"
+#include "datagen/quest_generator.h"
+#include "tidlist/tidlist_store.h"
+
+namespace demon {
+namespace {
+
+TEST(TidListTest, IntersectBasics) {
+  EXPECT_EQ(Intersect({1, 3, 5}, {2, 3, 5, 7}), (TidList{3, 5}));
+  EXPECT_EQ(Intersect({}, {1, 2}), TidList{});
+  EXPECT_EQ(Intersect({1, 2}, {}), TidList{});
+  EXPECT_EQ(Intersect({1, 2, 3}, {1, 2, 3}), (TidList{1, 2, 3}));
+  EXPECT_EQ(Intersect({1, 2}, {3, 4}), TidList{});
+}
+
+TEST(TidListTest, GallopingPathMatchesMerge) {
+  // One long list against a short one exercises the galloping branch.
+  TidList large;
+  for (uint32_t i = 0; i < 10000; i += 3) large.push_back(i);
+  TidList small = {0, 3, 4, 2997, 9999, 9996};
+  std::sort(small.begin(), small.end());
+  const TidList result = Intersect(small, large);
+  EXPECT_EQ(result, (TidList{0, 3, 2997, 9996, 9999}));
+  // Symmetric argument order agrees.
+  EXPECT_EQ(Intersect(large, small), result);
+}
+
+TEST(TidListTest, RandomizedAgainstSetIntersection) {
+  Rng rng(123);
+  for (int round = 0; round < 50; ++round) {
+    std::set<uint32_t> sa;
+    std::set<uint32_t> sb;
+    const size_t na = 1 + rng.NextUint64(300);
+    const size_t nb = 1 + rng.NextUint64(300);
+    for (size_t i = 0; i < na; ++i) {
+      sa.insert(static_cast<uint32_t>(rng.NextUint64(500)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      sb.insert(static_cast<uint32_t>(rng.NextUint64(500)));
+    }
+    TidList a(sa.begin(), sa.end());
+    TidList b(sb.begin(), sb.end());
+    TidList expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(Intersect(a, b), expected);
+  }
+}
+
+TEST(TidListTest, IntersectionSizeMultiWay) {
+  const TidList a = {1, 2, 3, 4, 5};
+  const TidList b = {2, 3, 4, 9};
+  const TidList c = {0, 3, 4};
+  EXPECT_EQ(IntersectionSize({&a}), 5u);
+  EXPECT_EQ(IntersectionSize({&a, &b}), 3u);
+  EXPECT_EQ(IntersectionSize({&a, &b, &c}), 2u);
+  const TidList empty;
+  EXPECT_EQ(IntersectionSize({&a, &empty, &b}), 0u);
+}
+
+TEST(BlockTidListsTest, ListsMatchBlockContents) {
+  TransactionBlock block(
+      {Transaction({0, 2}), Transaction({1, 2}), Transaction({0, 1, 2})}, 0);
+  auto lists = BlockTidLists::Build(block, 3);
+  EXPECT_EQ(lists->num_transactions(), 3u);
+  EXPECT_EQ(lists->ItemList(0), (TidList{0, 2}));
+  EXPECT_EQ(lists->ItemList(1), (TidList{1, 2}));
+  EXPECT_EQ(lists->ItemList(2), (TidList{0, 1, 2}));
+  // Item-list slots equal the transactional representation's size (§3.1.1).
+  EXPECT_EQ(lists->item_list_slots(), block.TotalItemOccurrences());
+  EXPECT_EQ(lists->num_pair_lists(), 0u);
+}
+
+TEST(BlockTidListsTest, PairMaterialization) {
+  TransactionBlock block(
+      {Transaction({0, 1}), Transaction({0, 1, 2}), Transaction({1, 2})}, 0);
+  PairMaterializationSpec spec;
+  spec.pairs = {{0, 1}, {1, 2}};
+  auto lists = BlockTidLists::Build(block, 3, &spec);
+  ASSERT_NE(lists->PairList(0, 1), nullptr);
+  EXPECT_EQ(*lists->PairList(0, 1), (TidList{0, 1}));
+  ASSERT_NE(lists->PairList(1, 2), nullptr);
+  EXPECT_EQ(*lists->PairList(1, 2), (TidList{1, 2}));
+  EXPECT_EQ(lists->PairList(0, 2), nullptr);
+  // Argument order does not matter.
+  EXPECT_EQ(lists->PairList(1, 0), lists->PairList(0, 1));
+  EXPECT_EQ(lists->pair_list_slots(), 4u);
+}
+
+TEST(BlockTidListsTest, PairBudgetTakesPriorityOrder) {
+  TransactionBlock block(
+      {Transaction({0, 1, 2}), Transaction({0, 1, 2}), Transaction({0, 1})},
+      0);
+  PairMaterializationSpec spec;
+  spec.pairs = {{0, 1}, {0, 2}, {1, 2}};  // priority order
+  spec.budget_slots = 4;
+  auto lists = BlockTidLists::Build(block, 3, &spec);
+  // {0,1} has 3 tids (fits), {0,2} has 2 (3+2 > 4, skipped), {1,2} has 2
+  // (skipped as well: budget is 4 and 3 are used).
+  ASSERT_NE(lists->PairList(0, 1), nullptr);
+  EXPECT_EQ(lists->PairList(0, 2), nullptr);
+  EXPECT_EQ(lists->PairList(1, 2), nullptr);
+  EXPECT_LE(lists->pair_list_slots(), 4u);
+}
+
+TEST(BlockTidListsTest, FilePersistenceRoundTrip) {
+  QuestParams params;
+  params.num_transactions = 500;
+  params.num_items = 60;
+  params.num_patterns = 30;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+  PairMaterializationSpec spec;
+  spec.pairs = {{1, 2}, {3, 4}};
+  auto lists = BlockTidLists::Build(block, params.num_items, &spec);
+
+  const std::string path = ::testing::TempDir() + "/tidlists.bin";
+  ASSERT_TRUE(lists->WriteToFile(path).ok());
+  auto reread = BlockTidLists::ReadFromFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  const auto& loaded = *reread.value();
+  EXPECT_EQ(loaded.num_transactions(), lists->num_transactions());
+  EXPECT_EQ(loaded.item_list_slots(), lists->item_list_slots());
+  EXPECT_EQ(loaded.pair_list_slots(), lists->pair_list_slots());
+  for (Item item = 0; item < params.num_items; ++item) {
+    EXPECT_EQ(loaded.ItemList(item), lists->ItemList(item));
+  }
+  ASSERT_NE(loaded.PairList(1, 2), nullptr);
+  EXPECT_EQ(*loaded.PairList(1, 2), *lists->PairList(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(BlockTidListsTest, ReadMissingFileFails) {
+  auto result = BlockTidLists::ReadFromFile("/nonexistent/file.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(TidListStoreTest, AppendAndDrop) {
+  TransactionBlock b1({Transaction({0, 1})}, 0);
+  TransactionBlock b2({Transaction({1}), Transaction({0})}, 1);
+  TidListStore store;
+  store.Append(BlockTidLists::Build(b1, 2));
+  store.Append(BlockTidLists::Build(b2, 2));
+  EXPECT_EQ(store.NumBlocks(), 2u);
+  EXPECT_EQ(store.TotalTransactions(), 3u);
+  EXPECT_EQ(store.TotalItemSlots(), 4u);
+  store.DropOldest(1);
+  EXPECT_EQ(store.NumBlocks(), 1u);
+  EXPECT_EQ(store.TotalTransactions(), 2u);
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,60 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include "itemsets/support_counting.h"
+
+namespace demon {
+namespace {
+
+// Sink that the optimizer cannot remove (avoids deprecated volatile ops).
+double benchmark_guard_ = 0.0;
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  // Burn a little CPU deterministically.
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  benchmark_guard_ = sink;
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 1e3 * 0.5 + 1.0);
+}
+
+TEST(WallTimerTest, ResetRestartsTheClock) {
+  WallTimer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  benchmark_guard_ = sink;
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(AccumulatingTimerTest, SumsIntervals) {
+  AccumulatingTimer timer;
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.0);
+  for (int round = 0; round < 3; ++round) {
+    timer.Start();
+    double sink = 0.0;
+    for (int i = 0; i < 500000; ++i) sink += i;
+    benchmark_guard_ = sink;
+    timer.Stop();
+  }
+  EXPECT_GT(timer.total_seconds(), 0.0);
+  const double total = timer.total_seconds();
+  timer.Clear();
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(CountingStrategyTest, Names) {
+  EXPECT_STREQ(CountingStrategyName(CountingStrategy::kPtScan), "PT-Scan");
+  EXPECT_STREQ(CountingStrategyName(CountingStrategy::kEcut), "ECUT");
+  EXPECT_STREQ(CountingStrategyName(CountingStrategy::kEcutPlus), "ECUT+");
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,150 @@
+// Statistical checks on the synthetic proxy-trace generator: the regime
+// structure it promises (the substitution's contract, see DESIGN.md) must
+// actually be present in the emitted requests, since the Figure 9/10
+// reproductions depend on it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "common/stats.h"
+#include "datagen/trace_generator.h"
+
+namespace demon {
+namespace {
+
+using Regime = TraceGenerator::Regime;
+
+std::map<Regime, std::vector<double>> TypeHistogramsByRegime(
+    const std::vector<TraceRequest>& trace) {
+  std::map<Regime, std::vector<double>> histograms;
+  for (const TraceRequest& request : trace) {
+    const int hour = static_cast<int>(request.timestamp / 3600);
+    auto& histogram = histograms[TraceGenerator::RegimeAt(hour)];
+    if (histogram.empty()) {
+      histogram.assign(TraceGenerator::kNumObjectTypes, 0.0);
+    }
+    histogram[request.object_type] += 1.0;
+  }
+  return histograms;
+}
+
+double Sum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total;
+}
+
+TEST(TraceStatsTest, RegimesHaveDistinctTypeMixes) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.05;
+  params.seed = 3;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  const auto histograms = TypeHistogramsByRegime(trace);
+
+  // Workday vs weekend vs anomaly must each be overwhelmingly rejected as
+  // same-source by the chi-square test.
+  const auto& workday = histograms.at(Regime::kWorkdayDay);
+  const auto& weekend = histograms.at(Regime::kWeekend);
+  const auto& anomaly = histograms.at(Regime::kAnomaly);
+  const auto wd_we =
+      ChiSquareHomogeneity(workday, Sum(workday), weekend, Sum(weekend));
+  const auto wd_an =
+      ChiSquareHomogeneity(workday, Sum(workday), anomaly, Sum(anomaly));
+  const auto we_an =
+      ChiSquareHomogeneity(weekend, Sum(weekend), anomaly, Sum(anomaly));
+  EXPECT_LT(wd_we.p_value, 1e-6);
+  EXPECT_LT(wd_an.p_value, 1e-6);
+  EXPECT_LT(we_an.p_value, 1e-6);
+}
+
+TEST(TraceStatsTest, NightMatchesWeekendByConstruction) {
+  // §5.3's "late night weekday blocks can be similar to weekend blocks"
+  // is engineered via identical night/weekend mixes; two large samples
+  // from those regimes must NOT be rejected.
+  TraceGenerator::Params params;
+  params.rate_scale = 0.05;
+  params.seed = 4;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  const auto histograms = TypeHistogramsByRegime(trace);
+  const auto& night = histograms.at(Regime::kNight);
+  const auto& weekend = histograms.at(Regime::kWeekend);
+  const auto test =
+      ChiSquareHomogeneity(night, Sum(night), weekend, Sum(weekend));
+  EXPECT_GT(test.p_value, 0.001);
+}
+
+TEST(TraceStatsTest, RequestRatesVaryByRegime) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.05;
+  params.seed = 5;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+
+  std::map<Regime, size_t> request_count;
+  std::map<Regime, size_t> hour_count;
+  for (int hour = TraceGenerator::kTraceStartHour;
+       hour < TraceGenerator::kTraceEndHour; ++hour) {
+    ++hour_count[TraceGenerator::RegimeAt(hour)];
+  }
+  for (const TraceRequest& request : trace) {
+    ++request_count[TraceGenerator::RegimeAt(
+        static_cast<int>(request.timestamp / 3600))];
+  }
+  const double workday_rate =
+      static_cast<double>(request_count[Regime::kWorkdayDay]) /
+      static_cast<double>(hour_count[Regime::kWorkdayDay]);
+  const double night_rate =
+      static_cast<double>(request_count[Regime::kNight]) /
+      static_cast<double>(hour_count[Regime::kNight]);
+  // Daytime traffic is several times night traffic (rates 3200 vs 500).
+  EXPECT_GT(workday_rate, 4.0 * night_rate);
+}
+
+TEST(TraceStatsTest, SizeBucketsHeavierOffHours) {
+  // Night/weekend regimes use a heavier-tailed size distribution
+  // (geometric p=0.06 vs 0.20): the mean bucket must be clearly larger.
+  TraceGenerator::Params params;
+  params.rate_scale = 0.05;
+  params.seed = 6;
+  TraceGenerator gen(params);
+  const auto trace = gen.Generate();
+  double workday_sum = 0.0;
+  double workday_n = 0.0;
+  double weekend_sum = 0.0;
+  double weekend_n = 0.0;
+  for (const TraceRequest& request : trace) {
+    const Regime regime = TraceGenerator::RegimeAt(
+        static_cast<int>(request.timestamp / 3600));
+    if (regime == Regime::kWorkdayDay) {
+      workday_sum += request.size_bucket;
+      workday_n += 1.0;
+    } else if (regime == Regime::kWeekend) {
+      weekend_sum += request.size_bucket;
+      weekend_n += 1.0;
+    }
+  }
+  EXPECT_GT(weekend_sum / weekend_n, 2.0 * (workday_sum / workday_n));
+}
+
+TEST(TraceStatsTest, DeterministicForSeed) {
+  TraceGenerator::Params params;
+  params.rate_scale = 0.01;
+  params.seed = 7;
+  TraceGenerator a(params);
+  TraceGenerator b(params);
+  const auto ta = a.Generate();
+  const auto tb = b.Generate();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); i += 97) {
+    EXPECT_EQ(ta[i].timestamp, tb[i].timestamp);
+    EXPECT_EQ(ta[i].object_type, tb[i].object_type);
+    EXPECT_EQ(ta[i].size_bucket, tb[i].size_bucket);
+  }
+}
+
+}  // namespace
+}  // namespace demon

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscan_incremental.dir/dbscan_incremental.cc.o"
+  "CMakeFiles/dbscan_incremental.dir/dbscan_incremental.cc.o.d"
+  "dbscan_incremental"
+  "dbscan_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscan_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_drift.dir/dtree_drift.cc.o"
+  "CMakeFiles/dtree_drift.dir/dtree_drift.cc.o.d"
+  "dtree_drift"
+  "dtree_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecutplus_budget.dir/ecutplus_budget.cc.o"
+  "CMakeFiles/ecutplus_budget.dir/ecutplus_budget.cc.o.d"
+  "ecutplus_budget"
+  "ecutplus_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecutplus_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

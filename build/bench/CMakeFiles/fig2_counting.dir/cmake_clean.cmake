@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_counting.dir/fig2_counting.cc.o"
+  "CMakeFiles/fig2_counting.dir/fig2_counting.cc.o.d"
+  "fig2_counting"
+  "fig2_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

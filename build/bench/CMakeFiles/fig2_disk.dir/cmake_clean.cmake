@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_disk.dir/fig2_disk.cc.o"
+  "CMakeFiles/fig2_disk.dir/fig2_disk.cc.o.d"
+  "fig2_disk"
+  "fig2_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

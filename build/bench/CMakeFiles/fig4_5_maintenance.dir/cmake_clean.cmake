@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_maintenance.dir/fig4_5_maintenance.cc.o"
+  "CMakeFiles/fig4_5_maintenance.dir/fig4_5_maintenance.cc.o.d"
+  "fig4_5_maintenance"
+  "fig4_5_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

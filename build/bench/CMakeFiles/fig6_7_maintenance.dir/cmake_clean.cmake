@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_maintenance.dir/fig6_7_maintenance.cc.o"
+  "CMakeFiles/fig6_7_maintenance.dir/fig6_7_maintenance.cc.o.d"
+  "fig6_7_maintenance"
+  "fig6_7_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_birch.dir/fig8_birch.cc.o"
+  "CMakeFiles/fig8_birch.dir/fig8_birch.cc.o.d"
+  "fig8_birch"
+  "fig8_birch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_birch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

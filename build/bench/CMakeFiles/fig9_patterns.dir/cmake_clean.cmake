@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_patterns.dir/fig9_patterns.cc.o"
+  "CMakeFiles/fig9_patterns.dir/fig9_patterns.cc.o.d"
+  "fig9_patterns"
+  "fig9_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fup_vs_borders.dir/fup_vs_borders.cc.o"
+  "CMakeFiles/fup_vs_borders.dir/fup_vs_borders.cc.o.d"
+  "fup_vs_borders"
+  "fup_vs_borders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fup_vs_borders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

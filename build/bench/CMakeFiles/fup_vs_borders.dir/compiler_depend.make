@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fup_vs_borders.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_response.dir/gemm_response.cc.o"
+  "CMakeFiles/gemm_response.dir/gemm_response.cc.o.d"
+  "gemm_response"
+  "gemm_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/granularity_selection.cc" "bench/CMakeFiles/granularity_selection.dir/granularity_selection.cc.o" "gcc" "bench/CMakeFiles/granularity_selection.dir/granularity_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/demon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/demon_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/demon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/deviation/CMakeFiles/demon_deviation.dir/DependInfo.cmake"
+  "/root/repo/build/src/itemsets/CMakeFiles/demon_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/tidlist/CMakeFiles/demon_tidlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/demon_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/demon_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_selection.dir/granularity_selection.cc.o"
+  "CMakeFiles/granularity_selection.dir/granularity_selection.cc.o.d"
+  "granularity_selection"
+  "granularity_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

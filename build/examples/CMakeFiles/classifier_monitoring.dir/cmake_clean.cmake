@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_monitoring.dir/classifier_monitoring.cpp.o"
+  "CMakeFiles/classifier_monitoring.dir/classifier_monitoring.cpp.o.d"
+  "classifier_monitoring"
+  "classifier_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

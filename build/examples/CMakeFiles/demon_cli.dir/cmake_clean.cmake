@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_cli.dir/demon_cli.cpp.o"
+  "CMakeFiles/demon_cli.dir/demon_cli.cpp.o.d"
+  "demon_cli"
+  "demon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

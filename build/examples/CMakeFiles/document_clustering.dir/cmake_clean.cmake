@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_clustering.dir/document_clustering.cpp.o"
+  "CMakeFiles/document_clustering.dir/document_clustering.cpp.o.d"
+  "document_clustering"
+  "document_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

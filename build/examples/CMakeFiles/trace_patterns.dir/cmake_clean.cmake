@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_patterns.dir/trace_patterns.cpp.o"
+  "CMakeFiles/trace_patterns.dir/trace_patterns.cpp.o.d"
+  "trace_patterns"
+  "trace_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/agglomerative.cc" "src/clustering/CMakeFiles/demon_clustering.dir/agglomerative.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/agglomerative.cc.o.d"
+  "/root/repo/src/clustering/birch.cc" "src/clustering/CMakeFiles/demon_clustering.dir/birch.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/birch.cc.o.d"
+  "/root/repo/src/clustering/cf_tree.cc" "src/clustering/CMakeFiles/demon_clustering.dir/cf_tree.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/cf_tree.cc.o.d"
+  "/root/repo/src/clustering/cluster_model.cc" "src/clustering/CMakeFiles/demon_clustering.dir/cluster_model.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/cluster_model.cc.o.d"
+  "/root/repo/src/clustering/dbscan.cc" "src/clustering/CMakeFiles/demon_clustering.dir/dbscan.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/dbscan.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/clustering/CMakeFiles/demon_clustering.dir/kmeans.cc.o" "gcc" "src/clustering/CMakeFiles/demon_clustering.dir/kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

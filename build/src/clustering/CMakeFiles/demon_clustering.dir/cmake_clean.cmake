@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_clustering.dir/agglomerative.cc.o"
+  "CMakeFiles/demon_clustering.dir/agglomerative.cc.o.d"
+  "CMakeFiles/demon_clustering.dir/birch.cc.o"
+  "CMakeFiles/demon_clustering.dir/birch.cc.o.d"
+  "CMakeFiles/demon_clustering.dir/cf_tree.cc.o"
+  "CMakeFiles/demon_clustering.dir/cf_tree.cc.o.d"
+  "CMakeFiles/demon_clustering.dir/cluster_model.cc.o"
+  "CMakeFiles/demon_clustering.dir/cluster_model.cc.o.d"
+  "CMakeFiles/demon_clustering.dir/dbscan.cc.o"
+  "CMakeFiles/demon_clustering.dir/dbscan.cc.o.d"
+  "CMakeFiles/demon_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/demon_clustering.dir/kmeans.cc.o.d"
+  "libdemon_clustering.a"
+  "libdemon_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_common.dir/random.cc.o"
+  "CMakeFiles/demon_common.dir/random.cc.o.d"
+  "CMakeFiles/demon_common.dir/stats.cc.o"
+  "CMakeFiles/demon_common.dir/stats.cc.o.d"
+  "CMakeFiles/demon_common.dir/status.cc.o"
+  "CMakeFiles/demon_common.dir/status.cc.o.d"
+  "libdemon_common.a"
+  "libdemon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

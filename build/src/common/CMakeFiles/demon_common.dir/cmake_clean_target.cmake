@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemon_common.a"
+)

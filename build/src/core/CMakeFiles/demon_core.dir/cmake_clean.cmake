@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_core.dir/block_ops.cc.o"
+  "CMakeFiles/demon_core.dir/block_ops.cc.o.d"
+  "CMakeFiles/demon_core.dir/bss.cc.o"
+  "CMakeFiles/demon_core.dir/bss.cc.o.d"
+  "CMakeFiles/demon_core.dir/demon_monitor.cc.o"
+  "CMakeFiles/demon_core.dir/demon_monitor.cc.o.d"
+  "libdemon_core.a"
+  "libdemon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_data.dir/transaction_file.cc.o"
+  "CMakeFiles/demon_data.dir/transaction_file.cc.o.d"
+  "libdemon_data.a"
+  "libdemon_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/cluster_generator.cc" "src/datagen/CMakeFiles/demon_datagen.dir/cluster_generator.cc.o" "gcc" "src/datagen/CMakeFiles/demon_datagen.dir/cluster_generator.cc.o.d"
+  "/root/repo/src/datagen/labeled_generator.cc" "src/datagen/CMakeFiles/demon_datagen.dir/labeled_generator.cc.o" "gcc" "src/datagen/CMakeFiles/demon_datagen.dir/labeled_generator.cc.o.d"
+  "/root/repo/src/datagen/quest_generator.cc" "src/datagen/CMakeFiles/demon_datagen.dir/quest_generator.cc.o" "gcc" "src/datagen/CMakeFiles/demon_datagen.dir/quest_generator.cc.o.d"
+  "/root/repo/src/datagen/trace_generator.cc" "src/datagen/CMakeFiles/demon_datagen.dir/trace_generator.cc.o" "gcc" "src/datagen/CMakeFiles/demon_datagen.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/demon_dtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

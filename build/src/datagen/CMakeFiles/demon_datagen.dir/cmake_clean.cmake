@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_datagen.dir/cluster_generator.cc.o"
+  "CMakeFiles/demon_datagen.dir/cluster_generator.cc.o.d"
+  "CMakeFiles/demon_datagen.dir/labeled_generator.cc.o"
+  "CMakeFiles/demon_datagen.dir/labeled_generator.cc.o.d"
+  "CMakeFiles/demon_datagen.dir/quest_generator.cc.o"
+  "CMakeFiles/demon_datagen.dir/quest_generator.cc.o.d"
+  "CMakeFiles/demon_datagen.dir/trace_generator.cc.o"
+  "CMakeFiles/demon_datagen.dir/trace_generator.cc.o.d"
+  "libdemon_datagen.a"
+  "libdemon_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

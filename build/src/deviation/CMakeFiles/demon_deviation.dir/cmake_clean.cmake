@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_deviation.dir/focus.cc.o"
+  "CMakeFiles/demon_deviation.dir/focus.cc.o.d"
+  "CMakeFiles/demon_deviation.dir/focus_dtree.cc.o"
+  "CMakeFiles/demon_deviation.dir/focus_dtree.cc.o.d"
+  "libdemon_deviation.a"
+  "libdemon_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

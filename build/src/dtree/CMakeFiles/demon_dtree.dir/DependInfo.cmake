@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtree/decision_tree.cc" "src/dtree/CMakeFiles/demon_dtree.dir/decision_tree.cc.o" "gcc" "src/dtree/CMakeFiles/demon_dtree.dir/decision_tree.cc.o.d"
+  "/root/repo/src/dtree/dtree_maintainer.cc" "src/dtree/CMakeFiles/demon_dtree.dir/dtree_maintainer.cc.o" "gcc" "src/dtree/CMakeFiles/demon_dtree.dir/dtree_maintainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

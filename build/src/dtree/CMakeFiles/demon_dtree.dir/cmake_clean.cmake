@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_dtree.dir/decision_tree.cc.o"
+  "CMakeFiles/demon_dtree.dir/decision_tree.cc.o.d"
+  "CMakeFiles/demon_dtree.dir/dtree_maintainer.cc.o"
+  "CMakeFiles/demon_dtree.dir/dtree_maintainer.cc.o.d"
+  "libdemon_dtree.a"
+  "libdemon_dtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

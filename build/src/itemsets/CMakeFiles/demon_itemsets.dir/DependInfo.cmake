@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itemsets/apriori.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/apriori.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/apriori.cc.o.d"
+  "/root/repo/src/itemsets/association_rules.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/association_rules.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/association_rules.cc.o.d"
+  "/root/repo/src/itemsets/borders.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/borders.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/borders.cc.o.d"
+  "/root/repo/src/itemsets/candidate_generation.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/candidate_generation.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/candidate_generation.cc.o.d"
+  "/root/repo/src/itemsets/disk_counting.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/disk_counting.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/disk_counting.cc.o.d"
+  "/root/repo/src/itemsets/fup.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/fup.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/fup.cc.o.d"
+  "/root/repo/src/itemsets/hash_tree.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/hash_tree.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/hash_tree.cc.o.d"
+  "/root/repo/src/itemsets/itemset_model.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/itemset_model.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/itemset_model.cc.o.d"
+  "/root/repo/src/itemsets/model_io.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/model_io.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/model_io.cc.o.d"
+  "/root/repo/src/itemsets/prefix_tree.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/prefix_tree.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/prefix_tree.cc.o.d"
+  "/root/repo/src/itemsets/support_counting.cc" "src/itemsets/CMakeFiles/demon_itemsets.dir/support_counting.cc.o" "gcc" "src/itemsets/CMakeFiles/demon_itemsets.dir/support_counting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tidlist/CMakeFiles/demon_tidlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_itemsets.dir/apriori.cc.o"
+  "CMakeFiles/demon_itemsets.dir/apriori.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/association_rules.cc.o"
+  "CMakeFiles/demon_itemsets.dir/association_rules.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/borders.cc.o"
+  "CMakeFiles/demon_itemsets.dir/borders.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/candidate_generation.cc.o"
+  "CMakeFiles/demon_itemsets.dir/candidate_generation.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/disk_counting.cc.o"
+  "CMakeFiles/demon_itemsets.dir/disk_counting.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/fup.cc.o"
+  "CMakeFiles/demon_itemsets.dir/fup.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/hash_tree.cc.o"
+  "CMakeFiles/demon_itemsets.dir/hash_tree.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/itemset_model.cc.o"
+  "CMakeFiles/demon_itemsets.dir/itemset_model.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/model_io.cc.o"
+  "CMakeFiles/demon_itemsets.dir/model_io.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/prefix_tree.cc.o"
+  "CMakeFiles/demon_itemsets.dir/prefix_tree.cc.o.d"
+  "CMakeFiles/demon_itemsets.dir/support_counting.cc.o"
+  "CMakeFiles/demon_itemsets.dir/support_counting.cc.o.d"
+  "libdemon_itemsets.a"
+  "libdemon_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

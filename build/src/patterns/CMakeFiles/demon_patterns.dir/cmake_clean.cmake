@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_patterns.dir/compact_sequences.cc.o"
+  "CMakeFiles/demon_patterns.dir/compact_sequences.cc.o.d"
+  "CMakeFiles/demon_patterns.dir/cyclic.cc.o"
+  "CMakeFiles/demon_patterns.dir/cyclic.cc.o.d"
+  "CMakeFiles/demon_patterns.dir/granularity.cc.o"
+  "CMakeFiles/demon_patterns.dir/granularity.cc.o.d"
+  "libdemon_patterns.a"
+  "libdemon_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tidlist/tidlist.cc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist.cc.o" "gcc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist.cc.o.d"
+  "/root/repo/src/tidlist/tidlist_file.cc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist_file.cc.o" "gcc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist_file.cc.o.d"
+  "/root/repo/src/tidlist/tidlist_store.cc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist_store.cc.o" "gcc" "src/tidlist/CMakeFiles/demon_tidlist.dir/tidlist_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_tidlist.dir/tidlist.cc.o"
+  "CMakeFiles/demon_tidlist.dir/tidlist.cc.o.d"
+  "CMakeFiles/demon_tidlist.dir/tidlist_file.cc.o"
+  "CMakeFiles/demon_tidlist.dir/tidlist_file.cc.o.d"
+  "CMakeFiles/demon_tidlist.dir/tidlist_store.cc.o"
+  "CMakeFiles/demon_tidlist.dir/tidlist_store.cc.o.d"
+  "libdemon_tidlist.a"
+  "libdemon_tidlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_tidlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borders_test.dir/borders_test.cc.o"
+  "CMakeFiles/borders_test.dir/borders_test.cc.o.d"
+  "borders_test"
+  "borders_test.pdb"
+  "borders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

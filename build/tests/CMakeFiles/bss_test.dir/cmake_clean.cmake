@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_test.dir/bss_test.cc.o"
+  "CMakeFiles/bss_test.dir/bss_test.cc.o.d"
+  "bss_test"
+  "bss_test.pdb"
+  "bss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_feature_test.dir/cluster_feature_test.cc.o"
+  "CMakeFiles/cluster_feature_test.dir/cluster_feature_test.cc.o.d"
+  "cluster_feature_test"
+  "cluster_feature_test.pdb"
+  "cluster_feature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

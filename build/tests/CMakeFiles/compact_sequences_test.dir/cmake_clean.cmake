@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_sequences_test.dir/compact_sequences_test.cc.o"
+  "CMakeFiles/compact_sequences_test.dir/compact_sequences_test.cc.o.d"
+  "compact_sequences_test"
+  "compact_sequences_test.pdb"
+  "compact_sequences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_sequences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

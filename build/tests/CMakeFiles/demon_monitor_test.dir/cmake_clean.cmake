@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demon_monitor_test.dir/demon_monitor_test.cc.o"
+  "CMakeFiles/demon_monitor_test.dir/demon_monitor_test.cc.o.d"
+  "demon_monitor_test"
+  "demon_monitor_test.pdb"
+  "demon_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demon_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

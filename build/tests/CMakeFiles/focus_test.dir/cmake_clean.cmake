@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_test.dir/focus_test.cc.o"
+  "CMakeFiles/focus_test.dir/focus_test.cc.o.d"
+  "focus_test"
+  "focus_test.pdb"
+  "focus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fup_test.dir/fup_test.cc.o"
+  "CMakeFiles/fup_test.dir/fup_test.cc.o.d"
+  "fup_test"
+  "fup_test.pdb"
+  "fup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_borders_test.dir/fuzz_borders_test.cc.o"
+  "CMakeFiles/fuzz_borders_test.dir/fuzz_borders_test.cc.o.d"
+  "fuzz_borders_test"
+  "fuzz_borders_test.pdb"
+  "fuzz_borders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_borders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_extensions_test.dir/pattern_extensions_test.cc.o"
+  "CMakeFiles/pattern_extensions_test.dir/pattern_extensions_test.cc.o.d"
+  "pattern_extensions_test"
+  "pattern_extensions_test.pdb"
+  "pattern_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

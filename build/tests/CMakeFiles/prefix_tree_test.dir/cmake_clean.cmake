@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_tree_test.dir/prefix_tree_test.cc.o"
+  "CMakeFiles/prefix_tree_test.dir/prefix_tree_test.cc.o.d"
+  "prefix_tree_test"
+  "prefix_tree_test.pdb"
+  "prefix_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

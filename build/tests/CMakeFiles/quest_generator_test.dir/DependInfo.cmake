@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quest_generator_test.cc" "tests/CMakeFiles/quest_generator_test.dir/quest_generator_test.cc.o" "gcc" "tests/CMakeFiles/quest_generator_test.dir/quest_generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/demon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/demon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tidlist/CMakeFiles/demon_tidlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/itemsets/CMakeFiles/demon_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/demon_dtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_counting_test.dir/support_counting_test.cc.o"
+  "CMakeFiles/support_counting_test.dir/support_counting_test.cc.o.d"
+  "support_counting_test"
+  "support_counting_test.pdb"
+  "support_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

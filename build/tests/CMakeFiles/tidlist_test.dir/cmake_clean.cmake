@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidlist_test.dir/tidlist_test.cc.o"
+  "CMakeFiles/tidlist_test.dir/tidlist_test.cc.o.d"
+  "tidlist_test"
+  "tidlist_test.pdb"
+  "tidlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,113 @@
+// Ingest throughput of the MaintenanceEngine as the worker count grows,
+// and the effect of DeferOffline on the time-critical response path.
+//
+// Part 1 fixes a heterogeneous monitor fleet (the Figure 11 deployment:
+// unrestricted + windowed itemset monitors and a pattern detector) and
+// measures blocks/sec at 1, 2, 4 and 8 engine threads, plus the
+// sequential (0-thread) baseline. Monitors are independent, so the
+// engine's per-block fan-out is embarrassingly parallel up to the
+// number of physical cores.
+//
+// Part 2 measures the response-time split of §3.2.3: with DeferOffline
+// on, a block's GEMM future-window updates run off-line on the pool, so
+// last_response_seconds covers only the current-window update.
+//
+//   DEMON_SCALE=1 ./engine_throughput
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/demon_monitor.h"
+
+namespace demon::bench {
+namespace {
+
+std::vector<TransactionBlock> MakeBlocks(size_t num_blocks,
+                                         size_t block_size) {
+  QuestGenerator gen(PaperQuestParams(num_blocks * block_size, 7));
+  std::vector<TransactionBlock> blocks;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    blocks.push_back(gen.NextBlock(block_size, tid));
+    tid += block_size;
+  }
+  return blocks;
+}
+
+struct RunResult {
+  double blocks_per_sec = 0.0;
+  double response_seconds = 0.0;  // summed over itemset monitors
+  double offline_seconds = 0.0;
+};
+
+RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
+                   const EngineOptions& engine, double minsup,
+                   size_t window) {
+  DemonMonitor demon(1000, engine);
+  std::vector<DemonMonitor::MonitorId> ids;
+  ids.push_back(demon.AddUnrestrictedItemsetMonitor(
+      "uw-ecut", minsup, BlockSelectionSequence::AllBlocks()).ValueOrDie());
+  ids.push_back(demon.AddUnrestrictedItemsetMonitor(
+      "uw-borders", minsup, BlockSelectionSequence::AllBlocks(),
+      CountingStrategy::kEcutPlus).ValueOrDie());
+  ids.push_back(demon.AddWindowedItemsetMonitor(
+      "mrw-itemsets", minsup, window, BlockSelectionSequence::AllBlocks()).ValueOrDie());
+  ids.push_back(demon.AddPatternDetector("patterns", minsup, 0.95).ValueOrDie());
+
+  WallTimer timer;
+  for (const auto& block : blocks) {
+    demon.AddBlock(block);
+  }
+  demon.Quiesce();
+  const double elapsed = timer.ElapsedSeconds();
+
+  RunResult result;
+  result.blocks_per_sec = static_cast<double>(blocks.size()) / elapsed;
+  for (const auto id : ids) {
+    const MonitorStats stats = demon.StatsOf(id).value();
+    result.response_seconds += stats.response_seconds;
+    result.offline_seconds += stats.offline_seconds;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace demon::bench
+
+int main() {
+  using namespace demon;
+  using namespace demon::bench;
+
+  const size_t block_size = Scaled(10000, 500);
+  const size_t num_blocks = 8;
+  const double minsup = 0.005;
+  const size_t window = 3;
+  const auto blocks = MakeBlocks(num_blocks, block_size);
+
+  PrintHeader("Engine ingest throughput (4 monitors, blocks/sec)");
+  std::printf("%8s | %10s | %8s\n", "threads", "blocks/s", "speedup");
+  double baseline = 0.0;
+  for (const size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                               size_t{8}}) {
+    EngineOptions engine;
+    engine.num_threads = threads;
+    const RunResult r = RunFleet(blocks, engine, minsup, window);
+    if (threads == 0) baseline = r.blocks_per_sec;
+    std::printf("%8zu | %10.2f | %7.2fx\n", threads, r.blocks_per_sec,
+                r.blocks_per_sec / baseline);
+  }
+
+  PrintHeader("Response vs off-line split (DeferOffline, 4 threads)");
+  std::printf("%10s | %12s | %12s | %10s\n", "defer", "response(s)",
+              "offline(s)", "blocks/s");
+  for (const bool defer : {false, true}) {
+    EngineOptions engine;
+    engine.num_threads = 4;
+    engine.defer_offline = defer;
+    const RunResult r = RunFleet(blocks, engine, minsup, window);
+    std::printf("%10s | %12.3f | %12.3f | %10.2f\n", defer ? "on" : "off",
+                r.response_seconds, r.offline_seconds, r.blocks_per_sec);
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/bss.h"
+#include "core/demon_monitor.h"
 #include "data/transaction_file.h"
 #include "datagen/quest_generator.h"
 #include "itemsets/apriori.h"
@@ -218,6 +219,76 @@ Status RunPatterns(const Flags& flags) {
   return Status::OK();
 }
 
+Status RunMonitor(const Flags& flags) {
+  // The Figure 11 deployment loop: one evolving database, several
+  // heterogeneous monitors, driven by the parallel MaintenanceEngine.
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  DEMON_ASSIGN_OR_RETURN(
+      BlockSelectionSequence bss,
+      BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
+  const double minsup = flags.GetDouble("minsup", 0.01);
+  const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
+
+  EngineOptions engine;
+  engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  engine.defer_offline = flags.GetInt("defer", 0) != 0;
+
+  DemonMonitor demon(InferNumItems(blocks), engine);
+  std::vector<DemonMonitor::MonitorId> ids;
+  if (!bss.is_window_relative()) {
+    DEMON_ASSIGN_OR_RETURN(
+        auto uw, demon.AddUnrestrictedItemsetMonitor("uw-itemsets", minsup,
+                                                     bss));
+    ids.push_back(uw);
+  }
+  DEMON_ASSIGN_OR_RETURN(
+      auto mrw,
+      demon.AddWindowedItemsetMonitor("mrw-itemsets", minsup, window, bss));
+  ids.push_back(mrw);
+  DEMON_ASSIGN_OR_RETURN(
+      auto patterns,
+      demon.AddPatternDetector("patterns", minsup,
+                               flags.GetDouble("alpha", 0.95)));
+  ids.push_back(patterns);
+
+  for (const auto& block : blocks) {
+    demon.AddBlock(*block);
+  }
+  demon.Quiesce();
+
+  std::printf("engine: %zu thread(s), defer_offline=%s, %zu blocks\n",
+              engine.num_threads, engine.defer_offline ? "on" : "off",
+              demon.snapshot().NumBlocks());
+  std::printf("%-14s | %6s | %7s | %12s | %11s | %9s\n", "monitor", "routed",
+              "skipped", "response(ms)", "offline(ms)", "total(ms)");
+  for (const auto id : ids) {
+    DEMON_ASSIGN_OR_RETURN(MonitorStats stats, demon.StatsOf(id));
+    DEMON_ASSIGN_OR_RETURN(std::string name, demon.NameOf(id));
+    std::printf("%-14s | %6zu | %7zu | %12.1f | %11.1f | %9.1f\n",
+                name.c_str(), stats.blocks_routed, stats.blocks_skipped,
+                stats.response_seconds * 1e3, stats.offline_seconds * 1e3,
+                stats.total_seconds() * 1e3);
+  }
+
+  DEMON_ASSIGN_OR_RETURN(const ItemsetModel* model,
+                         demon.ItemsetModelOf(mrw));
+  std::printf("\nmost-recent-window model (last %zu blocks):\n", window);
+  PrintTopItemsets(*model, static_cast<size_t>(flags.GetInt("top", 10)));
+
+  DEMON_ASSIGN_OR_RETURN(const CompactSequenceMiner* miner,
+                         demon.PatternsOf(patterns));
+  std::printf("\nmaximal compact sequences (>= 2 blocks):\n");
+  for (const auto& sequence : miner->MaximalSequences(2)) {
+    std::printf("  {");
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  miner->blocks()[sequence[i]]->info().label.c_str());
+    }
+    std::printf("}\n");
+  }
+  return Status::OK();
+}
+
 Status RunRules(const Flags& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
   const double minsup = flags.GetDouble("minsup", 0.01);
@@ -236,12 +307,15 @@ Status RunRules(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: demon_cli <gen|mine|maintain|patterns|rules> [--flag value]\n"
+      "usage: demon_cli <gen|mine|maintain|monitor|patterns|rules> "
+      "[--flag value]\n"
       "  gen       --out F [--transactions N --items I --patterns P "
       "--len L --plen L --seed S]\n"
       "  mine      --data F1[,F2...] [--minsup 0.01 --top 15]\n"
       "  maintain  --data F1[,F2...] [--minsup 0.01 --strategy "
       "ptscan|ecut|ecut+ --bss all|10110|periodic:7/0]\n"
+      "  monitor   --data F1[,F2...] [--minsup 0.01 --window 3 --bss all "
+      "--threads N --defer 0|1 --alpha 0.95]\n"
       "  patterns  --data F1[,F2...] [--minsup 0.01 --alpha 0.95 "
       "--window W]\n"
       "  rules     --data F1[,F2...] [--minsup 0.01 --confidence 0.5]\n");
@@ -264,6 +338,8 @@ int Main(int argc, char** argv) {
     status = RunMine(flags);
   } else if (command == "maintain") {
     status = RunMaintain(flags);
+  } else if (command == "monitor") {
+    status = RunMonitor(flags);
   } else if (command == "patterns") {
     status = RunPatterns(flags);
   } else if (command == "rules") {

@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace demon {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  DEMON_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DEMON_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DEMON_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace demon

@@ -1,0 +1,57 @@
+#ifndef DEMON_COMMON_THREAD_POOL_H_
+#define DEMON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace demon {
+
+/// \brief A fixed-size worker pool over an unbounded task queue.
+///
+/// Built for the MaintenanceEngine's per-block fan-out: independent model
+/// maintainers are updated concurrently, then the dispatcher calls
+/// `WaitIdle()` before touching any result. `WaitIdle()` establishes a
+/// happens-before edge with every completed task, which is what makes
+/// parallel maintenance observably identical to sequential maintenance
+/// (each task owns disjoint state; the barrier publishes it).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (must be >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks. Tasks must not call back into the
+  /// pool's Submit/WaitIdle (single-owner usage).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  /// Tasks queued plus tasks currently executing.
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_COMMON_THREAD_POOL_H_

@@ -2,6 +2,14 @@
 
 namespace demon {
 
+Status DemonMonitor::CheckNoBlocksYet() const {
+  if (!snapshot_.empty() || !points_.empty() || !labeled_.empty()) {
+    return Status::FailedPrecondition(
+        "monitors must be registered before the first block");
+  }
+  return Status::OK();
+}
+
 Result<DemonMonitor::MonitorId> DemonMonitor::AddUnrestrictedItemsetMonitor(
     std::string name, double minsup, BlockSelectionSequence bss,
     CountingStrategy strategy) {
@@ -12,21 +20,14 @@ Result<DemonMonitor::MonitorId> DemonMonitor::AddUnrestrictedItemsetMonitor(
     return Status::InvalidArgument(
         "window-relative BSS requires a most-recent-window monitor (§2.3)");
   }
-  if (!snapshot_.empty()) {
-    return Status::FailedPrecondition(
-        "monitors must be registered before the first block");
-  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
   BordersOptions options;
   options.minsup = minsup;
   options.num_items = num_items_;
   options.strategy = strategy;
-  Monitor monitor;
-  monitor.kind = Kind::kUnrestrictedItemsets;
-  monitor.name = std::move(name);
-  monitor.bss = std::move(bss);
-  monitor.unrestricted = std::make_unique<BordersMaintainer>(options);
-  monitors_.push_back(std::move(monitor));
-  return monitors_.size() - 1;
+  return engine_.Register(std::move(name),
+                          std::make_unique<BordersAdapter>(options),
+                          std::move(bss));
 }
 
 Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedItemsetMonitor(
@@ -42,23 +43,68 @@ Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedItemsetMonitor(
     return Status::InvalidArgument(
         "window-relative BSS must have exactly `window` bits");
   }
-  if (!snapshot_.empty()) {
-    return Status::FailedPrecondition(
-        "monitors must be registered before the first block");
-  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
   BordersOptions options;
   options.minsup = minsup;
   options.num_items = num_items_;
   options.strategy = strategy;
-  Monitor monitor;
-  monitor.kind = Kind::kWindowedItemsets;
-  monitor.name = std::move(name);
-  monitor.windowed = std::make_unique<
-      Gemm<BordersMaintainer, std::shared_ptr<const TransactionBlock>>>(
-      std::move(bss), window,
-      [options] { return BordersMaintainer(options); });
-  monitors_.push_back(std::move(monitor));
-  return monitors_.size() - 1;
+  // GEMM applies the BSS internally (projection / right-shift, §3.2), so
+  // the engine routes every transaction block through unfiltered.
+  return engine_.Register(
+      std::move(name),
+      std::make_unique<GemmItemsetAdapter>(std::move(bss), window, options));
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddClusterMonitor(
+    std::string name, size_t dim, const BirchOptions& birch,
+    BlockSelectionSequence bss) {
+  if (dim == 0) {
+    return Status::InvalidArgument("dim must be >= 1");
+  }
+  if (bss.is_window_relative()) {
+    return Status::InvalidArgument(
+        "window-relative BSS requires a most-recent-window monitor (§2.3)");
+  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
+  return engine_.Register(std::move(name),
+                          std::make_unique<ClusterAdapter>(dim, birch),
+                          std::move(bss));
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedClusterMonitor(
+    std::string name, size_t dim, const BirchOptions& birch, size_t window,
+    BlockSelectionSequence bss) {
+  if (dim == 0) {
+    return Status::InvalidArgument("dim must be >= 1");
+  }
+  if (window == 0) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  if (bss.is_window_relative() && bss.window_bits().size() != window) {
+    return Status::InvalidArgument(
+        "window-relative BSS must have exactly `window` bits");
+  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
+  return engine_.Register(std::move(name),
+                          std::make_unique<GemmClusterAdapter>(
+                              std::move(bss), window, dim, birch));
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::AddClassifierMonitor(
+    std::string name, const LabeledSchema& schema, const DTreeOptions& options,
+    BlockSelectionSequence bss) {
+  if (schema.num_attributes() == 0 || schema.num_classes < 2) {
+    return Status::InvalidArgument(
+        "classifier schema needs >= 1 attribute and >= 2 classes");
+  }
+  if (bss.is_window_relative()) {
+    return Status::InvalidArgument(
+        "window-relative BSS requires a most-recent-window monitor (§2.3)");
+  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
+  return engine_.Register(std::move(name),
+                          std::make_unique<DTreeAdapter>(schema, options),
+                          std::move(bss));
 }
 
 Result<DemonMonitor::MonitorId> DemonMonitor::AddPatternDetector(
@@ -66,72 +112,58 @@ Result<DemonMonitor::MonitorId> DemonMonitor::AddPatternDetector(
   if (minsup <= 0.0 || minsup >= 1.0 || alpha <= 0.0 || alpha >= 1.0) {
     return Status::InvalidArgument("minsup and alpha must be in (0, 1)");
   }
-  if (!snapshot_.empty()) {
-    return Status::FailedPrecondition(
-        "monitors must be registered before the first block");
-  }
+  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
   CompactSequenceMiner::Options options;
   options.focus.minsup = minsup;
   options.focus.num_items = num_items_;
   options.alpha = alpha;
   options.window_size = window;
-  Monitor monitor;
-  monitor.kind = Kind::kPatterns;
-  monitor.name = std::move(name);
-  monitor.patterns = std::make_unique<CompactSequenceMiner>(options);
-  monitors_.push_back(std::move(monitor));
-  return monitors_.size() - 1;
+  return engine_.Register(std::move(name),
+                          std::make_unique<PatternAdapter>(options));
 }
 
 void DemonMonitor::AddBlock(TransactionBlock block) {
   const BlockId id = snapshot_.Append(std::move(block));
-  const auto& stored = snapshot_.block(id);
-  for (Monitor& monitor : monitors_) {
-    switch (monitor.kind) {
-      case Kind::kUnrestrictedItemsets:
-        // The BSS gates which blocks reach the model (§3.1: if b_t = 0
-        // the model simply carries over).
-        if (monitor.bss.SelectsBlock(id)) {
-          monitor.unrestricted->AddBlock(stored);
-        }
-        break;
-      case Kind::kWindowedItemsets:
-        monitor.windowed->AddBlock(stored);
-        break;
-      case Kind::kPatterns:
-        monitor.patterns->AddBlock(stored);
-        break;
-    }
-  }
+  engine_.Dispatch(AnyBlock(snapshot_.block(id)));
 }
 
-Result<const ItemsetModel*> DemonMonitor::ItemsetModelOf(
-    MonitorId id) const {
-  DEMON_RETURN_NOT_OK(CheckId(id));
-  const Monitor& monitor = monitors_[id];
-  switch (monitor.kind) {
-    case Kind::kUnrestrictedItemsets:
-      return &monitor.unrestricted->model();
-    case Kind::kWindowedItemsets:
-      return &monitor.windowed->current().model();
-    case Kind::kPatterns:
-      return Status::InvalidArgument("monitor is a pattern detector");
-  }
-  return Status::Internal("unreachable");
+void DemonMonitor::AddPointBlock(PointBlock block) {
+  const BlockId id = points_.Append(std::move(block));
+  engine_.Dispatch(AnyBlock(points_.block(id)));
+}
+
+void DemonMonitor::AddLabeledBlock(LabeledBlock block) {
+  const BlockId id = labeled_.Append(std::move(block));
+  engine_.Dispatch(AnyBlock(labeled_.block(id)));
+}
+
+Result<const ItemsetModel*> DemonMonitor::ItemsetModelOf(MonitorId id) const {
+  DEMON_ASSIGN_OR_RETURN(const ModelMaintainer* m, engine_.MaintainerOf(id));
+  return m->itemset_model();
+}
+
+Result<const ClusterModel*> DemonMonitor::ClusterModelOf(MonitorId id) const {
+  DEMON_ASSIGN_OR_RETURN(const ModelMaintainer* m, engine_.MaintainerOf(id));
+  return m->cluster_model();
+}
+
+Result<const DecisionTree*> DemonMonitor::ClassifierOf(MonitorId id) const {
+  DEMON_ASSIGN_OR_RETURN(const ModelMaintainer* m, engine_.MaintainerOf(id));
+  return m->dtree_model();
 }
 
 Result<const CompactSequenceMiner*> DemonMonitor::PatternsOf(
     MonitorId id) const {
-  DEMON_RETURN_NOT_OK(CheckId(id));
-  if (monitors_[id].kind != Kind::kPatterns) {
-    return Status::InvalidArgument("monitor is not a pattern detector");
-  }
-  return monitors_[id].patterns.get();
+  DEMON_ASSIGN_OR_RETURN(const ModelMaintainer* m, engine_.MaintainerOf(id));
+  return m->pattern_miner();
+}
+
+Result<MonitorStats> DemonMonitor::StatsOf(MonitorId id) const {
+  return engine_.StatsOf(id);
 }
 
 Result<std::string> DemonMonitor::NameOf(MonitorId id) const {
-  DEMON_RETURN_NOT_OK(CheckId(id));
-  return monitors_[id].name;
+  return engine_.NameOf(id);
 }
 
 }  // namespace demon

@@ -7,34 +7,44 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/aum.h"
 #include "core/bss.h"
-#include "core/gemm.h"
+#include "core/engine.h"
+#include "core/maintainers.h"
 #include "data/snapshot.h"
-#include "itemsets/borders.h"
-#include "patterns/compact_sequences.h"
 
 namespace demon {
 
+using LabeledSnapshot = Snapshot<LabeledBlock>;
+
 /// \brief The integration façade over the paper's problem space (its
-/// Figure 11): one evolving transaction database feeding any number of
-/// registered monitors —
+/// Figure 11): one evolving database feeding any number of registered
+/// monitors —
 ///
 ///   * unrestricted-window itemset models under a window-independent BSS
 ///     (BORDERS maintainer, §3.1),
 ///   * most-recent-window itemset models under any BSS (GEMM, §3.2),
+///   * unrestricted and most-recent-window cluster models (BIRCH+ and
+///     GEMM over BIRCH+, §3.1.2 / §3.2.4),
+///   * incremental decision-tree classifiers (the BOAT stand-in),
 ///   * compact-sequence pattern detection (§4), optionally windowed.
 ///
-/// `AddBlock` appends the block to the snapshot and routes it to every
-/// monitor; each monitor's model stays queryable between blocks. This is
-/// the object a deployment embeds; the underlying algorithm classes stay
-/// usable directly for finer control.
+/// Registration builds a type-erased ModelMaintainer adapter and hands it
+/// to the MaintenanceEngine, which updates all monitors concurrently per
+/// block (EngineOptions.num_threads) and can defer GEMM's future-window
+/// updates off the time-critical path (EngineOptions.defer_offline).
+/// `AddBlock` / `AddPointBlock` / `AddLabeledBlock` append to the matching
+/// snapshot and dispatch to every payload-compatible monitor; each
+/// monitor's model stays queryable between blocks, and `StatsOf` exposes
+/// the engine's per-monitor instrumentation. This is the object a
+/// deployment embeds; the underlying algorithm classes stay usable
+/// directly for finer control.
 class DemonMonitor {
  public:
   /// Identifies a registered monitor.
-  using MonitorId = size_t;
+  using MonitorId = MaintenanceEngine::MonitorId;
 
-  explicit DemonMonitor(size_t num_items) : num_items_(num_items) {}
+  explicit DemonMonitor(size_t num_items, const EngineOptions& engine = {})
+      : num_items_(num_items), engine_(engine) {}
 
   /// Registers an unrestricted-window frequent-itemset monitor fed the
   /// blocks selected by a window-independent `bss`.
@@ -49,51 +59,82 @@ class DemonMonitor {
       BlockSelectionSequence bss,
       CountingStrategy strategy = CountingStrategy::kEcut);
 
+  /// Registers an unrestricted-window cluster monitor (BIRCH+) over
+  /// `dim`-dimensional point blocks, fed the blocks selected by a
+  /// window-independent `bss`.
+  Result<MonitorId> AddClusterMonitor(
+      std::string name, size_t dim, const BirchOptions& birch,
+      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
+
+  /// Registers a most-recent-window cluster monitor of size `window`
+  /// under any `bss` (GEMM over BIRCH+).
+  Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
+                                              const BirchOptions& birch,
+                                              size_t window,
+                                              BlockSelectionSequence bss);
+
+  /// Registers an incremental decision-tree classifier monitor over
+  /// labeled blocks of `schema`, gated by a window-independent `bss`.
+  Result<MonitorId> AddClassifierMonitor(
+      std::string name, const LabeledSchema& schema,
+      const DTreeOptions& options,
+      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
+
   /// Registers a compact-sequence pattern detector (window 0 =
   /// unrestricted).
   Result<MonitorId> AddPatternDetector(std::string name, double minsup,
                                        double alpha, size_t window = 0);
 
-  /// Appends the next block and updates every monitor.
+  /// Appends the next transaction block and updates every
+  /// transaction-consuming monitor.
   void AddBlock(TransactionBlock block);
 
-  /// The itemset model of a registered itemset monitor.
+  /// Appends the next point block and updates every cluster monitor.
+  void AddPointBlock(PointBlock block);
+
+  /// Appends the next labeled block and updates every classifier monitor.
+  void AddLabeledBlock(LabeledBlock block);
+
+  /// Drains any deferred (offline) GEMM updates queued by the engine.
+  void Quiesce() const { engine_.Quiesce(); }
+
+  /// The itemset model of a registered itemset monitor. For a windowed
+  /// monitor before any block has arrived this is FailedPrecondition (no
+  /// current model exists yet).
   Result<const ItemsetModel*> ItemsetModelOf(MonitorId id) const;
+
+  /// The cluster model of a registered cluster monitor.
+  Result<const ClusterModel*> ClusterModelOf(MonitorId id) const;
+
+  /// The decision tree of a registered classifier monitor.
+  Result<const DecisionTree*> ClassifierOf(MonitorId id) const;
 
   /// The pattern detector of a registered detector id.
   Result<const CompactSequenceMiner*> PatternsOf(MonitorId id) const;
+
+  /// Per-monitor instrumentation: blocks routed/skipped, response vs
+  /// offline wall time.
+  Result<MonitorStats> StatsOf(MonitorId id) const;
 
   /// Name of a monitor (as registered).
   Result<std::string> NameOf(MonitorId id) const;
 
   const TransactionSnapshot& snapshot() const { return snapshot_; }
+  const PointSnapshot& point_snapshot() const { return points_; }
+  const LabeledSnapshot& labeled_snapshot() const { return labeled_; }
+  const MaintenanceEngine& engine() const { return engine_; }
   size_t num_items() const { return num_items_; }
-  size_t NumMonitors() const { return monitors_.size(); }
+  size_t NumMonitors() const { return engine_.NumMonitors(); }
 
  private:
-  enum class Kind { kUnrestrictedItemsets, kWindowedItemsets, kPatterns };
-
-  struct Monitor {
-    Kind kind;
-    std::string name;
-    BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks();
-    // Exactly one of these is set, per kind.
-    std::unique_ptr<BordersMaintainer> unrestricted;
-    std::unique_ptr<Gemm<BordersMaintainer,
-                         std::shared_ptr<const TransactionBlock>>> windowed;
-    std::unique_ptr<CompactSequenceMiner> patterns;
-  };
-
-  Status CheckId(MonitorId id) const {
-    if (id >= monitors_.size()) {
-      return Status::NotFound("no monitor with id " + std::to_string(id));
-    }
-    return Status::OK();
-  }
+  /// Monitors must be registered before the first block of any payload.
+  Status CheckNoBlocksYet() const;
 
   size_t num_items_;
   TransactionSnapshot snapshot_;
-  std::vector<Monitor> monitors_;
+  PointSnapshot points_;
+  LabeledSnapshot labeled_;
+  MaintenanceEngine engine_;
 };
 
 }  // namespace demon

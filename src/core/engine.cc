@@ -1,0 +1,129 @@
+#include "core/engine.h"
+
+#include "common/timer.h"
+
+namespace demon {
+
+const char* ToString(AnyBlock::Payload payload) {
+  switch (payload) {
+    case AnyBlock::Payload::kTransactions:
+      return "transactions";
+    case AnyBlock::Payload::kPoints:
+      return "points";
+    case AnyBlock::Payload::kLabeled:
+      return "labeled";
+  }
+  return "unknown";
+}
+
+MaintenanceEngine::MaintenanceEngine(const EngineOptions& options)
+    : options_(options) {
+  if (options_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+MaintenanceEngine::~MaintenanceEngine() { Quiesce(); }
+
+MaintenanceEngine::MonitorId MaintenanceEngine::Register(
+    std::string name, std::unique_ptr<ModelMaintainer> maintainer,
+    std::optional<BlockSelectionSequence> gate) {
+  DEMON_CHECK(maintainer != nullptr);
+  DEMON_CHECK_MSG(!gate || !gate->is_window_relative(),
+                  "engine gates are window-independent; window-relative "
+                  "BSSs belong inside a GEMM maintainer");
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->maintainer = std::move(maintainer);
+  entry->gate = std::move(gate);
+  monitors_.push_back(std::move(entry));
+  return monitors_.size() - 1;
+}
+
+void MaintenanceEngine::RunResponse(Entry* entry, const AnyBlock& block) {
+  WallTimer timer;
+  entry->maintainer->AddResponse(block);
+  const double seconds = timer.ElapsedSeconds();
+  ++entry->stats.blocks_routed;
+  entry->stats.last_response_seconds = seconds;
+  entry->stats.response_seconds += seconds;
+  entry->stats.last_offline_seconds = 0.0;
+}
+
+void MaintenanceEngine::RunOffline(Entry* entry) {
+  WallTimer timer;
+  entry->maintainer->RunOffline();
+  const double seconds = timer.ElapsedSeconds();
+  entry->stats.last_offline_seconds = seconds;
+  entry->stats.offline_seconds += seconds;
+}
+
+void MaintenanceEngine::Dispatch(const AnyBlock& block) {
+  // Deferred future-window updates from the previous block must land
+  // before this block reaches any maintainer.
+  Quiesce();
+
+  std::vector<Entry*> routed;
+  routed.reserve(monitors_.size());
+  for (const auto& entry : monitors_) {
+    if (entry->maintainer->payload() != block.payload()) continue;
+    if (entry->gate && !entry->gate->SelectsBlock(block.id())) {
+      ++entry->stats.blocks_skipped;
+      continue;
+    }
+    routed.push_back(entry.get());
+  }
+
+  // Time-critical path: every routed monitor absorbs the block; the
+  // barrier below is what the caller's response time measures.
+  if (pool_ != nullptr) {
+    for (Entry* entry : routed) {
+      pool_->Submit([entry, &block] { RunResponse(entry, block); });
+    }
+    pool_->WaitIdle();
+  } else {
+    for (Entry* entry : routed) RunResponse(entry, block);
+  }
+
+  // Offline path: deferred to the pool (drained on the next Dispatch or
+  // Quiesce) or run inline.
+  for (Entry* entry : routed) {
+    if (!entry->maintainer->has_offline_work()) continue;
+    if (pool_ != nullptr && options_.defer_offline) {
+      pool_->Submit([entry] { RunOffline(entry); });
+    } else {
+      RunOffline(entry);
+    }
+  }
+}
+
+void MaintenanceEngine::Quiesce() const {
+  if (pool_ != nullptr) pool_->WaitIdle();
+}
+
+Status MaintenanceEngine::CheckId(MonitorId id) const {
+  if (id >= monitors_.size()) {
+    return Status::NotFound("no monitor with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<const ModelMaintainer*> MaintenanceEngine::MaintainerOf(
+    MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  Quiesce();
+  return monitors_[id]->maintainer.get();
+}
+
+Result<MonitorStats> MaintenanceEngine::StatsOf(MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  Quiesce();
+  return monitors_[id]->stats;
+}
+
+Result<std::string> MaintenanceEngine::NameOf(MonitorId id) const {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  return monitors_[id]->name;
+}
+
+}  // namespace demon

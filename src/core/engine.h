@@ -1,0 +1,126 @@
+#ifndef DEMON_CORE_ENGINE_H_
+#define DEMON_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/bss.h"
+#include "core/model_maintainer.h"
+
+namespace demon {
+
+/// Configuration of a MaintenanceEngine.
+struct EngineOptions {
+  /// Number of worker threads updating monitors concurrently. 0 runs
+  /// every update inline on the dispatching thread (sequential mode);
+  /// parallel maintenance is bit-identical to sequential because monitors
+  /// are independent and the engine barriers between blocks.
+  size_t num_threads = 0;
+
+  /// When true (and num_threads > 0), GEMM's future-window updates are
+  /// queued to the pool after the time-critical response completes, and
+  /// drained before the next block is dispatched (or on Quiesce). Response
+  /// latency then reflects only the time-critical path (§3.2.3's "can be
+  /// brought up to date off-line").
+  bool defer_offline = false;
+};
+
+/// Per-monitor instrumentation maintained by the engine.
+struct MonitorStats {
+  /// Blocks whose payload matched and whose BSS gate selected them.
+  size_t blocks_routed = 0;
+  /// Matching-payload blocks the BSS gate filtered out (§3.1: the model
+  /// simply carries over).
+  size_t blocks_skipped = 0;
+  /// Cumulative wall time on the time-critical response path.
+  double response_seconds = 0.0;
+  /// Cumulative wall time on deferrable offline updates.
+  double offline_seconds = 0.0;
+  double last_response_seconds = 0.0;
+  double last_offline_seconds = 0.0;
+
+  double total_seconds() const { return response_seconds + offline_seconds; }
+  double last_block_seconds() const {
+    return last_response_seconds + last_offline_seconds;
+  }
+};
+
+/// \brief Drives every registered model maintainer from one stream of
+/// arriving blocks — the paper's Figure 11 loop as an engine.
+///
+/// `Dispatch` routes a block to each monitor whose payload matches and
+/// whose BSS gate (if any) selects the block, updating all of them
+/// concurrently on a fixed-size thread pool (or inline when
+/// `num_threads == 0`). Monitors never share state, each monitor sees its
+/// blocks in arrival order, and the engine waits for all response updates
+/// before returning — so parallel execution produces models bit-identical
+/// to sequential execution.
+///
+/// In `defer_offline` mode the deferrable half of each update (GEMM's
+/// future-window maintenance) is queued to the pool after the response
+/// path completes and drained before the next block or on `Quiesce()`.
+class MaintenanceEngine {
+ public:
+  using MonitorId = size_t;
+
+  explicit MaintenanceEngine(const EngineOptions& options = {});
+
+  /// Drains any deferred offline work before shutting down the pool.
+  ~MaintenanceEngine();
+
+  MaintenanceEngine(const MaintenanceEngine&) = delete;
+  MaintenanceEngine& operator=(const MaintenanceEngine&) = delete;
+
+  /// Registers a maintainer under `name`. `gate` is a window-independent
+  /// BSS filtering which matching-payload blocks reach the maintainer
+  /// (unset = all; GEMM-backed maintainers apply their BSS internally).
+  MonitorId Register(std::string name,
+                     std::unique_ptr<ModelMaintainer> maintainer,
+                     std::optional<BlockSelectionSequence> gate = std::nullopt);
+
+  /// Routes `block` to every eligible monitor and waits for all response
+  /// updates; offline updates are deferred or run inline per the options.
+  void Dispatch(const AnyBlock& block);
+
+  /// Blocks until all deferred offline updates have landed. Logically
+  /// const: it only waits for in-flight work, mutating no engine state.
+  void Quiesce() const;
+
+  size_t NumMonitors() const { return monitors_.size(); }
+
+  /// The accessors below Quiesce() first, so reading a maintainer's model
+  /// or stats never races with a deferred offline update.
+  Result<const ModelMaintainer*> MaintainerOf(MonitorId id) const;
+  Result<MonitorStats> StatsOf(MonitorId id) const;
+  Result<std::string> NameOf(MonitorId id) const;
+
+  const EngineOptions& options() const { return options_; }
+  bool parallel() const { return pool_ != nullptr; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<ModelMaintainer> maintainer;
+    std::optional<BlockSelectionSequence> gate;
+    MonitorStats stats;
+  };
+
+  Status CheckId(MonitorId id) const;
+  static void RunResponse(Entry* entry, const AnyBlock& block);
+  static void RunOffline(Entry* entry);
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// unique_ptr entries keep addresses stable across registration, so
+  /// in-flight tasks can hold raw Entry pointers.
+  std::vector<std::unique_ptr<Entry>> monitors_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_ENGINE_H_

@@ -46,8 +46,22 @@ class Gemm {
     }
   }
 
-  /// Feeds the next block (ids are implicit: 1, 2, ... in call order).
+  /// Feeds the next block (ids are implicit: 1, 2, ... in call order):
+  /// the time-critical current-model update followed inline by the
+  /// future-window updates.
   void AddBlock(BlockPtr block) {
+    BeginBlock(std::move(block));
+    DrainOffline();
+  }
+
+  /// The time-critical half of AddBlock (§3.2.3's response path): spawns
+  /// and retires window models, then updates only the model whose window
+  /// just became current — exactly one A_M invocation. The future-window
+  /// updates are left pending until DrainOffline(); they must be drained
+  /// before the next BeginBlock (calling BeginBlock with work still
+  /// pending drains it inline first).
+  void BeginBlock(BlockPtr block) {
+    DrainOffline();
     ++t_;
     // Spawn the model for the future window starting at this block.
     models_.push_back({static_cast<BlockId>(t_), factory_()});
@@ -59,23 +73,33 @@ class Gemm {
     }
     DEMON_CHECK(!models_.empty());
 
-    // The new current model is updated first — this is the time-critical
-    // path whose latency is the response time of §3.2.3.
     WallTimer timer;
     if (ShouldInclude(models_.front().start)) {
       models_.front().maintainer.AddBlock(block);
     }
     last_response_seconds_ = timer.ElapsedSeconds();
+    last_offline_seconds_ = 0.0;
+    pending_ = std::move(block);
+    has_pending_ = true;
+  }
 
-    // The other models cover future windows; their updates are off-line.
-    timer.Reset();
+  /// The deferrable half: brings every future-window model up to date with
+  /// the block last passed to BeginBlock. No-op when nothing is pending.
+  void DrainOffline() {
+    if (!has_pending_) return;
+    WallTimer timer;
     for (size_t i = 1; i < models_.size(); ++i) {
       if (ShouldInclude(models_[i].start)) {
-        models_[i].maintainer.AddBlock(block);
+        models_[i].maintainer.AddBlock(pending_);
       }
     }
     last_offline_seconds_ = timer.ElapsedSeconds();
+    pending_ = BlockPtr();
+    has_pending_ = false;
   }
+
+  /// Whether future-window updates from the last BeginBlock are pending.
+  bool has_offline_work() const { return has_pending_; }
 
   /// The maintainer of the current window's model.
   const Maintainer& current() const {
@@ -132,6 +156,10 @@ class Gemm {
   Factory factory_;
   std::deque<Entry> models_;
   size_t t_ = 0;
+  /// Block awaiting future-window updates (set between BeginBlock and
+  /// DrainOffline).
+  BlockPtr pending_{};
+  bool has_pending_ = false;
   double last_response_seconds_ = 0.0;
   double last_offline_seconds_ = 0.0;
 };

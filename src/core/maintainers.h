@@ -5,8 +5,12 @@
 #include <utility>
 
 #include "clustering/birch.h"
+#include "core/gemm.h"
+#include "core/model_maintainer.h"
 #include "data/block.h"
+#include "dtree/dtree_maintainer.h"
 #include "itemsets/borders.h"
+#include "patterns/compact_sequences.h"
 
 namespace demon {
 
@@ -55,6 +59,171 @@ class CountingMaintainer {
 
 // BordersMaintainer already satisfies the GEMM maintainer concept
 // (AddBlock(std::shared_ptr<const TransactionBlock>)); no adapter needed.
+
+// ---------------------------------------------------------------------------
+// Type-erased adapters: one thin ModelMaintainer subclass per (model class,
+// data-span option) pair, so the MaintenanceEngine can drive BORDERS, GEMM,
+// BIRCH+, the decision-tree maintainer and the compact-sequence miner
+// through a single virtual interface (Figure 11's fan-out).
+
+/// Unrestricted-window frequent itemsets (BORDERS, §3.1).
+class BordersAdapter : public ModelMaintainer {
+ public:
+  explicit BordersAdapter(const BordersOptions& options)
+      : maintainer_(options) {}
+
+  std::string_view type_name() const override { return "borders"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kTransactions;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    maintainer_.AddBlock(block.transactions());
+  }
+  Result<const ItemsetModel*> itemset_model() const override {
+    return &maintainer_.model();
+  }
+
+  const BordersMaintainer& borders() const { return maintainer_; }
+
+ private:
+  BordersMaintainer maintainer_;
+};
+
+/// Most-recent-window frequent itemsets (GEMM over BORDERS, §3.2). The
+/// future-window updates are the offline half (§3.2.3).
+class GemmItemsetAdapter : public ModelMaintainer {
+ public:
+  using GemmT = Gemm<BordersMaintainer, AnyBlock::TxPtr>;
+
+  GemmItemsetAdapter(BlockSelectionSequence bss, size_t window,
+                     const BordersOptions& options)
+      : gemm_(std::move(bss), window,
+              [options] { return BordersMaintainer(options); }) {}
+
+  std::string_view type_name() const override { return "gemm-itemsets"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kTransactions;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    gemm_.BeginBlock(block.transactions());
+  }
+  void RunOffline() override { gemm_.DrainOffline(); }
+  bool has_offline_work() const override { return gemm_.has_offline_work(); }
+  Result<const ItemsetModel*> itemset_model() const override {
+    if (gemm_.NumModels() == 0) {
+      return Status::FailedPrecondition(
+          "windowed monitor has no model before the first block");
+    }
+    return &gemm_.current().model();
+  }
+
+  const GemmT& gemm() const { return gemm_; }
+
+ private:
+  GemmT gemm_;
+};
+
+/// Unrestricted-window clusters (BIRCH+, §3.1.2).
+class ClusterAdapter : public ModelMaintainer {
+ public:
+  ClusterAdapter(size_t dim, const BirchOptions& options)
+      : maintainer_(dim, options) {}
+
+  std::string_view type_name() const override { return "birch+"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kPoints;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    maintainer_.AddBlock(block.points());
+  }
+  Result<const ClusterModel*> cluster_model() const override {
+    return &maintainer_.model();
+  }
+
+  const ClusterMaintainer& clusters() const { return maintainer_; }
+
+ private:
+  ClusterMaintainer maintainer_;
+};
+
+/// Most-recent-window clusters (GEMM over BIRCH+): the combination §3.2.4
+/// motivates, since sub-clusters are not maintainable under deletions.
+class GemmClusterAdapter : public ModelMaintainer {
+ public:
+  using GemmT = Gemm<ClusterMaintainer, AnyBlock::PointPtr>;
+
+  GemmClusterAdapter(BlockSelectionSequence bss, size_t window, size_t dim,
+                     const BirchOptions& options)
+      : gemm_(std::move(bss), window,
+              [dim, options] { return ClusterMaintainer(dim, options); }) {}
+
+  std::string_view type_name() const override { return "gemm-clusters"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kPoints;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    gemm_.BeginBlock(block.points());
+  }
+  void RunOffline() override { gemm_.DrainOffline(); }
+  bool has_offline_work() const override { return gemm_.has_offline_work(); }
+  Result<const ClusterModel*> cluster_model() const override {
+    if (gemm_.NumModels() == 0) {
+      return Status::FailedPrecondition(
+          "windowed monitor has no model before the first block");
+    }
+    return &gemm_.current().model();
+  }
+
+  const GemmT& gemm() const { return gemm_; }
+
+ private:
+  GemmT gemm_;
+};
+
+/// Incremental decision-tree classifier (the BOAT stand-in, [GGRL99b]).
+class DTreeAdapter : public ModelMaintainer {
+ public:
+  DTreeAdapter(const LabeledSchema& schema, const DTreeOptions& options)
+      : maintainer_(schema, options) {}
+
+  std::string_view type_name() const override { return "dtree"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kLabeled;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    maintainer_.AddBlock(block.labeled());
+  }
+  Result<const DecisionTree*> dtree_model() const override {
+    return &maintainer_.model();
+  }
+
+  const DTreeMaintainer& dtree() const { return maintainer_; }
+
+ private:
+  DTreeMaintainer maintainer_;
+};
+
+/// Compact-sequence pattern detection (§4), optionally windowed
+/// (footnote 9).
+class PatternAdapter : public ModelMaintainer {
+ public:
+  explicit PatternAdapter(const CompactSequenceMiner::Options& options)
+      : miner_(options) {}
+
+  std::string_view type_name() const override { return "patterns"; }
+  AnyBlock::Payload payload() const override {
+    return AnyBlock::Payload::kTransactions;
+  }
+  void AddResponse(const AnyBlock& block) override {
+    miner_.AddBlock(block.transactions());
+  }
+  Result<const CompactSequenceMiner*> pattern_miner() const override {
+    return &miner_;
+  }
+
+ private:
+  CompactSequenceMiner miner_;
+};
 
 }  // namespace demon
 

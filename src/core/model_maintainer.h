@@ -1,0 +1,144 @@
+#ifndef DEMON_CORE_MODEL_MAINTAINER_H_
+#define DEMON_CORE_MODEL_MAINTAINER_H_
+
+#include <memory>
+#include <string_view>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "data/block.h"
+#include "dtree/labeled_block.h"
+
+namespace demon {
+
+class ItemsetModel;
+class ClusterModel;
+class DecisionTree;
+class CompactSequenceMiner;
+
+/// \brief A block of any record type the system monitors, held by
+/// shared_ptr exactly as the snapshots store it. The evolving database of
+/// Figure 11 fans one arriving block out to many model maintainers; this
+/// wrapper lets that fan-out traverse a single dispatch path even though
+/// itemset, cluster and classifier maintainers consume different record
+/// types.
+class AnyBlock {
+ public:
+  /// Enumerator order must match the variant alternative order below.
+  enum class Payload { kTransactions = 0, kPoints = 1, kLabeled = 2 };
+
+  using TxPtr = std::shared_ptr<const TransactionBlock>;
+  using PointPtr = std::shared_ptr<const PointBlock>;
+  using LabeledPtr = std::shared_ptr<const LabeledBlock>;
+
+  // NOLINTNEXTLINE(google-explicit-constructor): blocks convert freely.
+  AnyBlock(TxPtr block) : block_(std::move(block)) { CheckHeld(); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  AnyBlock(PointPtr block) : block_(std::move(block)) { CheckHeld(); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  AnyBlock(LabeledPtr block) : block_(std::move(block)) { CheckHeld(); }
+
+  Payload payload() const { return static_cast<Payload>(block_.index()); }
+
+  const BlockInfo& info() const {
+    return std::visit([](const auto& ptr) -> const BlockInfo& {
+      return ptr->info();
+    }, block_);
+  }
+  BlockId id() const { return info().id; }
+
+  /// Number of records in the block, whatever the payload.
+  size_t size() const {
+    return std::visit([](const auto& ptr) { return ptr->size(); }, block_);
+  }
+
+  /// Typed views; each requires the matching payload.
+  const TxPtr& transactions() const { return std::get<TxPtr>(block_); }
+  const PointPtr& points() const { return std::get<PointPtr>(block_); }
+  const LabeledPtr& labeled() const { return std::get<LabeledPtr>(block_); }
+
+ private:
+  void CheckHeld() const {
+    std::visit([](const auto& ptr) { DEMON_CHECK(ptr != nullptr); }, block_);
+  }
+
+  std::variant<TxPtr, PointPtr, LabeledPtr> block_;
+};
+
+/// Short payload name for stats output ("transactions", "points", ...).
+const char* ToString(AnyBlock::Payload payload);
+
+/// \brief The type-erased model maintainer of Figure 11: one registered
+/// monitor, whatever its model class (frequent itemsets, clusters,
+/// decision tree, compact-sequence patterns) and data-span option
+/// (unrestricted or GEMM-windowed).
+///
+/// The update of a block splits in two, following §3.2.3:
+///
+///  * `AddResponse` — the time-critical path. For an unrestricted
+///    maintainer this is the whole update; for a GEMM-backed maintainer it
+///    is the single A_M invocation on the model whose window just became
+///    current.
+///  * `RunOffline` — the deferrable remainder (GEMM's future-window
+///    updates). The MaintenanceEngine may run it on a worker thread after
+///    the response has been reported, provided it completes before the
+///    next block reaches this maintainer.
+///
+/// `AddBlock` composes both inline for callers that do not schedule
+/// offline work separately. Implementations only ever see blocks whose
+/// payload matches `payload()` — the engine routes by payload — and may
+/// DEMON_CHECK that invariant.
+class ModelMaintainer {
+ public:
+  virtual ~ModelMaintainer() = default;
+
+  /// Short kind label for stats output (e.g. "borders", "gemm-itemsets").
+  virtual std::string_view type_name() const = 0;
+
+  /// The record type this maintainer consumes.
+  virtual AnyBlock::Payload payload() const = 0;
+
+  /// Full update: response path plus offline remainder, inline.
+  void AddBlock(const AnyBlock& block) {
+    AddResponse(block);
+    RunOffline();
+  }
+
+  /// Time-critical part of absorbing `block` (see class comment).
+  virtual void AddResponse(const AnyBlock& block) = 0;
+
+  /// Deferrable remainder of the last `AddResponse`. Must be idempotent
+  /// when there is no pending work; default maintainers have none.
+  virtual void RunOffline() {}
+
+  /// Whether a `RunOffline` call is pending.
+  virtual bool has_offline_work() const { return false; }
+
+  /// Typed model accessors. Each returns InvalidArgument unless this
+  /// maintainer maintains that model class; windowed maintainers return
+  /// FailedPrecondition before the first block arrives (no current model
+  /// exists yet).
+  virtual Result<const ItemsetModel*> itemset_model() const {
+    return WrongKind("an itemset model");
+  }
+  virtual Result<const ClusterModel*> cluster_model() const {
+    return WrongKind("a cluster model");
+  }
+  virtual Result<const DecisionTree*> dtree_model() const {
+    return WrongKind("a decision-tree model");
+  }
+  virtual Result<const CompactSequenceMiner*> pattern_miner() const {
+    return WrongKind("a compact-sequence miner");
+  }
+
+ private:
+  Status WrongKind(const char* what) const {
+    return Status::InvalidArgument(std::string(type_name()) +
+                                   " monitor does not maintain " + what);
+  }
+};
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_MODEL_MAINTAINER_H_

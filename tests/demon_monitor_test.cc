@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/block_ops.h"
+#include "datagen/cluster_generator.h"
 #include "datagen/quest_generator.h"
 #include "itemsets/apriori.h"
 
@@ -190,6 +191,85 @@ TEST(DemonMonitorTest, RegistrationAfterFirstBlockRejected) {
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(DemonMonitorTest, PointBlocksFlowThroughClusterMonitors) {
+  // The Figure 11 loop for the clustering model class: point blocks route
+  // to BIRCH+ (unrestricted) and GEMM-over-BIRCH+ (most recent window).
+  ClusterGenParams params;
+  params.num_points = 1500;
+  params.num_clusters = 4;
+  params.dim = 3;
+  params.seed = 56;
+  ClusterGenerator gen(params);
+  std::vector<PointBlock> blocks;
+  for (int b = 0; b < 5; ++b) blocks.push_back(gen.NextBlock(300));
+
+  BirchOptions birch;
+  birch.num_clusters = 4;
+  birch.phase2 = Phase2Algorithm::kAgglomerative;
+  birch.tree.max_leaf_entries = 128;
+
+  DemonMonitor demon(0);
+  const auto uw =
+      demon.AddClusterMonitor("uw-clusters", params.dim, birch).value();
+  const auto mrw = demon
+                       .AddWindowedClusterMonitor(
+                           "mrw-clusters", params.dim, birch, 2,
+                           BlockSelectionSequence::AllBlocks())
+                       .value();
+  std::vector<std::shared_ptr<const PointBlock>> shared;
+  for (const auto& block : blocks) {
+    demon.AddPointBlock(block);
+    shared.push_back(std::make_shared<PointBlock>(block));
+  }
+  EXPECT_EQ(demon.point_snapshot().NumBlocks(), 5u);
+
+  // Unrestricted monitor equals from-scratch BIRCH on all blocks.
+  const ClusterModel expected_uw = RunBirch(shared, params.dim, birch);
+  const ClusterModel& actual_uw = *demon.ClusterModelOf(uw).value();
+  ASSERT_EQ(actual_uw.NumClusters(), expected_uw.NumClusters());
+  for (size_t c = 0; c < expected_uw.NumClusters(); ++c) {
+    EXPECT_EQ(actual_uw.clusters()[c], expected_uw.clusters()[c]);
+  }
+
+  // Windowed monitor equals from-scratch BIRCH on the last two blocks.
+  const ClusterModel expected_mrw = RunBirch(
+      {shared.end() - 2, shared.end()}, params.dim, birch);
+  const ClusterModel& actual_mrw = *demon.ClusterModelOf(mrw).value();
+  ASSERT_EQ(actual_mrw.NumClusters(), expected_mrw.NumClusters());
+  for (size_t c = 0; c < expected_mrw.NumClusters(); ++c) {
+    EXPECT_EQ(actual_mrw.clusters()[c], expected_mrw.clusters()[c]);
+  }
+}
+
+TEST(DemonMonitorTest, StatsExposeRoutingAndTimeSplit) {
+  const size_t num_items = 25;
+  DemonMonitor demon(num_items);
+  const auto uw = demon
+                      .AddUnrestrictedItemsetMonitor(
+                          "every other", 0.05,
+                          BlockSelectionSequence::Periodic(2, 0))
+                      .value();
+  const auto mrw = demon
+                       .AddWindowedItemsetMonitor(
+                           "window", 0.05, 2,
+                           BlockSelectionSequence::AllBlocks())
+                       .value();
+  for (const auto& block : MakeBlocks(4, 100, num_items, 57)) {
+    demon.AddBlock(block);
+  }
+  const MonitorStats uw_stats = demon.StatsOf(uw).value();
+  EXPECT_EQ(uw_stats.blocks_routed, 2u);
+  EXPECT_EQ(uw_stats.blocks_skipped, 2u);
+  EXPECT_GT(uw_stats.response_seconds, 0.0);
+  EXPECT_EQ(uw_stats.offline_seconds, 0.0);  // no GEMM, no offline half
+
+  const MonitorStats mrw_stats = demon.StatsOf(mrw).value();
+  EXPECT_EQ(mrw_stats.blocks_routed, 4u);
+  EXPECT_EQ(mrw_stats.blocks_skipped, 0u);
+  EXPECT_GT(mrw_stats.response_seconds, 0.0);
+  EXPECT_GT(mrw_stats.total_seconds(), mrw_stats.response_seconds);
 }
 
 }  // namespace

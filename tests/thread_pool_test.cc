@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace demon {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsABarrier) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  // All tasks observed complete exactly at the barrier.
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+}  // namespace
+}  // namespace demon

@@ -13,8 +13,14 @@
 // last_response_seconds covers only the current-window update.
 //
 //   DEMON_SCALE=1 ./engine_throughput
+//
+// Pass --benchmark_format=json to emit a google-benchmark-shaped JSON
+// document (context + benchmarks array) instead of the tables, so
+// scripts/bench_snapshot.sh can archive both binaries uniformly.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -72,21 +78,51 @@ RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
   return result;
 }
 
+/// One measurement row, named like a google-benchmark entry.
+struct JsonRow {
+  std::string name;
+  double blocks_per_sec = 0.0;
+  double response_seconds = 0.0;
+  double offline_seconds = 0.0;
+};
+
+void PrintJson(const std::vector<JsonRow>& rows) {
+  std::printf("{\n  \"context\": {\"benchmark\": \"engine_throughput\"},\n");
+  std::printf("  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"blocks_per_second\": %.4f, "
+        "\"response_seconds\": %.6f, \"offline_seconds\": %.6f}%s\n",
+        r.name.c_str(), r.blocks_per_sec, r.response_seconds,
+        r.offline_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
 }  // namespace
 }  // namespace demon::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace demon;
   using namespace demon::bench;
+
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
+  }
 
   const size_t block_size = Scaled(10000, 500);
   const size_t num_blocks = 8;
   const double minsup = 0.005;
   const size_t window = 3;
   const auto blocks = MakeBlocks(num_blocks, block_size);
+  std::vector<JsonRow> rows;
 
-  PrintHeader("Engine ingest throughput (4 monitors, blocks/sec)");
-  std::printf("%8s | %10s | %8s\n", "threads", "blocks/s", "speedup");
+  if (!json) {
+    PrintHeader("Engine ingest throughput (4 monitors, blocks/sec)");
+    std::printf("%8s | %10s | %8s\n", "threads", "blocks/s", "speedup");
+  }
   double baseline = 0.0;
   for (const size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
                                size_t{8}}) {
@@ -94,20 +130,32 @@ int main() {
     engine.num_threads = threads;
     const RunResult r = RunFleet(blocks, engine, minsup, window);
     if (threads == 0) baseline = r.blocks_per_sec;
-    std::printf("%8zu | %10.2f | %7.2fx\n", threads, r.blocks_per_sec,
-                r.blocks_per_sec / baseline);
+    rows.push_back({"ingest/threads:" + std::to_string(threads),
+                    r.blocks_per_sec, r.response_seconds, r.offline_seconds});
+    if (!json) {
+      std::printf("%8zu | %10.2f | %7.2fx\n", threads, r.blocks_per_sec,
+                  r.blocks_per_sec / baseline);
+    }
   }
 
-  PrintHeader("Response vs off-line split (DeferOffline, 4 threads)");
-  std::printf("%10s | %12s | %12s | %10s\n", "defer", "response(s)",
-              "offline(s)", "blocks/s");
+  if (!json) {
+    PrintHeader("Response vs off-line split (DeferOffline, 4 threads)");
+    std::printf("%10s | %12s | %12s | %10s\n", "defer", "response(s)",
+                "offline(s)", "blocks/s");
+  }
   for (const bool defer : {false, true}) {
     EngineOptions engine;
     engine.num_threads = 4;
     engine.defer_offline = defer;
     const RunResult r = RunFleet(blocks, engine, minsup, window);
-    std::printf("%10s | %12.3f | %12.3f | %10.2f\n", defer ? "on" : "off",
-                r.response_seconds, r.offline_seconds, r.blocks_per_sec);
+    rows.push_back({std::string("defer_offline:") + (defer ? "on" : "off"),
+                    r.blocks_per_sec, r.response_seconds, r.offline_seconds});
+    if (!json) {
+      std::printf("%10s | %12.3f | %12.3f | %10.2f\n", defer ? "on" : "off",
+                  r.response_seconds, r.offline_seconds, r.blocks_per_sec);
+    }
   }
+
+  if (json) PrintJson(rows);
   return 0;
 }

@@ -12,7 +12,9 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "itemsets/apriori.h"
+#include "itemsets/counting_context.h"
 #include "itemsets/support_counting.h"
 
 namespace demon {
@@ -119,12 +121,58 @@ void SetSizes(benchmark::internal::Benchmark* b) {
   b->Unit(benchmark::kMillisecond);
 }
 
+// Thread-count sweep of the parallel counting kernel at the largest |S|.
+// The pool and context live outside the timing loop, so the steady state
+// is allocation-free; threads=1 is the sequential (no-pool) baseline the
+// parallel runs must match bit-identically.
+void RunCountingThreads(benchmark::State& state, CountingStrategy strategy,
+                        size_t paper_millions) {
+  const Fixture& f = GetFixture(paper_millions);
+  const size_t s = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  std::vector<Itemset> sample(f.border.begin(),
+                              f.border.begin() +
+                                  std::min(s, f.border.size()));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  CountingContext context(pool.get());
+  const TidListStore& store = strategy == CountingStrategy::kEcutPlus
+                                  ? f.pair_store
+                                  : f.plain_store;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    const auto counts = context.Count(strategy, sample, f.blocks, store);
+    total += counts.empty() ? 0 : counts[0];
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["itemsets"] = static_cast<double>(sample.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void BM_PtScan2MThreads(benchmark::State& state) {
+  RunCountingThreads(state, CountingStrategy::kPtScan, 2);
+}
+void BM_Ecut2MThreads(benchmark::State& state) {
+  RunCountingThreads(state, CountingStrategy::kEcut, 2);
+}
+void BM_EcutPlus2MThreads(benchmark::State& state) {
+  RunCountingThreads(state, CountingStrategy::kEcutPlus, 2);
+}
+
+void SetThreads(benchmark::internal::Benchmark* b) {
+  for (int t : {1, 2, 4, 8}) b->Args({180, t});
+  b->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_PtScan2M)->Apply(SetSizes);
 BENCHMARK(BM_Ecut2M)->Apply(SetSizes);
 BENCHMARK(BM_EcutPlus2M)->Apply(SetSizes);
 BENCHMARK(BM_PtScan4M)->Apply(SetSizes);
 BENCHMARK(BM_Ecut4M)->Apply(SetSizes);
 BENCHMARK(BM_EcutPlus4M)->Apply(SetSizes);
+BENCHMARK(BM_PtScan2MThreads)->Apply(SetThreads);
+BENCHMARK(BM_Ecut2MThreads)->Apply(SetThreads);
+BENCHMARK(BM_EcutPlus2MThreads)->Apply(SetThreads);
 
 }  // namespace
 }  // namespace demon

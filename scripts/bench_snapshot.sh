@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Snapshot the counting-kernel and engine benchmarks as JSON artifacts at
+# the repo root, so perf regressions across PRs can be diffed mechanically.
+#
+#   scripts/bench_snapshot.sh [build-dir]
+#
+# Runs bench/fig2_counting (google-benchmark JSON, includes the
+# thread-count sweep) into BENCH_counting.json and bench/engine_throughput
+# (its own --benchmark_format=json mode) into BENCH_engine.json. Honors
+# DEMON_SCALE (default 0.1); set DEMON_SCALE=1 for paper-scale runs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench/fig2_counting" ]]; then
+  echo "error: $build_dir/bench/fig2_counting not found; build the repo" \
+       "first (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+echo "== fig2_counting -> BENCH_counting.json (DEMON_SCALE=${DEMON_SCALE:-0.1})"
+"$build_dir/bench/fig2_counting" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_counting.json" \
+  --benchmark_out_format=json >/dev/null
+
+echo "== engine_throughput -> BENCH_engine.json"
+"$build_dir/bench/engine_throughput" --benchmark_format=json \
+  > "$repo_root/BENCH_engine.json"
+
+echo "wrote $repo_root/BENCH_counting.json"
+echo "wrote $repo_root/BENCH_engine.json"

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -58,6 +61,58 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) idle_.notify_all();
     }
   }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Held by shared_ptr because helper
+/// tasks can be dequeued after the call has returned (when the caller
+/// claimed every index itself); such stragglers see `next >= n` and exit
+/// without touching `body`.
+struct ParallelForState {
+  explicit ParallelForState(size_t n_in,
+                            const std::function<void(size_t)>* body_in)
+      : n(n_in), body(body_in) {}
+
+  const size_t n;
+  /// Owned by the caller's frame; only dereferenced for claimed indices,
+  /// all of which complete before the caller returns.
+  const std::function<void(size_t)>* const body;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+};
+
+void ClaimLoop(const std::shared_ptr<ParallelForState>& state) {
+  for (;;) {
+    const size_t i = state->next.fetch_add(1);
+    if (i >= state->n) return;
+    (*state->body)(i);
+    if (state->done.fetch_add(1) + 1 == state->n) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1 || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, &body);
+  const size_t helpers = std::min(n - 1, pool->num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { ClaimLoop(state); });
+  }
+  ClaimLoop(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] { return state->done.load() == state->n; });
 }
 
 }  // namespace demon

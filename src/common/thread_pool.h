@@ -19,6 +19,10 @@ namespace demon {
 /// happens-before edge with every completed task, which is what makes
 /// parallel maintenance observably identical to sequential maintenance
 /// (each task owns disjoint state; the barrier publishes it).
+///
+/// Tasks may call `Submit` (the counting layer fans sub-work out onto the
+/// same pool via `ParallelFor`), but must never call `WaitIdle` — a worker
+/// waiting for `in_flight == 0` counts itself and would deadlock.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (must be >= 1).
@@ -30,11 +34,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; never blocks. Tasks must not call back into the
-  /// pool's Submit/WaitIdle (single-owner usage).
+  /// Enqueues a task; never blocks. Callable from within a task.
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished executing.
+  /// Must not be called from within a task (see class comment).
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
@@ -51,6 +55,24 @@ class ThreadPool {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// \brief Runs `body(0) .. body(n-1)` with the pool's workers helping, and
+/// returns once every index has finished. With a null pool (or n <= 1) the
+/// indices run inline on the calling thread.
+///
+/// Unlike Submit + WaitIdle, this is safe to call from *inside* a pool
+/// task: indices are claimed from a shared atomic cursor and the caller
+/// claims alongside the workers, so it makes progress even when every
+/// worker is busy (including when the caller is the only worker). The
+/// final wait only covers indices other threads have already claimed —
+/// never unrelated queued work — so nesting cannot deadlock. This is what
+/// lets the MaintenanceEngine share one pool between monitor-level and
+/// counting-level parallelism.
+///
+/// `body` must be safe to invoke concurrently for distinct indices. All
+/// writes made by `body` happen-before the return.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
 
 }  // namespace demon
 

@@ -99,6 +99,13 @@ class AuMItemsetMaintainer {
   const ItemsetModel& model() const { return maintainer_.model(); }
   const SlideStats& last_stats() const { return last_stats_; }
 
+  /// Shares `pool` with the underlying BORDERS counting kernel (null =
+  /// sequential); both the per-slide deletions and additions then count in
+  /// parallel with bit-identical results.
+  void set_counting_pool(ThreadPool* pool) {
+    maintainer_.set_counting_pool(pool);
+  }
+
  private:
   BordersMaintainer maintainer_;
   BlockSelectionSequence bss_;

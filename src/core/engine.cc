@@ -36,6 +36,9 @@ MaintenanceEngine::MonitorId MaintenanceEngine::Register(
   entry->name = std::move(name);
   entry->maintainer = std::move(maintainer);
   entry->gate = std::move(gate);
+  // One pool serves both levels: monitor fan-out here, counting-level
+  // sharding inside the maintainer (via ParallelFor, so nesting is safe).
+  entry->maintainer->BindThreadPool(pool_.get());
   monitors_.push_back(std::move(entry));
   return monitors_.size() - 1;
 }

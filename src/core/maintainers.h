@@ -76,6 +76,9 @@ class BordersAdapter : public ModelMaintainer {
   AnyBlock::Payload payload() const override {
     return AnyBlock::Payload::kTransactions;
   }
+  void BindThreadPool(ThreadPool* pool) override {
+    maintainer_.set_counting_pool(pool);
+  }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.transactions());
   }
@@ -97,13 +100,20 @@ class GemmItemsetAdapter : public ModelMaintainer {
 
   GemmItemsetAdapter(BlockSelectionSequence bss, size_t window,
                      const BordersOptions& options)
-      : gemm_(std::move(bss), window,
-              [options] { return BordersMaintainer(options); }) {}
+      // The factory reads counting_pool_ at spawn time, so window models
+      // created after BindThreadPool count in parallel too. The adapter is
+      // heap-allocated and never moved, so capturing `this` is safe.
+      : options_(options), gemm_(std::move(bss), window, [this] {
+          BordersMaintainer maintainer(options_);
+          maintainer.set_counting_pool(counting_pool_);
+          return maintainer;
+        }) {}
 
   std::string_view type_name() const override { return "gemm-itemsets"; }
   AnyBlock::Payload payload() const override {
     return AnyBlock::Payload::kTransactions;
   }
+  void BindThreadPool(ThreadPool* pool) override { counting_pool_ = pool; }
   void AddResponse(const AnyBlock& block) override {
     gemm_.BeginBlock(block.transactions());
   }
@@ -120,6 +130,9 @@ class GemmItemsetAdapter : public ModelMaintainer {
   const GemmT& gemm() const { return gemm_; }
 
  private:
+  // Declared before gemm_: the factory lambda reads both members.
+  BordersOptions options_;
+  ThreadPool* counting_pool_ = nullptr;
   GemmT gemm_;
 };
 

@@ -16,6 +16,7 @@ class ItemsetModel;
 class ClusterModel;
 class DecisionTree;
 class CompactSequenceMiner;
+class ThreadPool;
 
 /// \brief A block of any record type the system monitors, held by
 /// shared_ptr exactly as the snapshots store it. The evolving database of
@@ -114,6 +115,15 @@ class ModelMaintainer {
 
   /// Whether a `RunOffline` call is pending.
   virtual bool has_offline_work() const { return false; }
+
+  /// Offers this maintainer a thread pool for *internal* parallelism
+  /// (today: the itemset counting kernel). The MaintenanceEngine calls
+  /// this at registration with its own pool, so one pool serves both
+  /// monitor-level fan-out and counting-level sharding; sub-work must be
+  /// scheduled with ParallelFor (never WaitIdle) so nesting cannot
+  /// deadlock. Maintainers without internal parallelism ignore the offer.
+  /// `pool` outlives the maintainer; null revokes a previous offer.
+  virtual void BindThreadPool(ThreadPool* /*pool*/) {}
 
   /// Typed model accessors. Each returns InvalidArgument unless this
   /// maintainer maintains that model class; windowed maintainers return

@@ -4,13 +4,16 @@
 
 #include "common/check.h"
 #include "itemsets/candidate_generation.h"
-#include "itemsets/prefix_tree.h"
+#include "itemsets/counting_context.h"
 
 namespace demon {
 
 ItemsetModel Apriori(
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
-    double minsup, size_t num_items) {
+    double minsup, size_t num_items, CountingContext* context) {
+  CountingContext local_context;
+  if (context == nullptr) context = &local_context;
+
   ItemsetModel model(minsup, num_items);
   uint64_t num_transactions = 0;
   for (const auto& block : blocks) num_transactions += block->size();
@@ -19,15 +22,8 @@ ItemsetModel Apriori(
   auto& entries = *model.mutable_entries();
 
   // Level 1: count every item with a dense array (cheaper than the tree).
-  std::vector<uint64_t> item_counts(num_items, 0);
-  for (const auto& block : blocks) {
-    for (const Transaction& t : block->transactions()) {
-      for (Item item : t.items()) {
-        DEMON_CHECK_MSG(item < num_items, "item outside universe");
-        ++item_counts[item];
-      }
-    }
-  }
+  const std::vector<uint64_t> item_counts =
+      context->CountItems(blocks, num_items);
   std::vector<Itemset> frequent_prev;
   for (Item item = 0; item < num_items; ++item) {
     const bool frequent = item_counts[item] >= min_count;
@@ -47,16 +43,10 @@ ItemsetModel Apriori(
     frequent_prev.clear();
     if (candidates.empty()) break;
 
-    PrefixTree tree;
-    std::vector<size_t> ids;
-    ids.reserve(candidates.size());
-    for (const Itemset& c : candidates) ids.push_back(tree.Insert(c));
-    tree.CountBlocks(blocks);
-
+    const std::vector<uint64_t> counts = context->PtScan(candidates, blocks);
     for (size_t i = 0; i < candidates.size(); ++i) {
-      const uint64_t count = tree.CountOf(ids[i]);
-      const bool frequent = count >= min_count;
-      entries.emplace(candidates[i], ItemsetModel::Entry{count, frequent});
+      const bool frequent = counts[i] >= min_count;
+      entries.emplace(candidates[i], ItemsetModel::Entry{counts[i], frequent});
       if (frequent) frequent_prev.push_back(std::move(candidates[i]));
     }
   }

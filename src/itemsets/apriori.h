@@ -9,6 +9,8 @@
 
 namespace demon {
 
+class CountingContext;
+
 /// \brief Apriori [AS94]: mines the frequent itemsets L(D, κ) *and* the
 /// negative border NB-(D, κ) with exact counts from the given blocks.
 ///
@@ -21,9 +23,13 @@ namespace demon {
 /// This is the from-scratch model constructor; BordersMaintainer evolves
 /// its result incrementally. It also serves as the ground truth the test
 /// suite compares incremental maintenance against.
+///
+/// `context` parallelizes the level-wise counting scans when it carries a
+/// thread pool (results are bit-identical either way); null counts
+/// sequentially.
 ItemsetModel Apriori(
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
-    double minsup, size_t num_items);
+    double minsup, size_t num_items, CountingContext* context = nullptr);
 
 /// Convenience overload for a single block.
 ItemsetModel AprioriOnBlock(const TransactionBlock& block, double minsup,

@@ -5,7 +5,6 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "itemsets/apriori.h"
-#include "itemsets/prefix_tree.h"
 
 namespace demon {
 
@@ -18,24 +17,28 @@ BordersMaintainer::BordersMaintainer(const BordersOptions& options)
 void BordersMaintainer::FoldBlockCounts(const TransactionBlock& block,
                                         int sign) {
   if (model_.entries().empty()) return;
-  PrefixTree tree;
   // Entry pointers are stable across unordered_map lookups (no inserts
   // happen while counting), so bind them once.
-  std::vector<std::pair<ItemsetModel::Entry*, size_t>> ids;
-  ids.reserve(model_.entries().size());
+  std::vector<Itemset> itemsets;
+  std::vector<ItemsetModel::Entry*> entries;
+  itemsets.reserve(model_.entries().size());
+  entries.reserve(model_.entries().size());
   for (auto& [itemset, entry] : *model_.mutable_entries()) {
-    ids.push_back({&entry, tree.Insert(itemset)});
+    itemsets.push_back(itemset);
+    entries.push_back(&entry);
   }
-  for (const Transaction& t : block.transactions()) {
-    tree.CountTransaction(t);
-  }
-  for (const auto& [entry, id] : ids) {
-    const uint64_t delta = tree.CountOf(id);
+  // Non-owning alias: the counting kernel only reads the block.
+  auto alias = std::shared_ptr<const TransactionBlock>(
+      std::shared_ptr<const TransactionBlock>(), &block);
+  const std::vector<uint64_t> deltas = counting_.PtScan(itemsets, {alias});
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t delta = deltas[i];
     if (sign > 0) {
-      entry->count += delta;
+      entries[i]->count += delta;
     } else {
-      DEMON_CHECK_MSG(entry->count >= delta, "deletion underflows a count");
-      entry->count -= delta;
+      DEMON_CHECK_MSG(entries[i]->count >= delta,
+                      "deletion underflows a count");
+      entries[i]->count -= delta;
     }
   }
 }
@@ -72,7 +75,7 @@ void BordersMaintainer::AddBlock(
   if (blocks_.empty() && model_.entries().empty()) {
     // First selected block: build the model from scratch (base case).
     blocks_.push_back(std::move(block));
-    model_ = Apriori(blocks_, options_.minsup, options_.num_items);
+    model_ = Apriori(blocks_, options_.minsup, options_.num_items, &counting_);
     last_stats_.detection_seconds = timer.ElapsedSeconds();
     return;
   }
@@ -150,8 +153,8 @@ void BordersMaintainer::Refresh(const std::vector<Itemset>& promotion_seeds) {
     if (candidates.empty()) break;
     last_stats_.new_candidates += candidates.size();
     const std::vector<uint64_t> counts =
-        CountSupports(options_.strategy, candidates, blocks_, tidlists_,
-                      &last_stats_.counting);
+        counting_.Count(options_.strategy, candidates, blocks_, tidlists_,
+                        &last_stats_.counting);
     for (size_t i = 0; i < candidates.size(); ++i) {
       const bool frequent = counts[i] >= min_count;
       entries.emplace(candidates[i],

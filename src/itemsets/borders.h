@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/block.h"
+#include "itemsets/counting_context.h"
 #include "itemsets/itemset_model.h"
 #include "itemsets/support_counting.h"
 #include "tidlist/tidlist_store.h"
@@ -83,6 +84,12 @@ class BordersMaintainer {
   /// raising; re-runs the update machinery when lowering).
   void ChangeMinSupport(double minsup);
 
+  /// Binds the counting kernel to `pool` (not owned; null = sequential):
+  /// detection scans, the base-case Apriori and update-phase candidate
+  /// counting then shard over the pool with bit-identical results. The
+  /// MaintenanceEngine shares its monitor pool this way.
+  void set_counting_pool(ThreadPool* pool) { counting_.set_pool(pool); }
+
   const ItemsetModel& model() const { return model_; }
   const BordersOptions& options() const { return options_; }
   const UpdateStats& last_stats() const { return last_stats_; }
@@ -117,6 +124,9 @@ class BordersMaintainer {
   std::vector<std::shared_ptr<const TransactionBlock>> blocks_;
   TidListStore tidlists_;
   UpdateStats last_stats_;
+  /// Reusable (optionally parallel) support-counting kernel. Copies of a
+  /// maintainer share the pool binding but not the scratch buffers.
+  CountingContext counting_;
 };
 
 }  // namespace demon

@@ -1,0 +1,290 @@
+#include "itemsets/counting_context.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+// Minimum work per shard: below these, the fan-out overhead outweighs the
+// win and counting stays on one shard. Shard count never changes results,
+// only scheduling (sums are order-independent).
+constexpr size_t kMinTransactionsPerShard = 256;
+constexpr size_t kMinItemsetsPerShard = 4;
+
+// [begin, end) of shard `shard` when `work` units are split as evenly as
+// possible over `shards` contiguous ranges.
+std::pair<size_t, size_t> ShardRange(size_t work, size_t shard,
+                                     size_t shards) {
+  const size_t base = work / shards;
+  const size_t extra = work % shards;
+  const size_t begin = shard * base + std::min(shard, extra);
+  return {begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+size_t CountingContext::ShardCountFor(size_t work,
+                                      size_t min_per_shard) const {
+  if (pool_ == nullptr || pool_->num_threads() <= 1) return 1;
+  const size_t by_work = work / min_per_shard;
+  return std::max<size_t>(1, std::min(by_work, pool_->num_threads()));
+}
+
+void CountingContext::PrepareScratch(size_t shards) {
+  while (scratch_.size() < shards) {
+    scratch_.push_back(std::make_unique<Scratch>());
+  }
+  for (size_t i = 0; i < shards; ++i) {
+    scratch_[i]->stats = CountingStats{};
+    scratch_[i]->touched = 0;
+  }
+}
+
+void CountingContext::MergeStats(size_t shards, CountingStats* stats) const {
+  if (stats == nullptr) return;
+  for (size_t i = 0; i < shards; ++i) {
+    stats->slots_fetched += scratch_[i]->stats.slots_fetched;
+    stats->lists_opened += scratch_[i]->stats.lists_opened;
+    stats->slots_fetched += scratch_[i]->touched;
+  }
+}
+
+std::vector<uint64_t> CountingContext::PtScan(
+    const std::vector<Itemset>& itemsets,
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+    CountingStats* stats) {
+  if (itemsets.empty()) return {};
+
+  size_t total_transactions = 0;
+  for (const auto& block : blocks) total_transactions += block->size();
+  const size_t shards =
+      ShardCountFor(total_transactions, kMinTransactionsPerShard);
+  PrepareScratch(shards);
+
+  // Build the prefix tree once in shard 0's scratch; the other shards copy
+  // it (structure and zeroed counts) and count their transaction range
+  // into their own clone.
+  PrefixTree& master = scratch_[0]->tree;
+  master.Clear();
+  std::vector<size_t> ids;
+  ids.reserve(itemsets.size());
+  for (const Itemset& itemset : itemsets) ids.push_back(master.Insert(itemset));
+  for (size_t s = 1; s < shards; ++s) scratch_[s]->tree = master;
+
+  const bool collect_stats = stats != nullptr;
+  ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    Scratch& s = *scratch_[shard];
+    const auto [begin, end] = ShardRange(total_transactions, shard, shards);
+    uint64_t touched = 0;
+    size_t offset = 0;
+    for (const auto& block : blocks) {
+      if (offset >= end) break;
+      const auto& transactions = block->transactions();
+      const size_t lo = begin > offset ? begin - offset : 0;
+      const size_t hi = std::min(transactions.size(),
+                                 end - offset);
+      if (collect_stats) {
+        for (size_t i = lo; i < hi; ++i) {
+          s.tree.CountTransaction(transactions[i]);
+          touched += transactions[i].size();
+        }
+      } else {
+        for (size_t i = lo; i < hi; ++i) {
+          s.tree.CountTransaction(transactions[i]);
+        }
+      }
+      offset += transactions.size();
+    }
+    s.touched = touched;
+  });
+
+  std::vector<uint64_t> counts(itemsets.size(), 0);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const PrefixTree& tree = scratch_[shard]->tree;
+    for (size_t i = 0; i < ids.size(); ++i) counts[i] += tree.CountOf(ids[i]);
+  }
+  MergeStats(shards, stats);
+  return counts;
+}
+
+void CountingContext::BuildCoverPlan(const Itemset& itemset,
+                                     const TidListStore& store,
+                                     bool use_pair_lists, Scratch* s) const {
+  s->plan.clear();
+  const size_t k = itemset.size();
+  bool any_pair_lists = false;
+  if (use_pair_lists && k >= 2) {
+    for (const auto& block : store.blocks()) {
+      if (block->num_pair_lists() > 0) {
+        any_pair_lists = true;
+        break;
+      }
+    }
+  }
+  if (!any_pair_lists) {
+    for (Item item : itemset) s->plan.push_back({item, 0, false});
+    return;
+  }
+
+  // ECUT+ covering rule (paper §3.1.1), hoisted out of the per-block loop:
+  // greedily pick the materialized pair with the smallest *total* list
+  // size across blocks whose two items are still uncovered; cover the
+  // remainder with item lists. Any cover intersects to the exact support,
+  // so hoisting never changes counts — blocks missing a chosen pair fall
+  // back to the pair's two item lists at count time.
+  constexpr uint64_t kUnmaterialized = std::numeric_limits<uint64_t>::max();
+  s->pair_sizes.assign(k * k, kUnmaterialized);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      uint64_t total = kUnmaterialized;
+      for (const auto& block : store.blocks()) {
+        const TidList* pair = block->PairList(itemset[i], itemset[j]);
+        if (pair == nullptr) continue;
+        if (total == kUnmaterialized) total = 0;
+        total += pair->size();
+      }
+      s->pair_sizes[i * k + j] = total;
+    }
+  }
+  s->covered.assign(k, false);
+  for (;;) {
+    uint64_t best_size = kUnmaterialized;
+    size_t best_i = 0;
+    size_t best_j = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (s->covered[i]) continue;
+      for (size_t j = i + 1; j < k; ++j) {
+        if (s->covered[j]) continue;
+        const uint64_t size = s->pair_sizes[i * k + j];
+        if (size < best_size) {
+          best_size = size;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_size == kUnmaterialized) break;
+    s->plan.push_back({itemset[best_i], itemset[best_j], true});
+    s->covered[best_i] = true;
+    s->covered[best_j] = true;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (!s->covered[i]) s->plan.push_back({itemset[i], 0, false});
+  }
+}
+
+uint64_t CountingContext::CountOneEcut(const Itemset& itemset,
+                                       const TidListStore& store,
+                                       bool use_pair_lists, Scratch* s,
+                                       bool collect_stats) {
+  DEMON_CHECK(!itemset.empty());
+  BuildCoverPlan(itemset, store, use_pair_lists, s);
+  uint64_t count = 0;
+  // Additivity property: the support over the selected data is the sum of
+  // per-block supports, so each block is processed independently.
+  for (const auto& block : store.blocks()) {
+    s->lists.clear();
+    for (const CoverEntry& entry : s->plan) {
+      if (entry.is_pair) {
+        const TidList* pair = block->PairList(entry.a, entry.b);
+        if (pair != nullptr) {
+          s->lists.push_back(pair);
+          continue;
+        }
+        s->lists.push_back(&block->ItemList(entry.a));
+        s->lists.push_back(&block->ItemList(entry.b));
+      } else {
+        s->lists.push_back(&block->ItemList(entry.a));
+      }
+    }
+    if (collect_stats) {
+      s->stats.lists_opened += s->lists.size();
+      for (const TidList* list : s->lists) {
+        s->stats.slots_fetched += list->size();
+      }
+    }
+    count += IntersectionSize(s->lists, &s->intersect);
+  }
+  return count;
+}
+
+std::vector<uint64_t> CountingContext::Ecut(
+    const std::vector<Itemset>& itemsets, const TidListStore& store,
+    bool use_pair_lists, CountingStats* stats) {
+  std::vector<uint64_t> counts(itemsets.size(), 0);
+  if (itemsets.empty()) return counts;
+  const size_t shards = ShardCountFor(itemsets.size(), kMinItemsetsPerShard);
+  PrepareScratch(shards);
+
+  const bool collect_stats = stats != nullptr;
+  ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    Scratch& s = *scratch_[shard];
+    const auto [begin, end] = ShardRange(itemsets.size(), shard, shards);
+    for (size_t i = begin; i < end; ++i) {
+      counts[i] =
+          CountOneEcut(itemsets[i], store, use_pair_lists, &s, collect_stats);
+    }
+  });
+  MergeStats(shards, stats);
+  return counts;
+}
+
+std::vector<uint64_t> CountingContext::Count(
+    CountingStrategy strategy, const std::vector<Itemset>& itemsets,
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+    const TidListStore& store, CountingStats* stats) {
+  switch (strategy) {
+    case CountingStrategy::kPtScan:
+      return PtScan(itemsets, blocks, stats);
+    case CountingStrategy::kEcut:
+      return Ecut(itemsets, store, /*use_pair_lists=*/false, stats);
+    case CountingStrategy::kEcutPlus:
+      return Ecut(itemsets, store, /*use_pair_lists=*/true, stats);
+  }
+  return {};
+}
+
+std::vector<uint64_t> CountingContext::CountItems(
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+    size_t num_items) {
+  size_t total_transactions = 0;
+  for (const auto& block : blocks) total_transactions += block->size();
+  const size_t shards =
+      ShardCountFor(total_transactions, kMinTransactionsPerShard);
+  PrepareScratch(shards);
+
+  ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    Scratch& s = *scratch_[shard];
+    s.item_counts.assign(num_items, 0);
+    const auto [begin, end] = ShardRange(total_transactions, shard, shards);
+    size_t offset = 0;
+    for (const auto& block : blocks) {
+      if (offset >= end) break;
+      const auto& transactions = block->transactions();
+      const size_t lo = begin > offset ? begin - offset : 0;
+      const size_t hi = std::min(transactions.size(), end - offset);
+      for (size_t i = lo; i < hi; ++i) {
+        for (Item item : transactions[i].items()) {
+          DEMON_CHECK_MSG(item < num_items, "item outside universe");
+          ++s.item_counts[item];
+        }
+      }
+      offset += transactions.size();
+    }
+  });
+
+  std::vector<uint64_t> counts(num_items, 0);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const auto& partial = scratch_[shard]->item_counts;
+    for (size_t item = 0; item < num_items; ++item) {
+      counts[item] += partial[item];
+    }
+  }
+  return counts;
+}
+
+}  // namespace demon

@@ -1,0 +1,142 @@
+#ifndef DEMON_ITEMSETS_COUNTING_CONTEXT_H_
+#define DEMON_ITEMSETS_COUNTING_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/block.h"
+#include "itemsets/prefix_tree.h"
+#include "itemsets/support_counting.h"
+#include "tidlist/tidlist.h"
+#include "tidlist/tidlist_store.h"
+
+namespace demon {
+
+/// \brief The support-counting kernel behind PT-Scan, ECUT and ECUT+:
+/// parallel across an optional shared ThreadPool and allocation-free in
+/// steady state via per-shard scratch buffers that persist across calls.
+///
+/// Figures 2 and 4-7 — the paper's core claims — are pure support-counting
+/// benchmarks, so this is the hot path of every itemset monitor. A context
+/// shards the work (candidate itemsets for ECUT/ECUT+, transactions for
+/// PT-Scan) over `ParallelFor`, which lets the MaintenanceEngine share one
+/// pool between monitor-level and counting-level parallelism: counting
+/// called from inside a monitor-update task simply claims shards alongside
+/// the pool's workers.
+///
+/// Results are bit-identical to the sequential path for every strategy and
+/// thread count (DESIGN.md invariant 2): ECUT shards write disjoint count
+/// slots, PT-Scan sums per-shard uint64 counts (integer addition is
+/// order-independent), and stats are merged as sums.
+///
+/// A context belongs to one maintainer and is not itself thread-safe: one
+/// counting call at a time. Distinct contexts may share a pool freely.
+/// Copying a context copies only the pool binding — scratch is a cache and
+/// is rebuilt lazily — which keeps BordersMaintainer cheaply copyable.
+class CountingContext {
+ public:
+  /// A sequential context (no pool).
+  CountingContext() = default;
+
+  /// A context fanning work out over `pool` (not owned; may be null for
+  /// sequential operation). With a pool of one worker, counting stays on
+  /// the calling thread.
+  explicit CountingContext(ThreadPool* pool) : pool_(pool) {}
+
+  CountingContext(const CountingContext& other) : pool_(other.pool_) {}
+  CountingContext& operator=(const CountingContext& other) {
+    pool_ = other.pool_;
+    return *this;
+  }
+  CountingContext(CountingContext&&) = default;
+  CountingContext& operator=(CountingContext&&) = default;
+
+  /// Rebinds the pool (null returns the context to sequential mode).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// PT-Scan: one pass over all transactions of `blocks` with per-shard
+  /// prefix-tree clones summed after the barrier. Stats accumulate into
+  /// `*stats` when non-null; the non-instrumented path pays nothing for
+  /// them.
+  std::vector<uint64_t> PtScan(
+      const std::vector<Itemset>& itemsets,
+      const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+      CountingStats* stats = nullptr);
+
+  /// ECUT / ECUT+: candidate itemsets are sharded across the pool; each
+  /// shard intersects per-block TID-lists with its own reusable buffers.
+  /// The ECUT+ covering of an itemset by materialized pair lists is
+  /// computed once per itemset (not once per block); a chosen pair falls
+  /// back to its two item lists in blocks where it is not materialized,
+  /// which leaves the counts exact (any cover intersects to the same
+  /// support).
+  std::vector<uint64_t> Ecut(const std::vector<Itemset>& itemsets,
+                             const TidListStore& store, bool use_pair_lists,
+                             CountingStats* stats = nullptr);
+
+  /// Dispatches on `strategy`. PT-Scan uses `blocks`; ECUT variants use
+  /// `store`.
+  std::vector<uint64_t> Count(
+      CountingStrategy strategy, const std::vector<Itemset>& itemsets,
+      const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+      const TidListStore& store, CountingStats* stats = nullptr);
+
+  /// Level-1 counting: occurrences of every item of [0, num_items) across
+  /// `blocks`, sharded over transactions with per-shard dense arrays
+  /// (Apriori's base level).
+  std::vector<uint64_t> CountItems(
+      const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
+      size_t num_items);
+
+ private:
+  /// One entry of an ECUT+ cover plan: a materialized pair (is_pair) or a
+  /// single item (b unused).
+  struct CoverEntry {
+    Item a = 0;
+    Item b = 0;
+    bool is_pair = false;
+  };
+
+  /// Per-shard reusable state. unique_ptr entries keep addresses stable
+  /// while workers use them.
+  struct Scratch {
+    PrefixTree tree;
+    std::vector<uint64_t> item_counts;
+    IntersectionScratch intersect;
+    std::vector<const TidList*> lists;
+    std::vector<CoverEntry> plan;
+    std::vector<uint64_t> pair_sizes;
+    std::vector<bool> covered;
+    CountingStats stats;
+    uint64_t touched = 0;
+  };
+
+  /// Number of shards for `work` units with at least `min_per_shard` units
+  /// each — 1 without a pool, at most the pool's worker count with one.
+  size_t ShardCountFor(size_t work, size_t min_per_shard) const;
+
+  /// Grows scratch_ to `shards` entries and resets their per-call stats.
+  void PrepareScratch(size_t shards);
+
+  /// Folds every shard's stats into `*stats` (no-op when null).
+  void MergeStats(size_t shards, CountingStats* stats) const;
+
+  /// Computes the cover plan for `itemset` into `s->plan` (ECUT: one item
+  /// list per item; ECUT+: greedy pair cover by smallest total size).
+  void BuildCoverPlan(const Itemset& itemset, const TidListStore& store,
+                      bool use_pair_lists, Scratch* s) const;
+
+  /// Counts one itemset over every block of `store` using its cover plan.
+  uint64_t CountOneEcut(const Itemset& itemset, const TidListStore& store,
+                        bool use_pair_lists, Scratch* s, bool collect_stats);
+
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+};
+
+}  // namespace demon
+
+#endif  // DEMON_ITEMSETS_COUNTING_CONTEXT_H_

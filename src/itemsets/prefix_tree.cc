@@ -73,4 +73,10 @@ void PrefixTree::ResetCounts() {
   std::fill(counts_.begin(), counts_.end(), 0);
 }
 
+void PrefixTree::Clear() {
+  nodes_.clear();
+  nodes_.push_back(Node{});
+  counts_.clear();
+}
+
 }  // namespace demon

@@ -48,6 +48,12 @@ class PrefixTree {
   /// Resets all counts to zero (the tree structure is kept).
   void ResetCounts();
 
+  /// Removes every inserted itemset, returning the tree to its
+  /// freshly-constructed state. The node storage's capacity is kept, so a
+  /// cleared tree can be refilled with few or no allocations — the
+  /// counting layer reuses one tree per worker this way.
+  void Clear();
+
  private:
   struct Node {
     Item item = 0;

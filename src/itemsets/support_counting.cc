@@ -1,9 +1,6 @@
 #include "itemsets/support_counting.h"
 
-#include <algorithm>
-
-#include "common/check.h"
-#include "itemsets/prefix_tree.h"
+#include "itemsets/counting_context.h"
 
 namespace demon {
 
@@ -23,106 +20,23 @@ std::vector<uint64_t> PtScanCount(
     const std::vector<Itemset>& itemsets,
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
     CountingStats* stats) {
-  PrefixTree tree;
-  std::vector<size_t> ids;
-  ids.reserve(itemsets.size());
-  for (const Itemset& itemset : itemsets) ids.push_back(tree.Insert(itemset));
-
-  uint64_t touched = 0;
-  for (const auto& block : blocks) {
-    for (const Transaction& t : block->transactions()) {
-      tree.CountTransaction(t);
-      touched += t.size();
-    }
-  }
-  if (stats != nullptr) {
-    stats->slots_fetched += touched;
-  }
-  std::vector<uint64_t> counts;
-  counts.reserve(itemsets.size());
-  for (size_t id : ids) counts.push_back(tree.CountOf(id));
-  return counts;
+  CountingContext context;
+  return context.PtScan(itemsets, blocks, stats);
 }
-
-namespace {
-
-// Chooses the TID-lists used to count `itemset` in `block` under the ECUT+
-// covering rule: greedily pick the smallest materialized pair list whose
-// two items are still uncovered; cover the remainder with item lists.
-void ChooseLists(const BlockTidLists& block, const Itemset& itemset,
-                 bool use_pair_lists, std::vector<const TidList*>* lists) {
-  lists->clear();
-  const size_t k = itemset.size();
-  if (!use_pair_lists || k < 2 || block.num_pair_lists() == 0) {
-    for (Item item : itemset) lists->push_back(&block.ItemList(item));
-    return;
-  }
-  std::vector<bool> covered(k, false);
-  for (;;) {
-    const TidList* best = nullptr;
-    size_t best_i = 0;
-    size_t best_j = 0;
-    for (size_t i = 0; i < k; ++i) {
-      if (covered[i]) continue;
-      for (size_t j = i + 1; j < k; ++j) {
-        if (covered[j]) continue;
-        const TidList* pair = block.PairList(itemset[i], itemset[j]);
-        if (pair != nullptr && (best == nullptr || pair->size() < best->size())) {
-          best = pair;
-          best_i = i;
-          best_j = j;
-        }
-      }
-    }
-    if (best == nullptr) break;
-    lists->push_back(best);
-    covered[best_i] = true;
-    covered[best_j] = true;
-  }
-  for (size_t i = 0; i < k; ++i) {
-    if (!covered[i]) lists->push_back(&block.ItemList(itemset[i]));
-  }
-}
-
-}  // namespace
 
 std::vector<uint64_t> EcutCount(const std::vector<Itemset>& itemsets,
                                 const TidListStore& store,
                                 bool use_pair_lists, CountingStats* stats) {
-  std::vector<uint64_t> counts(itemsets.size(), 0);
-  std::vector<const TidList*> lists;
-  for (size_t s = 0; s < itemsets.size(); ++s) {
-    const Itemset& itemset = itemsets[s];
-    DEMON_CHECK(!itemset.empty());
-    uint64_t count = 0;
-    // Additivity property: the support over the selected data is the sum of
-    // per-block supports, so each block is processed independently.
-    for (const auto& block : store.blocks()) {
-      ChooseLists(*block, itemset, use_pair_lists, &lists);
-      if (stats != nullptr) {
-        stats->lists_opened += lists.size();
-        for (const TidList* list : lists) stats->slots_fetched += list->size();
-      }
-      count += IntersectionSize(lists);
-    }
-    counts[s] = count;
-  }
-  return counts;
+  CountingContext context;
+  return context.Ecut(itemsets, store, use_pair_lists, stats);
 }
 
 std::vector<uint64_t> CountSupports(
     CountingStrategy strategy, const std::vector<Itemset>& itemsets,
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
     const TidListStore& store, CountingStats* stats) {
-  switch (strategy) {
-    case CountingStrategy::kPtScan:
-      return PtScanCount(itemsets, blocks, stats);
-    case CountingStrategy::kEcut:
-      return EcutCount(itemsets, store, /*use_pair_lists=*/false, stats);
-    case CountingStrategy::kEcutPlus:
-      return EcutCount(itemsets, store, /*use_pair_lists=*/true, stats);
-  }
-  return {};
+  CountingContext context;
+  return context.Count(strategy, itemsets, blocks, store, stats);
 }
 
 }  // namespace demon

@@ -37,6 +37,12 @@ struct CountingStats {
   uint64_t lists_opened = 0;
 };
 
+// The functions below are the sequential convenience API; they run a
+// one-shot CountingContext (see itemsets/counting_context.h) without a
+// thread pool. Maintainers on the hot path hold a CountingContext instead,
+// which reuses scratch buffers across calls and can fan work out over a
+// shared ThreadPool with bit-identical results.
+
 /// \brief PT-Scan: counts `itemsets` with one pass over all transactions of
 /// `blocks` using a prefix tree. Returns absolute counts, parallel to
 /// `itemsets`.

@@ -9,57 +9,65 @@ namespace demon {
 namespace {
 
 // Galloping (exponential) search for the first position in [first, last)
-// with *pos >= value.
+// with *pos >= value. The probe step is clamped against `last` so no
+// pointer past the one-past-the-end position is ever formed.
 const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
                                  uint32_t value) {
   size_t step = 1;
   const uint32_t* probe = first;
   while (probe < last && *probe < value) {
     first = probe + 1;
-    probe = first + step;
+    const size_t remaining = static_cast<size_t>(last - first);
+    probe = first + (step < remaining ? step : remaining);
     step *= 2;
   }
-  if (probe > last) probe = last;
   return std::lower_bound(first, probe, value);
 }
 
 }  // namespace
 
 void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
-  out->clear();
   const TidList& small = a.size() <= b.size() ? a : b;
   const TidList& large = a.size() <= b.size() ? b : a;
-  if (small.empty()) return;
-  out->reserve(small.size());
+  if (small.empty()) {
+    out->clear();
+    return;
+  }
+  // Size for the worst case up front so the loops can store through a raw
+  // pointer; shrinking at the end keeps the capacity for the next call.
+  out->resize(small.size());
+  uint32_t* const out_data = out->data();
+  size_t n = 0;
 
-  // When the size ratio is large, gallop through the large list.
-  if (large.size() / (small.size() + 1) >= 8) {
+  if (large.size() / (small.size() + 1) >= kGallopRatio) {
+    // Gallop through the large list: each element of the small list only
+    // advances the cursor, never rewinds it.
     const uint32_t* lo = large.data();
     const uint32_t* const end = large.data() + large.size();
     for (uint32_t v : small) {
       lo = GallopLowerBound(lo, end, v);
       if (lo == end) break;
-      if (*lo == v) out->push_back(v);
+      out_data[n] = v;
+      n += static_cast<size_t>(*lo == v);
     }
-    return;
-  }
-
-  // Linear merge.
-  size_t i = 0;
-  size_t j = 0;
-  while (i < small.size() && j < large.size()) {
-    const uint32_t x = small[i];
-    const uint32_t y = large[j];
-    if (x < y) {
-      ++i;
-    } else if (y < x) {
-      ++j;
-    } else {
-      out->push_back(x);
-      ++i;
-      ++j;
+  } else {
+    // Branchless merge: the candidate is stored unconditionally and the
+    // output cursor advances only on a match, so the loop body has no
+    // unpredictable branches (matches are rare and random in practice).
+    const uint32_t* pa = small.data();
+    const uint32_t* const ea = pa + small.size();
+    const uint32_t* pb = large.data();
+    const uint32_t* const eb = pb + large.size();
+    while (pa < ea && pb < eb) {
+      const uint32_t x = *pa;
+      const uint32_t y = *pb;
+      out_data[n] = x;
+      n += static_cast<size_t>(x == y);
+      pa += static_cast<size_t>(x <= y);
+      pb += static_cast<size_t>(y <= x);
     }
   }
+  out->resize(n);
 }
 
 TidList Intersect(const TidList& a, const TidList& b) {
@@ -68,24 +76,30 @@ TidList Intersect(const TidList& a, const TidList& b) {
   return out;
 }
 
-uint64_t IntersectionSize(const std::vector<const TidList*>& lists) {
+uint64_t IntersectionSize(const std::vector<const TidList*>& lists,
+                          IntersectionScratch* scratch) {
   DEMON_CHECK(!lists.empty());
   if (lists.size() == 1) return lists[0]->size();
 
   // Intersect smallest-first so intermediate results shrink fast.
-  std::vector<const TidList*> order = lists;
-  std::sort(order.begin(), order.end(),
+  scratch->order.assign(lists.begin(), lists.end());
+  std::sort(scratch->order.begin(), scratch->order.end(),
             [](const TidList* a, const TidList* b) {
               return a->size() < b->size();
             });
-  TidList current;
-  TidList next;
-  IntersectInto(*order[0], *order[1], &current);
-  for (size_t i = 2; i < order.size() && !current.empty(); ++i) {
-    IntersectInto(current, *order[i], &next);
+  TidList& current = scratch->current;
+  TidList& next = scratch->next;
+  IntersectInto(*scratch->order[0], *scratch->order[1], &current);
+  for (size_t i = 2; i < scratch->order.size() && !current.empty(); ++i) {
+    IntersectInto(current, *scratch->order[i], &next);
     current.swap(next);
   }
   return current.size();
+}
+
+uint64_t IntersectionSize(const std::vector<const TidList*>& lists) {
+  IntersectionScratch scratch;
+  return IntersectionSize(lists, &scratch);
 }
 
 }  // namespace demon

@@ -1,6 +1,7 @@
 #ifndef DEMON_TIDLIST_TIDLIST_H_
 #define DEMON_TIDLIST_TIDLIST_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -12,19 +13,40 @@ namespace demon {
 /// turns an offset into a global TID.
 using TidList = std::vector<uint32_t>;
 
-/// \brief Intersects two sorted TID-lists into `out` (cleared first).
-/// Uses a linear merge, switching to galloping search when one input is
-/// much longer than the other — the common case when intersecting a rare
-/// 2-itemset list against a frequent item list.
+/// When the longer input is at least this many times the size of the
+/// shorter one (measured as `large / (small + 1)`), IntersectInto switches
+/// from the linear merge to galloping search.
+inline constexpr size_t kGallopRatio = 8;
+
+/// \brief Intersects two sorted TID-lists into `out` (cleared first; `out`
+/// must not alias an input). Uses a branchless linear merge, switching to
+/// galloping search when one input is at least kGallopRatio times longer
+/// than the other — the common case when intersecting a rare 2-itemset
+/// list against a frequent item list. `out`'s capacity is reused across
+/// calls, so steady-state intersection allocates nothing.
 void IntersectInto(const TidList& a, const TidList& b, TidList* out);
 
 /// \brief Returns the intersection of two sorted TID-lists.
 TidList Intersect(const TidList& a, const TidList& b);
 
+/// \brief Reusable buffers for IntersectionSize. Holding one per worker
+/// keeps the k-way intersection of the counting hot path allocation-free
+/// after warm-up (buffers grow to the longest list seen and stay).
+struct IntersectionScratch {
+  TidList current;
+  TidList next;
+  std::vector<const TidList*> order;
+};
+
 /// \brief Cardinality of the intersection of `lists` (the support of the
 /// itemset whose per-item lists these are; paper §3.1.1's merge-join).
 /// Intersects smallest-first with early exit on empty. An empty `lists`
-/// input is invalid; a single list returns its own size.
+/// input is invalid; a single list returns its own size. Temporaries are
+/// taken from `scratch`.
+uint64_t IntersectionSize(const std::vector<const TidList*>& lists,
+                          IntersectionScratch* scratch);
+
+/// Convenience overload with one-shot internal scratch.
 uint64_t IntersectionSize(const std::vector<const TidList*>& lists);
 
 }  // namespace demon

@@ -75,5 +75,63 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   EXPECT_EQ(pool.num_threads(), 2u);
 }
 
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 10, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, MoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  ParallelFor(&pool, 100,
+              [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+// A ParallelFor issued from inside a pool task must complete even when
+// every worker is busy: the caller participates in the claim loop, so
+// progress never depends on a free worker. This is the invariant that
+// makes sharing one pool across nesting levels deadlock-free.
+TEST(ParallelForTest, NestedInsidePoolTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> outer_done{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&pool, &inner_total, &outer_done] {
+      ParallelFor(&pool, 16,
+                  [&inner_total](size_t) { inner_total.fetch_add(1); });
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(outer_done.load(), 4);
+  EXPECT_EQ(inner_total.load(), 4 * 16);
+}
+
+TEST(ParallelForTest, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  // No synchronization needed: a 1-worker pool falls back to inline.
+  ParallelFor(&pool, 8, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
 }  // namespace
 }  // namespace demon

@@ -55,6 +55,99 @@ TEST(TidListTest, RandomizedAgainstSetIntersection) {
   }
 }
 
+TEST(TidListTest, IntersectIntoEdgeCases) {
+  TidList out;
+  // Both empty.
+  IntersectInto({}, {}, &out);
+  EXPECT_TRUE(out.empty());
+  // One empty.
+  IntersectInto({1, 2, 3}, {}, &out);
+  EXPECT_TRUE(out.empty());
+  IntersectInto({}, {1, 2, 3}, &out);
+  EXPECT_TRUE(out.empty());
+  // Single elements: hit and miss.
+  IntersectInto({5}, {5}, &out);
+  EXPECT_EQ(out, (TidList{5}));
+  IntersectInto({5}, {6}, &out);
+  EXPECT_TRUE(out.empty());
+  IntersectInto({5}, {1, 2, 5, 9}, &out);
+  EXPECT_EQ(out, (TidList{5}));
+  // Output buffer shrinks and regrows across calls without stale tids.
+  IntersectInto({1, 2, 3, 4}, {1, 2, 3, 4}, &out);
+  EXPECT_EQ(out, (TidList{1, 2, 3, 4}));
+  IntersectInto({1}, {2}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TidListTest, GallopingThresholdBoundary) {
+  // Size ratio exactly kGallopRatio must behave identically to both the
+  // merge path (just below) and the gallop path (just above).
+  for (size_t small_size : {1u, 3u, 7u}) {
+    TidList small;
+    for (size_t i = 0; i < small_size; ++i) {
+      small.push_back(static_cast<uint32_t>(i * 97));
+    }
+    for (size_t large_size :
+         {small_size * kGallopRatio - 1, small_size * kGallopRatio,
+          small_size * kGallopRatio + 1}) {
+      TidList large;
+      for (size_t i = 0; i < large_size; ++i) {
+        large.push_back(static_cast<uint32_t>(i * 3));
+      }
+      TidList expected;
+      std::set_intersection(small.begin(), small.end(), large.begin(),
+                            large.end(), std::back_inserter(expected));
+      EXPECT_EQ(Intersect(small, large), expected)
+          << small_size << "x" << large_size;
+      EXPECT_EQ(Intersect(large, small), expected)
+          << large_size << "x" << small_size;
+    }
+  }
+}
+
+TEST(TidListTest, GallopingMatchesMergeOnRandomInputs) {
+  Rng rng(321);
+  for (int round = 0; round < 40; ++round) {
+    // Extreme size skew forces the galloping path; values near the end
+    // of the large list exercise the step clamp at the boundary.
+    std::set<uint32_t> ssmall;
+    std::set<uint32_t> slarge;
+    const size_t ns = 1 + rng.NextUint64(10);
+    const size_t nl = 200 + rng.NextUint64(800);
+    for (size_t i = 0; i < ns; ++i) {
+      ssmall.insert(static_cast<uint32_t>(rng.NextUint64(5000)));
+    }
+    // Guarantee hits at the extreme tail and head.
+    ssmall.insert(4999);
+    ssmall.insert(0);
+    for (size_t i = 0; i < nl; ++i) {
+      slarge.insert(static_cast<uint32_t>(rng.NextUint64(5000)));
+    }
+    slarge.insert(4999);
+    slarge.insert(0);
+    TidList small(ssmall.begin(), ssmall.end());
+    TidList large(slarge.begin(), slarge.end());
+    TidList expected;
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(expected));
+    EXPECT_EQ(Intersect(small, large), expected);
+    EXPECT_EQ(Intersect(large, small), expected);
+  }
+}
+
+TEST(TidListTest, IntersectionSizeWithScratchReuse) {
+  const TidList a = {1, 2, 3, 4, 5, 8};
+  const TidList b = {2, 3, 4, 8, 9};
+  const TidList c = {0, 3, 4, 8};
+  IntersectionScratch scratch;
+  EXPECT_EQ(IntersectionSize({&a, &b, &c}, &scratch), 3u);
+  // Reuse with different lists; stale scratch contents must not leak.
+  EXPECT_EQ(IntersectionSize({&a, &b}, &scratch), 4u);
+  const TidList empty;
+  EXPECT_EQ(IntersectionSize({&empty, &a}, &scratch), 0u);
+  EXPECT_EQ(IntersectionSize({&a, &b, &c}, &scratch), 3u);
+}
+
 TEST(TidListTest, IntersectionSizeMultiWay) {
   const TidList a = {1, 2, 3, 4, 5};
   const TidList b = {2, 3, 4, 9};

@@ -20,14 +20,19 @@ namespace {
 
 std::string DescribeSequence(const CompactSequenceMiner& miner,
                              const std::vector<size_t>& sequence) {
-  std::string out = "[" + std::to_string(sequence.size()) + " blocks] ";
+  // Piecewise appends: chained operator+ trips GCC 12's -Wrestrict false
+  // positive (PR105329) under -O2 -Werror.
+  std::string out = "[";
+  out += std::to_string(sequence.size());
+  out += " blocks] ";
   const size_t show = sequence.size() > 6 ? 3 : sequence.size();
   for (size_t i = 0; i < show; ++i) {
     if (i > 0) out += ", ";
     out += miner.blocks()[sequence[i]]->info().label;
   }
   if (sequence.size() > 6) {
-    out += ", ... , " + miner.blocks()[sequence.back()]->info().label;
+    out += ", ... , ";
+    out += miner.blocks()[sequence.back()]->info().label;
   }
   return out;
 }

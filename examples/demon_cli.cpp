@@ -3,7 +3,7 @@
 //
 //   demon_cli gen --out day1.bin --transactions 20000 --seed 1
 //   demon_cli mine --minsup 0.01 --data day1.bin,day2.bin
-//   demon_cli maintain --minsup 0.01 --strategy ecut --bss all \
+//   demon_cli maintain --minsup 0.01 --strategy ecut --bss all
 //       --data day1.bin,day2.bin,day3.bin
 //   demon_cli patterns --minsup 0.01 --alpha 0.99 --data day*.bin...
 //   demon_cli rules --minsup 0.02 --confidence 0.6 --data day1.bin

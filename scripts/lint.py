@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Repo-specific C++ lint for the DEMON codebase.
+
+Checks enforced (all are CI-blocking):
+
+  naked-new      `new` expressions outside an immediate smart-pointer wrap.
+                 The only sanctioned raw `new` is the private-constructor
+                 factory idiom `std::unique_ptr<T>(new T(...))` /
+                 `std::shared_ptr<T>(new T(...))` on a single line.
+  naked-delete   Any `delete` expression (`= delete` declarations are fine).
+                 Ownership in this codebase is RAII-only.
+  std-rand       `std::rand` / `srand` / bare `rand(`. All randomness must
+                 go through common/random.h so runs stay reproducible.
+  nodiscard      Header declarations returning `Status` or `Result<T>` must
+                 carry `[[nodiscard]]`: a dropped Status is a swallowed
+                 corruption report.
+  include-guard  Every header under src/ uses the canonical
+                 `DEMON_<PATH>_H_` include guard, with the matching
+                 `#define` and a `#endif  // <guard>` trailer.
+
+Suppress a finding with `// lint:allow(<check>)` on the offending line.
+
+Usage: scripts/lint.py [root]   (root defaults to the repo checkout)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CODE_DIRS = ("src", "tests", "bench", "examples")
+HEADER_EXT = {".h"}
+SOURCE_EXT = {".h", ".cc", ".cpp"}
+
+SMART_WRAP_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
+NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:<(]")
+DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?\s+[A-Za-z_:*(]")
+RAND_RE = re.compile(r"\b(std::)?s?rand\s*\(")
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+)*(?:Status|Result<[^;={}]*>)\s+\w+\s*\("
+)
+GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Replaces comment and string-literal contents with spaces.
+
+    Returns (stripped_line, still_in_block_comment). Keeping the original
+    length means reported findings still line up with the source.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                out.append(" " * (n - i))
+                i = n
+            else:
+                out.append(" " * (end + 2 - i))
+                i = end + 2
+                in_block_comment = False
+            continue
+        two = line[i : i + 2]
+        if two == "//":
+            out.append(" " * (n - i))
+            break
+        if two == "/*":
+            in_block_comment = True
+            i += 2
+            out.append("  ")
+            continue
+        ch = line[i]
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == quote:
+                    break
+                j += 1
+            out.append(quote + " " * (min(j, n - 1) - i - 1) + quote)
+            i = min(j, n - 1) + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def expected_guard(path, root):
+    rel = path.relative_to(root / "src")
+    return "DEMON_" + re.sub(r"[./]", "_", str(rel)).upper() + "_"
+
+
+def allowed(raw_line, check):
+    return f"lint:allow({check})" in raw_line
+
+
+def lint_file(path, root, findings):
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    code_lines = []
+    for raw in raw_lines:
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        code_lines.append(code)
+
+    def report(lineno, check, message):
+        if not allowed(raw_lines[lineno - 1], check):
+            findings.append(f"{path.relative_to(root)}:{lineno}: [{check}] {message}")
+
+    for lineno, code in enumerate(code_lines, start=1):
+        # The sanctioned factory idiom may wrap after the opening paren, so
+        # join the previous line before testing for the smart-pointer wrap.
+        wrap_window = code_lines[max(0, lineno - 2)] + " " + code
+        if NEW_RE.search(code) and not SMART_WRAP_RE.search(wrap_window):
+            report(lineno, "naked-new",
+                   "raw `new` outside an immediate smart-pointer wrap")
+        if DELETE_RE.search(code) and "= delete" not in code:
+            report(lineno, "naked-delete",
+                   "raw `delete`; ownership must be RAII")
+        if RAND_RE.search(code):
+            report(lineno, "std-rand",
+                   "use common/random.h, not the C PRNG")
+        if (path.suffix in HEADER_EXT
+                and NODISCARD_DECL_RE.match(code)
+                and "[[nodiscard]]" not in code_lines[max(0, lineno - 2)]
+                and "[[nodiscard]]" not in code):
+            report(lineno, "nodiscard",
+                   "Status/Result-returning declaration lacks [[nodiscard]]")
+
+    if path.suffix in HEADER_EXT and path.is_relative_to(root / "src"):
+        guard = expected_guard(path, root)
+        first_directive = next(
+            (c.strip() for c in code_lines if c.strip().startswith("#")), "")
+        match = GUARD_RE.match(first_directive)
+        if not match or match.group(1) != guard:
+            findings.append(
+                f"{path.relative_to(root)}:1: [include-guard] expected "
+                f"`#ifndef {guard}` as the first directive")
+        else:
+            if f"#define {guard}" not in (c.strip() for c in code_lines):
+                findings.append(
+                    f"{path.relative_to(root)}:1: [include-guard] missing "
+                    f"`#define {guard}`")
+            trailer = f"#endif  // {guard}"
+            if not any(raw.strip() == trailer for raw in raw_lines):
+                findings.append(
+                    f"{path.relative_to(root)}:{len(raw_lines)}: "
+                    f"[include-guard] missing `{trailer}` trailer")
+
+
+def main():
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    files = sorted(
+        p for d in CODE_DIRS for p in (root / d).rglob("*")
+        if p.suffix in SOURCE_EXT and p.is_file())
+    if not files:
+        print(f"lint.py: no sources found under {root}", file=sys.stderr)
+        return 2
+    findings = []
+    for path in files:
+        lint_file(path, root, findings)
+    for finding in findings:
+        print(finding)
+    print(f"lint.py: checked {len(files)} files, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,6 +191,194 @@ double CFTree::MinLeafEntryDistance(const Node& node) const {
   return min_d;
 }
 
+namespace {
+
+constexpr char kModule[] = "cf-tree";
+
+/// Relative-plus-absolute tolerance for comparing recomputed CF sums:
+/// summaries are re-derived along different merge orders, so exact
+/// floating-point equality is too strict, but any structural corruption
+/// moves values far beyond rounding noise.
+bool ApproxEqual(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-6 * scale;
+}
+
+std::string DumpCF(const ClusterFeature& cf) {
+  audit::Msg msg;
+  msg << "CF{n=" << cf.n() << ", ss=" << cf.ss() << ", ls=[";
+  const size_t shown = cf.ls().size() < 8 ? cf.ls().size() : 8;
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) msg << ", ";
+    msg << cf.ls()[i];
+  }
+  if (shown < cf.ls().size()) msg << ", ...";
+  msg << "]}";
+  return msg;
+}
+
+void AuditEntryCF(const ClusterFeature& cf, size_t dim, const char* where,
+                  audit::AuditResult* audit) {
+  AUDIT_CHECK(audit, kModule, "cf-tree/entry-dim", cf.dim() == dim,
+              audit::Msg() << where << " entry has dimension " << cf.dim()
+                           << ", tree is " << dim << "-dimensional",
+              DumpCF(cf));
+  AUDIT_CHECK(audit, kModule, "cf-tree/entry-weight", cf.n() >= 1.0,
+              audit::Msg() << where
+                           << " entry summarizes fewer than one point (n="
+                           << cf.n() << ")",
+              DumpCF(cf));
+  if (cf.dim() != dim || cf.n() < 1.0) return;
+  // Cauchy–Schwarz for CFs: N·SS >= |LS|², i.e. the squared radius is
+  // non-negative. A corrupted SS or LS breaks this immediately.
+  double ls_norm2 = 0.0;
+  for (double v : cf.ls()) ls_norm2 += v * v;
+  const double scale = std::max({1.0, cf.n() * cf.ss(), ls_norm2});
+  AUDIT_CHECK(audit, kModule, "cf-tree/radius-nonnegative",
+              cf.n() * cf.ss() >= ls_norm2 - 1e-6 * scale,
+              audit::Msg() << where << " entry violates N·SS >= |LS|² ("
+                           << cf.n() * cf.ss() << " < " << ls_norm2 << ")",
+              DumpCF(cf));
+}
+
+}  // namespace
+
+void CFTree::AuditInto(audit::AuditResult* audit) const {
+  if (root_ == nullptr) {
+    AUDIT_FAIL(audit, kModule, "cf-tree/root-missing", "tree has no root",
+               "");
+    return;
+  }
+
+  size_t leaf_entries = 0;
+  ClusterFeature leaf_sum(dim_);
+  long leaf_depth = -1;
+
+  // Recursive walk; returns false if the subtree is too broken to
+  // summarize (so parents skip their sum checks instead of cascading).
+  const std::function<bool(const Node&, size_t)> walk =
+      [&](const Node& node, size_t depth) -> bool {
+    if (node.is_leaf) {
+      AUDIT_CHECK(audit, kModule, "cf-tree/leaf-shape",
+                  node.children.empty() &&
+                      node.entries.size() <= options_.leaf_capacity,
+                  audit::Msg() << "leaf holds " << node.entries.size()
+                               << " entries (capacity "
+                               << options_.leaf_capacity << ") and "
+                               << node.children.size() << " children",
+                  "");
+      if (leaf_depth < 0) {
+        leaf_depth = static_cast<long>(depth);
+      } else {
+        AUDIT_CHECK(audit, kModule, "cf-tree/balanced",
+                    leaf_depth == static_cast<long>(depth),
+                    audit::Msg() << "leaves at depths " << leaf_depth
+                                 << " and " << depth
+                                 << " — the tree must be height-balanced",
+                    "");
+      }
+      for (const ClusterFeature& entry : node.entries) {
+        AuditEntryCF(entry, dim_, "leaf", audit);
+        ++leaf_entries;
+        if (entry.dim() == dim_) leaf_sum.Merge(entry);
+      }
+      return true;
+    }
+
+    if (node.entries.size() != node.children.size() ||
+        node.entries.size() > options_.branching || node.entries.empty()) {
+      AUDIT_FAIL(audit, kModule, "cf-tree/internal-shape",
+                 audit::Msg() << "internal node holds " << node.entries.size()
+                              << " entries and " << node.children.size()
+                              << " children (branching factor "
+                              << options_.branching << ")",
+                 "");
+      return false;
+    }
+    bool summarizable = true;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      AuditEntryCF(node.entries[i], dim_, "internal", audit);
+      if (node.children[i] == nullptr) {
+        AUDIT_FAIL(audit, kModule, "cf-tree/internal-shape",
+                   audit::Msg() << "internal node child " << i << " is null",
+                   "");
+        summarizable = false;
+        continue;
+      }
+      if (!walk(*node.children[i], depth + 1)) {
+        summarizable = false;
+        continue;
+      }
+      // CF additivity: an internal entry must equal the merge of its
+      // child's entries.
+      ClusterFeature child_sum(dim_);
+      for (const ClusterFeature& entry : node.children[i]->entries) {
+        if (entry.dim() == dim_) child_sum.Merge(entry);
+      }
+      bool ls_equal = child_sum.ls().size() == node.entries[i].ls().size();
+      for (size_t d = 0; ls_equal && d < child_sum.ls().size(); ++d) {
+        ls_equal = ApproxEqual(child_sum.ls()[d], node.entries[i].ls()[d]);
+      }
+      AUDIT_CHECK(audit, kModule, "cf-tree/child-sum",
+                  ls_equal && ApproxEqual(child_sum.n(), node.entries[i].n()) &&
+                      ApproxEqual(child_sum.ss(), node.entries[i].ss()),
+                  audit::Msg() << "internal entry " << i
+                               << " is not the merge of its child's entries",
+                  audit::Msg() << "entry " << DumpCF(node.entries[i])
+                               << " vs child sum " << DumpCF(child_sum));
+    }
+    return summarizable;
+  };
+
+  const bool summarizable = walk(*root_, 0);
+
+  AUDIT_CHECK(audit, kModule, "cf-tree/leaf-count",
+              leaf_entries == num_leaf_entries_,
+              audit::Msg() << "num_leaf_entries bookkeeping says "
+                           << num_leaf_entries_ << ", tree holds "
+                           << leaf_entries,
+              "");
+  AUDIT_CHECK(audit, kModule, "cf-tree/size-limit",
+              num_leaf_entries_ <= options_.max_leaf_entries,
+              audit::Msg() << num_leaf_entries_
+                           << " leaf entries exceed max_leaf_entries "
+                           << options_.max_leaf_entries
+                           << " — a rebuild was missed",
+              "");
+  if (summarizable) {
+    bool ls_equal = leaf_sum.ls().size() == root_cf_.ls().size();
+    for (size_t d = 0; ls_equal && d < leaf_sum.ls().size(); ++d) {
+      ls_equal = ApproxEqual(leaf_sum.ls()[d], root_cf_.ls()[d]);
+    }
+    AUDIT_CHECK(audit, kModule, "cf-tree/root-cf",
+                ls_equal && ApproxEqual(leaf_sum.n(), root_cf_.n()) &&
+                    ApproxEqual(leaf_sum.ss(), root_cf_.ss()),
+                "the running total CF is not the merge of all leaf entries",
+                audit::Msg() << "total " << DumpCF(root_cf_)
+                             << " vs leaf sum " << DumpCF(leaf_sum));
+  }
+}
+
+void CFTree::MutateLeafEntryForTest(
+    size_t index, const std::function<void(ClusterFeature*)>& fn) {
+  size_t seen = 0;
+  const std::function<bool(Node&)> walk = [&](Node& node) -> bool {
+    if (node.is_leaf) {
+      if (index < seen + node.entries.size()) {
+        fn(&node.entries[index - seen]);
+        return true;
+      }
+      seen += node.entries.size();
+      return false;
+    }
+    for (const NodePtr& child : node.children) {
+      if (walk(*child)) return true;
+    }
+    return false;
+  };
+  DEMON_CHECK_MSG(walk(*root_), "leaf entry index out of range");
+}
+
 void CFTree::RebuildWithLargerThreshold() {
   while (num_leaf_entries_ > options_.max_leaf_entries) {
     ++num_rebuilds_;

@@ -2,10 +2,12 @@
 #define DEMON_CLUSTERING_CF_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "clustering/cluster_feature.h"
+#include "common/audit.h"
 #include "data/block.h"
 
 namespace demon {
@@ -61,6 +63,21 @@ class CFTree {
   double total_weight() const { return root_cf_.n(); }
   /// Number of rebuilds performed so far.
   size_t num_rebuilds() const { return num_rebuilds_; }
+
+  /// Deep structural audit (the CF additivity invariants of [ZRL96] that
+  /// BIRCH+ §3.1.2 relies on): every leaf entry a valid CF (N >= 1,
+  /// SS >= |LS|²/N up to rounding), every internal entry the exact merge
+  /// of its child's entries, nodes within their capacity with entries and
+  /// children parallel, all leaves at one depth (height balance), leaf
+  /// count and root CF consistent with the tree. Appends violations to
+  /// `audit`.
+  void AuditInto(audit::AuditResult* audit) const;
+
+  /// Test-only: applies `fn` to the `index`-th leaf entry (leaf order), so
+  /// corruption-injection tests can break a CF invariant and assert the
+  /// auditor reports it.
+  void MutateLeafEntryForTest(size_t index,
+                              const std::function<void(ClusterFeature*)>& fn);
 
  private:
   struct Node;

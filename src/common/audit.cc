@@ -1,0 +1,74 @@
+#include "common/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace demon::audit {
+namespace {
+
+void DefaultFailureHandler(const std::vector<Violation>& violations) {
+  for (const Violation& violation : violations) {
+    std::fputs(FormatViolation(violation).c_str(), stderr);
+  }
+  std::fprintf(stderr, "DEMON audit: %zu invariant violation(s); aborting\n",
+               violations.size());
+  std::abort();
+}
+
+FailureHandler& InstalledHandler() {
+  static FailureHandler handler;  // empty = default
+  return handler;
+}
+
+}  // namespace
+
+std::string FormatViolation(const Violation& violation) {
+  std::string out;
+  out += "AUDIT VIOLATION [" + violation.module + "] " + violation.invariant +
+         "\n";
+  out += "  " + violation.message + "\n";
+  if (!violation.state.empty()) {
+    out += "  state: " + violation.state + "\n";
+  }
+  return out;
+}
+
+void AuditResult::Fail(std::string module, std::string invariant,
+                       std::string message, std::string state) {
+  violations_.push_back(Violation{std::move(module), std::move(invariant),
+                                  std::move(message), std::move(state)});
+}
+
+bool AuditResult::Has(std::string_view invariant) const {
+  for (const Violation& violation : violations_) {
+    if (violation.invariant == invariant) return true;
+  }
+  return false;
+}
+
+std::string AuditResult::ToString() const {
+  std::string out;
+  for (const Violation& violation : violations_) {
+    out += FormatViolation(violation);
+  }
+  return out;
+}
+
+void AuditResult::CheckOrDie() const {
+  if (violations_.empty()) return;
+  const FailureHandler& handler = InstalledHandler();
+  if (handler) {
+    handler(violations_);
+  } else {
+    DefaultFailureHandler(violations_);
+  }
+}
+
+FailureHandler SetFailureHandlerForTest(FailureHandler handler) {
+  FailureHandler previous = std::move(InstalledHandler());
+  InstalledHandler() = std::move(handler);
+  return previous;
+}
+
+}  // namespace demon::audit

@@ -1,0 +1,114 @@
+#ifndef DEMON_COMMON_AUDIT_H_
+#define DEMON_COMMON_AUDIT_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// DEMON_AUDIT_ENABLED is defined to 1 by the DEMON_AUDIT CMake option.
+// Auditor *functions* are always compiled (and unit-tested in every build);
+// the flag only decides whether the MaintenanceEngine invokes them at block
+// boundaries and whether inline hot-path audit assertions are active.
+#ifndef DEMON_AUDIT_ENABLED
+#define DEMON_AUDIT_ENABLED 0
+#endif
+
+namespace demon::audit {
+
+/// True when the build was configured with -DDEMON_AUDIT=ON.
+inline constexpr bool kEnabled = DEMON_AUDIT_ENABLED != 0;
+
+/// \brief One violated structural invariant, reported by a deep auditor.
+///
+/// DEMON's correctness story is that every incremental maintainer produces
+/// exactly the model a from-scratch run would; that guarantee rests on
+/// structural invariants (negative-border closure, CF additivity, BSS
+/// window bookkeeping) which the auditors verify directly. A violation is
+/// a corruption caught at the source, before it becomes a wrong model.
+struct Violation {
+  /// Subsystem that owns the invariant, e.g. "tidlist", "cf-tree".
+  std::string module;
+  /// Stable invariant identifier, e.g. "tidlist/sorted-unique".
+  std::string invariant;
+  /// Human-readable description of the violation, with offending values.
+  std::string message;
+  /// Dump of the offending state (list contents, CF triples, ...).
+  std::string state;
+};
+
+/// Renders one violation as a multi-line report block.
+std::string FormatViolation(const Violation& violation);
+
+/// \brief Ostream-style builder for audit messages and state dumps:
+/// `Msg() << "item " << item << " out of range"` converts to std::string.
+class Msg {
+ public:
+  template <typename T>
+  Msg& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): the whole point.
+  operator std::string() const { return os_.str(); }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// \brief Accumulator for violations found by one audit pass. Auditors
+/// append via AUDIT_CHECK / AUDIT_FAIL; the caller inspects `ok()` or
+/// escalates with `CheckOrDie()`.
+class AuditResult {
+ public:
+  void Fail(std::string module, std::string invariant, std::string message,
+            std::string state = "");
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// True if some accumulated violation has exactly this invariant id.
+  bool Has(std::string_view invariant) const;
+
+  /// All violations rendered as one report ("" when ok()).
+  std::string ToString() const;
+
+  /// If violations accumulated, hands them to the installed failure
+  /// handler (default: print every report to stderr and abort).
+  void CheckOrDie() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+using FailureHandler = std::function<void(const std::vector<Violation>&)>;
+
+/// Replaces the process-wide failure handler invoked by CheckOrDie,
+/// returning the previous one. Passing nullptr restores the default
+/// print-and-abort handler. Test-only: lets the corruption-injection
+/// tests observe reports instead of dying.
+FailureHandler SetFailureHandlerForTest(FailureHandler handler);
+
+}  // namespace demon::audit
+
+/// Unconditionally records a violation on `audit` (an AuditResult*).
+#define AUDIT_FAIL(audit, module, invariant, message, state) \
+  (audit)->Fail((module), (invariant), (message), (state))
+
+/// Records a violation on `audit` when `cond` is false. `message` and
+/// `state` may be built with demon::audit::Msg; they are only evaluated on
+/// failure.
+#define AUDIT_CHECK(audit, module, invariant, cond, message, state)      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      AUDIT_FAIL((audit), (module), (invariant),                         \
+                 std::string("`") + #cond + "` violated: " +             \
+                     std::string(message),                               \
+                 std::string(state));                                    \
+    }                                                                    \
+  } while (false)
+
+#endif  // DEMON_COMMON_AUDIT_H_

@@ -69,7 +69,7 @@ class BlockSelectionSequence {
   ///   "10110..."       -> WindowIndependent prefix, tail = last bit
   ///   "periodic:7/0"   -> Periodic(7, 0)
   ///   "relative:101"   -> WindowRelative bits
-  static Result<BlockSelectionSequence> FromString(const std::string& text);
+  [[nodiscard]] static Result<BlockSelectionSequence> FromString(const std::string& text);
 
  private:
   BlockSelectionSequence(Kind kind, std::vector<bool> bits, bool tail_bit,

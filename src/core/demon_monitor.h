@@ -48,13 +48,13 @@ class DemonMonitor {
 
   /// Registers an unrestricted-window frequent-itemset monitor fed the
   /// blocks selected by a window-independent `bss`.
-  Result<MonitorId> AddUnrestrictedItemsetMonitor(
+  [[nodiscard]] Result<MonitorId> AddUnrestrictedItemsetMonitor(
       std::string name, double minsup, BlockSelectionSequence bss,
       CountingStrategy strategy = CountingStrategy::kEcut);
 
   /// Registers a most-recent-window frequent-itemset monitor of size
   /// `window` under any `bss` (GEMM-backed).
-  Result<MonitorId> AddWindowedItemsetMonitor(
+  [[nodiscard]] Result<MonitorId> AddWindowedItemsetMonitor(
       std::string name, double minsup, size_t window,
       BlockSelectionSequence bss,
       CountingStrategy strategy = CountingStrategy::kEcut);
@@ -62,27 +62,27 @@ class DemonMonitor {
   /// Registers an unrestricted-window cluster monitor (BIRCH+) over
   /// `dim`-dimensional point blocks, fed the blocks selected by a
   /// window-independent `bss`.
-  Result<MonitorId> AddClusterMonitor(
+  [[nodiscard]] Result<MonitorId> AddClusterMonitor(
       std::string name, size_t dim, const BirchOptions& birch,
       BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
 
   /// Registers a most-recent-window cluster monitor of size `window`
   /// under any `bss` (GEMM over BIRCH+).
-  Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
+  [[nodiscard]] Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
                                               const BirchOptions& birch,
                                               size_t window,
                                               BlockSelectionSequence bss);
 
   /// Registers an incremental decision-tree classifier monitor over
   /// labeled blocks of `schema`, gated by a window-independent `bss`.
-  Result<MonitorId> AddClassifierMonitor(
+  [[nodiscard]] Result<MonitorId> AddClassifierMonitor(
       std::string name, const LabeledSchema& schema,
       const DTreeOptions& options,
       BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
 
   /// Registers a compact-sequence pattern detector (window 0 =
   /// unrestricted).
-  Result<MonitorId> AddPatternDetector(std::string name, double minsup,
+  [[nodiscard]] Result<MonitorId> AddPatternDetector(std::string name, double minsup,
                                        double alpha, size_t window = 0);
 
   /// Appends the next transaction block and updates every
@@ -101,23 +101,23 @@ class DemonMonitor {
   /// The itemset model of a registered itemset monitor. For a windowed
   /// monitor before any block has arrived this is FailedPrecondition (no
   /// current model exists yet).
-  Result<const ItemsetModel*> ItemsetModelOf(MonitorId id) const;
+  [[nodiscard]] Result<const ItemsetModel*> ItemsetModelOf(MonitorId id) const;
 
   /// The cluster model of a registered cluster monitor.
-  Result<const ClusterModel*> ClusterModelOf(MonitorId id) const;
+  [[nodiscard]] Result<const ClusterModel*> ClusterModelOf(MonitorId id) const;
 
   /// The decision tree of a registered classifier monitor.
-  Result<const DecisionTree*> ClassifierOf(MonitorId id) const;
+  [[nodiscard]] Result<const DecisionTree*> ClassifierOf(MonitorId id) const;
 
   /// The pattern detector of a registered detector id.
-  Result<const CompactSequenceMiner*> PatternsOf(MonitorId id) const;
+  [[nodiscard]] Result<const CompactSequenceMiner*> PatternsOf(MonitorId id) const;
 
   /// Per-monitor instrumentation: blocks routed/skipped, response vs
   /// offline wall time.
-  Result<MonitorStats> StatsOf(MonitorId id) const;
+  [[nodiscard]] Result<MonitorStats> StatsOf(MonitorId id) const;
 
   /// Name of a monitor (as registered).
-  Result<std::string> NameOf(MonitorId id) const;
+  [[nodiscard]] Result<std::string> NameOf(MonitorId id) const;
 
   const TransactionSnapshot& snapshot() const { return snapshot_; }
   const PointSnapshot& point_snapshot() const { return points_; }
@@ -128,7 +128,7 @@ class DemonMonitor {
 
  private:
   /// Monitors must be registered before the first block of any payload.
-  Status CheckNoBlocksYet() const;
+  [[nodiscard]] Status CheckNoBlocksYet() const;
 
   size_t num_items_;
   TransactionSnapshot snapshot_;

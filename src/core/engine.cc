@@ -23,7 +23,13 @@ MaintenanceEngine::MaintenanceEngine(const EngineOptions& options)
   }
 }
 
-MaintenanceEngine::~MaintenanceEngine() { Quiesce(); }
+MaintenanceEngine::~MaintenanceEngine() {
+  Quiesce();
+  if (audit::kEnabled && audit_pending_) {
+    audit_pending_ = false;
+    AuditMonitors();
+  }
+}
 
 MaintenanceEngine::MonitorId MaintenanceEngine::Register(
     std::string name, std::unique_ptr<ModelMaintainer> maintainer,
@@ -65,6 +71,12 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
   // Deferred future-window updates from the previous block must land
   // before this block reaches any maintainer.
   Quiesce();
+  if (audit::kEnabled && audit_pending_) {
+    // The previous block's offline work has now landed: audit its
+    // boundary before any maintainer absorbs the next block.
+    audit_pending_ = false;
+    AuditMonitors();
+  }
 
   std::vector<Entry*> routed;
   routed.reserve(monitors_.size());
@@ -90,14 +102,40 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
 
   // Offline path: deferred to the pool (drained on the next Dispatch or
   // Quiesce) or run inline.
+  bool deferred = false;
   for (Entry* entry : routed) {
     if (!entry->maintainer->has_offline_work()) continue;
     if (pool_ != nullptr && options_.defer_offline) {
       pool_->Submit([entry] { RunOffline(entry); });
+      deferred = true;
     } else {
       RunOffline(entry);
     }
   }
+
+  if (audit::kEnabled) {
+    // Block boundary: every monitor's structures must satisfy their deep
+    // invariants. With work in flight the audit waits for the quiesce at
+    // the top of the next Dispatch (or the destructor).
+    if (deferred) {
+      audit_pending_ = true;
+    } else {
+      AuditMonitors();
+    }
+  }
+}
+
+void MaintenanceEngine::AuditMonitors() const {
+  audit::AuditResult all;
+  for (const auto& entry : monitors_) {
+    audit::AuditResult one;
+    entry->maintainer->AuditInvariants(&one);
+    for (const audit::Violation& violation : one.violations()) {
+      all.Fail("monitor " + entry->name + ": " + violation.module,
+               violation.invariant, violation.message, violation.state);
+    }
+  }
+  all.CheckOrDie();
 }
 
 void MaintenanceEngine::Quiesce() const {

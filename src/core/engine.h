@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/bss.h"
@@ -95,12 +96,21 @@ class MaintenanceEngine {
 
   /// The accessors below Quiesce() first, so reading a maintainer's model
   /// or stats never races with a deferred offline update.
-  Result<const ModelMaintainer*> MaintainerOf(MonitorId id) const;
-  Result<MonitorStats> StatsOf(MonitorId id) const;
-  Result<std::string> NameOf(MonitorId id) const;
+  [[nodiscard]] Result<const ModelMaintainer*> MaintainerOf(MonitorId id) const;
+  [[nodiscard]] Result<MonitorStats> StatsOf(MonitorId id) const;
+  [[nodiscard]] Result<std::string> NameOf(MonitorId id) const;
 
   const EngineOptions& options() const { return options_; }
   bool parallel() const { return pool_ != nullptr; }
+
+  /// Runs every monitor's deep invariant audit now and escalates any
+  /// violation through the audit failure handler (default: report and
+  /// abort), with the monitor's name prefixed to each report. In
+  /// DEMON_AUDIT builds the engine calls this itself at every block
+  /// boundary — once all response and offline work for a block has landed
+  /// — so each Dispatch-driven test doubles as a structural fuzz pass.
+  /// Callers must have quiesced first (the engine's own call sites have).
+  void AuditMonitors() const;
 
  private:
   struct Entry {
@@ -110,12 +120,16 @@ class MaintenanceEngine {
     MonitorStats stats;
   };
 
-  Status CheckId(MonitorId id) const;
+  [[nodiscard]] Status CheckId(MonitorId id) const;
   static void RunResponse(Entry* entry, const AnyBlock& block);
   static void RunOffline(Entry* entry);
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// True when a block's offline work was deferred to the pool, so its
+  /// boundary audit must wait for the next Quiesce-then-Dispatch (or the
+  /// destructor). Only meaningful in DEMON_AUDIT builds.
+  bool audit_pending_ = false;
   /// unique_ptr entries keep addresses stable across registration, so
   /// in-flight tasks can hold raw Entry pointers.
   std::vector<std::unique_ptr<Entry>> monitors_;

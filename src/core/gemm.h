@@ -4,7 +4,9 @@
 #include <deque>
 #include <functional>
 #include <utility>
+#include <vector>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/bss.h"
@@ -120,6 +122,73 @@ class Gemm {
   /// Seconds spent updating the future-window models on the last AddBlock
   /// (deferrable to idle time, §3.2.3).
   double last_offline_seconds() const { return last_offline_seconds_; }
+
+  /// Whether the BSS selects `block` for the window starting at `start` —
+  /// the projected/right-shifted selection rule of §3.2.2, exposed so
+  /// auditors can recompute which blocks each window model must cover.
+  bool WouldSelect(BlockId start, BlockId block) const {
+    if (block < start || block >= start + window_size_) return false;
+    if (!bss_.is_window_relative()) return bss_.SelectsBlock(block);
+    return bss_.window_bits()[block - start];
+  }
+
+  /// The block ids the model starting at `start` must have absorbed by
+  /// now: every arrived block its (shifted) BSS selects.
+  std::vector<BlockId> ExpectedSelection(BlockId start) const {
+    std::vector<BlockId> ids;
+    for (BlockId block = start; block <= static_cast<BlockId>(t_); ++block) {
+      if (WouldSelect(start, block)) ids.push_back(block);
+    }
+    return ids;
+  }
+
+  /// Per-model audit callback: (window start, the blocks the BSS says the
+  /// model must cover, the maintainer, the result to append to).
+  using PerModelAuditor = std::function<void(
+      BlockId, const std::vector<BlockId>&, const Maintainer&,
+      audit::AuditResult*)>;
+
+  /// Deep audit of the window bookkeeping (§3.2.2–3.2.3): no pending
+  /// offline work at a block boundary, exactly min(t, w) materialized
+  /// models, with consecutive window starts ending at the newest block.
+  /// When `per_model` is provided it is invoked for every model with the
+  /// block ids its shifted BSS selects, so typed adapters can verify the
+  /// model covers *exactly* those blocks.
+  void AuditInto(audit::AuditResult* audit,
+                 const PerModelAuditor& per_model = nullptr) const {
+    constexpr char kModule[] = "gemm";
+    AUDIT_CHECK(audit, kModule, "gemm/no-pending-at-boundary", !has_pending_,
+                "future-window updates still pending at a block boundary",
+                "");
+    if (t_ == 0) {
+      AUDIT_CHECK(audit, kModule, "gemm/model-count", models_.empty(),
+                  "models materialized before any block arrived", "");
+      return;
+    }
+    const size_t expected_models = t_ < window_size_ ? t_ : window_size_;
+    AUDIT_CHECK(audit, kModule, "gemm/model-count",
+                models_.size() == expected_models,
+                audit::Msg() << models_.size() << " models materialized at t="
+                             << t_ << " with window size " << window_size_
+                             << " (want " << expected_models << ")",
+                "");
+    for (size_t i = 0; i < models_.size(); ++i) {
+      const BlockId want =
+          static_cast<BlockId>(t_ - models_.size() + 1 + i);
+      AUDIT_CHECK(audit, kModule, "gemm/window-starts",
+                  models_[i].start == want,
+                  audit::Msg() << "model " << i << " covers the window "
+                               << "starting at " << models_[i].start
+                               << " (want " << want
+                               << ": one model per future window, "
+                                  "consecutive, newest last)",
+                  "");
+      if (per_model) {
+        per_model(models_[i].start, ExpectedSelection(models_[i].start),
+                  models_[i].maintainer, audit);
+      }
+    }
+  }
 
   /// The start block id of every maintained model, oldest first (exposed
   /// for tests).

@@ -82,8 +82,12 @@ class BordersAdapter : public ModelMaintainer {
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.transactions());
   }
-  Result<const ItemsetModel*> itemset_model() const override {
+  [[nodiscard]] Result<const ItemsetModel*> itemset_model() const override {
     return &maintainer_.model();
+  }
+  void AuditInvariants(audit::AuditResult* audit) const override {
+    maintainer_.AuditInto(audit);
+    maintainer_.AuditRescratchInto(audit);
   }
 
   const BordersMaintainer& borders() const { return maintainer_; }
@@ -119,12 +123,32 @@ class GemmItemsetAdapter : public ModelMaintainer {
   }
   void RunOffline() override { gemm_.DrainOffline(); }
   bool has_offline_work() const override { return gemm_.has_offline_work(); }
-  Result<const ItemsetModel*> itemset_model() const override {
+  [[nodiscard]] Result<const ItemsetModel*> itemset_model() const override {
     if (gemm_.NumModels() == 0) {
       return Status::FailedPrecondition(
           "windowed monitor has no model before the first block");
     }
     return &gemm_.current().model();
+  }
+  void AuditInvariants(audit::AuditResult* audit) const override {
+    gemm_.AuditInto(
+        audit, [&](BlockId start, const std::vector<BlockId>& expected,
+                   const BordersMaintainer& maintainer,
+                   audit::AuditResult* out) {
+          // Coverage: each window model must have absorbed exactly the
+          // blocks its right-shifted BSS selects (§3.2.2).
+          AUDIT_CHECK(out, "gemm", "gemm/model-coverage",
+                      maintainer.NumBlocks() == expected.size(),
+                      audit::Msg()
+                          << "window model starting at block " << start
+                          << " absorbed " << maintainer.NumBlocks()
+                          << " blocks; its BSS selects " << expected.size(),
+                      "");
+          maintainer.AuditInto(out);
+        });
+    // The decisive merge check — current model only; future-window models
+    // get the structural audit above.
+    if (gemm_.NumModels() > 0) gemm_.current().AuditRescratchInto(audit);
   }
 
   const GemmT& gemm() const { return gemm_; }
@@ -149,8 +173,11 @@ class ClusterAdapter : public ModelMaintainer {
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.points());
   }
-  Result<const ClusterModel*> cluster_model() const override {
+  [[nodiscard]] Result<const ClusterModel*> cluster_model() const override {
     return &maintainer_.model();
+  }
+  void AuditInvariants(audit::AuditResult* audit) const override {
+    maintainer_.birch().tree().AuditInto(audit);
   }
 
   const ClusterMaintainer& clusters() const { return maintainer_; }
@@ -179,12 +206,20 @@ class GemmClusterAdapter : public ModelMaintainer {
   }
   void RunOffline() override { gemm_.DrainOffline(); }
   bool has_offline_work() const override { return gemm_.has_offline_work(); }
-  Result<const ClusterModel*> cluster_model() const override {
+  [[nodiscard]] Result<const ClusterModel*> cluster_model() const override {
     if (gemm_.NumModels() == 0) {
       return Status::FailedPrecondition(
           "windowed monitor has no model before the first block");
     }
     return &gemm_.current().model();
+  }
+  void AuditInvariants(audit::AuditResult* audit) const override {
+    gemm_.AuditInto(
+        audit, [](BlockId /*start*/, const std::vector<BlockId>& /*expected*/,
+                  const ClusterMaintainer& maintainer,
+                  audit::AuditResult* out) {
+          maintainer.birch().tree().AuditInto(out);
+        });
   }
 
   const GemmT& gemm() const { return gemm_; }
@@ -206,7 +241,7 @@ class DTreeAdapter : public ModelMaintainer {
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.labeled());
   }
-  Result<const DecisionTree*> dtree_model() const override {
+  [[nodiscard]] Result<const DecisionTree*> dtree_model() const override {
     return &maintainer_.model();
   }
 
@@ -230,7 +265,7 @@ class PatternAdapter : public ModelMaintainer {
   void AddResponse(const AnyBlock& block) override {
     miner_.AddBlock(block.transactions());
   }
-  Result<const CompactSequenceMiner*> pattern_miner() const override {
+  [[nodiscard]] Result<const CompactSequenceMiner*> pattern_miner() const override {
     return &miner_;
   }
 

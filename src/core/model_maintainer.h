@@ -5,6 +5,7 @@
 #include <string_view>
 #include <variant>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/status.h"
 #include "data/block.h"
@@ -125,25 +126,33 @@ class ModelMaintainer {
   /// `pool` outlives the maintainer; null revokes a previous offer.
   virtual void BindThreadPool(ThreadPool* /*pool*/) {}
 
+  /// Deep invariant audit of the maintained structures, called by the
+  /// MaintenanceEngine at block boundaries in DEMON_AUDIT builds (and by
+  /// the corruption-injection tests in every build). Implementations must
+  /// only be called at a quiesced boundary — no offline work pending — and
+  /// append violations rather than aborting, so the engine can attach
+  /// monitor context before escalating. Default: nothing to audit.
+  virtual void AuditInvariants(audit::AuditResult* /*audit*/) const {}
+
   /// Typed model accessors. Each returns InvalidArgument unless this
   /// maintainer maintains that model class; windowed maintainers return
   /// FailedPrecondition before the first block arrives (no current model
   /// exists yet).
-  virtual Result<const ItemsetModel*> itemset_model() const {
+  [[nodiscard]] virtual Result<const ItemsetModel*> itemset_model() const {
     return WrongKind("an itemset model");
   }
-  virtual Result<const ClusterModel*> cluster_model() const {
+  [[nodiscard]] virtual Result<const ClusterModel*> cluster_model() const {
     return WrongKind("a cluster model");
   }
-  virtual Result<const DecisionTree*> dtree_model() const {
+  [[nodiscard]] virtual Result<const DecisionTree*> dtree_model() const {
     return WrongKind("a decision-tree model");
   }
-  virtual Result<const CompactSequenceMiner*> pattern_miner() const {
+  [[nodiscard]] virtual Result<const CompactSequenceMiner*> pattern_miner() const {
     return WrongKind("a compact-sequence miner");
   }
 
  private:
-  Status WrongKind(const char* what) const {
+  [[nodiscard]] Status WrongKind(const char* what) const {
     return Status::InvalidArgument(std::string(type_name()) +
                                    " monitor does not maintain " + what);
   }

@@ -18,10 +18,10 @@ namespace demon {
 class TransactionFile {
  public:
   /// Writes the block's transactions (items only; TIDs are implicit).
-  static Status Write(const TransactionBlock& block, const std::string& path);
+  [[nodiscard]] static Status Write(const TransactionBlock& block, const std::string& path);
 
   /// Reads the whole file back into a block with the given first TID.
-  static Result<TransactionBlock> Read(const std::string& path,
+  [[nodiscard]] static Result<TransactionBlock> Read(const std::string& path,
                                        Tid first_tid = 0);
 };
 
@@ -34,13 +34,13 @@ class TransactionFileScanner {
   TransactionFileScanner(const TransactionFileScanner&) = delete;
   TransactionFileScanner& operator=(const TransactionFileScanner&) = delete;
 
-  static Result<std::unique_ptr<TransactionFileScanner>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<TransactionFileScanner>> Open(
       const std::string& path);
 
   /// Calls `fn(transaction)` for every transaction, in file order. May be
   /// called repeatedly (rewinds first).
   template <typename Fn>
-  Status Scan(Fn&& fn) {
+  [[nodiscard]] Status Scan(Fn&& fn) {
     DEMON_RETURN_NOT_OK(Rewind());
     Transaction transaction;
     for (;;) {
@@ -57,9 +57,9 @@ class TransactionFileScanner {
  private:
   TransactionFileScanner() = default;
 
-  Status Rewind();
+  [[nodiscard]] Status Rewind();
   /// Reads the next transaction; false when the file is exhausted.
-  Result<bool> Next(Transaction* out);
+  [[nodiscard]] Result<bool> Next(Transaction* out);
 
   std::FILE* file_ = nullptr;
   size_t num_transactions_ = 0;

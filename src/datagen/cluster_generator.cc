@@ -15,7 +15,13 @@ std::string ClusterGenParams::ToString() const {
   } else {
     out = std::to_string(num_points);
   }
-  out += "." + std::to_string(num_clusters) + "c." + std::to_string(dim) + "d";
+  // Appended piecewise: chained operator+ trips GCC 12's -Wrestrict false
+  // positive (PR105329) under -O2, which -Werror builds turn fatal.
+  out += ".";
+  out += std::to_string(num_clusters);
+  out += "c.";
+  out += std::to_string(dim);
+  out += "d";
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "itemsets/borders.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -206,6 +207,77 @@ std::vector<Itemset> BordersMaintainer::SeededCandidates(
     }
   }
   return result;
+}
+
+void BordersMaintainer::AuditInto(audit::AuditResult* audit) const {
+  model_.AuditInto(audit);
+
+  uint64_t total_transactions = 0;
+  for (const auto& block : blocks_) total_transactions += block->size();
+  AUDIT_CHECK(audit, "borders", "borders/transaction-total",
+              total_transactions == model_.num_transactions(),
+              audit::Msg() << "model holds " << model_.num_transactions()
+                           << " transactions but the " << blocks_.size()
+                           << " selected blocks sum to " << total_transactions,
+              "");
+
+  if (options_.strategy == CountingStrategy::kPtScan) return;
+  tidlists_.AuditInto(audit);
+  AUDIT_CHECK(audit, "borders", "borders/tidlist-block-count",
+              tidlists_.NumBlocks() == blocks_.size(),
+              audit::Msg() << "store has " << tidlists_.NumBlocks()
+                           << " TID-list blocks for " << blocks_.size()
+                           << " transaction blocks",
+              "");
+  const size_t paired = std::min(tidlists_.NumBlocks(), blocks_.size());
+  for (size_t i = 0; i < paired; ++i) {
+    AUDIT_CHECK(audit, "borders", "borders/tidlist-block-size",
+                tidlists_.block(i).num_transactions() == blocks_[i]->size(),
+                audit::Msg() << "TID-list block " << i << " covers "
+                             << tidlists_.block(i).num_transactions()
+                             << " transactions, block holds "
+                             << blocks_[i]->size(),
+                "");
+  }
+}
+
+void BordersMaintainer::AuditRescratchInto(audit::AuditResult* audit) const {
+  if (blocks_.empty()) return;
+  const ItemsetModel scratch =
+      Apriori(blocks_, options_.minsup, options_.num_items);
+
+  size_t mismatched = 0;
+  std::string example;
+  for (const auto& [itemset, entry] : scratch.entries()) {
+    const auto it = model_.entries().find(itemset);
+    const bool matches = it != model_.entries().end() &&
+                         it->second.count == entry.count &&
+                         it->second.frequent == entry.frequent;
+    if (matches) continue;
+    ++mismatched;
+    if (example.empty()) {
+      example = audit::Msg()
+                << demon::ToString(itemset) << ": scratch count="
+                << entry.count << " frequent=" << entry.frequent
+                << (it == model_.entries().end()
+                        ? std::string(", untracked incrementally")
+                        : std::string(audit::Msg()
+                                      << ", incremental count="
+                                      << it->second.count
+                                      << " frequent=" << it->second.frequent));
+    }
+  }
+  AUDIT_CHECK(audit, "borders", "borders/rescratch-equivalence",
+              mismatched == 0 &&
+                  model_.entries().size() == scratch.entries().size() &&
+                  model_.num_transactions() == scratch.num_transactions(),
+              audit::Msg() << "incremental model diverges from a from-scratch "
+                              "Apriori run over the same blocks ("
+                           << mismatched << " of " << scratch.entries().size()
+                           << " scratch entries mismatched; incremental "
+                              "tracks "
+                           << model_.entries().size() << ")",
+              example);
 }
 
 void BordersMaintainer::PruneBorder() {

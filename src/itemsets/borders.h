@@ -90,6 +90,21 @@ class BordersMaintainer {
   /// MaintenanceEngine shares its monitor pool this way.
   void set_counting_pool(ThreadPool* pool) { counting_.set_pool(pool); }
 
+  /// Deep audit at a block boundary: the model's BORDERS invariants
+  /// (closure, negative border, flag/count consistency), the TID-list
+  /// store's structural invariants, and the cross-structure bookkeeping
+  /// (one TID-list block per transaction block of matching size; the
+  /// model's transaction total equal to the blocks' sum). Appends
+  /// violations to `audit`.
+  void AuditInto(audit::AuditResult* audit) const;
+
+  /// The decisive (and expensive) audit: re-mines the selected blocks from
+  /// scratch with Apriori and requires the incrementally maintained model
+  /// to match entry-for-entry — the exact-equivalence guarantee of §3.1.1.
+  /// Meant for DEMON_AUDIT builds at block boundaries, where every test
+  /// stream doubles as an end-to-end correctness fuzz.
+  void AuditRescratchInto(audit::AuditResult* audit) const;
+
   const ItemsetModel& model() const { return model_; }
   const BordersOptions& options() const { return options_; }
   const UpdateStats& last_stats() const { return last_stats_; }

@@ -15,7 +15,7 @@ namespace demon {
 /// \brief PT-Scan over disk-resident transaction files: the candidates go
 /// into a prefix tree and every file is streamed once. `stats` (optional)
 /// receives the true bytes read.
-Result<std::vector<uint64_t>> PtScanCountDisk(
+[[nodiscard]] Result<std::vector<uint64_t>> PtScanCountDisk(
     const std::vector<Itemset>& itemsets,
     const std::vector<TransactionFileScanner*>& scanners,
     CountingStats* stats = nullptr);
@@ -26,7 +26,7 @@ Result<std::vector<uint64_t>> PtScanCountDisk(
 /// computed in memory — the paper's "retrieve only the relevant portion"
 /// made literal. With `use_pair_lists`, materialized 2-itemset lists are
 /// preferred greedily (smallest first), as in ECUT+.
-Result<std::vector<uint64_t>> EcutCountDisk(
+[[nodiscard]] Result<std::vector<uint64_t>> EcutCountDisk(
     const std::vector<Itemset>& itemsets,
     const std::vector<TidListFileReader*>& readers, bool use_pair_lists,
     CountingStats* stats = nullptr);

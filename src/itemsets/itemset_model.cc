@@ -22,4 +22,77 @@ std::vector<std::pair<Item, Item>> ItemsetModel::Frequent2ItemsetsBySupport()
   return out;
 }
 
+void ItemsetModel::AuditInto(audit::AuditResult* audit) const {
+  constexpr char kModule[] = "borders";
+  const uint64_t min_count = MinCount();
+
+  size_t tracked_singletons = 0;
+  for (const auto& [itemset, entry] : entries_) {
+    const std::string name = demon::ToString(itemset);
+
+    AUDIT_CHECK(audit, kModule, "borders/key-well-formed",
+                !itemset.empty() &&
+                    std::is_sorted(itemset.begin(), itemset.end()) &&
+                    std::adjacent_find(itemset.begin(), itemset.end()) ==
+                        itemset.end() &&
+                    itemset.back() < num_items_,
+                audit::Msg() << "tracked itemset " << name
+                             << " must be non-empty, strictly sorted, and "
+                                "within the universe of "
+                             << num_items_ << " items",
+                "");
+    if (itemset.size() == 1) ++tracked_singletons;
+
+    AUDIT_CHECK(audit, kModule, "borders/count-bounded",
+                entry.count <= num_transactions_,
+                audit::Msg() << name << " has count " << entry.count
+                             << " > total transactions " << num_transactions_,
+                "");
+    AUDIT_CHECK(audit, kModule, "borders/frequent-flag",
+                entry.frequent == (entry.count >= min_count),
+                audit::Msg() << name << " has count " << entry.count
+                             << " against MinCount() " << min_count
+                             << " but frequent=" << entry.frequent,
+                "");
+
+    if (itemset.size() < 2) continue;
+    // Closure (frequent case) and the negative-border property (infrequent
+    // case): either way every (k-1)-subset must be tracked and frequent,
+    // with a count no smaller than this entry's (support monotonicity).
+    for (size_t drop = 0; drop < itemset.size(); ++drop) {
+      const Itemset subset = WithoutIndex(itemset, drop);
+      const auto it = entries_.find(subset);
+      if (it == entries_.end() || !it->second.frequent) {
+        AUDIT_FAIL(audit, kModule,
+                   entry.frequent ? "borders/closure"
+                                  : "borders/negative-border",
+                   audit::Msg()
+                       << (entry.frequent ? "frequent itemset "
+                                          : "border itemset ")
+                       << name << " has subset " << demon::ToString(subset)
+                       << (it == entries_.end() ? " untracked"
+                                                : " tracked but infrequent"),
+                   audit::Msg() << "count=" << entry.count
+                                << " min_count=" << min_count);
+        continue;
+      }
+      AUDIT_CHECK(audit, kModule, "borders/support-monotone",
+                  it->second.count >= entry.count,
+                  audit::Msg() << "subset " << demon::ToString(subset)
+                               << " has count " << it->second.count
+                               << " < superset " << name << " count "
+                               << entry.count,
+                  "");
+    }
+  }
+
+  // A non-empty model must track the full 1-itemset layer — L1 ∪ NB1- is
+  // the whole universe, which is what makes border-based detection work.
+  AUDIT_CHECK(audit, kModule, "borders/one-layer-complete",
+              entries_.empty() || tracked_singletons == num_items_,
+              audit::Msg() << "model tracks " << tracked_singletons << " of "
+                           << num_items_ << " 1-itemsets",
+              "");
+}
+
 }  // namespace demon

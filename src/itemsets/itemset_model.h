@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "itemsets/itemset.h"
 
@@ -114,6 +115,15 @@ class ItemsetModel {
   /// Frequent 2-itemsets as item pairs sorted by decreasing count — the
   /// materialization priority order of the ECUT+ heuristic (paper §3.1.1).
   std::vector<std::pair<Item, Item>> Frequent2ItemsetsBySupport() const;
+
+  /// Deep audit of the BORDERS model invariants (§3.1.1): keys sorted and
+  /// in-universe, counts bounded by the transaction total, frequent flags
+  /// consistent with MinCount(), the 1-itemset layer complete (on non-empty
+  /// models), downward closure (every (k-1)-subset of a frequent itemset
+  /// tracked and frequent), the negative-border property (every tracked
+  /// infrequent itemset has all (k-1)-subsets frequent), and support
+  /// monotonicity along subset edges. Appends violations to `audit`.
+  void AuditInto(audit::AuditResult* audit) const;
 
  private:
   double minsup_ = 0.01;

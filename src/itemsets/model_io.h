@@ -15,9 +15,9 @@ namespace demon {
 /// one is needed in memory; the rest "can be stored on disk and retrieved
 /// when necessary", and a model is tiny next to the block data. These
 /// functions provide that spill/restore path and round-trip exactly.
-Status WriteItemsetModel(const ItemsetModel& model, const std::string& path);
+[[nodiscard]] Status WriteItemsetModel(const ItemsetModel& model, const std::string& path);
 
-Result<ItemsetModel> ReadItemsetModel(const std::string& path);
+[[nodiscard]] Result<ItemsetModel> ReadItemsetModel(const std::string& path);
 
 /// Serialized size of a model in bytes, without writing it (what §3.2.3
 /// calls the "negligible" additional disk space for the w - 1 models).

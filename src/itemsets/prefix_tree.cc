@@ -69,6 +69,94 @@ void PrefixTree::CountRecursive(uint32_t node_index, const Item* pos,
   }
 }
 
+void PrefixTree::AuditInto(audit::AuditResult* audit) const {
+  constexpr char kModule[] = "prefix-tree";
+  if (nodes_.empty()) {
+    AUDIT_FAIL(audit, kModule, "prefix-tree/root-missing",
+               "node storage is empty (no root)", "");
+    return;
+  }
+
+  std::vector<bool> reached(nodes_.size(), false);
+  std::vector<size_t> terminal_seen(counts_.size(), 0);
+  reached[0] = true;
+  // Iterative DFS carrying the count of the nearest terminal ancestor
+  // (UINT64_MAX before any terminal is passed).
+  std::vector<std::pair<uint32_t, uint64_t>> stack;
+  stack.push_back({0, UINT64_MAX});
+  while (!stack.empty()) {
+    const auto [index, ancestor_count] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+
+    uint64_t passed_down = ancestor_count;
+    if (node.terminal_id >= 0) {
+      const auto id = static_cast<size_t>(node.terminal_id);
+      if (id >= counts_.size()) {
+        AUDIT_FAIL(audit, kModule, "prefix-tree/terminal-range",
+                   audit::Msg() << "node " << index << " has terminal id "
+                                << id << " >= NumItemsets() "
+                                << counts_.size(),
+                   "");
+      } else {
+        ++terminal_seen[id];
+        AUDIT_CHECK(audit, kModule, "prefix-tree/monotone-counts",
+                    counts_[id] <= ancestor_count,
+                    audit::Msg()
+                        << "terminal " << id << " has count " << counts_[id]
+                        << " exceeding its prefix's count " << ancestor_count
+                        << " — a subset can never be rarer than its superset",
+                    "");
+        passed_down = counts_[id];
+      }
+    }
+
+    for (size_t c = 0; c < node.children.size(); ++c) {
+      const uint32_t child = node.children[c];
+      if (child <= index || child >= nodes_.size()) {
+        AUDIT_FAIL(audit, kModule, "prefix-tree/child-order",
+                   audit::Msg() << "node " << index << " has child index "
+                                << child
+                                << " outside (parent, size) — breaks the "
+                                   "append-only acyclic construction",
+                   "");
+        continue;
+      }
+      if (reached[child]) {
+        AUDIT_FAIL(audit, kModule, "prefix-tree/shared-node",
+                   audit::Msg() << "node " << child
+                                << " is reachable via two parents",
+                   "");
+        continue;
+      }
+      reached[child] = true;
+      if (c > 0 && nodes_[node.children[c - 1]].item >= nodes_[child].item) {
+        AUDIT_FAIL(audit, kModule, "prefix-tree/children-sorted",
+                   audit::Msg()
+                       << "node " << index
+                       << " children items not strictly increasing at slot "
+                       << c,
+                   "");
+      }
+      stack.push_back({child, passed_down});
+    }
+  }
+
+  for (size_t i = 0; i < reached.size(); ++i) {
+    AUDIT_CHECK(audit, kModule, "prefix-tree/orphan-node", reached[i],
+                audit::Msg() << "node " << i << " is unreachable from the root",
+                "");
+  }
+  for (size_t id = 0; id < terminal_seen.size(); ++id) {
+    AUDIT_CHECK(audit, kModule, "prefix-tree/terminal-dense",
+                terminal_seen[id] == 1,
+                audit::Msg() << "terminal id " << id << " assigned to "
+                             << terminal_seen[id]
+                             << " nodes (must be exactly one)",
+                "");
+  }
+}
+
 void PrefixTree::ResetCounts() {
   std::fill(counts_.begin(), counts_.end(), 0);
 }

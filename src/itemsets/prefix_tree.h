@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.h"
 #include "data/transaction.h"
 #include "itemsets/itemset.h"
 
@@ -53,6 +54,15 @@ class PrefixTree {
   /// cleared tree can be refilled with few or no allocations — the
   /// counting layer reuses one tree per worker this way.
   void Clear();
+
+  /// Deep structural audit: every node reachable exactly once with child
+  /// items strictly increasing and child indices above the parent's (the
+  /// append-only construction order, which rules out cycles), terminal ids
+  /// a dense permutation of [0, NumItemsets()), and counts monotone
+  /// non-increasing along every path of terminal nodes (support
+  /// monotonicity: a prefix is a subset, so its count can never be
+  /// smaller). Appends violations to `audit`.
+  void AuditInto(audit::AuditResult* audit) const;
 
  private:
   struct Node {

@@ -23,7 +23,7 @@ class TidListFile {
  public:
   /// Writes `lists` (item lists and any materialized pair lists) to
   /// `path` in indexed format.
-  static Status Write(const BlockTidLists& lists, const std::string& path);
+  [[nodiscard]] static Status Write(const BlockTidLists& lists, const std::string& path);
 };
 
 /// \brief Reader over a TidListFile: opens the file, loads the offset
@@ -36,18 +36,18 @@ class TidListFileReader {
   TidListFileReader(const TidListFileReader&) = delete;
   TidListFileReader& operator=(const TidListFileReader&) = delete;
 
-  static Result<std::unique_ptr<TidListFileReader>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<TidListFileReader>> Open(
       const std::string& path);
 
   size_t num_transactions() const { return num_transactions_; }
   size_t num_items() const { return index_.size(); }
 
   /// Reads the TID-list of `item` into `out`.
-  Status ReadItemList(Item item, TidList* out);
+  [[nodiscard]] Status ReadItemList(Item item, TidList* out);
 
   /// Reads the materialized list of pair {a, b}; returns NotFound when
   /// the pair was not materialized in this block.
-  Status ReadPairList(Item a, Item b, TidList* out);
+  [[nodiscard]] Status ReadPairList(Item a, Item b, TidList* out);
 
   /// True if the pair {a, b} is materialized (index-only check, no I/O).
   bool HasPairList(Item a, Item b) const;
@@ -73,7 +73,7 @@ class TidListFileReader {
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
-  Status ReadExtent(const Extent& extent, TidList* out);
+  [[nodiscard]] Status ReadExtent(const Extent& extent, TidList* out);
 
   std::FILE* file_ = nullptr;
   size_t num_transactions_ = 0;

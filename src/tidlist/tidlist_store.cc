@@ -144,6 +144,102 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
   return std::shared_ptr<const BlockTidLists>(std::move(lists));
 }
 
+namespace {
+
+constexpr char kModule[] = "tidlist";
+
+/// Renders the first entries of a list for a violation's state dump.
+std::string DumpList(const TidList& list) {
+  audit::Msg msg;
+  msg << "size=" << list.size() << " [";
+  const size_t shown = list.size() < 16 ? list.size() : 16;
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) msg << ", ";
+    msg << list[i];
+  }
+  if (shown < list.size()) msg << ", ...";
+  msg << "]";
+  return msg;
+}
+
+/// Checks one list for strict ascent and offset range.
+void AuditOneList(const std::string& label, const TidList& list,
+                  size_t num_transactions, audit::AuditResult* audit) {
+  for (size_t i = 1; i < list.size(); ++i) {
+    if (list[i - 1] >= list[i]) {
+      AUDIT_FAIL(audit, kModule, "tidlist/sorted-unique",
+                 audit::Msg() << label << " not strictly increasing at index "
+                              << i << " (" << list[i - 1] << " then "
+                              << list[i] << ")",
+                 DumpList(list));
+      break;
+    }
+  }
+  if (!list.empty() && list.back() >= num_transactions) {
+    AUDIT_FAIL(audit, kModule, "tidlist/offset-range",
+               audit::Msg() << label << " holds offset " << list.back()
+                            << " >= block size " << num_transactions,
+               DumpList(list));
+  }
+}
+
+}  // namespace
+
+void BlockTidLists::AuditInto(audit::AuditResult* audit) const {
+  size_t item_slots = 0;
+  for (size_t item = 0; item < item_lists_.size(); ++item) {
+    const TidList& list = item_lists_[item];
+    item_slots += list.size();
+    AuditOneList(audit::Msg() << "item " << item << " list", list,
+                 num_transactions_, audit);
+  }
+  AUDIT_CHECK(audit, kModule, "tidlist/item-slots",
+              item_slots == item_list_slots_,
+              audit::Msg() << "item_list_slots accounting (" << item_list_slots_
+                           << ") != sum of list sizes (" << item_slots << ")",
+              "");
+
+  size_t pair_slots = 0;
+  for (const auto& [key, list] : pair_lists_) {
+    const Item a = static_cast<Item>(key >> 32);
+    const Item b = static_cast<Item>(key & 0xFFFFFFFFu);
+    pair_slots += list.size();
+    const std::string label = audit::Msg() << "pair {" << a << "," << b
+                                           << "} list";
+    AUDIT_CHECK(audit, kModule, "tidlist/pair-key",
+                a < b && b < item_lists_.size(),
+                audit::Msg() << label << " has a malformed key", "");
+    if (a >= b || b >= item_lists_.size()) continue;
+    AuditOneList(label, list, num_transactions_, audit);
+    // Store/index consistency: a materialized pair list must equal the
+    // intersection of its item lists — ECUT+ serves either interchangeably.
+    if (list != Intersect(item_lists_[a], item_lists_[b])) {
+      AUDIT_FAIL(audit, kModule, "tidlist/pair-is-intersection",
+                 audit::Msg() << label
+                              << " differs from the item-list intersection",
+                 DumpList(list));
+    }
+  }
+  AUDIT_CHECK(audit, kModule, "tidlist/pair-slots",
+              pair_slots == pair_list_slots_,
+              audit::Msg() << "pair_list_slots accounting (" << pair_list_slots_
+                           << ") != sum of pair list sizes (" << pair_slots
+                           << ")",
+              "");
+}
+
+void TidListStore::AuditInto(audit::AuditResult* audit) const {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] == nullptr) {
+      AUDIT_FAIL(audit, "tidlist", "tidlist/store-null-block",
+                 audit::Msg() << "store holds a null block at position " << i,
+                 "");
+      continue;
+    }
+    blocks_[i]->AuditInto(audit);
+  }
+}
+
 void TidListStore::DropOldest(size_t count) {
   DEMON_CHECK(count <= blocks_.size());
   blocks_.erase(blocks_.begin(), blocks_.begin() + count);

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/status.h"
 #include "data/block.h"
 #include "data/types.h"
@@ -72,11 +73,23 @@ class BlockTidLists {
 
   /// Serializes to a simple binary file (models the paper's on-disk
   /// TID-list organization).
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
   /// Reads a file written by WriteToFile.
-  static Result<std::shared_ptr<const BlockTidLists>> ReadFromFile(
+  [[nodiscard]] static Result<std::shared_ptr<const BlockTidLists>> ReadFromFile(
       const std::string& path);
+
+  /// Deep structural audit (paper §3.1.1's representation invariants):
+  /// every list sorted strictly increasing with offsets in range, slot
+  /// accounting exact, every materialized pair list equal to the
+  /// intersection of its item lists. Appends violations to `audit`.
+  void AuditInto(audit::AuditResult* audit) const;
+
+  /// Test-only mutable access, so corruption-injection tests can break an
+  /// invariant and assert the auditor reports it.
+  TidList* mutable_item_list_for_test(Item item) {
+    return &item_lists_[item];
+  }
 
  private:
   BlockTidLists() = default;
@@ -123,6 +136,9 @@ class TidListStore {
   size_t TotalItemSlots() const;
   /// Total extra slots in pair lists across blocks.
   size_t TotalPairSlots() const;
+
+  /// Audits every block's TID-lists (see BlockTidLists::AuditInto).
+  void AuditInto(audit::AuditResult* audit) const;
 
  private:
   std::vector<std::shared_ptr<const BlockTidLists>> blocks_;

@@ -267,7 +267,9 @@ TEST(MaintenanceEngineTest, MonitorsSeeBlocksInArrivalOrder) {
       for (int m = 0; m < 5; ++m) {
         auto recorder = std::make_unique<RecordingMaintainer>();
         recorders.push_back(recorder.get());
-        engine.Register("m" + std::to_string(m), std::move(recorder));
+        std::string name = "m";
+        name += std::to_string(m);
+        engine.Register(std::move(name), std::move(recorder));
       }
       for (BlockId id = 1; id <= 12; ++id) {
         engine.Dispatch(MakeTinyBlock(id));

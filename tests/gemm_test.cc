@@ -63,7 +63,9 @@ TEST(GemmTest, MaintainsAtMostWModels) {
   for (size_t i = 0; i < blocks.size(); ++i) {
     gemm.AddBlock(blocks[i]);
     EXPECT_LE(gemm.NumModels(), 3u);
-    if (i >= 2) EXPECT_EQ(gemm.NumModels(), 3u);
+    if (i >= 2) {
+      EXPECT_EQ(gemm.NumModels(), 3u);
+    }
   }
   // Model starts are consecutive: t-w+1 .. t.
   EXPECT_EQ(gemm.ModelStarts(), (std::vector<BlockId>{6, 7, 8}));

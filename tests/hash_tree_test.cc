@@ -130,9 +130,11 @@ INSTANTIATE_TEST_SUITE_P(Shapes, HashTreeVsPrefixTreeTest,
                                            HashTreeParam{8, 16},
                                            HashTreeParam{16, 64}),
                          [](const auto& info) {
-                           return "F" + std::to_string(info.param.fanout) +
-                                  "L" +
-                                  std::to_string(info.param.leaf_capacity);
+                           std::string name = "F";
+                           name += std::to_string(info.param.fanout);
+                           name += "L";
+                           name += std::to_string(info.param.leaf_capacity);
+                           return name;
                          });
 
 }  // namespace

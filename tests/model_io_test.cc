@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "datagen/quest_generator.h"
@@ -76,6 +78,26 @@ TEST(ModelIoTest, MissingFileFails) {
   auto result = ReadItemsetModel("/nonexistent/model.bin");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, TruncatedValidModelFails) {
+  // A real serialized model chopped mid-stream must be rejected, not read
+  // back as a smaller model.
+  const ItemsetModel model = MineModel(44);
+  const std::string path = ::testing::TempDir() + "/truncated_model.bin";
+  ASSERT_TRUE(WriteItemsetModel(model, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full_size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(full_size, 16);
+  ASSERT_EQ(truncate(path.c_str(), full_size - full_size / 3), 0);
+
+  auto result = ReadItemsetModel(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
 }
 
 TEST(ModelIoTest, CorruptFileFails) {

@@ -131,9 +131,13 @@ INSTANTIATE_TEST_SUITE_P(
                       BirchSweepParam{5, 5, 3}, BirchSweepParam{8, 4, 2},
                       BirchSweepParam{3, 10, 5}),
     [](const auto& info) {
-      return "d" + std::to_string(info.param.dim) + "k" +
-             std::to_string(info.param.clusters) + "b" +
-             std::to_string(info.param.blocks);
+      std::string name = "d";
+      name += std::to_string(info.param.dim);
+      name += "k";
+      name += std::to_string(info.param.clusters);
+      name += "b";
+      name += std::to_string(info.param.blocks);
+      return name;
     });
 
 // ---------------------------------------------------------------------------

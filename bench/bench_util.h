@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "data/block.h"
 #include "datagen/quest_generator.h"
 
@@ -51,6 +52,60 @@ inline std::shared_ptr<const TransactionBlock> MakeSharedBlock(
 /// Prints a horizontal rule + title, paper-figure style.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Total seconds recorded in a registry histogram — how the fig-benches
+/// read phase timings (the instrumented code records them; the bench does
+/// not re-time around calls). 0 when the histogram has no samples (e.g.
+/// DEMON_TELEMETRY=OFF builds, where components never bind histograms).
+inline double HistogramSeconds(telemetry::TelemetryRegistry* registry,
+                               const char* name) {
+  return registry->histogram(name)->sum();
+}
+
+/// Per-phase histogram summaries as a JSON document, for
+/// scripts/bench_snapshot.sh's BENCH_telemetry.json artifact.
+inline std::string HistogramSummariesJson(
+    const telemetry::TelemetryRegistry& registry) {
+  std::string out = "{\n  \"histograms\": [\n";
+  const std::vector<telemetry::HistogramSummary> summaries =
+      registry.HistogramSummaries();
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const telemetry::HistogramSummary& s = summaries[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"count\": %llu, \"sum\": %.6g, "
+                  "\"p50\": %.6g, \"p95\": %.6g, \"max\": %.6g}%s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.sum, s.p50, s.p95, s.max,
+                  i + 1 < summaries.size() ? "," : "");
+    out += line;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Writes `contents` to `path` (for --trace_out= / --telemetry_out=).
+inline bool WriteFileContents(const std::string& path,
+                              const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Parses a `--flag=value` style argument; returns true and sets `*value`
+/// when `arg` starts with `prefix` (e.g. "--trace_out=").
+inline bool ParseFlag(const char* arg, const char* prefix,
+                      std::string* value) {
+  const std::string p(prefix);
+  if (std::string(arg).rfind(p, 0) != 0) return false;
+  *value = arg + p.size();
+  return true;
 }
 
 }  // namespace demon::bench

@@ -8,7 +8,6 @@
 
 #include "bench/bench_util.h"
 #include "clustering/dbscan.h"
-#include "common/timer.h"
 #include "datagen/cluster_generator.h"
 
 namespace demon {
@@ -41,14 +40,14 @@ void Run() {
     all_coords.insert(all_coords.end(), block.coords().begin(),
                       block.coords().end());
 
-    WallTimer timer;
+    telemetry::ScopedTimer incremental_timer;
     incremental.AddBlock(block);
-    const double incremental_seconds = timer.ElapsedSeconds();
+    const double incremental_seconds = incremental_timer.Stop();
 
-    timer.Reset();
+    telemetry::ScopedTimer batch_timer;
     const DbscanResult batch =
         Dbscan(all_coords, gen_params.dim, params);
-    const double batch_seconds = timer.ElapsedSeconds();
+    const double batch_seconds = batch_timer.Stop();
 
     std::printf("%-6d %10zu %14.3f %14.3f %10zu\n", b,
                 all_coords.size() / gen_params.dim, incremental_seconds,

@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
 #include "core/gemm.h"
 #include "datagen/labeled_generator.h"
 #include "dtree/dtree_maintainer.h"
@@ -52,16 +51,16 @@ void Run() {
     auto block = std::make_shared<LabeledBlock>(source.NextBlock(block_size));
     history.push_back(block);
 
-    WallTimer timer;
+    telemetry::ScopedTimer incremental_timer;
     unrestricted.AddBlock(block);
     windowed.AddBlock(block);
-    const double incremental_seconds = timer.ElapsedSeconds();
+    const double incremental_seconds = incremental_timer.Stop();
 
     // Rebuild-from-scratch baseline: re-reads the whole history.
-    timer.Reset();
+    telemetry::ScopedTimer rebuild_timer;
     DTreeMaintainer rebuild(schema, options);
     for (const auto& old : history) rebuild.AddBlock(old);
-    const double rebuild_seconds = timer.ElapsedSeconds();
+    const double rebuild_seconds = rebuild_timer.Stop();
 
     const LabeledBlock test = (b <= 6 ? old_concept : new_concept)
                                   .NextBlock(block_size / 4);

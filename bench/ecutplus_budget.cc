@@ -10,7 +10,6 @@
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/check.h"
-#include "common/timer.h"
 #include "itemsets/apriori.h"
 #include "itemsets/support_counting.h"
 
@@ -57,12 +56,12 @@ void Run() {
 
     // Average over repetitions to smooth out one-shot noise.
     constexpr int kReps = 15;
-    WallTimer timer;
+    telemetry::ScopedTimer timer;
     for (int rep = 0; rep < kReps; ++rep) {
       const auto counts = EcutCount(sample, store, /*use_pair_lists=*/true);
       DEMON_CHECK(!counts.empty());
     }
-    const double millis = timer.ElapsedMillis() / kReps;
+    const double millis = timer.Stop() * 1e3 / kReps;
     std::printf("%-14.2f %12zu %13.1f%% %12.2f\n", fraction,
                 store.blocks()[0]->num_pair_lists(),
                 100.0 * static_cast<double>(store.TotalPairSlots()) /

@@ -17,6 +17,13 @@
 // Pass --benchmark_format=json to emit a google-benchmark-shaped JSON
 // document (context + benchmarks array) instead of the tables, so
 // scripts/bench_snapshot.sh can archive both binaries uniformly.
+//
+// Pass --trace_out=PATH to additionally run the fleet once more at 4
+// engine threads with an injected telemetry registry and write a Chrome
+// trace-event JSON file (load it at https://ui.perfetto.dev) showing the
+// nested engine -> maintainer -> counting-shard spans.
+// --telemetry_out=PATH writes the same run's metrics in Prometheus text
+// exposition format.
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/telemetry.h"
 #include "core/demon_monitor.h"
 
 namespace demon::bench {
@@ -61,12 +69,12 @@ RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
       "mrw-itemsets", minsup, window, BlockSelectionSequence::AllBlocks()).ValueOrDie());
   ids.push_back(demon.AddPatternDetector("patterns", minsup, 0.95).ValueOrDie());
 
-  WallTimer timer;
+  telemetry::ScopedTimer timer;
   for (const auto& block : blocks) {
     demon.AddBlock(block);
   }
   demon.Quiesce();
-  const double elapsed = timer.ElapsedSeconds();
+  const double elapsed = timer.Stop();
 
   RunResult result;
   result.blocks_per_sec = static_cast<double>(blocks.size()) / elapsed;
@@ -108,8 +116,14 @@ int main(int argc, char** argv) {
   using namespace demon::bench;
 
   bool json = false;
+  std::string trace_out;
+  std::string telemetry_out;
+  std::string histogram_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
+    ParseFlag(argv[i], "--trace_out=", &trace_out);
+    ParseFlag(argv[i], "--telemetry_out=", &telemetry_out);
+    ParseFlag(argv[i], "--histogram_out=", &histogram_out);
   }
 
   const size_t block_size = Scaled(10000, 500);
@@ -153,6 +167,32 @@ int main(int argc, char** argv) {
     if (!json) {
       std::printf("%10s | %12.3f | %12.3f | %10.2f\n", defer ? "on" : "off",
                   r.response_seconds, r.offline_seconds, r.blocks_per_sec);
+    }
+  }
+
+  // Instrumented run: same fleet at 4 threads, telemetry injected, spans
+  // and metrics exported for scripts/bench_snapshot.sh to archive.
+  if (!trace_out.empty() || !telemetry_out.empty() || !histogram_out.empty()) {
+    telemetry::TelemetryRegistry registry;
+    EngineOptions engine;
+    engine.num_threads = 4;
+    engine.telemetry = &registry;
+    RunFleet(blocks, engine, minsup, window);
+    if (!trace_out.empty() &&
+        WriteFileContents(trace_out, registry.ChromeTraceJson())) {
+      if (!json) std::printf("wrote Chrome trace to %s\n", trace_out.c_str());
+    }
+    if (!telemetry_out.empty() &&
+        WriteFileContents(telemetry_out, registry.PrometheusText())) {
+      if (!json) {
+        std::printf("wrote Prometheus metrics to %s\n", telemetry_out.c_str());
+      }
+    }
+    if (!histogram_out.empty() &&
+        WriteFileContents(histogram_out, HistogramSummariesJson(registry))) {
+      if (!json) {
+        std::printf("wrote histogram summaries to %s\n", histogram_out.c_str());
+      }
     }
   }
 

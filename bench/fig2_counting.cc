@@ -7,6 +7,12 @@
 // in Experiment 1. Expected shape: all algorithms scale linearly in |S|;
 // ECUT beats PT-Scan for small |S| with a crossover well below |S|=180;
 // ECUT+ beats PT-Scan over the entire range.
+//
+// --trace_out=PATH (stripped before google-benchmark sees the args) runs
+// one instrumented pass of each strategy at |S|=180 on a 4-thread pool
+// and writes a Chrome trace-event file showing the per-shard counting
+// spans; --telemetry_out=PATH writes the kernel counters in Prometheus
+// text format.
 
 #include <benchmark/benchmark.h>
 
@@ -174,7 +180,60 @@ BENCHMARK(BM_PtScan2MThreads)->Apply(SetThreads);
 BENCHMARK(BM_Ecut2MThreads)->Apply(SetThreads);
 BENCHMARK(BM_EcutPlus2MThreads)->Apply(SetThreads);
 
+/// One instrumented pass of each strategy at |S|=180 on a 4-thread pool;
+/// the registry collects the per-shard spans and kernel counters.
+void TracedCountingRun(const std::string& trace_out,
+                       const std::string& telemetry_out) {
+  const Fixture& f = GetFixture(2);
+  const std::vector<Itemset> sample(
+      f.border.begin(),
+      f.border.begin() + std::min<size_t>(180, f.border.size()));
+  telemetry::TelemetryRegistry registry;
+  ThreadPool pool(4);
+  CountingContext context(&pool);
+  context.set_telemetry(&registry);
+  for (CountingStrategy strategy :
+       {CountingStrategy::kPtScan, CountingStrategy::kEcut,
+        CountingStrategy::kEcutPlus}) {
+    const TidListStore& store = strategy == CountingStrategy::kEcutPlus
+                                    ? f.pair_store
+                                    : f.plain_store;
+    context.Count(strategy, sample, f.blocks, store);
+  }
+  if (!trace_out.empty() &&
+      bench::WriteFileContents(trace_out, registry.ChromeTraceJson())) {
+    std::printf("wrote Chrome trace to %s\n", trace_out.c_str());
+  }
+  if (!telemetry_out.empty() &&
+      bench::WriteFileContents(telemetry_out, registry.PrometheusText())) {
+    std::printf("wrote Prometheus metrics to %s\n", telemetry_out.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace demon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark parses the command line.
+  std::string trace_out;
+  std::string telemetry_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (demon::bench::ParseFlag(argv[i], "--trace_out=", &trace_out)) continue;
+    if (demon::bench::ParseFlag(argv[i], "--telemetry_out=", &telemetry_out)) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty() || !telemetry_out.empty()) {
+    demon::TracedCountingRun(trace_out, telemetry_out);
+  }
+  return 0;
+}

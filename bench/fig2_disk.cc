@@ -11,7 +11,6 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
-#include "common/timer.h"
 #include "itemsets/apriori.h"
 #include "itemsets/disk_counting.h"
 
@@ -55,25 +54,25 @@ void Run() {
         pool.begin(), pool.begin() + std::min<size_t>(s, pool.size()));
 
     auto scanner = TransactionFileScanner::Open(tx_path).ValueOrDie();
-    WallTimer timer;
+    telemetry::ScopedTimer pt_timer;
     auto pt = PtScanCountDisk(sample, {scanner.get()});
-    const double pt_ms = timer.ElapsedMillis();
+    const double pt_ms = pt_timer.Stop() * 1e3;
     DEMON_CHECK(pt.ok());
     const double pt_mb =
         static_cast<double>(scanner->bytes_read()) / (1024.0 * 1024.0);
 
     auto reader = TidListFileReader::Open(tl_path).ValueOrDie();
-    timer.Reset();
+    telemetry::ScopedTimer ecut_timer;
     auto ecut = EcutCountDisk(sample, {reader.get()}, false);
-    const double ecut_ms = timer.ElapsedMillis();
+    const double ecut_ms = ecut_timer.Stop() * 1e3;
     DEMON_CHECK(ecut.ok());
     const double ecut_mb =
         static_cast<double>(reader->bytes_read()) / (1024.0 * 1024.0);
 
     auto reader_plus = TidListFileReader::Open(tl_path).ValueOrDie();
-    timer.Reset();
+    telemetry::ScopedTimer plus_timer;
     auto ecut_plus = EcutCountDisk(sample, {reader_plus.get()}, true);
-    const double plus_ms = timer.ElapsedMillis();
+    const double plus_ms = plus_timer.Stop() * 1e3;
     DEMON_CHECK(ecut_plus.ok());
     const double plus_mb =
         static_cast<double>(reader_plus->bytes_read()) / (1024.0 * 1024.0);

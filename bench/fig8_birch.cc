@@ -12,7 +12,6 @@
 
 #include "bench/bench_util.h"
 #include "clustering/birch.h"
-#include "common/timer.h"
 #include "datagen/cluster_generator.h"
 
 namespace demon {
@@ -59,16 +58,16 @@ void Run() {
     // arrived), then time the incremental update.
     BirchPlus birch_plus(params.dim, options);
     birch_plus.AddBlock(*base);
-    WallTimer timer;
+    telemetry::ScopedTimer plus_timer;
     birch_plus.AddBlock(*fresh);
-    const double plus_seconds = timer.ElapsedSeconds();
+    const double plus_seconds = plus_timer.Stop();
     const double phase2_seconds = birch_plus.last_stats().phase2_seconds;
 
     // Non-incremental BIRCH re-clusters everything.
-    timer.Reset();
+    telemetry::ScopedTimer birch_timer;
     BirchStats stats;
     RunBirch({base, fresh}, params.dim, options, &stats);
-    const double birch_seconds = timer.ElapsedSeconds();
+    const double birch_seconds = birch_timer.Stop();
 
     std::printf("%-14zu %12.3f %12.3f %14.3f\n", new_n, birch_seconds,
                 plus_seconds, phase2_seconds);

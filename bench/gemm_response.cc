@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/telemetry.h"
 #include "core/aum.h"
 #include "core/gemm.h"
 #include "datagen/quest_generator.h"
@@ -49,11 +50,18 @@ void RunRegime(const char* name, const BlockSelectionSequence& bss, size_t w,
   size_t slides = 0;
   size_t aum_blocks_touched = 0;
   for (size_t t = 0; t < blocks.size(); ++t) {
-    gemm.AddBlock(blocks[t]);
+    // Time the two GEMM phases separately (the engine's histograms do
+    // this in a deployment; here the bench drives GEMM directly).
+    telemetry::ScopedTimer response_timer;
+    gemm.BeginBlock(blocks[t]);
+    const double response = response_timer.Stop();
+    telemetry::ScopedTimer offline_timer;
+    gemm.DrainOffline();
+    const double offline = offline_timer.Stop();
     aum.AddBlock(blocks[t]);
     if (t + 1 > w) {  // steady state only
-      gemm_response += gemm.last_response_seconds();
-      gemm_offline += gemm.last_offline_seconds();
+      gemm_response += response;
+      gemm_offline += offline;
       aum_total += aum.last_stats().seconds;
       aum_blocks_touched +=
           aum.last_stats().blocks_added + aum.last_stats().blocks_removed;

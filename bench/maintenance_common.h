@@ -69,9 +69,19 @@ inline void RunMaintenanceExperiment(const char* figure, double minsup,
     size_t candidates = 0;
     for (size_t s = 0; s < 3; ++s) {
       BordersMaintainer maintainer = bases[s];  // copy, keep base pristine
+      // Phase timings come from the maintainer's own instrumentation (a
+      // fresh registry per run), not from re-timing around the call.
+      telemetry::TelemetryRegistry registry;
+      maintainer.set_telemetry(&registry);
       maintainer.AddBlock(second_block);
-      updates[s] = maintainer.last_stats().update_seconds;
-      detect = maintainer.last_stats().detection_seconds;  // same work/strategy
+      if constexpr (telemetry::kEnabled) {
+        updates[s] = HistogramSeconds(&registry, "borders/update_seconds");
+        // Same work for every strategy, so the last one wins.
+        detect = HistogramSeconds(&registry, "borders/detection_seconds");
+      } else {
+        updates[s] = maintainer.last_stats().update_seconds;
+        detect = maintainer.last_stats().detection_seconds;
+      }
       candidates = maintainer.last_stats().new_candidates;
     }
     std::printf("%-10zu %12.3f %14.3f %14.3f %14.3f %12zu\n", size, detect,

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,18 +30,31 @@ namespace demon {
 namespace {
 
 // --------------------------------------------------------------------------
-// Tiny flag parser: --key value pairs after the subcommand.
+// Tiny flag parser: --key value (or --key=value) pairs after the
+// subcommand.
 
 class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
     Flags flags;
-    for (int i = first; i < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+    for (int i = first; i < argc;) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
         return Status::InvalidArgument(
             std::string("expected --flag value, got: ") + argv[i]);
       }
-      flags.values_[argv[i] + 2] = argv[i + 1];
+      const char* eq = std::strchr(argv[i], '=');
+      if (eq != nullptr) {
+        flags.values_[std::string(argv[i] + 2,
+                                  static_cast<size_t>(eq - argv[i] - 2))] =
+            eq + 1;
+        i += 1;
+      } else if (i + 1 < argc) {
+        flags.values_[argv[i] + 2] = argv[i + 1];
+        i += 2;
+      } else {
+        return Status::InvalidArgument(
+            std::string("missing value for flag: ") + argv[i]);
+      }
     }
     return flags;
   }
@@ -219,45 +233,79 @@ Status RunPatterns(const Flags& flags) {
   return Status::OK();
 }
 
-Status RunMonitor(const Flags& flags) {
-  // The Figure 11 deployment loop: one evolving database, several
-  // heterogeneous monitors, driven by the parallel MaintenanceEngine.
-  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+/// Writes `contents` to `path` (for --trace_out= / telemetry --out=).
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+/// The Figure 11 deployment fleet shared by `monitor` and `telemetry`:
+/// unrestricted + windowed itemset monitors plus a pattern detector, fed
+/// every block, then quiesced.
+struct Fleet {
+  std::unique_ptr<DemonMonitor> demon;
+  std::vector<DemonMonitor::MonitorId> ids;
+  DemonMonitor::MonitorId mrw = 0;
+  DemonMonitor::MonitorId patterns = 0;
+  EngineOptions engine;
+};
+
+Result<Fleet> BuildAndRunFleet(
+    const Flags& flags,
+    const std::vector<std::shared_ptr<const TransactionBlock>>& blocks) {
   DEMON_ASSIGN_OR_RETURN(
       BlockSelectionSequence bss,
       BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
   const double minsup = flags.GetDouble("minsup", 0.01);
   const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
 
-  EngineOptions engine;
-  engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
-  engine.defer_offline = flags.GetInt("defer", 0) != 0;
+  Fleet fleet;
+  fleet.engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  fleet.engine.defer_offline = flags.GetInt("defer", 0) != 0;
 
-  DemonMonitor demon(InferNumItems(blocks), engine);
-  std::vector<DemonMonitor::MonitorId> ids;
+  fleet.demon =
+      std::make_unique<DemonMonitor>(InferNumItems(blocks), fleet.engine);
+  DemonMonitor& demon = *fleet.demon;
   if (!bss.is_window_relative()) {
     DEMON_ASSIGN_OR_RETURN(
         auto uw, demon.AddUnrestrictedItemsetMonitor("uw-itemsets", minsup,
                                                      bss));
-    ids.push_back(uw);
+    fleet.ids.push_back(uw);
   }
   DEMON_ASSIGN_OR_RETURN(
-      auto mrw,
+      fleet.mrw,
       demon.AddWindowedItemsetMonitor("mrw-itemsets", minsup, window, bss));
-  ids.push_back(mrw);
+  fleet.ids.push_back(fleet.mrw);
   DEMON_ASSIGN_OR_RETURN(
-      auto patterns,
+      fleet.patterns,
       demon.AddPatternDetector("patterns", minsup,
                                flags.GetDouble("alpha", 0.95)));
-  ids.push_back(patterns);
+  fleet.ids.push_back(fleet.patterns);
 
   for (const auto& block : blocks) {
     demon.AddBlock(*block);
   }
   demon.Quiesce();
+  return fleet;
+}
+
+Status RunMonitor(const Flags& flags) {
+  // The Figure 11 deployment loop: one evolving database, several
+  // heterogeneous monitors, driven by the parallel MaintenanceEngine.
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  DEMON_ASSIGN_OR_RETURN(Fleet fleet, BuildAndRunFleet(flags, blocks));
+  DemonMonitor& demon = *fleet.demon;
+  const auto& ids = fleet.ids;
+  const auto mrw = fleet.mrw;
+  const auto patterns = fleet.patterns;
+  const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
 
   std::printf("engine: %zu thread(s), defer_offline=%s, %zu blocks\n",
-              engine.num_threads, engine.defer_offline ? "on" : "off",
+              fleet.engine.num_threads,
+              fleet.engine.defer_offline ? "on" : "off",
               demon.snapshot().NumBlocks());
   std::printf("%-14s | %6s | %7s | %12s | %11s | %9s\n", "monitor", "routed",
               "skipped", "response(ms)", "offline(ms)", "total(ms)");
@@ -286,6 +334,42 @@ Status RunMonitor(const Flags& flags) {
     }
     std::printf("}\n");
   }
+
+  if (flags.Has("trace_out")) {
+    const std::string path = flags.GetString("trace_out", "");
+    DEMON_RETURN_NOT_OK(WriteTextFile(
+        path, demon.ExportTelemetry(telemetry::TelemetryFormat::kChromeTrace)));
+    std::printf("\nwrote Chrome trace to %s (load at ui.perfetto.dev)\n",
+                path.c_str());
+  }
+  return Status::OK();
+}
+
+/// Runs the monitor fleet and dumps the engine's telemetry registry —
+/// Prometheus text by default, Chrome trace-event JSON with
+/// --format chrome. --out writes to a file instead of stdout.
+Status RunTelemetry(const Flags& flags) {
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  DEMON_ASSIGN_OR_RETURN(Fleet fleet, BuildAndRunFleet(flags, blocks));
+
+  const std::string format = flags.GetString("format", "prometheus");
+  telemetry::TelemetryFormat telemetry_format;
+  if (format == "prometheus") {
+    telemetry_format = telemetry::TelemetryFormat::kPrometheus;
+  } else if (format == "chrome" || format == "trace") {
+    telemetry_format = telemetry::TelemetryFormat::kChromeTrace;
+  } else {
+    return Status::InvalidArgument("unknown --format: " + format +
+                                   " (want prometheus|chrome)");
+  }
+  const std::string text = fleet.demon->ExportTelemetry(telemetry_format);
+  if (flags.Has("out")) {
+    const std::string path = flags.GetString("out", "");
+    DEMON_RETURN_NOT_OK(WriteTextFile(path, text));
+    std::printf("wrote %s telemetry to %s\n", format.c_str(), path.c_str());
+  } else {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
   return Status::OK();
 }
 
@@ -307,7 +391,7 @@ Status RunRules(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: demon_cli <gen|mine|maintain|monitor|patterns|rules> "
+      "usage: demon_cli <gen|mine|maintain|monitor|patterns|rules|telemetry> "
       "[--flag value]\n"
       "  gen       --out F [--transactions N --items I --patterns P "
       "--len L --plen L --seed S]\n"
@@ -315,7 +399,9 @@ int Usage() {
       "  maintain  --data F1[,F2...] [--minsup 0.01 --strategy "
       "ptscan|ecut|ecut+ --bss all|10110|periodic:7/0]\n"
       "  monitor   --data F1[,F2...] [--minsup 0.01 --window 3 --bss all "
-      "--threads N --defer 0|1 --alpha 0.95]\n"
+      "--threads N --defer 0|1 --alpha 0.95 --trace_out trace.json]\n"
+      "  telemetry --data F1[,F2...] [--format prometheus|chrome "
+      "--out F + monitor flags]\n"
       "  patterns  --data F1[,F2...] [--minsup 0.01 --alpha 0.95 "
       "--window W]\n"
       "  rules     --data F1[,F2...] [--minsup 0.01 --confidence 0.5]\n");
@@ -342,6 +428,8 @@ int Main(int argc, char** argv) {
     status = RunMonitor(flags);
   } else if (command == "patterns") {
     status = RunPatterns(flags);
+  } else if (command == "telemetry") {
+    status = RunTelemetry(flags);
   } else if (command == "rules") {
     status = RunRules(flags);
   } else {

@@ -8,6 +8,12 @@
 # thread-count sweep) into BENCH_counting.json and bench/engine_throughput
 # (its own --benchmark_format=json mode) into BENCH_engine.json. Honors
 # DEMON_SCALE (default 0.1); set DEMON_SCALE=1 for paper-scale runs.
+#
+# Also archives the telemetry artifacts of an instrumented 4-thread engine
+# run: BENCH_telemetry.json (per-phase histogram summaries) and Chrome
+# trace-event files BENCH_engine_trace.json / BENCH_counting_trace.json
+# (load at https://ui.perfetto.dev). Requires a DEMON_TELEMETRY=ON build
+# (the default); with the gate off the traces are empty but still valid.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,11 +29,17 @@ echo "== fig2_counting -> BENCH_counting.json (DEMON_SCALE=${DEMON_SCALE:-0.1})"
 "$build_dir/bench/fig2_counting" \
   --benchmark_format=json \
   --benchmark_out="$repo_root/BENCH_counting.json" \
-  --benchmark_out_format=json >/dev/null
+  --benchmark_out_format=json \
+  --trace_out="$repo_root/BENCH_counting_trace.json" >/dev/null
 
-echo "== engine_throughput -> BENCH_engine.json"
+echo "== engine_throughput -> BENCH_engine.json + telemetry artifacts"
 "$build_dir/bench/engine_throughput" --benchmark_format=json \
+  --trace_out="$repo_root/BENCH_engine_trace.json" \
+  --histogram_out="$repo_root/BENCH_telemetry.json" \
   > "$repo_root/BENCH_engine.json"
 
 echo "wrote $repo_root/BENCH_counting.json"
+echo "wrote $repo_root/BENCH_counting_trace.json"
 echo "wrote $repo_root/BENCH_engine.json"
+echo "wrote $repo_root/BENCH_engine_trace.json"
+echo "wrote $repo_root/BENCH_telemetry.json"

@@ -17,6 +17,10 @@ Checks enforced (all are CI-blocking):
   include-guard  Every header under src/ uses the canonical
                  `DEMON_<PATH>_H_` include guard, with the matching
                  `#define` and a `#endif  // <guard>` trailer.
+  wall-timer     Raw `WallTimer` / `AccumulatingTimer` use outside
+                 src/common/. Instrument through common/telemetry.h
+                 instead (telemetry::ScopedTimer + histograms), so phase
+                 timings land in the registry rather than ad-hoc fields.
 
 Suppress a finding with `// lint:allow(<check>)` on the offending line.
 
@@ -39,6 +43,7 @@ NODISCARD_DECL_RE = re.compile(
     r"^\s*(?:virtual\s+|static\s+)*(?:Status|Result<[^;={}]*>)\s+\w+\s*\("
 )
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
+WALL_TIMER_RE = re.compile(r"\b(WallTimer|AccumulatingTimer)\b")
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -123,6 +128,11 @@ def lint_file(path, root, findings):
         if RAND_RE.search(code):
             report(lineno, "std-rand",
                    "use common/random.h, not the C PRNG")
+        if (WALL_TIMER_RE.search(code)
+                and not path.is_relative_to(root / "src" / "common")):
+            report(lineno, "wall-timer",
+                   "raw timer outside src/common/; instrument via "
+                   "common/telemetry.h (ScopedTimer + histograms)")
         if (path.suffix in HEADER_EXT
                 and NODISCARD_DECL_RE.match(code)
                 and "[[nodiscard]]" not in code_lines[max(0, lineno - 2)]

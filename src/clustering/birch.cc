@@ -3,7 +3,7 @@
 #include "clustering/agglomerative.h"
 #include "clustering/kmeans.h"
 #include "common/check.h"
-#include "common/timer.h"
+#include "common/telemetry.h"
 
 namespace demon {
 
@@ -48,7 +48,7 @@ ClusterModel GlobalCluster(const std::vector<ClusterFeature>& subclusters,
 ClusterModel RunBirch(
     const std::vector<std::shared_ptr<const PointBlock>>& blocks, size_t dim,
     const BirchOptions& options, BirchStats* stats) {
-  WallTimer timer;
+  telemetry::ScopedTimer phase1_timer;
   CFTree tree(dim, options.tree);
   size_t scanned = 0;
   for (const auto& block : blocks) {
@@ -57,16 +57,16 @@ ClusterModel RunBirch(
   }
   const std::vector<ClusterFeature> subclusters = tree.LeafEntries();
   if (stats != nullptr) {
-    stats->phase1_seconds = timer.ElapsedSeconds();
+    stats->phase1_seconds = phase1_timer.Stop();
     stats->num_subclusters = subclusters.size();
     stats->points_scanned = scanned;
   }
 
-  timer.Reset();
+  telemetry::ScopedTimer phase2_timer;
   ClusterModel model = subclusters.empty()
                            ? ClusterModel()
                            : GlobalCluster(subclusters, options);
-  if (stats != nullptr) stats->phase2_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) stats->phase2_seconds = phase2_timer.Stop();
   return model;
 }
 
@@ -75,19 +75,23 @@ BirchPlus::BirchPlus(size_t dim, const BirchOptions& options)
 
 void BirchPlus::AddBlock(const PointBlock& block) {
   last_stats_ = BirchStats{};
-  WallTimer timer;
-  // Resume phase 1: only the new block is scanned (paper §3.1.2).
-  tree_.InsertBlock(block);
-  last_stats_.phase1_seconds = timer.ElapsedSeconds();
-  last_stats_.points_scanned = block.size();
+  {
+    DEMON_TRACE_SPAN(span, telemetry_, "birch-phase1", "clustering");
+    telemetry::ScopedTimer timer(phase1_hist_);
+    // Resume phase 1: only the new block is scanned (paper §3.1.2).
+    tree_.InsertBlock(block);
+    last_stats_.phase1_seconds = timer.Stop();
+    last_stats_.points_scanned = block.size();
+  }
 
-  timer.Reset();
+  DEMON_TRACE_SPAN(span, telemetry_, "birch-phase2", "clustering");
+  telemetry::ScopedTimer timer(phase2_hist_);
   const std::vector<ClusterFeature> subclusters = tree_.LeafEntries();
   last_stats_.num_subclusters = subclusters.size();
   if (!subclusters.empty()) {
     model_ = GlobalCluster(subclusters, options_);
   }
-  last_stats_.phase2_seconds = timer.ElapsedSeconds();
+  last_stats_.phase2_seconds = timer.Stop();
 }
 
 }  // namespace demon

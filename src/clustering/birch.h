@@ -75,11 +75,32 @@ class BirchPlus {
   /// block, phase 2 = global clustering; Figure 8 plots both).
   const BirchStats& last_stats() const { return last_stats_; }
 
+  /// Binds `registry` for phase spans, the
+  /// `birch/{phase1,phase2}_seconds` histograms, and — forwarded to the
+  /// CF-tree — insert/rebuild instrumentation. BirchStats stays available
+  /// in every build.
+  void set_telemetry(telemetry::TelemetryRegistry* registry) {
+    tree_.set_telemetry(registry);
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      phase1_hist_ = registry == nullptr
+                         ? nullptr
+                         : registry->histogram("birch/phase1_seconds");
+      phase2_hist_ = registry == nullptr
+                         ? nullptr
+                         : registry->histogram("birch/phase2_seconds");
+    }
+  }
+
  private:
   BirchOptions options_;
   CFTree tree_;
   ClusterModel model_;
   BirchStats last_stats_;
+  /// All null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Histogram* phase1_hist_ = nullptr;
+  telemetry::Histogram* phase2_hist_ = nullptr;
 };
 
 }  // namespace demon

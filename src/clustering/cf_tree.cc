@@ -45,7 +45,11 @@ void CFTree::Insert(const double* point) {
 
 void CFTree::InsertBlock(const PointBlock& block) {
   DEMON_CHECK(block.dim() == dim_);
+  DEMON_TRACE_SPAN(span, telemetry_,
+                   "cftree-insert " + std::to_string(block.size()) + " pts",
+                   "cftree");
   for (size_t i = 0; i < block.size(); ++i) Insert(block.PointAt(i));
+  DEMON_COUNTER_ADD(points_inserted_, block.size());
 }
 
 size_t CFTree::ClosestEntry(const Node& node,
@@ -380,8 +384,11 @@ void CFTree::MutateLeafEntryForTest(
 }
 
 void CFTree::RebuildWithLargerThreshold() {
+  DEMON_TRACE_SPAN(span, telemetry_, "cftree-rebuild", "cftree");
+  telemetry::ScopedTimer timer(rebuild_hist_);
   while (num_leaf_entries_ > options_.max_leaf_entries) {
     ++num_rebuilds_;
+    DEMON_COUNTER_ADD(rebuilds_, 1);
     // Data-driven threshold bump: at least the closest pair of sibling
     // sub-clusters must become mergeable, and grow geometrically so the
     // loop terminates fast.

@@ -8,6 +8,7 @@
 
 #include "clustering/cluster_feature.h"
 #include "common/audit.h"
+#include "common/telemetry.h"
 #include "data/block.h"
 
 namespace demon {
@@ -64,6 +65,25 @@ class CFTree {
   /// Number of rebuilds performed so far.
   size_t num_rebuilds() const { return num_rebuilds_; }
 
+  /// Binds `registry` (not owned; nullable) for block-insert and rebuild
+  /// spans plus the `cftree/{points_inserted,rebuilds}` counters and the
+  /// `cftree/rebuild_seconds` histogram. Per-point Insert stays
+  /// uninstrumented — InsertBlock records the batch. No-op in
+  /// DEMON_TELEMETRY=OFF builds.
+  void set_telemetry([[maybe_unused]] telemetry::TelemetryRegistry* registry) {
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      points_inserted_ = registry == nullptr
+                             ? nullptr
+                             : registry->counter("cftree/points_inserted");
+      rebuilds_ =
+          registry == nullptr ? nullptr : registry->counter("cftree/rebuilds");
+      rebuild_hist_ = registry == nullptr
+                          ? nullptr
+                          : registry->histogram("cftree/rebuild_seconds");
+    }
+  }
+
   /// Deep structural audit (the CF additivity invariants of [ZRL96] that
   /// BIRCH+ §3.1.2 relies on): every leaf entry a valid CF (N >= 1,
   /// SS >= |LS|²/N up to rounding), every internal entry the exact merge
@@ -118,6 +138,11 @@ class CFTree {
   ClusterFeature root_cf_;
   size_t num_leaf_entries_ = 0;
   size_t num_rebuilds_ = 0;
+  /// All null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Counter* points_inserted_ = nullptr;
+  telemetry::Counter* rebuilds_ = nullptr;
+  telemetry::Histogram* rebuild_hist_ = nullptr;
 };
 
 }  // namespace demon

@@ -1,0 +1,432 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace demon::telemetry {
+namespace {
+
+/// Per-thread ring capacity. 32k spans outlive any bench block burst;
+/// overflow overwrites the oldest record and bumps dropped_spans().
+constexpr size_t kRingCapacity = 1 << 15;
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+/// One thread's view of one registry, for the buffer fast path.
+struct BufferCacheEntry {
+  uint64_t registry_id;
+  void* buffer;
+};
+
+/// One live span on this thread, for same-thread parent inference.
+struct StackEntry {
+  uint64_t registry_id;
+  uint64_t span_id;
+};
+
+thread_local std::vector<BufferCacheEntry> tls_buffer_cache;
+thread_local std::vector<StackEntry> tls_span_stack;
+
+/// Maps v (seconds) to its bucket index.
+size_t BucketIndexFor(double v) {
+  constexpr double kMin = 1e-7;
+  if (!(v >= kMin)) return 0;  // underflow; also catches NaN and negatives
+  const double offset =
+      static_cast<double>(Histogram::kBucketsPerDecade) *
+      (std::log10(v) - Histogram::kMinExponent);
+  const size_t index = 1 + static_cast<size_t>(offset);
+  return std::min(index, Histogram::kNumBuckets - 1);
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out->append(buf);
+}
+
+/// Prometheus metric name: `demon_` + name with every run of characters
+/// outside [a-zA-Z0-9_] collapsed to one underscore.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "demon_";
+  bool last_was_underscore = true;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (ok) {
+      out.push_back(c);
+      last_was_underscore = false;
+    } else if (!last_was_underscore) {
+      out.push_back('_');
+      last_was_underscore = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+template <typename Map>
+std::vector<std::string> SortedKeys(const Map& map) {
+  std::vector<std::string> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndexFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+  AtomicMaxDouble(max_, v);
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, kMinExponent +
+                            static_cast<double>(i) /
+                                static_cast<double>(kBucketsPerDecade));
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const double next = cumulative + static_cast<double>(in_bucket);
+    if (next >= rank) {
+      const double upper = BucketUpperBound(i);
+      if (std::isinf(upper)) return max();
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(in_bucket);
+      return std::min(lower + fraction * (upper - lower), max());
+    }
+    cumulative = next;
+  }
+  return max();
+}
+
+/// A bounded span ring owned by (registry, thread). The mutex is only
+/// contended while CollectSpans drains; the owning thread otherwise
+/// takes it uncontended (a couple of atomic ops).
+struct TelemetryRegistry::ThreadBuffer {
+  std::thread::id owner;
+  uint32_t thread_index = 0;
+  std::mutex mutex;
+  std::vector<SpanRecord> ring;
+  size_t write_cursor = 0;  ///< Next overwrite position once full.
+  bool wrapped = false;
+};
+
+TelemetryRegistry::TelemetryRegistry()
+    : registry_id_(g_next_registry_id.fetch_add(1)) {}
+
+TelemetryRegistry::~TelemetryRegistry() = default;
+
+TelemetryRegistry& TelemetryRegistry::Global() {
+  static TelemetryRegistry* global = new TelemetryRegistry();  // lint:allow(naked-new): intentionally leaked process singleton
+  return *global;
+}
+
+Counter* TelemetryRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* TelemetryRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* TelemetryRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+TelemetryRegistry::ThreadBuffer* TelemetryRegistry::BufferForThisThread() {
+  for (const BufferCacheEntry& entry : tls_buffer_cache) {
+    if (entry.registry_id == registry_id_) {
+      return static_cast<ThreadBuffer*>(entry.buffer);
+    }
+  }
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuffer* buffer = nullptr;
+  for (const auto& candidate : buffers_) {
+    if (candidate->owner == self) {
+      buffer = candidate.get();
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->owner = self;
+    buffer->thread_index = static_cast<uint32_t>(buffers_.size() - 1);
+    buffer->ring.reserve(64);
+  }
+  // Entries for destroyed registries are unreachable (ids are never
+  // reused), so wholesale eviction is safe and keeps the cache tiny.
+  if (tls_buffer_cache.size() >= 64) tls_buffer_cache.clear();
+  tls_buffer_cache.push_back({registry_id_, buffer});
+  return buffer;
+}
+
+void TelemetryRegistry::RecordSpan(SpanRecord record) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  record.thread = buffer->thread_index;
+  if (buffer->ring.size() < kRingCapacity) {
+    buffer->ring.push_back(std::move(record));
+    return;
+  }
+  buffer->ring[buffer->write_cursor] = std::move(record);
+  buffer->write_cursor = (buffer->write_cursor + 1) % kRingCapacity;
+  buffer->wrapped = true;
+  dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TelemetryRegistry::CollectSpans() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (buffer->wrapped) {
+      // Oldest record sits at the write cursor once the ring has wrapped.
+      std::rotate(buffer->ring.begin(),
+                  buffer->ring.begin() +
+                      static_cast<std::ptrdiff_t>(buffer->write_cursor),
+                  buffer->ring.end());
+    }
+    for (SpanRecord& record : buffer->ring) {
+      collected_.push_back(std::move(record));
+    }
+    buffer->ring.clear();
+    buffer->write_cursor = 0;
+    buffer->wrapped = false;
+  }
+  std::stable_sort(collected_.begin(), collected_.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return collected_;
+}
+
+void TelemetryRegistry::ClearSpans() {
+  CollectSpans();
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  collected_.clear();
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
+  for (const SpanRecord& span : spans) {
+    base_ns = std::min(base_ns, span.start_ns);
+  }
+  if (spans.empty()) base_ns = 0;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const SpanRecord& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n{\"name\":\"");
+    AppendJsonEscaped(span.name, &out);
+    out.append("\",\"cat\":\"");
+    AppendJsonEscaped(span.category, &out);
+    // ph:"X" complete events; ts/dur in microseconds per the trace_event
+    // spec, rebased to the earliest span so Perfetto opens near t=0.
+    const double ts_us =
+        static_cast<double>(span.start_ns - base_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(span.end_ns - span.start_ns) / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u,",
+                  ts_us, dur_us, span.thread);
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "\"args\":{\"span\":%llu,\"parent\":%llu}}",
+                  static_cast<unsigned long long>(span.id),
+                  static_cast<unsigned long long>(span.parent));
+    out.append(buf);
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+std::string TelemetryRegistry::ChromeTraceJson() {
+  return telemetry::ChromeTraceJson(CollectSpans());
+}
+
+std::string TelemetryRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  std::string out;
+  for (const std::string& key : SortedKeys(counters_)) {
+    std::string name = PrometheusName(key);
+    if (name.size() < 6 || name.compare(name.size() - 6, 6, "_total") != 0) {
+      name += "_total";
+    }
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counters_.at(key)->value()) + "\n";
+  }
+  for (const std::string& key : SortedKeys(gauges_)) {
+    const std::string name = PrometheusName(key);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendDouble(gauges_.at(key)->value(), &out);
+    out.push_back('\n');
+  }
+  for (const std::string& key : SortedKeys(histograms_)) {
+    const Histogram& histogram = *histograms_.at(key);
+    const std::string name = PrometheusName(key);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += histogram.bucket_count(i);
+      const double upper = Histogram::BucketUpperBound(i);
+      out += name + "_bucket{le=\"";
+      if (std::isinf(upper)) {
+        out += "+Inf";
+      } else {
+        AppendDouble(upper, &out);
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum ";
+    AppendDouble(histogram.sum(), &out);
+    out.push_back('\n');
+    out += name + "_count " + std::to_string(histogram.count()) + "\n";
+  }
+  return out;
+}
+
+std::string TelemetryRegistry::Export(TelemetryFormat format) {
+  switch (format) {
+    case TelemetryFormat::kChromeTrace:
+      return ChromeTraceJson();
+    case TelemetryFormat::kPrometheus:
+      return PrometheusText();
+  }
+  return "";
+}
+
+std::vector<HistogramSummary> TelemetryRegistry::HistogramSummaries() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  std::vector<HistogramSummary> rows;
+  rows.reserve(histograms_.size());
+  for (const std::string& key : SortedKeys(histograms_)) {
+    const Histogram& histogram = *histograms_.at(key);
+    HistogramSummary row;
+    row.name = key;
+    row.count = histogram.count();
+    row.sum = histogram.sum();
+    row.p50 = histogram.ApproxQuantile(0.5);
+    row.p95 = histogram.ApproxQuantile(0.95);
+    row.max = histogram.max();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TraceSpan::TraceSpan(TelemetryRegistry* registry, std::string name,
+                     const char* category) {
+  if (registry == nullptr) return;
+  uint64_t parent = 0;
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (it->registry_id == registry->registry_id_) {
+      parent = it->span_id;
+      break;
+    }
+  }
+  Open(registry, std::move(name), category, parent);
+}
+
+TraceSpan::TraceSpan(TelemetryRegistry* registry, std::string name,
+                     const char* category, uint64_t parent) {
+  if (registry == nullptr) return;
+  Open(registry, std::move(name), category, parent);
+}
+
+void TraceSpan::Open(TelemetryRegistry* registry, std::string name,
+                     const char* category, uint64_t parent) {
+  registry_ = registry;
+  name_ = std::move(name);
+  category_ = category;
+  parent_ = parent;
+  id_ = registry->NextSpanId();
+  tls_span_stack.push_back({registry->registry_id_, id_});
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (registry_ == nullptr) return;
+  const uint64_t end_ns = NowNanos();
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (it->span_id == id_ && it->registry_id == registry_->registry_id_) {
+      tls_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.category = category_;
+  record.start_ns = start_ns_;
+  record.end_ns = end_ns;
+  registry_->RecordSpan(std::move(record));
+}
+
+}  // namespace demon::telemetry

@@ -6,7 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/timer.h"
+#include "common/telemetry.h"
 #include "core/bss.h"
 #include "data/block.h"
 #include "itemsets/borders.h"
@@ -52,7 +52,8 @@ class AuMItemsetMaintainer {
     if (window_.size() > window_size_) window_.pop_front();
 
     last_stats_ = SlideStats{};
-    WallTimer timer;
+    DEMON_TRACE_SPAN(span, telemetry_, "aum-slide", "aum");
+    telemetry::ScopedTimer timer(slide_hist_);
 
     // Desired selected set over the new window.
     std::vector<BlockPtr> desired;
@@ -93,7 +94,7 @@ class AuMItemsetMaintainer {
         ++last_stats_.blocks_added;
       }
     }
-    last_stats_.seconds = timer.ElapsedSeconds();
+    last_stats_.seconds = timer.Stop();
   }
 
   const ItemsetModel& model() const { return maintainer_.model(); }
@@ -106,6 +107,19 @@ class AuMItemsetMaintainer {
     maintainer_.set_counting_pool(pool);
   }
 
+  /// Binds `registry` for the per-slide span, the `aum/slide_seconds`
+  /// histogram, and the underlying BORDERS/counting instrumentation.
+  /// SlideStats stays available in every build.
+  void set_telemetry(telemetry::TelemetryRegistry* registry) {
+    maintainer_.set_telemetry(registry);
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      slide_hist_ = registry == nullptr
+                        ? nullptr
+                        : registry->histogram("aum/slide_seconds");
+    }
+  }
+
  private:
   BordersMaintainer maintainer_;
   BlockSelectionSequence bss_;
@@ -113,6 +127,9 @@ class AuMItemsetMaintainer {
   std::deque<BlockPtr> window_;
   size_t t_ = 0;
   SlideStats last_stats_;
+  /// Null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Histogram* slide_hist_ = nullptr;
 };
 
 }  // namespace demon

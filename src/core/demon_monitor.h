@@ -119,6 +119,16 @@ class DemonMonitor {
   /// Name of a monitor (as registered).
   [[nodiscard]] Result<std::string> NameOf(MonitorId id) const;
 
+  /// The engine's telemetry registry (engine-owned unless injected via
+  /// EngineOptions::telemetry).
+  telemetry::TelemetryRegistry* telemetry() const { return engine_.telemetry(); }
+
+  /// Quiesces the engine and serializes its telemetry registry — see
+  /// MaintenanceEngine::ExportTelemetry.
+  std::string ExportTelemetry(telemetry::TelemetryFormat format) const {
+    return engine_.ExportTelemetry(format);
+  }
+
   const TransactionSnapshot& snapshot() const { return snapshot_; }
   const PointSnapshot& point_snapshot() const { return points_; }
   const LabeledSnapshot& labeled_snapshot() const { return labeled_; }

@@ -1,7 +1,5 @@
 #include "core/engine.h"
 
-#include "common/timer.h"
-
 namespace demon {
 
 const char* ToString(AnyBlock::Payload payload) {
@@ -20,6 +18,12 @@ MaintenanceEngine::MaintenanceEngine(const EngineOptions& options)
     : options_(options) {
   if (options_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (options_.telemetry != nullptr) {
+    telemetry_ = options_.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<telemetry::TelemetryRegistry>();
+    telemetry_ = owned_telemetry_.get();
   }
 }
 
@@ -45,26 +49,36 @@ MaintenanceEngine::MonitorId MaintenanceEngine::Register(
   // One pool serves both levels: monitor fan-out here, counting-level
   // sharding inside the maintainer (via ParallelFor, so nesting is safe).
   entry->maintainer->BindThreadPool(pool_.get());
+  entry->maintainer->BindTelemetry(telemetry_);
+  // The histograms behind the MonitorStats view exist in every build;
+  // only span tracing and kernel macros sit behind the telemetry gate.
+  entry->response_hist =
+      telemetry_->histogram("monitor/" + entry->name + "/response_seconds");
+  entry->offline_hist =
+      telemetry_->histogram("monitor/" + entry->name + "/offline_seconds");
   monitors_.push_back(std::move(entry));
   return monitors_.size() - 1;
 }
 
-void MaintenanceEngine::RunResponse(Entry* entry, const AnyBlock& block) {
-  WallTimer timer;
+void MaintenanceEngine::RunResponse(Entry* entry, const AnyBlock& block,
+                                    [[maybe_unused]] uint64_t parent_span) {
+  DEMON_TRACE_SPAN_UNDER(span, telemetry_, entry->name, "response",
+                         parent_span);
+  telemetry::ScopedTimer timer(entry->response_hist);
   entry->maintainer->AddResponse(block);
-  const double seconds = timer.ElapsedSeconds();
+  const double seconds = timer.Stop();
   ++entry->stats.blocks_routed;
   entry->stats.last_response_seconds = seconds;
-  entry->stats.response_seconds += seconds;
   entry->stats.last_offline_seconds = 0.0;
 }
 
-void MaintenanceEngine::RunOffline(Entry* entry) {
-  WallTimer timer;
+void MaintenanceEngine::RunOffline(Entry* entry,
+                                   [[maybe_unused]] uint64_t parent_span) {
+  DEMON_TRACE_SPAN_UNDER(span, telemetry_, entry->name, "offline",
+                         parent_span);
+  telemetry::ScopedTimer timer(entry->offline_hist);
   entry->maintainer->RunOffline();
-  const double seconds = timer.ElapsedSeconds();
-  entry->stats.last_offline_seconds = seconds;
-  entry->stats.offline_seconds += seconds;
+  entry->stats.last_offline_seconds = timer.Stop();
 }
 
 void MaintenanceEngine::Dispatch(const AnyBlock& block) {
@@ -89,15 +103,24 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
     routed.push_back(entry.get());
   }
 
+  // The block span covers the whole dispatch; per-monitor response and
+  // offline spans hang off it, even from pool workers (the closures carry
+  // the parent id — the thread-local nesting stack cannot cross threads).
+  DEMON_TRACE_SPAN(block_span, telemetry_,
+                   "block " + std::to_string(block.id()), "engine");
+  const uint64_t block_span_id = DEMON_SPAN_ID(block_span);
+
   // Time-critical path: every routed monitor absorbs the block; the
   // barrier below is what the caller's response time measures.
   if (pool_ != nullptr) {
     for (Entry* entry : routed) {
-      pool_->Submit([entry, &block] { RunResponse(entry, block); });
+      pool_->Submit([this, entry, &block, block_span_id] {
+        RunResponse(entry, block, block_span_id);
+      });
     }
     pool_->WaitIdle();
   } else {
-    for (Entry* entry : routed) RunResponse(entry, block);
+    for (Entry* entry : routed) RunResponse(entry, block, block_span_id);
   }
 
   // Offline path: deferred to the pool (drained on the next Dispatch or
@@ -106,10 +129,12 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
   for (Entry* entry : routed) {
     if (!entry->maintainer->has_offline_work()) continue;
     if (pool_ != nullptr && options_.defer_offline) {
-      pool_->Submit([entry] { RunOffline(entry); });
+      pool_->Submit([this, entry, block_span_id] {
+        RunOffline(entry, block_span_id);
+      });
       deferred = true;
     } else {
-      RunOffline(entry);
+      RunOffline(entry, block_span_id);
     }
   }
 
@@ -159,12 +184,30 @@ Result<const ModelMaintainer*> MaintenanceEngine::MaintainerOf(
 Result<MonitorStats> MaintenanceEngine::StatsOf(MonitorId id) const {
   DEMON_RETURN_NOT_OK(CheckId(id));
   Quiesce();
-  return monitors_[id]->stats;
+  const Entry& entry = *monitors_[id];
+  // Quiesce-consistent view: counts and last-block latencies live in the
+  // entry; cumulative and quantile fields come from the histograms.
+  MonitorStats stats = entry.stats;
+  stats.response_seconds = entry.response_hist->sum();
+  stats.response_p50 = entry.response_hist->ApproxQuantile(0.5);
+  stats.response_p95 = entry.response_hist->ApproxQuantile(0.95);
+  stats.response_max = entry.response_hist->max();
+  stats.offline_seconds = entry.offline_hist->sum();
+  stats.offline_p50 = entry.offline_hist->ApproxQuantile(0.5);
+  stats.offline_p95 = entry.offline_hist->ApproxQuantile(0.95);
+  stats.offline_max = entry.offline_hist->max();
+  return stats;
 }
 
 Result<std::string> MaintenanceEngine::NameOf(MonitorId id) const {
   DEMON_RETURN_NOT_OK(CheckId(id));
   return monitors_[id]->name;
+}
+
+std::string MaintenanceEngine::ExportTelemetry(
+    telemetry::TelemetryFormat format) const {
+  Quiesce();
+  return telemetry_->Export(format);
 }
 
 }  // namespace demon

@@ -9,6 +9,7 @@
 
 #include "common/audit.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/bss.h"
 #include "core/model_maintainer.h"
@@ -29,9 +30,24 @@ struct EngineOptions {
   /// latency then reflects only the time-critical path (§3.2.3's "can be
   /// brought up to date off-line").
   bool defer_offline = false;
+
+  /// Registry receiving the engine's spans, per-monitor latency
+  /// histograms and kernel counters. Null (the default) makes the engine
+  /// own a private registry, so concurrent engines never mix telemetry;
+  /// inject one to aggregate across engines or to read it from outside.
+  /// Must outlive the engine when set.
+  telemetry::TelemetryRegistry* telemetry = nullptr;
 };
 
-/// Per-monitor instrumentation maintained by the engine.
+/// \brief Per-monitor instrumentation, as returned by `StatsOf`.
+///
+/// This is a compatibility *view* over the engine's telemetry: the
+/// latency fields are derived from the per-monitor response/offline
+/// histograms (`monitor/<name>/response_seconds` and `.../offline_seconds`
+/// in the engine's registry) at the moment of the call. Those histograms
+/// are recorded in every build — the DEMON_TELEMETRY gate only controls
+/// span tracing and kernel-level macros — so MonitorStats behaves
+/// identically under -DDEMON_TELEMETRY=OFF.
 struct MonitorStats {
   /// Blocks whose payload matched and whose BSS gate selected them.
   size_t blocks_routed = 0;
@@ -44,6 +60,15 @@ struct MonitorStats {
   double offline_seconds = 0.0;
   double last_response_seconds = 0.0;
   double last_offline_seconds = 0.0;
+
+  /// Latency distribution over all routed blocks, from the histograms
+  /// (quantiles interpolated within buckets; max is exact).
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  double response_max = 0.0;
+  double offline_p50 = 0.0;
+  double offline_p95 = 0.0;
+  double offline_max = 0.0;
 
   double total_seconds() const { return response_seconds + offline_seconds; }
   double last_block_seconds() const {
@@ -95,13 +120,24 @@ class MaintenanceEngine {
   size_t NumMonitors() const { return monitors_.size(); }
 
   /// The accessors below Quiesce() first, so reading a maintainer's model
-  /// or stats never races with a deferred offline update.
+  /// or stats never races with a deferred offline update. `StatsOf` is
+  /// therefore quiesce-consistent: the returned snapshot reflects every
+  /// block previously dispatched, including deferred offline work.
   [[nodiscard]] Result<const ModelMaintainer*> MaintainerOf(MonitorId id) const;
   [[nodiscard]] Result<MonitorStats> StatsOf(MonitorId id) const;
   [[nodiscard]] Result<std::string> NameOf(MonitorId id) const;
 
   const EngineOptions& options() const { return options_; }
   bool parallel() const { return pool_ != nullptr; }
+
+  /// The registry every monitor reports into (engine-owned unless
+  /// EngineOptions::telemetry injected one).
+  telemetry::TelemetryRegistry* telemetry() const { return telemetry_; }
+
+  /// Quiesces, then renders the registry: the Chrome trace_event span
+  /// timeline (load the string written to a .json file in Perfetto) or
+  /// the Prometheus text exposition of all counters and histograms.
+  std::string ExportTelemetry(telemetry::TelemetryFormat format) const;
 
   /// Runs every monitor's deep invariant audit now and escalates any
   /// violation through the audit failure handler (default: report and
@@ -117,15 +153,24 @@ class MaintenanceEngine {
     std::string name;
     std::unique_ptr<ModelMaintainer> maintainer;
     std::optional<BlockSelectionSequence> gate;
+    /// Counts and last-block latencies; the cumulative and quantile
+    /// fields of the StatsOf view come from the histograms below.
     MonitorStats stats;
+    /// Registered as "monitor/<name>/{response,offline}_seconds"; live in
+    /// every build (ScopedTimer bypasses the DEMON_TELEMETRY gate).
+    telemetry::Histogram* response_hist = nullptr;
+    telemetry::Histogram* offline_hist = nullptr;
   };
 
   [[nodiscard]] Status CheckId(MonitorId id) const;
-  static void RunResponse(Entry* entry, const AnyBlock& block);
-  static void RunOffline(Entry* entry);
+  void RunResponse(Entry* entry, const AnyBlock& block, uint64_t parent_span);
+  void RunOffline(Entry* entry, uint64_t parent_span);
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Backing storage for telemetry_ when no registry was injected.
+  std::unique_ptr<telemetry::TelemetryRegistry> owned_telemetry_;
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
   /// True when a block's offline work was deferred to the pool, so its
   /// boundary audit must wait for the next Quiesce-then-Dispatch (or the
   /// destructor). Only meaningful in DEMON_AUDIT builds.

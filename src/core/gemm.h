@@ -8,7 +8,7 @@
 
 #include "common/audit.h"
 #include "common/check.h"
-#include "common/timer.h"
+#include "common/telemetry.h"
 #include "core/bss.h"
 #include "data/types.h"
 
@@ -28,8 +28,11 @@ namespace demon {
 /// A_M invocation — so the response time equals A_M's (§3.2.3) — and the
 /// remaining models can be brought up to date off-line.
 ///
-/// The current model is `current().model()`; GEMM reports the time split
-/// between the time-critical update and the off-line ones.
+/// The current model is `current().model()`. The time split between the
+/// time-critical update and the off-line ones is recorded by the caller
+/// (the MaintenanceEngine's per-monitor histograms, surfaced through
+/// `MonitorStats`) — GEMM itself only emits trace spans, one per window
+/// model it touches, when a telemetry registry is bound.
 template <typename Maintainer, typename BlockPtr>
 class Gemm {
  public:
@@ -75,12 +78,12 @@ class Gemm {
     }
     DEMON_CHECK(!models_.empty());
 
-    WallTimer timer;
     if (ShouldInclude(models_.front().start)) {
+      DEMON_TRACE_SPAN(span, telemetry_,
+                       "window@" + std::to_string(models_.front().start),
+                       "gemm");
       models_.front().maintainer.AddBlock(block);
     }
-    last_response_seconds_ = timer.ElapsedSeconds();
-    last_offline_seconds_ = 0.0;
     pending_ = std::move(block);
     has_pending_ = true;
   }
@@ -89,13 +92,15 @@ class Gemm {
   /// the block last passed to BeginBlock. No-op when nothing is pending.
   void DrainOffline() {
     if (!has_pending_) return;
-    WallTimer timer;
+    DEMON_TRACE_SPAN(drain_span, telemetry_, "gemm-offline", "gemm");
     for (size_t i = 1; i < models_.size(); ++i) {
       if (ShouldInclude(models_[i].start)) {
+        DEMON_TRACE_SPAN(span, telemetry_,
+                         "window@" + std::to_string(models_[i].start),
+                         "gemm");
         models_[i].maintainer.AddBlock(pending_);
       }
     }
-    last_offline_seconds_ = timer.ElapsedSeconds();
     pending_ = BlockPtr();
     has_pending_ = false;
   }
@@ -115,13 +120,14 @@ class Gemm {
   /// Latest block id fed in (t).
   BlockId latest_block() const { return static_cast<BlockId>(t_); }
 
-  /// Seconds spent updating the current model on the last AddBlock — the
-  /// response time (at most one A_M invocation, §3.2.3).
-  double last_response_seconds() const { return last_response_seconds_; }
-
-  /// Seconds spent updating the future-window models on the last AddBlock
-  /// (deferrable to idle time, §3.2.3).
-  double last_offline_seconds() const { return last_offline_seconds_; }
+  /// Registry receiving GEMM's per-window-model spans (nullable; null
+  /// disables tracing). No-op in DEMON_TELEMETRY=OFF builds. Response and
+  /// offline *timings* are the caller's job — the engine's per-monitor
+  /// histograms replaced GEMM's former duplicate last_*_seconds fields.
+  void set_telemetry(
+      [[maybe_unused]] telemetry::TelemetryRegistry* registry) {
+    if constexpr (telemetry::kEnabled) telemetry_ = registry;
+  }
 
   /// Whether the BSS selects `block` for the window starting at `start` —
   /// the projected/right-shifted selection rule of §3.2.2, exposed so
@@ -229,8 +235,8 @@ class Gemm {
   /// DrainOffline).
   BlockPtr pending_{};
   bool has_pending_ = false;
-  double last_response_seconds_ = 0.0;
-  double last_offline_seconds_ = 0.0;
+  /// Stays null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
 };
 
 }  // namespace demon

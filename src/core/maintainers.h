@@ -27,6 +27,10 @@ class ClusterMaintainer {
 
   void AddBlock(const BlockPtr& block) { birch_.AddBlock(*block); }
 
+  void set_telemetry(telemetry::TelemetryRegistry* registry) {
+    birch_.set_telemetry(registry);
+  }
+
   const ClusterModel& model() const { return birch_.model(); }
   const BirchPlus& birch() const { return birch_; }
 
@@ -79,6 +83,9 @@ class BordersAdapter : public ModelMaintainer {
   void BindThreadPool(ThreadPool* pool) override {
     maintainer_.set_counting_pool(pool);
   }
+  void BindTelemetry(telemetry::TelemetryRegistry* registry) override {
+    maintainer_.set_telemetry(registry);
+  }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.transactions());
   }
@@ -104,12 +111,14 @@ class GemmItemsetAdapter : public ModelMaintainer {
 
   GemmItemsetAdapter(BlockSelectionSequence bss, size_t window,
                      const BordersOptions& options)
-      // The factory reads counting_pool_ at spawn time, so window models
-      // created after BindThreadPool count in parallel too. The adapter is
-      // heap-allocated and never moved, so capturing `this` is safe.
+      // The factory reads counting_pool_ / telemetry_registry_ at spawn
+      // time, so window models created after BindThreadPool/BindTelemetry
+      // count in parallel and trace too. The adapter is heap-allocated and
+      // never moved, so capturing `this` is safe.
       : options_(options), gemm_(std::move(bss), window, [this] {
           BordersMaintainer maintainer(options_);
           maintainer.set_counting_pool(counting_pool_);
+          maintainer.set_telemetry(telemetry_registry_);
           return maintainer;
         }) {}
 
@@ -118,6 +127,10 @@ class GemmItemsetAdapter : public ModelMaintainer {
     return AnyBlock::Payload::kTransactions;
   }
   void BindThreadPool(ThreadPool* pool) override { counting_pool_ = pool; }
+  void BindTelemetry(telemetry::TelemetryRegistry* registry) override {
+    telemetry_registry_ = registry;
+    gemm_.set_telemetry(registry);
+  }
   void AddResponse(const AnyBlock& block) override {
     gemm_.BeginBlock(block.transactions());
   }
@@ -154,9 +167,10 @@ class GemmItemsetAdapter : public ModelMaintainer {
   const GemmT& gemm() const { return gemm_; }
 
  private:
-  // Declared before gemm_: the factory lambda reads both members.
+  // Declared before gemm_: the factory lambda reads these members.
   BordersOptions options_;
   ThreadPool* counting_pool_ = nullptr;
+  telemetry::TelemetryRegistry* telemetry_registry_ = nullptr;
   GemmT gemm_;
 };
 
@@ -169,6 +183,9 @@ class ClusterAdapter : public ModelMaintainer {
   std::string_view type_name() const override { return "birch+"; }
   AnyBlock::Payload payload() const override {
     return AnyBlock::Payload::kPoints;
+  }
+  void BindTelemetry(telemetry::TelemetryRegistry* registry) override {
+    maintainer_.set_telemetry(registry);
   }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.points());
@@ -194,12 +211,21 @@ class GemmClusterAdapter : public ModelMaintainer {
 
   GemmClusterAdapter(BlockSelectionSequence bss, size_t window, size_t dim,
                      const BirchOptions& options)
-      : gemm_(std::move(bss), window,
-              [dim, options] { return ClusterMaintainer(dim, options); }) {}
+      // As in GemmItemsetAdapter, the factory reads telemetry_registry_ at
+      // spawn time; the adapter is heap-allocated and never moved.
+      : gemm_(std::move(bss), window, [this, dim, options] {
+          ClusterMaintainer maintainer(dim, options);
+          maintainer.set_telemetry(telemetry_registry_);
+          return maintainer;
+        }) {}
 
   std::string_view type_name() const override { return "gemm-clusters"; }
   AnyBlock::Payload payload() const override {
     return AnyBlock::Payload::kPoints;
+  }
+  void BindTelemetry(telemetry::TelemetryRegistry* registry) override {
+    telemetry_registry_ = registry;
+    gemm_.set_telemetry(registry);
   }
   void AddResponse(const AnyBlock& block) override {
     gemm_.BeginBlock(block.points());
@@ -225,6 +251,8 @@ class GemmClusterAdapter : public ModelMaintainer {
   const GemmT& gemm() const { return gemm_; }
 
  private:
+  // Declared before gemm_: the factory lambda reads this member.
+  telemetry::TelemetryRegistry* telemetry_registry_ = nullptr;
   GemmT gemm_;
 };
 
@@ -261,6 +289,9 @@ class PatternAdapter : public ModelMaintainer {
   std::string_view type_name() const override { return "patterns"; }
   AnyBlock::Payload payload() const override {
     return AnyBlock::Payload::kTransactions;
+  }
+  void BindTelemetry(telemetry::TelemetryRegistry* registry) override {
+    miner_.set_telemetry(registry);
   }
   void AddResponse(const AnyBlock& block) override {
     miner_.AddBlock(block.transactions());

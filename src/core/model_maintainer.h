@@ -19,6 +19,10 @@ class DecisionTree;
 class CompactSequenceMiner;
 class ThreadPool;
 
+namespace telemetry {
+class TelemetryRegistry;
+}  // namespace telemetry
+
 /// \brief A block of any record type the system monitors, held by
 /// shared_ptr exactly as the snapshots store it. The evolving database of
 /// Figure 11 fans one arriving block out to many model maintainers; this
@@ -125,6 +129,15 @@ class ModelMaintainer {
   /// deadlock. Maintainers without internal parallelism ignore the offer.
   /// `pool` outlives the maintainer; null revokes a previous offer.
   virtual void BindThreadPool(ThreadPool* /*pool*/) {}
+
+  /// Offers this maintainer a telemetry registry for child spans and
+  /// kernel counters under the engine's per-(block, monitor) spans. The
+  /// MaintenanceEngine calls this at registration with its registry (the
+  /// engine-owned one unless EngineOptions injected another). `registry`
+  /// outlives the maintainer; null revokes. In DEMON_TELEMETRY=OFF builds
+  /// implementations keep their pointers null so every instrumentation
+  /// macro stays a no-op. Maintainers without instrumentation ignore it.
+  virtual void BindTelemetry(telemetry::TelemetryRegistry* /*registry*/) {}
 
   /// Deep invariant audit of the maintained structures, called by the
   /// MaintenanceEngine at block boundaries in DEMON_AUDIT builds (and by

@@ -4,7 +4,6 @@
 #include <string>
 
 #include "common/check.h"
-#include "common/timer.h"
 #include "itemsets/apriori.h"
 
 namespace demon {
@@ -48,7 +47,6 @@ void BordersMaintainer::AddBlock(
     std::shared_ptr<const TransactionBlock> block) {
   DEMON_CHECK(block != nullptr);
   last_stats_ = UpdateStats{};
-  WallTimer timer;
 
   const bool needs_tidlists = options_.strategy != CountingStrategy::kPtScan;
   if (needs_tidlists) {
@@ -57,6 +55,7 @@ void BordersMaintainer::AddBlock(
     // space budget (paper §3.1.1 heuristic). This is part of storing the
     // block (the lists replace the transactional format), not of model
     // maintenance, so it is not counted in detection/update time.
+    DEMON_TRACE_SPAN(span, telemetry_, "tidlist-build", "borders");
     PairMaterializationSpec spec;
     std::shared_ptr<const BlockTidLists> lists;
     if (options_.strategy == CountingStrategy::kEcutPlus &&
@@ -72,45 +71,54 @@ void BordersMaintainer::AddBlock(
     tidlists_.Append(std::move(lists));
   }
 
-  timer.Reset();
-  if (blocks_.empty() && model_.entries().empty()) {
-    // First selected block: build the model from scratch (base case).
+  {
+    DEMON_TRACE_SPAN(span, telemetry_, "borders-detect", "borders");
+    telemetry::ScopedTimer timer(detection_hist_);
+    if (blocks_.empty() && model_.entries().empty()) {
+      // First selected block: build the model from scratch (base case).
+      blocks_.push_back(std::move(block));
+      model_ =
+          Apriori(blocks_, options_.minsup, options_.num_items, &counting_);
+      last_stats_.detection_seconds = timer.Stop();
+      return;
+    }
+
+    // Detection phase: one scan of the new block refreshes the supports of
+    // L ∪ NB- and flags any itemset that crossed the threshold.
+    FoldBlockCounts(*block, +1);
+    model_.AddTransactions(block->size());
     blocks_.push_back(std::move(block));
-    model_ = Apriori(blocks_, options_.minsup, options_.num_items, &counting_);
-    last_stats_.detection_seconds = timer.ElapsedSeconds();
-    return;
+    last_stats_.detection_seconds = timer.Stop();
   }
 
-  // Detection phase: one scan of the new block refreshes the supports of
-  // L ∪ NB- and flags any itemset that crossed the threshold.
-  FoldBlockCounts(*block, +1);
-  model_.AddTransactions(block->size());
-  blocks_.push_back(std::move(block));
-  last_stats_.detection_seconds = timer.ElapsedSeconds();
-
-  timer.Reset();
+  DEMON_TRACE_SPAN(span, telemetry_, "borders-update", "borders");
+  telemetry::ScopedTimer timer(update_hist_);
   Refresh({});
-  last_stats_.update_seconds = timer.ElapsedSeconds();
+  last_stats_.update_seconds = timer.Stop();
 }
 
 void BordersMaintainer::RemoveBlockAt(size_t index) {
   DEMON_CHECK(index < blocks_.size());
   last_stats_ = UpdateStats{};
-  WallTimer timer;
 
-  const auto victim = blocks_[index];
-  FoldBlockCounts(*victim, -1);
-  DEMON_CHECK(model_.num_transactions() >= victim->size());
-  model_.set_num_transactions(model_.num_transactions() - victim->size());
-  blocks_.erase(blocks_.begin() + index);
-  if (options_.strategy != CountingStrategy::kPtScan) {
-    tidlists_.DropAt(index);
+  {
+    DEMON_TRACE_SPAN(span, telemetry_, "borders-detect", "borders");
+    telemetry::ScopedTimer timer(detection_hist_);
+    const auto victim = blocks_[index];
+    FoldBlockCounts(*victim, -1);
+    DEMON_CHECK(model_.num_transactions() >= victim->size());
+    model_.set_num_transactions(model_.num_transactions() - victim->size());
+    blocks_.erase(blocks_.begin() + index);
+    if (options_.strategy != CountingStrategy::kPtScan) {
+      tidlists_.DropAt(index);
+    }
+    last_stats_.detection_seconds = timer.Stop();
   }
-  last_stats_.detection_seconds = timer.ElapsedSeconds();
 
-  timer.Reset();
+  DEMON_TRACE_SPAN(span, telemetry_, "borders-update", "borders");
+  telemetry::ScopedTimer timer(update_hist_);
   Refresh({});
-  last_stats_.update_seconds = timer.ElapsedSeconds();
+  last_stats_.update_seconds = timer.Stop();
 }
 
 void BordersMaintainer::ChangeMinSupport(double minsup) {
@@ -118,9 +126,10 @@ void BordersMaintainer::ChangeMinSupport(double minsup) {
   options_.minsup = minsup;
   model_.set_minsup(minsup);
   last_stats_ = UpdateStats{};
-  WallTimer timer;
+  DEMON_TRACE_SPAN(span, telemetry_, "borders-update", "borders");
+  telemetry::ScopedTimer timer(update_hist_);
   Refresh({});
-  last_stats_.update_seconds = timer.ElapsedSeconds();
+  last_stats_.update_seconds = timer.Stop();
 }
 
 void BordersMaintainer::Refresh(const std::vector<Itemset>& promotion_seeds) {

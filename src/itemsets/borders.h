@@ -90,6 +90,25 @@ class BordersMaintainer {
   /// MaintenanceEngine shares its monitor pool this way.
   void set_counting_pool(ThreadPool* pool) { counting_.set_pool(pool); }
 
+  /// Binds `registry` (not owned; nullable) for phase spans
+  /// ("tidlist-build" / "borders-detect" / "borders-update"), the
+  /// `borders/{detection,update}_seconds` histograms, and — forwarded to
+  /// the counting kernel — per-shard counting spans and counters. The
+  /// UpdateStats timings remain available in every build; the histograms
+  /// and spans are DEMON_TELEMETRY-gated.
+  void set_telemetry(telemetry::TelemetryRegistry* registry) {
+    counting_.set_telemetry(registry);
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      detection_hist_ = registry == nullptr
+                            ? nullptr
+                            : registry->histogram("borders/detection_seconds");
+      update_hist_ = registry == nullptr
+                         ? nullptr
+                         : registry->histogram("borders/update_seconds");
+    }
+  }
+
   /// Deep audit at a block boundary: the model's BORDERS invariants
   /// (closure, negative border, flag/count consistency), the TID-list
   /// store's structural invariants, and the cross-structure bookkeeping
@@ -142,6 +161,10 @@ class BordersMaintainer {
   /// Reusable (optionally parallel) support-counting kernel. Copies of a
   /// maintainer share the pool binding but not the scratch buffers.
   CountingContext counting_;
+  /// All null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Histogram* detection_hist_ = nullptr;
+  telemetry::Histogram* update_hist_ = nullptr;
 };
 
 }  // namespace demon

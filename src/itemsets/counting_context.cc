@@ -34,6 +34,20 @@ size_t CountingContext::ShardCountFor(size_t work,
   return std::max<size_t>(1, std::min(by_work, pool_->num_threads()));
 }
 
+void CountingContext::CacheMetrics() {
+  if (telemetry_ == nullptr) {
+    slots_fetched_ = nullptr;
+    lists_opened_ = nullptr;
+    transactions_scanned_ = nullptr;
+    itemsets_counted_ = nullptr;
+    return;
+  }
+  slots_fetched_ = telemetry_->counter("counting/slots_fetched");
+  lists_opened_ = telemetry_->counter("counting/lists_opened");
+  transactions_scanned_ = telemetry_->counter("counting/transactions_scanned");
+  itemsets_counted_ = telemetry_->counter("counting/itemsets_counted");
+}
+
 void CountingContext::PrepareScratch(size_t shards) {
   while (scratch_.size() < shards) {
     scratch_.push_back(std::make_unique<Scratch>());
@@ -58,6 +72,8 @@ std::vector<uint64_t> CountingContext::PtScan(
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks,
     CountingStats* stats) {
   if (itemsets.empty()) return {};
+  DEMON_TRACE_SPAN(call_span, telemetry_, "pt-scan", "counting");
+  [[maybe_unused]] const uint64_t call_span_id = DEMON_SPAN_ID(call_span);
 
   size_t total_transactions = 0;
   for (const auto& block : blocks) total_transactions += block->size();
@@ -75,8 +91,13 @@ std::vector<uint64_t> CountingContext::PtScan(
   for (const Itemset& itemset : itemsets) ids.push_back(master.Insert(itemset));
   for (size_t s = 1; s < shards; ++s) scratch_[s]->tree = master;
 
-  const bool collect_stats = stats != nullptr;
+  const bool collect_stats = CollectStats(stats);
   ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    // The dispatching thread claims shards too, but workers have an empty
+    // span stack, so the parent must travel explicitly.
+    DEMON_TRACE_SPAN_UNDER(shard_span, telemetry_,
+                           "pt-scan shard " + std::to_string(shard),
+                           "counting", call_span_id);
     Scratch& s = *scratch_[shard];
     const auto [begin, end] = ShardRange(total_transactions, shard, shards);
     uint64_t touched = 0;
@@ -108,6 +129,15 @@ std::vector<uint64_t> CountingContext::PtScan(
     for (size_t i = 0; i < ids.size(); ++i) counts[i] += tree.CountOf(ids[i]);
   }
   MergeStats(shards, stats);
+  if (slots_fetched_ != nullptr) {
+    uint64_t touched = 0;
+    for (size_t shard = 0; shard < shards; ++shard) {
+      touched += scratch_[shard]->touched;
+    }
+    slots_fetched_->Add(touched);
+    transactions_scanned_->Add(total_transactions);
+    itemsets_counted_->Add(itemsets.size());
+  }
   return counts;
 }
 
@@ -217,11 +247,17 @@ std::vector<uint64_t> CountingContext::Ecut(
     bool use_pair_lists, CountingStats* stats) {
   std::vector<uint64_t> counts(itemsets.size(), 0);
   if (itemsets.empty()) return counts;
+  DEMON_TRACE_SPAN(call_span, telemetry_, use_pair_lists ? "ecut+" : "ecut",
+                   "counting");
+  [[maybe_unused]] const uint64_t call_span_id = DEMON_SPAN_ID(call_span);
   const size_t shards = ShardCountFor(itemsets.size(), kMinItemsetsPerShard);
   PrepareScratch(shards);
 
-  const bool collect_stats = stats != nullptr;
+  const bool collect_stats = CollectStats(stats);
   ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    DEMON_TRACE_SPAN_UNDER(shard_span, telemetry_,
+                           "ecut shard " + std::to_string(shard), "counting",
+                           call_span_id);
     Scratch& s = *scratch_[shard];
     const auto [begin, end] = ShardRange(itemsets.size(), shard, shards);
     for (size_t i = begin; i < end; ++i) {
@@ -230,6 +266,13 @@ std::vector<uint64_t> CountingContext::Ecut(
     }
   });
   MergeStats(shards, stats);
+  if (slots_fetched_ != nullptr) {
+    CountingStats merged;
+    MergeStats(shards, &merged);
+    slots_fetched_->Add(merged.slots_fetched);
+    lists_opened_->Add(merged.lists_opened);
+    itemsets_counted_->Add(itemsets.size());
+  }
   return counts;
 }
 
@@ -253,11 +296,16 @@ std::vector<uint64_t> CountingContext::CountItems(
     size_t num_items) {
   size_t total_transactions = 0;
   for (const auto& block : blocks) total_transactions += block->size();
+  DEMON_TRACE_SPAN(call_span, telemetry_, "count-items", "counting");
+  [[maybe_unused]] const uint64_t call_span_id = DEMON_SPAN_ID(call_span);
   const size_t shards =
       ShardCountFor(total_transactions, kMinTransactionsPerShard);
   PrepareScratch(shards);
 
   ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
+    DEMON_TRACE_SPAN_UNDER(shard_span, telemetry_,
+                           "count-items shard " + std::to_string(shard),
+                           "counting", call_span_id);
     Scratch& s = *scratch_[shard];
     s.item_counts.assign(num_items, 0);
     const auto [begin, end] = ShardRange(total_transactions, shard, shards);
@@ -283,6 +331,9 @@ std::vector<uint64_t> CountingContext::CountItems(
     for (size_t item = 0; item < num_items; ++item) {
       counts[item] += partial[item];
     }
+  }
+  if (transactions_scanned_ != nullptr) {
+    transactions_scanned_->Add(total_transactions);
   }
   return counts;
 }

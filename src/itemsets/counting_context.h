@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "data/block.h"
 #include "itemsets/prefix_tree.h"
@@ -33,8 +34,9 @@ namespace demon {
 ///
 /// A context belongs to one maintainer and is not itself thread-safe: one
 /// counting call at a time. Distinct contexts may share a pool freely.
-/// Copying a context copies only the pool binding — scratch is a cache and
-/// is rebuilt lazily — which keeps BordersMaintainer cheaply copyable.
+/// Copying a context copies only the pool and telemetry bindings —
+/// scratch is a cache and is rebuilt lazily — which keeps
+/// BordersMaintainer cheaply copyable.
 class CountingContext {
  public:
   /// A sequential context (no pool).
@@ -45,9 +47,14 @@ class CountingContext {
   /// the calling thread.
   explicit CountingContext(ThreadPool* pool) : pool_(pool) {}
 
-  CountingContext(const CountingContext& other) : pool_(other.pool_) {}
+  CountingContext(const CountingContext& other)
+      : pool_(other.pool_), telemetry_(other.telemetry_) {
+    CacheMetrics();
+  }
   CountingContext& operator=(const CountingContext& other) {
     pool_ = other.pool_;
+    telemetry_ = other.telemetry_;
+    CacheMetrics();
     return *this;
   }
   CountingContext(CountingContext&&) = default;
@@ -56,6 +63,19 @@ class CountingContext {
   /// Rebinds the pool (null returns the context to sequential mode).
   void set_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* pool() const { return pool_; }
+
+  /// Binds the registry receiving per-call and per-shard spans (the
+  /// shard spans make per-thread load imbalance visible in a trace) and
+  /// the kernel counters `counting/{slots_fetched,lists_opened,
+  /// transactions_scanned,itemsets_counted}`. Null unbinds; no-op in
+  /// DEMON_TELEMETRY=OFF builds, so the hot loops stay untouched.
+  void set_telemetry([[maybe_unused]] telemetry::TelemetryRegistry* registry) {
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      CacheMetrics();
+    }
+  }
+  telemetry::TelemetryRegistry* telemetry() const { return telemetry_; }
 
   /// PT-Scan: one pass over all transactions of `blocks` with per-shard
   /// prefix-tree clones summed after the barrier. Stats accumulate into
@@ -133,8 +153,24 @@ class CountingContext {
   uint64_t CountOneEcut(const Itemset& itemset, const TidListStore& store,
                         bool use_pair_lists, Scratch* s, bool collect_stats);
 
+  /// Re-resolves the cached counter pointers from telemetry_ (all null
+  /// when unbound, so the hot paths test one pointer).
+  void CacheMetrics();
+
+  /// True when per-shard stats must be collected this call: the caller
+  /// asked for them, or bound counters will absorb them.
+  bool CollectStats(const CountingStats* stats) const {
+    return stats != nullptr || slots_fetched_ != nullptr;
+  }
+
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Scratch>> scratch_;
+  /// All null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Counter* slots_fetched_ = nullptr;
+  telemetry::Counter* lists_opened_ = nullptr;
+  telemetry::Counter* transactions_scanned_ = nullptr;
+  telemetry::Counter* itemsets_counted_ = nullptr;
 };
 
 }  // namespace demon

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "common/timer.h"
+#include "common/telemetry.h"
 #include "itemsets/apriori.h"
 #include "itemsets/candidate_generation.h"
 #include "itemsets/prefix_tree.h"
@@ -43,7 +43,7 @@ FupMaintainer::FupMaintainer(double minsup, size_t num_items)
 void FupMaintainer::AddBlock(std::shared_ptr<const TransactionBlock> block) {
   DEMON_CHECK(block != nullptr);
   last_stats_ = Stats{};
-  WallTimer timer;
+  telemetry::ScopedTimer timer;
 
   if (blocks_.empty()) {
     blocks_.push_back(std::move(block));
@@ -53,7 +53,7 @@ void FupMaintainer::AddBlock(std::shared_ptr<const TransactionBlock> block) {
     for (const Itemset& itemset : border) {
       model_.mutable_entries()->erase(itemset);
     }
-    last_stats_.seconds = timer.ElapsedSeconds();
+    last_stats_.seconds = timer.Stop();
     return;
   }
 
@@ -159,7 +159,7 @@ void FupMaintainer::AddBlock(std::shared_ptr<const TransactionBlock> block) {
                                        ItemsetModel::Entry{count, true});
   }
   model_ = std::move(updated);
-  last_stats_.seconds = timer.ElapsedSeconds();
+  last_stats_.seconds = timer.Stop();
 }
 
 }  // namespace demon

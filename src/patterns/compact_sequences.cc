@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "common/timer.h"
+#include "common/telemetry.h"
 
 namespace demon {
 
@@ -17,7 +17,8 @@ const PairwiseSimilarity& CompactSequenceMiner::Similarity(size_t i,
 
 void CompactSequenceMiner::AddBlock(
     std::shared_ptr<const TransactionBlock> block) {
-  WallTimer timer;
+  DEMON_TRACE_SPAN(span, telemetry_, "patterns-add", "patterns");
+  telemetry::ScopedTimer timer(add_hist_);
   last_scan_count_ = 0;
 
   const size_t t = blocks_.size();
@@ -46,7 +47,7 @@ void CompactSequenceMiner::AddBlock(
     }
     window_start_ = new_start;
     RebuildSequences();
-    last_add_seconds_ = timer.ElapsedSeconds();
+    last_add_seconds_ = timer.Stop();
     return;
   }
 
@@ -81,7 +82,7 @@ void CompactSequenceMiner::AddBlock(
   // The new singleton sequence G_{t+1}.
   sequences_.push_back({t});
 
-  last_add_seconds_ = timer.ElapsedSeconds();
+  last_add_seconds_ = timer.Stop();
 }
 
 void CompactSequenceMiner::RebuildSequences() {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "deviation/focus.h"
 
 namespace demon {
@@ -88,6 +89,18 @@ class CompactSequenceMiner {
     return blocks_;
   }
 
+  /// Binds `registry` for the per-block span and the
+  /// `patterns/add_seconds` histogram. last_add_seconds() stays available
+  /// in every build; no-op under DEMON_TELEMETRY=OFF.
+  void set_telemetry([[maybe_unused]] telemetry::TelemetryRegistry* registry) {
+    if constexpr (telemetry::kEnabled) {
+      telemetry_ = registry;
+      add_hist_ = registry == nullptr
+                      ? nullptr
+                      : registry->histogram("patterns/add_seconds");
+    }
+  }
+
  private:
   /// Rebuilds sequences_ over [window_start_, blocks_.size()) from the
   /// similarity matrix (used after evictions).
@@ -104,6 +117,9 @@ class CompactSequenceMiner {
   std::vector<std::vector<size_t>> sequences_;
   double last_add_seconds_ = 0.0;
   size_t last_scan_count_ = 0;
+  /// Null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
+  telemetry::TelemetryRegistry* telemetry_ = nullptr;
+  telemetry::Histogram* add_hist_ = nullptr;
 };
 
 }  // namespace demon

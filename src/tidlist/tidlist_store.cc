@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace demon {
 
@@ -94,24 +95,44 @@ constexpr uint64_t kMagic = 0x44454d4f4e544c31ULL;  // "DEMONTL1"
 }  // namespace
 
 Status BlockTidLists::WriteToFile(const std::string& path) const {
+  // Member of a storage value type, so no registry to inject — the
+  // process-global registry records store I/O instead. Null when the
+  // telemetry gate is off, so every instrumentation line below folds away.
+  telemetry::TelemetryRegistry* telemetry =
+      telemetry::kEnabled ? &telemetry::TelemetryRegistry::Global() : nullptr;
+  DEMON_TRACE_SPAN(span, telemetry, "tidlist-write", "io");
+  telemetry::ScopedTimer timer(
+      telemetry == nullptr ? nullptr
+                           : telemetry->histogram("tidlist/write_seconds"));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
   bool ok = WriteU64(f, kMagic) && WriteU64(f, num_transactions_) &&
             WriteU64(f, item_lists_.size()) &&
             WriteU64(f, pair_lists_.size());
+  uint64_t slots = 0;
   for (size_t i = 0; ok && i < item_lists_.size(); ++i) {
     ok = WriteList(f, item_lists_[i]);
+    slots += item_lists_[i].size();
   }
   for (auto it = pair_lists_.begin(); ok && it != pair_lists_.end(); ++it) {
     ok = WriteU64(f, it->first) && WriteList(f, it->second);
+    slots += it->second.size();
   }
   std::fclose(f);
   if (!ok) return Status::IoError("short write: " + path);
+  DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_written"), 1);
+  DEMON_COUNTER_ADD(telemetry->counter("tidlist/slots_written"), slots);
   return Status::OK();
 }
 
 Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
     const std::string& path) {
+  telemetry::TelemetryRegistry* telemetry =
+      telemetry::kEnabled ? &telemetry::TelemetryRegistry::Global() : nullptr;
+  DEMON_TRACE_SPAN(span, telemetry, "tidlist-read", "io");
+  telemetry::ScopedTimer timer(
+      telemetry == nullptr ? nullptr
+                           : telemetry->histogram("tidlist/read_seconds"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
   auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
@@ -141,6 +162,10 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
   }
   std::fclose(f);
   if (!ok) return Status::IoError("corrupt TID-list file: " + path);
+  DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_read"), 1);
+  DEMON_COUNTER_ADD(
+      telemetry->counter("tidlist/slots_read"),
+      lists->item_list_slots_ + lists->pair_list_slots_);
   return std::shared_ptr<const BlockTidLists>(std::move(lists));
 }
 

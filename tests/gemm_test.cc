@@ -258,17 +258,37 @@ TEST(GemmTest, ClusterModelMatchesFromScratchBirch) {
   }
 }
 
-TEST(GemmTest, ResponseAndOfflineTimesReported) {
+TEST(GemmTest, TelemetrySpansCoverResponseAndOffline) {
   const auto blocks = MakeBlocks(5, 100, 30, 48);
   BordersOptions options;
   options.minsup = 0.05;
   options.num_items = 30;
+  telemetry::TelemetryRegistry registry;
   Gemm<BordersMaintainer, TxBlockPtr> gemm(
       BlockSelectionSequence::AllBlocks(), 3,
       [&options] { return BordersMaintainer(options); });
+  gemm.set_telemetry(&registry);
   for (const auto& block : blocks) gemm.AddBlock(block);
-  EXPECT_GE(gemm.last_response_seconds(), 0.0);
-  EXPECT_GE(gemm.last_offline_seconds(), 0.0);
+  const std::vector<telemetry::SpanRecord> spans = registry.CollectSpans();
+  if constexpr (telemetry::kEnabled) {
+    // Every AddBlock emits one response-path window span; the eager
+    // DrainOffline inside AddBlock emits a gemm-offline span per block.
+    size_t response_spans = 0;
+    size_t offline_spans = 0;
+    for (const auto& span : spans) {
+      EXPECT_EQ(span.category, "gemm");
+      EXPECT_GE(span.end_ns, span.start_ns);
+      if (span.name == "gemm-offline") {
+        ++offline_spans;
+      } else if (span.name.rfind("window@", 0) == 0) {
+        ++response_spans;
+      }
+    }
+    EXPECT_GE(response_spans, blocks.size());
+    EXPECT_EQ(offline_spans, blocks.size());
+  } else {
+    EXPECT_TRUE(spans.empty());
+  }
 }
 
 TEST(AuMTest, AllOnesBssMatchesGemmModel) {

@@ -1,0 +1,84 @@
+// Compile-and-run proof that DEMON_TELEMETRY=OFF turns the
+// instrumentation macros into zero-overhead no-ops. This TU forces the
+// OFF expansion regardless of the build-wide gate (telemetry.h must be
+// the first include, before anything can pull it in transitively), so
+// the no-op path is exercised even in the default ON build. The classes
+// themselves stay fully functional either way — the gate only governs
+// the macros — which is also asserted here.
+
+#undef DEMON_TELEMETRY_ENABLED
+#define DEMON_TELEMETRY_ENABLED 0
+#include "common/telemetry.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace demon::telemetry {
+namespace {
+
+static_assert(!kEnabled, "this TU must see the OFF expansion");
+
+int g_argument_evaluations = 0;
+
+// [[maybe_unused]] because that is the proof: the OFF macros never
+// evaluate their arguments, so these are never called (or referenced).
+[[maybe_unused]] Counter* CounterArgWithSideEffect() {
+  ++g_argument_evaluations;
+  return nullptr;
+}
+
+[[maybe_unused]] Histogram* HistogramArgWithSideEffect() {
+  ++g_argument_evaluations;
+  return nullptr;
+}
+
+[[maybe_unused]] uint64_t ValueArgWithSideEffect() {
+  ++g_argument_evaluations;
+  return 1;
+}
+
+TEST(TelemetryGateOff, MacrosDoNotEvaluateTheirArguments) {
+  g_argument_evaluations = 0;
+  DEMON_COUNTER_ADD(CounterArgWithSideEffect(), ValueArgWithSideEffect());
+  DEMON_HISTOGRAM_RECORD(HistogramArgWithSideEffect(), 0.5);
+  EXPECT_EQ(g_argument_evaluations, 0);
+}
+
+TEST(TelemetryGateOff, SpanMacrosAreInertAndRecordNothing) {
+  TelemetryRegistry registry;
+  {
+    DEMON_TRACE_SPAN(outer, &registry, "outer", "test");
+    EXPECT_EQ(DEMON_SPAN_ID(outer), 0u);
+    DEMON_TRACE_SPAN_UNDER(child, &registry, "child", "test",
+                           DEMON_SPAN_ID(outer));
+    EXPECT_EQ(DEMON_SPAN_ID(child), 0u);
+  }
+  EXPECT_TRUE(registry.CollectSpans().empty());
+  EXPECT_EQ(registry.dropped_spans(), 0u);
+}
+
+TEST(TelemetryGateOff, RegistryAndClassesStayFunctional) {
+  // MonitorStats quantiles and the engine's per-monitor histograms rely
+  // on the classes working in OFF builds; only the macros are gated.
+  TelemetryRegistry registry;
+  registry.counter("off/counter")->Add(2);
+  Histogram* histogram = registry.histogram("off/seconds");
+  {
+    ScopedTimer timer(histogram);  // always-on, gate-independent
+    (void)timer;
+  }
+  EXPECT_EQ(registry.counter("off/counter")->value(), 2u);
+  EXPECT_EQ(histogram->count(), 1u);
+
+  {
+    TraceSpan direct(&registry, "direct", "test");
+    EXPECT_NE(direct.id(), 0u);
+  }
+  const std::vector<SpanRecord> spans = registry.CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "direct");
+}
+
+}  // namespace
+}  // namespace demon::telemetry

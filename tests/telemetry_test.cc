@@ -1,0 +1,403 @@
+// Tests for the telemetry subsystem: metric concurrency, span nesting
+// and cross-thread parentage, exporter golden output, and the behavior
+// of the instrumentation macros under the DEMON_TELEMETRY gate. The
+// whole file is gate-agnostic — the classes are always live, only the
+// macros change — so the same binary passes in ON and OFF builds (the
+// few gate-dependent assertions branch on telemetry::kEnabled).
+
+#include "common/telemetry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace demon::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------
+// Metric concurrency
+// ---------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentAddsMatchSerialTotal) {
+  TelemetryRegistry registry;
+  Counter* counter = registry.counter("test/hammered");
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kAddsPerTask = 1000;
+
+  ThreadPool pool(8);
+  ParallelFor(&pool, kTasks, [&](size_t) {
+    for (uint64_t i = 0; i < kAddsPerTask; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->value(), kTasks * kAddsPerTask);
+
+  // Lookup by the same name returns the same (stable) pointer.
+  EXPECT_EQ(registry.counter("test/hammered"), counter);
+  EXPECT_EQ(registry.counter("test/hammered")->value(), kTasks * kAddsPerTask);
+}
+
+TEST(HistogramTest, ConcurrentRecordsMatchSerialTotals) {
+  TelemetryRegistry registry;
+  Histogram* histogram = registry.histogram("test/latency");
+  constexpr size_t kTasks = 64;
+  constexpr size_t kRecordsPerTask = 100;
+  constexpr double kValue = 0.001;  // 1 ms
+
+  ThreadPool pool(8);
+  ParallelFor(&pool, kTasks, [&](size_t) {
+    for (size_t i = 0; i < kRecordsPerTask; ++i) histogram->Record(kValue);
+  });
+
+  const double expected_sum =
+      kValue * static_cast<double>(kTasks * kRecordsPerTask);
+  EXPECT_EQ(histogram->count(), kTasks * kRecordsPerTask);
+  EXPECT_NEAR(histogram->sum(), expected_sum, 1e-6);
+  EXPECT_DOUBLE_EQ(histogram->max(), kValue);
+}
+
+TEST(HistogramTest, QuantilesOfUniformValueClampToObservedMax) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(0.001);
+  // All samples share one bucket, so interpolation would overshoot the
+  // true value; the clamp to max() brings both quantiles back exactly.
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.5), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.95), 0.001);
+}
+
+TEST(HistogramTest, QuantilesSeparateBimodalDistribution) {
+  Histogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.Record(0.0001);  // fast path
+  for (int i = 0; i < 10; ++i) histogram.Record(0.01);    // slow tail
+  const double p50 = histogram.ApproxQuantile(0.5);
+  EXPECT_GE(p50, 0.0001);
+  EXPECT_LT(p50, 0.0002);  // inside the 100 µs bucket
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.95), 0.01);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.01);
+}
+
+TEST(HistogramTest, EmptyAndUnderflowBehavior) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.ApproxQuantile(0.5), 0.0);
+  histogram.Record(0.0);    // underflow bucket
+  histogram.Record(-1.0);   // negative: also underflow, never UB
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  TelemetryRegistry registry;
+  Gauge* gauge = registry.gauge("test/depth");
+  gauge->Set(4.0);
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+}
+
+// ---------------------------------------------------------------------
+// Span nesting and parentage
+// ---------------------------------------------------------------------
+
+TEST(TraceSpanTest, SameThreadSpansNestThroughTheStack) {
+  TelemetryRegistry registry;
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  uint64_t sibling_id = 0;
+  {
+    TraceSpan outer(&registry, "outer", "test");
+    outer_id = outer.id();
+    {
+      TraceSpan inner(&registry, "inner", "test");
+      inner_id = inner.id();
+    }
+    TraceSpan sibling(&registry, "sibling", "test");
+    sibling_id = sibling.id();
+  }
+  ASSERT_NE(outer_id, 0u);
+
+  const std::vector<SpanRecord> spans = registry.CollectSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.end_ns, span.start_ns);
+    if (span.id == outer_id) {
+      EXPECT_EQ(span.parent, 0u);  // root
+    } else {
+      // Both inner and the post-inner sibling hang off the live outer.
+      EXPECT_TRUE(span.id == inner_id || span.id == sibling_id);
+      EXPECT_EQ(span.parent, outer_id);
+    }
+  }
+}
+
+TEST(TraceSpanTest, StacksOfDistinctRegistriesDoNotMix) {
+  TelemetryRegistry a;
+  TelemetryRegistry b;
+  TraceSpan span_a(&a, "a-root", "test");
+  // b has no live span of its own, and a's span must not adopt it.
+  TraceSpan span_b(&b, "b-root", "test");
+  EXPECT_NE(span_b.id(), 0u);
+
+  TelemetryRegistry* b_ptr = &b;
+  {
+    TraceSpan nested_b(b_ptr, "b-child", "test");
+    (void)nested_b;
+  }
+  const std::vector<SpanRecord> spans_b = b.CollectSpans();
+  ASSERT_EQ(spans_b.size(), 1u);
+  EXPECT_EQ(spans_b[0].name, "b-child");
+  EXPECT_EQ(spans_b[0].parent, span_b.id());  // not span_a's id
+}
+
+TEST(TraceSpanTest, NullRegistrySpanIsInert) {
+  TraceSpan inert;
+  EXPECT_EQ(inert.id(), 0u);
+  TraceSpan null_registry(nullptr, "ignored", "test");
+  EXPECT_EQ(null_registry.id(), 0u);
+}
+
+TEST(TraceSpanTest, ExplicitParentCarriesAcrossParallelForWorkers) {
+  TelemetryRegistry registry;
+  ThreadPool pool(4);
+  constexpr size_t kShards = 16;
+
+  uint64_t engine_id = 0;
+  {
+    TraceSpan engine_span(&registry, "engine", "engine");
+    engine_id = engine_span.id();
+    // Pool workers have empty span stacks, so the parent must ride in
+    // explicitly — exactly what the counting kernel does per shard.
+    ParallelFor(&pool, kShards, [&](size_t shard) {
+      TraceSpan shard_span(&registry, "shard " + std::to_string(shard),
+                           "counting", engine_id);
+      (void)shard_span;
+    });
+  }
+
+  const std::vector<SpanRecord> spans = registry.CollectSpans();
+  ASSERT_EQ(spans.size(), kShards + 1);
+
+  const SpanRecord* engine = nullptr;
+  size_t shard_count = 0;
+  std::set<uint64_t> ids;
+  for (const SpanRecord& span : spans) {
+    EXPECT_TRUE(ids.insert(span.id).second) << "duplicate span id";
+    if (span.id == engine_id) {
+      engine = &span;
+      continue;
+    }
+    ++shard_count;
+    EXPECT_EQ(span.parent, engine_id);
+    EXPECT_EQ(span.category, "counting");
+  }
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(shard_count, kShards);
+  // ParallelFor returns only once every shard has finished, and the
+  // engine span closes after that, so it encloses every shard span.
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.start_ns, engine->start_ns);
+    EXPECT_LE(span.end_ns, engine->end_ns);
+  }
+}
+
+TEST(TraceSpanTest, RingOverflowDropsOldestAndCounts) {
+  TelemetryRegistry registry;
+  uint64_t recorded = 0;
+  constexpr uint64_t kLimit = 1 << 20;  // safety bound, far above the ring
+  while (registry.dropped_spans() < 10 && recorded < kLimit) {
+    SpanRecord record;
+    record.id = recorded + 1;
+    record.name = "s";
+    record.category = "test";
+    record.start_ns = recorded;
+    record.end_ns = recorded + 1;
+    registry.RecordSpan(std::move(record));
+    ++recorded;
+  }
+  const uint64_t dropped = registry.dropped_spans();
+  ASSERT_GE(dropped, 10u) << "ring never overflowed within " << kLimit;
+
+  const std::vector<SpanRecord> spans = registry.CollectSpans();
+  ASSERT_EQ(spans.size(), recorded - dropped);
+  // Overwrite evicts the oldest records first, so the survivor with the
+  // earliest start is the one right after the dropped prefix.
+  EXPECT_EQ(spans.front().id, dropped + 1);
+  EXPECT_EQ(spans.back().id, recorded);
+}
+
+TEST(TraceSpanTest, ClearSpansEmptiesTheStore) {
+  TelemetryRegistry registry;
+  { TraceSpan span(&registry, "once", "test"); }
+  ASSERT_EQ(registry.CollectSpans().size(), 1u);
+  // Repeat collection keeps history...
+  ASSERT_EQ(registry.CollectSpans().size(), 1u);
+  registry.ClearSpans();
+  EXPECT_TRUE(registry.CollectSpans().empty());
+}
+
+// ---------------------------------------------------------------------
+// Exporter goldens
+// ---------------------------------------------------------------------
+
+TEST(ExporterTest, ChromeTraceJsonGolden) {
+  std::vector<SpanRecord> spans;
+  SpanRecord engine;
+  engine.id = 1;
+  engine.parent = 0;
+  engine.name = "engine";
+  engine.category = "engine";
+  engine.thread = 0;
+  engine.start_ns = 1000;
+  engine.end_ns = 5000;
+  spans.push_back(engine);
+  SpanRecord shard;
+  shard.id = 2;
+  shard.parent = 1;
+  shard.name = "shard \"a\"\n";  // exercises the JSON escaper
+  shard.category = "counting";
+  shard.thread = 1;
+  shard.start_ns = 2000;
+  shard.end_ns = 3000;
+  spans.push_back(shard);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"engine\",\"cat\":\"engine\",\"ph\":\"X\","
+      "\"ts\":0.000,\"dur\":4.000,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"span\":1,\"parent\":0}},\n"
+      "{\"name\":\"shard \\\"a\\\"\\n\",\"cat\":\"counting\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":1.000,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":2,\"parent\":1}}\n"
+      "]}\n";
+  EXPECT_EQ(ChromeTraceJson(spans), expected);
+}
+
+TEST(ExporterTest, ChromeTraceJsonOfNoSpansIsValidAndEmpty) {
+  EXPECT_EQ(ChromeTraceJson({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(ExporterTest, PrometheusTextGoldenForCountersAndGauges) {
+  TelemetryRegistry registry;
+  registry.counter("blocks/processed")->Add(7);
+  registry.gauge("engine/queue_depth")->Set(2.5);
+
+  const std::string expected =
+      "# TYPE demon_blocks_processed_total counter\n"
+      "demon_blocks_processed_total 7\n"
+      "# TYPE demon_engine_queue_depth gauge\n"
+      "demon_engine_queue_depth 2.5\n";
+  EXPECT_EQ(registry.PrometheusText(), expected);
+  EXPECT_EQ(registry.Export(TelemetryFormat::kPrometheus), expected);
+}
+
+TEST(ExporterTest, PrometheusHistogramHasCumulativeBucketsAndTotals) {
+  TelemetryRegistry registry;
+  Histogram* histogram = registry.histogram("phase/seconds");
+  histogram->Record(0.001);
+  histogram->Record(0.001);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE demon_phase_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demon_phase_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demon_phase_seconds_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("demon_phase_seconds_sum 0.002\n"), std::string::npos);
+
+  // One `_bucket{` line per bucket, cumulative and hence nondecreasing.
+  size_t buckets = 0;
+  uint64_t previous = 0;
+  size_t pos = 0;
+  while ((pos = text.find("_bucket{le=\"", pos)) != std::string::npos) {
+    ++buckets;
+    const size_t value_at = text.find("} ", pos) + 2;
+    const uint64_t cumulative = std::stoull(text.substr(value_at));
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    pos = value_at;
+  }
+  EXPECT_EQ(buckets, Histogram::kNumBuckets);
+}
+
+TEST(ExporterTest, HistogramSummariesAreSortedAndFilled) {
+  TelemetryRegistry registry;
+  registry.histogram("b/seconds")->Record(0.001);
+  registry.histogram("a/seconds")->Record(0.01);
+
+  const std::vector<HistogramSummary> rows = registry.HistogramSummaries();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "a/seconds");
+  EXPECT_EQ(rows[1].name, "b/seconds");
+  EXPECT_EQ(rows[0].count, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].max, 0.01);
+  EXPECT_DOUBLE_EQ(rows[0].p50, 0.01);  // clamped to max
+}
+
+// ---------------------------------------------------------------------
+// ScopedTimer and the gate-dependent macros
+// ---------------------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsOnceAndStopIsIdempotent) {
+  Histogram histogram;
+  double first = 0.0;
+  {
+    ScopedTimer timer(&histogram);
+    first = timer.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), first);  // idempotent, same reading
+  }  // destructor must not double-record
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), first);
+
+  ScopedTimer unbound;  // nullptr histogram is fine
+  EXPECT_GE(unbound.Stop(), 0.0);
+}
+
+TEST(TelemetryMacros, SpanMacroFollowsTheGate) {
+  TelemetryRegistry registry;
+  {
+    DEMON_TRACE_SPAN(span, &registry, "macro-span", "test");
+    if constexpr (kEnabled) {
+      EXPECT_NE(DEMON_SPAN_ID(span), 0u);
+    } else {
+      EXPECT_EQ(DEMON_SPAN_ID(span), 0u);
+    }
+  }
+  const std::vector<SpanRecord> spans = registry.CollectSpans();
+  if constexpr (kEnabled) {
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "macro-span");
+    EXPECT_EQ(spans[0].category, "test");
+  } else {
+    EXPECT_TRUE(spans.empty());
+  }
+}
+
+TEST(TelemetryMacros, CounterAndHistogramMacrosFollowTheGate) {
+  TelemetryRegistry registry;
+  Counter* counter = registry.counter("macro/counter");
+  Histogram* histogram = registry.histogram("macro/histogram");
+  DEMON_COUNTER_ADD(counter, 3);
+  DEMON_HISTOGRAM_RECORD(histogram, 0.5);
+  // Null targets (a component that never got set_telemetry) must always
+  // be safe. Volatile keeps the compiler from folding the null through
+  // the macro's guard and warning about a null `this`.
+  Counter* volatile null_counter = nullptr;
+  Histogram* volatile null_histogram = nullptr;
+  DEMON_COUNTER_ADD(null_counter, 1);
+  DEMON_HISTOGRAM_RECORD(null_histogram, 1.0);
+  (void)null_counter;  // the OFF expansion leaves them unreferenced
+  (void)null_histogram;
+  if constexpr (kEnabled) {
+    EXPECT_EQ(counter->value(), 3u);
+    EXPECT_EQ(histogram->count(), 1u);
+  } else {
+    EXPECT_EQ(counter->value(), 0u);
+    EXPECT_EQ(histogram->count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace demon::telemetry

@@ -11,7 +11,7 @@ namespace {
 double benchmark_guard_ = 0.0;
 
 TEST(WallTimerTest, MeasuresElapsedTime) {
-  WallTimer timer;
+  WallTimer timer;  // lint:allow(wall-timer): exercises the timer itself
   // Burn a little CPU deterministically.
   double sink = 0.0;
   for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
@@ -24,7 +24,7 @@ TEST(WallTimerTest, MeasuresElapsedTime) {
 }
 
 TEST(WallTimerTest, ResetRestartsTheClock) {
-  WallTimer timer;
+  WallTimer timer;  // lint:allow(wall-timer): exercises the timer itself
   double sink = 0.0;
   for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
   benchmark_guard_ = sink;
@@ -34,7 +34,7 @@ TEST(WallTimerTest, ResetRestartsTheClock) {
 }
 
 TEST(AccumulatingTimerTest, SumsIntervals) {
-  AccumulatingTimer timer;
+  AccumulatingTimer timer;  // lint:allow(wall-timer): exercises the timer itself
   EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.0);
   for (int round = 0; round < 3; ++round) {
     timer.Start();

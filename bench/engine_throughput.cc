@@ -60,14 +60,29 @@ RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
                    size_t window) {
   DemonMonitor demon(1000, engine);
   std::vector<DemonMonitor::MonitorId> ids;
-  ids.push_back(demon.AddUnrestrictedItemsetMonitor(
-      "uw-ecut", minsup, BlockSelectionSequence::AllBlocks()).ValueOrDie());
-  ids.push_back(demon.AddUnrestrictedItemsetMonitor(
-      "uw-borders", minsup, BlockSelectionSequence::AllBlocks(),
-      CountingStrategy::kEcutPlus).ValueOrDie());
-  ids.push_back(demon.AddWindowedItemsetMonitor(
-      "mrw-itemsets", minsup, window, BlockSelectionSequence::AllBlocks()).ValueOrDie());
-  ids.push_back(demon.AddPatternDetector("patterns", minsup, 0.95).ValueOrDie());
+  ids.push_back(demon
+                    .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                 .name = "uw-ecut",
+                                 .minsup = minsup})
+                    .ValueOrDie());
+  ids.push_back(demon
+                    .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                 .name = "uw-borders",
+                                 .minsup = minsup,
+                                 .strategy = CountingStrategy::kEcutPlus})
+                    .ValueOrDie());
+  ids.push_back(demon
+                    .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                 .name = "mrw-itemsets",
+                                 .window = window,
+                                 .minsup = minsup})
+                    .ValueOrDie());
+  ids.push_back(demon
+                    .AddMonitor({.kind = MonitorKind::kPatterns,
+                                 .name = "patterns",
+                                 .minsup = minsup,
+                                 .alpha = 0.95})
+                    .ValueOrDie());
 
   telemetry::ScopedTimer timer;
   for (const auto& block : blocks) {

@@ -10,11 +10,13 @@
 //
 // Build & run:  ./build/examples/demon_cli <command> [flags]
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/bss.h"
@@ -242,9 +244,9 @@ Status WriteTextFile(const std::string& path, const std::string& contents) {
   return Status::OK();
 }
 
-/// The Figure 11 deployment fleet shared by `monitor` and `telemetry`:
-/// unrestricted + windowed itemset monitors plus a pattern detector, fed
-/// every block, then quiesced.
+/// The Figure 11 deployment fleet shared by `monitor`, `telemetry` and
+/// `checkpoint`: unrestricted + windowed itemset monitors plus a pattern
+/// detector, fed every block, then quiesced.
 struct Fleet {
   std::unique_ptr<DemonMonitor> demon;
   std::vector<DemonMonitor::MonitorId> ids;
@@ -253,6 +255,14 @@ struct Fleet {
   EngineOptions engine;
 };
 
+/// Builds the fleet — freshly registered, or restored from a checkpoint
+/// when --restore is given (with --wal, the log is replayed before new
+/// blocks are fed and stays attached afterwards). Blocks already covered
+/// by the restored snapshot / replayed log are skipped, so re-running the
+/// same command after a crash continues where the interrupted run stopped.
+/// --checkpoint (+ --checkpoint_every N) writes periodic checkpoints and
+/// truncates the log after each; --block_delay_ms paces the feed (the
+/// crash-injection harness uses this to land its kill mid-stream).
 Result<Fleet> BuildAndRunFleet(
     const Flags& flags,
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks) {
@@ -266,30 +276,91 @@ Result<Fleet> BuildAndRunFleet(
   fleet.engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
   fleet.engine.defer_offline = flags.GetInt("defer", 0) != 0;
 
-  fleet.demon =
-      std::make_unique<DemonMonitor>(InferNumItems(blocks), fleet.engine);
-  DemonMonitor& demon = *fleet.demon;
-  if (!bss.is_window_relative()) {
+  if (flags.Has("restore")) {
     DEMON_ASSIGN_OR_RETURN(
-        auto uw, demon.AddUnrestrictedItemsetMonitor("uw-itemsets", minsup,
-                                                     bss));
-    fleet.ids.push_back(uw);
+        fleet.demon,
+        DemonMonitor::Restore(flags.GetString("restore", ""), fleet.engine));
+    if (flags.Has("wal")) {
+      DEMON_RETURN_NOT_OK(fleet.demon->ReplayWal(flags.GetString("wal", "")));
+      DEMON_RETURN_NOT_OK(fleet.demon->AttachWal(flags.GetString("wal", "")));
+    }
+  } else {
+    fleet.demon =
+        std::make_unique<DemonMonitor>(InferNumItems(blocks), fleet.engine);
+    DemonMonitor& demon = *fleet.demon;
+    if (!bss.is_window_relative()) {
+      DEMON_ASSIGN_OR_RETURN(
+          auto uw, demon.AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                     .name = "uw-itemsets",
+                                     .bss = bss,
+                                     .minsup = minsup}));
+      (void)uw;
+    }
+    DEMON_ASSIGN_OR_RETURN(
+        auto mrw, demon.AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                    .name = "mrw-itemsets",
+                                    .bss = bss,
+                                    .window = window,
+                                    .minsup = minsup}));
+    (void)mrw;
+    DEMON_ASSIGN_OR_RETURN(
+        auto patterns,
+        demon.AddMonitor({.kind = MonitorKind::kPatterns,
+                          .name = "patterns",
+                          .minsup = minsup,
+                          .alpha = flags.GetDouble("alpha", 0.95)}));
+    (void)patterns;
+    if (flags.Has("wal")) {
+      DEMON_RETURN_NOT_OK(demon.AttachWal(flags.GetString("wal", "")));
+    }
   }
-  DEMON_ASSIGN_OR_RETURN(
-      fleet.mrw,
-      demon.AddWindowedItemsetMonitor("mrw-itemsets", minsup, window, bss));
-  fleet.ids.push_back(fleet.mrw);
-  DEMON_ASSIGN_OR_RETURN(
-      fleet.patterns,
-      demon.AddPatternDetector("patterns", minsup,
-                               flags.GetDouble("alpha", 0.95)));
-  fleet.ids.push_back(fleet.patterns);
+  DemonMonitor& demon = *fleet.demon;
+  // Recover the monitor ids from the registered specs — uniform across
+  // the fresh and restored paths.
+  for (DemonMonitor::MonitorId id = 0; id < demon.NumMonitors(); ++id) {
+    fleet.ids.push_back(id);
+    DEMON_ASSIGN_OR_RETURN(const MonitorSpec* spec, demon.SpecOf(id));
+    if (spec->kind == MonitorKind::kWindowedItemsets) fleet.mrw = id;
+    if (spec->kind == MonitorKind::kPatterns) fleet.patterns = id;
+  }
 
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const long checkpoint_every = flags.GetInt("checkpoint_every", 0);
+  const long delay_ms = flags.GetInt("block_delay_ms", 0);
+  const BlockId already = demon.snapshot().latest_id();
   for (const auto& block : blocks) {
+    if (block->info().id <= already) continue;  // covered by restore/replay
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
     demon.AddBlock(*block);
+    DEMON_RETURN_NOT_OK(demon.wal_status());
+    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+        demon.snapshot().latest_id() % static_cast<BlockId>(checkpoint_every) ==
+            0) {
+      DEMON_RETURN_NOT_OK(demon.Checkpoint(checkpoint_path));
+      if (flags.Has("wal")) DEMON_RETURN_NOT_OK(demon.ResetWal());
+    }
   }
   demon.Quiesce();
   return fleet;
+}
+
+/// `checkpoint` subcommand: runs the monitor fleet over --data (optionally
+/// continuing from --restore / --wal) and writes one atomic checkpoint of
+/// the final state to --out. Checkpoint bytes are deterministic, so the
+/// crash-recovery harness diffs them between an interrupted-then-restored
+/// run and an uninterrupted one.
+Status RunCheckpoint(const Flags& flags) {
+  if (!flags.Has("out")) return Status::InvalidArgument("--out is required");
+  DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
+  DEMON_ASSIGN_OR_RETURN(Fleet fleet, BuildAndRunFleet(flags, blocks));
+  const std::string out = flags.GetString("out", "");
+  DEMON_RETURN_NOT_OK(fleet.demon->Checkpoint(out));
+  std::printf("checkpointed %zu monitor(s), %zu block(s) to %s\n",
+              fleet.demon->NumMonitors(), fleet.demon->snapshot().NumBlocks(),
+              out.c_str());
+  return Status::OK();
 }
 
 Status RunMonitor(const Flags& flags) {
@@ -391,7 +462,8 @@ Status RunRules(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: demon_cli <gen|mine|maintain|monitor|patterns|rules|telemetry> "
+      "usage: demon_cli "
+      "<gen|mine|maintain|monitor|checkpoint|patterns|rules|telemetry> "
       "[--flag value]\n"
       "  gen       --out F [--transactions N --items I --patterns P "
       "--len L --plen L --seed S]\n"
@@ -400,6 +472,10 @@ int Usage() {
       "ptscan|ecut|ecut+ --bss all|10110|periodic:7/0]\n"
       "  monitor   --data F1[,F2...] [--minsup 0.01 --window 3 --bss all "
       "--threads N --defer 0|1 --alpha 0.95 --trace_out trace.json]\n"
+      "            [--restore ckpt --wal log --checkpoint ckpt "
+      "--checkpoint_every N --block_delay_ms M]\n"
+      "  checkpoint --data F1[,F2...] --out ckpt "
+      "[--restore ckpt --wal log + monitor flags]\n"
       "  telemetry --data F1[,F2...] [--format prometheus|chrome "
       "--out F + monitor flags]\n"
       "  patterns  --data F1[,F2...] [--minsup 0.01 --alpha 0.95 "
@@ -426,6 +502,8 @@ int Main(int argc, char** argv) {
     status = RunMaintain(flags);
   } else if (command == "monitor") {
     status = RunMonitor(flags);
+  } else if (command == "checkpoint") {
+    status = RunCheckpoint(flags);
   } else if (command == "patterns") {
     status = RunPatterns(flags);
   } else if (command == "telemetry") {

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Crash-injection test for the checkpoint/WAL durability path.
+#
+#   scripts/crash_recovery_test.sh [build-dir]
+#
+# Generates a small multi-block transaction stream, then:
+#   1. Reference run: feeds the whole stream uninterrupted and writes a
+#      final checkpoint (demon_cli checkpoint).
+#   2. Crash run: feeds the same stream with a WAL attached and periodic
+#      checkpoints (--checkpoint_every), paced by --block_delay_ms, and
+#      kills the process with SIGKILL mid-stream.
+#   3. Recovery run: restores from the last periodic checkpoint, replays
+#      the WAL, feeds the remaining blocks, and writes a final checkpoint.
+#
+# Checkpoint bytes are deterministic (sorted model serialization; stats
+# and telemetry are not checkpointed), so the test passes iff the
+# recovered run's final checkpoint is byte-identical to the reference
+# run's. Several kill points are exercised so the SIGKILL lands in
+# different phases (mid-WAL-append, mid-checkpoint, between blocks).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+cli="$build_dir/examples/demon_cli"
+
+if [[ ! -x "$cli" ]]; then
+  echo "error: $cli not found; build the repo first" \
+       "(cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# --- The evolving database: 6 blocks, one transaction file each. --------
+num_blocks=6
+data_files=()
+for b in $(seq 1 "$num_blocks"); do
+  f="$work/block_$b.txn"
+  "$cli" gen --out "$f" --transactions 400 --items 60 --patterns 40 \
+    --len 6 --seed "$((1000 + b))" >/dev/null
+  data_files+=("$f")
+done
+data="$(IFS=,; echo "${data_files[*]}")"
+fleet_flags=(--minsup 0.02 --window 3 --alpha 0.95)
+
+# --- 1. Uninterrupted reference. ----------------------------------------
+"$cli" checkpoint --data "$data" "${fleet_flags[@]}" \
+  --out "$work/reference.ckpt" >/dev/null
+echo "reference checkpoint written"
+
+delay_ms=250
+failures=0
+for kill_after_ms in 400 800 1200; do
+  run="$work/run_$kill_after_ms"
+  mkdir -p "$run"
+  ckpt="$run/periodic.ckpt"
+  wal="$run/arrivals.wal"
+
+  # --- 2. Crash run: SIGKILL mid-stream. --------------------------------
+  "$cli" monitor --data "$data" "${fleet_flags[@]}" \
+    --wal "$wal" --checkpoint "$ckpt" --checkpoint_every 2 \
+    --block_delay_ms "$delay_ms" >/dev/null 2>&1 &
+  pid=$!
+  sleep "$(awk "BEGIN {print $kill_after_ms / 1000}")"
+  if kill -9 "$pid" 2>/dev/null; then
+    echo "kill@${kill_after_ms}ms: SIGKILL delivered mid-stream"
+  else
+    echo "kill@${kill_after_ms}ms: run finished before the kill landed"
+  fi
+  wait "$pid" 2>/dev/null || true
+
+  # --- 3. Recover and finish the stream. --------------------------------
+  restore_flags=()
+  if [[ -f "$ckpt" ]]; then
+    restore_flags+=(--restore "$ckpt")
+    [[ -f "$wal" ]] && restore_flags+=(--wal "$wal")
+  fi
+  if ! "$cli" checkpoint --data "$data" "${fleet_flags[@]}" \
+      "${restore_flags[@]}" --out "$run/recovered.ckpt" >/dev/null; then
+    echo "kill@${kill_after_ms}ms: FAIL (recovery run errored)"
+    failures=$((failures + 1))
+    continue
+  fi
+
+  if cmp -s "$work/reference.ckpt" "$run/recovered.ckpt"; then
+    echo "kill@${kill_after_ms}ms: OK (recovered checkpoint is" \
+         "byte-identical to the uninterrupted run)"
+  else
+    echo "kill@${kill_after_ms}ms: FAIL (recovered checkpoint differs" \
+         "from the uninterrupted run)"
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "crash recovery test: $failures kill point(s) FAILED" >&2
+  exit 1
+fi
+echo "crash recovery test: all kill points recovered bit-identically"

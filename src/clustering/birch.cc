@@ -94,4 +94,33 @@ void BirchPlus::AddBlock(const PointBlock& block) {
   last_stats_.phase2_seconds = timer.Stop();
 }
 
+void BirchPlus::SaveState(persistence::Writer& w) const {
+  tree_.SaveState(w);
+  // The model is a deterministic function of the sub-clusters, but
+  // serializing it avoids re-running phase 2 on restore.
+  w.WriteU64(model_.clusters().size());
+  for (const ClusterFeature& cf : model_.clusters()) {
+    w.WriteDouble(cf.n());
+    w.WriteDoubleVector(cf.ls());
+    w.WriteDouble(cf.ss());
+  }
+}
+
+Status BirchPlus::LoadState(persistence::Reader& r) {
+  tree_.LoadState(r);
+  const size_t num_clusters = r.ReadLength(24);
+  if (!r.ok()) return r.status();
+  std::vector<ClusterFeature> clusters;
+  clusters.reserve(num_clusters);
+  for (size_t i = 0; i < num_clusters; ++i) {
+    const double n = r.ReadDouble();
+    std::vector<double> ls = r.ReadDoubleVector();
+    const double ss = r.ReadDouble();
+    if (!r.ok()) return r.status();
+    clusters.push_back(ClusterFeature::FromRaw(n, std::move(ls), ss));
+  }
+  model_ = ClusterModel(std::move(clusters));
+  return r.status();
+}
+
 }  // namespace demon

@@ -75,6 +75,14 @@ class BirchPlus {
   /// block, phase 2 = global clustering; Figure 8 plots both).
   const BirchStats& last_stats() const { return last_stats_; }
 
+  /// Serializes the CF-tree and the current cluster model (checkpointing;
+  /// stats are instrumentation and not persisted).
+  void SaveState(persistence::Writer& w) const;
+
+  /// Restores state saved by SaveState into a freshly constructed BIRCH+
+  /// of the same dim/options.
+  [[nodiscard]] Status LoadState(persistence::Reader& r);
+
   /// Binds `registry` for phase spans, the
   /// `birch/{phase1,phase2}_seconds` histograms, and — forwarded to the
   /// CF-tree — insert/rebuild instrumentation. BirchStats stays available

@@ -420,4 +420,83 @@ void CFTree::RebuildWithLargerThreshold() {
   }
 }
 
+namespace {
+
+void SaveCF(persistence::Writer& w, const ClusterFeature& cf) {
+  w.WriteDouble(cf.n());
+  w.WriteDoubleVector(cf.ls());
+  w.WriteDouble(cf.ss());
+}
+
+ClusterFeature LoadCF(persistence::Reader& r, size_t dim) {
+  const double n = r.ReadDouble();
+  std::vector<double> ls = r.ReadDoubleVector();
+  const double ss = r.ReadDouble();
+  if (!r.ok()) return ClusterFeature();
+  if (ls.size() != dim) {
+    r.Fail("cluster feature has dimension " + std::to_string(ls.size()));
+    return ClusterFeature();
+  }
+  return ClusterFeature::FromRaw(n, std::move(ls), ss);
+}
+
+/// Height cap when decoding: CF-trees are height-balanced and far
+/// shallower in practice; a corrupt stream must not recurse the stack dry.
+constexpr size_t kMaxLoadDepth = 64;
+
+}  // namespace
+
+void CFTree::SaveNode(persistence::Writer& w, const Node& node) const {
+  w.WriteBool(node.is_leaf);
+  w.WriteU64(node.entries.size());
+  for (const ClusterFeature& entry : node.entries) SaveCF(w, entry);
+  if (!node.is_leaf) {
+    for (const NodePtr& child : node.children) SaveNode(w, *child);
+  }
+}
+
+CFTree::NodePtr CFTree::LoadNode(persistence::Reader& r, size_t depth) {
+  if (depth > kMaxLoadDepth) {
+    r.Fail("CF-tree deeper than the decode height cap");
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  node->is_leaf = r.ReadBool();
+  // Each serialized entry is at least n + length + ss (24 bytes).
+  const size_t num_entries = r.ReadLength(24);
+  if (!r.ok()) return nullptr;
+  node->entries.reserve(num_entries);
+  for (size_t i = 0; i < num_entries; ++i) {
+    node->entries.push_back(LoadCF(r, dim_));
+    if (!r.ok()) return nullptr;
+  }
+  if (!node->is_leaf) {
+    node->children.reserve(num_entries);
+    for (size_t i = 0; i < num_entries; ++i) {
+      NodePtr child = LoadNode(r, depth + 1);
+      if (!r.ok()) return nullptr;
+      node->children.push_back(std::move(child));
+    }
+  }
+  return node;
+}
+
+void CFTree::SaveState(persistence::Writer& w) const {
+  w.WriteDouble(threshold_);
+  w.WriteU64(num_rebuilds_);
+  w.WriteU64(num_leaf_entries_);
+  SaveCF(w, root_cf_);
+  SaveNode(w, *root_);
+}
+
+void CFTree::LoadState(persistence::Reader& r) {
+  threshold_ = r.ReadDouble();
+  num_rebuilds_ = r.ReadU64();
+  num_leaf_entries_ = r.ReadU64();
+  root_cf_ = LoadCF(r, dim_);
+  NodePtr root = LoadNode(r, 1);
+  if (!r.ok()) return;
+  root_ = std::move(root);
+}
+
 }  // namespace demon

@@ -10,6 +10,7 @@
 #include "common/audit.h"
 #include "common/telemetry.h"
 #include "data/block.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -99,6 +100,15 @@ class CFTree {
   void MutateLeafEntryForTest(size_t index,
                               const std::function<void(ClusterFeature*)>& fn);
 
+  /// Serializes the tree's dynamic state (threshold, rebuild count, root
+  /// CF, and the full node structure). The configuration (dim, options)
+  /// comes from the constructor on restore.
+  void SaveState(persistence::Writer& w) const;
+
+  /// Restores state saved by SaveState into a freshly constructed tree of
+  /// the same dim/options. Corruption latches a DataLoss on `r`.
+  void LoadState(persistence::Reader& r);
+
  private:
   struct Node;
   using NodePtr = std::unique_ptr<Node>;
@@ -117,6 +127,9 @@ class CFTree {
     ClusterFeature new_entry;
     NodePtr new_child;
   };
+
+  void SaveNode(persistence::Writer& w, const Node& node) const;
+  NodePtr LoadNode(persistence::Reader& r, size_t depth);
 
   InsertResult InsertCF(Node* node, const ClusterFeature& cf);
   size_t ClosestEntry(const Node& node, const ClusterFeature& cf) const;

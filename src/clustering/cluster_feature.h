@@ -28,6 +28,17 @@ class ClusterFeature {
     return cf;
   }
 
+  /// Reassembles a CF from its serialized components (checkpoint restore).
+  /// Callers validate n/ls/ss consistency; the deep audit re-checks the
+  /// SS >= |LS|²/N invariant afterwards.
+  static ClusterFeature FromRaw(double n, std::vector<double> ls, double ss) {
+    ClusterFeature cf;
+    cf.n_ = n;
+    cf.ls_ = std::move(ls);
+    cf.ss_ = ss;
+    return cf;
+  }
+
   size_t dim() const { return ls_.size(); }
   double n() const { return n_; }
   const std::vector<double>& ls() const { return ls_; }

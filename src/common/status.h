@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kInternal = 7,
   kNotImplemented = 8,
   kResourceExhausted = 9,
+  kDataLoss = 10,
 };
 
 /// \brief Returns a short human-readable name for `code` (e.g. "IOError").
@@ -71,6 +72,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Unrecoverable corruption or truncation of data at rest (a file whose
+  /// framing is right but whose payload is damaged). Distinct from
+  /// InvalidArgument, which covers wrong-format/wrong-version input.
+  [[nodiscard]] static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -127,4 +127,34 @@ std::string BlockSelectionSequence::ToString() const {
   return out;
 }
 
+void BlockSelectionSequence::SaveTo(persistence::Writer& w) const {
+  w.WriteU8(static_cast<uint8_t>(kind_));
+  w.WriteU64(bits_.size());
+  for (const bool bit : bits_) w.WriteBool(bit);
+  w.WriteBool(tail_bit_);
+  w.WriteU64(period_);
+  w.WriteU64(phase_);
+}
+
+Result<BlockSelectionSequence> BlockSelectionSequence::LoadFrom(
+    persistence::Reader& r) {
+  const uint8_t kind = r.ReadU8();
+  const size_t num_bits = r.ReadLength(1);
+  std::vector<bool> bits;
+  bits.reserve(num_bits);
+  for (size_t i = 0; i < num_bits; ++i) bits.push_back(r.ReadBool());
+  const bool tail_bit = r.ReadBool();
+  const uint64_t period = r.ReadU64();
+  const uint64_t phase = r.ReadU64();
+  if (!r.ok()) return r.status();
+  if (kind > static_cast<uint8_t>(Kind::kWindowRelative)) {
+    return Status::DataLoss("unknown BSS kind " + std::to_string(kind));
+  }
+  if (period > 0 && phase >= period) {
+    return Status::DataLoss("BSS phase outside its period");
+  }
+  return BlockSelectionSequence(static_cast<Kind>(kind), std::move(bits),
+                                tail_bit, period, phase);
+}
+
 }  // namespace demon

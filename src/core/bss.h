@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "data/types.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -70,6 +71,13 @@ class BlockSelectionSequence {
   ///   "periodic:7/0"   -> Periodic(7, 0)
   ///   "relative:101"   -> WindowRelative bits
   [[nodiscard]] static Result<BlockSelectionSequence> FromString(const std::string& text);
+
+  /// Serializes this BSS (checkpointed MonitorSpecs embed one).
+  void SaveTo(persistence::Writer& w) const;
+
+  /// Restores a BSS saved by SaveTo; corruption yields DataLoss.
+  [[nodiscard]] static Result<BlockSelectionSequence> LoadFrom(
+      persistence::Reader& r);
 
  private:
   BlockSelectionSequence(Kind kind, std::vector<bool> bits, bool tail_bit,

@@ -1,6 +1,16 @@
 #include "core/demon_monitor.h"
 
+#include "persistence/block_codec.h"
+#include "persistence/file_header.h"
+#include "persistence/serializer.h"
+
 namespace demon {
+namespace {
+
+/// Version of the checkpoint container payload (see FormatId::kCheckpoint).
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
 
 Status DemonMonitor::CheckNoBlocksYet() const {
   if (!snapshot_.empty() || !points_.empty() || !labeled_.empty()) {
@@ -10,131 +20,285 @@ Status DemonMonitor::CheckNoBlocksYet() const {
   return Status::OK();
 }
 
-Result<DemonMonitor::MonitorId> DemonMonitor::AddUnrestrictedItemsetMonitor(
-    std::string name, double minsup, BlockSelectionSequence bss,
-    CountingStrategy strategy) {
-  if (minsup <= 0.0 || minsup >= 1.0) {
-    return Status::InvalidArgument("minsup must be in (0, 1)");
-  }
-  if (bss.is_window_relative()) {
-    return Status::InvalidArgument(
-        "window-relative BSS requires a most-recent-window monitor (§2.3)");
-  }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  BordersOptions options;
-  options.minsup = minsup;
-  options.num_items = num_items_;
-  options.strategy = strategy;
-  return engine_.Register(std::move(name),
-                          std::make_unique<BordersAdapter>(options),
-                          std::move(bss));
+Result<DemonMonitor::MonitorId> DemonMonitor::AddMonitor(MonitorSpec spec) {
+  return RegisterSpec(std::move(spec), /*check_no_blocks=*/true);
 }
 
-Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedItemsetMonitor(
-    std::string name, double minsup, size_t window,
-    BlockSelectionSequence bss, CountingStrategy strategy) {
-  if (minsup <= 0.0 || minsup >= 1.0) {
-    return Status::InvalidArgument("minsup must be in (0, 1)");
+Result<const MonitorSpec*> DemonMonitor::SpecOf(MonitorId id) const {
+  if (id >= specs_.size()) {
+    return Status::NotFound("no monitor with id " + std::to_string(id));
   }
-  if (window == 0) {
+  return &specs_[id];
+}
+
+Result<DemonMonitor::MonitorId> DemonMonitor::RegisterSpec(
+    MonitorSpec spec, bool check_no_blocks) {
+  const bool windowed = spec.kind == MonitorKind::kWindowedItemsets ||
+                        spec.kind == MonitorKind::kWindowedClusters;
+  if (spec.bss.is_window_relative()) {
+    if (!windowed) {
+      return Status::InvalidArgument(
+          "window-relative BSS requires a most-recent-window monitor (§2.3)");
+    }
+    if (spec.bss.window_bits().size() != spec.window) {
+      return Status::InvalidArgument(
+          "window-relative BSS must have exactly `window` bits");
+    }
+  }
+  if (windowed && spec.window == 0) {
     return Status::InvalidArgument("window must be >= 1");
   }
-  if (bss.is_window_relative() && bss.window_bits().size() != window) {
-    return Status::InvalidArgument(
-        "window-relative BSS must have exactly `window` bits");
+  switch (spec.kind) {
+    case MonitorKind::kUnrestrictedItemsets:
+    case MonitorKind::kWindowedItemsets:
+      if (spec.minsup <= 0.0 || spec.minsup >= 1.0) {
+        return Status::InvalidArgument("minsup must be in (0, 1)");
+      }
+      break;
+    case MonitorKind::kUnrestrictedClusters:
+    case MonitorKind::kWindowedClusters:
+      if (spec.dim == 0) {
+        return Status::InvalidArgument("dim must be >= 1");
+      }
+      break;
+    case MonitorKind::kClassifier:
+      if (spec.schema.num_attributes() == 0 || spec.schema.num_classes < 2) {
+        return Status::InvalidArgument(
+            "classifier schema needs >= 1 attribute and >= 2 classes");
+      }
+      break;
+    case MonitorKind::kPatterns:
+      if (spec.minsup <= 0.0 || spec.minsup >= 1.0 || spec.alpha <= 0.0 ||
+          spec.alpha >= 1.0) {
+        return Status::InvalidArgument("minsup and alpha must be in (0, 1)");
+      }
+      break;
   }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  BordersOptions options;
-  options.minsup = minsup;
-  options.num_items = num_items_;
-  options.strategy = strategy;
-  // GEMM applies the BSS internally (projection / right-shift, §3.2), so
-  // the engine routes every transaction block through unfiltered.
-  return engine_.Register(
-      std::move(name),
-      std::make_unique<GemmItemsetAdapter>(std::move(bss), window, options));
+  if (check_no_blocks) DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
+
+  std::unique_ptr<ModelMaintainer> maintainer;
+  // GEMM-backed kinds apply the BSS internally (projection / right-shift,
+  // §3.2) and pattern detectors consume every block, so only the
+  // unrestricted kinds hand the engine a BSS gate.
+  bool gated = false;
+  switch (spec.kind) {
+    case MonitorKind::kUnrestrictedItemsets: {
+      BordersOptions options;
+      options.minsup = spec.minsup;
+      options.num_items = num_items_;
+      options.strategy = spec.strategy;
+      maintainer = std::make_unique<BordersAdapter>(options);
+      gated = true;
+      break;
+    }
+    case MonitorKind::kWindowedItemsets: {
+      BordersOptions options;
+      options.minsup = spec.minsup;
+      options.num_items = num_items_;
+      options.strategy = spec.strategy;
+      maintainer = std::make_unique<GemmItemsetAdapter>(spec.bss, spec.window,
+                                                        options);
+      break;
+    }
+    case MonitorKind::kUnrestrictedClusters:
+      maintainer = std::make_unique<ClusterAdapter>(spec.dim, spec.birch);
+      gated = true;
+      break;
+    case MonitorKind::kWindowedClusters:
+      maintainer = std::make_unique<GemmClusterAdapter>(
+          spec.bss, spec.window, spec.dim, spec.birch);
+      break;
+    case MonitorKind::kClassifier:
+      maintainer = std::make_unique<DTreeAdapter>(spec.schema, spec.dtree);
+      gated = true;
+      break;
+    case MonitorKind::kPatterns: {
+      CompactSequenceMiner::Options options;
+      options.focus.minsup = spec.minsup;
+      options.focus.num_items = num_items_;
+      options.alpha = spec.alpha;
+      options.window_size = spec.window;
+      maintainer = std::make_unique<PatternAdapter>(options);
+      break;
+    }
+  }
+  const MonitorId id = engine_.Register(
+      spec.name, std::move(maintainer),
+      gated ? std::optional<BlockSelectionSequence>(spec.bss) : std::nullopt);
+  specs_.push_back(std::move(spec));
+  return id;
 }
 
-Result<DemonMonitor::MonitorId> DemonMonitor::AddClusterMonitor(
-    std::string name, size_t dim, const BirchOptions& birch,
-    BlockSelectionSequence bss) {
-  if (dim == 0) {
-    return Status::InvalidArgument("dim must be >= 1");
-  }
-  if (bss.is_window_relative()) {
-    return Status::InvalidArgument(
-        "window-relative BSS requires a most-recent-window monitor (§2.3)");
-  }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  return engine_.Register(std::move(name),
-                          std::make_unique<ClusterAdapter>(dim, birch),
-                          std::move(bss));
-}
-
-Result<DemonMonitor::MonitorId> DemonMonitor::AddWindowedClusterMonitor(
-    std::string name, size_t dim, const BirchOptions& birch, size_t window,
-    BlockSelectionSequence bss) {
-  if (dim == 0) {
-    return Status::InvalidArgument("dim must be >= 1");
-  }
-  if (window == 0) {
-    return Status::InvalidArgument("window must be >= 1");
-  }
-  if (bss.is_window_relative() && bss.window_bits().size() != window) {
-    return Status::InvalidArgument(
-        "window-relative BSS must have exactly `window` bits");
-  }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  return engine_.Register(std::move(name),
-                          std::make_unique<GemmClusterAdapter>(
-                              std::move(bss), window, dim, birch));
-}
-
-Result<DemonMonitor::MonitorId> DemonMonitor::AddClassifierMonitor(
-    std::string name, const LabeledSchema& schema, const DTreeOptions& options,
-    BlockSelectionSequence bss) {
-  if (schema.num_attributes() == 0 || schema.num_classes < 2) {
-    return Status::InvalidArgument(
-        "classifier schema needs >= 1 attribute and >= 2 classes");
-  }
-  if (bss.is_window_relative()) {
-    return Status::InvalidArgument(
-        "window-relative BSS requires a most-recent-window monitor (§2.3)");
-  }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  return engine_.Register(std::move(name),
-                          std::make_unique<DTreeAdapter>(schema, options),
-                          std::move(bss));
-}
-
-Result<DemonMonitor::MonitorId> DemonMonitor::AddPatternDetector(
-    std::string name, double minsup, double alpha, size_t window) {
-  if (minsup <= 0.0 || minsup >= 1.0 || alpha <= 0.0 || alpha >= 1.0) {
-    return Status::InvalidArgument("minsup and alpha must be in (0, 1)");
-  }
-  DEMON_RETURN_NOT_OK(CheckNoBlocksYet());
-  CompactSequenceMiner::Options options;
-  options.focus.minsup = minsup;
-  options.focus.num_items = num_items_;
-  options.alpha = alpha;
-  options.window_size = window;
-  return engine_.Register(std::move(name),
-                          std::make_unique<PatternAdapter>(options));
+template <typename BlockT>
+void DemonMonitor::LogArrival(const BlockT& block) {
+  if (wal_ == nullptr || replaying_ || !wal_status_.ok()) return;
+  const Status appended = wal_->Append(block);
+  if (!appended.ok()) wal_status_ = appended;
 }
 
 void DemonMonitor::AddBlock(TransactionBlock block) {
   const BlockId id = snapshot_.Append(std::move(block));
+  LogArrival(*snapshot_.block(id));
   engine_.Dispatch(AnyBlock(snapshot_.block(id)));
 }
 
 void DemonMonitor::AddPointBlock(PointBlock block) {
   const BlockId id = points_.Append(std::move(block));
+  LogArrival(*points_.block(id));
   engine_.Dispatch(AnyBlock(points_.block(id)));
 }
 
 void DemonMonitor::AddLabeledBlock(LabeledBlock block) {
   const BlockId id = labeled_.Append(std::move(block));
+  LogArrival(*labeled_.block(id));
   engine_.Dispatch(AnyBlock(labeled_.block(id)));
+}
+
+Status DemonMonitor::Checkpoint(const std::string& path) const {
+  // Quiesce so deferred GEMM offline work has landed; the per-maintainer
+  // MaintainerOf below quiesces again, which is then a no-op.
+  engine_.Quiesce();
+  persistence::Writer w;
+  w.WriteU64(num_items_);
+  persistence::WriteSnapshot(w, snapshot_);
+  persistence::WriteSnapshot(w, points_);
+  persistence::WriteSnapshot(w, labeled_);
+  w.WriteU64(specs_.size());
+  for (MonitorId id = 0; id < specs_.size(); ++id) {
+    SaveMonitorSpec(w, specs_[id]);
+    DEMON_ASSIGN_OR_RETURN(const ModelMaintainer* maintainer,
+                           engine_.MaintainerOf(id));
+    // Frame each maintainer's state so a corrupt section cannot bleed into
+    // its neighbor on load.
+    persistence::Writer state;
+    DEMON_RETURN_NOT_OK(maintainer->SaveState(state));
+    w.WriteString(state.buffer());
+  }
+  return persistence::WritePayloadFile(path, persistence::FormatId::kCheckpoint,
+                                       kCheckpointVersion, w);
+}
+
+Result<std::unique_ptr<DemonMonitor>> DemonMonitor::Restore(
+    const std::string& path, const EngineOptions& engine) {
+  DEMON_ASSIGN_OR_RETURN(
+      const std::string payload,
+      persistence::ReadPayloadFile(path, persistence::FormatId::kCheckpoint,
+                                   kCheckpointVersion));
+  persistence::Reader r(payload);
+  const uint64_t num_items = r.ReadU64();
+  if (!r.ok()) return r.status();
+
+  auto monitor = std::make_unique<DemonMonitor>(
+      static_cast<size_t>(num_items), engine);
+  persistence::ReadSnapshotInto(r, &monitor->snapshot_);
+  persistence::ReadSnapshotInto(r, &monitor->points_);
+  persistence::ReadSnapshotInto(r, &monitor->labeled_);
+  if (!r.ok()) return r.status();
+
+  // Maintainer state references blocks by id; resolve them against the
+  // just-restored snapshots so block data is shared, not duplicated.
+  persistence::BlockSource source;
+  source.transactions =
+      [&m = *monitor](BlockId id)
+      -> Result<std::shared_ptr<const TransactionBlock>> {
+    if (id < 1 || id > m.snapshot_.latest_id()) {
+      return Status::DataLoss("checkpoint references unknown transaction block " +
+                              std::to_string(id));
+    }
+    return m.snapshot_.block(id);
+  };
+  source.points = [&m = *monitor](
+                      BlockId id) -> Result<std::shared_ptr<const PointBlock>> {
+    if (id < 1 || id > m.points_.latest_id()) {
+      return Status::DataLoss("checkpoint references unknown point block " +
+                              std::to_string(id));
+    }
+    return m.points_.block(id);
+  };
+  source.labeled =
+      [&m = *monitor](BlockId id)
+      -> Result<std::shared_ptr<const LabeledBlock>> {
+    if (id < 1 || id > m.labeled_.latest_id()) {
+      return Status::DataLoss("checkpoint references unknown labeled block " +
+                              std::to_string(id));
+    }
+    return m.labeled_.block(id);
+  };
+  r.set_block_source(&source);
+
+  const size_t num_monitors = r.ReadLength(1);
+  if (!r.ok()) return r.status();
+  for (size_t i = 0; i < num_monitors; ++i) {
+    DEMON_ASSIGN_OR_RETURN(MonitorSpec spec, LoadMonitorSpec(r));
+    DEMON_ASSIGN_OR_RETURN(
+        const MonitorId id,
+        monitor->RegisterSpec(std::move(spec), /*check_no_blocks=*/false));
+    const size_t state_bytes = r.ReadLength(1);
+    if (!r.ok()) return r.status();
+    persistence::Reader state = r.Sub(state_bytes);
+    DEMON_ASSIGN_OR_RETURN(ModelMaintainer * maintainer,
+                           monitor->engine_.MutableMaintainerOf(id));
+    DEMON_RETURN_NOT_OK(maintainer->LoadState(state));
+    if (!state.AtEnd()) {
+      return Status::DataLoss("monitor " + std::to_string(id) +
+                              " left trailing bytes in its state section");
+    }
+  }
+  if (!r.ok()) return r.status();
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing bytes after the checkpoint payload");
+  }
+  return monitor;
+}
+
+Status DemonMonitor::AttachWal(const std::string& path) {
+  DEMON_ASSIGN_OR_RETURN(wal_, persistence::WriteAheadLog::Open(path));
+  wal_status_ = Status::OK();
+  return Status::OK();
+}
+
+Status DemonMonitor::ResetWal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no write-ahead log attached");
+  }
+  DEMON_RETURN_NOT_OK(wal_->Reset());
+  wal_status_ = Status::OK();
+  return Status::OK();
+}
+
+Status DemonMonitor::ReplayWal(const std::string& path) {
+  replaying_ = true;
+  persistence::WriteAheadLog::Replayer replayer;
+  // Records up to the restored snapshot's latest id were captured by the
+  // checkpoint; later ids must continue the sequence without a gap.
+  const auto feed = [this](auto& snapshot, auto block,
+                           const char* payload) -> Status {
+    const BlockId id = block->info().id;
+    const BlockId next = snapshot.latest_id() + 1;
+    if (id < next) return Status::OK();
+    if (id > next) {
+      return Status::DataLoss(
+          std::string("WAL jumps to ") + payload + " block " +
+          std::to_string(id) + " but the next expected id is " +
+          std::to_string(next));
+    }
+    snapshot.Append(std::move(block));
+    engine_.Dispatch(AnyBlock(snapshot.block(id)));
+    return Status::OK();
+  };
+  replayer.transactions =
+      [&](std::shared_ptr<const TransactionBlock> block) {
+        return feed(snapshot_, std::move(block), "transaction");
+      };
+  replayer.points = [&](std::shared_ptr<const PointBlock> block) {
+    return feed(points_, std::move(block), "point");
+  };
+  replayer.labeled = [&](std::shared_ptr<const LabeledBlock> block) {
+    return feed(labeled_, std::move(block), "labeled");
+  };
+  const Status replayed = persistence::WriteAheadLog::Replay(path, replayer);
+  replaying_ = false;
+  return replayed;
 }
 
 Result<const ItemsetModel*> DemonMonitor::ItemsetModelOf(MonitorId id) const {

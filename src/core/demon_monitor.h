@@ -10,7 +10,9 @@
 #include "core/bss.h"
 #include "core/engine.h"
 #include "core/maintainers.h"
+#include "core/monitor_spec.h"
 #include "data/snapshot.h"
+#include "persistence/wal.h"
 
 namespace demon {
 
@@ -28,16 +30,24 @@ using LabeledSnapshot = Snapshot<LabeledBlock>;
 ///   * incremental decision-tree classifiers (the BOAT stand-in),
 ///   * compact-sequence pattern detection (§4), optionally windowed.
 ///
-/// Registration builds a type-erased ModelMaintainer adapter and hands it
-/// to the MaintenanceEngine, which updates all monitors concurrently per
-/// block (EngineOptions.num_threads) and can defer GEMM's future-window
-/// updates off the time-critical path (EngineOptions.defer_offline).
-/// `AddBlock` / `AddPointBlock` / `AddLabeledBlock` append to the matching
-/// snapshot and dispatch to every payload-compatible monitor; each
-/// monitor's model stays queryable between blocks, and `StatsOf` exposes
-/// the engine's per-monitor instrumentation. This is the object a
-/// deployment embeds; the underlying algorithm classes stay usable
-/// directly for finer control.
+/// Registration takes a MonitorSpec, builds the matching type-erased
+/// ModelMaintainer adapter, and hands it to the MaintenanceEngine, which
+/// updates all monitors concurrently per block (EngineOptions.num_threads)
+/// and can defer GEMM's future-window updates off the time-critical path
+/// (EngineOptions.defer_offline). `AddBlock` / `AddPointBlock` /
+/// `AddLabeledBlock` append to the matching snapshot and dispatch to every
+/// payload-compatible monitor; each monitor's model stays queryable
+/// between blocks, and `StatsOf` exposes the engine's per-monitor
+/// instrumentation. This is the object a deployment embeds; the underlying
+/// algorithm classes stay usable directly for finer control.
+///
+/// Durability: `Checkpoint` atomically snapshots the whole monitored
+/// database — blocks, registered specs, and every maintainer's state — to
+/// one file, and `Restore` rebuilds an equivalent DemonMonitor from it.
+/// An attached write-ahead log (`AttachWal`) records block arrivals as
+/// they happen, so `ReplayWal` after a restore replays exactly the blocks
+/// that arrived since the checkpoint and the models converge bit-identically
+/// to an uninterrupted run.
 class DemonMonitor {
  public:
   /// Identifies a registered monitor.
@@ -46,44 +56,91 @@ class DemonMonitor {
   explicit DemonMonitor(size_t num_items, const EngineOptions& engine = {})
       : num_items_(num_items), engine_(engine) {}
 
-  /// Registers an unrestricted-window frequent-itemset monitor fed the
-  /// blocks selected by a window-independent `bss`.
-  [[nodiscard]] Result<MonitorId> AddUnrestrictedItemsetMonitor(
-      std::string name, double minsup, BlockSelectionSequence bss,
-      CountingStrategy strategy = CountingStrategy::kEcut);
+  /// Registers a monitor described by `spec`. Validation depends on
+  /// `spec.kind`: itemset kinds and patterns need `minsup` in (0, 1);
+  /// windowed kinds need `window >= 1` and a window-relative BSS (if any)
+  /// of exactly `window` bits; cluster kinds need `dim >= 1`; classifiers
+  /// need a schema with at least one attribute and two classes; patterns
+  /// need `alpha` in (0, 1). Window-relative sequences are rejected for
+  /// every unrestricted kind (§2.3), and all monitors must be registered
+  /// before the first block of any payload arrives.
+  [[nodiscard]] Result<MonitorId> AddMonitor(MonitorSpec spec);
 
-  /// Registers a most-recent-window frequent-itemset monitor of size
-  /// `window` under any `bss` (GEMM-backed).
-  [[nodiscard]] Result<MonitorId> AddWindowedItemsetMonitor(
+  /// The spec a monitor was registered with.
+  [[nodiscard]] Result<const MonitorSpec*> SpecOf(MonitorId id) const;
+
+  // Legacy registration surface: thin shims over AddMonitor, kept one
+  // release so call sites can migrate to the spec struct.
+
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddUnrestrictedItemsetMonitor(
+      std::string name, double minsup, BlockSelectionSequence bss,
+      CountingStrategy strategy = CountingStrategy::kEcut) {
+    return AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                       .name = std::move(name),
+                       .bss = std::move(bss),
+                       .minsup = minsup,
+                       .strategy = strategy});
+  }
+
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddWindowedItemsetMonitor(
       std::string name, double minsup, size_t window,
       BlockSelectionSequence bss,
-      CountingStrategy strategy = CountingStrategy::kEcut);
+      CountingStrategy strategy = CountingStrategy::kEcut) {
+    return AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                       .name = std::move(name),
+                       .bss = std::move(bss),
+                       .window = window,
+                       .minsup = minsup,
+                       .strategy = strategy});
+  }
 
-  /// Registers an unrestricted-window cluster monitor (BIRCH+) over
-  /// `dim`-dimensional point blocks, fed the blocks selected by a
-  /// window-independent `bss`.
-  [[nodiscard]] Result<MonitorId> AddClusterMonitor(
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddClusterMonitor(
       std::string name, size_t dim, const BirchOptions& birch,
-      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
+      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks()) {
+    return AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                       .name = std::move(name),
+                       .bss = std::move(bss),
+                       .dim = dim,
+                       .birch = birch});
+  }
 
-  /// Registers a most-recent-window cluster monitor of size `window`
-  /// under any `bss` (GEMM over BIRCH+).
-  [[nodiscard]] Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
                                               const BirchOptions& birch,
                                               size_t window,
-                                              BlockSelectionSequence bss);
+                                              BlockSelectionSequence bss) {
+    return AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                       .name = std::move(name),
+                       .bss = std::move(bss),
+                       .window = window,
+                       .dim = dim,
+                       .birch = birch});
+  }
 
-  /// Registers an incremental decision-tree classifier monitor over
-  /// labeled blocks of `schema`, gated by a window-independent `bss`.
-  [[nodiscard]] Result<MonitorId> AddClassifierMonitor(
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddClassifierMonitor(
       std::string name, const LabeledSchema& schema,
       const DTreeOptions& options,
-      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks());
+      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks()) {
+    return AddMonitor({.kind = MonitorKind::kClassifier,
+                       .name = std::move(name),
+                       .bss = std::move(bss),
+                       .schema = schema,
+                       .dtree = options});
+  }
 
-  /// Registers a compact-sequence pattern detector (window 0 =
-  /// unrestricted).
-  [[nodiscard]] Result<MonitorId> AddPatternDetector(std::string name, double minsup,
-                                       double alpha, size_t window = 0);
+  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
+  Result<MonitorId> AddPatternDetector(std::string name, double minsup,
+                                       double alpha, size_t window = 0) {
+    return AddMonitor({.kind = MonitorKind::kPatterns,
+                       .name = std::move(name),
+                       .window = window,
+                       .minsup = minsup,
+                       .alpha = alpha});
+  }
 
   /// Appends the next transaction block and updates every
   /// transaction-consuming monitor.
@@ -97,6 +154,48 @@ class DemonMonitor {
 
   /// Drains any deferred (offline) GEMM updates queued by the engine.
   void Quiesce() const { engine_.Quiesce(); }
+
+  // --- Durability ---------------------------------------------------------
+
+  /// Quiesces, then writes one atomic checkpoint file: the block
+  /// snapshots, every monitor's spec, and every maintainer's serialized
+  /// state. The file appears under `path` only after a complete write
+  /// (write-temp-then-rename), so a crash mid-checkpoint leaves any
+  /// previous checkpoint intact.
+  [[nodiscard]] Status Checkpoint(const std::string& path) const;
+
+  /// Rebuilds a DemonMonitor from a checkpoint written by `Checkpoint`.
+  /// Every monitor is re-registered from its stored spec and its
+  /// maintainer state restored, so models, stats-relevant structures and
+  /// pending GEMM work continue exactly where the checkpoint left off.
+  /// Wrong-format files yield InvalidArgument; corruption yields DataLoss.
+  [[nodiscard]] static Result<std::unique_ptr<DemonMonitor>> Restore(
+      const std::string& path, const EngineOptions& engine = {});
+
+  /// Attaches a write-ahead log at `path` (created when missing): every
+  /// subsequent Add*Block is appended and flushed after it is assigned its
+  /// id and before any monitor sees it. Append failures latch into
+  /// `wal_status()` — arrival processing itself never blocks on the log.
+  [[nodiscard]] Status AttachWal(const std::string& path);
+
+  /// First WAL append failure, if any (OK while the log is healthy or
+  /// detached). A deployment should surface this: blocks arriving after a
+  /// failed append would be missing from crash recovery.
+  const Status& wal_status() const { return wal_status_; }
+
+  /// Replays the block arrivals logged at `path` through this monitor, in
+  /// arrival order. Records already covered by the restored snapshots
+  /// (id <= latest restored id) are skipped, so replaying a log that
+  /// overlaps the checkpoint is safe; a gap between the snapshot and the
+  /// log yields DataLoss. Replayed blocks are not re-appended to an
+  /// attached WAL.
+  [[nodiscard]] Status ReplayWal(const std::string& path);
+
+  /// Truncates the attached WAL to empty — call right after a successful
+  /// Checkpoint so the log only holds arrivals newer than the checkpoint.
+  [[nodiscard]] Status ResetWal();
+
+  // ------------------------------------------------------------------------
 
   /// The itemset model of a registered itemset monitor. For a windowed
   /// monitor before any block has arrived this is FailedPrecondition (no
@@ -140,11 +239,28 @@ class DemonMonitor {
   /// Monitors must be registered before the first block of any payload.
   [[nodiscard]] Status CheckNoBlocksYet() const;
 
+  /// Validates `spec` and registers its maintainer. Restore passes
+  /// `check_no_blocks = false`: it re-registers monitors after the block
+  /// snapshots have been reloaded.
+  [[nodiscard]] Result<MonitorId> RegisterSpec(MonitorSpec spec,
+                                               bool check_no_blocks);
+
+  /// Appends a restored/replayed arrival to the WAL unless replaying.
+  template <typename BlockT>
+  void LogArrival(const BlockT& block);
+
   size_t num_items_;
   TransactionSnapshot snapshot_;
   PointSnapshot points_;
   LabeledSnapshot labeled_;
   MaintenanceEngine engine_;
+  /// Parallel to the engine's monitor ids: the spec each was built from
+  /// (what Checkpoint stores so Restore can rebuild the maintainer).
+  std::vector<MonitorSpec> specs_;
+  std::unique_ptr<persistence::WriteAheadLog> wal_;
+  Status wal_status_;
+  /// True while ReplayWal feeds blocks back in, so they are not re-logged.
+  bool replaying_ = false;
 };
 
 }  // namespace demon

@@ -181,6 +181,12 @@ Result<const ModelMaintainer*> MaintenanceEngine::MaintainerOf(
   return monitors_[id]->maintainer.get();
 }
 
+Result<ModelMaintainer*> MaintenanceEngine::MutableMaintainerOf(MonitorId id) {
+  DEMON_RETURN_NOT_OK(CheckId(id));
+  Quiesce();
+  return monitors_[id]->maintainer.get();
+}
+
 Result<MonitorStats> MaintenanceEngine::StatsOf(MonitorId id) const {
   DEMON_RETURN_NOT_OK(CheckId(id));
   Quiesce();

@@ -124,6 +124,8 @@ class MaintenanceEngine {
   /// therefore quiesce-consistent: the returned snapshot reflects every
   /// block previously dispatched, including deferred offline work.
   [[nodiscard]] Result<const ModelMaintainer*> MaintainerOf(MonitorId id) const;
+  /// Mutable access for checkpoint restore (LoadState); quiesces first.
+  [[nodiscard]] Result<ModelMaintainer*> MutableMaintainerOf(MonitorId id);
   [[nodiscard]] Result<MonitorStats> StatsOf(MonitorId id) const;
   [[nodiscard]] Result<std::string> NameOf(MonitorId id) const;
 

@@ -8,9 +8,11 @@
 
 #include "common/audit.h"
 #include "common/check.h"
+#include "common/status.h"
 #include "common/telemetry.h"
 #include "core/bss.h"
 #include "data/types.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -194,6 +196,84 @@ class Gemm {
                   models_[i].maintainer, audit);
       }
     }
+  }
+
+  /// Serializes the full window bookkeeping: t, each window model's start
+  /// and (framed) maintainer state, and — when BeginBlock ran without
+  /// DrainOffline — the id of the block whose future-window updates are
+  /// still pending. `Maintainer` must provide
+  /// `void SaveState(persistence::Writer&) const`.
+  void SaveState(persistence::Writer& w) const {
+    w.WriteU64(t_);
+    w.WriteBool(has_pending_);
+    if (has_pending_) w.WriteU32(pending_->info().id);
+    w.WriteU64(models_.size());
+    for (const Entry& entry : models_) {
+      w.WriteU32(entry.start);
+      persistence::Writer state;
+      entry.maintainer.SaveState(state);
+      w.WriteString(state.buffer());
+    }
+  }
+
+  /// Restores state saved by SaveState into a freshly constructed Gemm
+  /// with the same BSS/window/factory configuration. Window models are
+  /// spawned through the factory and fed their framed state; a pending
+  /// block is re-acquired through `resolve` (the checkpoint loader's
+  /// snapshot-backed resolver). `Maintainer` must provide
+  /// `Status LoadState(persistence::Reader&)`.
+  [[nodiscard]] Status LoadState(
+      persistence::Reader& r,
+      const std::function<Result<BlockPtr>(BlockId)>& resolve) {
+    if (t_ != 0 || !models_.empty()) {
+      return Status::FailedPrecondition(
+          "GEMM state can only be restored into a fresh maintainer");
+    }
+    t_ = r.ReadU64();
+    const bool saved_pending = r.ReadBool();
+    BlockId pending_id = 0;
+    if (saved_pending) pending_id = r.ReadU32();
+    const uint64_t num_models = r.ReadU64();
+    if (!r.ok()) return r.status();
+    const uint64_t expected_models =
+        t_ < window_size_ ? t_ : static_cast<uint64_t>(window_size_);
+    if (num_models != expected_models) {
+      return Status::DataLoss("checkpoint holds " +
+                              std::to_string(num_models) +
+                              " GEMM window models at t=" +
+                              std::to_string(t_) + " (want " +
+                              std::to_string(expected_models) + ")");
+    }
+    for (uint64_t i = 0; i < num_models; ++i) {
+      const BlockId start = r.ReadU32();
+      const size_t state_bytes = r.ReadLength(1);
+      persistence::Reader state = r.Sub(state_bytes);
+      if (!r.ok()) return r.status();
+      const BlockId want =
+          static_cast<BlockId>(t_ - num_models + 1 + i);
+      if (start != want) {
+        return Status::DataLoss("GEMM window model " + std::to_string(i) +
+                                " starts at block " + std::to_string(start) +
+                                " (want " + std::to_string(want) + ")");
+      }
+      models_.push_back({start, factory_()});
+      DEMON_RETURN_NOT_OK(models_.back().maintainer.LoadState(state));
+      if (!state.AtEnd()) {
+        return Status::DataLoss("trailing bytes after GEMM window model " +
+                                std::to_string(i));
+      }
+    }
+    if (saved_pending) {
+      if (pending_id != static_cast<BlockId>(t_)) {
+        return Status::DataLoss("GEMM pending block id " +
+                                std::to_string(pending_id) +
+                                " does not match t=" + std::to_string(t_));
+      }
+      DEMON_ASSIGN_OR_RETURN(BlockPtr block, resolve(pending_id));
+      pending_ = std::move(block);
+      has_pending_ = true;
+    }
+    return r.status();
   }
 
   /// The start block id of every maintained model, oldest first (exposed

@@ -11,6 +11,8 @@
 #include "dtree/dtree_maintainer.h"
 #include "itemsets/borders.h"
 #include "patterns/compact_sequences.h"
+#include "persistence/block_codec.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -34,6 +36,11 @@ class ClusterMaintainer {
   const ClusterModel& model() const { return birch_.model(); }
   const BirchPlus& birch() const { return birch_; }
 
+  void SaveState(persistence::Writer& w) const { birch_.SaveState(w); }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) {
+    return birch_.LoadState(r);
+  }
+
  private:
   BirchPlus birch_;
 };
@@ -54,6 +61,18 @@ class CountingMaintainer {
   uint64_t records() const { return records_; }
   uint64_t occurrences() const { return occurrences_; }
   const std::vector<BlockId>& block_ids() const { return block_ids_; }
+
+  void SaveState(persistence::Writer& w) const {
+    w.WriteU64(records_);
+    w.WriteU64(occurrences_);
+    w.WriteU32Vector(block_ids_);
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) {
+    records_ = r.ReadU64();
+    occurrences_ = r.ReadU64();
+    block_ids_ = r.ReadU32Vector();
+    return r.status();
+  }
 
  private:
   uint64_t records_ = 0;
@@ -95,6 +114,13 @@ class BordersAdapter : public ModelMaintainer {
   void AuditInvariants(audit::AuditResult* audit) const override {
     maintainer_.AuditInto(audit);
     maintainer_.AuditRescratchInto(audit);
+  }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    maintainer_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    return maintainer_.LoadState(r);
   }
 
   const BordersMaintainer& borders() const { return maintainer_; }
@@ -163,6 +189,18 @@ class GemmItemsetAdapter : public ModelMaintainer {
     // get the structural audit above.
     if (gemm_.NumModels() > 0) gemm_.current().AuditRescratchInto(audit);
   }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    gemm_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    const persistence::BlockSource* source = r.block_source();
+    if (source == nullptr || !source->transactions) {
+      return Status::FailedPrecondition(
+          "no transaction block source bound to the reader");
+    }
+    return gemm_.LoadState(r, source->transactions);
+  }
 
   const GemmT& gemm() const { return gemm_; }
 
@@ -195,6 +233,13 @@ class ClusterAdapter : public ModelMaintainer {
   }
   void AuditInvariants(audit::AuditResult* audit) const override {
     maintainer_.birch().tree().AuditInto(audit);
+  }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    maintainer_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    return maintainer_.LoadState(r);
   }
 
   const ClusterMaintainer& clusters() const { return maintainer_; }
@@ -247,6 +292,18 @@ class GemmClusterAdapter : public ModelMaintainer {
           maintainer.birch().tree().AuditInto(out);
         });
   }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    gemm_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    const persistence::BlockSource* source = r.block_source();
+    if (source == nullptr || !source->points) {
+      return Status::FailedPrecondition(
+          "no point block source bound to the reader");
+    }
+    return gemm_.LoadState(r, source->points);
+  }
 
   const GemmT& gemm() const { return gemm_; }
 
@@ -271,6 +328,13 @@ class DTreeAdapter : public ModelMaintainer {
   }
   [[nodiscard]] Result<const DecisionTree*> dtree_model() const override {
     return &maintainer_.model();
+  }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    maintainer_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    return maintainer_.LoadState(r);
   }
 
   const DTreeMaintainer& dtree() const { return maintainer_; }
@@ -298,6 +362,13 @@ class PatternAdapter : public ModelMaintainer {
   }
   [[nodiscard]] Result<const CompactSequenceMiner*> pattern_miner() const override {
     return &miner_;
+  }
+  [[nodiscard]] Status SaveState(persistence::Writer& w) const override {
+    miner_.SaveState(w);
+    return Status::OK();
+  }
+  [[nodiscard]] Status LoadState(persistence::Reader& r) override {
+    return miner_.LoadState(r);
   }
 
  private:

@@ -13,6 +13,11 @@
 
 namespace demon {
 
+namespace persistence {
+class Writer;
+class Reader;
+}  // namespace persistence
+
 class ItemsetModel;
 class ClusterModel;
 class DecisionTree;
@@ -146,6 +151,30 @@ class ModelMaintainer {
   /// append violations rather than aborting, so the engine can attach
   /// monitor context before escalating. Default: nothing to audit.
   virtual void AuditInvariants(audit::AuditResult* /*audit*/) const {}
+
+  // --- Checkpointable extension -------------------------------------------
+  //
+  // Durable state capture for DemonMonitor::Checkpoint/Restore. SaveState
+  // must serialize everything needed to continue *bit-identically* from
+  // this point; block data is written as BlockId references (the
+  // checkpoint container persists the snapshots once, and the Reader's
+  // BlockSource re-resolves shared pointers on load). Both are only called
+  // at a quiesced block boundary. LoadState is called on a freshly
+  // constructed maintainer whose configuration (options, schema, BSS) has
+  // already been re-established from the registered MonitorSpec.
+
+  /// Serializes the maintainer's dynamic state into `w`.
+  [[nodiscard]] virtual Status SaveState(persistence::Writer& /*w*/) const {
+    return Status::NotImplemented(std::string(type_name()) +
+                                  " maintainer does not support checkpoints");
+  }
+
+  /// Restores state saved by `SaveState`. Corruption surfaces as DataLoss,
+  /// configuration mismatches as InvalidArgument.
+  [[nodiscard]] virtual Status LoadState(persistence::Reader& /*r*/) {
+    return Status::NotImplemented(std::string(type_name()) +
+                                  " maintainer does not support checkpoints");
+  }
 
   /// Typed model accessors. Each returns InvalidArgument unless this
   /// maintainer maintains that model class; windowed maintainers return

@@ -1,0 +1,90 @@
+#include "core/monitor_spec.h"
+
+#include "persistence/block_codec.h"
+
+namespace demon {
+
+const char* MonitorKindToString(MonitorKind kind) {
+  switch (kind) {
+    case MonitorKind::kUnrestrictedItemsets:
+      return "unrestricted-itemsets";
+    case MonitorKind::kWindowedItemsets:
+      return "windowed-itemsets";
+    case MonitorKind::kUnrestrictedClusters:
+      return "unrestricted-clusters";
+    case MonitorKind::kWindowedClusters:
+      return "windowed-clusters";
+    case MonitorKind::kClassifier:
+      return "classifier";
+    case MonitorKind::kPatterns:
+      return "patterns";
+  }
+  return "unknown";
+}
+
+void SaveMonitorSpec(persistence::Writer& w, const MonitorSpec& spec) {
+  w.WriteU8(static_cast<uint8_t>(spec.kind));
+  w.WriteString(spec.name);
+  spec.bss.SaveTo(w);
+  w.WriteU64(spec.window);
+  w.WriteDouble(spec.minsup);
+  w.WriteU8(static_cast<uint8_t>(spec.strategy));
+  w.WriteU64(spec.dim);
+  w.WriteU64(spec.birch.tree.branching);
+  w.WriteU64(spec.birch.tree.leaf_capacity);
+  w.WriteU64(spec.birch.tree.max_leaf_entries);
+  w.WriteDouble(spec.birch.tree.initial_threshold);
+  w.WriteU64(spec.birch.num_clusters);
+  w.WriteU8(static_cast<uint8_t>(spec.birch.phase2));
+  w.WriteU64(spec.birch.seed);
+  w.WriteU64(spec.birch.kmeans_max_iterations);
+  persistence::WriteLabeledSchema(w, spec.schema);
+  w.WriteDouble(spec.dtree.min_split_weight);
+  w.WriteDouble(spec.dtree.min_gain);
+  w.WriteU64(spec.dtree.max_depth);
+  w.WriteDouble(spec.alpha);
+}
+
+Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r) {
+  MonitorSpec spec;
+  const uint8_t kind = r.ReadU8();
+  spec.name = r.ReadString();
+  DEMON_ASSIGN_OR_RETURN(spec.bss,
+                         BlockSelectionSequence::LoadFrom(r));
+  spec.window = r.ReadU64();
+  spec.minsup = r.ReadDouble();
+  const uint8_t strategy = r.ReadU8();
+  spec.dim = r.ReadU64();
+  spec.birch.tree.branching = r.ReadU64();
+  spec.birch.tree.leaf_capacity = r.ReadU64();
+  spec.birch.tree.max_leaf_entries = r.ReadU64();
+  spec.birch.tree.initial_threshold = r.ReadDouble();
+  spec.birch.num_clusters = r.ReadU64();
+  const uint8_t phase2 = r.ReadU8();
+  spec.birch.seed = r.ReadU64();
+  spec.birch.kmeans_max_iterations = r.ReadU64();
+  spec.schema = persistence::ReadLabeledSchema(r);
+  spec.dtree.min_split_weight = r.ReadDouble();
+  spec.dtree.min_gain = r.ReadDouble();
+  spec.dtree.max_depth = r.ReadU64();
+  spec.alpha = r.ReadDouble();
+  if (!r.ok()) return r.status();
+  if (kind < static_cast<uint8_t>(MonitorKind::kUnrestrictedItemsets) ||
+      kind > static_cast<uint8_t>(MonitorKind::kPatterns)) {
+    return Status::DataLoss("unknown monitor kind " + std::to_string(kind));
+  }
+  spec.kind = static_cast<MonitorKind>(kind);
+  if (strategy > static_cast<uint8_t>(CountingStrategy::kEcutPlus)) {
+    return Status::DataLoss("unknown counting strategy " +
+                            std::to_string(strategy));
+  }
+  spec.strategy = static_cast<CountingStrategy>(strategy);
+  if (phase2 > static_cast<uint8_t>(Phase2Algorithm::kAgglomerative)) {
+    return Status::DataLoss("unknown phase-2 algorithm " +
+                            std::to_string(phase2));
+  }
+  spec.birch.phase2 = static_cast<Phase2Algorithm>(phase2);
+  return spec;
+}
+
+}  // namespace demon

@@ -1,0 +1,81 @@
+#ifndef DEMON_CORE_MONITOR_SPEC_H_
+#define DEMON_CORE_MONITOR_SPEC_H_
+
+#include <string>
+
+#include "clustering/birch.h"
+#include "common/status.h"
+#include "core/bss.h"
+#include "dtree/dtree_maintainer.h"
+#include "dtree/labeled_block.h"
+#include "itemsets/support_counting.h"
+#include "persistence/serializer.h"
+
+namespace demon {
+
+/// The model class and data-span option a monitor maintains. Values are
+/// stable on disk (checkpoints embed them); never renumber.
+enum class MonitorKind : uint8_t {
+  /// Unrestricted-window frequent itemsets (BORDERS, §3.1).
+  kUnrestrictedItemsets = 1,
+  /// Most-recent-window frequent itemsets (GEMM over BORDERS, §3.2).
+  kWindowedItemsets = 2,
+  /// Unrestricted-window clusters (BIRCH+, §3.1.2).
+  kUnrestrictedClusters = 3,
+  /// Most-recent-window clusters (GEMM over BIRCH+, §3.2.4).
+  kWindowedClusters = 4,
+  /// Incremental decision-tree classifier (the BOAT stand-in).
+  kClassifier = 5,
+  /// Compact-sequence pattern detection (§4), optionally windowed.
+  kPatterns = 6,
+};
+
+/// Short stable name for error messages ("itemsets", "windowed-clusters"...).
+const char* MonitorKindToString(MonitorKind kind);
+
+/// \brief Everything needed to register one monitor with a DemonMonitor —
+/// the single registration currency of `AddMonitor` and the unit a
+/// checkpoint stores so `Restore` can re-create its monitors.
+///
+/// Designed for designated initializers; only the fields a kind consumes
+/// are read (e.g. `window` only for the windowed kinds, `schema`/`dtree`
+/// only for classifiers), and `AddMonitor` validates the relevant ones.
+struct MonitorSpec {
+  MonitorKind kind = MonitorKind::kUnrestrictedItemsets;
+  /// Monitor name, as surfaced by NameOf and the stats output.
+  std::string name;
+
+  /// Which blocks participate (Definition 2.1). Window-relative sequences
+  /// are only valid for the windowed kinds; pattern detectors consume
+  /// every block (the miner's similarity matrix needs the full stream).
+  BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks();
+  /// Window size w for the windowed kinds; for kPatterns, 0 means
+  /// unrestricted (footnote 9's variant otherwise). Ignored elsewhere.
+  size_t window = 0;
+
+  /// Itemset kinds and kPatterns: minimum support κ ∈ (0, 1).
+  double minsup = 0.01;
+  /// Itemset kinds: how the update phase counts new candidates.
+  CountingStrategy strategy = CountingStrategy::kEcut;
+
+  /// Cluster kinds: point dimensionality (>= 1) and BIRCH configuration.
+  size_t dim = 0;
+  BirchOptions birch;
+
+  /// kClassifier: record schema and split thresholds.
+  LabeledSchema schema;
+  DTreeOptions dtree;
+
+  /// kPatterns: similarity level alpha of Definition 4.1.
+  double alpha = 0.95;
+};
+
+/// Serializes a spec into a checkpoint payload.
+void SaveMonitorSpec(persistence::Writer& w, const MonitorSpec& spec);
+
+/// Restores a spec saved by SaveMonitorSpec; corruption yields DataLoss.
+[[nodiscard]] Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r);
+
+}  // namespace demon
+
+#endif  // DEMON_CORE_MONITOR_SPEC_H_

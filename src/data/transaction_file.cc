@@ -1,10 +1,15 @@
 #include "data/transaction_file.h"
 
+#include "persistence/file_header.h"
+
 namespace demon {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x44454d4f4e545831ULL;  // "DEMONTX1"
+constexpr uint32_t kTransactionFileVersion = 1;
+constexpr long kPayloadStart =
+    static_cast<long>(persistence::FileHeader::kBytes) +
+    static_cast<long>(sizeof(uint64_t));
 
 }  // namespace
 
@@ -12,9 +17,13 @@ Status TransactionFile::Write(const TransactionBlock& block,
                               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTransactionFile);
+  header.version = kTransactionFileVersion;
+  Status status = header.WriteTo(f);
   const uint64_t count = block.size();
-  bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
-            std::fwrite(&count, sizeof(count), 1, f) == 1;
+  bool ok = status.ok() && std::fwrite(&count, sizeof(count), 1, f) == 1;
   for (const Transaction& t : block.transactions()) {
     if (!ok) break;
     const uint32_t length = static_cast<uint32_t>(t.size());
@@ -23,6 +32,7 @@ Status TransactionFile::Write(const TransactionBlock& block,
           std::fwrite(t.items().data(), sizeof(Item), length, f) == length);
   }
   std::fclose(f);
+  if (!status.ok()) return status;
   if (!ok) return Status::IoError("short write: " + path);
   return Status::OK();
 }
@@ -48,19 +58,24 @@ Result<std::unique_ptr<TransactionFileScanner>> TransactionFileScanner::Open(
   auto scanner = std::unique_ptr<TransactionFileScanner>(
       new TransactionFileScanner());
   scanner->file_ = f;
-  uint64_t magic = 0;
+  auto header = persistence::FileHeader::ReadFrom(
+      f, persistence::FormatId::kTransactionFile, kTransactionFileVersion,
+      path);
+  if (!header.ok()) return header.status();
   uint64_t count = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic ||
-      std::fread(&count, sizeof(count), 1, f) != 1) {
-    return Status::IoError("corrupt transaction file: " + path);
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    return Status::DataLoss("transaction file truncated in header: " + path);
   }
+  std::fseek(f, 0, SEEK_END);
+  scanner->file_bytes_ = std::ftell(f);
+  std::fseek(f, kPayloadStart, SEEK_SET);
   scanner->num_transactions_ = count;
   scanner->position_ = 0;
   return scanner;
 }
 
 Status TransactionFileScanner::Rewind() {
-  if (std::fseek(file_, 2 * sizeof(uint64_t), SEEK_SET) != 0) {
+  if (std::fseek(file_, kPayloadStart, SEEK_SET) != 0) {
     return Status::IoError("seek failed");
   }
   position_ = 0;
@@ -71,12 +86,18 @@ Result<bool> TransactionFileScanner::Next(Transaction* out) {
   if (position_ >= num_transactions_) return false;
   uint32_t length = 0;
   if (std::fread(&length, sizeof(length), 1, file_) != 1) {
-    return Status::IoError("short read (length)");
+    return Status::DataLoss("transaction file truncated (length)");
+  }
+  // Reject lengths that cannot fit in the file before allocating: a corrupt
+  // length field must not force a multi-gigabyte resize.
+  if (static_cast<uint64_t>(length) * sizeof(Item) >
+      static_cast<uint64_t>(file_bytes_)) {
+    return Status::DataLoss("transaction length exceeds file size");
   }
   std::vector<Item> items(length);
   if (length > 0 &&
       std::fread(items.data(), sizeof(Item), length, file_) != length) {
-    return Status::IoError("short read (items)");
+    return Status::DataLoss("transaction file truncated (items)");
   }
   bytes_read_ += sizeof(length) + length * sizeof(Item);
   *out = Transaction(std::move(items));

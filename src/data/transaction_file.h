@@ -65,6 +65,7 @@ class TransactionFileScanner {
   size_t num_transactions_ = 0;
   size_t position_ = 0;
   uint64_t bytes_read_ = 0;
+  long file_bytes_ = 0;
 };
 
 }  // namespace demon

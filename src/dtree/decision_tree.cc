@@ -215,4 +215,88 @@ SplitChoice BestSplit(
   return choice;
 }
 
+void DecisionTree::SaveNode(persistence::Writer& w, const Node& node) const {
+  w.WriteI64(node.split_attribute);
+  w.WriteDoubleVector(node.class_counts);
+  w.WriteI64(node.leaf_id);
+  w.WriteU64(node.used_attributes.size());
+  for (const bool used : node.used_attributes) w.WriteBool(used);
+  w.WriteU64(node.avc.size());
+  for (const auto& values : node.avc) {
+    w.WriteU64(values.size());
+    for (const auto& class_counts : values) w.WriteDoubleVector(class_counts);
+  }
+  w.WriteU64(node.children.size());
+  for (const auto& child : node.children) SaveNode(w, *child);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::LoadNode(
+    persistence::Reader& r, size_t depth) {
+  // Trees are capped by DTreeOptions::max_depth; a corrupt stream must not
+  // recurse the stack dry.
+  if (depth > 128) {
+    r.Fail("decision tree deeper than the decode height cap");
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  const int64_t split = r.ReadI64();
+  node->class_counts = r.ReadDoubleVector();
+  const int64_t leaf_id = r.ReadI64();
+  if (!r.ok()) return nullptr;
+  if (split < -1 || split > static_cast<int64_t>(schema_.num_attributes()) ||
+      leaf_id < -1) {
+    r.Fail("decision-tree node fields out of range");
+    return nullptr;
+  }
+  node->split_attribute = static_cast<int>(split);
+  node->leaf_id = static_cast<int>(leaf_id);
+  const size_t num_used = r.ReadLength(1);
+  node->used_attributes.reserve(num_used);
+  for (size_t i = 0; i < num_used; ++i) {
+    node->used_attributes.push_back(r.ReadBool());
+  }
+  const size_t num_attributes = r.ReadLength(sizeof(uint64_t));
+  if (!r.ok()) return nullptr;
+  node->avc.resize(num_attributes);
+  for (size_t a = 0; a < num_attributes; ++a) {
+    const size_t num_values = r.ReadLength(sizeof(uint64_t));
+    if (!r.ok()) return nullptr;
+    node->avc[a].resize(num_values);
+    for (size_t v = 0; v < num_values; ++v) {
+      node->avc[a][v] = r.ReadDoubleVector();
+    }
+  }
+  // Each serialized child occupies at least its two i64 fields.
+  const size_t num_children = r.ReadLength(2 * sizeof(int64_t));
+  if (!r.ok()) return nullptr;
+  if (node->split_attribute >= 0 && num_children == 0) {
+    r.Fail("internal decision-tree node without children");
+    return nullptr;
+  }
+  node->children.reserve(num_children);
+  for (size_t i = 0; i < num_children; ++i) {
+    auto child = LoadNode(r, depth + 1);
+    if (!r.ok()) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+void DecisionTree::SaveState(persistence::Writer& w) const {
+  w.WriteBool(root_ != nullptr);
+  if (root_ != nullptr) SaveNode(w, *root_);
+}
+
+void DecisionTree::LoadState(persistence::Reader& r) {
+  const bool has_root = r.ReadBool();
+  if (!r.ok()) return;
+  if (!has_root) {
+    root_.reset();
+    return;
+  }
+  auto root = LoadNode(r, 1);
+  if (!r.ok()) return;
+  root_ = std::move(root);
+}
+
 }  // namespace demon

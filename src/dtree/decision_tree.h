@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dtree/labeled_block.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -69,7 +70,19 @@ class DecisionTree {
   /// Multi-line dump for debugging and example output.
   std::string ToString() const;
 
+  /// Serializes the node structure, including the leaves' AVC statistics
+  /// (the sufficient statistics incremental maintenance resumes from).
+  /// The schema is configuration and comes from the constructor on restore.
+  void SaveState(persistence::Writer& w) const;
+
+  /// Restores state saved by SaveState into a tree constructed with the
+  /// same schema. Corruption latches a DataLoss on `r`.
+  void LoadState(persistence::Reader& r);
+
  private:
+  void SaveNode(persistence::Writer& w, const Node& node) const;
+  std::unique_ptr<Node> LoadNode(persistence::Reader& r, size_t depth);
+
   LabeledSchema schema_;
   std::unique_ptr<Node> root_;
 };

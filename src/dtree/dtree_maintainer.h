@@ -49,6 +49,24 @@ class DTreeMaintainer {
 
   size_t blocks_seen() const { return blocks_seen_; }
 
+  /// Serializes the tree (with leaf AVC statistics) and the block count.
+  void SaveState(persistence::Writer& w) const {
+    tree_.SaveState(w);
+    w.WriteU64(blocks_seen_);
+  }
+
+  /// Restores state saved by SaveState into a freshly constructed
+  /// maintainer with the same schema/options.
+  [[nodiscard]] Status LoadState(persistence::Reader& r) {
+    if (blocks_seen_ != 0) {
+      return Status::FailedPrecondition(
+          "decision-tree state can only be restored into a fresh maintainer");
+    }
+    tree_.LoadState(r);
+    blocks_seen_ = r.ReadU64();
+    return r.status();
+  }
+
  private:
   void EnsureLeafStats(DecisionTree::Node* leaf);
   void MaybeSplit(DecisionTree::Node* leaf, size_t depth);

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "itemsets/apriori.h"
+#include "itemsets/model_io.h"
+#include "persistence/block_codec.h"
 
 namespace demon {
 
@@ -287,6 +289,78 @@ void BordersMaintainer::AuditRescratchInto(audit::AuditResult* audit) const {
                               "tracks "
                            << model_.entries().size() << ")",
               example);
+}
+
+void BordersMaintainer::SaveState(persistence::Writer& w) const {
+  SerializeItemsetModel(w, model_);
+  w.WriteU64(blocks_.size());
+  for (const auto& block : blocks_) w.WriteU32(block->info().id);
+  if (options_.strategy == CountingStrategy::kPtScan) return;
+  DEMON_CHECK(tidlists_.NumBlocks() == blocks_.size());
+  for (size_t b = 0; b < tidlists_.NumBlocks(); ++b) {
+    // The pair set a block was materialized with depends on the model at
+    // arrival time; record it verbatim (sorted for determinism) so restore
+    // rebuilds the exact same lists rather than re-deriving them from the
+    // final model.
+    auto pairs = tidlists_.block(b).MaterializedPairs();
+    std::sort(pairs.begin(), pairs.end());
+    w.WriteU64(pairs.size());
+    for (const auto& [a, c] : pairs) {
+      w.WriteU32(a);
+      w.WriteU32(c);
+    }
+  }
+}
+
+Status BordersMaintainer::LoadState(persistence::Reader& r) {
+  if (!blocks_.empty() || !model_.entries().empty()) {
+    return Status::FailedPrecondition(
+        "BORDERS state can only be restored into a fresh maintainer");
+  }
+  ItemsetModel model;
+  DeserializeItemsetModel(r, &model);
+  if (!r.ok()) return r.status();
+  if (model.minsup() != options_.minsup ||
+      model.num_items() != options_.num_items) {
+    return Status::InvalidArgument(
+        "checkpointed itemset model was mined with different options");
+  }
+
+  const persistence::BlockSource* source = r.block_source();
+  if (source == nullptr || !source->transactions) {
+    return Status::FailedPrecondition(
+        "no transaction block source bound to the reader");
+  }
+  const size_t num_blocks = r.ReadLength(sizeof(uint32_t));
+  if (!r.ok()) return r.status();
+  blocks_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const BlockId id = r.ReadU32();
+    if (!r.ok()) return r.status();
+    DEMON_ASSIGN_OR_RETURN(auto block, source->transactions(id));
+    blocks_.push_back(std::move(block));
+  }
+
+  if (options_.strategy != CountingStrategy::kPtScan) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t num_pairs = r.ReadLength(2 * sizeof(uint32_t));
+      PairMaterializationSpec spec;
+      spec.pairs.reserve(num_pairs);
+      for (size_t p = 0; p < num_pairs; ++p) {
+        const Item a = r.ReadU32();
+        const Item c = r.ReadU32();
+        spec.pairs.emplace_back(a, c);
+      }
+      if (!r.ok()) return r.status();
+      // The recorded pairs already respect the budget that applied at
+      // arrival time, so rebuild them all (unbounded budget).
+      tidlists_.Append(BlockTidLists::Build(
+          *blocks_[b], options_.num_items,
+          spec.pairs.empty() ? nullptr : &spec));
+    }
+  }
+  model_ = std::move(model);
+  return r.status();
 }
 
 void BordersMaintainer::PruneBorder() {

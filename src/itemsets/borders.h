@@ -8,6 +8,7 @@
 #include "itemsets/counting_context.h"
 #include "itemsets/itemset_model.h"
 #include "itemsets/support_counting.h"
+#include "persistence/serializer.h"
 #include "tidlist/tidlist_store.h"
 
 namespace demon {
@@ -123,6 +124,18 @@ class BordersMaintainer {
   /// Meant for DEMON_AUDIT builds at block boundaries, where every test
   /// stream doubles as an end-to-end correctness fuzz.
   void AuditRescratchInto(audit::AuditResult* audit) const;
+
+  /// Serializes the maintainer's dynamic state: the model, the selected
+  /// block ids, and — for ECUT/ECUT+ — each block's materialized pair set,
+  /// so restore rebuilds byte-identical TID-lists. Blocks themselves are
+  /// stored once by the checkpoint container, not here.
+  void SaveState(persistence::Writer& w) const;
+
+  /// Restores state saved by SaveState into a freshly constructed
+  /// maintainer with the same options. Selected blocks are re-acquired
+  /// through the Reader's transaction BlockSource and their TID-lists
+  /// rebuilt with the recorded pair sets.
+  [[nodiscard]] Status LoadState(persistence::Reader& r);
 
   const ItemsetModel& model() const { return model_; }
   const BordersOptions& options() const { return options_; }

@@ -1,95 +1,94 @@
 #include "itemsets/model_io.h"
 
-#include <cstdio>
-#include <cstring>
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "persistence/file_header.h"
 
 namespace demon {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x44454d4f4e4d4431ULL;  // "DEMONMD1"
-
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
-}
+constexpr uint32_t kModelFormatVersion = 1;
 
 }  // namespace
 
-Status WriteItemsetModel(const ItemsetModel& model, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-
-  const double minsup = model.minsup();
-  uint64_t minsup_bits = 0;
-  static_assert(sizeof(minsup_bits) == sizeof(minsup));
-  std::memcpy(&minsup_bits, &minsup, sizeof(minsup));
-
-  bool ok = WriteU64(f, kMagic) && WriteU64(f, minsup_bits) &&
-            WriteU64(f, model.num_items()) &&
-            WriteU64(f, model.num_transactions()) &&
-            WriteU64(f, model.entries().size());
-  for (auto it = model.entries().begin(); ok && it != model.entries().end();
-       ++it) {
-    const auto& [itemset, entry] = *it;
-    ok = WriteU64(f, itemset.size()) &&
-         (itemset.empty() ||
-          std::fwrite(itemset.data(), sizeof(Item), itemset.size(), f) ==
-              itemset.size()) &&
-         WriteU64(f, entry.count) && WriteU64(f, entry.frequent ? 1 : 0);
+void SerializeItemsetModel(persistence::Writer& w, const ItemsetModel& model) {
+  w.WriteDouble(model.minsup());
+  w.WriteU64(model.num_items());
+  w.WriteU64(model.num_transactions());
+  w.WriteU64(model.entries().size());
+  // Canonical order: the entry map is unordered, but checkpoints of equal
+  // models must be byte-equal for the restore-equivalence tests.
+  std::vector<const std::pair<const Itemset, ItemsetModel::Entry>*> sorted;
+  sorted.reserve(model.entries().size());
+  for (const auto& entry : model.entries()) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) {
+              return ItemsetLess()(a->first, b->first);
+            });
+  for (const auto* entry : sorted) {
+    w.WriteU32Vector(entry->first);
+    w.WriteU64(entry->second.count);
+    w.WriteBool(entry->second.frequent);
   }
-  std::fclose(f);
-  if (!ok) return Status::IoError("short write: " + path);
-  return Status::OK();
+}
+
+void DeserializeItemsetModel(persistence::Reader& r, ItemsetModel* model) {
+  const double minsup = r.ReadDouble();
+  const uint64_t num_items = r.ReadU64();
+  const uint64_t num_transactions = r.ReadU64();
+  const size_t num_entries = r.ReadLength(sizeof(uint64_t) + 1);
+  if (!r.ok()) return;
+  if (!(minsup > 0.0 && minsup < 1.0)) {
+    r.Fail("model minsup outside (0, 1)");
+    return;
+  }
+  ItemsetModel loaded(minsup, num_items);
+  loaded.set_num_transactions(num_transactions);
+  for (size_t e = 0; e < num_entries; ++e) {
+    Itemset itemset = r.ReadU32Vector();
+    const uint64_t count = r.ReadU64();
+    const bool frequent = r.ReadBool();
+    if (!r.ok()) return;
+    loaded.mutable_entries()->emplace(std::move(itemset),
+                                      ItemsetModel::Entry{count, frequent});
+  }
+  *model = std::move(loaded);
+}
+
+Status WriteItemsetModel(const ItemsetModel& model, const std::string& path) {
+  persistence::Writer payload;
+  SerializeItemsetModel(payload, model);
+  return persistence::WritePayloadFile(path, persistence::FormatId::kItemsetModel,
+                                       kModelFormatVersion, payload);
 }
 
 Result<ItemsetModel> ReadItemsetModel(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
-
-  uint64_t magic = 0;
-  uint64_t minsup_bits = 0;
-  uint64_t num_items = 0;
-  uint64_t num_transactions = 0;
-  uint64_t num_entries = 0;
-  bool ok = ReadU64(f, &magic) && magic == kMagic &&
-            ReadU64(f, &minsup_bits) && ReadU64(f, &num_items) &&
-            ReadU64(f, &num_transactions) && ReadU64(f, &num_entries);
-  double minsup = 0.0;
-  std::memcpy(&minsup, &minsup_bits, sizeof(minsup));
-  if (!ok || minsup <= 0.0 || minsup >= 1.0) {
-    std::fclose(f);
-    return Status::IoError("corrupt model file: " + path);
+  DEMON_ASSIGN_OR_RETURN(
+      const std::string payload,
+      persistence::ReadPayloadFile(path, persistence::FormatId::kItemsetModel,
+                                   kModelFormatVersion));
+  persistence::Reader r(payload);
+  ItemsetModel model;
+  DeserializeItemsetModel(r, &model);
+  DEMON_RETURN_NOT_OK(r.status());
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing bytes after model payload: " + path);
   }
-  ItemsetModel model(minsup, num_items);
-  model.set_num_transactions(num_transactions);
-  for (uint64_t e = 0; ok && e < num_entries; ++e) {
-    uint64_t size = 0;
-    ok = ReadU64(f, &size);
-    Itemset itemset(size);
-    if (ok && size > 0) {
-      ok = std::fread(itemset.data(), sizeof(Item), size, f) == size;
-    }
-    uint64_t count = 0;
-    uint64_t frequent = 0;
-    ok = ok && ReadU64(f, &count) && ReadU64(f, &frequent);
-    if (ok) {
-      model.mutable_entries()->emplace(
-          std::move(itemset), ItemsetModel::Entry{count, frequent != 0});
-    }
-  }
-  std::fclose(f);
-  if (!ok) return Status::IoError("corrupt model file: " + path);
   return model;
 }
 
 uint64_t SerializedModelBytes(const ItemsetModel& model) {
-  uint64_t bytes = 5 * sizeof(uint64_t);
+  // FileHeader + (minsup, num_items, num_transactions, num_entries) +
+  // per entry: length-prefixed items + count + frequent byte. Must stay in
+  // lockstep with SerializeItemsetModel; model_io_test asserts predicted ==
+  // written for empty, single-itemset, and large models.
+  uint64_t bytes = persistence::FileHeader::kBytes + 4 * sizeof(uint64_t);
   for (const auto& [itemset, entry] : model.entries()) {
-    bytes += 3 * sizeof(uint64_t) + itemset.size() * sizeof(Item);
+    bytes += sizeof(uint64_t) + itemset.size() * sizeof(Item) +
+             sizeof(uint64_t) + 1;
   }
   return bytes;
 }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "itemsets/itemset_model.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -14,13 +15,27 @@ namespace demon {
 /// §3.2.3's point about GEMM: of the w maintained models only the current
 /// one is needed in memory; the rest "can be stored on disk and retrieved
 /// when necessary", and a model is tiny next to the block data. These
-/// functions provide that spill/restore path and round-trip exactly.
+/// functions provide that spill/restore path and round-trip exactly. Files
+/// carry the shared persistence::FileHeader (format kItemsetModel);
+/// corrupted or truncated input is rejected with InvalidArgument/DataLoss.
 [[nodiscard]] Status WriteItemsetModel(const ItemsetModel& model, const std::string& path);
 
 [[nodiscard]] Result<ItemsetModel> ReadItemsetModel(const std::string& path);
 
-/// Serialized size of a model in bytes, without writing it (what §3.2.3
-/// calls the "negligible" additional disk space for the w - 1 models).
+/// Appends the model payload (no file header) to `w`. Entries are emitted
+/// in canonical lexicographic order, so equal models serialize to equal
+/// bytes. Shared by the model file writer and the checkpoint container.
+void SerializeItemsetModel(persistence::Writer& w, const ItemsetModel& model);
+
+/// Decodes a model payload written by SerializeItemsetModel. Corruption
+/// latches a DataLoss on `r`; `model` is only valid when `r.ok()` holds
+/// afterwards.
+void DeserializeItemsetModel(persistence::Reader& r, ItemsetModel* model);
+
+/// Serialized size of a model file in bytes, without writing it (what
+/// §3.2.3 calls the "negligible" additional disk space for the w - 1
+/// models). Kept consistent with the writer by construction — see the
+/// predicted-vs-written assertions in model_io_test.
 uint64_t SerializedModelBytes(const ItemsetModel& model);
 
 }  // namespace demon

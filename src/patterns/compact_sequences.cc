@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "itemsets/model_io.h"
+#include "persistence/block_codec.h"
 
 namespace demon {
 
@@ -147,6 +149,100 @@ bool CompactSequenceMiner::IsCompact(
     if (!excused) return false;
   }
   return true;
+}
+
+void CompactSequenceMiner::SaveState(persistence::Writer& w) const {
+  w.WriteU64(window_start_);
+  w.WriteU64(blocks_.size());
+  for (const auto& block : blocks_) {
+    w.WriteBool(block != nullptr);
+    if (block != nullptr) w.WriteU32(block->info().id);
+  }
+  // Cached models only exist for in-window blocks (evicted ones were
+  // released); absent positions restore to the empty model.
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] != nullptr) SerializeItemsetModel(w, models_[i]);
+  }
+  for (const auto& row : pair_) {
+    for (const PairwiseSimilarity& sim : row) {
+      w.WriteDouble(sim.deviation.deviation);
+      w.WriteDouble(sim.deviation.significance);
+      w.WriteU64(sim.deviation.num_regions);
+      w.WriteBool(sim.deviation.scanned_blocks);
+      w.WriteBool(sim.similar);
+    }
+  }
+  w.WriteU64(sequences_.size());
+  for (const auto& sequence : sequences_) {
+    w.WriteU64(sequence.size());
+    for (const size_t index : sequence) w.WriteU64(index);
+  }
+}
+
+Status CompactSequenceMiner::LoadState(persistence::Reader& r) {
+  if (!blocks_.empty()) {
+    return Status::FailedPrecondition(
+        "pattern-miner state can only be restored into a fresh miner");
+  }
+  const persistence::BlockSource* source = r.block_source();
+  if (source == nullptr || !source->transactions) {
+    return Status::FailedPrecondition(
+        "no transaction block source bound to the reader");
+  }
+  window_start_ = r.ReadU64();
+  const size_t num_blocks = r.ReadLength(1);
+  if (!r.ok()) return r.status();
+  if (window_start_ > num_blocks) {
+    return Status::DataLoss("pattern-miner window start past the blocks");
+  }
+  blocks_.reserve(num_blocks);
+  for (size_t i = 0; i < num_blocks; ++i) {
+    const bool present = r.ReadBool();
+    if (!r.ok()) return r.status();
+    if (!present) {
+      blocks_.emplace_back();
+      continue;
+    }
+    const BlockId id = r.ReadU32();
+    if (!r.ok()) return r.status();
+    DEMON_ASSIGN_OR_RETURN(auto block, source->transactions(id));
+    blocks_.push_back(std::move(block));
+  }
+  models_.resize(num_blocks);
+  for (size_t i = 0; i < num_blocks; ++i) {
+    if (blocks_[i] == nullptr) continue;
+    DeserializeItemsetModel(r, &models_[i]);
+    if (!r.ok()) return r.status();
+  }
+  pair_.resize(num_blocks);
+  for (size_t j = 0; j < num_blocks; ++j) {
+    pair_[j].resize(j);
+    for (size_t i = 0; i < j; ++i) {
+      PairwiseSimilarity& sim = pair_[j][i];
+      sim.deviation.deviation = r.ReadDouble();
+      sim.deviation.significance = r.ReadDouble();
+      sim.deviation.num_regions = r.ReadU64();
+      sim.deviation.scanned_blocks = r.ReadBool();
+      sim.similar = r.ReadBool();
+    }
+    if (!r.ok()) return r.status();
+  }
+  const size_t num_sequences = r.ReadLength(sizeof(uint64_t));
+  if (!r.ok()) return r.status();
+  sequences_.resize(num_sequences);
+  for (size_t s = 0; s < num_sequences; ++s) {
+    const size_t length = r.ReadLength(sizeof(uint64_t));
+    if (!r.ok()) return r.status();
+    sequences_[s].reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      const uint64_t index = r.ReadU64();
+      if (index >= num_blocks) {
+        return Status::DataLoss("sequence references a block out of range");
+      }
+      sequences_[s].push_back(static_cast<size_t>(index));
+    }
+  }
+  return r.status();
 }
 
 std::vector<std::vector<size_t>> CompactSequenceMiner::MaximalSequences(

@@ -6,6 +6,7 @@
 
 #include "common/telemetry.h"
 #include "deviation/focus.h"
+#include "persistence/serializer.h"
 
 namespace demon {
 
@@ -84,6 +85,17 @@ class CompactSequenceMiner {
   /// Checks Definition 4.1 against the miner's own similarity matrix —
   /// used by tests and assertions.
   bool IsCompact(const std::vector<size_t>& sequence) const;
+
+  /// Serializes the miner's dynamic state: window start, block references
+  /// (evicted positions marked absent), cached per-block models, the full
+  /// pairwise deviation matrix, and the maintained sequences. Blocks are
+  /// stored as ids; the checkpoint container persists them once.
+  void SaveState(persistence::Writer& w) const;
+
+  /// Restores state saved by SaveState into a freshly constructed miner
+  /// with the same options, re-acquiring blocks through the Reader's
+  /// transaction BlockSource.
+  [[nodiscard]] Status LoadState(persistence::Reader& r);
 
   const std::vector<std::shared_ptr<const TransactionBlock>>& blocks() const {
     return blocks_;

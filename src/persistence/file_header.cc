@@ -1,0 +1,159 @@
+#include "persistence/file_header.h"
+
+#include <cstdio>
+
+namespace demon::persistence {
+
+namespace {
+
+std::string DescribeFormat(uint32_t id) {
+  switch (static_cast<FormatId>(id)) {
+    case FormatId::kTransactionFile:
+    case FormatId::kTidListBlock:
+    case FormatId::kTidListIndexed:
+    case FormatId::kItemsetModel:
+    case FormatId::kCheckpoint:
+    case FormatId::kWriteAheadLog:
+      return FormatIdToString(static_cast<FormatId>(id));
+  }
+  return "format#" + std::to_string(id);
+}
+
+Status ValidateHeader(const FileHeader& header, FormatId expected,
+                      uint32_t max_version, const std::string& context) {
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument(context + ": not a DEMON file (bad magic)");
+  }
+  if (header.format_id != static_cast<uint32_t>(expected)) {
+    return Status::InvalidArgument(
+        context + ": expected a " + FormatIdToString(expected) +
+        " file, found " + DescribeFormat(header.format_id));
+  }
+  if (header.version == 0 || header.version > max_version) {
+    return Status::InvalidArgument(
+        context + ": " + FormatIdToString(expected) + " version " +
+        std::to_string(header.version) + " unsupported (reader handles 1.." +
+        std::to_string(max_version) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FormatIdToString(FormatId id) {
+  switch (id) {
+    case FormatId::kTransactionFile:
+      return "transaction-file";
+    case FormatId::kTidListBlock:
+      return "tidlist-block";
+    case FormatId::kTidListIndexed:
+      return "tidlist-indexed";
+    case FormatId::kItemsetModel:
+      return "itemset-model";
+    case FormatId::kCheckpoint:
+      return "checkpoint";
+    case FormatId::kWriteAheadLog:
+      return "write-ahead-log";
+  }
+  return "unknown";
+}
+
+Status FileHeader::WriteTo(std::FILE* f) const {
+  Writer w;
+  AppendTo(w);
+  if (std::fwrite(w.buffer().data(), 1, w.size(), f) != w.size()) {
+    return Status::IoError("short write of file header");
+  }
+  return Status::OK();
+}
+
+Result<FileHeader> FileHeader::ReadFrom(std::FILE* f, FormatId expected,
+                                        uint32_t max_version,
+                                        const std::string& context) {
+  char bytes[kBytes];
+  if (std::fread(bytes, 1, kBytes, f) != kBytes) {
+    return Status::DataLoss(context + ": file too short for a DEMON header");
+  }
+  Reader r(bytes, kBytes);
+  FileHeader header;
+  header.magic = r.ReadU64();
+  header.format_id = r.ReadU32();
+  header.version = r.ReadU32();
+  header.flags = r.ReadU64();
+  DEMON_RETURN_NOT_OK(ValidateHeader(header, expected, max_version, context));
+  return header;
+}
+
+void FileHeader::AppendTo(Writer& w) const {
+  w.WriteU64(magic);
+  w.WriteU32(format_id);
+  w.WriteU32(version);
+  w.WriteU64(flags);
+}
+
+Result<FileHeader> FileHeader::Consume(Reader& r, FormatId expected,
+                                       uint32_t max_version,
+                                       const std::string& context) {
+  if (r.remaining() < kBytes) {
+    return Status::DataLoss(context + ": input too short for a DEMON header");
+  }
+  FileHeader header;
+  header.magic = r.ReadU64();
+  header.format_id = r.ReadU32();
+  header.version = r.ReadU32();
+  header.flags = r.ReadU64();
+  DEMON_RETURN_NOT_OK(ValidateHeader(header, expected, max_version, context));
+  return header;
+}
+
+Status WritePayloadFile(const std::string& path, FormatId format,
+                        uint32_t version, const Writer& payload) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + tmp);
+  FileHeader header;
+  header.format_id = static_cast<uint32_t>(format);
+  header.version = version;
+  Status status = header.WriteTo(f);
+  if (status.ok() && !payload.buffer().empty() &&
+      std::fwrite(payload.buffer().data(), 1, payload.size(), f) !=
+          payload.size()) {
+    status = Status::IoError("short write: " + tmp);
+  }
+  if (std::fflush(f) != 0 && status.ok()) {
+    status = Status::IoError("flush failed: " + tmp);
+  }
+  std::fclose(f);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadPayloadFile(const std::string& path, FormatId format,
+                                    uint32_t max_version) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto header = FileHeader::ReadFrom(f, format, max_version, path);
+  if (!header.ok()) {
+    std::fclose(f);
+    return header.status();
+  }
+  std::string payload;
+  char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    payload.append(chunk, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IoError("read failed: " + path);
+  return payload;
+}
+
+}  // namespace demon::persistence

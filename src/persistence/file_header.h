@@ -1,0 +1,80 @@
+#ifndef DEMON_PERSISTENCE_FILE_HEADER_H_
+#define DEMON_PERSISTENCE_FILE_HEADER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "persistence/serializer.h"
+
+namespace demon::persistence {
+
+/// Shared magic number opening every DEMON on-disk file ("DEMONFS1").
+/// The format id distinguishes what follows; the per-format version gates
+/// layout evolution. A reader that sees the wrong magic or format id is
+/// looking at the wrong kind of file (`InvalidArgument`); one that sees a
+/// newer version than it supports must refuse rather than misparse
+/// (`InvalidArgument`); a header that cannot be read in full is truncation
+/// (`DataLoss`).
+inline constexpr uint64_t kMagic = 0x44454d4f4e465331ULL;  // "DEMONFS1"
+
+/// Identifies the layout of the bytes following the header. Values are
+/// stable on disk; never renumber.
+enum class FormatId : uint32_t {
+  kTransactionFile = 1,  ///< data/transaction_file: block stream
+  kTidListBlock = 2,     ///< tidlist: BlockTidLists bulk dump
+  kTidListIndexed = 3,   ///< tidlist: random-access TID-list layout
+  kItemsetModel = 4,     ///< itemsets/model_io: serialized ItemsetModel
+  kCheckpoint = 5,       ///< core: DemonMonitor checkpoint container
+  kWriteAheadLog = 6,    ///< core: block-arrival write-ahead log
+};
+
+/// Short stable name for error messages ("transaction-file", "checkpoint"...).
+const char* FormatIdToString(FormatId id);
+
+/// \brief The fixed 24-byte preamble of every DEMON file: magic, format id,
+/// version, flags. `flags` is reserved (must be zero when written today) so
+/// future formats can signal optional features without a version bump.
+struct FileHeader {
+  static constexpr size_t kBytes = 24;
+
+  uint64_t magic = kMagic;
+  uint32_t format_id = 0;
+  uint32_t version = 0;
+  uint64_t flags = 0;
+
+  /// Writes the 24 header bytes at the current file position.
+  [[nodiscard]] Status WriteTo(std::FILE* f) const;
+
+  /// Reads and validates a header: wrong magic / wrong format id / version
+  /// newer than `max_version` yield `InvalidArgument`; a short read yields
+  /// `DataLoss`. `context` names the file in error messages.
+  [[nodiscard]] static Result<FileHeader> ReadFrom(std::FILE* f,
+                                                   FormatId expected,
+                                                   uint32_t max_version,
+                                                   const std::string& context);
+
+  /// In-memory variants for formats framed inside a byte buffer.
+  void AppendTo(Writer& w) const;
+  [[nodiscard]] static Result<FileHeader> Consume(Reader& r, FormatId expected,
+                                                  uint32_t max_version,
+                                                  const std::string& context);
+};
+
+/// Writes `header ++ payload` to `path` atomically: the bytes go to
+/// `path + ".tmp"` first and are renamed over `path` only after a clean
+/// close, so a crash mid-write can never leave a torn file under the real
+/// name (the reader either sees the old file or the complete new one).
+[[nodiscard]] Status WritePayloadFile(const std::string& path, FormatId format,
+                                      uint32_t version, const Writer& payload);
+
+/// Reads a file written by `WritePayloadFile`: validates the header (same
+/// status contract as `FileHeader::ReadFrom`) and returns the payload bytes.
+[[nodiscard]] Result<std::string> ReadPayloadFile(const std::string& path,
+                                                  FormatId format,
+                                                  uint32_t max_version);
+
+}  // namespace demon::persistence
+
+#endif  // DEMON_PERSISTENCE_FILE_HEADER_H_

@@ -1,0 +1,250 @@
+#include "persistence/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "persistence/file_header.h"
+
+namespace demon::persistence {
+
+namespace {
+
+constexpr uint32_t kWalVersion = 1;
+
+enum class RecordKind : uint8_t {
+  kTransactions = 1,
+  kPoints = 2,
+  kLabeled = 3,
+};
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ReadExact(std::FILE* f, void* out, size_t size) {
+  return std::fread(out, 1, size, f) == size;
+}
+
+/// Scans records from the current position (just past the header) to the
+/// end of the log. Durable records are handed to `on_record` (may be null);
+/// a torn tail is *not* an error — scanning stops and `end_of_valid` points
+/// at the end of the last durable record.
+Status ScanRecords(
+    std::FILE* f, const std::string& path,
+    const std::function<Status(RecordKind, const std::string&)>& on_record,
+    long* end_of_valid, size_t* num_records) {
+  *num_records = 0;
+  *end_of_valid = std::ftell(f);
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, *end_of_valid, SEEK_SET);
+  for (;;) {
+    uint8_t kind = 0;
+    uint64_t payload_bytes = 0;
+    if (!ReadExact(f, &kind, sizeof(kind)) ||
+        !ReadExact(f, &payload_bytes, sizeof(payload_bytes))) {
+      return Status::OK();  // clean EOF or torn length prefix
+    }
+    if (kind < static_cast<uint8_t>(RecordKind::kTransactions) ||
+        kind > static_cast<uint8_t>(RecordKind::kLabeled)) {
+      return Status::DataLoss(path + ": WAL record with unknown payload kind " +
+                              std::to_string(kind));
+    }
+    // A length pointing past EOF is either a torn length field or garbage;
+    // bounding it here also keeps corrupt input from forcing a huge
+    // allocation below.
+    const uint64_t bytes_left =
+        static_cast<uint64_t>(file_size - std::ftell(f));
+    if (payload_bytes + sizeof(uint64_t) > bytes_left) {
+      return Status::OK();  // torn tail record
+    }
+    std::string payload(payload_bytes, '\0');
+    uint64_t checksum = 0;
+    if (!ReadExact(f, payload.data(), payload.size()) ||
+        !ReadExact(f, &checksum, sizeof(checksum))) {
+      return Status::OK();  // torn tail record: the append never completed
+    }
+    if (checksum != Fnv1a(payload)) {
+      return Status::DataLoss(path + ": WAL record " +
+                              std::to_string(*num_records) +
+                              " fails its checksum");
+    }
+    if (on_record != nullptr) {
+      DEMON_RETURN_NOT_OK(
+          on_record(static_cast<RecordKind>(kind), payload));
+    }
+    ++*num_records;
+    *end_of_valid = std::ftell(f);
+  }
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    // Create a fresh log with just a header.
+    f = std::fopen(path.c_str(), "w+b");
+    if (f == nullptr) return Status::IoError("cannot create WAL: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+
+  size_t num_records = 0;
+  if (size == 0) {
+    FileHeader header;
+    header.format_id = static_cast<uint32_t>(FormatId::kWriteAheadLog);
+    header.version = kWalVersion;
+    Status status = header.WriteTo(f);
+    if (status.ok() && std::fflush(f) != 0) {
+      status = Status::IoError("flush failed: " + path);
+    }
+    if (!status.ok()) {
+      std::fclose(f);
+      return status;
+    }
+  } else {
+    auto header = FileHeader::ReadFrom(f, FormatId::kWriteAheadLog,
+                                       kWalVersion, path);
+    if (!header.ok()) {
+      std::fclose(f);
+      return header.status();
+    }
+    long end_of_valid = 0;
+    Status status =
+        ScanRecords(f, path, nullptr, &end_of_valid, &num_records);
+    if (!status.ok()) {
+      std::fclose(f);
+      return status;
+    }
+    if (end_of_valid < size) {
+      // Drop the torn tail left by a crash mid-append.
+      if (ftruncate(fileno(f), end_of_valid) != 0) {
+        std::fclose(f);
+        return Status::IoError("cannot truncate torn WAL tail: " + path);
+      }
+    }
+    std::fseek(f, end_of_valid, SEEK_SET);
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, f, num_records));
+}
+
+Status WriteAheadLog::AppendRecord(uint8_t kind, const Writer& payload) {
+  const uint64_t payload_bytes = payload.size();
+  const uint64_t checksum = Fnv1a(payload.buffer());
+  bool ok = std::fwrite(&kind, sizeof(kind), 1, file_) == 1 &&
+            std::fwrite(&payload_bytes, sizeof(payload_bytes), 1, file_) == 1;
+  if (ok && payload_bytes > 0) {
+    ok = std::fwrite(payload.buffer().data(), 1, payload.size(), file_) ==
+         payload.size();
+  }
+  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, file_) == 1 &&
+       std::fflush(file_) == 0;
+  if (!ok) return Status::IoError("WAL append failed: " + path_);
+  ++num_records_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(const TransactionBlock& block) {
+  Writer payload;
+  WriteBlock(payload, block);
+  return AppendRecord(static_cast<uint8_t>(RecordKind::kTransactions),
+                      payload);
+}
+
+Status WriteAheadLog::Append(const PointBlock& block) {
+  Writer payload;
+  WriteBlock(payload, block);
+  return AppendRecord(static_cast<uint8_t>(RecordKind::kPoints), payload);
+}
+
+Status WriteAheadLog::Append(const LabeledBlock& block) {
+  Writer payload;
+  WriteBlock(payload, block);
+  return AppendRecord(static_cast<uint8_t>(RecordKind::kLabeled), payload);
+}
+
+Status WriteAheadLog::Replay(const std::string& path,
+                             const Replayer& replayer) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open WAL: " + path);
+  auto header =
+      FileHeader::ReadFrom(f, FormatId::kWriteAheadLog, kWalVersion, path);
+  if (!header.ok()) {
+    std::fclose(f);
+    return header.status();
+  }
+  const auto decode = [&path, &replayer](RecordKind kind,
+                                         const std::string& payload) {
+    Reader r(payload);
+    switch (kind) {
+      case RecordKind::kTransactions: {
+        auto block = std::make_shared<TransactionBlock>();
+        ReadBlockInto(r, block.get());
+        if (!r.ok() || !r.AtEnd()) break;
+        if (replayer.transactions == nullptr) {
+          return Status::InvalidArgument(
+              path + ": WAL holds transaction blocks but the replayer "
+                     "accepts none");
+        }
+        return replayer.transactions(std::move(block));
+      }
+      case RecordKind::kPoints: {
+        auto block = std::make_shared<PointBlock>();
+        ReadBlockInto(r, block.get());
+        if (!r.ok() || !r.AtEnd()) break;
+        if (replayer.points == nullptr) {
+          return Status::InvalidArgument(
+              path + ": WAL holds point blocks but the replayer accepts "
+                     "none");
+        }
+        return replayer.points(std::move(block));
+      }
+      case RecordKind::kLabeled: {
+        auto block = std::make_shared<LabeledBlock>();
+        ReadBlockInto(r, block.get());
+        if (!r.ok() || !r.AtEnd()) break;
+        if (replayer.labeled == nullptr) {
+          return Status::InvalidArgument(
+              path + ": WAL holds labeled blocks but the replayer accepts "
+                     "none");
+        }
+        return replayer.labeled(std::move(block));
+      }
+    }
+    if (!r.status().ok()) return r.status();
+    return Status::DataLoss(path + ": WAL record payload has trailing bytes");
+  };
+  long end_of_valid = 0;
+  size_t num_records = 0;
+  const Status status =
+      ScanRecords(f, path, decode, &end_of_valid, &num_records);
+  std::fclose(f);
+  return status;
+}
+
+Status WriteAheadLog::Reset() {
+  if (ftruncate(fileno(file_), static_cast<long>(FileHeader::kBytes)) != 0) {
+    return Status::IoError("cannot reset WAL: " + path_);
+  }
+  std::fseek(file_, static_cast<long>(FileHeader::kBytes), SEEK_SET);
+  num_records_ = 0;
+  return Status::OK();
+}
+
+}  // namespace demon::persistence

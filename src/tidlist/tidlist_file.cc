@@ -1,12 +1,13 @@
 #include "tidlist/tidlist_file.h"
 
 #include "common/check.h"
+#include "persistence/file_header.h"
 
 namespace demon {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x44454d4f4e544c32ULL;  // "DEMONTL2"
+constexpr uint32_t kTidListIndexedVersion = 1;
 
 bool WriteU64(std::FILE* f, uint64_t v) {
   return std::fwrite(&v, sizeof(v), 1, f) == 1;
@@ -26,12 +27,19 @@ Status TidListFile::Write(const BlockTidLists& lists,
   const size_t num_items = lists.num_items();
   const auto pairs = lists.MaterializedPairs();
 
-  // Header: magic, num_transactions, num_items, num_pairs.
-  bool ok = WriteU64(f, kMagic) && WriteU64(f, lists.num_transactions()) &&
+  persistence::FileHeader file_header;
+  file_header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTidListIndexed);
+  file_header.version = kTidListIndexedVersion;
+  Status header_status = file_header.WriteTo(f);
+
+  // Fixed-size counts: num_transactions, num_items, num_pairs.
+  bool ok = header_status.ok() && WriteU64(f, lists.num_transactions()) &&
             WriteU64(f, num_items) && WriteU64(f, pairs.size());
 
   // Offset tables are written after we know the data layout; compute it.
-  const uint64_t header_bytes = 4 * sizeof(uint64_t);
+  const uint64_t header_bytes =
+      persistence::FileHeader::kBytes + 3 * sizeof(uint64_t);
   const uint64_t item_table_bytes = num_items * 2 * sizeof(uint64_t);
   const uint64_t pair_table_bytes = pairs.size() * 3 * sizeof(uint64_t);
   uint64_t data_offset = header_bytes + item_table_bytes + pair_table_bytes;
@@ -67,6 +75,7 @@ Status TidListFile::Write(const BlockTidLists& lists,
     }
   }
   std::fclose(f);
+  if (!header_status.ok()) return header_status;
   if (!ok) return Status::IoError("short write: " + path);
   return Status::OK();
 }
@@ -82,13 +91,19 @@ Result<std::unique_ptr<TidListFileReader>> TidListFileReader::Open(
   auto reader = std::unique_ptr<TidListFileReader>(new TidListFileReader());
   reader->file_ = f;
 
-  uint64_t magic = 0;
+  auto header = persistence::FileHeader::ReadFrom(
+      f, persistence::FormatId::kTidListIndexed, kTidListIndexedVersion, path);
+  if (!header.ok()) return header.status();
+  std::fseek(f, 0, SEEK_END);
+  reader->file_bytes_ = static_cast<uint64_t>(std::ftell(f));
+  const uint64_t max_lists = reader->file_bytes_ / (2 * sizeof(uint64_t));
+  std::fseek(f, static_cast<long>(persistence::FileHeader::kBytes), SEEK_SET);
   uint64_t num_transactions = 0;
   uint64_t num_items = 0;
   uint64_t num_pairs = 0;
-  bool ok = ReadU64(f, &magic) && magic == kMagic &&
-            ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
-            ReadU64(f, &num_pairs);
+  bool ok = ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+            ReadU64(f, &num_pairs) && num_items <= max_lists &&
+            num_pairs <= max_lists;
   if (ok) {
     reader->num_transactions_ = num_transactions;
     reader->index_.resize(num_items);
@@ -104,11 +119,17 @@ Result<std::unique_ptr<TidListFileReader>> TidListFileReader::Open(
       if (ok) reader->pair_index_.emplace(key, extent);
     }
   }
-  if (!ok) return Status::IoError("corrupt TID-list file: " + path);
+  if (!ok) return Status::DataLoss("corrupt TID-list file: " + path);
   return reader;
 }
 
 Status TidListFileReader::ReadExtent(const Extent& extent, TidList* out) {
+  // A corrupt offset table must not force an over-allocation or a read
+  // outside the file.
+  if (extent.offset > file_bytes_ ||
+      extent.length > (file_bytes_ - extent.offset) / sizeof(uint32_t)) {
+    return Status::DataLoss("TID-list extent outside the file");
+  }
   out->resize(extent.length);
   if (extent.length == 0) return Status::OK();
   if (std::fseek(file_, static_cast<long>(extent.offset), SEEK_SET) != 0) {

@@ -76,6 +76,7 @@ class TidListFileReader {
   [[nodiscard]] Status ReadExtent(const Extent& extent, TidList* out);
 
   std::FILE* file_ = nullptr;
+  uint64_t file_bytes_ = 0;
   size_t num_transactions_ = 0;
   std::vector<Extent> index_;
   std::unordered_map<uint64_t, Extent> pair_index_;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "persistence/file_header.h"
 
 namespace demon {
 
@@ -67,6 +68,8 @@ const TidList* BlockTidLists::PairList(Item a, Item b) const {
 
 namespace {
 
+constexpr uint32_t kTidListBlockVersion = 1;
+
 bool WriteU64(std::FILE* f, uint64_t v) {
   return std::fwrite(&v, sizeof(v), 1, f) == 1;
 }
@@ -82,15 +85,15 @@ bool WriteList(std::FILE* f, const TidList& list) {
          list.size();
 }
 
-bool ReadList(std::FILE* f, TidList* list) {
+/// `max_slots` bounds the announced length against the file size so a
+/// corrupt prefix cannot force a huge allocation.
+bool ReadList(std::FILE* f, TidList* list, uint64_t max_slots) {
   uint64_t n = 0;
-  if (!ReadU64(f, &n)) return false;
+  if (!ReadU64(f, &n) || n > max_slots) return false;
   list->resize(n);
   if (n == 0) return true;
   return std::fread(list->data(), sizeof(uint32_t), n, f) == n;
 }
-
-constexpr uint64_t kMagic = 0x44454d4f4e544c31ULL;  // "DEMONTL1"
 
 }  // namespace
 
@@ -106,7 +109,12 @@ Status BlockTidLists::WriteToFile(const std::string& path) const {
                            : telemetry->histogram("tidlist/write_seconds"));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-  bool ok = WriteU64(f, kMagic) && WriteU64(f, num_transactions_) &&
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTidListBlock);
+  header.version = kTidListBlockVersion;
+  Status header_status = header.WriteTo(f);
+  bool ok = header_status.ok() && WriteU64(f, num_transactions_) &&
             WriteU64(f, item_lists_.size()) &&
             WriteU64(f, pair_lists_.size());
   uint64_t slots = 0;
@@ -119,6 +127,7 @@ Status BlockTidLists::WriteToFile(const std::string& path) const {
     slots += it->second.size();
   }
   std::fclose(f);
+  if (!header_status.ok()) return header_status;
   if (!ok) return Status::IoError("short write: " + path);
   DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_written"), 1);
   DEMON_COUNTER_ADD(telemetry->counter("tidlist/slots_written"), slots);
@@ -135,25 +144,38 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
                            : telemetry->histogram("tidlist/read_seconds"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto header = persistence::FileHeader::ReadFrom(
+      f, persistence::FormatId::kTidListBlock, kTidListBlockVersion, path);
+  if (!header.ok()) {
+    std::fclose(f);
+    return header.status();
+  }
+  std::fseek(f, 0, SEEK_END);
+  const uint64_t file_bytes = static_cast<uint64_t>(std::ftell(f));
+  const uint64_t max_slots = file_bytes / sizeof(uint32_t);
+  // Every list costs at least its 8-byte length prefix, so list counts
+  // beyond file_bytes/8 are corrupt; checking before the resizes keeps bad
+  // input from forcing huge allocations.
+  const uint64_t max_lists = file_bytes / sizeof(uint64_t);
+  std::fseek(f, static_cast<long>(persistence::FileHeader::kBytes), SEEK_SET);
   auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
-  uint64_t magic = 0;
   uint64_t num_transactions = 0;
   uint64_t num_items = 0;
   uint64_t num_pairs = 0;
-  bool ok = ReadU64(f, &magic) && magic == kMagic &&
-            ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
-            ReadU64(f, &num_pairs);
+  bool ok = ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+            ReadU64(f, &num_pairs) && num_items <= max_lists &&
+            num_pairs <= max_lists;
   if (ok) {
     lists->num_transactions_ = num_transactions;
     lists->item_lists_.resize(num_items);
     for (size_t i = 0; ok && i < num_items; ++i) {
-      ok = ReadList(f, &lists->item_lists_[i]);
+      ok = ReadList(f, &lists->item_lists_[i], max_slots);
       if (ok) lists->item_list_slots_ += lists->item_lists_[i].size();
     }
     for (size_t p = 0; ok && p < num_pairs; ++p) {
       uint64_t key = 0;
       TidList list;
-      ok = ReadU64(f, &key) && ReadList(f, &list);
+      ok = ReadU64(f, &key) && ReadList(f, &list, max_slots);
       if (ok) {
         lists->pair_list_slots_ += list.size();
         lists->pair_lists_.emplace(key, std::move(list));
@@ -161,7 +183,7 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
     }
   }
   std::fclose(f);
-  if (!ok) return Status::IoError("corrupt TID-list file: " + path);
+  if (!ok) return Status::DataLoss("corrupt TID-list file: " + path);
   DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_read"), 1);
   DEMON_COUNTER_ADD(
       telemetry->counter("tidlist/slots_read"),

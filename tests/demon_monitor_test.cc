@@ -115,31 +115,49 @@ TEST(BlockOpsTest, ModelOnMergedEqualsModelOnParts) {
 TEST(DemonMonitorTest, RegistrationValidation) {
   DemonMonitor demon(30);
   EXPECT_FALSE(demon
-                   .AddUnrestrictedItemsetMonitor(
-                       "bad", 1.5, BlockSelectionSequence::AllBlocks())
+                   .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                .name = "bad",
+                                .minsup = 1.5})
+                   .ok());
+  EXPECT_FALSE(
+      demon
+          .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                       .name = "bad",
+                       .bss = BlockSelectionSequence::WindowRelative({true}),
+                       .minsup = 0.1})
+          .ok());
+  EXPECT_FALSE(demon
+                   .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                .name = "bad",
+                                .bss = BlockSelectionSequence::WindowRelative(
+                                    {true, false}),
+                                .window = 3,
+                                .minsup = 0.1})
                    .ok());
   EXPECT_FALSE(demon
-                   .AddUnrestrictedItemsetMonitor(
-                       "bad", 0.1,
-                       BlockSelectionSequence::WindowRelative({true}))
+                   .AddMonitor({.kind = MonitorKind::kPatterns,
+                                .name = "bad",
+                                .minsup = 0.1,
+                                .alpha = 1.5})
                    .ok());
-  EXPECT_FALSE(demon
-                   .AddWindowedItemsetMonitor(
-                       "bad", 0.1, 3,
-                       BlockSelectionSequence::WindowRelative({true, false}))
-                   .ok());
-  EXPECT_FALSE(demon.AddPatternDetector("bad", 0.1, 1.5).ok());
   EXPECT_EQ(demon.NumMonitors(), 0u);
 }
 
 TEST(DemonMonitorTest, RoutesBlocksToAllMonitorKinds) {
   const size_t num_items = 30;
   DemonMonitor demon(num_items);
-  auto uw = demon.AddUnrestrictedItemsetMonitor(
-      "every other block", 0.05, BlockSelectionSequence::Periodic(2, 0));
-  auto mrw = demon.AddWindowedItemsetMonitor(
-      "last 3 blocks", 0.05, 3, BlockSelectionSequence::AllBlocks());
-  auto patterns = demon.AddPatternDetector("patterns", 0.05, 0.95);
+  auto uw = demon.AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                              .name = "every other block",
+                              .bss = BlockSelectionSequence::Periodic(2, 0),
+                              .minsup = 0.05});
+  auto mrw = demon.AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                               .name = "last 3 blocks",
+                               .window = 3,
+                               .minsup = 0.05});
+  auto patterns = demon.AddMonitor({.kind = MonitorKind::kPatterns,
+                                    .name = "patterns",
+                                    .minsup = 0.05,
+                                    .alpha = 0.95});
   ASSERT_TRUE(uw.ok() && mrw.ok() && patterns.ok());
 
   const auto blocks = MakeBlocks(6, 150, num_items, 54);
@@ -186,8 +204,9 @@ TEST(DemonMonitorTest, RegistrationAfterFirstBlockRejected) {
   DemonMonitor demon(20);
   demon.AddBlock(MakeBlocks(1, 10, 20, 55)[0]);
   EXPECT_EQ(demon
-                .AddUnrestrictedItemsetMonitor(
-                    "late", 0.1, BlockSelectionSequence::AllBlocks())
+                .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                             .name = "late",
+                             .minsup = 0.1})
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
@@ -211,12 +230,18 @@ TEST(DemonMonitorTest, PointBlocksFlowThroughClusterMonitors) {
   birch.tree.max_leaf_entries = 128;
 
   DemonMonitor demon(0);
-  const auto uw =
-      demon.AddClusterMonitor("uw-clusters", params.dim, birch).value();
+  const auto uw = demon
+                      .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                                   .name = "uw-clusters",
+                                   .dim = params.dim,
+                                   .birch = birch})
+                      .value();
   const auto mrw = demon
-                       .AddWindowedClusterMonitor(
-                           "mrw-clusters", params.dim, birch, 2,
-                           BlockSelectionSequence::AllBlocks())
+                       .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                                    .name = "mrw-clusters",
+                                    .window = 2,
+                                    .dim = params.dim,
+                                    .birch = birch})
                        .value();
   std::vector<std::shared_ptr<const PointBlock>> shared;
   for (const auto& block : blocks) {
@@ -246,15 +271,18 @@ TEST(DemonMonitorTest, PointBlocksFlowThroughClusterMonitors) {
 TEST(DemonMonitorTest, StatsExposeRoutingAndTimeSplit) {
   const size_t num_items = 25;
   DemonMonitor demon(num_items);
-  const auto uw = demon
-                      .AddUnrestrictedItemsetMonitor(
-                          "every other", 0.05,
-                          BlockSelectionSequence::Periodic(2, 0))
-                      .value();
+  const auto uw =
+      demon
+          .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                       .name = "every other",
+                       .bss = BlockSelectionSequence::Periodic(2, 0),
+                       .minsup = 0.05})
+          .value();
   const auto mrw = demon
-                       .AddWindowedItemsetMonitor(
-                           "window", 0.05, 2,
-                           BlockSelectionSequence::AllBlocks())
+                       .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                    .name = "window",
+                                    .window = 2,
+                                    .minsup = 0.05})
                        .value();
   for (const auto& block : MakeBlocks(4, 100, num_items, 57)) {
     demon.AddBlock(block);

@@ -115,27 +115,47 @@ Fig11Ids RegisterFig11Monitors(DemonMonitor& demon, size_t dim) {
   dtree.min_split_weight = 50.0;
 
   Fig11Ids ids;
-  ids.uw_itemsets = demon
-                        .AddUnrestrictedItemsetMonitor(
-                            "uw-itemsets", 0.05,
-                            BlockSelectionSequence::Periodic(2, 0))
-                        .value();
+  ids.uw_itemsets =
+      demon
+          .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                       .name = "uw-itemsets",
+                       .bss = BlockSelectionSequence::Periodic(2, 0),
+                       .minsup = 0.05})
+          .value();
   ids.mrw_itemsets =
       demon
-          .AddWindowedItemsetMonitor(
-              "mrw-itemsets", 0.05, 3,
-              BlockSelectionSequence::WindowRelative({true, false, true}))
+          .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                       .name = "mrw-itemsets",
+                       .bss = BlockSelectionSequence::WindowRelative(
+                           {true, false, true}),
+                       .window = 3,
+                       .minsup = 0.05})
           .value();
-  ids.uw_clusters =
-      demon.AddClusterMonitor("uw-clusters", dim, birch).value();
+  ids.uw_clusters = demon
+                        .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                                     .name = "uw-clusters",
+                                     .dim = dim,
+                                     .birch = birch})
+                        .value();
   ids.mrw_clusters = demon
-                         .AddWindowedClusterMonitor(
-                             "mrw-clusters", dim, birch, 2,
-                             BlockSelectionSequence::AllBlocks())
+                         .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                                      .name = "mrw-clusters",
+                                      .window = 2,
+                                      .dim = dim,
+                                      .birch = birch})
                          .value();
-  ids.classifier =
-      demon.AddClassifierMonitor("classifier", TestSchema(), dtree).value();
-  ids.patterns = demon.AddPatternDetector("patterns", 0.05, 0.95).value();
+  ids.classifier = demon
+                       .AddMonitor({.kind = MonitorKind::kClassifier,
+                                    .name = "classifier",
+                                    .schema = TestSchema(),
+                                    .dtree = dtree})
+                       .value();
+  ids.patterns = demon
+                     .AddMonitor({.kind = MonitorKind::kPatterns,
+                                  .name = "patterns",
+                                  .minsup = 0.05,
+                                  .alpha = 0.95})
+                     .value();
   return ids;
 }
 
@@ -347,8 +367,10 @@ TEST(EngineDeferTest, QuiesceDrainsDeferredGemmUpdates) {
   options.defer_offline = true;
   DemonMonitor demon(num_items, options);
   const auto mrw = demon
-                       .AddWindowedItemsetMonitor(
-                           "mrw", 0.05, 3, BlockSelectionSequence::AllBlocks())
+                       .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                    .name = "mrw",
+                                    .window = 3,
+                                    .minsup = 0.05})
                        .value();
 
   std::vector<TxBlockPtr> shared;
@@ -409,14 +431,19 @@ TEST(GemmDeferTest, BeginBlockUpdatesOnlyTheCurrentModel) {
 TEST(DemonMonitorErrorTest, WindowedAccessorBeforeFirstBlock) {
   DemonMonitor demon(20);
   const auto mrw = demon
-                       .AddWindowedItemsetMonitor(
-                           "mrw", 0.1, 3, BlockSelectionSequence::AllBlocks())
+                       .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                    .name = "mrw",
+                                    .window = 3,
+                                    .minsup = 0.1})
                        .value();
   BirchOptions birch;
   const auto mrw_clusters =
       demon
-          .AddWindowedClusterMonitor("mrw-clusters", 3, birch, 2,
-                                     BlockSelectionSequence::AllBlocks())
+          .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                       .name = "mrw-clusters",
+                       .window = 2,
+                       .dim = 3,
+                       .birch = birch})
           .value();
   // Before any block, a windowed monitor has no current model; the
   // accessor must fail cleanly instead of aborting (Gemm::current()'s
@@ -430,12 +457,23 @@ TEST(DemonMonitorErrorTest, WindowedAccessorBeforeFirstBlock) {
 TEST(DemonMonitorErrorTest, WrongKindAccessorsAreInvalidArgument) {
   DemonMonitor demon(20);
   const auto uw = demon
-                      .AddUnrestrictedItemsetMonitor(
-                          "uw", 0.1, BlockSelectionSequence::AllBlocks())
+                      .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                   .name = "uw",
+                                   .minsup = 0.1})
                       .value();
   BirchOptions birch;
-  const auto clusters = demon.AddClusterMonitor("clusters", 3, birch).value();
-  const auto patterns = demon.AddPatternDetector("p", 0.1, 0.9).value();
+  const auto clusters = demon
+                            .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                                         .name = "clusters",
+                                         .dim = 3,
+                                         .birch = birch})
+                            .value();
+  const auto patterns = demon
+                            .AddMonitor({.kind = MonitorKind::kPatterns,
+                                         .name = "p",
+                                         .minsup = 0.1,
+                                         .alpha = 0.9})
+                            .value();
 
   EXPECT_EQ(demon.ClusterModelOf(uw).status().code(),
             StatusCode::kInvalidArgument);
@@ -466,8 +504,9 @@ TEST(DemonMonitorErrorTest, RegistrationAfterAnyPayloadRejected) {
     DemonMonitor demon(20);
     demon.AddPointBlock(MakePointBlocks(1, 20, 3, 96)[0]);
     EXPECT_EQ(demon
-                  .AddUnrestrictedItemsetMonitor(
-                      "late", 0.1, BlockSelectionSequence::AllBlocks())
+                  .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                               .name = "late",
+                               .minsup = 0.1})
                   .status()
                   .code(),
               StatusCode::kFailedPrecondition);
@@ -475,9 +514,19 @@ TEST(DemonMonitorErrorTest, RegistrationAfterAnyPayloadRejected) {
   {
     DemonMonitor demon(20);
     demon.AddLabeledBlock(MakeLabeledBlocks(1, 20, 97)[0]);
-    EXPECT_EQ(demon.AddClusterMonitor("late", 3, birch).status().code(),
+    EXPECT_EQ(demon
+                  .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                               .name = "late",
+                               .dim = 3,
+                               .birch = birch})
+                  .status()
+                  .code(),
               StatusCode::kFailedPrecondition);
-    EXPECT_EQ(demon.AddClassifierMonitor("late", TestSchema(), dtree)
+    EXPECT_EQ(demon
+                  .AddMonitor({.kind = MonitorKind::kClassifier,
+                               .name = "late",
+                               .schema = TestSchema(),
+                               .dtree = dtree})
                   .status()
                   .code(),
               StatusCode::kFailedPrecondition);
@@ -488,30 +537,50 @@ TEST(DemonMonitorErrorTest, ClusterAndClassifierRegistrationValidation) {
   DemonMonitor demon(20);
   BirchOptions birch;
   DTreeOptions dtree;
-  EXPECT_EQ(demon.AddClusterMonitor("bad", 0, birch).status().code(),
-            StatusCode::kInvalidArgument);
   EXPECT_EQ(demon
-                .AddClusterMonitor(
-                    "bad", 3, birch,
-                    BlockSelectionSequence::WindowRelative({true}))
+                .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                             .name = "bad",
+                             .dim = 0,
+                             .birch = birch})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(demon
-                .AddWindowedClusterMonitor(
-                    "bad", 3, birch, 0, BlockSelectionSequence::AllBlocks())
+                .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                             .name = "bad",
+                             .bss = BlockSelectionSequence::WindowRelative(
+                                 {true}),
+                             .dim = 3,
+                             .birch = birch})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(demon
-                .AddWindowedClusterMonitor(
-                    "bad", 3, birch, 3,
-                    BlockSelectionSequence::WindowRelative({true, false}))
+                .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                             .name = "bad",
+                             .window = 0,
+                             .dim = 3,
+                             .birch = birch})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(demon
+                .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                             .name = "bad",
+                             .bss = BlockSelectionSequence::WindowRelative(
+                                 {true, false}),
+                             .window = 3,
+                             .dim = 3,
+                             .birch = birch})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
   LabeledSchema empty_schema;
-  EXPECT_EQ(demon.AddClassifierMonitor("bad", empty_schema, dtree)
+  EXPECT_EQ(demon
+                .AddMonitor({.kind = MonitorKind::kClassifier,
+                             .name = "bad",
+                             .schema = empty_schema,
+                             .dtree = dtree})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "persistence/file_header.h"
+
 namespace demon {
 namespace {
 
@@ -66,7 +68,7 @@ TEST(TransactionFileTest, BadMagicIsRejected) {
 
   auto result = TransactionFile::Read(path);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 
@@ -74,16 +76,52 @@ TEST(TransactionFileTest, TruncatedHeaderIsRejected) {
   const std::string path = TempPath("tx_short_header.bin");
   const TransactionBlock block = SampleBlock();
   ASSERT_TRUE(TransactionFile::Write(block, path).ok());
-  // Keep only the magic: the transaction count is gone.
+  // Keep only the magic: the rest of the file header is gone.
   ASSERT_EQ(truncate(path.c_str(), sizeof(uint64_t)), 0);
 
   auto result = TransactionFile::Read(path);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 
-TEST(TransactionFileTest, TruncatedPayloadIsIoError) {
+TEST(TransactionFileTest, WrongFormatIdIsRejected) {
+  // A valid DEMON file of a different format must be refused up front, not
+  // misparsed: a serialized itemset-model header is not a transaction file.
+  const std::string path = TempPath("tx_wrong_format.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kItemsetModel);
+  header.version = 1;
+  ASSERT_TRUE(header.WriteTo(f).ok());
+  std::fclose(f);
+
+  auto result = TransactionFile::Read(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionFileTest, FutureVersionIsRejected) {
+  const std::string path = TempPath("tx_future_version.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTransactionFile);
+  header.version = 999;
+  ASSERT_TRUE(header.WriteTo(f).ok());
+  std::fclose(f);
+
+  auto result = TransactionFile::Read(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionFileTest, TruncatedPayloadIsDataLoss) {
   const std::string path = TempPath("tx_truncated.bin");
   const TransactionBlock block = SampleBlock();
   ASSERT_TRUE(TransactionFile::Write(block, path).ok());
@@ -95,7 +133,7 @@ TEST(TransactionFileTest, TruncatedPayloadIsIoError) {
 
   auto result = TransactionFile::Read(path);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

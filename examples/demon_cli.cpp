@@ -271,6 +271,12 @@ Result<Fleet> BuildAndRunFleet(
       BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
   const double minsup = flags.GetDouble("minsup", 0.01);
   const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
+  // Out-of-core TID-list controls: cap resident TID-list bytes per itemset
+  // monitor and choose where cold extents spill. 0 / empty defer to the
+  // DEMON_TIDLIST_BUDGET_BYTES / DEMON_TIDLIST_SPILL_DIR environment.
+  const size_t tidlist_budget =
+      static_cast<size_t>(flags.GetInt("tidlist_budget", 0));
+  const std::string tidlist_spill_dir = flags.GetString("tidlist_spill_dir", "");
 
   Fleet fleet;
   fleet.engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
@@ -290,10 +296,13 @@ Result<Fleet> BuildAndRunFleet(
     DemonMonitor& demon = *fleet.demon;
     if (!bss.is_window_relative()) {
       DEMON_ASSIGN_OR_RETURN(
-          auto uw, demon.AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
-                                     .name = "uw-itemsets",
-                                     .bss = bss,
-                                     .minsup = minsup}));
+          auto uw,
+          demon.AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                            .name = "uw-itemsets",
+                            .bss = bss,
+                            .minsup = minsup,
+                            .tidlist_budget_bytes = tidlist_budget,
+                            .tidlist_spill_dir = tidlist_spill_dir}));
       (void)uw;
     }
     DEMON_ASSIGN_OR_RETURN(
@@ -301,7 +310,9 @@ Result<Fleet> BuildAndRunFleet(
                                     .name = "mrw-itemsets",
                                     .bss = bss,
                                     .window = window,
-                                    .minsup = minsup}));
+                                    .minsup = minsup,
+                                    .tidlist_budget_bytes = tidlist_budget,
+                                    .tidlist_spill_dir = tidlist_spill_dir}));
     (void)mrw;
     DEMON_ASSIGN_OR_RETURN(
         auto patterns,
@@ -474,6 +485,7 @@ int Usage() {
       "--threads N --defer 0|1 --alpha 0.95 --trace_out trace.json]\n"
       "            [--restore ckpt --wal log --checkpoint ckpt "
       "--checkpoint_every N --block_delay_ms M]\n"
+      "            [--tidlist_budget BYTES --tidlist_spill_dir DIR]\n"
       "  checkpoint --data F1[,F2...] --out ckpt "
       "[--restore ckpt --wal log + monitor flags]\n"
       "  telemetry --data F1[,F2...] [--format prometheus|chrome "

@@ -5,9 +5,11 @@
 #   scripts/bench_snapshot.sh [build-dir]
 #
 # Runs bench/fig2_counting (google-benchmark JSON, includes the
-# thread-count sweep) into BENCH_counting.json and bench/engine_throughput
-# (its own --benchmark_format=json mode) into BENCH_engine.json. Honors
-# DEMON_SCALE (default 0.1); set DEMON_SCALE=1 for paper-scale runs.
+# thread-count sweep) into BENCH_counting.json, bench/engine_throughput
+# (its own --benchmark_format=json mode) into BENCH_engine.json, and
+# bench/tidlist_budget (the TID-list memory-budget sweep) into
+# BENCH_tidlist.json. Honors DEMON_SCALE (default 0.1); set DEMON_SCALE=1
+# for paper-scale runs.
 #
 # Also archives the telemetry artifacts of an instrumented 4-thread engine
 # run: BENCH_telemetry.json (per-phase histogram summaries) and Chrome
@@ -38,8 +40,13 @@ echo "== engine_throughput -> BENCH_engine.json + telemetry artifacts"
   --histogram_out="$repo_root/BENCH_telemetry.json" \
   > "$repo_root/BENCH_engine.json"
 
+echo "== tidlist_budget -> BENCH_tidlist.json"
+"$build_dir/bench/tidlist_budget" \
+  --json_out="$repo_root/BENCH_tidlist.json"
+
 echo "wrote $repo_root/BENCH_counting.json"
 echo "wrote $repo_root/BENCH_counting_trace.json"
 echo "wrote $repo_root/BENCH_engine.json"
 echo "wrote $repo_root/BENCH_engine_trace.json"
 echo "wrote $repo_root/BENCH_telemetry.json"
+echo "wrote $repo_root/BENCH_tidlist.json"

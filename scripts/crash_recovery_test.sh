@@ -42,7 +42,10 @@ for b in $(seq 1 "$num_blocks"); do
   data_files+=("$f")
 done
 data="$(IFS=,; echo "${data_files[*]}")"
-fleet_flags=(--minsup 0.02 --window 3 --alpha 0.95)
+# A tiny TID-list memory budget keeps the paging tier in the loop: the
+# monitors spill/fault extents throughout, and recovery must still be
+# byte-identical (budgets shape residency, never counts or checkpoints).
+fleet_flags=(--minsup 0.02 --window 3 --alpha 0.95 --tidlist_budget 2048)
 
 # --- 1. Uninterrupted reference. ----------------------------------------
 "$cli" checkpoint --data "$data" "${fleet_flags[@]}" \

@@ -21,6 +21,12 @@ Checks enforced (all are CI-blocking):
                  src/common/. Instrument through common/telemetry.h
                  instead (telemetry::ScopedTimer + histograms), so phase
                  timings land in the registry rather than ad-hoc fields.
+  tidlist-raw    Raw TID-list storage access (`ItemList(` / `PairList(`
+                 accessors or the test-only payload mutators) outside
+                 src/tidlist/. Consumers read encoded lists through the
+                 lease + view API (`Lease`, `ItemView`, `PairView`) or the
+                 decoded copies (`MaterializeItemList` / `MaterializePairList`)
+                 so paging and encoding stay invisible to them.
 
 Suppress a finding with `// lint:allow(<check>)` on the offending line.
 
@@ -44,6 +50,12 @@ NODISCARD_DECL_RE = re.compile(
 )
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
 WALL_TIMER_RE = re.compile(r"\b(WallTimer|AccumulatingTimer)\b")
+# Bare `ItemList(` / `PairList(` only: the sanctioned accessors
+# (MaterializeItemList, HasPairList, ItemListSize, ...) embed the words
+# inside longer identifiers, so `\b` never fires on them.
+TIDLIST_RAW_RE = re.compile(
+    r"\b(?:ItemList|PairList)\s*\(|\bmutable_item_list_for_test\b"
+)
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -133,6 +145,11 @@ def lint_file(path, root, findings):
             report(lineno, "wall-timer",
                    "raw timer outside src/common/; instrument via "
                    "common/telemetry.h (ScopedTimer + histograms)")
+        if (TIDLIST_RAW_RE.search(code)
+                and not path.is_relative_to(root / "src" / "tidlist")):
+            report(lineno, "tidlist-raw",
+                   "raw TID-list storage access outside src/tidlist/; use "
+                   "the lease + view API or Materialize{Item,Pair}List")
         if (path.suffix in HEADER_EXT
                 and NODISCARD_DECL_RE.match(code)
                 and "[[nodiscard]]" not in code_lines[max(0, lineno - 2)]

@@ -9,6 +9,17 @@
 
 namespace demon {
 
+namespace {
+
+/// The pool whose WorkerLoop owns this thread, if any. A raw pointer is
+/// safe: it is only ever compared against `this` by InWorker, and the
+/// thread dies (with its thread_local) before the pool finishes joining.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::InWorker() const { return t_worker_pool == this; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   DEMON_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one worker");
   workers_.reserve(num_threads);
@@ -44,6 +55,7 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -54,7 +66,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

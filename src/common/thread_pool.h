@@ -1,6 +1,7 @@
 #ifndef DEMON_COMMON_THREAD_POOL_H_
 #define DEMON_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -43,6 +44,20 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of *this* pool's workers — i.e.
+  /// the caller is already inside a ParallelFor/Submit task. Nested
+  /// fan-out layers use this to detect oversubscription.
+  bool InWorker() const;
+
+  /// Workers not currently executing a task, by a relaxed snapshot. Purely
+  /// advisory: the answer can be stale by the time the caller acts on it,
+  /// which is fine for its one job — sizing nested shard fan-out, where a
+  /// misjudgment costs a little load balance, never correctness.
+  size_t ApproxIdleThreads() const {
+    const size_t busy = busy_.load(std::memory_order_relaxed);
+    return busy >= workers_.size() ? 0 : workers_.size() - busy;
+  }
+
  private:
   void WorkerLoop();
 
@@ -52,6 +67,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   /// Tasks queued plus tasks currently executing.
   size_t in_flight_ = 0;
+  /// Workers currently executing a task (relaxed; see ApproxIdleThreads).
+  std::atomic<size_t> busy_{0};
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -8,7 +8,9 @@ namespace demon {
 namespace {
 
 /// Version of the checkpoint container payload (see FormatId::kCheckpoint).
-constexpr uint32_t kCheckpointVersion = 1;
+/// v2 appends the TID-list budget fields to each MonitorSpec; v1 files
+/// restore with unbounded budgets.
+constexpr uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -87,6 +89,8 @@ Result<DemonMonitor::MonitorId> DemonMonitor::RegisterSpec(
       options.minsup = spec.minsup;
       options.num_items = num_items_;
       options.strategy = spec.strategy;
+      options.tidlist_budget_bytes = spec.tidlist_budget_bytes;
+      options.tidlist_spill_dir = spec.tidlist_spill_dir;
       maintainer = std::make_unique<BordersAdapter>(options);
       gated = true;
       break;
@@ -96,6 +100,8 @@ Result<DemonMonitor::MonitorId> DemonMonitor::RegisterSpec(
       options.minsup = spec.minsup;
       options.num_items = num_items_;
       options.strategy = spec.strategy;
+      options.tidlist_budget_bytes = spec.tidlist_budget_bytes;
+      options.tidlist_spill_dir = spec.tidlist_spill_dir;
       maintainer = std::make_unique<GemmItemsetAdapter>(spec.bss, spec.window,
                                                         options);
       break;
@@ -180,10 +186,11 @@ Status DemonMonitor::Checkpoint(const std::string& path) const {
 
 Result<std::unique_ptr<DemonMonitor>> DemonMonitor::Restore(
     const std::string& path, const EngineOptions& engine) {
+  uint32_t checkpoint_version = kCheckpointVersion;
   DEMON_ASSIGN_OR_RETURN(
       const std::string payload,
       persistence::ReadPayloadFile(path, persistence::FormatId::kCheckpoint,
-                                   kCheckpointVersion));
+                                   kCheckpointVersion, &checkpoint_version));
   persistence::Reader r(payload);
   const uint64_t num_items = r.ReadU64();
   if (!r.ok()) return r.status();
@@ -229,7 +236,8 @@ Result<std::unique_ptr<DemonMonitor>> DemonMonitor::Restore(
   const size_t num_monitors = r.ReadLength(1);
   if (!r.ok()) return r.status();
   for (size_t i = 0; i < num_monitors; ++i) {
-    DEMON_ASSIGN_OR_RETURN(MonitorSpec spec, LoadMonitorSpec(r));
+    DEMON_ASSIGN_OR_RETURN(MonitorSpec spec,
+                           LoadMonitorSpec(r, checkpoint_version));
     DEMON_ASSIGN_OR_RETURN(
         const MonitorId id,
         monitor->RegisterSpec(std::move(spec), /*check_no_blocks=*/false));

@@ -43,9 +43,12 @@ void SaveMonitorSpec(persistence::Writer& w, const MonitorSpec& spec) {
   w.WriteDouble(spec.dtree.min_gain);
   w.WriteU64(spec.dtree.max_depth);
   w.WriteDouble(spec.alpha);
+  w.WriteU64(spec.tidlist_budget_bytes);
+  w.WriteString(spec.tidlist_spill_dir);
 }
 
-Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r) {
+Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r,
+                                    uint32_t checkpoint_version) {
   MonitorSpec spec;
   const uint8_t kind = r.ReadU8();
   spec.name = r.ReadString();
@@ -68,6 +71,10 @@ Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r) {
   spec.dtree.min_gain = r.ReadDouble();
   spec.dtree.max_depth = r.ReadU64();
   spec.alpha = r.ReadDouble();
+  if (checkpoint_version >= 2) {
+    spec.tidlist_budget_bytes = r.ReadU64();
+    spec.tidlist_spill_dir = r.ReadString();
+  }
   if (!r.ok()) return r.status();
   if (kind < static_cast<uint8_t>(MonitorKind::kUnrestrictedItemsets) ||
       kind > static_cast<uint8_t>(MonitorKind::kPatterns)) {

@@ -57,6 +57,13 @@ struct MonitorSpec {
   double minsup = 0.01;
   /// Itemset kinds: how the update phase counts new candidates.
   CountingStrategy strategy = CountingStrategy::kEcut;
+  /// Itemset kinds: memory budget for resident TID-list bytes (0 defers to
+  /// DEMON_TIDLIST_BUDGET_BYTES, unbounded when that is also unset) and
+  /// spill directory for evicted extents (empty = env, then a temp dir).
+  /// The budget shapes paging only, never counts, so checkpoints taken
+  /// under different budgets are byte-identical.
+  size_t tidlist_budget_bytes = 0;
+  std::string tidlist_spill_dir;
 
   /// Cluster kinds: point dimensionality (>= 1) and BIRCH configuration.
   size_t dim = 0;
@@ -70,11 +77,15 @@ struct MonitorSpec {
   double alpha = 0.95;
 };
 
-/// Serializes a spec into a checkpoint payload.
+/// Serializes a spec into a checkpoint payload (current layout).
 void SaveMonitorSpec(persistence::Writer& w, const MonitorSpec& spec);
 
 /// Restores a spec saved by SaveMonitorSpec; corruption yields DataLoss.
-[[nodiscard]] Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r);
+/// `checkpoint_version` is the containing checkpoint's format version:
+/// version 1 predates the TID-list budget fields, which then keep their
+/// defaults.
+[[nodiscard]] Result<MonitorSpec> LoadMonitorSpec(persistence::Reader& r,
+                                                  uint32_t checkpoint_version);
 
 }  // namespace demon
 

@@ -10,8 +10,27 @@
 
 namespace demon {
 
+namespace {
+
+/// Store options for a maintainer: the environment (the CI soak hook) is
+/// the baseline, explicit BordersOptions fields override it.
+TidListStoreOptions StoreOptionsFor(const BordersOptions& options) {
+  TidListStoreOptions store = TidListStoreOptions::FromEnv();
+  if (options.tidlist_budget_bytes != 0) {
+    store.memory_budget_bytes = options.tidlist_budget_bytes;
+  }
+  if (!options.tidlist_spill_dir.empty()) {
+    store.spill_dir = options.tidlist_spill_dir;
+  }
+  return store;
+}
+
+}  // namespace
+
 BordersMaintainer::BordersMaintainer(const BordersOptions& options)
-    : options_(options), model_(options.minsup, options.num_items) {
+    : options_(options),
+      model_(options.minsup, options.num_items),
+      tidlists_(StoreOptionsFor(options)) {
   DEMON_CHECK(options_.minsup > 0.0 && options_.minsup < 1.0);
   DEMON_CHECK(options_.num_items > 0);
 }

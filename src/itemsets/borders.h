@@ -2,6 +2,7 @@
 #define DEMON_ITEMSETS_BORDERS_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/block.h"
@@ -25,6 +26,14 @@ struct BordersOptions {
   /// as a fraction of the block's item-list slots. The paper observed the
   /// full materialization needs < 25% extra space at κ >= 0.008 (Fig 3).
   double pair_budget_fraction = 1.0;
+  /// Memory budget for resident encoded TID-list bytes (out-of-core
+  /// paging below it; see TidListStoreOptions). 0 defers to the
+  /// DEMON_TIDLIST_BUDGET_BYTES environment variable, and unbounded when
+  /// that is also unset — the all-in-RAM default.
+  size_t tidlist_budget_bytes = 0;
+  /// Spill directory for evicted TID-list extents. Empty defers to
+  /// DEMON_TIDLIST_SPILL_DIR, then to a fresh temp directory.
+  std::string tidlist_spill_dir;
 };
 
 /// \brief Incremental maintainer of the frequent-itemset model under
@@ -99,6 +108,7 @@ class BordersMaintainer {
   /// and spans are DEMON_TELEMETRY-gated.
   void set_telemetry(telemetry::TelemetryRegistry* registry) {
     counting_.set_telemetry(registry);
+    tidlists_.set_telemetry(registry);
     if constexpr (telemetry::kEnabled) {
       telemetry_ = registry;
       detection_hist_ = registry == nullptr

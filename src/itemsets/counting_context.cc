@@ -30,8 +30,16 @@ std::pair<size_t, size_t> ShardRange(size_t work, size_t shard,
 size_t CountingContext::ShardCountFor(size_t work,
                                       size_t min_per_shard) const {
   if (pool_ == nullptr || pool_->num_threads() <= 1) return 1;
+  size_t capacity = pool_->num_threads();
+  if (pool_->InWorker()) {
+    // Nested fan-out: the calling task already occupies a worker, so only
+    // idle workers can actually help — submitting more shards than that
+    // queues them behind busy monitor-level tasks and serializes the whole
+    // batch with extra scheduling overhead on top.
+    capacity = std::min(capacity, pool_->ApproxIdleThreads() + 1);
+  }
   const size_t by_work = work / min_per_shard;
-  return std::max<size_t>(1, std::min(by_work, pool_->num_threads()));
+  return std::max<size_t>(1, std::min(by_work, capacity));
 }
 
 void CountingContext::CacheMetrics() {
@@ -40,12 +48,23 @@ void CountingContext::CacheMetrics() {
     lists_opened_ = nullptr;
     transactions_scanned_ = nullptr;
     itemsets_counted_ = nullptr;
+    for (auto& row : intersect_seconds_) {
+      for (auto& cell : row) cell = nullptr;
+    }
     return;
   }
   slots_fetched_ = telemetry_->counter("counting/slots_fetched");
   lists_opened_ = telemetry_->counter("counting/lists_opened");
   transactions_scanned_ = telemetry_->counter("counting/transactions_scanned");
   itemsets_counted_ = telemetry_->counter("counting/itemsets_counted");
+  for (uint8_t a = 0; a < kNumTidEncodings; ++a) {
+    for (uint8_t b = 0; b < kNumTidEncodings; ++b) {
+      intersect_seconds_[a][b] = telemetry_->histogram(
+          std::string("counting/intersect_seconds_") +
+          TidEncodingName(static_cast<TidEncoding>(a)) + "_" +
+          TidEncodingName(static_cast<TidEncoding>(b)));
+    }
+  }
 }
 
 void CountingContext::PrepareScratch(size_t shards) {
@@ -143,8 +162,10 @@ std::vector<uint64_t> CountingContext::PtScan(
 
 void CountingContext::BuildCoverPlan(const Itemset& itemset,
                                      const TidListStore& store,
-                                     bool use_pair_lists, Scratch* s) const {
-  s->plan.clear();
+                                     bool use_pair_lists, Scratch* s,
+                                     std::vector<CoverEntry>* plan) const {
+  DEMON_CHECK(!itemset.empty());
+  plan->clear();
   const size_t k = itemset.size();
   bool any_pair_lists = false;
   if (use_pair_lists && k >= 2) {
@@ -156,26 +177,29 @@ void CountingContext::BuildCoverPlan(const Itemset& itemset,
     }
   }
   if (!any_pair_lists) {
-    for (Item item : itemset) s->plan.push_back({item, 0, false});
+    for (Item item : itemset) plan->push_back({item, 0, false});
     return;
   }
 
   // ECUT+ covering rule (paper §3.1.1), hoisted out of the per-block loop:
   // greedily pick the materialized pair with the smallest *total* list
   // size across blocks whose two items are still uncovered; cover the
-  // remainder with item lists. Any cover intersects to the exact support,
-  // so hoisting never changes counts — blocks missing a chosen pair fall
-  // back to the pair's two item lists at count time.
+  // remainder with item lists. Sizes come from the always-resident
+  // directory, so planning touches no payload and triggers no page-in.
+  // Any cover intersects to the exact support, so hoisting never changes
+  // counts — blocks missing a chosen pair fall back to the pair's two item
+  // lists at count time. The greedy score stays cardinality-based even
+  // though encoded byte costs differ: cardinality bounds every kernel's
+  // work, while encoded size only bounds its input scan.
   constexpr uint64_t kUnmaterialized = std::numeric_limits<uint64_t>::max();
   s->pair_sizes.assign(k * k, kUnmaterialized);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = i + 1; j < k; ++j) {
       uint64_t total = kUnmaterialized;
       for (const auto& block : store.blocks()) {
-        const TidList* pair = block->PairList(itemset[i], itemset[j]);
-        if (pair == nullptr) continue;
+        if (!block->HasPairList(itemset[i], itemset[j])) continue;
         if (total == kUnmaterialized) total = 0;
-        total += pair->size();
+        total += block->PairListSize(itemset[i], itemset[j]);
       }
       s->pair_sizes[i * k + j] = total;
     }
@@ -198,48 +222,13 @@ void CountingContext::BuildCoverPlan(const Itemset& itemset,
       }
     }
     if (best_size == kUnmaterialized) break;
-    s->plan.push_back({itemset[best_i], itemset[best_j], true});
+    plan->push_back({itemset[best_i], itemset[best_j], true});
     s->covered[best_i] = true;
     s->covered[best_j] = true;
   }
   for (size_t i = 0; i < k; ++i) {
-    if (!s->covered[i]) s->plan.push_back({itemset[i], 0, false});
+    if (!s->covered[i]) plan->push_back({itemset[i], 0, false});
   }
-}
-
-uint64_t CountingContext::CountOneEcut(const Itemset& itemset,
-                                       const TidListStore& store,
-                                       bool use_pair_lists, Scratch* s,
-                                       bool collect_stats) {
-  DEMON_CHECK(!itemset.empty());
-  BuildCoverPlan(itemset, store, use_pair_lists, s);
-  uint64_t count = 0;
-  // Additivity property: the support over the selected data is the sum of
-  // per-block supports, so each block is processed independently.
-  for (const auto& block : store.blocks()) {
-    s->lists.clear();
-    for (const CoverEntry& entry : s->plan) {
-      if (entry.is_pair) {
-        const TidList* pair = block->PairList(entry.a, entry.b);
-        if (pair != nullptr) {
-          s->lists.push_back(pair);
-          continue;
-        }
-        s->lists.push_back(&block->ItemList(entry.a));
-        s->lists.push_back(&block->ItemList(entry.b));
-      } else {
-        s->lists.push_back(&block->ItemList(entry.a));
-      }
-    }
-    if (collect_stats) {
-      s->stats.lists_opened += s->lists.size();
-      for (const TidList* list : s->lists) {
-        s->stats.slots_fetched += list->size();
-      }
-    }
-    count += IntersectionSize(s->lists, &s->intersect);
-  }
-  return count;
 }
 
 std::vector<uint64_t> CountingContext::Ecut(
@@ -253,16 +242,76 @@ std::vector<uint64_t> CountingContext::Ecut(
   const size_t shards = ShardCountFor(itemsets.size(), kMinItemsetsPerShard);
   PrepareScratch(shards);
 
+  // Resident blocks first: while this shard set works through the already
+  // in-memory blocks, nothing waits on disk; each evicted block is then
+  // faulted in exactly once per shard and all the shard's itemsets batch
+  // over it under one lease. Advisory only — per-block supports sum, so
+  // any visit order yields bit-identical counts.
+  std::vector<uint32_t> block_order;
+  store.ResidencyOrder(&block_order);
+
   const bool collect_stats = CollectStats(stats);
+  const bool time_intersections = intersect_seconds_[0][0] != nullptr;
   ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
     DEMON_TRACE_SPAN_UNDER(shard_span, telemetry_,
                            "ecut shard " + std::to_string(shard), "counting",
                            call_span_id);
     Scratch& s = *scratch_[shard];
     const auto [begin, end] = ShardRange(itemsets.size(), shard, shards);
+    const size_t range = end - begin;
+    // Phase 1: plans for the whole range, from directory metadata only.
+    if (s.plans.size() < range) s.plans.resize(range);
     for (size_t i = begin; i < end; ++i) {
-      counts[i] =
-          CountOneEcut(itemsets[i], store, use_pair_lists, &s, collect_stats);
+      BuildCoverPlan(itemsets[i], store, use_pair_lists, &s,
+                     &s.plans[i - begin]);
+    }
+    // Phase 2: block-outer loop; counts[i] slots are disjoint per shard.
+    for (const uint32_t block_index : block_order) {
+      const BlockTidLists& block = store.block(block_index);
+      const TidListLease lease = block.Lease();
+      for (size_t i = begin; i < end; ++i) {
+        s.views.clear();
+        for (const CoverEntry& entry : s.plans[i - begin]) {
+          if (entry.is_pair && block.HasPairList(entry.a, entry.b)) {
+            s.views.push_back(block.PairView(entry.a, entry.b));
+          } else if (entry.is_pair) {
+            s.views.push_back(block.ItemView(entry.a));
+            s.views.push_back(block.ItemView(entry.b));
+          } else {
+            s.views.push_back(block.ItemView(entry.a));
+          }
+        }
+        if (collect_stats) {
+          s.stats.lists_opened += s.views.size();
+          for (const TidListView& view : s.views) {
+            s.stats.slots_fetched += view.size();
+          }
+        }
+        if (time_intersections && s.views.size() >= 2) {
+          // Key the histogram by the encodings of the two smallest views —
+          // the pair the k-way kernel folds first, which dominates cost.
+          size_t small0 = 0;
+          size_t small1 = 1;
+          if (s.views[small1].num_tids < s.views[small0].num_tids) {
+            std::swap(small0, small1);
+          }
+          for (size_t v = 2; v < s.views.size(); ++v) {
+            if (s.views[v].num_tids < s.views[small0].num_tids) {
+              small1 = small0;
+              small0 = v;
+            } else if (s.views[v].num_tids < s.views[small1].num_tids) {
+              small1 = v;
+            }
+          }
+          telemetry::ScopedTimer timer(
+              intersect_seconds_[static_cast<uint8_t>(
+                  s.views[small0].encoding)][static_cast<uint8_t>(
+                  s.views[small1].encoding)]);
+          counts[i] += IntersectionSize(s.views, &s.intersect);
+        } else {
+          counts[i] += IntersectionSize(s.views, &s.intersect);
+        }
+      }
     }
   });
   MergeStats(shards, stats);

@@ -87,12 +87,18 @@ class CountingContext {
       CountingStats* stats = nullptr);
 
   /// ECUT / ECUT+: candidate itemsets are sharded across the pool; each
-  /// shard intersects per-block TID-lists with its own reusable buffers.
-  /// The ECUT+ covering of an itemset by materialized pair lists is
-  /// computed once per itemset (not once per block); a chosen pair falls
-  /// back to its two item lists in blocks where it is not materialized,
-  /// which leaves the counts exact (any cover intersects to the same
-  /// support).
+  /// shard intersects per-block TID-list views with its own reusable
+  /// buffers. The ECUT+ covering of an itemset by materialized pair lists
+  /// is computed once per itemset from the always-resident directory (no
+  /// payload I/O); a chosen pair falls back to its two item lists in
+  /// blocks where it is not materialized, which leaves the counts exact
+  /// (any cover intersects to the same support).
+  ///
+  /// Residency-aware: each shard builds every plan first, then visits
+  /// blocks resident-first (TidListStore::ResidencyOrder) holding one
+  /// lease per block, so a paged-out block is faulted in at most once per
+  /// shard and all the shard's itemsets batch over it while it is pinned.
+  /// Block visit order never changes counts (per-block supports sum).
   std::vector<uint64_t> Ecut(const std::vector<Itemset>& itemsets,
                              const TidListStore& store, bool use_pair_lists,
                              CountingStats* stats = nullptr);
@@ -126,8 +132,10 @@ class CountingContext {
     PrefixTree tree;
     std::vector<uint64_t> item_counts;
     IntersectionScratch intersect;
-    std::vector<const TidList*> lists;
-    std::vector<CoverEntry> plan;
+    std::vector<TidListView> views;
+    /// Cover plans for the shard's itemset range, built before any block
+    /// payload is touched.
+    std::vector<std::vector<CoverEntry>> plans;
     std::vector<uint64_t> pair_sizes;
     std::vector<bool> covered;
     CountingStats stats;
@@ -136,6 +144,10 @@ class CountingContext {
 
   /// Number of shards for `work` units with at least `min_per_shard` units
   /// each — 1 without a pool, at most the pool's worker count with one.
+  /// When called from inside a pool task (nested fan-out), only idle
+  /// workers plus the caller count as capacity: queueing helper shards
+  /// behind busy workers is the oversubscription that made 4-thread
+  /// counting slower than 1-thread in BENCH_engine.json.
   size_t ShardCountFor(size_t work, size_t min_per_shard) const;
 
   /// Grows scratch_ to `shards` entries and resets their per-call stats.
@@ -144,14 +156,12 @@ class CountingContext {
   /// Folds every shard's stats into `*stats` (no-op when null).
   void MergeStats(size_t shards, CountingStats* stats) const;
 
-  /// Computes the cover plan for `itemset` into `s->plan` (ECUT: one item
+  /// Computes the cover plan for `itemset` into `*plan` (ECUT: one item
   /// list per item; ECUT+: greedy pair cover by smallest total size).
+  /// Reads only directory metadata — valid for evicted blocks.
   void BuildCoverPlan(const Itemset& itemset, const TidListStore& store,
-                      bool use_pair_lists, Scratch* s) const;
-
-  /// Counts one itemset over every block of `store` using its cover plan.
-  uint64_t CountOneEcut(const Itemset& itemset, const TidListStore& store,
-                        bool use_pair_lists, Scratch* s, bool collect_stats);
+                      bool use_pair_lists, Scratch* s,
+                      std::vector<CoverEntry>* plan) const;
 
   /// Re-resolves the cached counter pointers from telemetry_ (all null
   /// when unbound, so the hot paths test one pointer).
@@ -171,6 +181,12 @@ class CountingContext {
   telemetry::Counter* lists_opened_ = nullptr;
   telemetry::Counter* transactions_scanned_ = nullptr;
   telemetry::Counter* itemsets_counted_ = nullptr;
+  /// `counting/intersect_seconds_<enc>_<enc>` histograms indexed by the
+  /// encodings of the two smallest views of an intersection (the pair the
+  /// k-way kernel folds first). All null when unbound, so the encoding
+  /// scan and the timer are skipped entirely on the plain hot path.
+  telemetry::Histogram* intersect_seconds_[kNumTidEncodings]
+                                          [kNumTidEncodings] = {};
 };
 
 }  // namespace demon

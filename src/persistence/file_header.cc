@@ -136,7 +136,8 @@ Status WritePayloadFile(const std::string& path, FormatId format,
 }
 
 Result<std::string> ReadPayloadFile(const std::string& path, FormatId format,
-                                    uint32_t max_version) {
+                                    uint32_t max_version,
+                                    uint32_t* version_out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
   auto header = FileHeader::ReadFrom(f, format, max_version, path);
@@ -144,6 +145,7 @@ Result<std::string> ReadPayloadFile(const std::string& path, FormatId format,
     std::fclose(f);
     return header.status();
   }
+  if (version_out != nullptr) *version_out = header.value().version;
   std::string payload;
   char chunk[1 << 16];
   size_t got = 0;

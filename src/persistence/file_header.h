@@ -71,9 +71,11 @@ struct FileHeader {
 
 /// Reads a file written by `WritePayloadFile`: validates the header (same
 /// status contract as `FileHeader::ReadFrom`) and returns the payload bytes.
-[[nodiscard]] Result<std::string> ReadPayloadFile(const std::string& path,
-                                                  FormatId format,
-                                                  uint32_t max_version);
+/// `version_out` (optional) receives the file's actual format version, for
+/// formats whose payload layout evolved (e.g. checkpoint v1 → v2).
+[[nodiscard]] Result<std::string> ReadPayloadFile(
+    const std::string& path, FormatId format, uint32_t max_version,
+    uint32_t* version_out = nullptr);
 
 }  // namespace demon::persistence
 

@@ -1,0 +1,221 @@
+#include "tidlist/extent_pager.h"
+
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "tidlist/tidlist_store.h"
+
+namespace demon {
+
+TidListStoreOptions TidListStoreOptions::FromEnv() {
+  TidListStoreOptions options;
+  if (const char* env = std::getenv("DEMON_TIDLIST_BUDGET_BYTES")) {
+    options.memory_budget_bytes =
+        static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("DEMON_TIDLIST_SPILL_DIR")) {
+    options.spill_dir = env;
+  }
+  return options;
+}
+
+std::shared_ptr<ExtentPager> ExtentPager::Create(
+    const TidListStoreOptions& options) {
+  return std::shared_ptr<ExtentPager>(new ExtentPager(options));
+}
+
+ExtentPager::ExtentPager(const TidListStoreOptions& options)
+    : options_(options) {
+  // Distinct pagers may share one explicit spill directory (several
+  // monitors configured with the same spill_dir), so spill names carry a
+  // process-wide pager id: per-pager sequence numbers alone would collide
+  // and one pager's cleanup would delete another's spill file.
+  static std::atomic<uint64_t> next_pager_id{1};
+  pager_id_ = next_pager_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExtentPager::~ExtentPager() {
+  // Blocks hold a shared_ptr to their pager, so every block has been
+  // Forgotten (and its spill file removed) by the time we run; only the
+  // directory itself can remain.
+  if (owns_spill_dir_) ::rmdir(spill_dir_.c_str());
+}
+
+void ExtentPager::set_telemetry(telemetry::TelemetryRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  telemetry_ = registry;
+  if (registry == nullptr) {
+    page_ins_counter_ = nullptr;
+    evictions_counter_ = nullptr;
+    spilled_bytes_counter_ = nullptr;
+    resident_gauge_ = nullptr;
+    page_in_seconds_ = nullptr;
+    return;
+  }
+  page_ins_counter_ = registry->counter("tidlist/page_ins");
+  evictions_counter_ = registry->counter("tidlist/evictions");
+  spilled_bytes_counter_ = registry->counter("tidlist/spilled_bytes");
+  resident_gauge_ = registry->gauge("tidlist/resident_bytes");
+  page_in_seconds_ = registry->histogram("tidlist/page_in_seconds");
+}
+
+void ExtentPager::Adopt(const BlockTidLists* block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.push_back(block);
+  block->lru_stamp_ = ++clock_;
+  if (block->payload_.load(std::memory_order_relaxed) != nullptr) {
+    const size_t now =
+        resident_bytes_.fetch_add(block->payload_bytes_,
+                                  std::memory_order_relaxed) +
+        block->payload_bytes_;
+    if (now > peak_resident_bytes_.load(std::memory_order_relaxed)) {
+      peak_resident_bytes_.store(now, std::memory_order_relaxed);
+    }
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->Set(static_cast<double>(now));
+    }
+  }
+  EvictToBudgetLocked(block);
+}
+
+void ExtentPager::Forget(const BlockTidLists* block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(blocks_.begin(), blocks_.end(), block);
+  if (it == blocks_.end()) return;
+  blocks_.erase(it);
+  if (block->payload_.load(std::memory_order_relaxed) != nullptr) {
+    const size_t now = resident_bytes_.fetch_sub(
+                           block->payload_bytes_, std::memory_order_relaxed) -
+                       block->payload_bytes_;
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->Set(static_cast<double>(now));
+    }
+  }
+  if (!block->spill_path_.empty()) std::remove(block->spill_path_.c_str());
+}
+
+void ExtentPager::EnsureResident(const BlockTidLists* block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  block->lru_stamp_ = ++clock_;
+  if (block->payload_.load(std::memory_order_relaxed) != nullptr) return;
+  {
+    telemetry::ScopedTimer timer(page_in_seconds_);
+    block->FaultInLocked();
+  }
+  page_ins_.fetch_add(1, std::memory_order_relaxed);
+  DEMON_COUNTER_ADD(page_ins_counter_, 1);
+  const size_t now = resident_bytes_.fetch_add(block->payload_bytes_,
+                                               std::memory_order_relaxed) +
+                     block->payload_bytes_;
+  if (now > peak_resident_bytes_.load(std::memory_order_relaxed)) {
+    peak_resident_bytes_.store(now, std::memory_order_relaxed);
+  }
+  if (resident_gauge_ != nullptr) {
+    resident_gauge_->Set(static_cast<double>(now));
+  }
+  EvictToBudgetLocked(block);
+}
+
+void ExtentPager::OnPayloadRebuilt(const BlockTidLists* block,
+                                   size_t old_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The caller holds a lease, so the block is resident throughout.
+  resident_bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(block->payload_bytes_,
+                            std::memory_order_relaxed);
+  if (!block->spill_path_.empty()) {
+    std::remove(block->spill_path_.c_str());
+    block->spill_path_.clear();
+  }
+  block->spilled_ = false;
+}
+
+void ExtentPager::EvictToBudgetLocked(const BlockTidLists* keep) {
+  const size_t budget = options_.memory_budget_bytes;
+  while (resident_bytes_.load(std::memory_order_relaxed) > budget) {
+    const BlockTidLists* victim = nullptr;
+    for (const BlockTidLists* b : blocks_) {
+      if (b == keep) continue;
+      if (b->payload_.load(std::memory_order_relaxed) == nullptr) continue;
+      if (b->pins_.load(std::memory_order_acquire) != 0) continue;
+      if (victim == nullptr || b->lru_stamp_ < victim->lru_stamp_) victim = b;
+    }
+    // No unpinned victim: the budget is a target, not a hard cap — the
+    // pinned working set stays resident and the peak metric records it.
+    if (victim == nullptr) return;
+    if (!victim->spilled_) {
+      victim->SpillLocked(NextSpillPathLocked());
+      spills_.fetch_add(1, std::memory_order_relaxed);
+      DEMON_COUNTER_ADD(spilled_bytes_counter_, victim->payload_bytes_);
+    }
+    victim->ReleasePayloadLocked();
+    const size_t now = resident_bytes_.fetch_sub(
+                           victim->payload_bytes_, std::memory_order_relaxed) -
+                       victim->payload_bytes_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    DEMON_COUNTER_ADD(evictions_counter_, 1);
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->Set(static_cast<double>(now));
+    }
+  }
+}
+
+std::string ExtentPager::NextSpillPathLocked() {
+  if (spill_dir_.empty()) {
+    if (!options_.spill_dir.empty()) {
+      ::mkdir(options_.spill_dir.c_str(), 0755);  // may already exist
+      spill_dir_ = options_.spill_dir;
+    } else {
+      const char* tmp = std::getenv("TMPDIR");
+      std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") +
+                          "/demon-tidlists-XXXXXX";
+      DEMON_CHECK_MSG(::mkdtemp(templ.data()) != nullptr,
+                      "cannot create a TID-list spill directory");
+      spill_dir_ = templ;
+      owns_spill_dir_ = true;
+    }
+  }
+  char name[96];
+  std::snprintf(name, sizeof(name), "/extent-%d-%llu-%llu.tid",
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(pager_id_),
+                static_cast<unsigned long long>(++spill_seq_));
+  return spill_dir_ + name;
+}
+
+bool ExtentPager::IsResident(const BlockTidLists* block) const {
+  return block->payload_.load(std::memory_order_relaxed) != nullptr;
+}
+
+void ExtentPager::AuditInto(audit::AuditResult* audit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  constexpr char kModule[] = "tidlist";
+  size_t sum = 0;
+  for (const BlockTidLists* b : blocks_) {
+    const bool resident =
+        b->payload_.load(std::memory_order_relaxed) != nullptr;
+    if (resident) sum += b->payload_bytes_;
+    AUDIT_CHECK(audit, kModule, "tidlist/pager-pinned-resident",
+                b->pins_.load(std::memory_order_acquire) == 0 || resident,
+                audit::Msg() << "pinned block " << static_cast<const void*>(b)
+                             << " is not resident",
+                "");
+  }
+  const size_t accounted = resident_bytes_.load(std::memory_order_relaxed);
+  AUDIT_CHECK(audit, kModule, "tidlist/pager-resident-bytes",
+              sum == accounted,
+              audit::Msg() << "resident byte counter (" << accounted
+                           << ") != sum of resident extents (" << sum << ")",
+              "");
+  AUDIT_CHECK(audit, kModule, "tidlist/pager-peak",
+              peak_resident_bytes_.load(std::memory_order_relaxed) >=
+                  accounted,
+              audit::Msg() << "peak resident bytes below current", "");
+}
+
+}  // namespace demon

@@ -6,11 +6,8 @@
 
 namespace demon {
 
-namespace {
-
-// Galloping (exponential) search for the first position in [first, last)
-// with *pos >= value. The probe step is clamped against `last` so no
-// pointer past the one-past-the-end position is ever formed.
+// The probe step is clamped against `last` so no pointer past the
+// one-past-the-end position is ever formed.
 const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
                                  uint32_t value) {
   size_t step = 1;
@@ -24,27 +21,29 @@ const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
   return std::lower_bound(first, probe, value);
 }
 
-}  // namespace
-
-void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
-  const TidList& small = a.size() <= b.size() ? a : b;
-  const TidList& large = a.size() <= b.size() ? b : a;
-  if (small.empty()) {
+void IntersectRawInto(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, TidList* out) {
+  const uint32_t* small = na <= nb ? a : b;
+  const size_t nsmall = na <= nb ? na : nb;
+  const uint32_t* large = na <= nb ? b : a;
+  const size_t nlarge = na <= nb ? nb : na;
+  if (nsmall == 0) {
     out->clear();
     return;
   }
   // Size for the worst case up front so the loops can store through a raw
   // pointer; shrinking at the end keeps the capacity for the next call.
-  out->resize(small.size());
+  out->resize(nsmall);
   uint32_t* const out_data = out->data();
   size_t n = 0;
 
-  if (large.size() / (small.size() + 1) >= kGallopRatio) {
+  if (nlarge / (nsmall + 1) >= kGallopRatio) {
     // Gallop through the large list: each element of the small list only
     // advances the cursor, never rewinds it.
-    const uint32_t* lo = large.data();
-    const uint32_t* const end = large.data() + large.size();
-    for (uint32_t v : small) {
+    const uint32_t* lo = large;
+    const uint32_t* const end = large + nlarge;
+    for (size_t i = 0; i < nsmall; ++i) {
+      const uint32_t v = small[i];
       lo = GallopLowerBound(lo, end, v);
       if (lo == end) break;
       out_data[n] = v;
@@ -54,10 +53,10 @@ void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
     // Branchless merge: the candidate is stored unconditionally and the
     // output cursor advances only on a match, so the loop body has no
     // unpredictable branches (matches are rare and random in practice).
-    const uint32_t* pa = small.data();
-    const uint32_t* const ea = pa + small.size();
-    const uint32_t* pb = large.data();
-    const uint32_t* const eb = pb + large.size();
+    const uint32_t* pa = small;
+    const uint32_t* const ea = pa + nsmall;
+    const uint32_t* pb = large;
+    const uint32_t* const eb = pb + nlarge;
     while (pa < ea && pb < eb) {
       const uint32_t x = *pa;
       const uint32_t y = *pb;
@@ -68,6 +67,10 @@ void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
     }
   }
   out->resize(n);
+}
+
+void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
+  IntersectRawInto(a.data(), a.size(), b.data(), b.size(), out);
 }
 
 TidList Intersect(const TidList& a, const TidList& b) {

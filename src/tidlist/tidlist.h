@@ -18,6 +18,13 @@ using TidList = std::vector<uint32_t>;
 /// from the linear merge to galloping search.
 inline constexpr size_t kGallopRatio = 8;
 
+/// \brief Galloping (exponential) search for the first position in
+/// [first, last) with *pos >= value. Shared by the raw merge kernel and the
+/// codec-level kernels that probe a raw side with values streamed from a
+/// compressed one.
+const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
+                                 uint32_t value);
+
 /// \brief Intersects two sorted TID-lists into `out` (cleared first; `out`
 /// must not alias an input). Uses a branchless linear merge, switching to
 /// galloping search when one input is at least kGallopRatio times longer
@@ -25,6 +32,11 @@ inline constexpr size_t kGallopRatio = 8;
 /// list against a frequent item list. `out`'s capacity is reused across
 /// calls, so steady-state intersection allocates nothing.
 void IntersectInto(const TidList& a, const TidList& b, TidList* out);
+
+/// Span flavor of IntersectInto, for inputs that live in an encoded extent
+/// rather than a vector (the codec's raw×raw kernel).
+void IntersectRawInto(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, TidList* out);
 
 /// \brief Returns the intersection of two sorted TID-lists.
 TidList Intersect(const TidList& a, const TidList& b);
@@ -36,6 +48,9 @@ struct IntersectionScratch {
   TidList current;
   TidList next;
   std::vector<const TidList*> order;
+  /// Index permutation used by the view-level IntersectionSize (views are
+  /// value types, so ordering goes through indices, not pointers).
+  std::vector<uint32_t> view_order;
 };
 
 /// \brief Cardinality of the intersection of `lists` (the support of the

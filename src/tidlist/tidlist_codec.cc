@@ -1,0 +1,474 @@
+#include "tidlist/tidlist_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace demon {
+
+namespace {
+
+constexpr size_t kBitmapWordBytes = sizeof(uint64_t);
+
+size_t BitmapWords(uint32_t universe) {
+  return (static_cast<size_t>(universe) + 63) / 64;
+}
+
+size_t VarintBytes(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void AppendVarint(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Bounds-checked LEB128 read. Returns false (without advancing past `end`)
+/// on truncation or a varint wider than 32 bits.
+bool ReadVarint(const uint8_t** p, const uint8_t* end, uint32_t* out) {
+  uint32_t value = 0;
+  uint32_t shift = 0;
+  const uint8_t* q = *p;
+  while (q < end) {
+    const uint8_t byte = *q++;
+    if (shift == 28 && (byte & 0xF0) != 0) return false;
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *out = value;
+      return true;
+    }
+    shift += 7;
+    if (shift > 28) return false;
+  }
+  return false;
+}
+
+/// Streams the values of a delta-encoded view in order. Reads are bounds
+/// checked, so garbage bytes end the stream early instead of overrunning.
+struct DeltaCursor {
+  const uint8_t* p;
+  const uint8_t* end;
+  uint32_t remaining;
+  uint32_t value = 0;
+  bool valid = false;
+
+  explicit DeltaCursor(const TidListView& view)
+      : p(view.data), end(view.data + view.bytes), remaining(view.num_tids) {
+    Advance(/*first=*/true);
+  }
+
+  void Advance(bool first = false) {
+    if (remaining == 0) {
+      valid = false;
+      return;
+    }
+    uint32_t delta = 0;
+    if (!ReadVarint(&p, end, &delta)) {
+      remaining = 0;
+      valid = false;
+      return;
+    }
+    value = first ? delta : value + delta;
+    --remaining;
+    valid = true;
+  }
+};
+
+uint64_t BitmapWord(const TidListView& view, size_t word) {
+  uint64_t w = 0;
+  const size_t offset = word * kBitmapWordBytes;
+  if (offset < view.bytes) {
+    const size_t n = std::min(kBitmapWordBytes, view.bytes - offset);
+    std::memcpy(&w, view.data + offset, n);
+  }
+  return w;
+}
+
+bool BitmapTest(const TidListView& view, uint32_t value) {
+  const size_t byte = static_cast<size_t>(value) / 8;
+  if (byte >= view.bytes) return false;
+  return (view.data[byte] >> (value % 8)) & 1;
+}
+
+const uint32_t* RawBegin(const TidListView& view) {
+  return reinterpret_cast<const uint32_t*>(view.data);
+}
+
+size_t RawCount(const TidListView& view) {
+  // Trust the smaller of the announced cardinality and the extent size, so
+  // a short extent can never be read past its end.
+  return std::min(static_cast<size_t>(view.num_tids),
+                  view.bytes / sizeof(uint32_t));
+}
+
+// --- pairwise kernels; each emits a raw sorted list into *out ------------
+
+void IntersectRawBitmap(const TidListView& raw, const TidListView& bitmap,
+                        TidList* out) {
+  const uint32_t* p = RawBegin(raw);
+  const size_t n = RawCount(raw);
+  out->resize(n);
+  uint32_t* const out_data = out->data();
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out_data[k] = p[i];
+    k += static_cast<size_t>(BitmapTest(bitmap, p[i]));
+  }
+  out->resize(k);
+}
+
+void IntersectRawDelta(const TidListView& raw, const TidListView& delta,
+                       TidList* out) {
+  const uint32_t* lo = RawBegin(raw);
+  const uint32_t* const end = lo + RawCount(raw);
+  out->resize(std::min(static_cast<size_t>(end - lo),
+                       static_cast<size_t>(delta.num_tids)));
+  uint32_t* const out_data = out->data();
+  size_t k = 0;
+  // The delta side has no random access, so it is always streamed; the raw
+  // cursor gallops forward to each streamed value.
+  for (DeltaCursor cur(delta); cur.valid && lo != end; cur.Advance()) {
+    lo = GallopLowerBound(lo, end, cur.value);
+    if (lo == end) break;
+    out_data[k] = cur.value;
+    k += static_cast<size_t>(*lo == cur.value);
+  }
+  out->resize(k);
+}
+
+void IntersectDeltaDelta(const TidListView& a, const TidListView& b,
+                         TidList* out) {
+  out->resize(std::min(a.num_tids, b.num_tids));
+  uint32_t* const out_data = out->data();
+  size_t k = 0;
+  DeltaCursor ca(a);
+  DeltaCursor cb(b);
+  while (ca.valid && cb.valid) {
+    if (ca.value < cb.value) {
+      ca.Advance();
+    } else if (cb.value < ca.value) {
+      cb.Advance();
+    } else {
+      out_data[k++] = ca.value;
+      ca.Advance();
+      cb.Advance();
+    }
+  }
+  out->resize(k);
+}
+
+void IntersectDeltaBitmap(const TidListView& delta, const TidListView& bitmap,
+                          TidList* out) {
+  out->resize(delta.num_tids);
+  uint32_t* const out_data = out->data();
+  size_t k = 0;
+  for (DeltaCursor cur(delta); cur.valid; cur.Advance()) {
+    out_data[k] = cur.value;
+    k += static_cast<size_t>(BitmapTest(bitmap, cur.value));
+  }
+  out->resize(k);
+}
+
+void IntersectBitmapBitmap(const TidListView& a, const TidListView& b,
+                           TidList* out) {
+  const size_t words =
+      std::min(a.bytes, b.bytes) / kBitmapWordBytes +
+      ((std::min(a.bytes, b.bytes) % kBitmapWordBytes) != 0 ? 1 : 0);
+  out->resize(std::min(a.num_tids, b.num_tids));
+  uint32_t* const out_data = out->data();
+  size_t k = 0;
+  const size_t cap = out->size();
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = BitmapWord(a, w) & BitmapWord(b, w);
+    const uint32_t base = static_cast<uint32_t>(w * 64);
+    while (bits != 0 && k < cap) {
+      const int bit = __builtin_ctzll(bits);
+      out_data[k++] = base + static_cast<uint32_t>(bit);
+      bits &= bits - 1;
+    }
+  }
+  out->resize(k);
+}
+
+}  // namespace
+
+const char* TidEncodingName(TidEncoding encoding) {
+  switch (encoding) {
+    case TidEncoding::kRaw:
+      return "raw";
+    case TidEncoding::kDelta:
+      return "delta";
+    case TidEncoding::kBitmap:
+      return "bitmap";
+  }
+  return "unknown";
+}
+
+size_t EncodedTidListBytes(TidEncoding encoding, const TidList& list,
+                           uint32_t universe) {
+  switch (encoding) {
+    case TidEncoding::kRaw:
+      return list.size() * sizeof(uint32_t);
+    case TidEncoding::kBitmap:
+      return BitmapWords(universe) * kBitmapWordBytes;
+    case TidEncoding::kDelta: {
+      size_t bytes = 0;
+      uint32_t prev = 0;
+      for (size_t i = 0; i < list.size(); ++i) {
+        bytes += VarintBytes(i == 0 ? list[i] : list[i] - prev);
+        prev = list[i];
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+EncodedTidList EncodeTidListAs(TidEncoding encoding, const TidList& list,
+                               uint32_t universe) {
+  EncodedTidList out;
+  out.encoding = encoding;
+  out.num_tids = static_cast<uint32_t>(list.size());
+  switch (encoding) {
+    case TidEncoding::kRaw:
+      out.bytes.resize(list.size() * sizeof(uint32_t));
+      if (!list.empty()) {
+        std::memcpy(out.bytes.data(), list.data(), out.bytes.size());
+      }
+      break;
+    case TidEncoding::kDelta: {
+      out.bytes.reserve(EncodedTidListBytes(encoding, list, universe));
+      uint32_t prev = 0;
+      for (size_t i = 0; i < list.size(); ++i) {
+        AppendVarint(i == 0 ? list[i] : list[i] - prev, &out.bytes);
+        prev = list[i];
+      }
+      break;
+    }
+    case TidEncoding::kBitmap: {
+      std::vector<uint64_t> words(BitmapWords(universe), 0);
+      for (uint32_t v : list) {
+        DEMON_CHECK_MSG(v < universe, "tid outside the block universe");
+        words[v / 64] |= uint64_t{1} << (v % 64);
+      }
+      out.bytes.resize(words.size() * kBitmapWordBytes);
+      if (!words.empty()) {
+        std::memcpy(out.bytes.data(), words.data(), out.bytes.size());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+EncodedTidList EncodeTidList(const TidList& list, uint32_t universe) {
+  // Density heuristic: pick the smallest encoding; ties prefer raw, then
+  // bitmap, whose intersection kernels are cheaper than delta streaming.
+  TidEncoding best = TidEncoding::kRaw;
+  size_t best_bytes = EncodedTidListBytes(TidEncoding::kRaw, list, universe);
+  const size_t bitmap_bytes =
+      EncodedTidListBytes(TidEncoding::kBitmap, list, universe);
+  if (bitmap_bytes < best_bytes) {
+    best = TidEncoding::kBitmap;
+    best_bytes = bitmap_bytes;
+  }
+  if (EncodedTidListBytes(TidEncoding::kDelta, list, universe) < best_bytes) {
+    best = TidEncoding::kDelta;
+  }
+  return EncodeTidListAs(best, list, universe);
+}
+
+void MaterializeInto(const TidListView& view, TidList* out) {
+  out->clear();
+  switch (view.encoding) {
+    case TidEncoding::kRaw: {
+      const size_t n = RawCount(view);
+      out->resize(n);
+      if (n > 0) std::memcpy(out->data(), view.data, n * sizeof(uint32_t));
+      break;
+    }
+    case TidEncoding::kDelta:
+      out->reserve(view.num_tids);
+      for (DeltaCursor cur(view); cur.valid; cur.Advance()) {
+        out->push_back(cur.value);
+      }
+      break;
+    case TidEncoding::kBitmap: {
+      out->reserve(view.num_tids);
+      const size_t words = (view.bytes + kBitmapWordBytes - 1) /
+                           kBitmapWordBytes;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t bits = BitmapWord(view, w);
+        const uint32_t base = static_cast<uint32_t>(w * 64);
+        while (bits != 0) {
+          out->push_back(base +
+                         static_cast<uint32_t>(__builtin_ctzll(bits)));
+          bits &= bits - 1;
+        }
+      }
+      break;
+    }
+  }
+}
+
+Status DecodeTidList(const TidListView& view, TidList* out) {
+  out->clear();
+  if (view.num_tids > view.universe) {
+    return Status::DataLoss("TID-list cardinality exceeds the universe");
+  }
+  switch (view.encoding) {
+    case TidEncoding::kRaw: {
+      if (view.bytes != static_cast<size_t>(view.num_tids) *
+                            sizeof(uint32_t)) {
+        return Status::DataLoss("raw TID-list extent length mismatch");
+      }
+      out->resize(view.num_tids);
+      if (view.num_tids > 0) {
+        std::memcpy(out->data(), view.data, view.bytes);
+      }
+      for (size_t i = 0; i < out->size(); ++i) {
+        if (i > 0 && (*out)[i - 1] >= (*out)[i]) {
+          return Status::DataLoss("raw TID-list not strictly increasing");
+        }
+        if ((*out)[i] >= view.universe) {
+          return Status::DataLoss("raw TID-list offset outside the universe");
+        }
+      }
+      return Status::OK();
+    }
+    case TidEncoding::kDelta: {
+      out->reserve(view.num_tids);
+      const uint8_t* p = view.data;
+      const uint8_t* const end = view.data + view.bytes;
+      uint64_t value = 0;
+      for (uint32_t i = 0; i < view.num_tids; ++i) {
+        uint32_t delta = 0;
+        if (!ReadVarint(&p, end, &delta)) {
+          return Status::DataLoss("truncated delta TID-list extent");
+        }
+        if (i > 0 && delta == 0) {
+          return Status::DataLoss("delta TID-list gap of zero (duplicate)");
+        }
+        value = i == 0 ? delta : value + delta;
+        if (value >= view.universe) {
+          return Status::DataLoss(
+              "delta TID-list offset outside the universe");
+        }
+        out->push_back(static_cast<uint32_t>(value));
+      }
+      if (p != end) {
+        return Status::DataLoss("trailing bytes after delta TID-list");
+      }
+      return Status::OK();
+    }
+    case TidEncoding::kBitmap: {
+      if (view.bytes != BitmapWords(view.universe) * kBitmapWordBytes) {
+        return Status::DataLoss("bitmap TID-list extent length mismatch");
+      }
+      MaterializeInto(view, out);
+      if (out->size() != view.num_tids) {
+        return Status::DataLoss("bitmap TID-list cardinality mismatch");
+      }
+      if (!out->empty() && out->back() >= view.universe) {
+        return Status::DataLoss("bitmap TID-list bit outside the universe");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::DataLoss("unknown TID-list encoding");
+}
+
+void IntersectInto(const TidListView& a, const TidListView& b, TidList* out) {
+  if (a.num_tids == 0 || b.num_tids == 0) {
+    out->clear();
+    return;
+  }
+  switch (a.encoding) {
+    case TidEncoding::kRaw:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          IntersectRawInto(RawBegin(a), RawCount(a), RawBegin(b), RawCount(b),
+                           out);
+          return;
+        case TidEncoding::kDelta:
+          IntersectRawDelta(a, b, out);
+          return;
+        case TidEncoding::kBitmap:
+          IntersectRawBitmap(a, b, out);
+          return;
+      }
+      break;
+    case TidEncoding::kDelta:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          IntersectRawDelta(b, a, out);
+          return;
+        case TidEncoding::kDelta:
+          IntersectDeltaDelta(a, b, out);
+          return;
+        case TidEncoding::kBitmap:
+          IntersectDeltaBitmap(a, b, out);
+          return;
+      }
+      break;
+    case TidEncoding::kBitmap:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          IntersectRawBitmap(b, a, out);
+          return;
+        case TidEncoding::kDelta:
+          IntersectDeltaBitmap(b, a, out);
+          return;
+        case TidEncoding::kBitmap:
+          IntersectBitmapBitmap(a, b, out);
+          return;
+      }
+      break;
+  }
+  DEMON_CHECK_MSG(false, "unknown TID-list encoding pair");
+}
+
+void IntersectInto(const TidList& a, const TidListView& b, TidList* out) {
+  const TidListView raw{TidEncoding::kRaw, static_cast<uint32_t>(a.size()),
+                        b.universe,
+                        reinterpret_cast<const uint8_t*>(a.data()),
+                        a.size() * sizeof(uint32_t)};
+  IntersectInto(raw, b, out);
+}
+
+uint64_t IntersectionSize(const std::vector<TidListView>& views,
+                          IntersectionScratch* scratch) {
+  DEMON_CHECK(!views.empty());
+  if (views.size() == 1) return views[0].num_tids;
+
+  // Intersect smallest-first so intermediate results shrink fast; only the
+  // running intersection is materialized (raw), inputs stay encoded.
+  scratch->view_order.resize(views.size());
+  for (uint32_t i = 0; i < views.size(); ++i) scratch->view_order[i] = i;
+  std::sort(scratch->view_order.begin(), scratch->view_order.end(),
+            [&views](uint32_t a, uint32_t b) {
+              return views[a].num_tids < views[b].num_tids;
+            });
+  TidList& current = scratch->current;
+  TidList& next = scratch->next;
+  IntersectInto(views[scratch->view_order[0]], views[scratch->view_order[1]],
+                &current);
+  for (size_t i = 2; i < scratch->view_order.size() && !current.empty();
+       ++i) {
+    IntersectInto(current, views[scratch->view_order[i]], &next);
+    current.swap(next);
+  }
+  return current.size();
+}
+
+}  // namespace demon

@@ -1,0 +1,106 @@
+#ifndef DEMON_TIDLIST_TIDLIST_CODEC_H_
+#define DEMON_TIDLIST_TIDLIST_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tidlist/tidlist.h"
+
+namespace demon {
+
+/// \brief On-disk / in-extent encoding of one TID-list. Values are stable
+/// (serialized in tidlist extents); never renumber.
+enum class TidEncoding : uint8_t {
+  /// Little-endian uint32 array — today's representation. 4 bytes/tid.
+  kRaw = 0,
+  /// First value then successive gaps, each LEB128-varint encoded. Wins on
+  /// sparse lists (small gaps fit one byte).
+  kDelta = 1,
+  /// Dense bitset over the block universe, 64-bit little-endian words. Wins
+  /// once more than ~1/32 of the block contains the item.
+  kBitmap = 2,
+};
+
+inline constexpr uint8_t kNumTidEncodings = 3;
+
+/// Short lowercase name ("raw", "delta", "bitmap") for telemetry/logging.
+const char* TidEncodingName(TidEncoding encoding);
+
+/// \brief A non-owning view of one encoded TID-list. Valid only while the
+/// backing extent stays resident — hold the owning block's lease (see
+/// BlockTidLists::Lease) across any use.
+struct TidListView {
+  TidEncoding encoding = TidEncoding::kRaw;
+  /// List cardinality (known without decoding; drives smallest-first
+  /// intersection order and support-of-singleton fast paths).
+  uint32_t num_tids = 0;
+  /// Block size; bitmap width and upper bound for every offset.
+  uint32_t universe = 0;
+  const uint8_t* data = nullptr;
+  size_t bytes = 0;
+
+  bool empty() const { return num_tids == 0; }
+  size_t size() const { return num_tids; }
+};
+
+/// \brief An owning encoded list, produced at block-build time.
+struct EncodedTidList {
+  TidEncoding encoding = TidEncoding::kRaw;
+  uint32_t num_tids = 0;
+  std::vector<uint8_t> bytes;
+
+  TidListView View(uint32_t universe) const {
+    return TidListView{encoding, num_tids, universe, bytes.data(),
+                       bytes.size()};
+  }
+};
+
+/// Encoded size in bytes of `list` under `encoding` without encoding it
+/// (delta does one measuring pass). Used by the density heuristic.
+size_t EncodedTidListBytes(TidEncoding encoding, const TidList& list,
+                           uint32_t universe);
+
+/// Encodes `list` (sorted strictly increasing, every offset < universe)
+/// under the stated encoding.
+EncodedTidList EncodeTidListAs(TidEncoding encoding, const TidList& list,
+                               uint32_t universe);
+
+/// Encodes `list` under the smallest of the three encodings (the per
+/// (item, block) density heuristic). Ties prefer raw, then bitmap — the
+/// cheaper intersection kernels.
+EncodedTidList EncodeTidList(const TidList& list, uint32_t universe);
+
+/// Decodes `view` into `out` (cleared first). Trusts the input: meant for
+/// extents this process built or that a validated read produced. Corrupt
+/// bytes here are UB-free but may produce garbage offsets (the auditors
+/// catch them); use DecodeTidList for bytes fresh off a file.
+void MaterializeInto(const TidListView& view, TidList* out);
+
+/// Validating decode for untrusted bytes (file reads): checks framing
+/// lengths, cardinality, strict ascent, and the universe bound. Any
+/// mismatch returns DataLoss and leaves `out` unspecified.
+[[nodiscard]] Status DecodeTidList(const TidListView& view, TidList* out);
+
+/// \brief Intersects two encoded lists into a raw (decoded) output without
+/// materializing both sides: each of the nine encoding pairs has a kernel
+/// that streams the compressed form directly (word-AND for bitmap×bitmap,
+/// bitmap probes for bitmap×sparse, cursor merges for delta).
+void IntersectInto(const TidListView& a, const TidListView& b, TidList* out);
+
+/// Raw decoded left side against an encoded right side — the fold step of
+/// the k-way intersection (the running intersection is always raw).
+void IntersectInto(const TidList& a, const TidListView& b, TidList* out);
+
+/// \brief Cardinality of the intersection of encoded `views` — the
+/// view-level twin of IntersectionSize over raw lists. Intersects
+/// smallest-first with early exit on empty; only the running intersection
+/// is ever materialized, never the inputs. Empty `views` is invalid; a
+/// single view returns its cardinality without touching its bytes.
+uint64_t IntersectionSize(const std::vector<TidListView>& views,
+                          IntersectionScratch* scratch);
+
+}  // namespace demon
+
+#endif  // DEMON_TIDLIST_TIDLIST_CODEC_H_

@@ -1,5 +1,7 @@
 #include "tidlist/tidlist_file.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "persistence/file_header.h"
 
@@ -25,7 +27,10 @@ Status TidListFile::Write(const BlockTidLists& lists,
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
 
   const size_t num_items = lists.num_items();
-  const auto pairs = lists.MaterializedPairs();
+  auto pairs = lists.MaterializedPairs();
+  // MaterializedPairs comes back in hash order; sort for a deterministic
+  // file image.
+  std::sort(pairs.begin(), pairs.end());
 
   persistence::FileHeader file_header;
   file_header.format_id =
@@ -33,7 +38,9 @@ Status TidListFile::Write(const BlockTidLists& lists,
   file_header.version = kTidListIndexedVersion;
   Status header_status = file_header.WriteTo(f);
 
-  // Fixed-size counts: num_transactions, num_items, num_pairs.
+  // Fixed-size counts: num_transactions, num_items, num_pairs. List
+  // lengths come from the always-resident directory; the payload pass
+  // below decodes under one lease.
   bool ok = header_status.ok() && WriteU64(f, lists.num_transactions()) &&
             WriteU64(f, num_items) && WriteU64(f, pairs.size());
 
@@ -45,33 +52,34 @@ Status TidListFile::Write(const BlockTidLists& lists,
   uint64_t data_offset = header_bytes + item_table_bytes + pair_table_bytes;
 
   for (Item item = 0; ok && item < num_items; ++item) {
-    const uint64_t length = lists.ItemList(item).size();
+    const uint64_t length = lists.ItemListSize(item);
     ok = WriteU64(f, data_offset) && WriteU64(f, length);
     data_offset += length * sizeof(uint32_t);
   }
   for (size_t p = 0; ok && p < pairs.size(); ++p) {
-    const TidList* list = lists.PairList(pairs[p].first, pairs[p].second);
-    DEMON_CHECK(list != nullptr);
+    const uint64_t length = lists.PairListSize(pairs[p].first, pairs[p].second);
     const uint64_t key = (static_cast<uint64_t>(pairs[p].first) << 32) |
                          pairs[p].second;
-    ok = WriteU64(f, key) && WriteU64(f, data_offset) &&
-         WriteU64(f, list->size());
-    data_offset += list->size() * sizeof(uint32_t);
+    ok = WriteU64(f, key) && WriteU64(f, data_offset) && WriteU64(f, length);
+    data_offset += length * sizeof(uint32_t);
   }
 
-  // Payload: item lists then pair lists, in table order.
+  // Payload: item lists then pair lists, in table order, decoded to the
+  // raw uint32 layout this format stores.
+  const TidListLease lease = lists.Lease();
+  TidList decoded;
   for (Item item = 0; ok && item < num_items; ++item) {
-    const TidList& list = lists.ItemList(item);
-    if (!list.empty()) {
-      ok = std::fwrite(list.data(), sizeof(uint32_t), list.size(), f) ==
-           list.size();
+    MaterializeInto(lists.ItemView(item), &decoded);
+    if (!decoded.empty()) {
+      ok = std::fwrite(decoded.data(), sizeof(uint32_t), decoded.size(), f) ==
+           decoded.size();
     }
   }
   for (size_t p = 0; ok && p < pairs.size(); ++p) {
-    const TidList* list = lists.PairList(pairs[p].first, pairs[p].second);
-    if (!list->empty()) {
-      ok = std::fwrite(list->data(), sizeof(uint32_t), list->size(), f) ==
-           list->size();
+    MaterializeInto(lists.PairView(pairs[p].first, pairs[p].second), &decoded);
+    if (!decoded.empty()) {
+      ok = std::fwrite(decoded.data(), sizeof(uint32_t), decoded.size(), f) ==
+           decoded.size();
     }
   }
   std::fclose(f);

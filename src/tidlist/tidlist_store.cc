@@ -1,76 +1,35 @@
 #include "tidlist/tidlist_store.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <unordered_set>
 
 #include "common/check.h"
-#include "common/telemetry.h"
 #include "persistence/file_header.h"
 
 namespace demon {
 
-std::shared_ptr<const BlockTidLists> BlockTidLists::Build(
-    const TransactionBlock& block, size_t num_items,
-    const PairMaterializationSpec* pairs) {
-  auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
-  lists->num_transactions_ = block.size();
-  lists->item_lists_.resize(num_items);
-
-  // One scan of the block appends each transaction offset to the list of
-  // every item it contains (paper §3.1.1 "materialization of TID-lists").
-  const auto& transactions = block.transactions();
-  for (size_t offset = 0; offset < transactions.size(); ++offset) {
-    for (Item item : transactions[offset].items()) {
-      DEMON_CHECK_MSG(item < num_items, "item outside the declared universe");
-      lists->item_lists_[item].push_back(static_cast<uint32_t>(offset));
-    }
-  }
-  for (const TidList& list : lists->item_lists_) {
-    lists->item_list_slots_ += list.size();
-  }
-
-  if (pairs != nullptr) {
-    size_t used = 0;
-    for (const auto& [a, b] : pairs->pairs) {
-      DEMON_CHECK(a != b);
-      TidList joint =
-          Intersect(lists->item_lists_[a], lists->item_lists_[b]);
-      if (used + joint.size() > pairs->budget_slots) {
-        // Paper heuristic: take as many highest-priority 2-itemsets as fit.
-        continue;
-      }
-      used += joint.size();
-      lists->pair_lists_.emplace(PairKey(a, b), std::move(joint));
-    }
-    lists->pair_list_slots_ = used;
-  }
-  return lists;
-}
-
-const TidList& BlockTidLists::ItemList(Item item) const {
-  DEMON_CHECK(item < item_lists_.size());
-  return item_lists_[item];
-}
-
-std::vector<std::pair<Item, Item>> BlockTidLists::MaterializedPairs() const {
-  std::vector<std::pair<Item, Item>> pairs;
-  pairs.reserve(pair_lists_.size());
-  for (const auto& [key, list] : pair_lists_) {
-    pairs.push_back({static_cast<Item>(key >> 32),
-                     static_cast<Item>(key & 0xFFFFFFFFu)});
-  }
-  return pairs;
-}
-
-const TidList* BlockTidLists::PairList(Item a, Item b) const {
-  const auto it = pair_lists_.find(PairKey(a, b));
-  return it == pair_lists_.end() ? nullptr : &it->second;
-}
-
 namespace {
 
-constexpr uint32_t kTidListBlockVersion = 1;
+/// Version 2 stores encoded extents (raw / delta / bitmap) behind an
+/// always-resident directory; version 1 (length-prefixed uint32 dumps) is
+/// still read and re-encoded on load.
+constexpr uint32_t kTidListBlockVersion = 2;
+
+constexpr size_t kItemEntryBytes = 24;  // offset, bytes, count, encoding
+constexpr size_t kPairEntryBytes = 32;  // key + the same
+constexpr size_t kCountsBytes = 4 * sizeof(uint64_t);
 
 bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool WriteU32(std::FILE* f, uint32_t v) {
   return std::fwrite(&v, sizeof(v), 1, f) == 1;
 }
 
@@ -78,15 +37,12 @@ bool ReadU64(std::FILE* f, uint64_t* v) {
   return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
-bool WriteList(std::FILE* f, const TidList& list) {
-  if (!WriteU64(f, list.size())) return false;
-  if (list.empty()) return true;
-  return std::fwrite(list.data(), sizeof(uint32_t), list.size(), f) ==
-         list.size();
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
 /// `max_slots` bounds the announced length against the file size so a
-/// corrupt prefix cannot force a huge allocation.
+/// corrupt prefix cannot force a huge allocation (v1 reader).
 bool ReadList(std::FILE* f, TidList* list, uint64_t max_slots) {
   uint64_t n = 0;
   if (!ReadU64(f, &n) || n > max_slots) return false;
@@ -96,6 +52,329 @@ bool ReadList(std::FILE* f, TidList* list, uint64_t max_slots) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// TidListLease
+
+void TidListLease::Release() {
+  if (block_ != nullptr) {
+    block_->Unpin();
+    block_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockTidLists: build + directory
+
+std::shared_ptr<const BlockTidLists> BlockTidLists::Build(
+    const TransactionBlock& block, size_t num_items,
+    const PairMaterializationSpec* pairs) {
+  auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
+  lists->num_transactions_ = block.size();
+  DEMON_CHECK_MSG(block.size() < UINT32_MAX,
+                  "block too large for 32-bit offsets");
+
+  // One scan of the block appends each transaction offset to the list of
+  // every item it contains (paper §3.1.1 "materialization of TID-lists").
+  std::vector<TidList> item_lists(num_items);
+  const auto& transactions = block.transactions();
+  for (size_t offset = 0; offset < transactions.size(); ++offset) {
+    for (Item item : transactions[offset].items()) {
+      DEMON_CHECK_MSG(item < num_items, "item outside the declared universe");
+      item_lists[item].push_back(static_cast<uint32_t>(offset));
+    }
+  }
+  for (const TidList& list : item_lists) {
+    lists->item_list_slots_ += list.size();
+  }
+
+  std::vector<std::pair<uint64_t, TidList>> pair_lists;
+  if (pairs != nullptr) {
+    std::unordered_set<uint64_t> seen;
+    size_t used = 0;
+    for (const auto& [a, b] : pairs->pairs) {
+      DEMON_CHECK(a != b);
+      const uint64_t key = PairKey(a, b);
+      if (!seen.insert(key).second) continue;
+      TidList joint = Intersect(item_lists[a], item_lists[b]);
+      if (used + joint.size() > pairs->budget_slots) {
+        // Paper heuristic: take as many highest-priority 2-itemsets as fit.
+        continue;
+      }
+      used += joint.size();
+      pair_lists.emplace_back(key, std::move(joint));
+    }
+    lists->pair_list_slots_ = used;
+  }
+  std::sort(pair_lists.begin(), pair_lists.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  lists->EncodePayload(item_lists, pair_lists);
+  return lists;
+}
+
+void BlockTidLists::EncodePayload(
+    const std::vector<TidList>& item_lists,
+    const std::vector<std::pair<uint64_t, TidList>>& pair_lists,
+    size_t force_raw_item) {
+  const uint32_t u = universe();
+  items_.assign(item_lists.size(), Extent{});
+  pair_extents_.clear();
+  std::vector<uint8_t> payload;
+  const auto append = [&payload](const EncodedTidList& enc) {
+    // 8-byte alignment lets the raw kernels load uint32s and the bitmap
+    // helpers read words straight out of the (possibly mmapped) extent.
+    while (payload.size() % 8 != 0) payload.push_back(0);
+    Extent ex;
+    ex.offset = payload.size();
+    ex.bytes = enc.bytes.size();
+    ex.count = enc.num_tids;
+    ex.encoding = enc.encoding;
+    payload.insert(payload.end(), enc.bytes.begin(), enc.bytes.end());
+    return ex;
+  };
+  for (size_t i = 0; i < item_lists.size(); ++i) {
+    items_[i] = append(i == force_raw_item
+                           ? EncodeTidListAs(TidEncoding::kRaw, item_lists[i],
+                                             u)
+                           : EncodeTidList(item_lists[i], u));
+  }
+  for (const auto& [key, list] : pair_lists) {
+    pair_extents_.emplace(key, append(EncodeTidList(list, u)));
+  }
+  // A non-empty payload keeps `resident payload <=> payload_ != nullptr`
+  // unconditional (empty vectors may hand out null data()).
+  if (payload.empty()) payload.push_back(0);
+  payload_bytes_ = payload.size();
+  owned_ = std::move(payload);
+  payload_.store(owned_.data(), std::memory_order_release);
+}
+
+BlockTidLists::~BlockTidLists() {
+  if (pager_ != nullptr) pager_->Forget(this);
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+}
+
+size_t BlockTidLists::ItemListSize(Item item) const {
+  DEMON_CHECK(item < items_.size());
+  return items_[item].count;
+}
+
+TidEncoding BlockTidLists::ItemListEncoding(Item item) const {
+  DEMON_CHECK(item < items_.size());
+  return items_[item].encoding;
+}
+
+bool BlockTidLists::HasPairList(Item a, Item b) const {
+  return pair_extents_.count(PairKey(a, b)) > 0;
+}
+
+size_t BlockTidLists::PairListSize(Item a, Item b) const {
+  const auto it = pair_extents_.find(PairKey(a, b));
+  return it == pair_extents_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<Item, Item>> BlockTidLists::MaterializedPairs() const {
+  std::vector<std::pair<Item, Item>> pairs;
+  pairs.reserve(pair_extents_.size());
+  for (const auto& [key, extent] : pair_extents_) {
+    pairs.push_back({static_cast<Item>(key >> 32),
+                     static_cast<Item>(key & 0xFFFFFFFFu)});
+  }
+  return pairs;
+}
+
+size_t BlockTidLists::EncodingCensus(TidEncoding encoding) const {
+  size_t n = 0;
+  for (const Extent& ex : items_) n += ex.encoding == encoding ? 1 : 0;
+  for (const auto& [key, ex] : pair_extents_) {
+    n += ex.encoding == encoding ? 1 : 0;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// BlockTidLists: payload access
+
+TidListView BlockTidLists::ViewOf(const Extent& extent) const {
+  if (extent.bytes == 0) {
+    return TidListView{extent.encoding, extent.count, universe(), nullptr, 0};
+  }
+  const uint8_t* base = payload_.load(std::memory_order_acquire);
+  DEMON_CHECK_MSG(base != nullptr,
+                  "TID-list payload accessed without a lease");
+  return TidListView{extent.encoding, extent.count, universe(),
+                     base + extent.offset, static_cast<size_t>(extent.bytes)};
+}
+
+TidListView BlockTidLists::ItemView(Item item) const {
+  DEMON_CHECK(item < items_.size());
+  return ViewOf(items_[item]);
+}
+
+TidListView BlockTidLists::PairView(Item a, Item b) const {
+  const auto it = pair_extents_.find(PairKey(a, b));
+  DEMON_CHECK_MSG(it != pair_extents_.end(), "pair not materialized");
+  return ViewOf(it->second);
+}
+
+TidList BlockTidLists::MaterializeItemList(Item item) const {
+  TidListLease lease = Lease();
+  TidList out;
+  MaterializeInto(ItemView(item), &out);
+  return out;
+}
+
+TidList BlockTidLists::MaterializePairList(Item a, Item b) const {
+  TidListLease lease = Lease();
+  TidList out;
+  MaterializeInto(PairView(a, b), &out);
+  return out;
+}
+
+const BlockTidLists* BlockTidLists::Pin() const {
+  if (pager_ == nullptr) return nullptr;  // unmanaged: always resident
+  // The increment is ordered before EnsureResident's residency check under
+  // the pager mutex, so an evictor that misses this pin is followed by a
+  // fault-in before any view is taken.
+  pins_.fetch_add(1, std::memory_order_acq_rel);
+  pager_->EnsureResident(this);
+  return this;
+}
+
+void BlockTidLists::Unpin() const {
+  pins_.fetch_sub(1, std::memory_order_release);
+}
+
+void BlockTidLists::AttachPager(std::shared_ptr<ExtentPager> pager) const {
+  if (pager_ != nullptr || pager == nullptr) return;
+  pager_ = std::move(pager);
+  pager_->Adopt(this);
+}
+
+void BlockTidLists::FaultInLocked() const {
+  DEMON_CHECK_MSG(spilled_ && !spill_path_.empty(),
+                  "TID-list fault-in without a spill file");
+  const uint64_t payload_off = PayloadFileOffset();
+  const size_t total = static_cast<size_t>(payload_off) + payload_bytes_;
+  const int fd = ::open(spill_path_.c_str(), O_RDONLY);
+  DEMON_CHECK_MSG(fd >= 0, "cannot open a TID-list spill file");
+  void* base = ::mmap(nullptr, total, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base != MAP_FAILED) {
+    ::close(fd);
+    map_base_ = base;
+    map_bytes_ = total;
+    payload_.store(static_cast<const uint8_t*>(base) + payload_off,
+                   std::memory_order_release);
+    return;
+  }
+  // mmap unavailable (exotic filesystems): plain read fallback.
+  owned_.resize(payload_bytes_);
+  size_t done = 0;
+  while (done < payload_bytes_) {
+    const ssize_t n = ::pread(fd, owned_.data() + done, payload_bytes_ - done,
+                              static_cast<off_t>(payload_off + done));
+    DEMON_CHECK_MSG(n > 0, "short read from a TID-list spill file");
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  payload_.store(owned_.data(), std::memory_order_release);
+}
+
+void BlockTidLists::SpillLocked(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  DEMON_CHECK_MSG(f != nullptr, "cannot open a TID-list spill file for write");
+  const Status status = WriteContents(f, path);
+  const bool closed = std::fclose(f) == 0;
+  DEMON_CHECK_MSG(status.ok() && closed, "TID-list spill write failed");
+  spill_path_ = path;
+  spilled_ = true;
+}
+
+void BlockTidLists::ReleasePayloadLocked() const {
+  payload_.store(nullptr, std::memory_order_release);
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_bytes_);
+    map_base_ = nullptr;
+    map_bytes_ = 0;
+  }
+  std::vector<uint8_t>().swap(owned_);
+}
+
+void BlockTidLists::SetItemListForTest(Item item, const TidList& list) {
+  DEMON_CHECK(item < items_.size());
+  TidListLease lease = Lease();
+  const size_t old_bytes = payload_bytes_;
+  std::vector<TidList> item_lists(items_.size());
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i == item) {
+      item_lists[i] = list;
+    } else {
+      MaterializeInto(ViewOf(items_[i]), &item_lists[i]);
+    }
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(pair_extents_.size());
+  for (const auto& [key, extent] : pair_extents_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::pair<uint64_t, TidList>> pair_lists;
+  pair_lists.reserve(keys.size());
+  for (uint64_t key : keys) {
+    TidList decoded;
+    MaterializeInto(ViewOf(pair_extents_.find(key)->second), &decoded);
+    pair_lists.emplace_back(key, std::move(decoded));
+  }
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_bytes_);
+    map_base_ = nullptr;
+    map_bytes_ = 0;
+  }
+  EncodePayload(item_lists, pair_lists, item);
+  if (pager_ != nullptr) pager_->OnPayloadRebuilt(this, old_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// BlockTidLists: persistence
+
+uint64_t BlockTidLists::PayloadFileOffset() const {
+  return persistence::FileHeader::kBytes + kCountsBytes +
+         items_.size() * kItemEntryBytes +
+         pair_extents_.size() * kPairEntryBytes;
+}
+
+Status BlockTidLists::WriteContents(std::FILE* f,
+                                    const std::string& path) const {
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTidListBlock);
+  header.version = kTidListBlockVersion;
+  DEMON_RETURN_NOT_OK(header.WriteTo(f));
+  bool ok = WriteU64(f, num_transactions_) && WriteU64(f, items_.size()) &&
+            WriteU64(f, pair_extents_.size()) &&
+            WriteU64(f, payload_bytes_);
+  const auto write_extent = [f](const Extent& ex) {
+    return WriteU64(f, ex.offset) && WriteU64(f, ex.bytes) &&
+           WriteU32(f, ex.count) &&
+           WriteU32(f, static_cast<uint32_t>(ex.encoding));
+  };
+  for (size_t i = 0; ok && i < items_.size(); ++i) {
+    ok = write_extent(items_[i]);
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(pair_extents_.size());
+  for (const auto& [key, extent] : pair_extents_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (size_t p = 0; ok && p < keys.size(); ++p) {
+    ok = WriteU64(f, keys[p]) &&
+         write_extent(pair_extents_.find(keys[p])->second);
+  }
+  if (ok && payload_bytes_ > 0) {
+    const uint8_t* base = payload_.load(std::memory_order_acquire);
+    DEMON_CHECK_MSG(base != nullptr, "serializing an evicted payload");
+    ok = std::fwrite(base, 1, payload_bytes_, f) == payload_bytes_;
+  }
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
 
 Status BlockTidLists::WriteToFile(const std::string& path) const {
   // Member of a storage value type, so no registry to inject — the
@@ -107,30 +386,17 @@ Status BlockTidLists::WriteToFile(const std::string& path) const {
   telemetry::ScopedTimer timer(
       telemetry == nullptr ? nullptr
                            : telemetry->histogram("tidlist/write_seconds"));
+  TidListLease lease = Lease();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-  persistence::FileHeader header;
-  header.format_id =
-      static_cast<uint32_t>(persistence::FormatId::kTidListBlock);
-  header.version = kTidListBlockVersion;
-  Status header_status = header.WriteTo(f);
-  bool ok = header_status.ok() && WriteU64(f, num_transactions_) &&
-            WriteU64(f, item_lists_.size()) &&
-            WriteU64(f, pair_lists_.size());
-  uint64_t slots = 0;
-  for (size_t i = 0; ok && i < item_lists_.size(); ++i) {
-    ok = WriteList(f, item_lists_[i]);
-    slots += item_lists_[i].size();
+  Status status = WriteContents(f, path);
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("close failed: " + path);
   }
-  for (auto it = pair_lists_.begin(); ok && it != pair_lists_.end(); ++it) {
-    ok = WriteU64(f, it->first) && WriteList(f, it->second);
-    slots += it->second.size();
-  }
-  std::fclose(f);
-  if (!header_status.ok()) return header_status;
-  if (!ok) return Status::IoError("short write: " + path);
+  DEMON_RETURN_NOT_OK(status);
   DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_written"), 1);
-  DEMON_COUNTER_ADD(telemetry->counter("tidlist/slots_written"), slots);
+  DEMON_COUNTER_ADD(telemetry->counter("tidlist/slots_written"),
+                    item_list_slots_ + pair_list_slots_);
   return Status::OK();
 }
 
@@ -152,44 +418,146 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
   }
   std::fseek(f, 0, SEEK_END);
   const uint64_t file_bytes = static_cast<uint64_t>(std::ftell(f));
-  const uint64_t max_slots = file_bytes / sizeof(uint32_t);
-  // Every list costs at least its 8-byte length prefix, so list counts
-  // beyond file_bytes/8 are corrupt; checking before the resizes keeps bad
-  // input from forcing huge allocations.
-  const uint64_t max_lists = file_bytes / sizeof(uint64_t);
   std::fseek(f, static_cast<long>(persistence::FileHeader::kBytes), SEEK_SET);
   auto lists = std::shared_ptr<BlockTidLists>(new BlockTidLists());
-  uint64_t num_transactions = 0;
-  uint64_t num_items = 0;
-  uint64_t num_pairs = 0;
-  bool ok = ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
-            ReadU64(f, &num_pairs) && num_items <= max_lists &&
-            num_pairs <= max_lists;
-  if (ok) {
-    lists->num_transactions_ = num_transactions;
-    lists->item_lists_.resize(num_items);
-    for (size_t i = 0; ok && i < num_items; ++i) {
-      ok = ReadList(f, &lists->item_lists_[i], max_slots);
-      if (ok) lists->item_list_slots_ += lists->item_lists_[i].size();
-    }
-    for (size_t p = 0; ok && p < num_pairs; ++p) {
-      uint64_t key = 0;
-      TidList list;
-      ok = ReadU64(f, &key) && ReadList(f, &list, max_slots);
-      if (ok) {
-        lists->pair_list_slots_ += list.size();
-        lists->pair_lists_.emplace(key, std::move(list));
+  const Status corrupt = Status::DataLoss("corrupt TID-list file: " + path);
+
+  if (header.value().version == 1) {
+    // Legacy bulk uint32 dump: parse, then re-encode in memory.
+    const uint64_t max_slots = file_bytes / sizeof(uint32_t);
+    const uint64_t max_lists = file_bytes / sizeof(uint64_t);
+    uint64_t num_transactions = 0;
+    uint64_t num_items = 0;
+    uint64_t num_pairs = 0;
+    bool ok = ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+              ReadU64(f, &num_pairs) && num_items <= max_lists &&
+              num_pairs <= max_lists && num_transactions < UINT32_MAX;
+    std::vector<TidList> item_lists;
+    std::vector<std::pair<uint64_t, TidList>> pair_lists;
+    if (ok) {
+      lists->num_transactions_ = num_transactions;
+      item_lists.resize(num_items);
+      for (size_t i = 0; ok && i < num_items; ++i) {
+        ok = ReadList(f, &item_lists[i], max_slots);
+        if (ok) lists->item_list_slots_ += item_lists[i].size();
+      }
+      for (size_t p = 0; ok && p < num_pairs; ++p) {
+        uint64_t key = 0;
+        TidList list;
+        ok = ReadU64(f, &key) && ReadList(f, &list, max_slots);
+        if (ok) {
+          lists->pair_list_slots_ += list.size();
+          pair_lists.emplace_back(key, std::move(list));
+        }
       }
     }
+    std::fclose(f);
+    if (!ok) return corrupt;
+    // Re-encoding asserts offsets < universe; validate first to keep
+    // corrupt files on the DataLoss path instead of aborting.
+    for (const TidList& list : item_lists) {
+      for (size_t i = 0; i < list.size(); ++i) {
+        if ((i > 0 && list[i - 1] >= list[i]) ||
+            list[i] >= lists->num_transactions_) {
+          return corrupt;
+        }
+      }
+    }
+    for (const auto& [key, list] : pair_lists) {
+      for (size_t i = 0; i < list.size(); ++i) {
+        if ((i > 0 && list[i - 1] >= list[i]) ||
+            list[i] >= lists->num_transactions_) {
+          return corrupt;
+        }
+      }
+    }
+    std::sort(pair_lists.begin(), pair_lists.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    lists->EncodePayload(item_lists, pair_lists);
+  } else {
+    uint64_t num_transactions = 0;
+    uint64_t num_items = 0;
+    uint64_t num_pairs = 0;
+    uint64_t payload_bytes = 0;
+    bool ok = ReadU64(f, &num_transactions) && ReadU64(f, &num_items) &&
+              ReadU64(f, &num_pairs) && ReadU64(f, &payload_bytes) &&
+              num_items <= file_bytes / kItemEntryBytes &&
+              num_pairs <= file_bytes / kPairEntryBytes &&
+              payload_bytes <= file_bytes &&
+              num_transactions < UINT32_MAX;
+    if (ok) {
+      lists->num_transactions_ = num_transactions;
+      lists->items_.resize(num_items);
+      const auto read_extent = [&](Extent* ex) {
+        uint64_t offset = 0;
+        uint64_t bytes = 0;
+        uint32_t count = 0;
+        uint32_t encoding = 0;
+        if (!ReadU64(f, &offset) || !ReadU64(f, &bytes) ||
+            !ReadU32(f, &count) || !ReadU32(f, &encoding)) {
+          return false;
+        }
+        if (encoding >= kNumTidEncodings || offset > payload_bytes ||
+            bytes > payload_bytes - offset) {
+          return false;
+        }
+        ex->offset = offset;
+        ex->bytes = bytes;
+        ex->count = count;
+        ex->encoding = static_cast<TidEncoding>(encoding);
+        return true;
+      };
+      for (size_t i = 0; ok && i < num_items; ++i) {
+        ok = read_extent(&lists->items_[i]);
+        if (ok) lists->item_list_slots_ += lists->items_[i].count;
+      }
+      for (size_t p = 0; ok && p < num_pairs; ++p) {
+        uint64_t key = 0;
+        Extent ex;
+        ok = ReadU64(f, &key) && read_extent(&ex);
+        if (ok) {
+          const Item a = static_cast<Item>(key >> 32);
+          const Item b = static_cast<Item>(key & 0xFFFFFFFFu);
+          ok = a < b && b < num_items;
+        }
+        if (ok) {
+          lists->pair_list_slots_ += ex.count;
+          lists->pair_extents_.emplace(key, ex);
+        }
+      }
+      if (ok) {
+        lists->owned_.resize(payload_bytes);
+        ok = payload_bytes == 0 ||
+             std::fread(lists->owned_.data(), 1, payload_bytes, f) ==
+                 payload_bytes;
+      }
+    }
+    std::fclose(f);
+    if (!ok) return corrupt;
+    if (lists->owned_.empty()) lists->owned_.push_back(0);
+    lists->payload_bytes_ = lists->owned_.size();
+    lists->payload_.store(lists->owned_.data(), std::memory_order_release);
+    // Decode-validate every extent: damaged payloads surface DataLoss here
+    // instead of garbage counts later.
+    TidList decoded;
+    for (size_t i = 0; i < lists->items_.size(); ++i) {
+      const Status status =
+          DecodeTidList(lists->ViewOf(lists->items_[i]), &decoded);
+      if (!status.ok()) return corrupt;
+    }
+    for (const auto& [key, ex] : lists->pair_extents_) {
+      const Status status = DecodeTidList(lists->ViewOf(ex), &decoded);
+      if (!status.ok()) return corrupt;
+    }
   }
-  std::fclose(f);
-  if (!ok) return Status::DataLoss("corrupt TID-list file: " + path);
   DEMON_COUNTER_ADD(telemetry->counter("tidlist/files_read"), 1);
-  DEMON_COUNTER_ADD(
-      telemetry->counter("tidlist/slots_read"),
-      lists->item_list_slots_ + lists->pair_list_slots_);
+  DEMON_COUNTER_ADD(telemetry->counter("tidlist/slots_read"),
+                    lists->item_list_slots_ + lists->pair_list_slots_);
   return std::shared_ptr<const BlockTidLists>(std::move(lists));
 }
+
+// ---------------------------------------------------------------------------
+// Audits
 
 namespace {
 
@@ -207,6 +575,16 @@ std::string DumpList(const TidList& list) {
   if (shown < list.size()) msg << ", ...";
   msg << "]";
   return msg;
+}
+
+/// True when `list` is sorted strictly increasing with offsets in range —
+/// the gate for re-encode checks, which assert on malformed input.
+bool ListStructureOk(const TidList& list, size_t num_transactions) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0 && list[i - 1] >= list[i]) return false;
+    if (list[i] >= num_transactions) return false;
+  }
+  return true;
 }
 
 /// Checks one list for strict ascent and offset range.
@@ -233,12 +611,42 @@ void AuditOneList(const std::string& label, const TidList& list,
 }  // namespace
 
 void BlockTidLists::AuditInto(audit::AuditResult* audit) const {
+  TidListLease lease = Lease();
   size_t item_slots = 0;
-  for (size_t item = 0; item < item_lists_.size(); ++item) {
-    const TidList& list = item_lists_[item];
-    item_slots += list.size();
-    AuditOneList(audit::Msg() << "item " << item << " list", list,
-                 num_transactions_, audit);
+  TidList decoded;
+  // A few structurally valid item lists feed the cross-encoding kernel
+  // agreement check below.
+  std::vector<TidList> kernel_sample;
+  for (size_t item = 0; item < items_.size(); ++item) {
+    const Extent& ex = items_[item];
+    MaterializeInto(ViewOf(ex), &decoded);
+    item_slots += decoded.size();
+    const std::string label = audit::Msg() << "item " << item << " list";
+    AuditOneList(label, decoded, num_transactions_, audit);
+    AUDIT_CHECK(audit, kModule, "tidlist/directory-count",
+                decoded.size() == ex.count,
+                audit::Msg() << label << " decodes to " << decoded.size()
+                             << " tids but the directory says " << ex.count,
+                DumpList(decoded));
+    if (ListStructureOk(decoded, num_transactions_)) {
+      // Encoding is deterministic, so a stored extent must equal the
+      // re-encoding of its own decode.
+      const EncodedTidList enc =
+          EncodeTidListAs(ex.encoding, decoded, universe());
+      const TidListView view = ViewOf(ex);
+      const bool same =
+          enc.bytes.size() == view.bytes &&
+          (view.bytes == 0 ||
+           std::memcmp(enc.bytes.data(), view.data, view.bytes) == 0);
+      AUDIT_CHECK(audit, kModule, "tidlist/encode-roundtrip", same,
+                  audit::Msg() << label << " extent differs from the "
+                               << TidEncodingName(ex.encoding)
+                               << " re-encoding of its decode",
+                  DumpList(decoded));
+      if (!decoded.empty() && kernel_sample.size() < 4) {
+        kernel_sample.push_back(decoded);
+      }
+    }
   }
   AUDIT_CHECK(audit, kModule, "tidlist/item-slots",
               item_slots == item_list_slots_,
@@ -247,24 +655,34 @@ void BlockTidLists::AuditInto(audit::AuditResult* audit) const {
               "");
 
   size_t pair_slots = 0;
-  for (const auto& [key, list] : pair_lists_) {
+  TidList item_a;
+  TidList item_b;
+  for (const auto& [key, ex] : pair_extents_) {
     const Item a = static_cast<Item>(key >> 32);
     const Item b = static_cast<Item>(key & 0xFFFFFFFFu);
-    pair_slots += list.size();
+    MaterializeInto(ViewOf(ex), &decoded);
+    pair_slots += decoded.size();
     const std::string label = audit::Msg() << "pair {" << a << "," << b
                                            << "} list";
     AUDIT_CHECK(audit, kModule, "tidlist/pair-key",
-                a < b && b < item_lists_.size(),
+                a < b && b < items_.size(),
                 audit::Msg() << label << " has a malformed key", "");
-    if (a >= b || b >= item_lists_.size()) continue;
-    AuditOneList(label, list, num_transactions_, audit);
+    if (a >= b || b >= items_.size()) continue;
+    AuditOneList(label, decoded, num_transactions_, audit);
+    AUDIT_CHECK(audit, kModule, "tidlist/directory-count",
+                decoded.size() == ex.count,
+                audit::Msg() << label << " decodes to " << decoded.size()
+                             << " tids but the directory says " << ex.count,
+                DumpList(decoded));
     // Store/index consistency: a materialized pair list must equal the
     // intersection of its item lists — ECUT+ serves either interchangeably.
-    if (list != Intersect(item_lists_[a], item_lists_[b])) {
+    MaterializeInto(ViewOf(items_[a]), &item_a);
+    MaterializeInto(ViewOf(items_[b]), &item_b);
+    if (decoded != Intersect(item_a, item_b)) {
       AUDIT_FAIL(audit, kModule, "tidlist/pair-is-intersection",
                  audit::Msg() << label
                               << " differs from the item-list intersection",
-                 DumpList(list));
+                 DumpList(decoded));
     }
   }
   AUDIT_CHECK(audit, kModule, "tidlist/pair-slots",
@@ -273,6 +691,47 @@ void BlockTidLists::AuditInto(audit::AuditResult* audit) const {
                            << ") != sum of pair list sizes (" << pair_slots
                            << ")",
               "");
+
+  // Cross-encoding agreement: every kernel pair must produce the raw-merge
+  // intersection on sampled lists.
+  TidList kernel_out;
+  for (size_t s = 0; s + 1 < kernel_sample.size(); ++s) {
+    const TidList& la = kernel_sample[s];
+    const TidList& lb = kernel_sample[s + 1];
+    const TidList expected = Intersect(la, lb);
+    for (uint8_t ea = 0; ea < kNumTidEncodings; ++ea) {
+      const EncodedTidList enc_a =
+          EncodeTidListAs(static_cast<TidEncoding>(ea), la, universe());
+      for (uint8_t eb = 0; eb < kNumTidEncodings; ++eb) {
+        const EncodedTidList enc_b =
+            EncodeTidListAs(static_cast<TidEncoding>(eb), lb, universe());
+        IntersectInto(enc_a.View(universe()), enc_b.View(universe()),
+                      &kernel_out);
+        AUDIT_CHECK(audit, kModule, "tidlist/kernel-agreement",
+                    kernel_out == expected,
+                    audit::Msg()
+                        << TidEncodingName(static_cast<TidEncoding>(ea))
+                        << "x"
+                        << TidEncodingName(static_cast<TidEncoding>(eb))
+                        << " kernel disagrees with the raw merge",
+                    DumpList(kernel_out));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TidListStore
+
+TidListStore::TidListStore(const TidListStoreOptions& options) {
+  if (options.memory_budget_bytes != 0) {
+    pager_ = ExtentPager::Create(options);
+  }
+}
+
+void TidListStore::Append(std::shared_ptr<const BlockTidLists> block) {
+  if (pager_ != nullptr) block->AttachPager(pager_);
+  blocks_.push_back(std::move(block));
 }
 
 void TidListStore::AuditInto(audit::AuditResult* audit) const {
@@ -285,6 +744,7 @@ void TidListStore::AuditInto(audit::AuditResult* audit) const {
     }
     blocks_[i]->AuditInto(audit);
   }
+  if (pager_ != nullptr) pager_->AuditInto(audit);
 }
 
 void TidListStore::DropOldest(size_t count) {
@@ -313,6 +773,31 @@ size_t TidListStore::TotalPairSlots() const {
   size_t total = 0;
   for (const auto& b : blocks_) total += b->pair_list_slots();
   return total;
+}
+
+size_t TidListStore::TotalPayloadBytes() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b->payload_bytes();
+  return total;
+}
+
+void TidListStore::ResidencyOrder(std::vector<uint32_t>* order) const {
+  const size_t n = blocks_.size();
+  order->resize(n);
+  for (size_t i = 0; i < n; ++i) (*order)[i] = static_cast<uint32_t>(i);
+  if (pager_ == nullptr) return;
+  // Snapshot residency once so each index lands in exactly one class even
+  // while the pager moves blocks concurrently.
+  std::vector<unsigned char> resident(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    resident[i] = blocks_[i]->resident() ? 1 : 0;
+  }
+  std::stable_partition(order->begin(), order->end(),
+                        [&resident](uint32_t i) { return resident[i] != 0; });
+}
+
+void TidListStore::set_telemetry(telemetry::TelemetryRegistry* registry) {
+  if (pager_ != nullptr) pager_->set_telemetry(registry);
 }
 
 }  // namespace demon

@@ -136,9 +136,10 @@ TEST(TidListAuditTest, UnsortedListIsReported) {
       BlockTidLists::Build(*blocks[0], 40));
   // Find a list with at least two TIDs and swap them out of order.
   for (Item item = 0; item < 40; ++item) {
-    TidList* list = lists->mutable_item_list_for_test(item);
-    if (list->size() >= 2) {
-      std::swap((*list)[0], (*list)[1]);
+    if (lists->ItemListSize(item) >= 2) {
+      TidList list = lists->MaterializeItemList(item);
+      std::swap(list[0], list[1]);
+      lists->SetItemListForTest(item, list);
       break;
     }
   }
@@ -152,9 +153,10 @@ TEST(TidListAuditTest, OutOfRangeOffsetIsReported) {
   auto lists = std::const_pointer_cast<BlockTidLists>(
       BlockTidLists::Build(*blocks[0], 40));
   for (Item item = 0; item < 40; ++item) {
-    TidList* list = lists->mutable_item_list_for_test(item);
-    if (!list->empty()) {
-      list->back() = static_cast<uint32_t>(lists->num_transactions() + 5);
+    if (lists->ItemListSize(item) > 0) {
+      TidList list = lists->MaterializeItemList(item);
+      list.back() = static_cast<uint32_t>(lists->num_transactions() + 5);
+      lists->SetItemListForTest(item, list);
       break;
     }
   }
@@ -171,8 +173,7 @@ TEST(TidListAuditTest, StalePairListIsReported) {
       BlockTidLists::Build(*blocks[0], 40, &spec));
   // Mutating an item list desynchronizes every materialized pair list that
   // covers the item: the pair list no longer equals the intersection.
-  TidList* list = lists->mutable_item_list_for_test(1);
-  list->clear();
+  lists->SetItemListForTest(1, TidList{});
   audit::AuditResult audit;
   lists->AuditInto(&audit);
   EXPECT_FALSE(audit.ok());

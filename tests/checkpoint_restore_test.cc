@@ -349,9 +349,9 @@ TEST(CheckpointRestoreTest, CheckpointBytesAreDeterministic) {
   ASSERT_TRUE(restored.value()->Checkpoint(second).ok());
 
   auto a = persistence::ReadPayloadFile(first,
-                                        persistence::FormatId::kCheckpoint, 1);
+                                        persistence::FormatId::kCheckpoint, 2);
   auto b = persistence::ReadPayloadFile(second,
-                                        persistence::FormatId::kCheckpoint, 1);
+                                        persistence::FormatId::kCheckpoint, 2);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a.value(), b.value());

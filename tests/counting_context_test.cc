@@ -188,6 +188,43 @@ TEST(CountingContextTest, NestedCallInsidePoolTaskDoesNotDeadlock) {
   for (const auto& counts : results) EXPECT_EQ(counts, expected);
 }
 
+// Regression for the nested-oversubscription guard: when counting runs
+// inside a pool task (the engine's monitor-level parallelism), nested
+// ShardCountFor must claim only idle workers plus the caller, and the
+// counts must stay bit-identical to the sequential path. Before the guard,
+// each of N busy workers fanned out N more shards that queued behind the
+// other busy workers — 4-thread counting slower than 1-thread.
+TEST(CountingContextTest, NestedEcutCapsFanOutAndMatchesSequential) {
+  const Fixture fixture = MakeFixture(3, 400, 60, 41);
+  const auto itemsets = RandomItemsets(120, 3, fixture.num_items, 42);
+  CountingContext sequential;
+  const auto expected = sequential.Ecut(itemsets, fixture.plain_store, false);
+
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.InWorker());
+  EXPECT_EQ(pool.ApproxIdleThreads(), 4u);
+
+  // Saturate the pool: every worker runs a counting call, so each nested
+  // fan-out sees zero idle threads and must run its shards inline.
+  std::vector<CountingContext> contexts(4, CountingContext(&pool));
+  std::vector<std::vector<uint64_t>> results(contexts.size());
+  std::vector<unsigned char> in_worker(contexts.size(), 0);
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    pool.Submit([&, i] {
+      in_worker[i] = pool.InWorker() ? 1 : 0;
+      results[i] = contexts[i].Ecut(itemsets, fixture.plain_store, false);
+    });
+  }
+  pool.WaitIdle();
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    EXPECT_EQ(in_worker[i], 1) << "task " << i << " not on a pool worker";
+    EXPECT_EQ(results[i], expected) << "task " << i;
+  }
+  // Top-level calls on the now-idle pool still parallelize and agree.
+  CountingContext top(&pool);
+  EXPECT_EQ(top.Ecut(itemsets, fixture.plain_store, false), expected);
+}
+
 TEST(CountingContextTest, BordersMaintainerWithPoolMatchesWithout) {
   const Fixture fixture = MakeFixture(4, 400, 60, 28);
   for (CountingStrategy strategy :

@@ -109,8 +109,8 @@ TEST(TidListFileTest, IndexedReadsMatchInMemoryLists) {
   TidList list;
   for (Item item = 0; item < fixture.num_items; ++item) {
     ASSERT_TRUE(reader.ReadItemList(item, &list).ok());
-    EXPECT_EQ(list, lists->ItemList(item)) << "item " << item;
-    EXPECT_EQ(reader.ItemListLength(item), lists->ItemList(item).size());
+    EXPECT_EQ(list, lists->MaterializeItemList(item)) << "item " << item;
+    EXPECT_EQ(reader.ItemListLength(item), lists->ItemListSize(item));
   }
 }
 
@@ -128,7 +128,7 @@ TEST(TidListFileTest, PairListsRoundTrip) {
     ASSERT_TRUE(reader.HasPairList(a, b));
     TidList list;
     ASSERT_TRUE(reader.ReadPairList(a, b, &list).ok());
-    EXPECT_EQ(list, *lists->PairList(a, b));
+    EXPECT_EQ(list, lists->MaterializePairList(a, b));
   }
   TidList dummy;
   EXPECT_EQ(reader.ReadPairList(78, 79, &dummy).code(),

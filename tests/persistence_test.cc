@@ -480,11 +480,13 @@ TEST(MonitorSpecCodecTest, FullSpecRoundTrips) {
   spec.dtree.min_gain = 0.02;
   spec.dtree.max_depth = 9;
   spec.alpha = 0.9;
+  spec.tidlist_budget_bytes = 1 << 20;
+  spec.tidlist_spill_dir = "/tmp/demon-spill";
 
   Writer w;
   SaveMonitorSpec(w, spec);
   Reader r(w.buffer());
-  auto restored = LoadMonitorSpec(r);
+  auto restored = LoadMonitorSpec(r, /*checkpoint_version=*/2);
   ASSERT_TRUE(restored.ok());
   EXPECT_TRUE(r.AtEnd());
   const MonitorSpec& s = restored.value();
@@ -510,6 +512,28 @@ TEST(MonitorSpecCodecTest, FullSpecRoundTrips) {
   EXPECT_EQ(s.dtree.min_gain, spec.dtree.min_gain);
   EXPECT_EQ(s.dtree.max_depth, spec.dtree.max_depth);
   EXPECT_EQ(s.alpha, spec.alpha);
+  EXPECT_EQ(s.tidlist_budget_bytes, spec.tidlist_budget_bytes);
+  EXPECT_EQ(s.tidlist_spill_dir, spec.tidlist_spill_dir);
+}
+
+TEST(MonitorSpecCodecTest, Version1PayloadKeepsDefaultBudgetFields) {
+  // A v1 checkpoint predates the TID-list budget fields: the loader must
+  // stop before them and leave the defaults in place. Simulate by saving
+  // with the current writer and truncating the trailing budget fields.
+  MonitorSpec spec;
+  spec.name = "v1";
+  Writer w;
+  SaveMonitorSpec(w, spec);
+  Writer w_v1;
+  // Trailing bytes: U64 budget + U64 length prefix of the empty spill dir.
+  const size_t v1_size = w.size() - 2 * sizeof(uint64_t);
+  w_v1.AppendRaw(w.buffer().data(), v1_size);
+  Reader r(w_v1.buffer());
+  auto restored = LoadMonitorSpec(r, /*checkpoint_version=*/1);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.value().tidlist_budget_bytes, 0u);
+  EXPECT_TRUE(restored.value().tidlist_spill_dir.empty());
 }
 
 TEST(MonitorSpecCodecTest, UnknownEnumValuesAreDataLoss) {
@@ -520,7 +544,8 @@ TEST(MonitorSpecCodecTest, UnknownEnumValuesAreDataLoss) {
   std::string corrupted = w.buffer();
   corrupted[0] = 99;  // kind is the first byte
   Reader r(corrupted);
-  EXPECT_EQ(LoadMonitorSpec(r).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(LoadMonitorSpec(r, /*checkpoint_version=*/2).status().code(),
+            StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -133,5 +133,42 @@ TEST(ParallelForTest, SingleWorkerPoolRunsInline) {
   for (size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
 }
 
+// InWorker and ApproxIdleThreads are the inputs of the nested fan-out
+// guard: a caller inside a pool task sees itself as a worker of exactly
+// that pool, and busy workers are subtracted from the idle estimate.
+TEST(ThreadPoolTest, InWorkerIsPerPoolAndIdleCountTracksBusyWorkers) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.InWorker());
+  EXPECT_EQ(pool.ApproxIdleThreads(), 2u);
+
+  std::atomic<int> in_this{0};
+  std::atomic<int> in_other{0};
+  std::atomic<size_t> observed_idle{99};
+  std::atomic<bool> observed{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    in_this.fetch_add(pool.InWorker() ? 1 : 0);
+    in_other.fetch_add(other.InWorker() ? 1 : 0);
+    // Hold the worker busy until the main thread reads the idle count.
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!observed.load()) {
+    const size_t idle = pool.ApproxIdleThreads();
+    if (idle <= 1) {
+      observed_idle.store(idle);
+      observed.store(true);
+    }
+    std::this_thread::yield();
+  }
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(in_this.load(), 1);
+  EXPECT_EQ(in_other.load(), 0);
+  EXPECT_LE(observed_idle.load(), 1u);
+  EXPECT_EQ(pool.ApproxIdleThreads(), 2u);
+  EXPECT_FALSE(pool.InWorker());
+}
+
 }  // namespace
 }  // namespace demon

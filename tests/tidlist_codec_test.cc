@@ -1,0 +1,282 @@
+#include "tidlist/tidlist_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace demon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+TidList RandomSortedList(Rng* rng, uint32_t universe, size_t max_size) {
+  std::set<uint32_t> values;
+  const size_t n = rng->NextUint64(max_size + 1);
+  for (size_t i = 0; i < n; ++i) {
+    values.insert(static_cast<uint32_t>(rng->NextUint64(universe)));
+  }
+  return TidList(values.begin(), values.end());
+}
+
+TidList Validated(const EncodedTidList& encoded, uint32_t universe) {
+  TidList out;
+  const Status status = DecodeTidList(encoded.View(universe), &out);
+  EXPECT_TRUE(status.ok()) << status;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(TidListCodecTest, EdgeListsRoundTripUnderEveryEncoding) {
+  const uint32_t universe = 200;
+  const std::vector<TidList> cases = {
+      TidList{},                           // empty
+      TidList{0},                          // singleton at the low edge
+      TidList{universe - 1},               // singleton at the high edge
+      TidList{0, universe - 1},            // extreme gap
+      TidList{5, 6, 7, 8, 9},              // consecutive run
+      [] {                                 // fully dense
+        TidList all;
+        for (uint32_t i = 0; i < 200; ++i) all.push_back(i);
+        return all;
+      }(),
+  };
+  for (const TidList& list : cases) {
+    for (const TidEncoding encoding :
+         {TidEncoding::kRaw, TidEncoding::kDelta, TidEncoding::kBitmap}) {
+      const EncodedTidList encoded = EncodeTidListAs(encoding, list, universe);
+      EXPECT_EQ(encoded.bytes.size(),
+                EncodedTidListBytes(encoding, list, universe));
+      // Trusting decode and validating decode agree with the input.
+      TidList materialized;
+      MaterializeInto(encoded.View(universe), &materialized);
+      EXPECT_EQ(materialized, list) << TidEncodingName(encoding);
+      EXPECT_EQ(Validated(encoded, universe), list) << TidEncodingName(encoding);
+    }
+  }
+}
+
+TEST(TidListCodecTest, RandomizedRoundTripsAreBitIdentical) {
+  Rng rng(4242);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.NextUint64(5000));
+    const TidList list = RandomSortedList(&rng, universe, 400);
+    for (const TidEncoding encoding :
+         {TidEncoding::kRaw, TidEncoding::kDelta, TidEncoding::kBitmap}) {
+      const EncodedTidList encoded = EncodeTidListAs(encoding, list, universe);
+      EXPECT_EQ(Validated(encoded, universe), list);
+      // Re-encoding the decoded list reproduces the bytes exactly — the
+      // property the spill files and checkpoint determinism rest on.
+      const EncodedTidList again =
+          EncodeTidListAs(encoding, Validated(encoded, universe), universe);
+      EXPECT_EQ(again.bytes, encoded.bytes);
+    }
+    // The auto-selected encoding is the smallest of the three.
+    const EncodedTidList best = EncodeTidList(list, universe);
+    for (const TidEncoding encoding :
+         {TidEncoding::kRaw, TidEncoding::kDelta, TidEncoding::kBitmap}) {
+      EXPECT_LE(best.bytes.size(),
+                EncodedTidListBytes(encoding, list, universe));
+    }
+  }
+}
+
+TEST(TidListCodecTest, AdversarialGapsNearUint32MaxRoundTrip) {
+  // Varint gaps of up to 32 bits and offsets at the top of the u32 range.
+  // Bitmap is excluded: a 4-billion universe would allocate a 512MB bitset
+  // (and the density heuristic would never choose it for 7 tids).
+  const uint32_t universe = UINT32_MAX;
+  const TidList list = {0,          1,          127,        128,
+                        0x0FFFFFFF, 0xFFFFFFF0, 0xFFFFFFFE};
+  for (const TidEncoding encoding : {TidEncoding::kRaw, TidEncoding::kDelta}) {
+    const EncodedTidList encoded = EncodeTidListAs(encoding, list, universe);
+    EXPECT_EQ(Validated(encoded, universe), list) << TidEncodingName(encoding);
+  }
+  const EncodedTidList best = EncodeTidList(list, universe);
+  EXPECT_NE(best.encoding, TidEncoding::kBitmap);
+  EXPECT_EQ(Validated(best, universe), list);
+}
+
+TEST(TidListCodecTest, DensityHeuristicPicksExpectedEncodings) {
+  const uint32_t universe = 64000;
+  // 3 tids over 64000: delta (few bytes) beats raw (12) and bitmap (8000).
+  EXPECT_EQ(EncodeTidList({10, 20, 30}, universe).encoding,
+            TidEncoding::kDelta);
+  // Every other transaction: 32000 tids. Raw = 128000B, bitmap = 8000B.
+  TidList dense;
+  for (uint32_t i = 0; i < universe; i += 2) dense.push_back(i);
+  EXPECT_EQ(EncodeTidList(dense, universe).encoding, TidEncoding::kBitmap);
+  // Consecutive small offsets: delta gaps of 1 are 1 byte each.
+  TidList run;
+  for (uint32_t i = 0; i < 100; ++i) run.push_back(i);
+  EXPECT_EQ(EncodeTidList(run, universe).encoding, TidEncoding::kDelta);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: every malformed extent yields DataLoss, never UB or garbage.
+
+TEST(TidListCodecTest, TruncatedExtentsAreDataLoss) {
+  Rng rng(99);
+  const uint32_t universe = 3000;
+  for (const TidEncoding encoding :
+       {TidEncoding::kRaw, TidEncoding::kDelta, TidEncoding::kBitmap}) {
+    const TidList list = RandomSortedList(&rng, universe, 300);
+    if (list.empty()) continue;
+    EncodedTidList encoded = EncodeTidListAs(encoding, list, universe);
+    ASSERT_FALSE(encoded.bytes.empty());
+    encoded.bytes.pop_back();
+    TidList out;
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss)
+        << TidEncodingName(encoding);
+  }
+}
+
+TEST(TidListCodecTest, CardinalityMismatchesAreDataLoss) {
+  const uint32_t universe = 500;
+  const TidList list = {3, 9, 77, 401};
+  for (const TidEncoding encoding :
+       {TidEncoding::kRaw, TidEncoding::kDelta, TidEncoding::kBitmap}) {
+    EncodedTidList encoded = EncodeTidListAs(encoding, list, universe);
+    encoded.num_tids += 1;
+    TidList out;
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss)
+        << TidEncodingName(encoding);
+  }
+  // A cardinality larger than the universe is structurally impossible.
+  EncodedTidList encoded = EncodeTidListAs(TidEncoding::kRaw, list, universe);
+  encoded.num_tids = universe + 1;
+  TidList out;
+  EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(TidListCodecTest, OutOfOrderAndOutOfRangeBytesAreDataLoss) {
+  const uint32_t universe = 100;
+  TidList out;
+  {
+    // Raw with a duplicate (not strictly increasing).
+    const TidList bad = {5, 5, 9};
+    EncodedTidList encoded;
+    encoded.encoding = TidEncoding::kRaw;
+    encoded.num_tids = 3;
+    encoded.bytes.resize(bad.size() * sizeof(uint32_t));
+    std::memcpy(encoded.bytes.data(), bad.data(), encoded.bytes.size());
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Raw with an offset beyond the universe.
+    const TidList bad = {5, 200};
+    EncodedTidList encoded;
+    encoded.encoding = TidEncoding::kRaw;
+    encoded.num_tids = 2;
+    encoded.bytes.resize(bad.size() * sizeof(uint32_t));
+    std::memcpy(encoded.bytes.data(), bad.data(), encoded.bytes.size());
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Delta whose gaps overrun the universe.
+    EncodedTidList encoded = EncodeTidListAs(TidEncoding::kDelta, {90}, 100);
+    encoded.bytes.push_back(90);  // second value = 180 > universe
+    encoded.num_tids = 2;
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Delta with a zero gap (duplicate value).
+    EncodedTidList encoded = EncodeTidListAs(TidEncoding::kDelta, {7}, 100);
+    encoded.bytes.push_back(0);
+    encoded.num_tids = 2;
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Delta with trailing garbage after the announced cardinality.
+    EncodedTidList encoded = EncodeTidListAs(TidEncoding::kDelta, {7, 9}, 100);
+    encoded.bytes.push_back(3);
+    EXPECT_EQ(DecodeTidList(encoded.View(universe), &out).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Bitmap with a bit set outside the universe (rounding slack bits).
+    TidList all;
+    for (uint32_t i = 0; i < 70; ++i) all.push_back(i);
+    EncodedTidList encoded = EncodeTidListAs(TidEncoding::kBitmap, all, 100);
+    encoded.bytes[15] |= 0x80;  // bit 127 >= universe 100
+    encoded.num_tids += 1;      // keep the popcount consistent
+    EXPECT_EQ(DecodeTidList(encoded.View(100), &out).code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-encoding kernel agreement: all 9 pairs match std::set_intersection.
+
+TEST(TidListCodecTest, AllKernelPairsMatchSetIntersection) {
+  Rng rng(777);
+  const TidEncoding encodings[] = {TidEncoding::kRaw, TidEncoding::kDelta,
+                                   TidEncoding::kBitmap};
+  for (int round = 0; round < 60; ++round) {
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.NextUint64(2000));
+    const TidList a = RandomSortedList(&rng, universe, 250);
+    const TidList b = RandomSortedList(&rng, universe, 250);
+    TidList expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    for (const TidEncoding ea : encodings) {
+      const EncodedTidList enc_a = EncodeTidListAs(ea, a, universe);
+      for (const TidEncoding eb : encodings) {
+        const EncodedTidList enc_b = EncodeTidListAs(eb, b, universe);
+        TidList out;
+        IntersectInto(enc_a.View(universe), enc_b.View(universe), &out);
+        EXPECT_EQ(out, expected)
+            << TidEncodingName(ea) << " x " << TidEncodingName(eb);
+        // The raw-left fold overload agrees as well.
+        IntersectInto(a, enc_b.View(universe), &out);
+        EXPECT_EQ(out, expected);
+      }
+    }
+  }
+}
+
+TEST(TidListCodecTest, ViewLevelIntersectionSizeMatchesRawLevel) {
+  Rng rng(31337);
+  for (int round = 0; round < 40; ++round) {
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.NextUint64(1500));
+    const size_t k = 2 + rng.NextUint64(4);
+    std::vector<TidList> lists;
+    std::vector<EncodedTidList> encoded;
+    for (size_t i = 0; i < k; ++i) {
+      lists.push_back(RandomSortedList(&rng, universe, 300));
+      // Cycle deliberately through all encodings regardless of density.
+      encoded.push_back(EncodeTidListAs(
+          static_cast<TidEncoding>(i % kNumTidEncodings), lists.back(),
+          universe));
+    }
+    std::vector<const TidList*> raw_ptrs;
+    std::vector<TidListView> views;
+    for (size_t i = 0; i < k; ++i) {
+      raw_ptrs.push_back(&lists[i]);
+      views.push_back(encoded[i].View(universe));
+    }
+    IntersectionScratch scratch;
+    const uint64_t expected = IntersectionSize(raw_ptrs);
+    EXPECT_EQ(IntersectionSize(views, &scratch), expected);
+  }
+}
+
+}  // namespace
+}  // namespace demon

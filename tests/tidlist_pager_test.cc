@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/audit.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/block.h"
+#include "datagen/quest_generator.h"
+#include "itemsets/counting_context.h"
+#include "persistence/file_header.h"
+#include "tidlist/extent_pager.h"
+#include "tidlist/tidlist_store.h"
+
+namespace demon {
+namespace {
+
+constexpr size_t kNumItems = 60;
+
+std::vector<std::shared_ptr<const TransactionBlock>> MakeBlocks(
+    size_t num_blocks, size_t transactions_per_block, uint64_t seed) {
+  std::vector<std::shared_ptr<const TransactionBlock>> blocks;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    QuestParams params;
+    params.num_transactions = transactions_per_block;
+    params.num_items = kNumItems;
+    params.num_patterns = 25;
+    params.seed = seed + b;
+    QuestGenerator gen(params);
+    blocks.push_back(
+        std::make_shared<TransactionBlock>(gen.GenerateAll()));
+  }
+  return blocks;
+}
+
+void FillStore(const std::vector<std::shared_ptr<const TransactionBlock>>&
+                   blocks,
+               TidListStore* store,
+               const PairMaterializationSpec* pairs = nullptr) {
+  for (const auto& block : blocks) {
+    store->Append(BlockTidLists::Build(*block, kNumItems, pairs));
+  }
+}
+
+std::vector<Itemset> SampleItemsets(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Itemset> itemsets;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t k = 2 + rng.NextUint64(3);
+    std::set<Item> items;
+    while (items.size() < k) {
+      items.insert(static_cast<Item>(rng.NextUint64(kNumItems)));
+    }
+    itemsets.push_back(Itemset(items.begin(), items.end()));
+  }
+  return itemsets;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted residency.
+
+TEST(ExtentPagerTest, TinyBudgetSpillsAndListsStayExact) {
+  const auto blocks = MakeBlocks(8, 400, 21);
+
+  // Explicit zero budget (not the env-reading default constructor), so the
+  // reference store stays unmanaged even under the CI soak's
+  // DEMON_TIDLIST_BUDGET_BYTES.
+  TidListStore unbounded{TidListStoreOptions{}};
+  FillStore(blocks, &unbounded);
+  ASSERT_EQ(unbounded.pager(), nullptr);
+
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 1024;
+  TidListStore budgeted(options);
+  FillStore(blocks, &budgeted);
+  ASSERT_NE(budgeted.pager(), nullptr);
+  const ExtentPager& pager = *budgeted.pager();
+
+  // The workload must overflow the budget by a wide margin for the test to
+  // mean anything (the acceptance bar is a 4x overcommit).
+  EXPECT_GE(budgeted.TotalPayloadBytes(), 4 * options.memory_budget_bytes);
+  EXPECT_GT(pager.spills(), 0u);
+  EXPECT_GT(pager.evictions(), 0u);
+
+  // Every list decodes to exactly what the unbounded store holds, faulting
+  // extents back in as needed.
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    for (Item item = 0; item < kNumItems; ++item) {
+      EXPECT_EQ(budgeted.block(b).MaterializeItemList(item),
+                unbounded.block(b).MaterializeItemList(item))
+          << "block " << b << " item " << item;
+    }
+  }
+  EXPECT_GT(pager.page_ins(), 0u);
+  EXPECT_GE(pager.peak_resident_bytes(), pager.resident_bytes());
+
+  // Unpinned steady state: the budget can only be exceeded by the one
+  // block Adopt/fault-in keeps while it is being touched.
+  size_t largest_block = 0;
+  for (const auto& lists : budgeted.blocks()) {
+    largest_block = std::max(largest_block, lists->payload_bytes());
+  }
+  EXPECT_LE(pager.resident_bytes(),
+            options.memory_budget_bytes + largest_block);
+
+  audit::AuditResult audit;
+  budgeted.AuditInto(&audit);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(ExtentPagerTest, LeaseKeepsViewsValidUnderEvictionPressure) {
+  const auto blocks = MakeBlocks(6, 300, 33);
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 512;
+  TidListStore store(options);
+  FillStore(blocks, &store);
+
+  const BlockTidLists& first = store.block(0);
+  const TidList expected = first.MaterializeItemList(3);
+  const TidListLease lease = first.Lease();
+  const TidListView view = first.ItemView(3);
+
+  // Hammer every other block to churn the pager; the leased block must
+  // stay resident and the view must keep decoding the same bytes.
+  for (int round = 0; round < 3; ++round) {
+    for (size_t b = 1; b < store.NumBlocks(); ++b) {
+      for (Item item = 0; item < kNumItems; item += 7) {
+        (void)store.block(b).MaterializeItemList(item);
+      }
+    }
+  }
+  EXPECT_TRUE(first.resident());
+  TidList decoded;
+  MaterializeInto(view, &decoded);
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST(ExtentPagerTest, StoreCopiesShareThePagerAndItsAccounting) {
+  const auto blocks = MakeBlocks(4, 200, 55);
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 2048;
+  TidListStore store(options);
+  FillStore(blocks, &store);
+
+  // GEMM-style cheap copy: blocks and the pager are shared, so the copy's
+  // accesses account against the same budget.
+  const TidListStore copy = store;
+  EXPECT_EQ(copy.pager(), store.pager());
+  EXPECT_EQ(&copy.block(0), &store.block(0));
+  for (size_t b = 0; b < copy.NumBlocks(); ++b) {
+    EXPECT_EQ(copy.block(b).MaterializeItemList(5),
+              store.block(b).MaterializeItemList(5));
+  }
+
+  audit::AuditResult audit;
+  copy.AuditInto(&audit);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(ExtentPagerTest, ResidencyOrderIsAPermutationWithResidentFirst) {
+  const auto blocks = MakeBlocks(6, 250, 77);
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 1024;
+  TidListStore store(options);
+  FillStore(blocks, &store);
+
+  std::vector<uint32_t> order;
+  store.ResidencyOrder(&order);
+  ASSERT_EQ(order.size(), store.NumBlocks());
+  std::vector<uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // Once a non-resident block appears, no resident block may follow (the
+  // order was resident-first at snapshot time and nothing else touches the
+  // store here).
+  bool seen_evicted = false;
+  for (const uint32_t index : order) {
+    const bool resident = store.block(index).resident();
+    if (!resident) seen_evicted = true;
+    if (seen_evicted) {
+      EXPECT_FALSE(resident);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counting equivalence: budgets shape paging, never counts.
+
+TEST(ExtentPagerTest, CountsAreBitIdenticalAcrossBudgetsAndStrategies) {
+  const auto blocks = MakeBlocks(6, 350, 91);
+  const auto itemsets = SampleItemsets(80, 17);
+
+  PairMaterializationSpec pairs;
+  for (Item a = 0; a < 12; ++a) {
+    for (Item b = a + 1; b < 12; ++b) pairs.pairs.push_back({a, b});
+  }
+
+  TidListStore unbounded{TidListStoreOptions{}};
+  FillStore(blocks, &unbounded, &pairs);
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 1500;
+  TidListStore budgeted(options);
+  FillStore(blocks, &budgeted, &pairs);
+  ASSERT_GE(budgeted.TotalPayloadBytes(), 4 * options.memory_budget_bytes);
+
+  CountingContext sequential;
+  const std::vector<uint64_t> reference =
+      sequential.PtScan(itemsets, blocks);
+  EXPECT_EQ(sequential.Ecut(itemsets, unbounded, false), reference);
+  EXPECT_EQ(sequential.Ecut(itemsets, budgeted, false), reference);
+  EXPECT_EQ(sequential.Ecut(itemsets, unbounded, true), reference);
+  EXPECT_EQ(sequential.Ecut(itemsets, budgeted, true), reference);
+
+  ThreadPool pool(4);
+  CountingContext parallel(&pool);
+  EXPECT_EQ(parallel.Ecut(itemsets, budgeted, false), reference);
+  EXPECT_EQ(parallel.Ecut(itemsets, budgeted, true), reference);
+  EXPECT_GT(budgeted.pager()->page_ins(), 0u);
+}
+
+// Two independent stores (think: two monitors in one fleet) configured
+// with the SAME explicit spill directory must not collide: spill names
+// carry a per-pager id, so one pager's eviction/cleanup can never clobber
+// or delete the other's spill files.
+TEST(ExtentPagerTest, PagersSharingASpillDirectoryDoNotCollide) {
+  const auto blocks = MakeBlocks(5, 300, 77);
+  const std::string spill_dir = ::testing::TempDir() + "/demon-shared-spill";
+
+  TidListStore unbounded{TidListStoreOptions{}};
+  FillStore(blocks, &unbounded);
+
+  {
+    TidListStoreOptions options;
+    options.memory_budget_bytes = 512;
+    options.spill_dir = spill_dir;
+    TidListStore store_a(options);
+    TidListStore store_b(options);
+    FillStore(blocks, &store_a);
+    FillStore(blocks, &store_b);
+    ASSERT_NE(store_a.pager(), store_b.pager());
+    EXPECT_GT(store_a.pager()->spills(), 0u);
+    EXPECT_GT(store_b.pager()->spills(), 0u);
+
+    // Interleave fault-ins across the two stores; every list must still
+    // decode to the unbounded truth (a collision would surface as a
+    // missing spill file abort or as another block's bytes).
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      for (Item item = 0; item < kNumItems; item += 7) {
+        const TidList expected =
+            unbounded.block(b).MaterializeItemList(item);
+        EXPECT_EQ(store_a.block(b).MaterializeItemList(item), expected);
+        EXPECT_EQ(store_b.block(b).MaterializeItemList(item), expected);
+      }
+    }
+
+    // Dropping every block of one store (removing its spill files) must
+    // not disturb the other's.
+    store_a.DropOldest(blocks.size());
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      EXPECT_EQ(store_b.block(b).MaterializeItemList(3),
+                unbounded.block(b).MaterializeItemList(3));
+    }
+  }
+  // Both stores gone: every spill file was cleaned up, so the shared
+  // (explicit, hence not auto-removed) directory is empty and removable.
+  EXPECT_EQ(::rmdir(spill_dir.c_str()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: the v2 format and the legacy v1 reader.
+
+TEST(TidListBlockFileTest, V2WritesAreByteDeterministicEvenWhenEvicted) {
+  const auto blocks = MakeBlocks(3, 300, 13);
+  PairMaterializationSpec pairs;
+  pairs.pairs = {{0, 1}, {2, 3}};
+
+  TidListStore unbounded{TidListStoreOptions{}};
+  FillStore(blocks, &unbounded, &pairs);
+  TidListStoreOptions options;
+  options.memory_budget_bytes = 256;  // evicts everything not in use
+  TidListStore budgeted(options);
+  FillStore(blocks, &budgeted, &pairs);
+
+  const std::string path_a = ::testing::TempDir() + "/tidlists_a.bin";
+  const std::string path_b = ::testing::TempDir() + "/tidlists_b.bin";
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    // WriteToFile takes its own lease, so it works on evicted blocks, and
+    // the bytes never depend on the budget or residency history.
+    ASSERT_TRUE(unbounded.block(b).WriteToFile(path_a).ok());
+    ASSERT_TRUE(budgeted.block(b).WriteToFile(path_b).ok());
+    EXPECT_EQ(FileBytes(path_a), FileBytes(path_b)) << "block " << b;
+
+    auto reread = BlockTidLists::ReadFromFile(path_b);
+    ASSERT_TRUE(reread.ok()) << reread.status();
+    const BlockTidLists& loaded = *reread.value();
+    EXPECT_EQ(loaded.num_transactions(),
+              unbounded.block(b).num_transactions());
+    for (Item item = 0; item < kNumItems; ++item) {
+      EXPECT_EQ(loaded.MaterializeItemList(item),
+                unbounded.block(b).MaterializeItemList(item));
+    }
+    EXPECT_TRUE(loaded.HasPairList(0, 1));
+    EXPECT_EQ(loaded.MaterializePairList(0, 1),
+              unbounded.block(b).MaterializePairList(0, 1));
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+namespace v1 {
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool WriteList(std::FILE* f, const TidList& list) {
+  if (!WriteU64(f, list.size())) return false;
+  return list.empty() ||
+         std::fwrite(list.data(), sizeof(uint32_t), list.size(), f) ==
+             list.size();
+}
+
+/// Emits the legacy bulk-dump layout: header v1, then counts, then
+/// length-prefixed uint32 lists (items, then key+list pairs).
+void WriteFile(const std::string& path, size_t num_transactions,
+               const std::vector<TidList>& item_lists,
+               const std::vector<std::pair<uint64_t, TidList>>& pair_lists) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  persistence::FileHeader header;
+  header.format_id =
+      static_cast<uint32_t>(persistence::FormatId::kTidListBlock);
+  header.version = 1;
+  ASSERT_TRUE(header.WriteTo(f).ok());
+  ASSERT_TRUE(WriteU64(f, num_transactions));
+  ASSERT_TRUE(WriteU64(f, item_lists.size()));
+  ASSERT_TRUE(WriteU64(f, pair_lists.size()));
+  for (const TidList& list : item_lists) ASSERT_TRUE(WriteList(f, list));
+  for (const auto& [key, list] : pair_lists) {
+    ASSERT_TRUE(WriteU64(f, key));
+    ASSERT_TRUE(WriteList(f, list));
+  }
+  std::fclose(f);
+}
+
+}  // namespace v1
+
+TEST(TidListBlockFileTest, LegacyV1FilesAreReadAndReencoded) {
+  const std::string path = ::testing::TempDir() + "/tidlists_v1.bin";
+  const std::vector<TidList> item_lists = {
+      {0, 2, 9}, {}, {1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  const uint64_t key = (uint64_t{0} << 32) | 2;  // pair {0, 2}
+  v1::WriteFile(path, 10, item_lists, {{key, TidList{2, 9}}});
+
+  auto result = BlockTidLists::ReadFromFile(path);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const BlockTidLists& lists = *result.value();
+  EXPECT_EQ(lists.num_transactions(), 10u);
+  EXPECT_EQ(lists.num_items(), 3u);
+  for (size_t i = 0; i < item_lists.size(); ++i) {
+    EXPECT_EQ(lists.MaterializeItemList(static_cast<Item>(i)), item_lists[i]);
+  }
+  ASSERT_TRUE(lists.HasPairList(0, 2));
+  EXPECT_EQ(lists.MaterializePairList(0, 2), (TidList{2, 9}));
+  // Writing it back produces the current (v2) format.
+  const std::string v2_path = ::testing::TempDir() + "/tidlists_v1_up.bin";
+  ASSERT_TRUE(lists.WriteToFile(v2_path).ok());
+  auto reread = BlockTidLists::ReadFromFile(v2_path);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  EXPECT_EQ(reread.value()->MaterializeItemList(2), item_lists[2]);
+  std::remove(path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(TidListBlockFileTest, CorruptV1FilesAreDataLossNotAborts) {
+  const std::string path = ::testing::TempDir() + "/tidlists_v1_bad.bin";
+  // Unsorted item list: must be rejected before re-encoding (a bitmap
+  // encode of it would otherwise trip an internal check).
+  v1::WriteFile(path, 10, {{5, 3, 1}}, {});
+  auto unsorted = BlockTidLists::ReadFromFile(path);
+  EXPECT_EQ(unsorted.status().code(), StatusCode::kDataLoss);
+  // Offset beyond the transaction count.
+  v1::WriteFile(path, 4, {{1, 9}}, {});
+  auto out_of_range = BlockTidLists::ReadFromFile(path);
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(TidListBlockFileTest, TruncatedV2FilesAreDataLoss) {
+  const auto blocks = MakeBlocks(1, 200, 3);
+  auto lists = BlockTidLists::Build(*blocks[0], kNumItems);
+  const std::string path = ::testing::TempDir() + "/tidlists_trunc.bin";
+  ASSERT_TRUE(lists->WriteToFile(path).ok());
+  const std::string bytes = FileBytes(path);
+  // Chop the file at several depths: inside the payload, inside the
+  // directory, and inside the counts. Every cut must read as DataLoss.
+  for (const size_t keep :
+       {bytes.size() - 3, bytes.size() / 2, persistence::FileHeader::kBytes + 9,
+        size_t{11}}) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, keep, f), keep);
+    std::fclose(f);
+    auto result = BlockTidLists::ReadFromFile(path);
+    EXPECT_FALSE(result.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << keep;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace demon

@@ -57,13 +57,15 @@ TEST(TidListTest, RandomizedAgainstSetIntersection) {
 
 TEST(TidListTest, IntersectIntoEdgeCases) {
   TidList out;
+  const TidList empty;
+  const TidList one_two_three = {1, 2, 3};
   // Both empty.
-  IntersectInto({}, {}, &out);
+  IntersectInto(empty, empty, &out);
   EXPECT_TRUE(out.empty());
   // One empty.
-  IntersectInto({1, 2, 3}, {}, &out);
+  IntersectInto(one_two_three, empty, &out);
   EXPECT_TRUE(out.empty());
-  IntersectInto({}, {1, 2, 3}, &out);
+  IntersectInto(empty, one_two_three, &out);
   EXPECT_TRUE(out.empty());
   // Single elements: hit and miss.
   IntersectInto({5}, {5}, &out);
@@ -140,12 +142,15 @@ TEST(TidListTest, IntersectionSizeWithScratchReuse) {
   const TidList b = {2, 3, 4, 8, 9};
   const TidList c = {0, 3, 4, 8};
   IntersectionScratch scratch;
-  EXPECT_EQ(IntersectionSize({&a, &b, &c}, &scratch), 3u);
+  const std::vector<const TidList*> abc = {&a, &b, &c};
+  const std::vector<const TidList*> ab = {&a, &b};
+  EXPECT_EQ(IntersectionSize(abc, &scratch), 3u);
   // Reuse with different lists; stale scratch contents must not leak.
-  EXPECT_EQ(IntersectionSize({&a, &b}, &scratch), 4u);
+  EXPECT_EQ(IntersectionSize(ab, &scratch), 4u);
   const TidList empty;
-  EXPECT_EQ(IntersectionSize({&empty, &a}, &scratch), 0u);
-  EXPECT_EQ(IntersectionSize({&a, &b, &c}, &scratch), 3u);
+  const std::vector<const TidList*> ea = {&empty, &a};
+  EXPECT_EQ(IntersectionSize(ea, &scratch), 0u);
+  EXPECT_EQ(IntersectionSize(abc, &scratch), 3u);
 }
 
 TEST(TidListTest, IntersectionSizeMultiWay) {
@@ -164,9 +169,12 @@ TEST(BlockTidListsTest, ListsMatchBlockContents) {
       {Transaction({0, 2}), Transaction({1, 2}), Transaction({0, 1, 2})}, 0);
   auto lists = BlockTidLists::Build(block, 3);
   EXPECT_EQ(lists->num_transactions(), 3u);
-  EXPECT_EQ(lists->ItemList(0), (TidList{0, 2}));
-  EXPECT_EQ(lists->ItemList(1), (TidList{1, 2}));
-  EXPECT_EQ(lists->ItemList(2), (TidList{0, 1, 2}));
+  EXPECT_EQ(lists->MaterializeItemList(0), (TidList{0, 2}));
+  EXPECT_EQ(lists->MaterializeItemList(1), (TidList{1, 2}));
+  EXPECT_EQ(lists->MaterializeItemList(2), (TidList{0, 1, 2}));
+  // The always-resident directory answers sizes without payload access.
+  EXPECT_EQ(lists->ItemListSize(0), 2u);
+  EXPECT_EQ(lists->ItemListSize(2), 3u);
   // Item-list slots equal the transactional representation's size (§3.1.1).
   EXPECT_EQ(lists->item_list_slots(), block.TotalItemOccurrences());
   EXPECT_EQ(lists->num_pair_lists(), 0u);
@@ -178,13 +186,15 @@ TEST(BlockTidListsTest, PairMaterialization) {
   PairMaterializationSpec spec;
   spec.pairs = {{0, 1}, {1, 2}};
   auto lists = BlockTidLists::Build(block, 3, &spec);
-  ASSERT_NE(lists->PairList(0, 1), nullptr);
-  EXPECT_EQ(*lists->PairList(0, 1), (TidList{0, 1}));
-  ASSERT_NE(lists->PairList(1, 2), nullptr);
-  EXPECT_EQ(*lists->PairList(1, 2), (TidList{1, 2}));
-  EXPECT_EQ(lists->PairList(0, 2), nullptr);
+  ASSERT_TRUE(lists->HasPairList(0, 1));
+  EXPECT_EQ(lists->MaterializePairList(0, 1), (TidList{0, 1}));
+  ASSERT_TRUE(lists->HasPairList(1, 2));
+  EXPECT_EQ(lists->MaterializePairList(1, 2), (TidList{1, 2}));
+  EXPECT_FALSE(lists->HasPairList(0, 2));
   // Argument order does not matter.
-  EXPECT_EQ(lists->PairList(1, 0), lists->PairList(0, 1));
+  EXPECT_TRUE(lists->HasPairList(1, 0));
+  EXPECT_EQ(lists->MaterializePairList(1, 0), lists->MaterializePairList(0, 1));
+  EXPECT_EQ(lists->PairListSize(1, 0), 2u);
   EXPECT_EQ(lists->pair_list_slots(), 4u);
 }
 
@@ -198,9 +208,9 @@ TEST(BlockTidListsTest, PairBudgetTakesPriorityOrder) {
   auto lists = BlockTidLists::Build(block, 3, &spec);
   // {0,1} has 3 tids (fits), {0,2} has 2 (3+2 > 4, skipped), {1,2} has 2
   // (skipped as well: budget is 4 and 3 are used).
-  ASSERT_NE(lists->PairList(0, 1), nullptr);
-  EXPECT_EQ(lists->PairList(0, 2), nullptr);
-  EXPECT_EQ(lists->PairList(1, 2), nullptr);
+  EXPECT_TRUE(lists->HasPairList(0, 1));
+  EXPECT_FALSE(lists->HasPairList(0, 2));
+  EXPECT_FALSE(lists->HasPairList(1, 2));
   EXPECT_LE(lists->pair_list_slots(), 4u);
 }
 
@@ -224,10 +234,11 @@ TEST(BlockTidListsTest, FilePersistenceRoundTrip) {
   EXPECT_EQ(loaded.item_list_slots(), lists->item_list_slots());
   EXPECT_EQ(loaded.pair_list_slots(), lists->pair_list_slots());
   for (Item item = 0; item < params.num_items; ++item) {
-    EXPECT_EQ(loaded.ItemList(item), lists->ItemList(item));
+    EXPECT_EQ(loaded.ItemListEncoding(item), lists->ItemListEncoding(item));
+    EXPECT_EQ(loaded.MaterializeItemList(item), lists->MaterializeItemList(item));
   }
-  ASSERT_NE(loaded.PairList(1, 2), nullptr);
-  EXPECT_EQ(*loaded.PairList(1, 2), *lists->PairList(1, 2));
+  ASSERT_TRUE(loaded.HasPairList(1, 2));
+  EXPECT_EQ(loaded.MaterializePairList(1, 2), lists->MaterializePairList(1, 2));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,179 @@
+// Intersection-kernel microbenchmark (google-benchmark): every dispatched
+// kernel against the scalar reference, swept over list lengths and density
+// pairs (sparse×sparse, sparse×dense skew, bitmap×bitmap). Run via
+// scripts/bench_snapshot.sh, which archives the JSON as
+// BENCH_intersect.json; the acceptance bar for the SIMD tiers is >= 2x on
+// the in-cache 64k-element raw×raw and bitmap×bitmap rows.
+//
+// Each benchmark is registered twice — suffix /scalar pins the reference
+// tier, /active uses the runtime-dispatched one (equal to scalar under
+// DEMON_FORCE_SCALAR=1 or on pre-SSE4 CPUs; the "simd_level" context key
+// says which tier /active actually ran).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "tidlist/simd.h"
+#include "tidlist/tidlist.h"
+#include "tidlist/tidlist_codec.h"
+
+namespace demon {
+namespace {
+
+TidList MakeList(size_t n, uint32_t universe, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> taken(universe, false);
+  TidList list;
+  list.reserve(n);
+  while (list.size() < n) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextUint64(universe));
+    if (!taken[v]) {
+      taken[v] = true;
+      list.push_back(v);
+    }
+  }
+  std::sort(list.begin(), list.end());
+  return list;
+}
+
+std::vector<uint8_t> MakeBitmap(const TidList& list, uint32_t universe) {
+  return EncodeTidListAs(TidEncoding::kBitmap, list, universe).bytes;
+}
+
+const simd::KernelOps& Tier(bool active) {
+  return active ? simd::ActiveOps() : simd::ScalarOps();
+}
+
+/// Balanced raw×raw merge: both lists `n` long in a 4n universe (~25%
+/// density each — the block-merge path, no galloping).
+void BM_RawRawMerge(benchmark::State& state, bool active) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t universe = static_cast<uint32_t>(n * 4);
+  const TidList a = MakeList(n, universe, 1);
+  const TidList b = MakeList(n, universe, 2);
+  const simd::KernelOps& ops = Tier(active);
+  TidList out(n + simd::kOutPad);
+  for (auto _ : state) {
+    const size_t k = ops.raw_raw(a.data(), a.size(), b.data(), b.size(),
+                                 out.data());
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n * 2));
+}
+
+/// Skewed raw×raw, 100:1 — the galloping path.
+void BM_RawRawGallop(benchmark::State& state, bool active) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t universe = static_cast<uint32_t>(n * 4);
+  const TidList small = MakeList(n / 100 + 1, universe, 3);
+  const TidList large = MakeList(n, universe, 4);
+  const simd::KernelOps& ops = Tier(active);
+  TidList out(small.size() + simd::kOutPad);
+  for (auto _ : state) {
+    const size_t k = ops.raw_raw(small.data(), small.size(), large.data(),
+                                 large.size(), out.data());
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+
+/// Sparse raw list probed against a dense bitmap (~30% density).
+void BM_RawBitmapProbe(benchmark::State& state, bool active) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t universe = static_cast<uint32_t>(n * 8);
+  const TidList raw = MakeList(n, universe, 5);
+  const TidList dense = MakeList(universe * 3 / 10, universe, 6);
+  const std::vector<uint8_t> bitmap = MakeBitmap(dense, universe);
+  const simd::KernelOps& ops = Tier(active);
+  TidList out(n + simd::kOutPad);
+  for (auto _ : state) {
+    const size_t k = ops.raw_bitmap(raw.data(), raw.size(), bitmap.data(),
+                                    bitmap.size(), out.data());
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+
+/// bitmap×bitmap cardinality (popcount of the AND) over a universe of
+/// `range(0)` bits, both sides ~40% dense. range(0) = 64k is the
+/// acceptance row.
+void BM_BitmapBitmapPopcount(benchmark::State& state, bool active) {
+  const uint32_t universe = static_cast<uint32_t>(state.range(0));
+  const TidList a = MakeList(universe * 2 / 5, universe, 7);
+  const TidList b = MakeList(universe * 2 / 5, universe, 8);
+  const std::vector<uint8_t> bm_a = MakeBitmap(a, universe);
+  const std::vector<uint8_t> bm_b = MakeBitmap(b, universe);
+  const simd::KernelOps& ops = Tier(active);
+  for (auto _ : state) {
+    const uint64_t k = ops.bitmap_bitmap_popcount(bm_a.data(), bm_a.size(),
+                                                  bm_b.data(), bm_b.size());
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * universe));
+}
+
+/// bitmap×bitmap with the result list materialized (offset extraction).
+void BM_BitmapBitmapExtract(benchmark::State& state, bool active) {
+  const uint32_t universe = static_cast<uint32_t>(state.range(0));
+  const TidList a = MakeList(universe / 10, universe, 9);
+  const TidList b = MakeList(universe / 10, universe, 10);
+  const std::vector<uint8_t> bm_a = MakeBitmap(a, universe);
+  const std::vector<uint8_t> bm_b = MakeBitmap(b, universe);
+  const simd::KernelOps& ops = Tier(active);
+  const size_t cap = std::min(a.size(), b.size());
+  TidList out(cap + simd::kOutPad);
+  for (auto _ : state) {
+    const size_t k = ops.bitmap_bitmap(bm_a.data(), bm_a.size(), bm_b.data(),
+                                       bm_b.size(), out.data(), cap);
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * universe));
+}
+
+void RegisterAll() {
+  struct Entry {
+    const char* name;
+    void (*fn)(benchmark::State&, bool);
+    int64_t lo;
+    int64_t hi;
+  };
+  // 64k (1 << 16) appears in every range — the acceptance-criteria row.
+  const Entry entries[] = {
+      {"raw_raw_merge", BM_RawRawMerge, 1 << 10, 1 << 18},
+      {"raw_raw_gallop", BM_RawRawGallop, 1 << 12, 1 << 18},
+      {"raw_bitmap_probe", BM_RawBitmapProbe, 1 << 10, 1 << 16},
+      {"bitmap_bitmap_popcount", BM_BitmapBitmapPopcount, 1 << 12, 1 << 20},
+      {"bitmap_bitmap_extract", BM_BitmapBitmapExtract, 1 << 12, 1 << 20},
+  };
+  for (const Entry& e : entries) {
+    // Multiplier 4 keeps 64k (the acceptance row) in every sweep.
+    benchmark::RegisterBenchmark(
+        (std::string(e.name) + "/scalar").c_str(),
+        [fn = e.fn](benchmark::State& s) { fn(s, false); })
+        ->RangeMultiplier(4)
+        ->Range(e.lo, e.hi);
+    benchmark::RegisterBenchmark(
+        (std::string(e.name) + "/active").c_str(),
+        [fn = e.fn](benchmark::State& s) { fn(s, true); })
+        ->RangeMultiplier(4)
+        ->Range(e.lo, e.hi);
+  }
+}
+
+}  // namespace
+}  // namespace demon
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("simd_level", demon::simd::ActiveKernelName());
+  demon::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,6 +27,11 @@ Checks enforced (all are CI-blocking):
                  lease + view API (`Lease`, `ItemView`, `PairView`) or the
                  decoded copies (`MaterializeItemList` / `MaterializePairList`)
                  so paging and encoding stay invisible to them.
+  raw-intrinsic  x86 SIMD intrinsics (`_mm_*` / `_mm256_*` / `_mm512_*`)
+                 outside src/tidlist/simd*. All vector code lives behind
+                 the tidlist/simd.h dispatch table so scalar fallbacks,
+                 CPUID gating, and the differential tests stay in one
+                 place.
 
 Suppress a finding with `// lint:allow(<check>)` on the offending line.
 
@@ -56,6 +61,16 @@ WALL_TIMER_RE = re.compile(r"\b(WallTimer|AccumulatingTimer)\b")
 TIDLIST_RAW_RE = re.compile(
     r"\b(?:ItemList|PairList)\s*\(|\bmutable_item_list_for_test\b"
 )
+# Raw x86 intrinsics (and the immintrin-family includes that supply them).
+INTRINSIC_RE = re.compile(
+    r"\b_mm(?:256|512)?_\w+|#\s*include\s*<(?:imm|emm|smm|tmm|nmm|wmm|pmm|x)"
+    r"intrin\.h>"
+)
+
+
+def is_simd_file(path, root):
+    return (path.is_relative_to(root / "src" / "tidlist")
+            and path.name.startswith("simd"))
 
 
 def strip_comments_and_strings(line, in_block_comment):
@@ -145,6 +160,10 @@ def lint_file(path, root, findings):
             report(lineno, "wall-timer",
                    "raw timer outside src/common/; instrument via "
                    "common/telemetry.h (ScopedTimer + histograms)")
+        if INTRINSIC_RE.search(code) and not is_simd_file(path, root):
+            report(lineno, "raw-intrinsic",
+                   "x86 intrinsics outside src/tidlist/simd*; add a kernel "
+                   "to the tidlist/simd.h dispatch table instead")
         if (TIDLIST_RAW_RE.search(code)
                 and not path.is_relative_to(root / "src" / "tidlist")):
             report(lineno, "tidlist-raw",

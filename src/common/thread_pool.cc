@@ -20,12 +20,33 @@ thread_local const ThreadPool* t_worker_pool = nullptr;
 
 bool ThreadPool::InWorker() const { return t_worker_pool == this; }
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : tokens_(num_threads) {
   DEMON_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one worker");
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+size_t ThreadPool::TryAcquireTokens(size_t want) {
+  if (want == 0) return 0;
+  size_t available = tokens_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (available == 0) return 0;
+    const size_t take = want < available ? want : available;
+    if (tokens_.compare_exchange_weak(available, available - take,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return take;
+    }
+  }
+}
+
+void ThreadPool::ReleaseTokens(size_t n) {
+  if (n == 0) return;
+  const size_t prev = tokens_.fetch_add(n, std::memory_order_release);
+  DEMON_CHECK_MSG(prev + n <= workers_.size(),
+                  "more tokens released than the pool owns");
 }
 
 ThreadPool::~ThreadPool() {
@@ -66,9 +87,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
-    busy_.fetch_sub(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -119,10 +138,22 @@ void ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Borrow one token per helper; a helper returns its token the moment its
+  // claim loop runs dry. Zero tokens (outer layers hold the whole budget)
+  // degrades to the caller claiming every index itself — serial, but on a
+  // thread that was already committed to this work.
+  const size_t helpers =
+      pool->TryAcquireTokens(std::min(n - 1, pool->num_threads()));
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   auto state = std::make_shared<ParallelForState>(n, &body);
-  const size_t helpers = std::min(n - 1, pool->num_threads());
   for (size_t h = 0; h < helpers; ++h) {
-    pool->Submit([state] { ClaimLoop(state); });
+    pool->Submit([pool, state] {
+      ClaimLoop(state);
+      pool->ReleaseTokens(1);
+    });
   }
   ClaimLoop(state);
   std::unique_lock<std::mutex> lock(state->mutex);

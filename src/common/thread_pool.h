@@ -49,14 +49,62 @@ class ThreadPool {
   /// fan-out layers use this to detect oversubscription.
   bool InWorker() const;
 
-  /// Workers not currently executing a task, by a relaxed snapshot. Purely
-  /// advisory: the answer can be stale by the time the caller acts on it,
-  /// which is fine for its one job — sizing nested shard fan-out, where a
+  /// \name Parallelism tokens
+  ///
+  /// The pool carries `num_threads()` tokens — a budget of extra threads
+  /// the process is allowed to occupy beyond the calling one. Every layer
+  /// that fans out first borrows tokens and sizes its fan-out to what it
+  /// got: the engine borrows one token per in-flight monitor task,
+  /// ParallelFor borrows one per helper it submits, and the counting layer
+  /// reads the remainder to size its shard split. Because every borrower
+  /// draws from the same budget, nested fan-out can never put more
+  /// runnable tasks in play than the pool has workers — the
+  /// oversubscription collapse the old per-layer idle-thread guess allowed
+  /// (each nesting level independently assumed the whole pool was free).
+  ///
+  /// Acquisition is best-effort and never blocks: a layer that gets zero
+  /// tokens runs serially on its own thread, which is exactly the desired
+  /// degradation under load.
+  /// @{
+
+  /// Takes up to `want` tokens from the budget; returns how many were
+  /// actually taken (possibly 0). Never blocks.
+  size_t TryAcquireTokens(size_t want);
+
+  /// Returns `n` previously acquired tokens.
+  void ReleaseTokens(size_t n);
+
+  /// Tokens currently unborrowed, by a relaxed snapshot. Purely advisory:
+  /// the answer can be stale by the time the caller acts on it, which is
+  /// fine for its one job — sizing nested shard fan-out, where a
   /// misjudgment costs a little load balance, never correctness.
-  size_t ApproxIdleThreads() const {
-    const size_t busy = busy_.load(std::memory_order_relaxed);
-    return busy >= workers_.size() ? 0 : workers_.size() - busy;
+  size_t ApproxAvailableTokens() const {
+    return tokens_.load(std::memory_order_relaxed);
   }
+
+  /// RAII borrow of up to `want` tokens for one scope — what the engine
+  /// wraps around each monitor task so counting layers underneath see a
+  /// smaller budget while the task runs.
+  class TokenLease {
+   public:
+    TokenLease(ThreadPool* pool, size_t want)
+        : pool_(pool),
+          acquired_(pool != nullptr ? pool->TryAcquireTokens(want) : 0) {}
+    ~TokenLease() {
+      if (acquired_ > 0) pool_->ReleaseTokens(acquired_);
+    }
+
+    TokenLease(const TokenLease&) = delete;
+    TokenLease& operator=(const TokenLease&) = delete;
+
+    size_t acquired() const { return acquired_; }
+
+   private:
+    ThreadPool* const pool_;
+    const size_t acquired_;
+  };
+
+  /// @}
 
  private:
   void WorkerLoop();
@@ -67,8 +115,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   /// Tasks queued plus tasks currently executing.
   size_t in_flight_ = 0;
-  /// Workers currently executing a task (relaxed; see ApproxIdleThreads).
-  std::atomic<size_t> busy_{0};
+  /// Unborrowed parallelism tokens (see the tokens section above).
+  std::atomic<size_t> tokens_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
@@ -85,6 +133,12 @@ class ThreadPool {
 /// never unrelated queued work — so nesting cannot deadlock. This is what
 /// lets the MaintenanceEngine share one pool between monitor-level and
 /// counting-level parallelism.
+///
+/// Helper submission is token-gated: one token is borrowed per helper and
+/// returned when that helper finishes, so a ParallelFor issued while the
+/// pool's budget is exhausted (every worker already claimed by an outer
+/// layer) submits nothing and runs the indices inline on the caller —
+/// serial fallback instead of queue pile-up.
 ///
 /// `body` must be safe to invoke concurrently for distinct indices. All
 /// writes made by `body` happen-before the return.

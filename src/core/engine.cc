@@ -115,6 +115,11 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
   if (pool_ != nullptr) {
     for (Entry* entry : routed) {
       pool_->Submit([this, entry, &block, block_span_id] {
+        // Each in-flight monitor borrows one parallelism token for its
+        // duration, so the counting layer underneath sizes its own
+        // fan-out to the workers that monitor-level parallelism has not
+        // already claimed.
+        ThreadPool::TokenLease lease(pool_.get(), 1);
         RunResponse(entry, block, block_span_id);
       });
     }
@@ -130,6 +135,7 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
     if (!entry->maintainer->has_offline_work()) continue;
     if (pool_ != nullptr && options_.defer_offline) {
       pool_->Submit([this, entry, block_span_id] {
+        ThreadPool::TokenLease lease(pool_.get(), 1);
         RunOffline(entry, block_span_id);
       });
       deferred = true;

@@ -14,6 +14,11 @@ namespace {
 // only scheduling (sums are order-independent).
 constexpr size_t kMinTransactionsPerShard = 256;
 constexpr size_t kMinItemsetsPerShard = 4;
+// ECUT's finer-grained floor: estimated TID slots per shard. An ECUT call
+// over few-but-tiny lists (the common steady-state candidate batch) is not
+// worth a fan-out even when it clears the itemset floor; the estimate
+// comes from directory cardinalities alone, so it costs no payload I/O.
+constexpr uint64_t kMinSlotsPerShard = 4096;
 
 // [begin, end) of shard `shard` when `work` units are split as evenly as
 // possible over `shards` contiguous ranges.
@@ -30,14 +35,17 @@ std::pair<size_t, size_t> ShardRange(size_t work, size_t shard,
 size_t CountingContext::ShardCountFor(size_t work,
                                       size_t min_per_shard) const {
   if (pool_ == nullptr || pool_->num_threads() <= 1) return 1;
-  size_t capacity = pool_->num_threads();
-  if (pool_->InWorker()) {
-    // Nested fan-out: the calling task already occupies a worker, so only
-    // idle workers can actually help — submitting more shards than that
-    // queues them behind busy monitor-level tasks and serializes the whole
-    // batch with extra scheduling overhead on top.
-    capacity = std::min(capacity, pool_->ApproxIdleThreads() + 1);
-  }
+  // Capacity follows the pool's token budget: the calling thread plus
+  // whatever tokens outer layers (in-flight monitor tasks, enclosing
+  // ParallelFors) have left unborrowed. When monitors hold the whole
+  // budget each one counts serially on its own worker — the behavior that
+  // fixed the 4-thread regression in BENCH_engine.json — and as monitors
+  // retire, their returned tokens let late counting calls fan back out.
+  // The snapshot is advisory; ParallelFor re-acquires tokens for real at
+  // submission time, so a stale read costs load balance, never
+  // correctness.
+  const size_t capacity =
+      std::min(pool_->num_threads(), pool_->ApproxAvailableTokens() + 1);
   const size_t by_work = work / min_per_shard;
   return std::max<size_t>(1, std::min(by_work, capacity));
 }
@@ -100,15 +108,17 @@ std::vector<uint64_t> CountingContext::PtScan(
       ShardCountFor(total_transactions, kMinTransactionsPerShard);
   PrepareScratch(shards);
 
-  // Build the prefix tree once in shard 0's scratch; the other shards copy
-  // it (structure and zeroed counts) and count their transaction range
-  // into their own clone.
+  // Build the pointer tree once in shard 0's scratch, flatten it to the
+  // array image the transaction walk runs on, and give every shard its
+  // own copy (flat arrays, so the copy is a few memcpys — far cheaper
+  // than cloning the pointer tree's per-node child vectors).
   PrefixTree& master = scratch_[0]->tree;
   master.Clear();
   std::vector<size_t> ids;
   ids.reserve(itemsets.size());
   for (const Itemset& itemset : itemsets) ids.push_back(master.Insert(itemset));
-  for (size_t s = 1; s < shards; ++s) scratch_[s]->tree = master;
+  scratch_[0]->flat.BuildFrom(master);
+  for (size_t s = 1; s < shards; ++s) scratch_[s]->flat = scratch_[0]->flat;
 
   const bool collect_stats = CollectStats(stats);
   ParallelFor(shards > 1 ? pool_ : nullptr, shards, [&](size_t shard) {
@@ -129,12 +139,12 @@ std::vector<uint64_t> CountingContext::PtScan(
                                  end - offset);
       if (collect_stats) {
         for (size_t i = lo; i < hi; ++i) {
-          s.tree.CountTransaction(transactions[i]);
+          s.flat.CountTransaction(transactions[i]);
           touched += transactions[i].size();
         }
       } else {
         for (size_t i = lo; i < hi; ++i) {
-          s.tree.CountTransaction(transactions[i]);
+          s.flat.CountTransaction(transactions[i]);
         }
       }
       offset += transactions.size();
@@ -144,8 +154,8 @@ std::vector<uint64_t> CountingContext::PtScan(
 
   std::vector<uint64_t> counts(itemsets.size(), 0);
   for (size_t shard = 0; shard < shards; ++shard) {
-    const PrefixTree& tree = scratch_[shard]->tree;
-    for (size_t i = 0; i < ids.size(); ++i) counts[i] += tree.CountOf(ids[i]);
+    const FlatPrefixTree& flat = scratch_[shard]->flat;
+    for (size_t i = 0; i < ids.size(); ++i) counts[i] += flat.CountOf(ids[i]);
   }
   MergeStats(shards, stats);
   if (slots_fetched_ != nullptr) {
@@ -158,6 +168,39 @@ std::vector<uint64_t> CountingContext::PtScan(
     itemsets_counted_->Add(itemsets.size());
   }
   return counts;
+}
+
+uint64_t CountingContext::EstimateEcutSlots(
+    const std::vector<Itemset>& itemsets, const TidListStore& store) {
+  constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max();
+  size_t num_items = 0;
+  for (const auto& block : store.blocks()) {
+    num_items = std::max(num_items, block->num_items());
+  }
+  // Per-item totals are filled lazily — only items the batch actually
+  // names are summed — into a buffer reused across calls.
+  item_totals_.assign(num_items, kUnknown);
+  uint64_t total = 0;
+  for (const Itemset& itemset : itemsets) {
+    uint64_t best = kUnknown;
+    for (Item item : itemset) {
+      if (item >= num_items) {
+        best = 0;
+        break;
+      }
+      uint64_t& slot = item_totals_[item];
+      if (slot == kUnknown) {
+        uint64_t sum = 0;
+        for (const auto& block : store.blocks()) {
+          if (item < block->num_items()) sum += block->ItemListSize(item);
+        }
+        slot = sum;
+      }
+      best = std::min(best, slot);
+    }
+    total += best == kUnknown ? 0 : best;
+  }
+  return total;
 }
 
 void CountingContext::BuildCoverPlan(const Itemset& itemset,
@@ -239,7 +282,16 @@ std::vector<uint64_t> CountingContext::Ecut(
   DEMON_TRACE_SPAN(call_span, telemetry_, use_pair_lists ? "ecut+" : "ecut",
                    "counting");
   [[maybe_unused]] const uint64_t call_span_id = DEMON_SPAN_ID(call_span);
-  const size_t shards = ShardCountFor(itemsets.size(), kMinItemsetsPerShard);
+  size_t shards = ShardCountFor(itemsets.size(), kMinItemsetsPerShard);
+  if (shards > 1) {
+    // Second floor: estimated intersection work, so a batch of many tiny
+    // candidates stays serial. Each itemset is charged its smallest item's
+    // total directory cardinality — the bound on what the smallest-first
+    // k-way kernel touches.
+    const uint64_t slots = EstimateEcutSlots(itemsets, store);
+    shards = std::min(shards, static_cast<size_t>(std::max<uint64_t>(
+                                  1, slots / kMinSlotsPerShard)));
+  }
   PrepareScratch(shards);
 
   // Resident blocks first: while this shard set works through the already

@@ -130,6 +130,9 @@ class CountingContext {
   /// while workers use them.
   struct Scratch {
     PrefixTree tree;
+    /// Flat-array image of the candidate tree PT-Scan's transaction walk
+    /// runs on (rebuilt once per call from shard 0's pointer tree).
+    FlatPrefixTree flat;
     std::vector<uint64_t> item_counts;
     IntersectionScratch intersect;
     std::vector<TidListView> views;
@@ -143,12 +146,20 @@ class CountingContext {
   };
 
   /// Number of shards for `work` units with at least `min_per_shard` units
-  /// each — 1 without a pool, at most the pool's worker count with one.
-  /// When called from inside a pool task (nested fan-out), only idle
-  /// workers plus the caller count as capacity: queueing helper shards
-  /// behind busy workers is the oversubscription that made 4-thread
-  /// counting slower than 1-thread in BENCH_engine.json.
+  /// each — 1 without a pool; with one, at most the calling thread plus
+  /// the pool's unborrowed parallelism tokens (ThreadPool's pool-wide
+  /// budget). Sizing to the token remainder is what keeps nested fan-out
+  /// from queueing shards behind busy monitor-level tasks — the
+  /// oversubscription that made 4-thread counting slower than 1-thread in
+  /// BENCH_engine.json.
   size_t ShardCountFor(size_t work, size_t min_per_shard) const;
+
+  /// Estimated total TID slots an ECUT pass over `itemsets` touches, from
+  /// directory cardinalities only (no payload I/O): each itemset is
+  /// charged its smallest item's total list size across blocks. Fills
+  /// item_totals_ lazily for the items the batch names.
+  uint64_t EstimateEcutSlots(const std::vector<Itemset>& itemsets,
+                             const TidListStore& store);
 
   /// Grows scratch_ to `shards` entries and resets their per-call stats.
   void PrepareScratch(size_t shards);
@@ -175,6 +186,9 @@ class CountingContext {
 
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Scratch>> scratch_;
+  /// Lazy per-item total-cardinality cache for EstimateEcutSlots (reused
+  /// buffer; rebuilt each Ecut call).
+  std::vector<uint64_t> item_totals_;
   /// All null in DEMON_TELEMETRY=OFF builds (see set_telemetry).
   telemetry::TelemetryRegistry* telemetry_ = nullptr;
   telemetry::Counter* slots_fetched_ = nullptr;

@@ -161,6 +161,71 @@ void PrefixTree::ResetCounts() {
   std::fill(counts_.begin(), counts_.end(), 0);
 }
 
+void FlatPrefixTree::BuildFrom(const PrefixTree& tree) {
+  const size_t n = tree.nodes_.size();
+  item_.resize(n);
+  terminal_.resize(n);
+  child_begin_.resize(n);
+  child_count_.resize(n);
+  counts_.assign(tree.counts_.size(), 0);
+  bfs_src_.resize(n);
+  // Breadth-first relayout. The slot array doubles as the BFS queue:
+  // slots are processed in ascending order and each node's children are
+  // appended at `next_slot`, which makes every child range contiguous and
+  // keeps sibling order (and therefore the strictly-increasing child
+  // items) intact. Every node of the source tree is reachable exactly
+  // once (append-only construction; audited), so the sweep fills all n
+  // slots.
+  bfs_src_[0] = 0;
+  size_t next_slot = 1;
+  for (size_t slot = 0; slot < n; ++slot) {
+    const PrefixTree::Node& src = tree.nodes_[bfs_src_[slot]];
+    item_[slot] = src.item;
+    terminal_[slot] = src.terminal_id;
+    child_begin_[slot] = static_cast<uint32_t>(next_slot);
+    child_count_[slot] = static_cast<uint32_t>(src.children.size());
+    for (const uint32_t child : src.children) {
+      bfs_src_[next_slot++] = child;
+    }
+  }
+  DEMON_CHECK_MSG(next_slot == n, "source tree has unreachable nodes");
+}
+
+void FlatPrefixTree::CountTransaction(const Transaction& transaction,
+                                      uint64_t weight) {
+  const auto& items = transaction.items();
+  if (items.empty()) return;
+  weight_ = weight;
+  CountRecursive(0, items.data(), items.data() + items.size());
+}
+
+void FlatPrefixTree::CountRecursive(uint32_t node, const Item* pos,
+                                    const Item* end) {
+  if (terminal_[node] >= 0) counts_[terminal_[node]] += weight_;
+  uint32_t c = child_begin_[node];
+  const uint32_t cend = c + child_count_[node];
+  // Merge-walk the contiguous child slots (items strictly increasing)
+  // against the sorted remaining items — same descent as the pointer
+  // tree, minus the per-child pointer chase.
+  const Item* p = pos;
+  while (c < cend && p != end) {
+    const Item child_item = item_[c];
+    if (child_item < *p) {
+      ++c;
+    } else if (*p < child_item) {
+      ++p;
+    } else {
+      CountRecursive(c, p + 1, end);
+      ++c;
+      ++p;
+    }
+  }
+}
+
+void FlatPrefixTree::ResetCounts() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
 void PrefixTree::Clear() {
   nodes_.clear();
   nodes_.push_back(Node{});

@@ -65,6 +65,8 @@ class PrefixTree {
   void AuditInto(audit::AuditResult* audit) const;
 
  private:
+  friend class FlatPrefixTree;
+
   struct Node {
     Item item = 0;
     int32_t terminal_id = -1;  // index into counts_, or -1
@@ -76,6 +78,57 @@ class PrefixTree {
 
   std::vector<Node> nodes_;
   std::vector<uint64_t> counts_;
+  uint64_t weight_ = 1;
+};
+
+/// \brief Read-mostly flat-array image of a PrefixTree for the counting
+/// walk — PT-Scan's hottest loop.
+///
+/// The pointer tree is the right structure while itemsets are being
+/// inserted (children vectors grow in place), but its nodes are heap
+/// scattered and each holds a std::vector, so the per-transaction descent
+/// chases two pointers per child visit. The flat image re-lays the nodes
+/// out once per counting pass, breadth-first, as structure-of-arrays:
+/// every node's children occupy one contiguous index range (BFS assigns
+/// child slots in queue order — the array analog of a first-child/
+/// next-sibling layout), so the merge-walk of children against the
+/// transaction streams one uint32 array. Terminal ids are preserved, so
+/// CountOf is interchangeable with the source tree's.
+///
+/// Build with BuildFrom once per quiesced batch (CountingContext does this
+/// after inserting the candidate set), then count any number of
+/// transactions; counts accumulate exactly like the pointer tree's
+/// (bit-identical — pinned by prefix_tree_test.cc).
+class FlatPrefixTree {
+ public:
+  /// Rebuilds this image from `tree` with all counts zero. Buffers are
+  /// reused across builds, so steady-state rebuilds allocate nothing.
+  void BuildFrom(const PrefixTree& tree);
+
+  size_t NumItemsets() const { return counts_.size(); }
+
+  /// Adds `weight` to the count of every itemset of the source tree that
+  /// is a subset of the (sorted) transaction.
+  void CountTransaction(const Transaction& transaction, uint64_t weight = 1);
+
+  /// Count accumulated for the source tree's itemset id.
+  uint64_t CountOf(size_t id) const { return counts_[id]; }
+
+  void ResetCounts();
+
+ private:
+  void CountRecursive(uint32_t node, const Item* pos, const Item* end);
+
+  /// Structure-of-arrays node storage, indexed by BFS slot; slot 0 is the
+  /// root. children of slot n are slots [child_begin_[n],
+  /// child_begin_[n] + child_count_[n]), items strictly increasing.
+  std::vector<Item> item_;
+  std::vector<int32_t> terminal_;
+  std::vector<uint32_t> child_begin_;
+  std::vector<uint32_t> child_count_;
+  std::vector<uint64_t> counts_;
+  /// Build-time map flat slot -> source node index (kept for buffer reuse).
+  std::vector<uint32_t> bfs_src_;
   uint64_t weight_ = 1;
 };
 

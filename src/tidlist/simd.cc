@@ -1,0 +1,193 @@
+#include "tidlist/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "tidlist/tidlist.h"
+
+namespace demon::simd {
+
+namespace {
+
+// --- scalar tier: the semantic reference every wider tier must match ----
+
+size_t ScalarRawRaw(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb, uint32_t* out) {
+  const uint32_t* small = na <= nb ? a : b;
+  const size_t nsmall = na <= nb ? na : nb;
+  const uint32_t* large = na <= nb ? b : a;
+  const size_t nlarge = na <= nb ? nb : na;
+  if (nsmall == 0) return 0;
+  size_t n = 0;
+  if (nlarge / (nsmall + 1) >= kGallopRatio) {
+    // Gallop through the large list: each element of the small list only
+    // advances the cursor, never rewinds it.
+    const uint32_t* lo = large;
+    const uint32_t* const end = large + nlarge;
+    for (size_t i = 0; i < nsmall; ++i) {
+      const uint32_t v = small[i];
+      lo = GallopLowerBound(lo, end, v);
+      if (lo == end) break;
+      out[n] = v;
+      n += static_cast<size_t>(*lo == v);
+    }
+  } else {
+    // Branchless merge: the candidate is stored unconditionally and the
+    // output cursor advances only on a match, so the loop body has no
+    // unpredictable branches (matches are rare and random in practice).
+    const uint32_t* pa = small;
+    const uint32_t* const ea = pa + nsmall;
+    const uint32_t* pb = large;
+    const uint32_t* const eb = pb + nlarge;
+    while (pa < ea && pb < eb) {
+      const uint32_t x = *pa;
+      const uint32_t y = *pb;
+      out[n] = x;
+      n += static_cast<size_t>(x == y);
+      pa += static_cast<size_t>(x <= y);
+      pb += static_cast<size_t>(y <= x);
+    }
+  }
+  return n;
+}
+
+uint64_t ScalarRawRawSize(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  const uint32_t* small = na <= nb ? a : b;
+  const size_t nsmall = na <= nb ? na : nb;
+  const uint32_t* large = na <= nb ? b : a;
+  const size_t nlarge = na <= nb ? nb : na;
+  if (nsmall == 0) return 0;
+  uint64_t n = 0;
+  if (nlarge / (nsmall + 1) >= kGallopRatio) {
+    const uint32_t* lo = large;
+    const uint32_t* const end = large + nlarge;
+    for (size_t i = 0; i < nsmall; ++i) {
+      const uint32_t v = small[i];
+      lo = GallopLowerBound(lo, end, v);
+      if (lo == end) break;
+      n += static_cast<uint64_t>(*lo == v);
+    }
+  } else {
+    const uint32_t* pa = small;
+    const uint32_t* const ea = pa + nsmall;
+    const uint32_t* pb = large;
+    const uint32_t* const eb = pb + nlarge;
+    while (pa < ea && pb < eb) {
+      const uint32_t x = *pa;
+      const uint32_t y = *pb;
+      n += static_cast<uint64_t>(x == y);
+      pa += static_cast<size_t>(x <= y);
+      pb += static_cast<size_t>(y <= x);
+    }
+  }
+  return n;
+}
+
+bool ScalarBitmapTest(const uint8_t* bitmap, size_t bytes, uint32_t value) {
+  const size_t byte = static_cast<size_t>(value) / 8;
+  if (byte >= bytes) return false;
+  return (bitmap[byte] >> (value % 8)) & 1;
+}
+
+size_t ScalarRawBitmap(const uint32_t* values, size_t n,
+                       const uint8_t* bitmap, size_t bitmap_bytes,
+                       uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[k] = values[i];
+    k += static_cast<size_t>(ScalarBitmapTest(bitmap, bitmap_bytes,
+                                              values[i]));
+  }
+  return k;
+}
+
+uint64_t ScalarRawBitmapSize(const uint32_t* values, size_t n,
+                             const uint8_t* bitmap, size_t bitmap_bytes) {
+  uint64_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    k += static_cast<uint64_t>(ScalarBitmapTest(bitmap, bitmap_bytes,
+                                                values[i]));
+  }
+  return k;
+}
+
+/// Word `word` of a bitmap extent, tolerating a short tail (missing bytes
+/// read as zero) — same defensive read as the codec's BitmapWord.
+uint64_t ScalarBitmapWord(const uint8_t* bitmap, size_t bytes, size_t word) {
+  uint64_t w = 0;
+  const size_t offset = word * sizeof(uint64_t);
+  if (offset < bytes) {
+    const size_t n = bytes - offset < sizeof(uint64_t) ? bytes - offset
+                                                       : sizeof(uint64_t);
+    std::memcpy(&w, bitmap + offset, n);
+  }
+  return w;
+}
+
+size_t ScalarBitmapBitmap(const uint8_t* a, size_t a_bytes, const uint8_t* b,
+                          size_t b_bytes, uint32_t* out, size_t cap) {
+  const size_t common = a_bytes < b_bytes ? a_bytes : b_bytes;
+  const size_t words = common / sizeof(uint64_t) +
+                       ((common % sizeof(uint64_t)) != 0 ? 1 : 0);
+  size_t k = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits =
+        ScalarBitmapWord(a, a_bytes, w) & ScalarBitmapWord(b, b_bytes, w);
+    const uint32_t base = static_cast<uint32_t>(w * 64);
+    while (bits != 0 && k < cap) {
+      const int bit = __builtin_ctzll(bits);
+      out[k++] = base + static_cast<uint32_t>(bit);
+      bits &= bits - 1;
+    }
+  }
+  return k;
+}
+
+uint64_t ScalarBitmapBitmapPopcount(const uint8_t* a, size_t a_bytes,
+                                    const uint8_t* b, size_t b_bytes) {
+  const size_t common = a_bytes < b_bytes ? a_bytes : b_bytes;
+  const size_t words = common / sizeof(uint64_t) +
+                       ((common % sizeof(uint64_t)) != 0 ? 1 : 0);
+  uint64_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(
+        ScalarBitmapWord(a, a_bytes, w) & ScalarBitmapWord(b, b_bytes, w)));
+  }
+  return total;
+}
+
+constexpr KernelOps kScalarOps = {
+    ScalarRawRaw,       ScalarRawRawSize,
+    ScalarRawBitmap,    ScalarRawBitmapSize,
+    ScalarBitmapBitmap, ScalarBitmapBitmapPopcount,
+    "scalar",
+};
+
+bool ForceScalarFromEnv() {
+  const char* env = std::getenv("DEMON_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+const KernelOps& ResolveOps() {
+  if (ForceScalarFromEnv()) return kScalarOps;
+  if (const KernelOps* avx2 = internal::Avx2OpsOrNull()) return *avx2;
+  if (const KernelOps* sse4 = internal::Sse4OpsOrNull()) return *sse4;
+  return kScalarOps;
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() { return kScalarOps; }
+
+const KernelOps& ActiveOps() {
+  // Resolved once: CPUID and the environment cannot change mid-process,
+  // and a stable choice keeps every counting call on one tier.
+  static const KernelOps& ops = ResolveOps();
+  return ops;
+}
+
+const char* ActiveKernelName() { return ActiveOps().name; }
+
+}  // namespace demon::simd

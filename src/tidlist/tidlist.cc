@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "tidlist/simd.h"
 
 namespace demon {
 
@@ -23,49 +24,17 @@ const uint32_t* GallopLowerBound(const uint32_t* first, const uint32_t* last,
 
 void IntersectRawInto(const uint32_t* a, size_t na, const uint32_t* b,
                       size_t nb, TidList* out) {
-  const uint32_t* small = na <= nb ? a : b;
-  const size_t nsmall = na <= nb ? na : nb;
-  const uint32_t* large = na <= nb ? b : a;
-  const size_t nlarge = na <= nb ? nb : na;
-  if (nsmall == 0) {
+  const size_t bound = na <= nb ? na : nb;
+  if (bound == 0) {
     out->clear();
     return;
   }
-  // Size for the worst case up front so the loops can store through a raw
-  // pointer; shrinking at the end keeps the capacity for the next call.
-  out->resize(nsmall);
-  uint32_t* const out_data = out->data();
-  size_t n = 0;
-
-  if (nlarge / (nsmall + 1) >= kGallopRatio) {
-    // Gallop through the large list: each element of the small list only
-    // advances the cursor, never rewinds it.
-    const uint32_t* lo = large;
-    const uint32_t* const end = large + nlarge;
-    for (size_t i = 0; i < nsmall; ++i) {
-      const uint32_t v = small[i];
-      lo = GallopLowerBound(lo, end, v);
-      if (lo == end) break;
-      out_data[n] = v;
-      n += static_cast<size_t>(*lo == v);
-    }
-  } else {
-    // Branchless merge: the candidate is stored unconditionally and the
-    // output cursor advances only on a match, so the loop body has no
-    // unpredictable branches (matches are rare and random in practice).
-    const uint32_t* pa = small;
-    const uint32_t* const ea = pa + nsmall;
-    const uint32_t* pb = large;
-    const uint32_t* const eb = pb + nlarge;
-    while (pa < ea && pb < eb) {
-      const uint32_t x = *pa;
-      const uint32_t y = *pb;
-      out_data[n] = x;
-      n += static_cast<size_t>(x == y);
-      pa += static_cast<size_t>(x <= y);
-      pb += static_cast<size_t>(y <= x);
-    }
-  }
+  // Size for the worst case plus the vector-store slack the kernels are
+  // allowed to use; shrinking at the end keeps the capacity for later
+  // calls. The kernel (scalar / SSE4 / AVX2, resolved once per process)
+  // writes through a raw pointer and returns the true count.
+  out->resize(bound + simd::kOutPad);
+  const size_t n = simd::ActiveOps().raw_raw(a, na, b, nb, out->data());
   out->resize(n);
 }
 
@@ -90,14 +59,28 @@ uint64_t IntersectionSize(const std::vector<const TidList*>& lists,
             [](const TidList* a, const TidList* b) {
               return a->size() < b->size();
             });
+  // The final fold only needs a cardinality, so it takes the store-free
+  // kernel; earlier folds must materialize the running intersection.
+  const size_t last = scratch->order.size() - 1;
+  const simd::KernelOps& ops = simd::ActiveOps();
+  if (last == 1) {
+    return ops.raw_raw_size(scratch->order[0]->data(),
+                            scratch->order[0]->size(),
+                            scratch->order[1]->data(),
+                            scratch->order[1]->size());
+  }
   TidList& current = scratch->current;
   TidList& next = scratch->next;
   IntersectInto(*scratch->order[0], *scratch->order[1], &current);
-  for (size_t i = 2; i < scratch->order.size() && !current.empty(); ++i) {
+  for (size_t i = 2; i < last; ++i) {
+    if (current.empty()) return 0;
     IntersectInto(current, *scratch->order[i], &next);
     current.swap(next);
   }
-  return current.size();
+  if (current.empty()) return 0;
+  return ops.raw_raw_size(current.data(), current.size(),
+                          scratch->order[last]->data(),
+                          scratch->order[last]->size());
 }
 
 uint64_t IntersectionSize(const std::vector<const TidList*>& lists) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "tidlist/simd.h"
 
 namespace demon {
 
@@ -117,13 +118,9 @@ void IntersectRawBitmap(const TidListView& raw, const TidListView& bitmap,
                         TidList* out) {
   const uint32_t* p = RawBegin(raw);
   const size_t n = RawCount(raw);
-  out->resize(n);
-  uint32_t* const out_data = out->data();
-  size_t k = 0;
-  for (size_t i = 0; i < n; ++i) {
-    out_data[k] = p[i];
-    k += static_cast<size_t>(BitmapTest(bitmap, p[i]));
-  }
+  out->resize(n + simd::kOutPad);
+  const size_t k = simd::ActiveOps().raw_bitmap(p, n, bitmap.data,
+                                                bitmap.bytes, out->data());
   out->resize(k);
 }
 
@@ -181,23 +178,55 @@ void IntersectDeltaBitmap(const TidListView& delta, const TidListView& bitmap,
 
 void IntersectBitmapBitmap(const TidListView& a, const TidListView& b,
                            TidList* out) {
-  const size_t words =
-      std::min(a.bytes, b.bytes) / kBitmapWordBytes +
-      ((std::min(a.bytes, b.bytes) % kBitmapWordBytes) != 0 ? 1 : 0);
-  out->resize(std::min(a.num_tids, b.num_tids));
-  uint32_t* const out_data = out->data();
-  size_t k = 0;
-  const size_t cap = out->size();
-  for (size_t w = 0; w < words; ++w) {
-    uint64_t bits = BitmapWord(a, w) & BitmapWord(b, w);
-    const uint32_t base = static_cast<uint32_t>(w * 64);
-    while (bits != 0 && k < cap) {
-      const int bit = __builtin_ctzll(bits);
-      out_data[k++] = base + static_cast<uint32_t>(bit);
-      bits &= bits - 1;
+  const size_t cap = std::min(a.num_tids, b.num_tids);
+  out->resize(cap + simd::kOutPad);
+  const size_t k = simd::ActiveOps().bitmap_bitmap(a.data, a.bytes, b.data,
+                                                   b.bytes, out->data(), cap);
+  out->resize(k);
+}
+
+// --- size-only pairwise kernels (no output list) -------------------------
+//
+// The delta-involving pairs stream the compressed side like the storing
+// kernels above but skip the stores; the raw/bitmap pairs go through the
+// dispatched store-free kernels.
+
+uint64_t SizeRawDelta(const TidListView& raw, const TidListView& delta) {
+  const uint32_t* lo = RawBegin(raw);
+  const uint32_t* const end = lo + RawCount(raw);
+  uint64_t k = 0;
+  for (DeltaCursor cur(delta); cur.valid && lo != end; cur.Advance()) {
+    lo = GallopLowerBound(lo, end, cur.value);
+    if (lo == end) break;
+    k += static_cast<uint64_t>(*lo == cur.value);
+  }
+  return k;
+}
+
+uint64_t SizeDeltaDelta(const TidListView& a, const TidListView& b) {
+  uint64_t k = 0;
+  DeltaCursor ca(a);
+  DeltaCursor cb(b);
+  while (ca.valid && cb.valid) {
+    if (ca.value < cb.value) {
+      ca.Advance();
+    } else if (cb.value < ca.value) {
+      cb.Advance();
+    } else {
+      ++k;
+      ca.Advance();
+      cb.Advance();
     }
   }
-  out->resize(k);
+  return k;
+}
+
+uint64_t SizeDeltaBitmap(const TidListView& delta, const TidListView& bitmap) {
+  uint64_t k = 0;
+  for (DeltaCursor cur(delta); cur.valid; cur.Advance()) {
+    k += static_cast<uint64_t>(BitmapTest(bitmap, cur.value));
+  }
+  return k;
 }
 
 }  // namespace
@@ -446,6 +475,48 @@ void IntersectInto(const TidList& a, const TidListView& b, TidList* out) {
   IntersectInto(raw, b, out);
 }
 
+uint64_t IntersectSize(const TidListView& a, const TidListView& b) {
+  if (a.num_tids == 0 || b.num_tids == 0) return 0;
+  const simd::KernelOps& ops = simd::ActiveOps();
+  switch (a.encoding) {
+    case TidEncoding::kRaw:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          return ops.raw_raw_size(RawBegin(a), RawCount(a), RawBegin(b),
+                                  RawCount(b));
+        case TidEncoding::kDelta:
+          return SizeRawDelta(a, b);
+        case TidEncoding::kBitmap:
+          return ops.raw_bitmap_size(RawBegin(a), RawCount(a), b.data,
+                                     b.bytes);
+      }
+      break;
+    case TidEncoding::kDelta:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          return SizeRawDelta(b, a);
+        case TidEncoding::kDelta:
+          return SizeDeltaDelta(a, b);
+        case TidEncoding::kBitmap:
+          return SizeDeltaBitmap(a, b);
+      }
+      break;
+    case TidEncoding::kBitmap:
+      switch (b.encoding) {
+        case TidEncoding::kRaw:
+          return ops.raw_bitmap_size(RawBegin(b), RawCount(b), a.data,
+                                     a.bytes);
+        case TidEncoding::kDelta:
+          return SizeDeltaBitmap(b, a);
+        case TidEncoding::kBitmap:
+          return ops.bitmap_bitmap_popcount(a.data, a.bytes, b.data, b.bytes);
+      }
+      break;
+  }
+  DEMON_CHECK_MSG(false, "unknown TID-list encoding pair");
+  return 0;
+}
+
 uint64_t IntersectionSize(const std::vector<TidListView>& views,
                           IntersectionScratch* scratch) {
   DEMON_CHECK(!views.empty());
@@ -459,16 +530,30 @@ uint64_t IntersectionSize(const std::vector<TidListView>& views,
             [&views](uint32_t a, uint32_t b) {
               return views[a].num_tids < views[b].num_tids;
             });
+  // As in the raw-list IntersectionSize, the final fold never needs the
+  // result materialized — it goes through the size-only pairwise kernels
+  // (popcount for bitmap×bitmap, store-free merges otherwise).
+  const size_t last = scratch->view_order.size() - 1;
+  if (last == 1) {
+    return IntersectSize(views[scratch->view_order[0]],
+                         views[scratch->view_order[1]]);
+  }
   TidList& current = scratch->current;
   TidList& next = scratch->next;
   IntersectInto(views[scratch->view_order[0]], views[scratch->view_order[1]],
                 &current);
-  for (size_t i = 2; i < scratch->view_order.size() && !current.empty();
-       ++i) {
+  for (size_t i = 2; i < last; ++i) {
+    if (current.empty()) return 0;
     IntersectInto(current, views[scratch->view_order[i]], &next);
     current.swap(next);
   }
-  return current.size();
+  if (current.empty()) return 0;
+  const TidListView& final_view = views[scratch->view_order[last]];
+  const TidListView running{
+      TidEncoding::kRaw, static_cast<uint32_t>(current.size()),
+      final_view.universe, reinterpret_cast<const uint8_t*>(current.data()),
+      current.size() * sizeof(uint32_t)};
+  return IntersectSize(running, final_view);
 }
 
 }  // namespace demon

@@ -93,6 +93,13 @@ void IntersectInto(const TidListView& a, const TidListView& b, TidList* out);
 /// the k-way intersection (the running intersection is always raw).
 void IntersectInto(const TidList& a, const TidListView& b, TidList* out);
 
+/// \brief Cardinality of a ∩ b without materializing the result — the
+/// store-free twin of the pairwise IntersectInto, covering all nine
+/// encoding pairs (popcount for bitmap×bitmap, probe counts for
+/// bitmap×sparse, cursor merges for delta). This is the kernel the final
+/// fold of a k-way intersection uses.
+uint64_t IntersectSize(const TidListView& a, const TidListView& b);
+
 /// \brief Cardinality of the intersection of encoded `views` — the
 /// view-level twin of IntersectionSize over raw lists. Intersects
 /// smallest-first with early exit on empty; only the running intersection

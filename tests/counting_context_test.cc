@@ -189,11 +189,12 @@ TEST(CountingContextTest, NestedCallInsidePoolTaskDoesNotDeadlock) {
 }
 
 // Regression for the nested-oversubscription guard: when counting runs
-// inside a pool task (the engine's monitor-level parallelism), nested
-// ShardCountFor must claim only idle workers plus the caller, and the
-// counts must stay bit-identical to the sequential path. Before the guard,
-// each of N busy workers fanned out N more shards that queued behind the
-// other busy workers — 4-thread counting slower than 1-thread.
+// inside a pool task that holds a parallelism token (the engine's
+// monitor-level fan-out), nested ShardCountFor must size itself to the
+// remaining token budget, and the counts must stay bit-identical to the
+// sequential path. Before the token scheme, each of N busy workers fanned
+// out N more shards that queued behind the other busy workers — 4-thread
+// counting slower than 1-thread.
 TEST(CountingContextTest, NestedEcutCapsFanOutAndMatchesSequential) {
   const Fixture fixture = MakeFixture(3, 400, 60, 41);
   const auto itemsets = RandomItemsets(120, 3, fixture.num_items, 42);
@@ -202,15 +203,17 @@ TEST(CountingContextTest, NestedEcutCapsFanOutAndMatchesSequential) {
 
   ThreadPool pool(4);
   EXPECT_FALSE(pool.InWorker());
-  EXPECT_EQ(pool.ApproxIdleThreads(), 4u);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 4u);
 
-  // Saturate the pool: every worker runs a counting call, so each nested
-  // fan-out sees zero idle threads and must run its shards inline.
+  // Saturate the pool: every worker runs a counting call holding one
+  // token (as the engine does), so the four leases drain the budget and
+  // each nested fan-out must run its shards inline.
   std::vector<CountingContext> contexts(4, CountingContext(&pool));
   std::vector<std::vector<uint64_t>> results(contexts.size());
   std::vector<unsigned char> in_worker(contexts.size(), 0);
   for (size_t i = 0; i < contexts.size(); ++i) {
     pool.Submit([&, i] {
+      ThreadPool::TokenLease lease(&pool, 1);
       in_worker[i] = pool.InWorker() ? 1 : 0;
       results[i] = contexts[i].Ecut(itemsets, fixture.plain_store, false);
     });
@@ -220,9 +223,13 @@ TEST(CountingContextTest, NestedEcutCapsFanOutAndMatchesSequential) {
     EXPECT_EQ(in_worker[i], 1) << "task " << i << " not on a pool worker";
     EXPECT_EQ(results[i], expected) << "task " << i;
   }
-  // Top-level calls on the now-idle pool still parallelize and agree.
+  // Every lease returned its token, and top-level calls on the now-idle
+  // pool still parallelize and agree.
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 4u);
   CountingContext top(&pool);
   EXPECT_EQ(top.Ecut(itemsets, fixture.plain_store, false), expected);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 4u);
 }
 
 TEST(CountingContextTest, BordersMaintainerWithPoolMatchesWithout) {

@@ -106,5 +106,108 @@ TEST(PrefixTreeTest, RandomizedAgainstBruteForce) {
   }
 }
 
+TEST(FlatPrefixTreeTest, EmptyTreeCountsNothing) {
+  PrefixTree tree;
+  FlatPrefixTree flat;
+  flat.BuildFrom(tree);
+  EXPECT_EQ(flat.NumItemsets(), 0u);
+  flat.CountTransaction(Transaction({1, 2, 3}));
+}
+
+TEST(FlatPrefixTreeTest, MatchesPointerTreeCounts) {
+  PrefixTree tree;
+  const size_t a = tree.Insert({1, 3});
+  const size_t b = tree.Insert({1});
+  const size_t c = tree.Insert({2, 3, 5});
+  const size_t d = tree.Insert({5});
+  FlatPrefixTree flat;
+  flat.BuildFrom(tree);
+  ASSERT_EQ(flat.NumItemsets(), tree.NumItemsets());
+
+  const std::vector<Transaction> transactions = {
+      Transaction({1, 2, 3}), Transaction({1, 2}),   Transaction({3}),
+      Transaction({1, 3}),    Transaction({2, 3, 5}), Transaction({}),
+      Transaction({5}),       Transaction({1, 2, 3, 4, 5})};
+  for (const Transaction& t : transactions) {
+    tree.CountTransaction(t);
+    flat.CountTransaction(t);
+  }
+  for (const size_t id : {a, b, c, d}) {
+    EXPECT_EQ(flat.CountOf(id), tree.CountOf(id)) << "id " << id;
+  }
+}
+
+TEST(FlatPrefixTreeTest, WeightsAndResetMatchPointerTree) {
+  PrefixTree tree;
+  const size_t id = tree.Insert({2, 4});
+  FlatPrefixTree flat;
+  flat.BuildFrom(tree);
+  tree.CountTransaction(Transaction({2, 3, 4}), 5);
+  flat.CountTransaction(Transaction({2, 3, 4}), 5);
+  EXPECT_EQ(flat.CountOf(id), tree.CountOf(id));
+  EXPECT_EQ(flat.CountOf(id), 5u);
+  flat.ResetCounts();
+  EXPECT_EQ(flat.CountOf(id), 0u);
+}
+
+// Build-from is repeatable on a reused FlatPrefixTree and always starts
+// from zeroed counts — the per-shard reuse pattern of CountingContext.
+TEST(FlatPrefixTreeTest, RebuildResetsStateAndTracksNewTree) {
+  PrefixTree first;
+  const size_t fa = first.Insert({1, 2});
+  FlatPrefixTree flat;
+  flat.BuildFrom(first);
+  flat.CountTransaction(Transaction({1, 2}));
+  EXPECT_EQ(flat.CountOf(fa), 1u);
+
+  PrefixTree second;
+  const size_t sa = second.Insert({7});
+  const size_t sb = second.Insert({7, 9});
+  flat.BuildFrom(second);
+  ASSERT_EQ(flat.NumItemsets(), 2u);
+  EXPECT_EQ(flat.CountOf(sa), 0u);
+  flat.CountTransaction(Transaction({7, 8, 9}));
+  EXPECT_EQ(flat.CountOf(sa), 1u);
+  EXPECT_EQ(flat.CountOf(sb), 1u);
+}
+
+// Differential fuzz: the flat walk must agree with the pointer walk on
+// every itemset for a generated workload (bit-identical counts are the
+// PT-Scan correctness invariant).
+TEST(FlatPrefixTreeTest, RandomizedMatchesPointerTree) {
+  QuestParams params;
+  params.num_transactions = 1500;
+  params.num_items = 60;
+  params.num_patterns = 30;
+  params.avg_transaction_len = 10;
+  QuestGenerator gen(params);
+  const TransactionBlock block = gen.GenerateAll();
+
+  Rng rng(13);
+  PrefixTree tree;
+  std::vector<size_t> ids;
+  for (int i = 0; i < 300; ++i) {
+    Itemset itemset;
+    const size_t size = 1 + rng.NextUint64(5);
+    while (itemset.size() < size) {
+      const Item item = static_cast<Item>(rng.NextUint64(params.num_items));
+      if (!std::binary_search(itemset.begin(), itemset.end(), item)) {
+        itemset.insert(
+            std::lower_bound(itemset.begin(), itemset.end(), item), item);
+      }
+    }
+    ids.push_back(tree.Insert(itemset));
+  }
+  FlatPrefixTree flat;
+  flat.BuildFrom(tree);
+  for (const Transaction& t : block.transactions()) {
+    tree.CountTransaction(t);
+    flat.CountTransaction(t);
+  }
+  for (const size_t id : ids) {
+    ASSERT_EQ(flat.CountOf(id), tree.CountOf(id)) << "id " << id;
+  }
+}
+
 }  // namespace
 }  // namespace demon

@@ -133,41 +133,135 @@ TEST(ParallelForTest, SingleWorkerPoolRunsInline) {
   for (size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
 }
 
-// InWorker and ApproxIdleThreads are the inputs of the nested fan-out
-// guard: a caller inside a pool task sees itself as a worker of exactly
-// that pool, and busy workers are subtracted from the idle estimate.
-TEST(ThreadPoolTest, InWorkerIsPerPoolAndIdleCountTracksBusyWorkers) {
+// InWorker is per pool: a caller inside a pool task sees itself as a
+// worker of exactly that pool.
+TEST(ThreadPoolTest, InWorkerIsPerPool) {
   ThreadPool pool(2);
   ThreadPool other(1);
   EXPECT_FALSE(pool.InWorker());
-  EXPECT_EQ(pool.ApproxIdleThreads(), 2u);
 
   std::atomic<int> in_this{0};
   std::atomic<int> in_other{0};
-  std::atomic<size_t> observed_idle{99};
-  std::atomic<bool> observed{false};
-  std::atomic<bool> release{false};
   pool.Submit([&] {
     in_this.fetch_add(pool.InWorker() ? 1 : 0);
     in_other.fetch_add(other.InWorker() ? 1 : 0);
-    // Hold the worker busy until the main thread reads the idle count.
-    while (!release.load()) std::this_thread::yield();
   });
-  while (!observed.load()) {
-    const size_t idle = pool.ApproxIdleThreads();
-    if (idle <= 1) {
-      observed_idle.store(idle);
-      observed.store(true);
-    }
-    std::this_thread::yield();
-  }
-  release.store(true);
   pool.WaitIdle();
   EXPECT_EQ(in_this.load(), 1);
   EXPECT_EQ(in_other.load(), 0);
-  EXPECT_LE(observed_idle.load(), 1u);
-  EXPECT_EQ(pool.ApproxIdleThreads(), 2u);
   EXPECT_FALSE(pool.InWorker());
+}
+
+// --- parallelism-token budget -------------------------------------------
+
+TEST(ThreadPoolTest, TokensStartAtPoolSizeAndAcquireIsBounded) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 3u);
+  EXPECT_EQ(pool.TryAcquireTokens(2), 2u);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 1u);
+  // Asking for more than remains grants only the remainder, never blocks.
+  EXPECT_EQ(pool.TryAcquireTokens(5), 1u);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 0u);
+  EXPECT_EQ(pool.TryAcquireTokens(1), 0u);
+  pool.ReleaseTokens(3);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 3u);
+}
+
+TEST(ThreadPoolTest, TokenLeaseReleasesOnScopeExit) {
+  ThreadPool pool(2);
+  {
+    ThreadPool::TokenLease lease(&pool, 1);
+    EXPECT_EQ(lease.acquired(), 1u);
+    EXPECT_EQ(pool.ApproxAvailableTokens(), 1u);
+    {
+      // The budget is shared: a second lease sees what the first left.
+      ThreadPool::TokenLease nested(&pool, 2);
+      EXPECT_EQ(nested.acquired(), 1u);
+      EXPECT_EQ(pool.ApproxAvailableTokens(), 0u);
+    }
+    EXPECT_EQ(pool.ApproxAvailableTokens(), 1u);
+  }
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 2u);
+}
+
+TEST(ThreadPoolTest, TokenLeaseOnNullPoolAcquiresNothing) {
+  ThreadPool::TokenLease lease(nullptr, 4);
+  EXPECT_EQ(lease.acquired(), 0u);
+}
+
+// Concurrent acquirers can never over-draw the budget: the sum of all
+// grants outstanding at any instant is at most the pool size. Each worker
+// repeatedly borrows, records the total it sees outstanding, and returns.
+TEST(ThreadPoolTest, ConcurrentAcquireNeverExceedsPoolSize) {
+  constexpr size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<size_t> outstanding{0};
+  std::atomic<size_t> max_outstanding{0};
+  std::atomic<int> violations{0};
+  for (size_t t = 0; t < kThreads * 2; ++t) {
+    pool.Submit([&] {
+      for (int i = 0; i < 200; ++i) {
+        const size_t got = pool.TryAcquireTokens(2);
+        if (got == 0) continue;
+        const size_t now = outstanding.fetch_add(got) + got;
+        size_t seen = max_outstanding.load();
+        while (now > seen &&
+               !max_outstanding.compare_exchange_weak(seen, now)) {
+        }
+        if (now > kThreads) violations.fetch_add(1);
+        std::this_thread::yield();
+        outstanding.fetch_sub(got);
+        pool.ReleaseTokens(got);
+      }
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_LE(max_outstanding.load(), kThreads);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), kThreads);
+}
+
+// ParallelFor borrows a token per helper and every helper returns its
+// token when its claim loop drains — the budget is whole again after the
+// call, across repeated and nested invocations.
+TEST(ParallelForTest, ReturnsAllTokensAfterCompletion) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    ParallelFor(&pool, 64, [&sum](size_t) { sum.fetch_add(1); });
+    EXPECT_EQ(sum.load(), 64);
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 4u);
+}
+
+// With the whole budget borrowed, ParallelFor degrades to inline serial
+// execution on the calling thread instead of queueing helpers.
+TEST(ParallelForTest, ExhaustedBudgetRunsInline) {
+  ThreadPool pool(2);
+  const size_t taken = pool.TryAcquireTokens(2);
+  ASSERT_EQ(taken, 2u);
+  std::vector<size_t> order;
+  // No synchronization on `order`: with zero tokens no helper may touch it.
+  ParallelFor(&pool, 8, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  pool.ReleaseTokens(taken);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 2u);
+}
+
+// Nested ParallelFors share one budget and still complete every index —
+// the TSan-covered regression for the token scheduler.
+TEST(ParallelForTest, NestedParallelForSharesBudgetAndCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  ParallelFor(&pool, 6, [&pool, &inner_total](size_t) {
+    ParallelFor(&pool, 32,
+                [&inner_total](size_t) { inner_total.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(inner_total.load(), 6 * 32);
+  EXPECT_EQ(pool.ApproxAvailableTokens(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Negative-compilation harness for the thread-safety annotation layer
+# (src/common/sync.h).
+#
+# Two directions, both required:
+#   1. tests/thread_safety/ts_positive.cc — includes every annotated repo
+#      header plus a correct capability user; must COMPILE cleanly under
+#      -Wthread-safety -Wthread-safety-beta -Werror.
+#   2. tests/thread_safety/bad_*.cc — deliberately seeded violations (an
+#      unguarded write, a REQUIRES method called unlocked, an inverted
+#      ACQUIRED_BEFORE order); each must FAIL to compile, and fail with a
+#      thread-safety diagnostic (an unrelated syntax error would be a
+#      false pass).
+#
+# Needs clang++ (the analysis is clang-only). When no clang is on PATH the
+# script prints SKIP and exits 0 so developer machines without clang are
+# not blocked; CI installs clang, so there the checks always run.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+clangxx="${CLANGXX:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "SKIP: $clangxx not found; thread-safety analysis needs clang"
+  exit 0
+fi
+
+flags=(
+  -std=c++20
+  -fsyntax-only
+  -I "$root/src"
+  -Wall -Wextra -Wno-missing-field-initializers
+  -Wthread-safety -Wthread-safety-beta
+  -Werror
+)
+
+failures=0
+
+check_compiles() {
+  local file="$1"
+  local out
+  if out=$("$clangxx" "${flags[@]}" "$file" 2>&1); then
+    echo "PASS: $(basename "$file") compiles cleanly"
+  else
+    echo "FAIL: $(basename "$file") should compile under -Wthread-safety"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  fi
+}
+
+check_rejected() {
+  local file="$1"
+  local out
+  if out=$("$clangxx" "${flags[@]}" "$file" 2>&1); then
+    echo "FAIL: $(basename "$file") compiled — seeded violation not caught"
+    failures=$((failures + 1))
+  elif ! grep -q "thread-safety" <<<"$out"; then
+    echo "FAIL: $(basename "$file") rejected, but not by the thread-safety" \
+         "analysis:"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  else
+    echo "PASS: $(basename "$file") rejected by the analysis"
+  fi
+}
+
+check_compiles "$root/tests/thread_safety/ts_positive.cc"
+for bad in "$root"/tests/thread_safety/bad_*.cc; do
+  check_rejected "$bad"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "thread-safety harness: $failures check(s) failed"
+  exit 1
+fi
+echo "thread-safety harness: all checks passed"

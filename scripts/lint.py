@@ -32,14 +32,24 @@ Checks enforced (all are CI-blocking):
                  the tidlist/simd.h dispatch table so scalar fallbacks,
                  CPUID gating, and the differential tests stay in one
                  place.
+  naked-sync     Raw standard sync primitives (`std::mutex` and friends,
+                 `std::lock_guard` / `std::unique_lock` / `std::scoped_lock`,
+                 `std::condition_variable`, or including <mutex> /
+                 <condition_variable> / <shared_mutex>) outside
+                 src/common/sync.h. All locking goes through the annotated
+                 demon::Mutex / MutexLock / CondVar wrappers so clang's
+                 -Wthread-safety analysis sees every acquisition.
 
 Suppress a finding with `// lint:allow(<check>)` on the offending line.
 
-Usage: scripts/lint.py [root]   (root defaults to the repo checkout)
+Usage: scripts/lint.py [root]       (root defaults to the repo checkout)
+       scripts/lint.py --self-test  (lint known-bad snippets; each check
+                                     must fire exactly where seeded)
 """
 
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 CODE_DIRS = ("src", "tests", "bench", "examples")
@@ -65,6 +75,14 @@ TIDLIST_RAW_RE = re.compile(
 INTRINSIC_RE = re.compile(
     r"\b_mm(?:256|512)?_\w+|#\s*include\s*<(?:imm|emm|smm|tmm|nmm|wmm|pmm|x)"
     r"intrin\.h>"
+)
+# Raw standard sync primitives and the headers that supply them. Everything
+# here has an annotated wrapper in common/sync.h.
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
 )
 
 
@@ -169,6 +187,12 @@ def lint_file(path, root, findings):
             report(lineno, "tidlist-raw",
                    "raw TID-list storage access outside src/tidlist/; use "
                    "the lease + view API or Materialize{Item,Pair}List")
+        if (NAKED_SYNC_RE.search(code)
+                and path != root / "src" / "common" / "sync.h"):
+            report(lineno, "naked-sync",
+                   "raw std sync primitive outside src/common/sync.h; use "
+                   "the annotated demon::Mutex / MutexLock / CondVar "
+                   "wrappers so -Wthread-safety sees the acquisition")
         if (path.suffix in HEADER_EXT
                 and NODISCARD_DECL_RE.match(code)
                 and "[[nodiscard]]" not in code_lines[max(0, lineno - 2)]
@@ -197,7 +221,90 @@ def lint_file(path, root, findings):
                     f"[include-guard] missing `{trailer}` trailer")
 
 
+# (case name, repo-relative path, file content, checks expected to fire).
+# One seeded violation per check plus negative controls, exercised by
+# --self-test against a throwaway tree — proves each regex still bites
+# before CI trusts a clean run.
+SELF_TEST_CASES = [
+    ("naked-new fires", "src/core/a.cc",
+     "void F() {\n  auto* p = new Foo();\n  Use(p);\n}\n",
+     ["naked-new"]),
+    ("factory idiom is sanctioned", "src/core/b.cc",
+     "auto p = std::shared_ptr<Foo>(new Foo());\n",
+     []),
+    ("naked-delete fires", "src/core/c.cc",
+     "void F(Foo* p) {\n  delete p;\n}\n",
+     ["naked-delete"]),
+    ("std-rand fires", "src/core/d.cc",
+     "int F() {\n  return std::rand();\n}\n",
+     ["std-rand"]),
+    ("wall-timer fires outside src/common", "src/core/e.cc",
+     "void F() {\n  WallTimer timer;\n}\n",
+     ["wall-timer"]),
+    ("raw-intrinsic fires outside simd files", "src/core/f.cc",
+     "int F(__m128i a, __m128i b) {\n  return _mm_extract_epi32("
+     "_mm_add_epi32(a, b), 0);\n}\n",
+     ["raw-intrinsic"]),
+    ("tidlist-raw fires outside src/tidlist", "src/core/g.cc",
+     "void F(const BlockTidLists& lists) {\n  Use(lists.ItemList(3));\n}\n",
+     ["tidlist-raw"]),
+    ("nodiscard fires on a Status declaration", "src/demo.h",
+     "#ifndef DEMON_DEMO_H_\n#define DEMON_DEMO_H_\n"
+     "Status Load();\n"
+     "#endif  // DEMON_DEMO_H_\n",
+     ["nodiscard"]),
+    ("include-guard fires on a wrong guard", "src/guard.h",
+     "#ifndef WRONG_H_\n#define WRONG_H_\n#endif  // WRONG_H_\n",
+     ["include-guard"]),
+    ("naked-sync fires on a raw mutex", "src/core/h.cc",
+     "std::mutex mu;\nstd::lock_guard<std::mutex> lock(mu);\n",
+     ["naked-sync"]),
+    ("naked-sync fires on the header include", "src/core/i.cc",
+     "#include <condition_variable>\n",
+     ["naked-sync"]),
+    ("naked-sync respects lint:allow", "src/core/j.cc",
+     "std::mutex mu;  // lint:allow(naked-sync)\n",
+     []),
+    ("naked-sync exempts common/sync.h", "src/common/sync.h",
+     "#ifndef DEMON_COMMON_SYNC_H_\n#define DEMON_COMMON_SYNC_H_\n"
+     "#include <mutex>\nstd::mutex mu;\n"
+     "#endif  // DEMON_COMMON_SYNC_H_\n",
+     []),
+    ("comments and strings never fire", "src/core/k.cc",
+     "// std::mutex in a comment\n"
+     "const char* s = \"std::condition_variable\";\n",
+     []),
+    ("clean file stays clean", "src/core/l.cc",
+     "void F() {}\n",
+     []),
+]
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for name, rel, content, expected in SELF_TEST_CASES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+            findings = []
+            lint_file(path, root, findings)
+            got = sorted({m.group(1) for f in findings
+                          if (m := re.search(r"\[([a-z-]+)\]", f))})
+            if got != sorted(expected):
+                failures.append(
+                    f"{name}: expected {sorted(expected)}, got {got}")
+    for failure in failures:
+        print(f"self-test FAIL: {failure}")
+    print(f"lint.py: self-test ran {len(SELF_TEST_CASES)} cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
         Path(__file__).resolve().parent.parent
     files = sorted(

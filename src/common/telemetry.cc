@@ -153,14 +153,21 @@ double Histogram::ApproxQuantile(double q) const {
 
 /// A bounded span ring owned by (registry, thread). The mutex is only
 /// contended while CollectSpans drains; the owning thread otherwise
-/// takes it uncontended (a couple of atomic ops).
+/// takes it uncontended (a couple of atomic ops). `owner` and
+/// `thread_index` are written once, under `registry->buffers_mutex_`,
+/// before the buffer pointer escapes; afterwards they are immutable.
 struct TelemetryRegistry::ThreadBuffer {
   std::thread::id owner;
   uint32_t thread_index = 0;
-  std::mutex mutex;
-  std::vector<SpanRecord> ring;
-  size_t write_cursor = 0;  ///< Next overwrite position once full.
-  bool wrapped = false;
+  /// Back-pointer anchoring the lock-order declaration below; set at
+  /// creation, never changed.
+  TelemetryRegistry* registry = nullptr;
+  /// CollectSpans holds the registry-wide buffers_mutex_ while draining
+  /// each per-thread ring, so ring locks nest inside it.
+  Mutex mutex DEMON_ACQUIRED_AFTER(registry->buffers_mutex_);
+  std::vector<SpanRecord> ring DEMON_GUARDED_BY(mutex);
+  size_t write_cursor DEMON_GUARDED_BY(mutex) = 0;  ///< Next overwrite slot.
+  bool wrapped DEMON_GUARDED_BY(mutex) = false;
 };
 
 TelemetryRegistry::TelemetryRegistry()
@@ -174,21 +181,21 @@ TelemetryRegistry& TelemetryRegistry::Global() {
 }
 
 Counter* TelemetryRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MutexLock lock(metrics_mutex_);
   auto& slot = counters_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* TelemetryRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MutexLock lock(metrics_mutex_);
   auto& slot = gauges_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* TelemetryRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MutexLock lock(metrics_mutex_);
   auto& slot = histograms_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -200,7 +207,7 @@ TelemetryRegistry::ThreadBuffer* TelemetryRegistry::BufferForThisThread() {
       return static_cast<ThreadBuffer*>(entry.buffer);
     }
   }
-  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  MutexLock lock(buffers_mutex_);
   const std::thread::id self = std::this_thread::get_id();
   ThreadBuffer* buffer = nullptr;
   for (const auto& candidate : buffers_) {
@@ -214,6 +221,8 @@ TelemetryRegistry::ThreadBuffer* TelemetryRegistry::BufferForThisThread() {
     buffer = buffers_.back().get();
     buffer->owner = self;
     buffer->thread_index = static_cast<uint32_t>(buffers_.size() - 1);
+    buffer->registry = this;
+    MutexLock buffer_lock(buffer->mutex);
     buffer->ring.reserve(64);
   }
   // Entries for destroyed registries are unreachable (ids are never
@@ -225,7 +234,7 @@ TelemetryRegistry::ThreadBuffer* TelemetryRegistry::BufferForThisThread() {
 
 void TelemetryRegistry::RecordSpan(SpanRecord record) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);
   record.thread = buffer->thread_index;
   if (buffer->ring.size() < kRingCapacity) {
     buffer->ring.push_back(std::move(record));
@@ -238,9 +247,10 @@ void TelemetryRegistry::RecordSpan(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TelemetryRegistry::CollectSpans() {
-  std::lock_guard<std::mutex> lock(buffers_mutex_);
-  for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+  MutexLock lock(buffers_mutex_);
+  for (const auto& owned : buffers_) {
+    ThreadBuffer* buffer = owned.get();
+    MutexLock buffer_lock(buffer->mutex);
     if (buffer->wrapped) {
       // Oldest record sits at the write cursor once the ring has wrapped.
       std::rotate(buffer->ring.begin(),
@@ -264,7 +274,7 @@ std::vector<SpanRecord> TelemetryRegistry::CollectSpans() {
 
 void TelemetryRegistry::ClearSpans() {
   CollectSpans();
-  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  MutexLock lock(buffers_mutex_);
   collected_.clear();
 }
 
@@ -311,7 +321,7 @@ std::string TelemetryRegistry::ChromeTraceJson() {
 }
 
 std::string TelemetryRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MutexLock lock(metrics_mutex_);
   std::string out;
   for (const std::string& key : SortedKeys(counters_)) {
     std::string name = PrometheusName(key);
@@ -363,7 +373,7 @@ std::string TelemetryRegistry::Export(TelemetryFormat format) {
 }
 
 std::vector<HistogramSummary> TelemetryRegistry::HistogramSummaries() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MutexLock lock(metrics_mutex_);
   std::vector<HistogramSummary> rows;
   rows.reserve(histograms_.size());
   for (const std::string& key : SortedKeys(histograms_)) {

@@ -5,11 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.h"
 
 // DEMON_TELEMETRY_ENABLED is defined (to 1 or 0) by the DEMON_TELEMETRY
 // CMake option, which defaults to ON. The registry, metric classes and
@@ -150,9 +151,16 @@ class TelemetryRegistry {
   TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
 
   /// Find-or-create. Stable pointers; never returns nullptr.
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) DEMON_EXCLUDES(metrics_mutex_);
+  Gauge* gauge(std::string_view name) DEMON_EXCLUDES(metrics_mutex_);
+  Histogram* histogram(std::string_view name) DEMON_EXCLUDES(metrics_mutex_);
+
+  /// The metrics-map lock, exposed so other modules can reference it in
+  /// lock-order annotations (the ExtentPager declares its own mutex
+  /// DEMON_ACQUIRED_BEFORE this one — see DESIGN.md's lock-order table).
+  Mutex& metrics_mutex() const DEMON_RETURN_CAPABILITY(metrics_mutex_) {
+    return metrics_mutex_;
+  }
 
   /// Next registry-unique span id (nonzero). Used by TraceSpan.
   uint64_t NextSpanId() {
@@ -161,12 +169,12 @@ class TelemetryRegistry {
 
   /// Appends a completed span to the calling thread's ring buffer. When
   /// the ring is full the oldest record is overwritten (and counted).
-  void RecordSpan(SpanRecord record);
+  void RecordSpan(SpanRecord record) DEMON_EXCLUDES(buffers_mutex_);
 
   /// Drains every thread's ring buffer into the central span store and
   /// returns the accumulated spans ordered by start time. Spans stay in
   /// the store (repeat exports see the full history) until ClearSpans.
-  std::vector<SpanRecord> CollectSpans();
+  std::vector<SpanRecord> CollectSpans() DEMON_EXCLUDES(buffers_mutex_);
 
   /// Spans silently overwritten because a thread's ring filled between
   /// drains. Exposed so exporters can flag truncation.
@@ -174,16 +182,17 @@ class TelemetryRegistry {
     return dropped_spans_.load(std::memory_order_relaxed);
   }
 
-  void ClearSpans();
+  void ClearSpans() DEMON_EXCLUDES(buffers_mutex_);
 
   /// Chrome trace_event JSON of CollectSpans().
-  std::string ChromeTraceJson();
+  std::string ChromeTraceJson() DEMON_EXCLUDES(buffers_mutex_);
   /// Prometheus text exposition of every counter, gauge and histogram.
-  std::string PrometheusText() const;
+  std::string PrometheusText() const DEMON_EXCLUDES(metrics_mutex_);
   std::string Export(TelemetryFormat format);
 
   /// One summary row per histogram, sorted by name.
-  std::vector<HistogramSummary> HistogramSummaries() const;
+  std::vector<HistogramSummary> HistogramSummaries() const
+      DEMON_EXCLUDES(metrics_mutex_);
 
   /// The process-wide registry, for instrumentation points with no
   /// injection seam (e.g. TID-list file I/O free functions).
@@ -194,20 +203,25 @@ class TelemetryRegistry {
   struct ThreadBuffer;
 
   /// This thread's buffer, creating and caching it on first use.
-  ThreadBuffer* BufferForThisThread();
+  ThreadBuffer* BufferForThisThread() DEMON_EXCLUDES(buffers_mutex_);
 
   const uint64_t registry_id_;  ///< Process-unique; keys thread caches.
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> dropped_spans_{0};
 
-  mutable std::mutex metrics_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex metrics_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
+      DEMON_GUARDED_BY(metrics_mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_
+      DEMON_GUARDED_BY(metrics_mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_
+      DEMON_GUARDED_BY(metrics_mutex_);
 
-  std::mutex buffers_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::vector<SpanRecord> collected_;  ///< Drained spans (under buffers_mutex_).
+  Mutex buffers_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      DEMON_GUARDED_BY(buffers_mutex_);
+  /// Drained spans.
+  std::vector<SpanRecord> collected_ DEMON_GUARDED_BY(buffers_mutex_);
 };
 
 /// \brief RAII span. Construction stamps the start time and picks a

@@ -51,28 +51,28 @@ void ThreadPool::ReleaseTokens(size_t n) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) idle_.Wait(mutex_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   DEMON_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DEMON_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.Wait(mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -80,18 +80,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) idle_.notify_all();
+      if (in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -113,8 +112,10 @@ struct ParallelForState {
   const std::function<void(size_t)>* const body;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
+  /// Leaf lock (nothing is acquired under it): it only serializes the
+  /// final notify against the caller's wait — `done` itself is atomic.
+  Mutex mutex;
+  CondVar all_done;
 };
 
 void ClaimLoop(const std::shared_ptr<ParallelForState>& state) {
@@ -123,8 +124,8 @@ void ClaimLoop(const std::shared_ptr<ParallelForState>& state) {
     if (i >= state->n) return;
     (*state->body)(i);
     if (state->done.fetch_add(1) + 1 == state->n) {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      state->all_done.notify_all();
+      MutexLock lock(state->mutex);
+      state->all_done.NotifyAll();
     }
   }
 }
@@ -156,8 +157,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
     });
   }
   ClaimLoop(state);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->all_done.wait(lock, [&state] { return state->done.load() == state->n; });
+  MutexLock lock(state->mutex);
+  while (state->done.load() != state->n) state->all_done.Wait(state->mutex);
 }
 
 }  // namespace demon

@@ -2,13 +2,13 @@
 #define DEMON_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace demon {
 
@@ -36,11 +36,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; never blocks. Callable from within a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DEMON_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished executing.
   /// Must not be called from within a task (see class comment).
-  void WaitIdle();
+  void WaitIdle() DEMON_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -107,17 +107,18 @@ class ThreadPool {
   /// @}
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DEMON_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ DEMON_GUARDED_BY(mutex_);
   /// Tasks queued plus tasks currently executing.
-  size_t in_flight_ = 0;
+  size_t in_flight_ DEMON_GUARDED_BY(mutex_) = 0;
   /// Unborrowed parallelism tokens (see the tokens section above).
   std::atomic<size_t> tokens_;
-  bool stopping_ = false;
+  bool stopping_ DEMON_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 

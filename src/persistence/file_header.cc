@@ -19,6 +19,14 @@ std::string DescribeFormat(uint32_t id) {
   return "format#" + std::to_string(id);
 }
 
+/// Best-effort cleanup of a .tmp file on the failure paths: the write
+/// already failed, so an unlink failure adds nothing actionable.
+void DiscardTempFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    // Nothing to do — see above.
+  }
+}
+
 Status ValidateHeader(const FileHeader& header, FormatId expected,
                       uint32_t max_version, const std::string& context) {
   if (header.magic != kMagic) {
@@ -125,11 +133,11 @@ Status WritePayloadFile(const std::string& path, FormatId format,
   }
   std::fclose(f);
   if (!status.ok()) {
-    std::remove(tmp.c_str());
+    DiscardTempFile(tmp);
     return status;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+    DiscardTempFile(tmp);
     return Status::IoError("cannot rename " + tmp + " over " + path);
   }
   return Status::OK();

@@ -12,15 +12,30 @@
 
 namespace demon {
 
+namespace {
+
+/// Best-effort unlink: the spill file may legitimately not exist (never
+/// spilled, or already invalidated), so a failure is not an error.
+void RemoveFileIfPresent(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    // Nothing to do — see above.
+  }
+}
+
+}  // namespace
+
 TidListStoreOptions TidListStoreOptions::FromEnv() {
   TidListStoreOptions options;
-  if (const char* env = std::getenv("DEMON_TIDLIST_BUDGET_BYTES")) {
+  // Startup-time configuration reads; no concurrent setenv in this process.
+  const char* budget =
+      std::getenv("DEMON_TIDLIST_BUDGET_BYTES");  // NOLINT(concurrency-mt-unsafe)
+  if (budget != nullptr) {
     options.memory_budget_bytes =
-        static_cast<size_t>(std::strtoull(env, nullptr, 10));
+        static_cast<size_t>(std::strtoull(budget, nullptr, 10));
   }
-  if (const char* env = std::getenv("DEMON_TIDLIST_SPILL_DIR")) {
-    options.spill_dir = env;
-  }
+  const char* dir =
+      std::getenv("DEMON_TIDLIST_SPILL_DIR");  // NOLINT(concurrency-mt-unsafe)
+  if (dir != nullptr) options.spill_dir = dir;
   return options;
 }
 
@@ -47,7 +62,7 @@ ExtentPager::~ExtentPager() {
 }
 
 void ExtentPager::set_telemetry(telemetry::TelemetryRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   telemetry_ = registry;
   if (registry == nullptr) {
     page_ins_counter_ = nullptr;
@@ -57,6 +72,8 @@ void ExtentPager::set_telemetry(telemetry::TelemetryRegistry* registry) {
     page_in_seconds_ = nullptr;
     return;
   }
+  // Takes the registry's metrics-map lock under mutex_ — the lock-order
+  // edge declared on mutex_ (DEMON_ACQUIRED_BEFORE).
   page_ins_counter_ = registry->counter("tidlist/page_ins");
   evictions_counter_ = registry->counter("tidlist/evictions");
   spilled_bytes_counter_ = registry->counter("tidlist/spilled_bytes");
@@ -64,10 +81,19 @@ void ExtentPager::set_telemetry(telemetry::TelemetryRegistry* registry) {
   page_in_seconds_ = registry->histogram("tidlist/page_in_seconds");
 }
 
+ExtentPager::Entry* ExtentPager::FindEntryLocked(const BlockTidLists* block) {
+  for (Entry& entry : entries_) {
+    if (entry.block == block) return &entry;
+  }
+  return nullptr;
+}
+
 void ExtentPager::Adopt(const BlockTidLists* block) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  blocks_.push_back(block);
-  block->lru_stamp_ = ++clock_;
+  MutexLock lock(mutex_);
+  Entry entry;
+  entry.block = block;
+  entry.lru_stamp = ++clock_;
+  entries_.push_back(std::move(entry));
   if (block->payload_.load(std::memory_order_relaxed) != nullptr) {
     const size_t now =
         resident_bytes_.fetch_add(block->payload_bytes_,
@@ -84,10 +110,11 @@ void ExtentPager::Adopt(const BlockTidLists* block) {
 }
 
 void ExtentPager::Forget(const BlockTidLists* block) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = std::find(blocks_.begin(), blocks_.end(), block);
-  if (it == blocks_.end()) return;
-  blocks_.erase(it);
+  MutexLock lock(mutex_);
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [block](const Entry& e) { return e.block == block; });
+  if (it == entries_.end()) return;
   if (block->payload_.load(std::memory_order_relaxed) != nullptr) {
     const size_t now = resident_bytes_.fetch_sub(
                            block->payload_bytes_, std::memory_order_relaxed) -
@@ -96,16 +123,21 @@ void ExtentPager::Forget(const BlockTidLists* block) {
       resident_gauge_->Set(static_cast<double>(now));
     }
   }
-  if (!block->spill_path_.empty()) std::remove(block->spill_path_.c_str());
+  if (!it->spill_path.empty()) RemoveFileIfPresent(it->spill_path);
+  entries_.erase(it);
 }
 
 void ExtentPager::EnsureResident(const BlockTidLists* block) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  block->lru_stamp_ = ++clock_;
+  MutexLock lock(mutex_);
+  Entry* entry = FindEntryLocked(block);
+  DEMON_CHECK_MSG(entry != nullptr, "EnsureResident on an unadopted block");
+  entry->lru_stamp = ++clock_;
   if (block->payload_.load(std::memory_order_relaxed) != nullptr) return;
+  DEMON_CHECK_MSG(entry->spilled && !entry->spill_path.empty(),
+                  "TID-list fault-in without a spill file");
   {
     telemetry::ScopedTimer timer(page_in_seconds_);
-    block->FaultInLocked();
+    block->FaultIn(*this, entry->spill_path);
   }
   page_ins_.fetch_add(1, std::memory_order_relaxed);
   DEMON_COUNTER_ADD(page_ins_counter_, 1);
@@ -123,40 +155,48 @@ void ExtentPager::EnsureResident(const BlockTidLists* block) {
 
 void ExtentPager::OnPayloadRebuilt(const BlockTidLists* block,
                                    size_t old_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // The caller holds a lease, so the block is resident throughout.
   resident_bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
   resident_bytes_.fetch_add(block->payload_bytes_,
                             std::memory_order_relaxed);
-  if (!block->spill_path_.empty()) {
-    std::remove(block->spill_path_.c_str());
-    block->spill_path_.clear();
+  Entry* entry = FindEntryLocked(block);
+  DEMON_CHECK_MSG(entry != nullptr, "payload rebuild on an unadopted block");
+  if (!entry->spill_path.empty()) {
+    RemoveFileIfPresent(entry->spill_path);
+    entry->spill_path.clear();
   }
-  block->spilled_ = false;
+  entry->spilled = false;
 }
 
 void ExtentPager::EvictToBudgetLocked(const BlockTidLists* keep) {
   const size_t budget = options_.memory_budget_bytes;
   while (resident_bytes_.load(std::memory_order_relaxed) > budget) {
-    const BlockTidLists* victim = nullptr;
-    for (const BlockTidLists* b : blocks_) {
+    Entry* victim = nullptr;
+    for (Entry& entry : entries_) {
+      const BlockTidLists* b = entry.block;
       if (b == keep) continue;
       if (b->payload_.load(std::memory_order_relaxed) == nullptr) continue;
       if (b->pins_.load(std::memory_order_acquire) != 0) continue;
-      if (victim == nullptr || b->lru_stamp_ < victim->lru_stamp_) victim = b;
+      if (victim == nullptr || entry.lru_stamp < victim->lru_stamp) {
+        victim = &entry;
+      }
     }
     // No unpinned victim: the budget is a target, not a hard cap — the
     // pinned working set stays resident and the peak metric records it.
     if (victim == nullptr) return;
-    if (!victim->spilled_) {
-      victim->SpillLocked(NextSpillPathLocked());
+    if (!victim->spilled) {
+      victim->spill_path = NextSpillPathLocked();
+      victim->block->Spill(*this, victim->spill_path);
+      victim->spilled = true;
       spills_.fetch_add(1, std::memory_order_relaxed);
-      DEMON_COUNTER_ADD(spilled_bytes_counter_, victim->payload_bytes_);
+      DEMON_COUNTER_ADD(spilled_bytes_counter_, victim->block->payload_bytes_);
     }
-    victim->ReleasePayloadLocked();
-    const size_t now = resident_bytes_.fetch_sub(
-                           victim->payload_bytes_, std::memory_order_relaxed) -
-                       victim->payload_bytes_;
+    victim->block->ReleasePayload(*this);
+    const size_t now =
+        resident_bytes_.fetch_sub(victim->block->payload_bytes_,
+                                  std::memory_order_relaxed) -
+        victim->block->payload_bytes_;
     evictions_.fetch_add(1, std::memory_order_relaxed);
     DEMON_COUNTER_ADD(evictions_counter_, 1);
     if (resident_gauge_ != nullptr) {
@@ -171,7 +211,8 @@ std::string ExtentPager::NextSpillPathLocked() {
       ::mkdir(options_.spill_dir.c_str(), 0755);  // may already exist
       spill_dir_ = options_.spill_dir;
     } else {
-      const char* tmp = std::getenv("TMPDIR");
+      // TMPDIR is read once, at first spill; no concurrent setenv here.
+      const char* tmp = std::getenv("TMPDIR");  // NOLINT(concurrency-mt-unsafe)
       std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") +
                           "/demon-tidlists-XXXXXX";
       DEMON_CHECK_MSG(::mkdtemp(templ.data()) != nullptr,
@@ -193,10 +234,11 @@ bool ExtentPager::IsResident(const BlockTidLists* block) const {
 }
 
 void ExtentPager::AuditInto(audit::AuditResult* audit) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   constexpr char kModule[] = "tidlist";
   size_t sum = 0;
-  for (const BlockTidLists* b : blocks_) {
+  for (const Entry& entry : entries_) {
+    const BlockTidLists* b = entry.block;
     const bool resident =
         b->payload_.load(std::memory_order_relaxed) != nullptr;
     if (resident) sum += b->payload_bytes_;
@@ -204,6 +246,11 @@ void ExtentPager::AuditInto(audit::AuditResult* audit) const {
                 b->pins_.load(std::memory_order_acquire) == 0 || resident,
                 audit::Msg() << "pinned block " << static_cast<const void*>(b)
                              << " is not resident",
+                "");
+    AUDIT_CHECK(audit, kModule, "tidlist/pager-spill-state",
+                entry.spilled == !entry.spill_path.empty(),
+                audit::Msg() << "spill flag and spill path disagree for "
+                             << static_cast<const void*>(b),
                 "");
   }
   const size_t accounted = resident_bytes_.load(std::memory_order_relaxed);

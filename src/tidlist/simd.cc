@@ -165,7 +165,9 @@ constexpr KernelOps kScalarOps = {
 };
 
 bool ForceScalarFromEnv() {
-  const char* env = std::getenv("DEMON_FORCE_SCALAR");
+  // Read once at dispatch-table setup; no concurrent setenv in this process.
+  const char* env =
+      std::getenv("DEMON_FORCE_SCALAR");  // NOLINT(concurrency-mt-unsafe)
   return env != nullptr && env[0] != '\0' &&
          !(env[0] == '0' && env[1] == '\0');
 }

@@ -141,6 +141,10 @@ void BlockTidLists::EncodePayload(
   for (const auto& [key, list] : pair_lists) {
     pair_extents_.emplace(key, append(EncodeTidList(list, u)));
   }
+  AdoptPayload(std::move(payload));
+}
+
+void BlockTidLists::AdoptPayload(std::vector<uint8_t> payload) {
   // A non-empty payload keeps `resident payload <=> payload_ != nullptr`
   // unconditional (empty vectors may hand out null data()).
   if (payload.empty()) payload.push_back(0);
@@ -251,12 +255,17 @@ void BlockTidLists::AttachPager(std::shared_ptr<ExtentPager> pager) const {
   pager_->Adopt(this);
 }
 
-void BlockTidLists::FaultInLocked() const {
-  DEMON_CHECK_MSG(spilled_ && !spill_path_.empty(),
-                  "TID-list fault-in without a spill file");
+void BlockTidLists::FaultIn(const ExtentPager& pager,
+                            const std::string& spill_path) const {
+  // The REQUIRES annotation proved the caller holds pager.mutex_; the
+  // runtime check plus assertion bridge that to pager_->mutex_, which the
+  // analysis cannot know is the same lock.
+  DEMON_CHECK_MSG(&pager == pager_.get(),
+                  "fault-in driven by a foreign pager");
+  pager_->mutex_.AssertHeld();
   const uint64_t payload_off = PayloadFileOffset();
   const size_t total = static_cast<size_t>(payload_off) + payload_bytes_;
-  const int fd = ::open(spill_path_.c_str(), O_RDONLY);
+  const int fd = ::open(spill_path.c_str(), O_RDONLY);
   DEMON_CHECK_MSG(fd >= 0, "cannot open a TID-list spill file");
   void* base = ::mmap(nullptr, total, PROT_READ, MAP_PRIVATE, fd, 0);
   if (base != MAP_FAILED) {
@@ -280,17 +289,21 @@ void BlockTidLists::FaultInLocked() const {
   payload_.store(owned_.data(), std::memory_order_release);
 }
 
-void BlockTidLists::SpillLocked(const std::string& path) const {
+void BlockTidLists::Spill(const ExtentPager& pager,
+                          const std::string& path) const {
+  DEMON_CHECK_MSG(&pager == pager_.get(), "spill driven by a foreign pager");
+  pager_->mutex_.AssertHeld();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   DEMON_CHECK_MSG(f != nullptr, "cannot open a TID-list spill file for write");
   const Status status = WriteContents(f, path);
   const bool closed = std::fclose(f) == 0;
   DEMON_CHECK_MSG(status.ok() && closed, "TID-list spill write failed");
-  spill_path_ = path;
-  spilled_ = true;
 }
 
-void BlockTidLists::ReleasePayloadLocked() const {
+void BlockTidLists::ReleasePayload(const ExtentPager& pager) const {
+  DEMON_CHECK_MSG(&pager == pager_.get(),
+                  "eviction driven by a foreign pager");
+  pager_->mutex_.AssertHeld();
   payload_.store(nullptr, std::memory_order_release);
   if (map_base_ != nullptr) {
     ::munmap(map_base_, map_bytes_);
@@ -525,18 +538,17 @@ Result<std::shared_ptr<const BlockTidLists>> BlockTidLists::ReadFromFile(
           lists->pair_extents_.emplace(key, ex);
         }
       }
-      if (ok) {
-        lists->owned_.resize(payload_bytes);
-        ok = payload_bytes == 0 ||
-             std::fread(lists->owned_.data(), 1, payload_bytes, f) ==
-                 payload_bytes;
-      }
+    }
+    std::vector<uint8_t> payload_image;
+    if (ok) {
+      payload_image.resize(payload_bytes);
+      ok = payload_bytes == 0 ||
+           std::fread(payload_image.data(), 1, payload_bytes, f) ==
+               payload_bytes;
     }
     std::fclose(f);
     if (!ok) return corrupt;
-    if (lists->owned_.empty()) lists->owned_.push_back(0);
-    lists->payload_bytes_ = lists->owned_.size();
-    lists->payload_.store(lists->owned_.data(), std::memory_order_release);
+    lists->AdoptPayload(std::move(payload_image));
     // Decode-validate every extent: damaged payloads surface DataLoss here
     // instead of garbage counts later.
     TidList decoded;

@@ -11,6 +11,7 @@
 
 #include "common/audit.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/telemetry.h"
 #include "data/block.h"
 #include "data/types.h"
@@ -168,7 +169,11 @@ class BlockTidLists {
   /// contents survive verbatim) and rebuilds the payload, so
   /// corruption-injection tests can break an invariant and assert the
   /// auditor reports it. Slot accounting is intentionally left stale.
-  void SetItemListForTest(Item item, const TidList& list);
+  /// Analysis is off: the payload members are nominally pager-guarded, but
+  /// this hook runs single-threaded from tests with no concurrent pager
+  /// activity (it still notifies the pager afterwards so accounting holds).
+  void SetItemListForTest(Item item, const TidList& list)
+      DEMON_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   friend class ExtentPager;
@@ -196,10 +201,20 @@ class BlockTidLists {
   /// Encodes `item_lists` and `pair_lists` (sorted by key) into the
   /// directory + contiguous payload. `force_raw_item` (when < num items)
   /// pins that item's encoding to raw — the corruption-injection hook.
+  /// Analysis is off: it writes the nominally pager-guarded payload
+  /// members, but only runs before the block is published (Build) or from
+  /// the single-threaded test hook above — never on a managed block with a
+  /// live pager racing it.
   void EncodePayload(
       const std::vector<TidList>& item_lists,
       const std::vector<std::pair<uint64_t, TidList>>& pair_lists,
-      size_t force_raw_item = SIZE_MAX);
+      size_t force_raw_item = SIZE_MAX) DEMON_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Installs an already-encoded payload image (ReadFromFile's v2 path).
+  /// Analysis is off for the same reason as EncodePayload: the block is
+  /// not yet published, so no lock exists to hold.
+  void AdoptPayload(std::vector<uint8_t> payload)
+      DEMON_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Byte offset of the payload extent inside a WriteToFile image.
   uint64_t PayloadFileOffset() const;
@@ -211,12 +226,24 @@ class BlockTidLists {
   const BlockTidLists* Pin() const;
   void Unpin() const;
   void AttachPager(std::shared_ptr<ExtentPager> pager) const;
-  /// Under the pager mutex: mmaps (or reads) the spill file back in.
-  void FaultInLocked() const;
-  /// Under the pager mutex: writes the spill file if not yet written.
-  void SpillLocked(const std::string& path) const;
-  /// Under the pager mutex: frees the resident payload (munmap or free).
-  void ReleasePayloadLocked() const;
+
+  // Payload state transitions, called only by the owning pager with its
+  // mutex held. The pager passes itself so the analysis can check the
+  // capability at the call site (`block->FaultIn(*this, ...)` inside the
+  // pager resolves the requirement to the mutex it actually holds); each
+  // body re-asserts that `pager` is `*pager_` at runtime, which is the
+  // aliasing fact the static analysis cannot prove.
+
+  /// Mmaps (or reads) the spill file back in.
+  void FaultIn(const ExtentPager& pager, const std::string& spill_path) const
+      DEMON_REQUIRES(pager.mutex_);
+  /// Writes the spill file image (idempotent content: the payload is
+  /// immutable).
+  void Spill(const ExtentPager& pager, const std::string& path) const
+      DEMON_REQUIRES(pager.mutex_);
+  /// Frees the resident payload (munmap or free).
+  void ReleasePayload(const ExtentPager& pager) const
+      DEMON_REQUIRES(pager.mutex_);
 
   size_t num_transactions_ = 0;
   std::vector<Extent> items_;
@@ -229,15 +256,16 @@ class BlockTidLists {
   /// never detached. Mutable: paging is caching state on a logically
   /// immutable block.
   mutable std::shared_ptr<ExtentPager> pager_;
-  mutable std::vector<uint8_t> owned_;
+  /// Payload backing storage: exactly one of `owned_` / the mapping at
+  /// `map_base_` is live while resident. Written only by the pager-mutex
+  /// transitions above — the annotation names the mutex through `pager_`,
+  /// which is set before the block is ever managed and never changes.
+  mutable std::vector<uint8_t> owned_ DEMON_GUARDED_BY(pager_->mutex_);
+  mutable void* map_base_ DEMON_GUARDED_BY(pager_->mutex_) = nullptr;
+  mutable size_t map_bytes_ DEMON_GUARDED_BY(pager_->mutex_) = 0;
+  /// Lock-free reader side: views and residency probes only need these.
   mutable std::atomic<const uint8_t*> payload_{nullptr};
   mutable std::atomic<uint32_t> pins_{0};
-  // Guarded by the pager mutex (unused while unmanaged):
-  mutable uint64_t lru_stamp_ = 0;
-  mutable std::string spill_path_;
-  mutable bool spilled_ = false;
-  mutable void* map_base_ = nullptr;
-  mutable size_t map_bytes_ = 0;
 };
 
 /// \brief The TID-list store of an evolving database: one BlockTidLists per

@@ -1,0 +1,29 @@
+// Seeded violation for scripts/check_thread_safety.sh: two mutexes with a
+// declared ACQUIRED_BEFORE edge taken in the opposite order — the deadlock
+// shape the pager/telemetry annotation guards against. The edge checks live
+// behind -Wthread-safety-beta, so this snippet also proves the beta flag is
+// actually on in CI.
+
+#include "common/sync.h"
+
+namespace {
+
+class Pipeline {
+ public:
+  void Broken() {
+    demon::MutexLock inner(second_);
+    demon::MutexLock outer(first_);  // VIOLATION: first_ ordered before second_
+  }
+
+ private:
+  demon::Mutex first_ DEMON_ACQUIRED_BEFORE(second_);
+  demon::Mutex second_;
+};
+
+}  // namespace
+
+int main() {
+  Pipeline pipeline;
+  pipeline.Broken();
+  return 0;
+}

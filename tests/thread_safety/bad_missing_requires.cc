@@ -1,0 +1,28 @@
+// Seeded violation for scripts/check_thread_safety.sh: a REQUIRES-annotated
+// private method called without holding the capability. clang must reject
+// this under -Wthread-safety -Werror.
+
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    PushLocked(v);  // VIOLATION: mutex_ not held
+  }
+
+ private:
+  void PushLocked(int v) DEMON_REQUIRES(mutex_) { last_ = v; }
+
+  demon::Mutex mutex_;
+  int last_ DEMON_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(1);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Seeded violation for scripts/check_thread_safety.sh: a GUARDED_BY field
+// written without its mutex. clang must reject this under -Wthread-safety
+// -Werror; if it compiles, the annotation layer has stopped working.
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // VIOLATION: mutex_ not held
+  }
+
+ private:
+  demon::Mutex mutex_;
+  int balance_ DEMON_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Positive control for scripts/check_thread_safety.sh: pulls in every
+// annotated header in the repo plus a small correct capability user, and
+// must compile cleanly under -Wthread-safety -Wthread-safety-beta -Werror.
+// If an annotation in a header is malformed (a typo'd member name, a
+// capability expression that no longer parses), it surfaces here even
+// though the library itself is built by GCC elsewhere.
+
+#include "common/sync.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "tidlist/extent_pager.h"
+#include "tidlist/tidlist_store.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    demon::MutexLock lock(mutex_);
+    value_ = v;
+  }
+  int Get() {
+    demon::MutexLock lock(mutex_);
+    return value_;
+  }
+  void WaitNonZero() {
+    demon::MutexLock lock(mutex_);
+    while (value_ == 0) changed_.Wait(mutex_);
+  }
+  void SetFromOutside(int v) {
+    mutex_.Lock();
+    value_ = v;
+    mutex_.Unlock();
+    changed_.NotifyAll();
+  }
+
+ private:
+  demon::Mutex mutex_;
+  demon::CondVar changed_;
+  int value_ DEMON_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  g.SetFromOutside(2);
+  g.WaitNonZero();
+  return g.Get() == 2 ? 0 : 1;
+}

@@ -23,15 +23,20 @@
 // trace-event JSON file (load it at https://ui.perfetto.dev) showing the
 // nested engine -> maintainer -> counting-shard spans.
 // --telemetry_out=PATH writes the same run's metrics in Prometheus text
-// exposition format.
+// exposition format. --timeline_out=PATH runs a TelemetryScraper over the
+// instrumented run (one scrape pinned per block) and writes the JSONL
+// metrics timeline; with both --trace_out and --timeline_out the trace
+// additionally carries the scraper's counter tracks ("ph":"C").
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/telemetry.h"
+#include "common/telemetry_timeline.h"
 #include "core/demon_monitor.h"
 
 namespace demon::bench {
@@ -56,8 +61,8 @@ struct RunResult {
 };
 
 RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
-                   const EngineOptions& engine, double minsup,
-                   size_t window) {
+                   const EngineOptions& engine, double minsup, size_t window,
+                   telemetry::TelemetryScraper* scraper = nullptr) {
   DemonMonitor demon(1000, engine);
   std::vector<DemonMonitor::MonitorId> ids;
   ids.push_back(demon
@@ -87,8 +92,10 @@ RunResult RunFleet(const std::vector<TransactionBlock>& blocks,
   telemetry::ScopedTimer timer;
   for (const auto& block : blocks) {
     demon.AddBlock(block);
+    if (scraper != nullptr) scraper->ScrapeNow();
   }
   demon.Quiesce();
+  if (scraper != nullptr) scraper->ScrapeNow();
   const double elapsed = timer.Stop();
 
   RunResult result;
@@ -134,11 +141,13 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string telemetry_out;
   std::string histogram_out;
+  std::string timeline_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
     ParseFlag(argv[i], "--trace_out=", &trace_out);
     ParseFlag(argv[i], "--telemetry_out=", &telemetry_out);
     ParseFlag(argv[i], "--histogram_out=", &histogram_out);
+    ParseFlag(argv[i], "--timeline_out=", &timeline_out);
   }
 
   const size_t block_size = Scaled(10000, 500);
@@ -187,15 +196,37 @@ int main(int argc, char** argv) {
 
   // Instrumented run: same fleet at 4 threads, telemetry injected, spans
   // and metrics exported for scripts/bench_snapshot.sh to archive.
-  if (!trace_out.empty() || !telemetry_out.empty() || !histogram_out.empty()) {
+  if (!trace_out.empty() || !telemetry_out.empty() || !histogram_out.empty() ||
+      !timeline_out.empty()) {
     telemetry::TelemetryRegistry registry;
     EngineOptions engine;
     engine.num_threads = 4;
     engine.telemetry = &registry;
-    RunFleet(blocks, engine, minsup, window);
-    if (!trace_out.empty() &&
-        WriteFileContents(trace_out, registry.ChromeTraceJson())) {
-      if (!json) std::printf("wrote Chrome trace to %s\n", trace_out.c_str());
+    std::unique_ptr<telemetry::TelemetryScraper> scraper;
+    if (!timeline_out.empty()) {
+      telemetry::ScraperOptions scraper_options;
+      scraper_options.registry = &registry;
+      scraper = std::make_unique<telemetry::TelemetryScraper>(scraper_options);
+      scraper->Start();
+    }
+    RunFleet(blocks, engine, minsup, window, scraper.get());
+    if (scraper != nullptr) scraper->Stop();
+    if (!timeline_out.empty() &&
+        WriteFileContents(timeline_out,
+                          telemetry::TimelineJsonl(scraper->Samples()))) {
+      if (!json) {
+        std::printf("wrote metrics timeline to %s\n", timeline_out.c_str());
+      }
+    }
+    if (!trace_out.empty()) {
+      const std::string trace =
+          scraper != nullptr
+              ? telemetry::ChromeTraceJson(registry.CollectSpans(),
+                                           scraper->Samples())
+              : registry.ChromeTraceJson();
+      if (WriteFileContents(trace_out, trace) && !json) {
+        std::printf("wrote Chrome trace to %s\n", trace_out.c_str());
+      }
     }
     if (!telemetry_out.empty() &&
         WriteFileContents(telemetry_out, registry.PrometheusText())) {

@@ -10,6 +10,7 @@
 //
 // Build & run:  ./build/examples/demon_cli <command> [flags]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -17,8 +18,10 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/telemetry_timeline.h"
 #include "core/bss.h"
 #include "core/demon_monitor.h"
 #include "data/transaction_file.h"
@@ -253,7 +256,34 @@ struct Fleet {
   DemonMonitor::MonitorId mrw = 0;
   DemonMonitor::MonitorId patterns = 0;
   EngineOptions engine;
+  /// Periodic metrics scraper, live while the feed loop ran. Created when
+  /// --stats_every / --timeline_out / --trace_out / --alert ask for time
+  /// series; stopped (after a final post-quiesce scrape) before return.
+  std::unique_ptr<telemetry::TelemetryScraper> scraper;
 };
+
+/// One live-stats line per monitor — the --stats_every output. Shows the
+/// per-block evolution gauges next to the latency split so a shifting
+/// stream is visible as it happens.
+Status PrintLiveStats(DemonMonitor& demon,
+                      const std::vector<DemonMonitor::MonitorId>& ids,
+                      BlockId block_id) {
+  for (const auto id : ids) {
+    DEMON_ASSIGN_OR_RETURN(MonitorStats stats, demon.StatsOf(id));
+    DEMON_ASSIGN_OR_RETURN(std::string name, demon.NameOf(id));
+    const EvolutionStats& evo = stats.evolution;
+    std::printf(
+        "[block %u] %-14s routed=%zu resp=%.1fms cpu=%.1fms "
+        "elements=%llu +%llu -%llu churn=%.3f\n",
+        block_id, name.c_str(), stats.blocks_routed,
+        stats.last_response_seconds * 1e3,
+        stats.last_response_cpu_seconds * 1e3,
+        static_cast<unsigned long long>(evo.elements),
+        static_cast<unsigned long long>(evo.added),
+        static_cast<unsigned long long>(evo.removed), evo.churn);
+  }
+  return Status::OK();
+}
 
 /// Builds the fleet — freshly registered, or restored from a checkpoint
 /// when --restore is given (with --wal, the log is replayed before new
@@ -335,10 +365,40 @@ Result<Fleet> BuildAndRunFleet(
     if (spec->kind == MonitorKind::kPatterns) fleet.patterns = id;
   }
 
+  // Time-series observability: a background scraper samples every metric
+  // periodically, plus one pinned scrape per block boundary; --alert
+  // policies are evaluated on each sample and print as they fire.
+  const long stats_every = flags.GetInt("stats_every", 0);
+  if (stats_every > 0 || flags.Has("timeline_out") || flags.Has("trace_out") ||
+      flags.Has("alert")) {
+    telemetry::ScraperOptions scraper_options;
+    scraper_options.registry = demon.telemetry();
+    scraper_options.period_seconds =
+        flags.GetDouble("scrape_period_ms", 50.0) * 1e-3;
+    fleet.scraper =
+        std::make_unique<telemetry::TelemetryScraper>(scraper_options);
+    for (const std::string& spec :
+         SplitCommas(flags.GetString("alert", ""))) {
+      telemetry::AlertPolicy policy;
+      std::string error;
+      if (!telemetry::ParseAlertPolicy(spec, &policy, &error)) {
+        return Status::InvalidArgument("--alert '" + spec + "': " + error);
+      }
+      fleet.scraper->AddPolicy(policy, [](const telemetry::AlertEvent& event) {
+        std::printf("ALERT %s: %s = %g (threshold %g) at scrape %llu\n",
+                    event.policy.c_str(), event.metric.c_str(), event.value,
+                    event.threshold,
+                    static_cast<unsigned long long>(event.seq));
+      });
+    }
+    fleet.scraper->Start();
+  }
+
   const std::string checkpoint_path = flags.GetString("checkpoint", "");
   const long checkpoint_every = flags.GetInt("checkpoint_every", 0);
   const long delay_ms = flags.GetInt("block_delay_ms", 0);
   const BlockId already = demon.snapshot().latest_id();
+  long fed = 0;
   for (const auto& block : blocks) {
     if (block->info().id <= already) continue;  // covered by restore/replay
     if (delay_ms > 0) {
@@ -346,6 +406,13 @@ Result<Fleet> BuildAndRunFleet(
     }
     demon.AddBlock(*block);
     DEMON_RETURN_NOT_OK(demon.wal_status());
+    ++fed;
+    // A pinned scrape per block puts every block boundary on the
+    // timeline even when blocks absorb faster than the scrape period.
+    if (fleet.scraper != nullptr) fleet.scraper->ScrapeNow();
+    if (stats_every > 0 && fed % stats_every == 0) {
+      DEMON_RETURN_NOT_OK(PrintLiveStats(demon, fleet.ids, block->info().id));
+    }
     if (!checkpoint_path.empty() && checkpoint_every > 0 &&
         demon.snapshot().latest_id() % static_cast<BlockId>(checkpoint_every) ==
             0) {
@@ -354,6 +421,12 @@ Result<Fleet> BuildAndRunFleet(
     }
   }
   demon.Quiesce();
+  if (fleet.scraper != nullptr) {
+    fleet.scraper->Stop();
+    // Final post-quiesce scrape: the last sample equals the registry's
+    // quiesced totals (what the concurrency test asserts).
+    fleet.scraper->ScrapeNow();
+  }
   return fleet;
 }
 
@@ -389,15 +462,20 @@ Status RunMonitor(const Flags& flags) {
               fleet.engine.num_threads,
               fleet.engine.defer_offline ? "on" : "off",
               demon.snapshot().NumBlocks());
-  std::printf("%-14s | %6s | %7s | %12s | %11s | %9s\n", "monitor", "routed",
-              "skipped", "response(ms)", "offline(ms)", "total(ms)");
+  std::printf("%-14s | %6s | %7s | %12s | %7s | %11s | %9s | %8s | %5s\n",
+              "monitor", "routed", "skipped", "response(ms)", "cpu(ms)",
+              "offline(ms)", "total(ms)", "elements", "churn");
   for (const auto id : ids) {
     DEMON_ASSIGN_OR_RETURN(MonitorStats stats, demon.StatsOf(id));
     DEMON_ASSIGN_OR_RETURN(std::string name, demon.NameOf(id));
-    std::printf("%-14s | %6zu | %7zu | %12.1f | %11.1f | %9.1f\n",
-                name.c_str(), stats.blocks_routed, stats.blocks_skipped,
-                stats.response_seconds * 1e3, stats.offline_seconds * 1e3,
-                stats.total_seconds() * 1e3);
+    std::printf(
+        "%-14s | %6zu | %7zu | %12.1f | %7.1f | %11.1f | %9.1f | %8llu "
+        "| %5.3f\n",
+        name.c_str(), stats.blocks_routed, stats.blocks_skipped,
+        stats.response_seconds * 1e3, stats.response_cpu_seconds * 1e3,
+        stats.offline_seconds * 1e3, stats.total_seconds() * 1e3,
+        static_cast<unsigned long long>(stats.evolution.elements),
+        stats.evolution.churn);
   }
 
   DEMON_ASSIGN_OR_RETURN(const ItemsetModel* model,
@@ -417,12 +495,58 @@ Status RunMonitor(const Flags& flags) {
     std::printf("}\n");
   }
 
+  if (flags.Has("timeline_out")) {
+    // Merge the scraper's periodic samples with the engine's per-block
+    // records into one JSONL stream, ordered by timestamp.
+    std::vector<std::pair<uint64_t, std::string>> lines;
+    if (fleet.scraper != nullptr) {
+      for (const telemetry::TimelineSample& sample : fleet.scraper->Samples()) {
+        lines.emplace_back(sample.cumulative.t_ns,
+                           telemetry::TimelineJsonl({sample}));
+      }
+    }
+    for (const BlockTimelineRecord& record : demon.TimelineRecords()) {
+      lines.emplace_back(record.t_ns, BlockTimelineJsonl({record}));
+    }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::string jsonl;
+    for (const auto& [t_ns, line] : lines) jsonl.append(line);
+    const std::string path = flags.GetString("timeline_out", "");
+    DEMON_RETURN_NOT_OK(WriteTextFile(path, jsonl));
+    std::printf("\nwrote %zu timeline records to %s\n", lines.size(),
+                path.c_str());
+  }
+
   if (flags.Has("trace_out")) {
     const std::string path = flags.GetString("trace_out", "");
-    DEMON_RETURN_NOT_OK(WriteTextFile(
-        path, demon.ExportTelemetry(telemetry::TelemetryFormat::kChromeTrace)));
+    std::string trace;
+    if (fleet.scraper != nullptr) {
+      // Spans plus counter tracks ("ph":"C") on one timebase: Perfetto
+      // charts resident bytes, page-ins and evolution gauges over time
+      // next to the engine's block/response/offline spans.
+      demon.Quiesce();
+      trace = telemetry::ChromeTraceJson(demon.telemetry()->CollectSpans(),
+                                         fleet.scraper->Samples());
+    } else {
+      trace = demon.ExportTelemetry(telemetry::TelemetryFormat::kChromeTrace);
+    }
+    DEMON_RETURN_NOT_OK(WriteTextFile(path, trace));
     std::printf("\nwrote Chrome trace to %s (load at ui.perfetto.dev)\n",
                 path.c_str());
+  }
+
+  if (fleet.scraper != nullptr) {
+    const auto alerts = fleet.scraper->Alerts();
+    if (!alerts.empty()) {
+      std::printf("\n%zu alert(s) fired:\n", alerts.size());
+      for (const telemetry::AlertEvent& event : alerts) {
+        std::printf("  %s: %s = %g (threshold %g)\n", event.policy.c_str(),
+                    event.metric.c_str(), event.value, event.threshold);
+      }
+    }
   }
   return Status::OK();
 }
@@ -486,6 +610,8 @@ int Usage() {
       "            [--restore ckpt --wal log --checkpoint ckpt "
       "--checkpoint_every N --block_delay_ms M]\n"
       "            [--tidlist_budget BYTES --tidlist_spill_dir DIR]\n"
+      "            [--stats_every N --timeline_out F.jsonl "
+      "--scrape_period_ms 50 --alert 'metric>thr[:n][,...]']\n"
       "  checkpoint --data F1[,F2...] --out ckpt "
       "[--restore ckpt --wal log + monitor flags]\n"
       "  telemetry --data F1[,F2...] [--format prometheus|chrome "

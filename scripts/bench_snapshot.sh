@@ -22,9 +22,11 @@
 # snapshot ran from, so a stale or debug artifact is self-identifying.
 #
 # Also archives the telemetry artifacts of an instrumented 4-thread engine
-# run: BENCH_telemetry.json (per-phase histogram summaries) and Chrome
+# run: BENCH_telemetry.json (per-phase histogram summaries), Chrome
 # trace-event files BENCH_engine_trace.json / BENCH_counting_trace.json
-# (load at https://ui.perfetto.dev). Requires a DEMON_TELEMETRY=ON build
+# (load at https://ui.perfetto.dev; the engine trace carries the
+# scraper's counter tracks), and BENCH_engine_timeline.jsonl (the JSONL
+# metrics timeline of the same run). Requires a DEMON_TELEMETRY=ON build
 # (the default); with the gate off the traces are empty but still valid.
 set -euo pipefail
 
@@ -80,6 +82,7 @@ echo "== engine_throughput -> BENCH_engine.json + telemetry artifacts"
 "$build_dir/bench/engine_throughput" --benchmark_format=json \
   --trace_out="$repo_root/BENCH_engine_trace.json" \
   --histogram_out="$repo_root/BENCH_telemetry.json" \
+  --timeline_out="$repo_root/BENCH_engine_timeline.jsonl" \
   > "$repo_root/BENCH_engine.json"
 
 echo "== tidlist_budget -> BENCH_tidlist.json"
@@ -117,5 +120,6 @@ echo "wrote $repo_root/BENCH_counting_trace.json"
 echo "wrote $repo_root/BENCH_intersect.json"
 echo "wrote $repo_root/BENCH_engine.json"
 echo "wrote $repo_root/BENCH_engine_trace.json"
+echo "wrote $repo_root/BENCH_engine_timeline.jsonl"
 echo "wrote $repo_root/BENCH_telemetry.json"
 echo "wrote $repo_root/BENCH_tidlist.json"

@@ -32,6 +32,14 @@ Checks enforced (all are CI-blocking):
                  the tidlist/simd.h dispatch table so scalar fallbacks,
                  CPUID gating, and the differential tests stay in one
                  place.
+  metric-name    Telemetry registry lookups (`counter("` / `gauge("` /
+                 `histogram("`) whose name literal does not follow the
+                 `subsystem/name` convention: lowercase [a-z0-9_]
+                 segments joined by `/`, at least two segments. A
+                 concatenated name (`counter("monitor/" + name + ...)`)
+                 must open with a complete `subsystem/` prefix literal.
+                 Keeps the timeline/alert metric namespace greppable and
+                 the Perfetto counter tracks grouped by subsystem.
   naked-sync     Raw standard sync primitives (`std::mutex` and friends,
                  `std::lock_guard` / `std::unique_lock` / `std::scoped_lock`,
                  `std::condition_variable`, or including <mutex> /
@@ -76,6 +84,16 @@ INTRINSIC_RE = re.compile(
     r"\b_mm(?:256|512)?_\w+|#\s*include\s*<(?:imm|emm|smm|tmm|nmm|wmm|pmm|x)"
     r"intrin\.h>"
 )
+# Telemetry registry lookups whose first argument opens with a string
+# literal. The stripper blanks literal contents but keeps the quotes, so
+# the opening quote still matches; the name is read from the raw line at
+# the same offset.
+METRIC_CALL_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"")
+# A complete metric name: subsystem/name with optional deeper segments.
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)+$")
+# The literal head of a concatenated name must be a full `subsystem/`
+# (or deeper) prefix ending at a segment boundary.
+METRIC_PREFIX_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)*/$")
 # Raw standard sync primitives and the headers that supply them. Everything
 # here has an annotated wrapper in common/sync.h.
 NAKED_SYNC_RE = re.compile(
@@ -187,6 +205,27 @@ def lint_file(path, root, findings):
             report(lineno, "tidlist-raw",
                    "raw TID-list storage access outside src/tidlist/; use "
                    "the lease + view API or Materialize{Item,Pair}List")
+        # Metric names can wrap after the call's opening paren, so match
+        # in a two-line window; stripping preserves lengths, so offsets
+        # in the code window address the raw window too.
+        next_code = code_lines[lineno] if lineno < len(code_lines) else ""
+        next_raw = raw_lines[lineno] if lineno < len(raw_lines) else ""
+        code_window = code + "\n" + next_code
+        raw_window = raw_lines[lineno - 1] + "\n" + next_raw
+        for m in METRIC_CALL_RE.finditer(code_window):
+            if m.start() >= len(code):
+                break  # starts on the next line; its own pass reports it
+            end = raw_window.find('"', m.end())
+            if end < 0:
+                continue
+            literal = raw_window[m.end():end]
+            after = code_window[end + 1:].lstrip()
+            ok = (METRIC_PREFIX_RE.match(literal) if after.startswith("+")
+                  else METRIC_NAME_RE.match(literal))
+            if not ok:
+                report(lineno, "metric-name",
+                       f'metric name "{literal}" is not `subsystem/name` '
+                       "(lowercase [a-z0-9_] segments joined by `/`)")
         if (NAKED_SYNC_RE.search(code)
                 and path != root / "src" / "common" / "sync.h"):
             report(lineno, "naked-sync",
@@ -256,6 +295,30 @@ SELF_TEST_CASES = [
     ("include-guard fires on a wrong guard", "src/guard.h",
      "#ifndef WRONG_H_\n#define WRONG_H_\n#endif  // WRONG_H_\n",
      ["include-guard"]),
+    ("metric-name fires on a slashless name", "src/core/m.cc",
+     "void F(telemetry::TelemetryRegistry* r) {\n"
+     "  r->counter(\"blocks\")->Add(1);\n}\n",
+     ["metric-name"]),
+    ("metric-name fires on an uppercase segment", "src/core/n.cc",
+     "void F(telemetry::TelemetryRegistry* r) {\n"
+     "  r->histogram(\"Engine/response_seconds\");\n}\n",
+     ["metric-name"]),
+    ("subsystem/name literal is sanctioned", "src/core/o.cc",
+     "void F(telemetry::TelemetryRegistry* r) {\n"
+     "  r->gauge(\"evolution/borders/churn\")->Set(0.5);\n}\n",
+     []),
+    ("concatenation with a subsystem/ prefix is sanctioned", "src/core/p.cc",
+     "void F(telemetry::TelemetryRegistry* r, const std::string& n) {\n"
+     "  r->histogram(\"monitor/\" + n + \"/response_seconds\");\n}\n",
+     []),
+    ("concatenation without a trailing slash fires", "src/core/q.cc",
+     "void F(telemetry::TelemetryRegistry* r, const std::string& n) {\n"
+     "  r->counter(\"monitor\" + n);\n}\n",
+     ["metric-name"]),
+    ("wrapped metric name is still checked", "src/core/r.cc",
+     "void F(telemetry::TelemetryRegistry* r) {\n"
+     "  r->counter(\n      \"badname\");\n}\n",
+     ["metric-name"]),
     ("naked-sync fires on a raw mutex", "src/core/h.cc",
      "std::mutex mu;\nstd::lock_guard<std::mutex> lock(mu);\n",
      ["naked-sync"]),

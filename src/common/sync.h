@@ -1,7 +1,9 @@
 #ifndef DEMON_COMMON_SYNC_H_
 #define DEMON_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 /// \file
@@ -170,6 +172,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Like Wait, but returns after at most `timeout_ns` nanoseconds even
+  /// without a notification. Returns true when notified (or spuriously
+  /// woken), false on timeout — callers re-check their predicate either
+  /// way, exactly as with Wait. Used by periodic background threads (the
+  /// telemetry scraper) so Stop() interrupts the inter-scrape sleep.
+  bool WaitFor(Mutex& mu, uint64_t timeout_ns) DEMON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::nanoseconds(timeout_ns));
+    native.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

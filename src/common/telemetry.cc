@@ -1,5 +1,7 @@
 #include "common/telemetry.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -43,38 +45,7 @@ size_t BucketIndexFor(double v) {
   return std::min(index, Histogram::kNumBuckets - 1);
 }
 
-void AppendJsonEscaped(std::string_view text, std::string* out) {
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-}
 
-void AppendDouble(double v, std::string* out) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  out->append(buf);
-}
 
 /// Prometheus metric name: `demon_` + name with every run of characters
 /// outside [a-zA-Z0-9_] collapsed to one underscore.
@@ -107,11 +78,62 @@ std::vector<std::string> SortedKeys(const Map& map) {
 
 }  // namespace
 
+// Public so the timeline exporter (telemetry_timeline.cc) renders JSONL
+// and counter tracks with the same escaping and numeric formatting.
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendJsonDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out->append(buf);
+}
+
+namespace {
+// Local alias retained for the Prometheus exporter below.
+void AppendDouble(double v, std::string* out) { AppendJsonDouble(v, out); }
+}  // namespace
+
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
 }
 
 void Histogram::Record(double v) {
@@ -128,27 +150,44 @@ double Histogram::BucketUpperBound(size_t i) {
                                 static_cast<double>(kBucketsPerDecade));
 }
 
-double Histogram::ApproxQuantile(double q) const {
-  const uint64_t total = count();
-  if (total == 0) return 0.0;
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  // Buckets first: Record() bumps the bucket before count_/sum_, so a
+  // count derived from the bucket sum is self-consistent (cumulative
+  // bucket rows always add up to it) and monotone across snapshots.
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[i] = bucket_count(i);
+    snapshot.count += snapshot.buckets[i];
+  }
+  snapshot.sum = sum();
+  snapshot.max = max();
+  return snapshot;
+}
+
+double Histogram::Snapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(total);
+  const double rank = q * static_cast<double>(count);
   double cumulative = 0.0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    const uint64_t in_bucket = bucket_count(i);
+    const uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     const double next = cumulative + static_cast<double>(in_bucket);
     if (next >= rank) {
       const double upper = BucketUpperBound(i);
-      if (std::isinf(upper)) return max();
+      if (std::isinf(upper)) return max;
       const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
       const double fraction =
           (rank - cumulative) / static_cast<double>(in_bucket);
-      return std::min(lower + fraction * (upper - lower), max());
+      return std::min(lower + fraction * (upper - lower), max);
     }
     cumulative = next;
   }
-  return max();
+  return max;
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  return TakeSnapshot().ApproxQuantile(q);
 }
 
 /// A bounded span ring owned by (registry, thread). The mutex is only
@@ -278,23 +317,16 @@ void TelemetryRegistry::ClearSpans() {
   collected_.clear();
 }
 
-std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
-  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
-  for (const SpanRecord& span : spans) {
-    base_ns = std::min(base_ns, span.start_ns);
-  }
-  if (spans.empty()) base_ns = 0;
-
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+void AppendChromeSpanEvents(const std::vector<SpanRecord>& spans,
+                            uint64_t base_ns, bool* first, std::string* out) {
   char buf[96];
   for (const SpanRecord& span : spans) {
-    if (!first) out.push_back(',');
-    first = false;
-    out.append("\n{\"name\":\"");
-    AppendJsonEscaped(span.name, &out);
-    out.append("\",\"cat\":\"");
-    AppendJsonEscaped(span.category, &out);
+    if (!*first) out->push_back(',');
+    *first = false;
+    out->append("\n{\"name\":\"");
+    AppendJsonEscaped(span.name, out);
+    out->append("\",\"cat\":\"");
+    AppendJsonEscaped(span.category, out);
     // ph:"X" complete events; ts/dur in microseconds per the trace_event
     // spec, rebased to the earliest span so Perfetto opens near t=0.
     const double ts_us =
@@ -305,13 +337,25 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
                   "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
                   "\"tid\":%u,",
                   ts_us, dur_us, span.thread);
-    out.append(buf);
+    out->append(buf);
     std::snprintf(buf, sizeof(buf),
                   "\"args\":{\"span\":%llu,\"parent\":%llu}}",
                   static_cast<unsigned long long>(span.id),
                   static_cast<unsigned long long>(span.parent));
-    out.append(buf);
+    out->append(buf);
   }
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
+  for (const SpanRecord& span : spans) {
+    base_ns = std::min(base_ns, span.start_ns);
+  }
+  if (spans.empty()) base_ns = 0;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendChromeSpanEvents(spans, base_ns, &first, &out);
   out.append("\n]}\n");
   return out;
 }
@@ -339,12 +383,14 @@ std::string TelemetryRegistry::PrometheusText() const {
     out.push_back('\n');
   }
   for (const std::string& key : SortedKeys(histograms_)) {
-    const Histogram& histogram = *histograms_.at(key);
+    // One Snapshot per histogram: a concurrent Record() can no longer
+    // leave the rendered bucket rows disagreeing with _count.
+    const Histogram::Snapshot snapshot = histograms_.at(key)->TakeSnapshot();
     const std::string name = PrometheusName(key);
     out += "# TYPE " + name + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      cumulative += histogram.bucket_count(i);
+      cumulative += snapshot.buckets[i];
       const double upper = Histogram::BucketUpperBound(i);
       out += name + "_bucket{le=\"";
       if (std::isinf(upper)) {
@@ -355,11 +401,36 @@ std::string TelemetryRegistry::PrometheusText() const {
       out += "\"} " + std::to_string(cumulative) + "\n";
     }
     out += name + "_sum ";
-    AppendDouble(histogram.sum(), &out);
+    AppendDouble(snapshot.sum, &out);
     out.push_back('\n');
-    out += name + "_count " + std::to_string(histogram.count()) + "\n";
+    out += name + "_count " + std::to_string(snapshot.count) + "\n";
   }
   return out;
+}
+
+MetricsSample TelemetryRegistry::SnapshotMetrics() const {
+  MetricsSample sample;
+  sample.t_ns = NowNanos();
+  MutexLock lock(metrics_mutex_);
+  sample.counters.reserve(counters_.size());
+  for (const std::string& key : SortedKeys(counters_)) {
+    sample.counters.emplace_back(key, counters_.at(key)->value());
+  }
+  sample.gauges.reserve(gauges_.size());
+  for (const std::string& key : SortedKeys(gauges_)) {
+    sample.gauges.emplace_back(key, gauges_.at(key)->value());
+  }
+  sample.histograms.reserve(histograms_.size());
+  for (const std::string& key : SortedKeys(histograms_)) {
+    const Histogram::Snapshot snapshot = histograms_.at(key)->TakeSnapshot();
+    MetricsSample::HistogramRow row;
+    row.name = key;
+    row.count = snapshot.count;
+    row.sum = snapshot.sum;
+    row.max = snapshot.max;
+    sample.histograms.push_back(std::move(row));
+  }
+  return sample;
 }
 
 std::string TelemetryRegistry::Export(TelemetryFormat format) {
@@ -377,14 +448,16 @@ std::vector<HistogramSummary> TelemetryRegistry::HistogramSummaries() const {
   std::vector<HistogramSummary> rows;
   rows.reserve(histograms_.size());
   for (const std::string& key : SortedKeys(histograms_)) {
-    const Histogram& histogram = *histograms_.at(key);
+    // One Snapshot per row, so count and quantiles describe the same
+    // point in time even while other threads record.
+    const Histogram::Snapshot snapshot = histograms_.at(key)->TakeSnapshot();
     HistogramSummary row;
     row.name = key;
-    row.count = histogram.count();
-    row.sum = histogram.sum();
-    row.p50 = histogram.ApproxQuantile(0.5);
-    row.p95 = histogram.ApproxQuantile(0.95);
-    row.max = histogram.max();
+    row.count = snapshot.count;
+    row.sum = snapshot.sum;
+    row.p50 = snapshot.ApproxQuantile(0.5);
+    row.p95 = snapshot.ApproxQuantile(0.95);
+    row.max = snapshot.max;
     rows.push_back(std::move(row));
   }
   return rows;

@@ -30,6 +30,14 @@ inline constexpr bool kEnabled = DEMON_TELEMETRY_ENABLED != 0;
 /// Nanoseconds on the steady clock. All span timestamps share this base.
 uint64_t NowNanos();
 
+/// Nanoseconds of CPU time consumed by the *calling thread*
+/// (CLOCK_THREAD_CPUTIME_ID). Falls back to 0 on platforms without a
+/// per-thread CPU clock. The engine records this next to wall time so
+/// per-monitor response stats stop sum-inflating under time-slicing:
+/// four monitors sharing one core each report ~4x wall time, but their
+/// CPU times still add up to the core's capacity.
+uint64_t ThreadCpuNanos();
+
 /// Adds `v` to `target` with a relaxed CAS loop (portable fetch_add for
 /// atomic<double>, which some standard libraries still lack).
 inline void AtomicAddDouble(std::atomic<double>& target, double v) {
@@ -87,6 +95,29 @@ class Histogram {
 
   void Record(double v);
 
+  /// \brief Self-consistent point-in-time copy of a histogram.
+  ///
+  /// A histogram's fields are individually atomic but updated as a group,
+  /// so readers racing a Record() can see `count` incremented before the
+  /// bucket (or vice versa). A Snapshot reads the buckets once and
+  /// *derives* the count from their sum, so cumulative bucket rows always
+  /// add up to the reported count — the invariant Prometheus scrapers and
+  /// the timeline scraper rely on. Record() bumps the bucket before
+  /// `count_`, so the derived count is also monotone across snapshots.
+  struct Snapshot {
+    uint64_t buckets[kNumBuckets] = {};
+    uint64_t count = 0;  ///< Sum of `buckets`.
+    double sum = 0.0;
+    double max = 0.0;
+
+    /// Quantile estimate over the snapshot (same interpolation as
+    /// Histogram::ApproxQuantile, but immune to concurrent records).
+    double ApproxQuantile(double q) const;
+  };
+
+  /// Takes a Snapshot. Safe to call while other threads Record().
+  Snapshot TakeSnapshot() const;
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double max() const { return max_.load(std::memory_order_relaxed); }
@@ -117,6 +148,27 @@ struct SpanRecord {
   uint32_t thread = 0;  ///< Small stable per-registry thread index.
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
+};
+
+/// \brief Point-in-time copy of every registered metric, sorted by name
+/// within each kind — what the TelemetryScraper appends to its timeline.
+///
+/// Each value is one relaxed atomic read, so a sample taken mid-run is
+/// per-metric consistent (every counter monotone across samples, every
+/// histogram count equal to its bucket sum) without claiming cross-metric
+/// simultaneity — two metrics bumped by one operation can land in
+/// different samples.
+struct MetricsSample {
+  uint64_t t_ns = 0;  ///< NowNanos() at the start of the sweep.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  std::vector<HistogramRow> histograms;
 };
 
 /// Summary row for one histogram (the BENCH_telemetry.json payload).
@@ -183,6 +235,22 @@ class TelemetryRegistry {
   }
 
   void ClearSpans() DEMON_EXCLUDES(buffers_mutex_);
+
+  /// Takes a MetricsSample of every registered metric (see the struct
+  /// comment for the exact consistency contract). Safe to call while
+  /// other threads record — this is the scraper's once-per-period read.
+  MetricsSample SnapshotMetrics() const DEMON_EXCLUDES(metrics_mutex_);
+
+  // Export paths. Safe to call while other threads are still recording
+  // metrics and spans — a scrape or a --stats_every dump may race the
+  // engine mid-block. Metric maps are walked under metrics_mutex_
+  // (lookups insert-only; returned pointers stay valid), each histogram
+  // is rendered from one Snapshot so its bucket rows always sum to its
+  // count, and span collection drains the per-thread rings under their
+  // own mutexes. What concurrency costs is only *completeness*: spans
+  // still open and metric updates issued after the walk passes them are
+  // missing from this export and appear in the next one. Quiesce first
+  // for a final, complete export.
 
   /// Chrome trace_event JSON of CollectSpans().
   std::string ChromeTraceJson() DEMON_EXCLUDES(buffers_mutex_);
@@ -298,6 +366,20 @@ class ScopedTimer {
 /// Chrome trace_event JSON for an explicit span list (deterministic; the
 /// golden exporter tests build SpanRecords by hand and diff the output).
 std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Appends the `ph:"X"` trace events for `spans` (comma-separated, no
+/// envelope) to `out`, with timestamps rebased to `base_ns`. `first`
+/// tracks whether a comma is needed before the next event; the timeline
+/// exporter uses this to merge counter tracks (`ph:"C"`) and spans into
+/// one trace with a shared timebase.
+void AppendChromeSpanEvents(const std::vector<SpanRecord>& spans,
+                            uint64_t base_ns, bool* first, std::string* out);
+
+/// Appends `text` JSON-escaped (no surrounding quotes) to `out`.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Appends `v` with `%g` formatting (the shared numeric JSON idiom).
+void AppendJsonDouble(double v, std::string* out);
 
 }  // namespace demon::telemetry
 

@@ -1,0 +1,446 @@
+#include "common/telemetry_timeline.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace demon::telemetry {
+namespace {
+
+// Merge-walk delta against the previous cumulative sample: both vectors
+// are sorted by name (SnapshotMetrics sweeps sorted keys), so one linear
+// pass pairs each current metric with its predecessor. Metrics absent
+// from `prev` (registered since the last scrape) delta from zero.
+template <typename Pair, typename Value>
+Value PrevValueOrZero(const std::vector<Pair>& prev, size_t* cursor,
+                      const std::string& name, Value zero) {
+  while (*cursor < prev.size() && prev[*cursor].first < name) ++*cursor;
+  if (*cursor < prev.size() && prev[*cursor].first == name) {
+    return prev[*cursor].second;
+  }
+  return zero;
+}
+
+const MetricsSample::HistogramRow* PrevHistogramOrNull(
+    const std::vector<MetricsSample::HistogramRow>& prev, size_t* cursor,
+    const std::string& name) {
+  while (*cursor < prev.size() && prev[*cursor].name < name) ++*cursor;
+  if (*cursor < prev.size() && prev[*cursor].name == name) {
+    return &prev[*cursor];
+  }
+  return nullptr;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  // std::from_chars<double> is still missing from some libstdc++
+  // versions this repo builds under, so go through strtod.
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+TelemetryRegistry* CheckedRegistry(TelemetryRegistry* registry) {
+  DEMON_CHECK_MSG(registry != nullptr, "TelemetryScraper needs a registry");
+  return registry;
+}
+
+}  // namespace
+
+MetricsTimeline::MetricsTimeline(size_t capacity)
+    : ring_(std::max<size_t>(capacity, 1)) {}
+
+void MetricsTimeline::Append(TimelineSample sample) {
+  ring_[head_] = std::move(sample);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TimelineSample> MetricsTimeline::Samples() const {
+  std::vector<TimelineSample> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+bool ParseAlertPolicy(std::string_view spec, AlertPolicy* out,
+                      std::string* error) {
+  AlertPolicy policy;
+  std::string_view rest = spec;
+
+  policy.source = AlertPolicy::Source::kGauge;
+  if (rest.substr(0, 8) == "counter:") {
+    policy.source = AlertPolicy::Source::kCounter;
+    rest.remove_prefix(8);
+  } else if (rest.substr(0, 6) == "delta:") {
+    policy.source = AlertPolicy::Source::kCounterDelta;
+    rest.remove_prefix(6);
+  } else if (rest.substr(0, 10) == "histcount:") {
+    policy.source = AlertPolicy::Source::kHistogramCount;
+    rest.remove_prefix(10);
+  }
+
+  const size_t op_pos = rest.find_first_of("<>");
+  if (op_pos == std::string_view::npos || op_pos == 0) {
+    if (error != nullptr) {
+      *error = "alert spec needs <metric><op><threshold>, op in {>,<}";
+    }
+    return false;
+  }
+  policy.metric = std::string(rest.substr(0, op_pos));
+  policy.op = rest[op_pos] == '>' ? AlertPolicy::Op::kGreaterThan
+                                  : AlertPolicy::Op::kLessThan;
+
+  std::string_view tail = rest.substr(op_pos + 1);
+  policy.for_n_scrapes = 1;
+  const size_t colon = tail.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view n_text = tail.substr(colon + 1);
+    int n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(n_text.data(), n_text.data() + n_text.size(), n);
+    if (ec != std::errc() || ptr != n_text.data() + n_text.size() || n < 1) {
+      if (error != nullptr) {
+        *error = "alert spec :<n> suffix must be a positive integer";
+      }
+      return false;
+    }
+    policy.for_n_scrapes = n;
+    tail = tail.substr(0, colon);
+  }
+  if (!ParseDouble(tail, &policy.threshold)) {
+    if (error != nullptr) {
+      *error = "alert spec threshold is not a number";
+    }
+    return false;
+  }
+  policy.name = std::string(spec);
+  *out = std::move(policy);
+  return true;
+}
+
+TelemetryScraper::TelemetryScraper(ScraperOptions options)
+    : options_(options),
+      alerts_fired_total_(
+          CheckedRegistry(options.registry)->counter("alerts/fired")),
+      timeline_(options.timeline_capacity) {}
+
+TelemetryScraper::~TelemetryScraper() { Stop(); }
+
+void TelemetryScraper::AddPolicy(AlertPolicy policy, AlertCallback callback) {
+  Counter* fired =
+      options_.registry->counter("alerts/" + policy.name + "/fired");
+  MutexLock lock(mutex_);
+  PolicyState state;
+  state.policy = std::move(policy);
+  state.callback = std::move(callback);
+  state.fired_counter = fired;
+  policies_.push_back(std::move(state));
+}
+
+void TelemetryScraper::Start() {
+  DEMON_CHECK_MSG(options_.period_seconds > 0.0,
+                  "scrape period must be positive");
+  {
+    MutexLock lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void TelemetryScraper::Stop() {
+  {
+    MutexLock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  MutexLock lock(mutex_);
+  running_ = false;
+}
+
+void TelemetryScraper::Run() {
+  const double period_ns_d = options_.period_seconds * 1e9;
+  const uint64_t period_ns =
+      period_ns_d >= 1.0 ? static_cast<uint64_t>(period_ns_d) : 1;
+  MutexLock lock(mutex_);
+  while (!stop_requested_) {
+    // Sleep one period; Stop() notifies the condvar to cut it short.
+    // Spurious wakeups just cost an early scrape, which is harmless.
+    cv_.WaitFor(mutex_, period_ns);
+    if (stop_requested_) break;
+    ScrapeLocked();
+  }
+}
+
+TimelineSample TelemetryScraper::ScrapeNow() {
+  MutexLock lock(mutex_);
+  return ScrapeLocked();
+}
+
+TimelineSample TelemetryScraper::ScrapeLocked() {
+  TimelineSample sample;
+  sample.seq = num_scrapes_++;
+  // Holding mutex_ across the registry snapshot is the declared
+  // ACQUIRED_BEFORE edge: scraper lock, then the registry's metrics lock.
+  sample.cumulative = options_.registry->SnapshotMetrics();
+
+  sample.counter_deltas.reserve(sample.cumulative.counters.size());
+  size_t cursor = 0;
+  for (const auto& [name, value] : sample.cumulative.counters) {
+    const uint64_t before =
+        PrevValueOrZero(prev_.counters, &cursor, name, uint64_t{0});
+    // Counters are monotone per metric, but guard anyway so a torn test
+    // double-registry never underflows into a huge delta.
+    sample.counter_deltas.push_back(value >= before ? value - before : 0);
+  }
+
+  sample.histogram_deltas.reserve(sample.cumulative.histograms.size());
+  cursor = 0;
+  for (const MetricsSample::HistogramRow& row : sample.cumulative.histograms) {
+    const MetricsSample::HistogramRow* before =
+        PrevHistogramOrNull(prev_.histograms, &cursor, row.name);
+    TimelineSample::HistogramDelta delta;
+    if (before != nullptr && row.count >= before->count) {
+      delta.count = row.count - before->count;
+      delta.sum = row.sum - before->sum;
+    } else {
+      delta.count = row.count;
+      delta.sum = row.sum;
+    }
+    sample.histogram_deltas.push_back(delta);
+  }
+
+  EvaluatePoliciesLocked(sample);
+  prev_ = sample.cumulative;
+  timeline_.Append(sample);
+  return sample;
+}
+
+void TelemetryScraper::EvaluatePoliciesLocked(const TimelineSample& sample) {
+  for (PolicyState& state : policies_) {
+    const AlertPolicy& policy = state.policy;
+    bool present = false;
+    double value = 0.0;
+    switch (policy.source) {
+      case AlertPolicy::Source::kGauge: {
+        const auto& gauges = sample.cumulative.gauges;
+        const auto it = std::lower_bound(
+            gauges.begin(), gauges.end(), policy.metric,
+            [](const auto& entry, const std::string& name) {
+              return entry.first < name;
+            });
+        if (it != gauges.end() && it->first == policy.metric) {
+          present = true;
+          value = it->second;
+        }
+        break;
+      }
+      case AlertPolicy::Source::kCounter:
+      case AlertPolicy::Source::kCounterDelta: {
+        const auto& counters = sample.cumulative.counters;
+        const auto it = std::lower_bound(
+            counters.begin(), counters.end(), policy.metric,
+            [](const auto& entry, const std::string& name) {
+              return entry.first < name;
+            });
+        if (it != counters.end() && it->first == policy.metric) {
+          present = true;
+          if (policy.source == AlertPolicy::Source::kCounter) {
+            value = static_cast<double>(it->second);
+          } else {
+            const size_t index =
+                static_cast<size_t>(it - counters.begin());
+            value = static_cast<double>(sample.counter_deltas[index]);
+          }
+        }
+        break;
+      }
+      case AlertPolicy::Source::kHistogramCount: {
+        const auto& rows = sample.cumulative.histograms;
+        const auto it = std::lower_bound(
+            rows.begin(), rows.end(), policy.metric,
+            [](const MetricsSample::HistogramRow& row,
+               const std::string& name) { return row.name < name; });
+        if (it != rows.end() && it->name == policy.metric) {
+          present = true;
+          value = static_cast<double>(it->count);
+        }
+        break;
+      }
+    }
+
+    const bool violating =
+        present && (policy.op == AlertPolicy::Op::kGreaterThan
+                        ? value > policy.threshold
+                        : value < policy.threshold);
+    if (!violating) {
+      // One healthy scrape (or a missing metric) re-arms the policy.
+      state.streak = 0;
+      state.latched = false;
+      continue;
+    }
+    ++state.streak;
+    if (state.latched || state.streak < policy.for_n_scrapes) continue;
+    state.latched = true;
+    alerts_fired_total_->Increment();
+    state.fired_counter->Increment();
+    AlertEvent event;
+    event.policy = policy.name;
+    event.metric = policy.metric;
+    event.value = value;
+    event.threshold = policy.threshold;
+    event.t_ns = sample.cumulative.t_ns;
+    event.seq = sample.seq;
+    alerts_.push_back(event);
+    if (state.callback) state.callback(alerts_.back());
+  }
+}
+
+std::vector<TimelineSample> TelemetryScraper::Samples() const {
+  MutexLock lock(mutex_);
+  return timeline_.Samples();
+}
+
+std::vector<AlertEvent> TelemetryScraper::Alerts() const {
+  MutexLock lock(mutex_);
+  return alerts_;
+}
+
+uint64_t TelemetryScraper::num_scrapes() const {
+  MutexLock lock(mutex_);
+  return num_scrapes_;
+}
+
+uint64_t TelemetryScraper::timeline_dropped() const {
+  MutexLock lock(mutex_);
+  return timeline_.dropped();
+}
+
+std::string TimelineJsonl(const std::vector<TimelineSample>& samples) {
+  std::string out;
+  char buf[64];
+  for (const TimelineSample& sample : samples) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"scrape\",\"seq\":%llu,\"t_ns\":%llu",
+                  static_cast<unsigned long long>(sample.seq),
+                  static_cast<unsigned long long>(sample.cumulative.t_ns));
+    out.append(buf);
+
+    out.append(",\"counters\":{");
+    bool first = true;
+    for (size_t i = 0; i < sample.cumulative.counters.size(); ++i) {
+      const auto& [name, value] = sample.cumulative.counters[i];
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(name, &out);
+      std::snprintf(buf, sizeof(buf), "\":[%llu,%llu]",
+                    static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(sample.counter_deltas[i]));
+      out.append(buf);
+    }
+    // Each counter renders as [cumulative, delta-this-period].
+    out.append("},\"gauges\":{");
+    first = true;
+    for (const auto& [name, value] : sample.cumulative.gauges) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(name, &out);
+      out.append("\":");
+      AppendJsonDouble(value, &out);
+    }
+    out.append("},\"histograms\":{");
+    first = true;
+    for (size_t i = 0; i < sample.cumulative.histograms.size(); ++i) {
+      const MetricsSample::HistogramRow& row = sample.cumulative.histograms[i];
+      const TimelineSample::HistogramDelta& delta =
+          sample.histogram_deltas[i];
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(row.name, &out);
+      std::snprintf(buf, sizeof(buf), "\":{\"count\":%llu,\"sum\":",
+                    static_cast<unsigned long long>(row.count));
+      out.append(buf);
+      AppendJsonDouble(row.sum, &out);
+      out.append(",\"max\":");
+      AppendJsonDouble(row.max, &out);
+      std::snprintf(buf, sizeof(buf), ",\"dcount\":%llu,\"dsum\":",
+                    static_cast<unsigned long long>(delta.count));
+      out.append(buf);
+      AppendJsonDouble(delta.sum, &out);
+      out.push_back('}');
+    }
+    out.append("}}\n");
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const std::vector<TimelineSample>& samples) {
+  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
+  for (const SpanRecord& span : spans) {
+    base_ns = std::min(base_ns, span.start_ns);
+  }
+  for (const TimelineSample& sample : samples) {
+    base_ns = std::min(base_ns, sample.cumulative.t_ns);
+  }
+  if (base_ns == std::numeric_limits<uint64_t>::max()) base_ns = 0;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendChromeSpanEvents(spans, base_ns, &first, &out);
+
+  char buf[64];
+  auto append_counter_event = [&](const std::string& name, uint64_t t_ns,
+                                  double value) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n{\"name\":\"");
+    AppendJsonEscaped(name, &out);
+    const double ts_us = static_cast<double>(t_ns - base_ns) / 1000.0;
+    std::snprintf(buf, sizeof(buf), "\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,",
+                  ts_us);
+    out.append(buf);
+    out.append("\"args\":{\"value\":");
+    AppendJsonDouble(value, &out);
+    out.append("}}");
+  };
+
+  for (const TimelineSample& sample : samples) {
+    const uint64_t t_ns = sample.cumulative.t_ns;
+    // Counters chart their per-period delta (a flat line means idle);
+    // gauges chart their instantaneous value.
+    for (size_t i = 0; i < sample.cumulative.counters.size(); ++i) {
+      append_counter_event(sample.cumulative.counters[i].first, t_ns,
+                           static_cast<double>(sample.counter_deltas[i]));
+    }
+    for (const auto& [name, value] : sample.cumulative.gauges) {
+      append_counter_event(name, t_ns, value);
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace demon::telemetry

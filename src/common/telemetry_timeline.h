@@ -1,0 +1,248 @@
+#ifndef DEMON_COMMON_TELEMETRY_TIMELINE_H_
+#define DEMON_COMMON_TELEMETRY_TIMELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/telemetry.h"
+
+/// \file
+/// Time-series telemetry: periodic delta snapshots of every registered
+/// metric into a bounded in-memory ring, plus declarative alert policies
+/// evaluated on each scrape.
+///
+/// PR 4's registry is cumulative-since-start — one Prometheus or Chrome
+/// trace dump at exit. For a system whose premise is *monitoring evolving
+/// data* that is not enough: resident bytes, page-ins, token occupancy
+/// and model churn only mean something as trajectories. The
+/// `TelemetryScraper` background thread turns the registry into exactly
+/// that — a `MetricsTimeline` of per-period samples with both cumulative
+/// values and per-scrape deltas, exportable as JSONL and as Chrome-trace
+/// counter tracks (`"ph":"C"`) that Perfetto renders as line charts next
+/// to the existing spans.
+///
+/// The scraper is deliberately *not* gated on DEMON_TELEMETRY: like
+/// ScopedTimer and MonitorStats it is part of the stats contract in every
+/// build. With the gate OFF the hot-path macros record nothing, so the
+/// timeline is simply flat — but a gate-off build still compiles, starts
+/// and stops the scraper (the telemetry-off CI job proves it).
+///
+/// Lock order: the scraper's own mutex is declared ACQUIRED_BEFORE the
+/// registry's metrics mutex (a scrape snapshots the registry while
+/// holding the scraper lock), mirroring the ExtentPager precedent in
+/// DESIGN.md's lock-order table.
+
+namespace demon::telemetry {
+
+/// One timeline point: a cumulative MetricsSample plus per-period deltas
+/// against the previous scrape (first scrape: deltas from zero).
+///
+/// Delta vectors run parallel to the cumulative vectors — entry i of
+/// `counter_deltas` belongs to `cumulative.counters[i]`. Metrics that
+/// appear between scrapes get their full cumulative value as the delta.
+struct TimelineSample {
+  uint64_t seq = 0;  ///< 0-based scrape index (monotone, never reused).
+  MetricsSample cumulative;
+  std::vector<uint64_t> counter_deltas;
+  struct HistogramDelta {
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<HistogramDelta> histogram_deltas;
+};
+
+/// \brief Bounded ring of TimelineSamples. When full, appending evicts
+/// the oldest sample (and counts the eviction), so a long-running monitor
+/// keeps the most recent window at a fixed memory bound.
+///
+/// Not internally synchronized — the TelemetryScraper owns one and
+/// guards it with its own mutex.
+class MetricsTimeline {
+ public:
+  explicit MetricsTimeline(size_t capacity);
+
+  void Append(TimelineSample sample);
+
+  /// Samples in scrape order (oldest retained first).
+  std::vector<TimelineSample> Samples() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  /// Samples evicted because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<TimelineSample> ring_;
+  size_t head_ = 0;  ///< Next write slot.
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// \brief Declarative threshold rule evaluated by the scraper on every
+/// sample — e.g. "itemset churn > 0.3 for 3 scrapes" or "resident bytes
+/// > 0.9 × budget".
+///
+/// A policy *fires* on the transition into violation: once the metric has
+/// violated the threshold on `for_n_scrapes` consecutive scrapes, the
+/// callback runs and the `alerts/fired` (and `alerts/<name>/fired`)
+/// counters bump. It then stays latched while the violation persists and
+/// re-arms as soon as one scrape satisfies the threshold (or the metric
+/// disappears), so a sustained breach fires once, not once per scrape.
+struct AlertPolicy {
+  /// Where the evaluated value comes from.
+  enum class Source {
+    kGauge,           ///< Gauge value at this scrape.
+    kCounter,         ///< Cumulative counter value.
+    kCounterDelta,    ///< Counter increment during this scrape period.
+    kHistogramCount,  ///< Cumulative histogram count.
+  };
+  enum class Op { kGreaterThan, kLessThan };
+
+  std::string name;    ///< Names the `alerts/<name>/fired` counter.
+  std::string metric;  ///< Registry name, e.g. "evolution/uw/churn".
+  Source source = Source::kGauge;
+  Op op = Op::kGreaterThan;
+  double threshold = 0.0;
+  /// Consecutive violating scrapes required before firing (>= 1).
+  int for_n_scrapes = 1;
+};
+
+/// What a fired policy reports to its callback and to `Alerts()`.
+struct AlertEvent {
+  std::string policy;
+  std::string metric;
+  double value = 0.0;      ///< Metric value on the firing scrape.
+  double threshold = 0.0;
+  uint64_t t_ns = 0;       ///< Timestamp of the firing sample.
+  uint64_t seq = 0;        ///< Scrape index of the firing sample.
+};
+
+using AlertCallback = std::function<void(const AlertEvent&)>;
+
+/// Parses the CLI alert-spec grammar into a policy:
+///
+///   [counter:|delta:|histcount:]<metric><op><threshold>[:<n>]
+///
+/// where `<op>` is `>` or `<`, the optional prefix picks the source
+/// (default gauge), and the optional `:<n>` suffix sets for_n_scrapes
+/// (default 1). Examples: `evolution/uw-itemsets/churn>0.3:3`,
+/// `counter:tidlist/page_ins>1000`, `tidlist/resident_bytes>6e6`.
+/// Returns false (with a message in `*error`) on malformed specs.
+bool ParseAlertPolicy(std::string_view spec, AlertPolicy* out,
+                      std::string* error);
+
+struct ScraperOptions {
+  TelemetryRegistry* registry = nullptr;  ///< Required.
+  /// Background scrape period. Start() rejects values <= 0.
+  double period_seconds = 0.25;
+  /// MetricsTimeline ring capacity.
+  size_t timeline_capacity = 4096;
+};
+
+/// \brief Background thread that scrapes `registry` every period into a
+/// MetricsTimeline and evaluates alert policies on each sample.
+///
+/// Usage: construct, AddPolicy() as needed, Start(); Stop() joins the
+/// thread (the destructor calls it). ScrapeNow() takes one synchronous
+/// sample — with or without the thread running — and is how callers pin
+/// an exact boundary (demon_cli scrapes after each quiesced block, and
+/// tests take a final post-quiesce scrape to compare against registry
+/// totals).
+///
+/// Thread safety: all public methods may be called from any thread.
+/// Sample consistency is inherited from TelemetryRegistry::SnapshotMetrics
+/// — per-metric monotone, no cross-metric simultaneity claim.
+class TelemetryScraper {
+ public:
+  explicit TelemetryScraper(ScraperOptions options);
+  ~TelemetryScraper();
+
+  TelemetryScraper(const TelemetryScraper&) = delete;
+  TelemetryScraper& operator=(const TelemetryScraper&) = delete;
+
+  /// Registers a policy (callback may be null — firing still bumps the
+  /// alert counters and is recorded in Alerts()).
+  void AddPolicy(AlertPolicy policy, AlertCallback callback = nullptr)
+      DEMON_EXCLUDES(mutex_);
+
+  /// Starts the background scrape thread. No-op if already running.
+  void Start() DEMON_EXCLUDES(mutex_);
+
+  /// Stops and joins the background thread. Idempotent.
+  void Stop() DEMON_EXCLUDES(mutex_);
+
+  /// Takes one scrape synchronously and returns it (also appended to the
+  /// timeline and run through the alert policies).
+  TimelineSample ScrapeNow() DEMON_EXCLUDES(mutex_);
+
+  /// Copy of the retained timeline, oldest first.
+  std::vector<TimelineSample> Samples() const DEMON_EXCLUDES(mutex_);
+
+  /// Every alert fired so far, in firing order.
+  std::vector<AlertEvent> Alerts() const DEMON_EXCLUDES(mutex_);
+
+  /// Total scrapes taken (background + ScrapeNow), including any whose
+  /// samples the ring has since evicted.
+  uint64_t num_scrapes() const DEMON_EXCLUDES(mutex_);
+
+  /// Samples evicted from the ring so far.
+  uint64_t timeline_dropped() const DEMON_EXCLUDES(mutex_);
+
+ private:
+  void Run() DEMON_EXCLUDES(mutex_);
+  TimelineSample ScrapeLocked() DEMON_REQUIRES(mutex_);
+  void EvaluatePoliciesLocked(const TimelineSample& sample)
+      DEMON_REQUIRES(mutex_);
+
+  const ScraperOptions options_;
+  Counter* const alerts_fired_total_;  ///< "alerts/fired"; cached atomic.
+
+  /// Scrapes snapshot the registry while holding this lock, so it sits
+  /// above the registry's metrics mutex in the lock order (same edge the
+  /// ExtentPager declares — see DESIGN.md's lock-order table).
+  mutable Mutex mutex_
+      DEMON_ACQUIRED_BEFORE(options_.registry->metrics_mutex());
+  CondVar cv_;  ///< Signalled by Stop() to interrupt the period sleep.
+
+  MetricsTimeline timeline_ DEMON_GUARDED_BY(mutex_);
+  MetricsSample prev_ DEMON_GUARDED_BY(mutex_);  ///< Last cumulative scrape.
+  uint64_t num_scrapes_ DEMON_GUARDED_BY(mutex_) = 0;
+
+  struct PolicyState {
+    AlertPolicy policy;
+    AlertCallback callback;
+    Counter* fired_counter = nullptr;  ///< "alerts/<name>/fired".
+    int streak = 0;    ///< Consecutive violating scrapes.
+    bool latched = false;  ///< Fired and still violating.
+  };
+  std::vector<PolicyState> policies_ DEMON_GUARDED_BY(mutex_);
+  std::vector<AlertEvent> alerts_ DEMON_GUARDED_BY(mutex_);
+
+  bool running_ DEMON_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ DEMON_GUARDED_BY(mutex_) = false;
+  std::thread thread_;  ///< Touched only by Start/Stop (serialized there).
+};
+
+/// Renders samples as JSONL: one `{"type":"scrape",...}` object per line
+/// with cumulative counters/gauges/histograms and per-period deltas.
+/// demon_cli merges these lines with the engine's `{"type":"block",...}`
+/// records (sorted by t_ns) into the --timeline_out file.
+std::string TimelineJsonl(const std::vector<TimelineSample>& samples);
+
+/// Chrome trace_event JSON merging span events (`ph:"X"`) with counter
+/// tracks (`ph:"C"`) from the timeline, on one shared timebase (the
+/// earliest span start or sample timestamp). Gauges chart their value;
+/// counters chart their per-period delta (activity, not the cumulative
+/// total — a flat line means idle, which is what you want to see).
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const std::vector<TimelineSample>& samples);
+
+}  // namespace demon::telemetry
+
+#endif  // DEMON_COMMON_TELEMETRY_TIMELINE_H_

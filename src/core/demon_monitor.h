@@ -228,6 +228,13 @@ class DemonMonitor {
     return engine_.ExportTelemetry(format);
   }
 
+  /// Quiesces and returns the engine's per-block timeline — one record
+  /// per dispatched block with per-monitor response/offline times and
+  /// evolution stats (see BlockTimelineRecord).
+  std::vector<BlockTimelineRecord> TimelineRecords() {
+    return engine_.TimelineRecords();
+  }
+
   const TransactionSnapshot& snapshot() const { return snapshot_; }
   const PointSnapshot& point_snapshot() const { return points_; }
   const LabeledSnapshot& labeled_snapshot() const { return labeled_; }

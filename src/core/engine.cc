@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace demon {
 
 const char* ToString(AnyBlock::Payload payload) {
@@ -56,6 +59,15 @@ MaintenanceEngine::MonitorId MaintenanceEngine::Register(
       telemetry_->histogram("monitor/" + entry->name + "/response_seconds");
   entry->offline_hist =
       telemetry_->histogram("monitor/" + entry->name + "/offline_seconds");
+  entry->response_cpu_hist = telemetry_->histogram(
+      "monitor/" + entry->name + "/response_cpu_seconds");
+  entry->offline_cpu_hist =
+      telemetry_->histogram("monitor/" + entry->name + "/offline_cpu_seconds");
+  const std::string evo_prefix = "evolution/" + entry->name + "/";
+  entry->evo_elements = telemetry_->gauge(evo_prefix + "elements");
+  entry->evo_added = telemetry_->gauge(evo_prefix + "added");
+  entry->evo_removed = telemetry_->gauge(evo_prefix + "removed");
+  entry->evo_churn = telemetry_->gauge(evo_prefix + "churn");
   monitors_.push_back(std::move(entry));
   return monitors_.size() - 1;
 }
@@ -64,21 +76,35 @@ void MaintenanceEngine::RunResponse(Entry* entry, const AnyBlock& block,
                                     [[maybe_unused]] uint64_t parent_span) {
   DEMON_TRACE_SPAN_UNDER(span, telemetry_, entry->name, "response",
                          parent_span);
+  // Wall and thread-CPU time side by side: on a time-sliced core the
+  // wall times of concurrent monitors overlap (their sum inflates past
+  // real compute), while the CPU times still add up to core capacity.
+  const uint64_t cpu_start = telemetry::ThreadCpuNanos();
   telemetry::ScopedTimer timer(entry->response_hist);
   entry->maintainer->AddResponse(block);
   const double seconds = timer.Stop();
+  const double cpu_seconds =
+      static_cast<double>(telemetry::ThreadCpuNanos() - cpu_start) * 1e-9;
+  entry->response_cpu_hist->Record(cpu_seconds);
   ++entry->stats.blocks_routed;
   entry->stats.last_response_seconds = seconds;
+  entry->stats.last_response_cpu_seconds = cpu_seconds;
   entry->stats.last_offline_seconds = 0.0;
+  entry->stats.last_offline_cpu_seconds = 0.0;
 }
 
 void MaintenanceEngine::RunOffline(Entry* entry,
                                    [[maybe_unused]] uint64_t parent_span) {
   DEMON_TRACE_SPAN_UNDER(span, telemetry_, entry->name, "offline",
                          parent_span);
+  const uint64_t cpu_start = telemetry::ThreadCpuNanos();
   telemetry::ScopedTimer timer(entry->offline_hist);
   entry->maintainer->RunOffline();
   entry->stats.last_offline_seconds = timer.Stop();
+  const double cpu_seconds =
+      static_cast<double>(telemetry::ThreadCpuNanos() - cpu_start) * 1e-9;
+  entry->offline_cpu_hist->Record(cpu_seconds);
+  entry->stats.last_offline_cpu_seconds = cpu_seconds;
 }
 
 void MaintenanceEngine::Dispatch(const AnyBlock& block) {
@@ -91,6 +117,9 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
     audit_pending_ = false;
     AuditMonitors();
   }
+  // The previous block's record can now carry final offline times. This
+  // must happen before RunResponse resets any last_offline_seconds.
+  FinalizePendingTimeline();
 
   std::vector<Entry*> routed;
   routed.reserve(monitors_.size());
@@ -110,6 +139,14 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
                    "block " + std::to_string(block.id()), "engine");
   const uint64_t block_span_id = DEMON_SPAN_ID(block_span);
 
+  const bool record_timeline = options_.block_timeline_capacity > 0;
+  BlockTimelineRecord record;
+  if (record_timeline) {
+    record.block_id = block.id();
+    record.t_ns = telemetry::NowNanos();
+    record.records = block.size();
+  }
+
   // Time-critical path: every routed monitor absorbs the block; the
   // barrier below is what the caller's response time measures.
   if (pool_ != nullptr) {
@@ -123,9 +160,32 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
         RunResponse(entry, block, block_span_id);
       });
     }
+    if (record_timeline) {
+      // Token occupancy sampled mid-response — at the quiesced boundary
+      // every token is back, so this is the only point worth reading.
+      const size_t total = pool_->num_threads();
+      const size_t available = std::min(pool_->ApproxAvailableTokens(), total);
+      record.tokens_in_flight = static_cast<double>(total - available);
+    }
     pool_->WaitIdle();
   } else {
     for (Entry* entry : routed) RunResponse(entry, block, block_span_id);
+  }
+
+  // Response barrier: every routed model is final for this block and
+  // offline work has not yet started mutating GEMM future windows, so
+  // this is the one race-free point to read DescribeEvolution.
+  CaptureEvolution(routed);
+  if (record_timeline) {
+    record.monitors.reserve(routed.size());
+    for (Entry* entry : routed) {
+      BlockTimelineRecord::MonitorRow row;
+      row.name = entry->name;
+      row.response_seconds = entry->stats.last_response_seconds;
+      row.response_cpu_seconds = entry->stats.last_response_cpu_seconds;
+      row.evolution = entry->stats.evolution;
+      record.monitors.push_back(std::move(row));
+    }
   }
 
   // Offline path: deferred to the pool (drained on the next Dispatch or
@@ -144,6 +204,15 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
     }
   }
 
+  if (record_timeline) {
+    // The record waits for its offline times: with nothing deferred the
+    // boundary is already quiesced and it finalizes right here; deferred
+    // work pushes finalization to the next quiesced boundary.
+    pending_record_ = std::move(record);
+    pending_routed_ = routed;
+    if (!deferred) FinalizePendingTimeline();
+  }
+
   if (audit::kEnabled) {
     // Block boundary: every monitor's structures must satisfy their deep
     // invariants. With work in flight the audit waits for the quiesce at
@@ -154,6 +223,68 @@ void MaintenanceEngine::Dispatch(const AnyBlock& block) {
       AuditMonitors();
     }
   }
+}
+
+void MaintenanceEngine::CaptureEvolution(const std::vector<Entry*>& routed) {
+  for (Entry* entry : routed) {
+    const EvolutionStats evo = entry->maintainer->DescribeEvolution();
+    entry->stats.evolution = evo;
+    entry->evo_elements->Set(static_cast<double>(evo.elements));
+    entry->evo_added->Set(static_cast<double>(evo.added));
+    entry->evo_removed->Set(static_cast<double>(evo.removed));
+    entry->evo_churn->Set(evo.churn);
+    if (evo.aux_name != nullptr) {
+      if (entry->evo_aux == nullptr) {
+        entry->evo_aux =
+            telemetry_->gauge("evolution/" + entry->name + "/" + evo.aux_name);
+      }
+      entry->evo_aux->Set(evo.aux);
+    }
+    if (evo.aux2_name != nullptr) {
+      if (entry->evo_aux2 == nullptr) {
+        entry->evo_aux2 = telemetry_->gauge("evolution/" + entry->name + "/" +
+                                            evo.aux2_name);
+      }
+      entry->evo_aux2->Set(evo.aux2);
+    }
+  }
+}
+
+void MaintenanceEngine::FinalizePendingTimeline() {
+  if (!pending_record_.has_value()) return;
+  BlockTimelineRecord record = std::move(*pending_record_);
+  pending_record_.reset();
+  for (size_t i = 0; i < pending_routed_.size(); ++i) {
+    record.monitors[i].offline_seconds =
+        pending_routed_[i]->stats.last_offline_seconds;
+    record.monitors[i].offline_cpu_seconds =
+        pending_routed_[i]->stats.last_offline_cpu_seconds;
+  }
+  pending_routed_.clear();
+  record.tidlist_resident_bytes =
+      telemetry_->gauge("tidlist/resident_bytes")->value();
+
+  const size_t capacity = options_.block_timeline_capacity;
+  if (timeline_.size() < capacity) {
+    timeline_.push_back(std::move(record));
+    ++timeline_size_;
+  } else {
+    timeline_[timeline_head_] = std::move(record);
+    timeline_head_ = (timeline_head_ + 1) % capacity;
+    ++timeline_dropped_;
+  }
+}
+
+std::vector<BlockTimelineRecord> MaintenanceEngine::TimelineRecords() {
+  Quiesce();
+  FinalizePendingTimeline();
+  std::vector<BlockTimelineRecord> out;
+  if (timeline_size_ == 0) return out;
+  out.reserve(timeline_size_);
+  for (size_t i = 0; i < timeline_size_; ++i) {
+    out.push_back(timeline_[(timeline_head_ + i) % timeline_.size()]);
+  }
+  return out;
 }
 
 void MaintenanceEngine::AuditMonitors() const {
@@ -208,6 +339,8 @@ Result<MonitorStats> MaintenanceEngine::StatsOf(MonitorId id) const {
   stats.offline_p50 = entry.offline_hist->ApproxQuantile(0.5);
   stats.offline_p95 = entry.offline_hist->ApproxQuantile(0.95);
   stats.offline_max = entry.offline_hist->max();
+  stats.response_cpu_seconds = entry.response_cpu_hist->sum();
+  stats.offline_cpu_seconds = entry.offline_cpu_hist->sum();
   return stats;
 }
 
@@ -220,6 +353,68 @@ std::string MaintenanceEngine::ExportTelemetry(
     telemetry::TelemetryFormat format) const {
   Quiesce();
   return telemetry_->Export(format);
+}
+
+std::string BlockTimelineJsonl(
+    const std::vector<BlockTimelineRecord>& records) {
+  using telemetry::AppendJsonDouble;
+  using telemetry::AppendJsonEscaped;
+  std::string out;
+  char buf[96];
+  for (const BlockTimelineRecord& record : records) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"block\",\"block\":%llu,\"t_ns\":%llu,"
+                  "\"records\":%llu",
+                  static_cast<unsigned long long>(record.block_id),
+                  static_cast<unsigned long long>(record.t_ns),
+                  static_cast<unsigned long long>(record.records));
+    out.append(buf);
+    out.append(",\"tidlist_resident_bytes\":");
+    AppendJsonDouble(record.tidlist_resident_bytes, &out);
+    out.append(",\"tokens_in_flight\":");
+    AppendJsonDouble(record.tokens_in_flight, &out);
+    out.append(",\"monitors\":{");
+    bool first = true;
+    for (const BlockTimelineRecord::MonitorRow& row : record.monitors) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(row.name, &out);
+      out.append("\":{\"response_seconds\":");
+      AppendJsonDouble(row.response_seconds, &out);
+      out.append(",\"response_cpu_seconds\":");
+      AppendJsonDouble(row.response_cpu_seconds, &out);
+      out.append(",\"offline_seconds\":");
+      AppendJsonDouble(row.offline_seconds, &out);
+      out.append(",\"offline_cpu_seconds\":");
+      AppendJsonDouble(row.offline_cpu_seconds, &out);
+      const EvolutionStats& evo = row.evolution;
+      std::snprintf(buf, sizeof(buf),
+                    ",\"evolution\":{\"blocks\":%llu,\"elements\":%llu,"
+                    "\"added\":%llu,\"removed\":%llu,\"churn\":",
+                    static_cast<unsigned long long>(evo.blocks),
+                    static_cast<unsigned long long>(evo.elements),
+                    static_cast<unsigned long long>(evo.added),
+                    static_cast<unsigned long long>(evo.removed));
+      out.append(buf);
+      AppendJsonDouble(evo.churn, &out);
+      if (evo.aux_name != nullptr) {
+        out.append(",\"");
+        AppendJsonEscaped(evo.aux_name, &out);
+        out.append("\":");
+        AppendJsonDouble(evo.aux, &out);
+      }
+      if (evo.aux2_name != nullptr) {
+        out.append(",\"");
+        AppendJsonEscaped(evo.aux2_name, &out);
+        out.append("\":");
+        AppendJsonDouble(evo.aux2, &out);
+      }
+      out.append("}}");
+    }
+    out.append("}}\n");
+  }
+  return out;
 }
 
 }  // namespace demon

@@ -37,6 +37,11 @@ struct EngineOptions {
   /// inject one to aggregate across engines or to read it from outside.
   /// Must outlive the engine when set.
   telemetry::TelemetryRegistry* telemetry = nullptr;
+
+  /// How many per-block timeline records the engine retains (a bounded
+  /// ring; the oldest record is evicted when full). 0 disables block
+  /// timeline recording entirely.
+  size_t block_timeline_capacity = 4096;
 };
 
 /// \brief Per-monitor instrumentation, as returned by `StatsOf`.
@@ -61,6 +66,21 @@ struct MonitorStats {
   double last_response_seconds = 0.0;
   double last_offline_seconds = 0.0;
 
+  /// CPU time (per-thread clock) next to the wall times above. Under
+  /// time-slicing on few cores the wall times of concurrent monitors
+  /// overlap and their sum inflates past real compute; the CPU times
+  /// still add up to the cores' capacity, so use these to compare
+  /// monitor cost on loaded machines.
+  double response_cpu_seconds = 0.0;
+  double offline_cpu_seconds = 0.0;
+  double last_response_cpu_seconds = 0.0;
+  double last_offline_cpu_seconds = 0.0;
+
+  /// How the maintained model changed over the last routed block
+  /// (DescribeEvolution, captured at the response barrier). All zeros
+  /// until the first block routes.
+  EvolutionStats evolution;
+
   /// Latency distribution over all routed blocks, from the histograms
   /// (quantiles interpolated within buckets; max is exact).
   double response_p50 = 0.0;
@@ -75,6 +95,42 @@ struct MonitorStats {
     return last_response_seconds + last_offline_seconds;
   }
 };
+
+/// \brief One structured timeline record per quiesced block: what the
+/// engine knows once every response (and, eventually, offline) update for
+/// that block has landed. demon_cli merges these with the scraper's
+/// periodic samples into the --timeline_out JSONL.
+///
+/// Records for blocks whose offline work was deferred stay pending inside
+/// the engine until the next quiesced boundary (the next Dispatch, a
+/// TimelineRecords() call, or destruction) and only then carry final
+/// offline times.
+struct BlockTimelineRecord {
+  BlockId block_id = 0;
+  uint64_t t_ns = 0;   ///< NowNanos() when the dispatch began.
+  size_t records = 0;  ///< Records in the block.
+
+  struct MonitorRow {
+    std::string name;
+    double response_seconds = 0.0;
+    double response_cpu_seconds = 0.0;
+    double offline_seconds = 0.0;
+    double offline_cpu_seconds = 0.0;
+    EvolutionStats evolution;
+  };
+  /// One row per *routed* monitor (skipped monitors carry over unchanged).
+  std::vector<MonitorRow> monitors;
+
+  /// `tidlist/resident_bytes` gauge at the quiesced boundary.
+  double tidlist_resident_bytes = 0.0;
+  /// Pool parallelism tokens held mid-response (num_threads − available,
+  /// sampled once after the fan-out; 0 in sequential mode).
+  double tokens_in_flight = 0.0;
+};
+
+/// JSONL rendering of block records — one `{"type":"block",...}` object
+/// per line, mergeable with telemetry::TimelineJsonl scrape lines.
+std::string BlockTimelineJsonl(const std::vector<BlockTimelineRecord>& records);
 
 /// \brief Drives every registered model maintainer from one stream of
 /// arriving blocks — the paper's Figure 11 loop as an engine.
@@ -141,6 +197,14 @@ class MaintenanceEngine {
   /// the Prometheus text exposition of all counters and histograms.
   std::string ExportTelemetry(telemetry::TelemetryFormat format) const;
 
+  /// Quiesces, finalizes any pending block record (deferred offline work
+  /// has now landed), and returns the retained per-block timeline,
+  /// oldest first. Empty when block_timeline_capacity is 0.
+  std::vector<BlockTimelineRecord> TimelineRecords();
+
+  /// Block records evicted from the ring so far.
+  uint64_t timeline_dropped() const { return timeline_dropped_; }
+
   /// Runs every monitor's deep invariant audit now and escalates any
   /// violation through the audit failure handler (default: report and
   /// abort), with the monitor's name prefixed to each report. In
@@ -162,11 +226,33 @@ class MaintenanceEngine {
     /// every build (ScopedTimer bypasses the DEMON_TELEMETRY gate).
     telemetry::Histogram* response_hist = nullptr;
     telemetry::Histogram* offline_hist = nullptr;
+    /// CPU-time (thread clock) siblings of the wall histograms above —
+    /// "monitor/<name>/{response,offline}_cpu_seconds".
+    telemetry::Histogram* response_cpu_hist = nullptr;
+    telemetry::Histogram* offline_cpu_hist = nullptr;
+    /// "evolution/<name>/..." gauges, published at each response barrier
+    /// (registered eagerly; the aux pair lazily, once its name is known).
+    telemetry::Gauge* evo_elements = nullptr;
+    telemetry::Gauge* evo_added = nullptr;
+    telemetry::Gauge* evo_removed = nullptr;
+    telemetry::Gauge* evo_churn = nullptr;
+    telemetry::Gauge* evo_aux = nullptr;
+    telemetry::Gauge* evo_aux2 = nullptr;
   };
 
   [[nodiscard]] Status CheckId(MonitorId id) const;
   void RunResponse(Entry* entry, const AnyBlock& block, uint64_t parent_span);
   void RunOffline(Entry* entry, uint64_t parent_span);
+
+  /// Captures DescribeEvolution for every routed monitor and publishes
+  /// the evolution gauges. Called at the response barrier of Dispatch —
+  /// after WaitIdle, before offline work is queued (deferred offline
+  /// mutates GEMM future windows concurrently).
+  void CaptureEvolution(const std::vector<Entry*>& routed);
+
+  /// Fills the offline fields of the pending block record and moves it
+  /// into the ring. Caller must be at a quiesced boundary.
+  void FinalizePendingTimeline();
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -180,6 +266,18 @@ class MaintenanceEngine {
   /// unique_ptr entries keep addresses stable across registration, so
   /// in-flight tasks can hold raw Entry pointers.
   std::vector<std::unique_ptr<Entry>> monitors_;
+
+  /// Bounded ring of finalized block records (see BlockTimelineRecord).
+  /// Only the dispatching thread touches these, so no lock is needed.
+  std::vector<BlockTimelineRecord> timeline_;
+  size_t timeline_head_ = 0;
+  size_t timeline_size_ = 0;
+  uint64_t timeline_dropped_ = 0;
+  /// Record for the last dispatched block while its offline work is still
+  /// deferred; finalized at the next quiesced boundary.
+  std::optional<BlockTimelineRecord> pending_record_;
+  /// Routed entries of the pending record, to read their offline times.
+  std::vector<Entry*> pending_routed_;
 };
 
 }  // namespace demon

@@ -1,8 +1,13 @@
 #ifndef DEMON_CORE_MAINTAINERS_H_
 #define DEMON_CORE_MAINTAINERS_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "clustering/birch.h"
 #include "core/gemm.h"
@@ -84,6 +89,100 @@ class CountingMaintainer {
 // (AddBlock(std::shared_ptr<const TransactionBlock>)); no adapter needed.
 
 // ---------------------------------------------------------------------------
+// Evolution tracking: the small amount of per-adapter state behind
+// DescribeEvolution. Each adapter computes its EvolutionStats eagerly at
+// the end of AddResponse (while the model is fresh and before GEMM's
+// offline half starts mutating future windows), so DescribeEvolution is a
+// const, idempotent read the engine can take at any quiesced point.
+
+/// \brief Identity-diff tracker: remembers the sorted element set from
+/// the previous block and turns the current set into adds/removes/churn
+/// (see EvolutionStats for the exact definitions). `T` needs operator<;
+/// Observe sorts its input, so callers pass elements in any order.
+template <typename T>
+class SetEvolutionTracker {
+ public:
+  void Observe(std::vector<T> current, EvolutionStats* stats) {
+    std::sort(current.begin(), current.end());
+    size_t added = 0;
+    size_t removed = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < prev_.size() && j < current.size()) {
+      if (prev_[i] < current[j]) {
+        ++removed;
+        ++i;
+      } else if (current[j] < prev_[i]) {
+        ++added;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    removed += prev_.size() - i;
+    added += current.size() - j;
+    stats->blocks = ++blocks_;
+    stats->elements = current.size();
+    stats->added = added;
+    stats->removed = removed;
+    const size_t denom = std::max({prev_.size(), current.size(), size_t{1}});
+    stats->churn =
+        static_cast<double>(added + removed) / static_cast<double>(denom);
+    prev_ = std::move(current);
+  }
+
+ private:
+  uint64_t blocks_ = 0;
+  std::vector<T> prev_;
+};
+
+/// Count-and-drift evolution for BIRCH+: sub-clusters have no portable
+/// identity (centroids move every block), so adds/removes compare entry
+/// *counts*, `aux` is the drift of the mean CF radius since the previous
+/// block, and `aux2` is the cumulative CF-tree rebuild count.
+inline void ObserveClusterEvolution(const BirchPlus& birch, size_t* prev_count,
+                                    double* prev_mean_radius,
+                                    EvolutionStats* stats) {
+  const std::vector<ClusterFeature> subs = birch.Subclusters();
+  double mean_radius = 0.0;
+  for (const ClusterFeature& cf : subs) mean_radius += cf.Radius();
+  if (!subs.empty()) mean_radius /= static_cast<double>(subs.size());
+  ++stats->blocks;
+  stats->elements = subs.size();
+  stats->added = subs.size() > *prev_count ? subs.size() - *prev_count : 0;
+  stats->removed = *prev_count > subs.size() ? *prev_count - subs.size() : 0;
+  const size_t denom = std::max({*prev_count, subs.size(), size_t{1}});
+  stats->churn = static_cast<double>(stats->added + stats->removed) /
+                 static_cast<double>(denom);
+  stats->aux =
+      stats->blocks > 1 ? std::abs(mean_radius - *prev_mean_radius) : 0.0;
+  stats->aux_name = "radius_drift";
+  stats->aux2 = static_cast<double>(birch.tree().num_rebuilds());
+  stats->aux2_name = "rebuilds";
+  *prev_count = subs.size();
+  *prev_mean_radius = mean_radius;
+}
+
+/// Collects one identity string per *internal* node — "<child-path>:<split
+/// attribute>" — so the dtree tracker's adds/removes count split churn:
+/// a leaf that splits adds one signature, a restructured subtree removes
+/// its old signatures and adds the new ones.
+inline void CollectSplitSignatures(const DecisionTree::Node* node,
+                                   std::string* path,
+                                   std::vector<std::string>* out) {
+  if (node == nullptr || node->split_attribute < 0) return;
+  out->push_back(*path + ":" + std::to_string(node->split_attribute));
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const std::string label = std::to_string(i);
+    path->push_back('/');
+    path->append(label);
+    CollectSplitSignatures(node->children[i].get(), path, out);
+    path->resize(path->size() - 1 - label.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Type-erased adapters: one thin ModelMaintainer subclass per (model class,
 // data-span option) pair, so the MaintenanceEngine can drive BORDERS, GEMM,
 // BIRCH+, the decision-tree maintainer and the compact-sequence miner
@@ -107,7 +206,11 @@ class BordersAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.transactions());
+    tracker_.Observe(maintainer_.model().FrequentItemsets(), &evolution_);
+    evolution_.aux = static_cast<double>(maintainer_.model().NumBorder());
+    evolution_.aux_name = "negative_border";
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   [[nodiscard]] Result<const ItemsetModel*> itemset_model() const override {
     return &maintainer_.model();
   }
@@ -127,6 +230,8 @@ class BordersAdapter : public ModelMaintainer {
 
  private:
   BordersMaintainer maintainer_;
+  SetEvolutionTracker<Itemset> tracker_;
+  EvolutionStats evolution_;
 };
 
 /// Most-recent-window frequent itemsets (GEMM over BORDERS, §3.2). The
@@ -159,7 +264,15 @@ class GemmItemsetAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     gemm_.BeginBlock(block.transactions());
+    // The user-visible model is whatever window is current *after* the
+    // block (a window slide swaps model objects; identity is by itemset
+    // contents, so the diff still describes what an observer sees).
+    const ItemsetModel& model = gemm_.current().model();
+    tracker_.Observe(model.FrequentItemsets(), &evolution_);
+    evolution_.aux = static_cast<double>(model.NumBorder());
+    evolution_.aux_name = "negative_border";
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   void RunOffline() override { gemm_.DrainOffline(); }
   bool has_offline_work() const override { return gemm_.has_offline_work(); }
   [[nodiscard]] Result<const ItemsetModel*> itemset_model() const override {
@@ -210,6 +323,8 @@ class GemmItemsetAdapter : public ModelMaintainer {
   ThreadPool* counting_pool_ = nullptr;
   telemetry::TelemetryRegistry* telemetry_registry_ = nullptr;
   GemmT gemm_;
+  SetEvolutionTracker<Itemset> tracker_;
+  EvolutionStats evolution_;
 };
 
 /// Unrestricted-window clusters (BIRCH+, §3.1.2).
@@ -227,7 +342,10 @@ class ClusterAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.points());
+    ObserveClusterEvolution(maintainer_.birch(), &prev_count_,
+                            &prev_mean_radius_, &evolution_);
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   [[nodiscard]] Result<const ClusterModel*> cluster_model() const override {
     return &maintainer_.model();
   }
@@ -246,6 +364,9 @@ class ClusterAdapter : public ModelMaintainer {
 
  private:
   ClusterMaintainer maintainer_;
+  size_t prev_count_ = 0;
+  double prev_mean_radius_ = 0.0;
+  EvolutionStats evolution_;
 };
 
 /// Most-recent-window clusters (GEMM over BIRCH+): the combination §3.2.4
@@ -274,7 +395,10 @@ class GemmClusterAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     gemm_.BeginBlock(block.points());
+    ObserveClusterEvolution(gemm_.current().birch(), &prev_count_,
+                            &prev_mean_radius_, &evolution_);
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   void RunOffline() override { gemm_.DrainOffline(); }
   bool has_offline_work() const override { return gemm_.has_offline_work(); }
   [[nodiscard]] Result<const ClusterModel*> cluster_model() const override {
@@ -311,6 +435,9 @@ class GemmClusterAdapter : public ModelMaintainer {
   // Declared before gemm_: the factory lambda reads this member.
   telemetry::TelemetryRegistry* telemetry_registry_ = nullptr;
   GemmT gemm_;
+  size_t prev_count_ = 0;
+  double prev_mean_radius_ = 0.0;
+  EvolutionStats evolution_;
 };
 
 /// Incremental decision-tree classifier (the BOAT stand-in, [GGRL99b]).
@@ -325,7 +452,14 @@ class DTreeAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     maintainer_.AddBlock(block.labeled());
+    std::vector<std::string> splits;
+    std::string path;
+    CollectSplitSignatures(maintainer_.model().root(), &path, &splits);
+    tracker_.Observe(std::move(splits), &evolution_);
+    evolution_.aux = static_cast<double>(maintainer_.model().NumLeaves());
+    evolution_.aux_name = "leaves";
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   [[nodiscard]] Result<const DecisionTree*> dtree_model() const override {
     return &maintainer_.model();
   }
@@ -341,6 +475,8 @@ class DTreeAdapter : public ModelMaintainer {
 
  private:
   DTreeMaintainer maintainer_;
+  SetEvolutionTracker<std::string> tracker_;
+  EvolutionStats evolution_;
 };
 
 /// Compact-sequence pattern detection (§4), optionally windowed
@@ -359,7 +495,9 @@ class PatternAdapter : public ModelMaintainer {
   }
   void AddResponse(const AnyBlock& block) override {
     miner_.AddBlock(block.transactions());
+    tracker_.Observe(miner_.sequences(), &evolution_);
   }
+  EvolutionStats DescribeEvolution() const override { return evolution_; }
   [[nodiscard]] Result<const CompactSequenceMiner*> pattern_miner() const override {
     return &miner_;
   }
@@ -373,6 +511,8 @@ class PatternAdapter : public ModelMaintainer {
 
  private:
   CompactSequenceMiner miner_;
+  SetEvolutionTracker<std::vector<size_t>> tracker_;
+  EvolutionStats evolution_;
 };
 
 }  // namespace demon

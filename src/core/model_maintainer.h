@@ -80,6 +80,39 @@ class AnyBlock {
 /// Short payload name for stats output ("transactions", "points", ...).
 const char* ToString(AnyBlock::Payload payload);
 
+/// \brief How the maintained model changed over the last absorbed block —
+/// the per-monitor evolution signal (adds/removes/churn) that the engine
+/// publishes as `evolution/<monitor>/<name>` gauges, folds into
+/// MonitorStats, and that alert policies threshold on.
+///
+/// `elements` is whatever the model class counts — frequent itemsets for
+/// BORDERS/GEMM, CF entries for BIRCH+, tree nodes for the classifier,
+/// compact sequences for the pattern miner. `added`/`removed` compare the
+/// element *identities* before and after the block (itemsets by contents,
+/// subclusters and tree nodes by structural position), and
+///
+///     churn = (added + removed) / max(|before|, |after|, 1)
+///
+/// so 0 means a stationary model and values near 1 mean wholesale
+/// replacement — a recount of the model against the previous block's
+/// element set must reproduce these numbers exactly (the golden timeline
+/// test does). `aux` carries one model-specific drift scalar: negative-
+/// border size for itemsets, mean CF-radius drift for BIRCH+, rebuild
+/// count for structures that re-derive wholesale.
+struct EvolutionStats {
+  uint64_t blocks = 0;    ///< Blocks absorbed (0 = nothing to describe).
+  uint64_t elements = 0;  ///< Element count after the last block.
+  uint64_t added = 0;     ///< Elements gained over the last block.
+  uint64_t removed = 0;   ///< Elements lost over the last block.
+  double churn = 0.0;     ///< (added+removed)/max(before, after, 1).
+  /// Up to two model-specific drift scalars; a null name means absent.
+  /// The engine publishes `evolution/<monitor>/<aux_name>` for each.
+  double aux = 0.0;
+  const char* aux_name = nullptr;
+  double aux2 = 0.0;
+  const char* aux2_name = nullptr;
+};
+
 /// \brief The type-erased model maintainer of Figure 11: one registered
 /// monitor, whatever its model class (frequent itemsets, clusters,
 /// decision tree, compact-sequence patterns) and data-span option
@@ -143,6 +176,15 @@ class ModelMaintainer {
   /// implementations keep their pointers null so every instrumentation
   /// macro stays a no-op. Maintainers without instrumentation ignore it.
   virtual void BindTelemetry(telemetry::TelemetryRegistry* /*registry*/) {}
+
+  /// Describes how the model changed over the last absorbed block (see
+  /// EvolutionStats). Called by the MaintenanceEngine at the quiesced
+  /// point of each dispatch — after the response barrier, before offline
+  /// work is queued — so implementations may read their model without
+  /// locking. Active in every build (like MonitorStats, this is part of
+  /// the stats contract, not gated telemetry). Default: all zeros, for
+  /// maintainers with nothing to report.
+  virtual EvolutionStats DescribeEvolution() const { return {}; }
 
   /// Deep invariant audit of the maintained structures, called by the
   /// MaintenanceEngine at block boundaries in DEMON_AUDIT builds (and by

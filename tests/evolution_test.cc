@@ -1,0 +1,410 @@
+// Model-evolution metrics end to end: every maintainer's
+// DescribeEvolution, the engine's per-block timeline records, the
+// evolution gauges, CPU-time split, and the churn alert pipeline.
+//
+// The anchor is the golden recount: the per-block adds/removes/churn the
+// engine reports for an itemset monitor must equal a post-hoc diff of the
+// model's FrequentItemsets() snapshots taken between blocks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/telemetry_timeline.h"
+#include "core/demon_monitor.h"
+#include "datagen/cluster_generator.h"
+#include "datagen/labeled_generator.h"
+#include "datagen/quest_generator.h"
+
+namespace demon {
+namespace {
+
+std::vector<TransactionBlock> MakeBlocks(size_t num_blocks, size_t block_size,
+                                         size_t num_items, uint64_t seed,
+                                         size_t num_patterns = 30,
+                                         size_t avg_len = 6) {
+  QuestParams params;
+  params.num_transactions = num_blocks * block_size;
+  params.num_items = num_items;
+  params.num_patterns = num_patterns;
+  params.avg_transaction_len = avg_len;
+  params.seed = seed;
+  QuestGenerator gen(params);
+  std::vector<TransactionBlock> blocks;
+  Tid tid = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    blocks.push_back(gen.NextBlock(block_size, tid));
+    tid += block_size;
+  }
+  return blocks;
+}
+
+/// The recount half of the golden test: the same diff the
+/// SetEvolutionTracker computes, re-derived from model snapshots.
+struct Recount {
+  uint64_t added = 0;
+  uint64_t removed = 0;
+  double churn = 0.0;
+};
+
+Recount DiffItemsets(std::vector<Itemset> before, std::vector<Itemset> after) {
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  std::vector<Itemset> gained, lost;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(gained));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(lost));
+  Recount recount;
+  recount.added = gained.size();
+  recount.removed = lost.size();
+  const uint64_t denom =
+      std::max<uint64_t>(std::max(before.size(), after.size()), 1);
+  recount.churn = static_cast<double>(recount.added + recount.removed) /
+                  static_cast<double>(denom);
+  return recount;
+}
+
+TEST(EvolutionTest, ItemsetChurnMatchesPostHocRecount) {
+  const size_t num_items = 30;
+  EngineOptions engine;
+  DemonMonitor demon(num_items, engine);
+  const auto id = demon
+                      .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                                   .name = "uw",
+                                   .minsup = 0.05})
+                      .value();
+
+  // Three stationary blocks, then a distribution shift (different pattern
+  // pool and longer transactions).
+  auto blocks = MakeBlocks(3, 200, num_items, 71);
+  for (auto& block : MakeBlocks(3, 200, num_items, 99, 8, 9)) {
+    blocks.push_back(std::move(block));
+  }
+
+  std::vector<Itemset> prev;  // empty before the first block
+  std::vector<Recount> recounts;
+  for (auto& block : blocks) {
+    demon.AddBlock(std::move(block));
+    std::vector<Itemset> current =
+        demon.ItemsetModelOf(id).value()->FrequentItemsets();
+    recounts.push_back(DiffItemsets(prev, current));
+    prev = std::move(current);
+  }
+
+  const auto records = demon.TimelineRecords();
+  ASSERT_EQ(records.size(), blocks.size());
+  for (size_t b = 0; b < records.size(); ++b) {
+    ASSERT_EQ(records[b].monitors.size(), 1u);
+    const auto& row = records[b].monitors[0];
+    EXPECT_EQ(row.name, "uw");
+    const EvolutionStats& evo = row.evolution;
+    EXPECT_EQ(evo.blocks, b + 1) << "block " << b;
+    EXPECT_EQ(evo.added, recounts[b].added) << "block " << b;
+    EXPECT_EQ(evo.removed, recounts[b].removed) << "block " << b;
+    EXPECT_DOUBLE_EQ(evo.churn, recounts[b].churn) << "block " << b;
+    ASSERT_NE(evo.aux_name, nullptr);
+    EXPECT_STREQ(evo.aux_name, "negative_border");
+  }
+  // The last record's element count is the final model size.
+  EXPECT_EQ(records.back().monitors[0].evolution.elements, prev.size());
+  // The shift block actually churned — the recount is not vacuous.
+  EXPECT_GT(recounts[3].churn, 0.0);
+
+  // The gauges publish the last block's evolution.
+  telemetry::TelemetryRegistry* registry = demon.telemetry();
+  EXPECT_DOUBLE_EQ(registry->gauge("evolution/uw/churn")->value(),
+                   recounts.back().churn);
+  EXPECT_DOUBLE_EQ(registry->gauge("evolution/uw/added")->value(),
+                   static_cast<double>(recounts.back().added));
+  EXPECT_DOUBLE_EQ(registry->gauge("evolution/uw/removed")->value(),
+                   static_cast<double>(recounts.back().removed));
+  EXPECT_DOUBLE_EQ(registry->gauge("evolution/uw/elements")->value(),
+                   static_cast<double>(prev.size()));
+
+  // StatsOf folds the same struct in.
+  const MonitorStats stats = demon.StatsOf(id).value();
+  EXPECT_EQ(stats.evolution.added, recounts.back().added);
+  EXPECT_DOUBLE_EQ(stats.evolution.churn, recounts.back().churn);
+}
+
+TEST(EvolutionTest, ChurnAlertFiresOnShiftAndStaysSilentWhenStationary) {
+  const size_t num_items = 30;
+  const auto run = [&](bool shift) {
+    DemonMonitor demon(num_items);
+    (void)demon
+        .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                     .name = "uw",
+                     .minsup = 0.05})
+        .value();
+    telemetry::TelemetryScraper scraper({.registry = demon.telemetry()});
+    telemetry::AlertPolicy policy;
+    EXPECT_TRUE(telemetry::ParseAlertPolicy("evolution/uw/churn>0.2", &policy,
+                                            nullptr));
+    scraper.AddPolicy(policy);
+
+    // Warm-up blocks establish the model, then either a continuation of
+    // the very same stream (stationary) or a shifted distribution.
+    auto blocks = MakeBlocks(6, 200, num_items, 71);
+    if (shift) {
+      blocks.resize(3);
+      for (auto& block : MakeBlocks(3, 200, num_items, 99, 8, 9)) {
+        blocks.push_back(std::move(block));
+      }
+    }
+    size_t fed = 0;
+    for (auto& block : blocks) {
+      demon.AddBlock(std::move(block));
+      // The model needs a settled baseline before churn means "shift":
+      // start evaluating after the warm-up.
+      if (++fed > 3) scraper.ScrapeNow();
+    }
+    return scraper.Alerts().size();
+  };
+  EXPECT_GT(run(/*shift=*/true), 0u);
+  EXPECT_EQ(run(/*shift=*/false), 0u);
+}
+
+TEST(EvolutionTest, WindowedItemsetEvolutionSurvivesWindowSlides) {
+  const size_t num_items = 30;
+  DemonMonitor demon(num_items);
+  const auto id = demon
+                      .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                   .name = "mrw",
+                                   .window = 2,
+                                   .minsup = 0.05})
+                      .value();
+  for (auto& block : MakeBlocks(5, 200, num_items, 73)) {
+    demon.AddBlock(std::move(block));
+  }
+  demon.Quiesce();
+  const EvolutionStats evo = demon.StatsOf(id).value().evolution;
+  EXPECT_EQ(evo.blocks, 5u);
+  EXPECT_EQ(evo.elements,
+            demon.ItemsetModelOf(id).value()->FrequentItemsets().size());
+  EXPECT_GE(evo.churn, 0.0);
+  EXPECT_LE(evo.churn, 2.0);
+}
+
+TEST(EvolutionTest, ClusterEvolutionReportsRadiusDriftAndRebuilds) {
+  ClusterGenParams params;
+  params.num_points = 1200;
+  params.num_clusters = 3;
+  params.dim = 2;
+  params.seed = 74;
+  ClusterGenerator gen(params);
+
+  BirchOptions birch;
+  birch.num_clusters = 3;
+  birch.tree.max_leaf_entries = 64;
+
+  DemonMonitor demon(0);
+  const auto uw = demon
+                      .AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
+                                   .name = "uw-clusters",
+                                   .dim = params.dim,
+                                   .birch = birch})
+                      .value();
+  const auto mrw = demon
+                       .AddMonitor({.kind = MonitorKind::kWindowedClusters,
+                                    .name = "mrw-clusters",
+                                    .window = 2,
+                                    .dim = params.dim,
+                                    .birch = birch})
+                       .value();
+  for (int b = 0; b < 4; ++b) demon.AddPointBlock(gen.NextBlock(300));
+  demon.Quiesce();
+
+  for (const auto id : {uw, mrw}) {
+    const EvolutionStats evo = demon.StatsOf(id).value().evolution;
+    EXPECT_EQ(evo.blocks, 4u);
+    EXPECT_GT(evo.elements, 0u);
+    ASSERT_NE(evo.aux_name, nullptr);
+    EXPECT_STREQ(evo.aux_name, "radius_drift");
+    EXPECT_GE(evo.aux, 0.0);
+    ASSERT_NE(evo.aux2_name, nullptr);
+    EXPECT_STREQ(evo.aux2_name, "rebuilds");
+  }
+}
+
+TEST(EvolutionTest, ClassifierEvolutionTracksSplitChurn) {
+  LabeledGenerator::Params params;
+  params.schema.attribute_cardinalities.assign(5, 2);
+  params.schema.num_classes = 2;
+  params.seed = 75;
+  LabeledGenerator gen(params);
+
+  DemonMonitor demon(0);
+  const auto id = demon
+                      .AddMonitor({.kind = MonitorKind::kClassifier,
+                                   .name = "tree",
+                                   .schema = params.schema,
+                                   .dtree = DTreeOptions{}})
+                      .value();
+  for (int b = 0; b < 3; ++b) demon.AddLabeledBlock(gen.NextBlock(800));
+  demon.Quiesce();
+
+  const EvolutionStats evo = demon.StatsOf(id).value().evolution;
+  EXPECT_EQ(evo.blocks, 3u);
+  ASSERT_NE(evo.aux_name, nullptr);
+  EXPECT_STREQ(evo.aux_name, "leaves");
+  EXPECT_DOUBLE_EQ(
+      evo.aux,
+      static_cast<double>(demon.ClassifierOf(id).value()->NumLeaves()));
+}
+
+TEST(EvolutionTest, PatternEvolutionTracksSequenceChurn) {
+  const size_t num_items = 25;
+  DemonMonitor demon(num_items);
+  const auto id = demon
+                      .AddMonitor({.kind = MonitorKind::kPatterns,
+                                   .name = "patterns",
+                                   .minsup = 0.05,
+                                   .alpha = 0.95})
+                      .value();
+  for (auto& block : MakeBlocks(4, 150, num_items, 76)) {
+    demon.AddBlock(std::move(block));
+  }
+  const EvolutionStats evo = demon.StatsOf(id).value().evolution;
+  EXPECT_EQ(evo.blocks, 4u);
+  EXPECT_EQ(evo.elements, demon.PatternsOf(id).value()->sequences().size());
+}
+
+TEST(EvolutionTest, CpuTimeIsMeasuredNextToWallTime) {
+  const size_t num_items = 30;
+  DemonMonitor demon(num_items);
+  const auto id = demon
+                      .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                                   .name = "mrw",
+                                   .window = 2,
+                                   .minsup = 0.05})
+                      .value();
+  for (auto& block : MakeBlocks(3, 300, num_items, 77)) {
+    demon.AddBlock(std::move(block));
+  }
+  demon.Quiesce();
+  const MonitorStats stats = demon.StatsOf(id).value();
+  EXPECT_GT(stats.response_cpu_seconds, 0.0);
+  EXPECT_GT(stats.response_seconds, 0.0);
+  // Thread CPU time can never exceed wall time on the same thread by more
+  // than clock granularity.
+  EXPECT_LE(stats.response_cpu_seconds, stats.response_seconds * 1.5 + 0.05);
+  EXPECT_LE(stats.last_response_cpu_seconds, stats.response_cpu_seconds);
+}
+
+TEST(EvolutionTest, TimelineRingIsBoundedAndKeepsNewestBlocks) {
+  const size_t num_items = 20;
+  EngineOptions engine;
+  engine.block_timeline_capacity = 2;
+  DemonMonitor demon(num_items, engine);
+  (void)demon
+      .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                   .name = "uw",
+                   .minsup = 0.1})
+      .value();
+  for (auto& block : MakeBlocks(5, 100, num_items, 78)) {
+    demon.AddBlock(std::move(block));
+  }
+  const auto records = demon.TimelineRecords();
+  ASSERT_EQ(records.size(), 2u);
+  // Block ids are 1-based; the ring keeps the two newest of the five.
+  EXPECT_EQ(records[0].block_id + 1, records[1].block_id);
+  EXPECT_EQ(records[1].block_id, 5u);
+}
+
+TEST(EvolutionTest, TimelineDisabledWithZeroCapacity) {
+  EngineOptions engine;
+  engine.block_timeline_capacity = 0;
+  DemonMonitor demon(20, engine);
+  (void)demon
+      .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                   .name = "uw",
+                   .minsup = 0.1})
+      .value();
+  for (auto& block : MakeBlocks(3, 100, 20, 79)) {
+    demon.AddBlock(std::move(block));
+  }
+  EXPECT_TRUE(demon.TimelineRecords().empty());
+}
+
+TEST(BlockTimelineJsonlTest, RendersOneObjectPerBlock) {
+  BlockTimelineRecord record;
+  record.block_id = 3;
+  record.t_ns = 1000;
+  record.records = 250;
+  record.tidlist_resident_bytes = 4096.0;
+  record.tokens_in_flight = 2.0;
+  BlockTimelineRecord::MonitorRow row;
+  row.name = "uw";
+  row.response_seconds = 0.5;
+  row.response_cpu_seconds = 0.25;
+  row.evolution.blocks = 3;
+  row.evolution.elements = 10;
+  row.evolution.added = 4;
+  row.evolution.removed = 2;
+  row.evolution.churn = 0.6;
+  row.evolution.aux = 7.0;
+  row.evolution.aux_name = "negative_border";
+  record.monitors.push_back(row);
+
+  const std::string jsonl = BlockTimelineJsonl({record});
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_NE(jsonl.find("\"type\":\"block\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"block\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"records\":250"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tidlist_resident_bytes\":4096"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tokens_in_flight\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"uw\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"added\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"removed\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"churn\":0.6"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"negative_border\":7"), std::string::npos);
+}
+
+TEST(EvolutionTest, ParallelEngineMatchesSequentialEvolution) {
+  // Evolution capture happens at the quiesced response barrier, so a
+  // 4-thread engine must report block-identical evolution to a
+  // sequential one.
+  const size_t num_items = 30;
+  const auto run = [&](size_t threads) {
+    EngineOptions engine;
+    engine.num_threads = threads;
+    engine.defer_offline = threads > 0;
+    DemonMonitor demon(num_items, engine);
+    (void)demon
+        .AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
+                     .name = "uw",
+                     .minsup = 0.05})
+        .value();
+    (void)demon
+        .AddMonitor({.kind = MonitorKind::kWindowedItemsets,
+                     .name = "mrw",
+                     .window = 2,
+                     .minsup = 0.05})
+        .value();
+    for (auto& block : MakeBlocks(4, 200, num_items, 80)) {
+      demon.AddBlock(std::move(block));
+    }
+    return demon.TimelineRecords();
+  };
+  const auto sequential = run(0);
+  const auto parallel = run(4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t b = 0; b < sequential.size(); ++b) {
+    ASSERT_EQ(sequential[b].monitors.size(), parallel[b].monitors.size());
+    for (size_t m = 0; m < sequential[b].monitors.size(); ++m) {
+      const EvolutionStats& s = sequential[b].monitors[m].evolution;
+      const EvolutionStats& p = parallel[b].monitors[m].evolution;
+      EXPECT_EQ(s.blocks, p.blocks);
+      EXPECT_EQ(s.elements, p.elements);
+      EXPECT_EQ(s.added, p.added);
+      EXPECT_EQ(s.removed, p.removed);
+      EXPECT_DOUBLE_EQ(s.churn, p.churn);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace demon

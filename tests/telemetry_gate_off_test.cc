@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/telemetry_timeline.h"
 #include "gtest/gtest.h"
 
 namespace demon::telemetry {
@@ -78,6 +79,38 @@ TEST(TelemetryGateOff, RegistryAndClassesStayFunctional) {
   const std::vector<SpanRecord> spans = registry.CollectSpans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].name, "direct");
+}
+
+TEST(TelemetryGateOff, ScraperRunsAgainstAGateOffRegistry) {
+  // The scraper is part of the stats contract in every build: with the
+  // gate OFF the macro-fed metrics stay flat, but direct class writes
+  // still scrape, delta and alert exactly as in ON builds.
+  TelemetryRegistry registry;
+  TelemetryScraper scraper({.registry = &registry, .period_seconds = 1e-3});
+  AlertPolicy policy;
+  ASSERT_TRUE(ParseAlertPolicy("off/depth>1", &policy, nullptr));
+  scraper.AddPolicy(policy);
+  scraper.Start();
+
+  // Macro writes are no-ops under the gate...
+  [[maybe_unused]] Counter* macro_counter = registry.counter("off/macro");
+  DEMON_COUNTER_ADD(macro_counter, 5);
+  // ...while direct writes (what ScopedTimer and the engine stats use)
+  // are not.
+  registry.gauge("off/depth")->Set(2.0);
+  const TimelineSample sample = scraper.ScrapeNow();
+  scraper.Stop();
+
+  bool found = false;
+  for (const auto& [name, value] : sample.cumulative.counters) {
+    if (name != "off/macro") continue;
+    found = true;
+    EXPECT_EQ(value, 0u);
+  }
+  EXPECT_TRUE(found);
+  ASSERT_EQ(scraper.Alerts().size(), 1u);
+  EXPECT_EQ(scraper.Alerts()[0].metric, "off/depth");
+  EXPECT_FALSE(TimelineJsonl(scraper.Samples()).empty());
 }
 
 }  // namespace

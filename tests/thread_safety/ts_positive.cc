@@ -7,6 +7,7 @@
 
 #include "common/sync.h"
 #include "common/telemetry.h"
+#include "common/telemetry_timeline.h"
 #include "common/thread_pool.h"
 #include "tidlist/extent_pager.h"
 #include "tidlist/tidlist_store.h"

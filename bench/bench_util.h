@@ -98,16 +98,6 @@ inline bool WriteFileContents(const std::string& path,
   return true;
 }
 
-/// Parses a `--flag=value` style argument; returns true and sets `*value`
-/// when `arg` starts with `prefix` (e.g. "--trace_out=").
-inline bool ParseFlag(const char* arg, const char* prefix,
-                      std::string* value) {
-  const std::string p(prefix);
-  if (std::string(arg).rfind(p, 0) != 0) return false;
-  *value = arg + p.size();
-  return true;
-}
-
 }  // namespace demon::bench
 
 #endif  // DEMON_BENCH_BENCH_UTIL_H_

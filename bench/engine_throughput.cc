@@ -29,12 +29,12 @@
 // additionally carries the scraper's counter tracks ("ph":"C").
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/flags.h"
 #include "common/telemetry.h"
 #include "common/telemetry_timeline.h"
 #include "core/demon_monitor.h"
@@ -137,18 +137,28 @@ int main(int argc, char** argv) {
   using namespace demon;
   using namespace demon::bench;
 
-  bool json = false;
-  std::string trace_out;
-  std::string telemetry_out;
-  std::string histogram_out;
-  std::string timeline_out;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
-    ParseFlag(argv[i], "--trace_out=", &trace_out);
-    ParseFlag(argv[i], "--telemetry_out=", &telemetry_out);
-    ParseFlag(argv[i], "--histogram_out=", &histogram_out);
-    ParseFlag(argv[i], "--timeline_out=", &timeline_out);
+  flags::FlagSet flags("engine_throughput",
+                       "Engine ingest throughput across thread counts.");
+  flags.DefineString("benchmark_format", "",
+                     "'json' emits a machine-readable report");
+  flags.DefineString("trace_out", "", "Chrome-trace output path");
+  flags.DefineString("telemetry_out", "", "Prometheus metrics output path");
+  flags.DefineString("histogram_out", "", "histogram-summary JSON path");
+  flags.DefineString("timeline_out", "", "telemetry timeline JSONL path");
+  const Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpText().c_str());
+    return 0;
   }
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  const bool json = flags.GetString("benchmark_format") == "json";
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string telemetry_out = flags.GetString("telemetry_out");
+  const std::string histogram_out = flags.GetString("histogram_out");
+  const std::string timeline_out = flags.GetString("timeline_out");
 
   const size_t block_size = Scaled(10000, 500);
   const size_t num_blocks = 8;

@@ -17,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/flags.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "itemsets/apriori.h"
@@ -214,20 +215,22 @@ void TracedCountingRun(const std::string& trace_out,
 }  // namespace demon
 
 int main(int argc, char** argv) {
-  // Strip our flags before google-benchmark parses the command line.
-  std::string trace_out;
-  std::string telemetry_out;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (demon::bench::ParseFlag(argv[i], "--trace_out=", &trace_out)) continue;
-    if (demon::bench::ParseFlag(argv[i], "--telemetry_out=", &telemetry_out)) {
-      continue;
-    }
-    args.push_back(argv[i]);
+  // Strip our flags before google-benchmark parses the command line:
+  // ParseKnown consumes --trace_out=/--telemetry_out= and leaves the
+  // --benchmark_* arguments in place for benchmark::Initialize.
+  demon::flags::FlagSet flags("fig2_counting",
+                              "Figure 2 counting-strategy benchmark.");
+  flags.DefineString("trace_out", "", "Chrome-trace output path");
+  flags.DefineString("telemetry_out", "", "Prometheus metrics output path");
+  const demon::Status parsed = flags.ParseKnown(&argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
   }
-  int bench_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&bench_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string telemetry_out = flags.GetString("telemetry_out");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

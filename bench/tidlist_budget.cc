@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "itemsets/apriori.h"
@@ -243,10 +244,19 @@ void Run(const std::string& json_out) {
 }  // namespace demon
 
 int main(int argc, char** argv) {
-  std::string json_out = "BENCH_tidlist.json";
-  for (int i = 1; i < argc; ++i) {
-    demon::bench::ParseFlag(argv[i], "--json_out=", &json_out);
+  demon::flags::FlagSet flags("tidlist_budget",
+                              "TID-list storage-tier census benchmark.");
+  flags.DefineString("json_out", "BENCH_tidlist.json",
+                     "results JSON output path");
+  const demon::Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpText().c_str());
+    return 0;
   }
-  demon::Run(json_out);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  demon::Run(flags.GetString("json_out"));
   return 0;
 }

@@ -13,14 +13,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/telemetry_timeline.h"
 #include "core/bss.h"
 #include "core/demon_monitor.h"
@@ -34,54 +33,12 @@
 namespace demon {
 namespace {
 
-// --------------------------------------------------------------------------
-// Tiny flag parser: --key value (or --key=value) pairs after the
-// subcommand.
-
-class Flags {
- public:
-  static Result<Flags> Parse(int argc, char** argv, int first) {
-    Flags flags;
-    for (int i = first; i < argc;) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        return Status::InvalidArgument(
-            std::string("expected --flag value, got: ") + argv[i]);
-      }
-      const char* eq = std::strchr(argv[i], '=');
-      if (eq != nullptr) {
-        flags.values_[std::string(argv[i] + 2,
-                                  static_cast<size_t>(eq - argv[i] - 2))] =
-            eq + 1;
-        i += 1;
-      } else if (i + 1 < argc) {
-        flags.values_[argv[i] + 2] = argv[i + 1];
-        i += 2;
-      } else {
-        return Status::InvalidArgument(
-            std::string("missing value for flag: ") + argv[i]);
-      }
-    }
-    return flags;
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+/// Per-command fallback for a flag whose default differs by subcommand
+/// (e.g. --top shows 15 itemsets under `mine` but 10 under `maintain`).
+long IntOr(const flags::FlagSet& flags, const std::string& name,
+           long fallback) {
+  return flags.Provided(name) ? flags.GetInt(name) : fallback;
+}
 
 std::vector<std::string> SplitCommas(const std::string& text) {
   std::vector<std::string> parts;
@@ -97,13 +54,13 @@ std::vector<std::string> SplitCommas(const std::string& text) {
 }
 
 Result<std::vector<std::shared_ptr<const TransactionBlock>>> LoadBlocks(
-    const Flags& flags) {
-  if (!flags.Has("data")) {
+    const flags::FlagSet& flags) {
+  if (!flags.Provided("data")) {
     return Status::InvalidArgument("--data file1[,file2,...] is required");
   }
   std::vector<std::shared_ptr<const TransactionBlock>> blocks;
   Tid tid = 0;
-  for (const std::string& path : SplitCommas(flags.GetString("data", ""))) {
+  for (const std::string& path : SplitCommas(flags.GetString("data"))) {
     DEMON_ASSIGN_OR_RETURN(TransactionBlock block,
                            TransactionFile::Read(path, tid));
     tid += block.size();
@@ -146,47 +103,47 @@ void PrintTopItemsets(const ItemsetModel& model, size_t top_k) {
 // --------------------------------------------------------------------------
 // Subcommands.
 
-Status RunGen(const Flags& flags) {
-  if (!flags.Has("out")) return Status::InvalidArgument("--out is required");
+Status RunGen(const flags::FlagSet& flags) {
+  if (!flags.Provided("out")) return Status::InvalidArgument("--out is required");
   QuestParams params;
   params.num_transactions =
-      static_cast<size_t>(flags.GetInt("transactions", 10000));
-  params.num_items = static_cast<size_t>(flags.GetInt("items", 1000));
-  params.num_patterns = static_cast<size_t>(flags.GetInt("patterns", 2000));
-  params.avg_transaction_len = flags.GetDouble("len", 10.0);
-  params.avg_pattern_len = flags.GetDouble("plen", 4.0);
-  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+      static_cast<size_t>(flags.GetInt("transactions"));
+  params.num_items = static_cast<size_t>(flags.GetInt("items"));
+  params.num_patterns = static_cast<size_t>(flags.GetInt("patterns"));
+  params.avg_transaction_len = flags.GetDouble("len");
+  params.avg_pattern_len = flags.GetDouble("plen");
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   QuestGenerator gen(params);
   const TransactionBlock block = gen.GenerateAll();
   DEMON_RETURN_NOT_OK(
-      TransactionFile::Write(block, flags.GetString("out", "")));
+      TransactionFile::Write(block, flags.GetString("out")));
   std::printf("wrote %zu transactions (%s) to %s\n", block.size(),
-              params.ToString().c_str(), flags.GetString("out", "").c_str());
+              params.ToString().c_str(), flags.GetString("out").c_str());
   return Status::OK();
 }
 
-Status RunMine(const Flags& flags) {
+Status RunMine(const flags::FlagSet& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
-  const double minsup = flags.GetDouble("minsup", 0.01);
+  const double minsup = flags.GetDouble("minsup");
   const ItemsetModel model = Apriori(blocks, minsup, InferNumItems(blocks));
-  PrintTopItemsets(model, static_cast<size_t>(flags.GetInt("top", 15)));
+  PrintTopItemsets(model, static_cast<size_t>(IntOr(flags, "top", 15)));
   return Status::OK();
 }
 
-Status RunMaintain(const Flags& flags) {
+Status RunMaintain(const flags::FlagSet& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
   DEMON_ASSIGN_OR_RETURN(
       BlockSelectionSequence bss,
-      BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
+      BlockSelectionSequence::FromString(flags.GetString("bss")));
   if (bss.is_window_relative()) {
     return Status::InvalidArgument(
         "maintain supports window-independent BSS; window-relative "
         "sequences need the most-recent-window option");
   }
   BordersOptions options;
-  options.minsup = flags.GetDouble("minsup", 0.01);
+  options.minsup = flags.GetDouble("minsup");
   options.num_items = InferNumItems(blocks);
-  const std::string strategy = flags.GetString("strategy", "ecut");
+  const std::string strategy = flags.GetString("strategy");
   if (strategy == "ptscan") {
     options.strategy = CountingStrategy::kPtScan;
   } else if (strategy == "ecut") {
@@ -212,17 +169,17 @@ Status RunMaintain(const Flags& flags) {
                          : 0.0);
   }
   PrintTopItemsets(maintainer.model(),
-                   static_cast<size_t>(flags.GetInt("top", 10)));
+                   static_cast<size_t>(IntOr(flags, "top", 10)));
   return Status::OK();
 }
 
-Status RunPatterns(const Flags& flags) {
+Status RunPatterns(const flags::FlagSet& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
   CompactSequenceMiner::Options options;
-  options.focus.minsup = flags.GetDouble("minsup", 0.01);
+  options.focus.minsup = flags.GetDouble("minsup");
   options.focus.num_items = InferNumItems(blocks);
-  options.alpha = flags.GetDouble("alpha", 0.95);
-  options.window_size = static_cast<size_t>(flags.GetInt("window", 0));
+  options.alpha = flags.GetDouble("alpha");
+  options.window_size = static_cast<size_t>(IntOr(flags, "window", 0));
   CompactSequenceMiner miner(options);
   for (const auto& block : blocks) miner.AddBlock(block);
 
@@ -294,31 +251,31 @@ Status PrintLiveStats(DemonMonitor& demon,
 /// truncates the log after each; --block_delay_ms paces the feed (the
 /// crash-injection harness uses this to land its kill mid-stream).
 Result<Fleet> BuildAndRunFleet(
-    const Flags& flags,
+    const flags::FlagSet& flags,
     const std::vector<std::shared_ptr<const TransactionBlock>>& blocks) {
   DEMON_ASSIGN_OR_RETURN(
       BlockSelectionSequence bss,
-      BlockSelectionSequence::FromString(flags.GetString("bss", "all")));
-  const double minsup = flags.GetDouble("minsup", 0.01);
-  const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
+      BlockSelectionSequence::FromString(flags.GetString("bss")));
+  const double minsup = flags.GetDouble("minsup");
+  const size_t window = static_cast<size_t>(IntOr(flags, "window", 3));
   // Out-of-core TID-list controls: cap resident TID-list bytes per itemset
   // monitor and choose where cold extents spill. 0 / empty defer to the
   // DEMON_TIDLIST_BUDGET_BYTES / DEMON_TIDLIST_SPILL_DIR environment.
   const size_t tidlist_budget =
-      static_cast<size_t>(flags.GetInt("tidlist_budget", 0));
-  const std::string tidlist_spill_dir = flags.GetString("tidlist_spill_dir", "");
+      static_cast<size_t>(flags.GetInt("tidlist_budget"));
+  const std::string tidlist_spill_dir = flags.GetString("tidlist_spill_dir");
 
   Fleet fleet;
-  fleet.engine.num_threads = static_cast<size_t>(flags.GetInt("threads", 0));
-  fleet.engine.defer_offline = flags.GetInt("defer", 0) != 0;
+  fleet.engine.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  fleet.engine.defer_offline = flags.GetBool("defer");
 
-  if (flags.Has("restore")) {
+  if (flags.Provided("restore")) {
     DEMON_ASSIGN_OR_RETURN(
         fleet.demon,
-        DemonMonitor::Restore(flags.GetString("restore", ""), fleet.engine));
-    if (flags.Has("wal")) {
-      DEMON_RETURN_NOT_OK(fleet.demon->ReplayWal(flags.GetString("wal", "")));
-      DEMON_RETURN_NOT_OK(fleet.demon->AttachWal(flags.GetString("wal", "")));
+        DemonMonitor::Restore(flags.GetString("restore"), fleet.engine));
+    if (flags.Provided("wal")) {
+      DEMON_RETURN_NOT_OK(fleet.demon->ReplayWal(flags.GetString("wal")));
+      DEMON_RETURN_NOT_OK(fleet.demon->AttachWal(flags.GetString("wal")));
     }
   } else {
     fleet.demon =
@@ -349,10 +306,10 @@ Result<Fleet> BuildAndRunFleet(
         demon.AddMonitor({.kind = MonitorKind::kPatterns,
                           .name = "patterns",
                           .minsup = minsup,
-                          .alpha = flags.GetDouble("alpha", 0.95)}));
+                          .alpha = flags.GetDouble("alpha")}));
     (void)patterns;
-    if (flags.Has("wal")) {
-      DEMON_RETURN_NOT_OK(demon.AttachWal(flags.GetString("wal", "")));
+    if (flags.Provided("wal")) {
+      DEMON_RETURN_NOT_OK(demon.AttachWal(flags.GetString("wal")));
     }
   }
   DemonMonitor& demon = *fleet.demon;
@@ -368,17 +325,17 @@ Result<Fleet> BuildAndRunFleet(
   // Time-series observability: a background scraper samples every metric
   // periodically, plus one pinned scrape per block boundary; --alert
   // policies are evaluated on each sample and print as they fire.
-  const long stats_every = flags.GetInt("stats_every", 0);
-  if (stats_every > 0 || flags.Has("timeline_out") || flags.Has("trace_out") ||
-      flags.Has("alert")) {
+  const long stats_every = flags.GetInt("stats_every");
+  if (stats_every > 0 || flags.Provided("timeline_out") || flags.Provided("trace_out") ||
+      flags.Provided("alert")) {
     telemetry::ScraperOptions scraper_options;
     scraper_options.registry = demon.telemetry();
     scraper_options.period_seconds =
-        flags.GetDouble("scrape_period_ms", 50.0) * 1e-3;
+        flags.GetDouble("scrape_period_ms") * 1e-3;
     fleet.scraper =
         std::make_unique<telemetry::TelemetryScraper>(scraper_options);
     for (const std::string& spec :
-         SplitCommas(flags.GetString("alert", ""))) {
+         SplitCommas(flags.GetString("alert"))) {
       telemetry::AlertPolicy policy;
       std::string error;
       if (!telemetry::ParseAlertPolicy(spec, &policy, &error)) {
@@ -394,9 +351,9 @@ Result<Fleet> BuildAndRunFleet(
     fleet.scraper->Start();
   }
 
-  const std::string checkpoint_path = flags.GetString("checkpoint", "");
-  const long checkpoint_every = flags.GetInt("checkpoint_every", 0);
-  const long delay_ms = flags.GetInt("block_delay_ms", 0);
+  const std::string checkpoint_path = flags.GetString("checkpoint");
+  const long checkpoint_every = flags.GetInt("checkpoint_every");
+  const long delay_ms = flags.GetInt("block_delay_ms");
   const BlockId already = demon.snapshot().latest_id();
   long fed = 0;
   for (const auto& block : blocks) {
@@ -417,7 +374,7 @@ Result<Fleet> BuildAndRunFleet(
         demon.snapshot().latest_id() % static_cast<BlockId>(checkpoint_every) ==
             0) {
       DEMON_RETURN_NOT_OK(demon.Checkpoint(checkpoint_path));
-      if (flags.Has("wal")) DEMON_RETURN_NOT_OK(demon.ResetWal());
+      if (flags.Provided("wal")) DEMON_RETURN_NOT_OK(demon.ResetWal());
     }
   }
   demon.Quiesce();
@@ -435,11 +392,11 @@ Result<Fleet> BuildAndRunFleet(
 /// the final state to --out. Checkpoint bytes are deterministic, so the
 /// crash-recovery harness diffs them between an interrupted-then-restored
 /// run and an uninterrupted one.
-Status RunCheckpoint(const Flags& flags) {
-  if (!flags.Has("out")) return Status::InvalidArgument("--out is required");
+Status RunCheckpoint(const flags::FlagSet& flags) {
+  if (!flags.Provided("out")) return Status::InvalidArgument("--out is required");
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
   DEMON_ASSIGN_OR_RETURN(Fleet fleet, BuildAndRunFleet(flags, blocks));
-  const std::string out = flags.GetString("out", "");
+  const std::string out = flags.GetString("out");
   DEMON_RETURN_NOT_OK(fleet.demon->Checkpoint(out));
   std::printf("checkpointed %zu monitor(s), %zu block(s) to %s\n",
               fleet.demon->NumMonitors(), fleet.demon->snapshot().NumBlocks(),
@@ -447,7 +404,7 @@ Status RunCheckpoint(const Flags& flags) {
   return Status::OK();
 }
 
-Status RunMonitor(const Flags& flags) {
+Status RunMonitor(const flags::FlagSet& flags) {
   // The Figure 11 deployment loop: one evolving database, several
   // heterogeneous monitors, driven by the parallel MaintenanceEngine.
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
@@ -456,7 +413,7 @@ Status RunMonitor(const Flags& flags) {
   const auto& ids = fleet.ids;
   const auto mrw = fleet.mrw;
   const auto patterns = fleet.patterns;
-  const size_t window = static_cast<size_t>(flags.GetInt("window", 3));
+  const size_t window = static_cast<size_t>(IntOr(flags, "window", 3));
 
   std::printf("engine: %zu thread(s), defer_offline=%s, %zu blocks\n",
               fleet.engine.num_threads,
@@ -481,7 +438,7 @@ Status RunMonitor(const Flags& flags) {
   DEMON_ASSIGN_OR_RETURN(const ItemsetModel* model,
                          demon.ItemsetModelOf(mrw));
   std::printf("\nmost-recent-window model (last %zu blocks):\n", window);
-  PrintTopItemsets(*model, static_cast<size_t>(flags.GetInt("top", 10)));
+  PrintTopItemsets(*model, static_cast<size_t>(IntOr(flags, "top", 10)));
 
   DEMON_ASSIGN_OR_RETURN(const CompactSequenceMiner* miner,
                          demon.PatternsOf(patterns));
@@ -495,7 +452,7 @@ Status RunMonitor(const Flags& flags) {
     std::printf("}\n");
   }
 
-  if (flags.Has("timeline_out")) {
+  if (flags.Provided("timeline_out")) {
     // Merge the scraper's periodic samples with the engine's per-block
     // records into one JSONL stream, ordered by timestamp.
     std::vector<std::pair<uint64_t, std::string>> lines;
@@ -514,14 +471,14 @@ Status RunMonitor(const Flags& flags) {
                      });
     std::string jsonl;
     for (const auto& [t_ns, line] : lines) jsonl.append(line);
-    const std::string path = flags.GetString("timeline_out", "");
+    const std::string path = flags.GetString("timeline_out");
     DEMON_RETURN_NOT_OK(WriteTextFile(path, jsonl));
     std::printf("\nwrote %zu timeline records to %s\n", lines.size(),
                 path.c_str());
   }
 
-  if (flags.Has("trace_out")) {
-    const std::string path = flags.GetString("trace_out", "");
+  if (flags.Provided("trace_out")) {
+    const std::string path = flags.GetString("trace_out");
     std::string trace;
     if (fleet.scraper != nullptr) {
       // Spans plus counter tracks ("ph":"C") on one timebase: Perfetto
@@ -554,11 +511,11 @@ Status RunMonitor(const Flags& flags) {
 /// Runs the monitor fleet and dumps the engine's telemetry registry —
 /// Prometheus text by default, Chrome trace-event JSON with
 /// --format chrome. --out writes to a file instead of stdout.
-Status RunTelemetry(const Flags& flags) {
+Status RunTelemetry(const flags::FlagSet& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
   DEMON_ASSIGN_OR_RETURN(Fleet fleet, BuildAndRunFleet(flags, blocks));
 
-  const std::string format = flags.GetString("format", "prometheus");
+  const std::string format = flags.GetString("format");
   telemetry::TelemetryFormat telemetry_format;
   if (format == "prometheus") {
     telemetry_format = telemetry::TelemetryFormat::kPrometheus;
@@ -569,8 +526,8 @@ Status RunTelemetry(const Flags& flags) {
                                    " (want prometheus|chrome)");
   }
   const std::string text = fleet.demon->ExportTelemetry(telemetry_format);
-  if (flags.Has("out")) {
-    const std::string path = flags.GetString("out", "");
+  if (flags.Provided("out")) {
+    const std::string path = flags.GetString("out");
     DEMON_RETURN_NOT_OK(WriteTextFile(path, text));
     std::printf("wrote %s telemetry to %s\n", format.c_str(), path.c_str());
   } else {
@@ -579,15 +536,15 @@ Status RunTelemetry(const Flags& flags) {
   return Status::OK();
 }
 
-Status RunRules(const Flags& flags) {
+Status RunRules(const flags::FlagSet& flags) {
   DEMON_ASSIGN_OR_RETURN(auto blocks, LoadBlocks(flags));
-  const double minsup = flags.GetDouble("minsup", 0.01);
-  const double confidence = flags.GetDouble("confidence", 0.5);
+  const double minsup = flags.GetDouble("minsup");
+  const double confidence = flags.GetDouble("confidence");
   const ItemsetModel model = Apriori(blocks, minsup, InferNumItems(blocks));
   const auto rules = DeriveRules(model, confidence);
   std::printf("%zu rules at minsup %.3f, confidence %.2f:\n", rules.size(),
               minsup, confidence);
-  const size_t top = static_cast<size_t>(flags.GetInt("top", 20));
+  const size_t top = static_cast<size_t>(IntOr(flags, "top", 20));
   for (size_t i = 0; i < rules.size() && i < top; ++i) {
     std::printf("  %s\n", rules[i].ToString().c_str());
   }
@@ -606,7 +563,7 @@ int Usage() {
       "  maintain  --data F1[,F2...] [--minsup 0.01 --strategy "
       "ptscan|ecut|ecut+ --bss all|10110|periodic:7/0]\n"
       "  monitor   --data F1[,F2...] [--minsup 0.01 --window 3 --bss all "
-      "--threads N --defer 0|1 --alpha 0.95 --trace_out trace.json]\n"
+      "--threads N --defer --alpha 0.95 --trace_out trace.json]\n"
       "            [--restore ckpt --wal log --checkpoint ckpt "
       "--checkpoint_every N --block_delay_ms M]\n"
       "            [--tidlist_budget BYTES --tidlist_spill_dir DIR]\n"
@@ -622,15 +579,60 @@ int Usage() {
   return 2;
 }
 
+flags::FlagSet BuildFlags() {
+  flags::FlagSet flags("demon_cli <command>",
+                       "Command-line driver over the DEMON library, "
+                       "operating on TransactionFile block binaries.");
+  flags.DefineString("data", "", "comma-separated TransactionFile inputs");
+  flags.DefineString("out", "", "output path (file depends on command)");
+  flags.DefineInt("transactions", 10000, "gen: transactions to synthesize");
+  flags.DefineInt("items", 1000, "gen: item-universe size");
+  flags.DefineInt("patterns", 2000, "gen: maximal pattern count");
+  flags.DefineDouble("len", 10.0, "gen: mean transaction length");
+  flags.DefineDouble("plen", 4.0, "gen: mean pattern length");
+  flags.DefineInt("seed", 42, "gen: generator seed");
+  flags.DefineDouble("minsup", 0.01, "minimum support threshold");
+  flags.DefineInt("top", 0, "itemsets to print (0 = per-command default)");
+  flags.DefineString("bss", "all", "block selection sequence: all|BITS|"
+                                   "periodic:P/O");
+  flags.DefineString("strategy", "ecut", "maintain: ptscan|ecut|ecut+");
+  flags.DefineDouble("alpha", 0.95, "deviation significance level");
+  flags.DefineInt("window", 0, "sliding-window width in blocks "
+                               "(0 = per-command default)");
+  flags.DefineInt("tidlist_budget", 0, "TID-list memory budget in bytes");
+  flags.DefineString("tidlist_spill_dir", "",
+                     "spill directory for out-of-core TID lists");
+  flags.DefineInt("threads", 0, "maintenance threads (0 = inline)");
+  flags.DefineBool("defer", false, "defer offline maintenance");
+  flags.DefineString("restore", "", "checkpoint to restore before blocks");
+  flags.DefineString("wal", "", "write-ahead log path");
+  flags.DefineInt("stats_every", 0, "print stats every N blocks");
+  flags.DefineString("timeline_out", "", "telemetry timeline JSONL path");
+  flags.DefineString("trace_out", "", "Chrome-trace output path");
+  flags.DefineString("alert", "", "alert policies 'metric>thr[:n][,...]'");
+  flags.DefineDouble("scrape_period_ms", 50.0, "timeline scrape period");
+  flags.DefineString("checkpoint", "", "checkpoint output path");
+  flags.DefineInt("checkpoint_every", 0, "checkpoint every N blocks");
+  flags.DefineInt("block_delay_ms", 0, "sleep between blocks");
+  flags.DefineString("format", "prometheus",
+                     "telemetry: prometheus|chrome");
+  flags.DefineDouble("confidence", 0.5, "rules: minimum confidence");
+  return flags;
+}
+
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  auto flags_result = Flags::Parse(argc, argv, 2);
-  if (!flags_result.ok()) {
-    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+  const std::string command = flags::Positional(argc, argv, 1);
+  if (command.empty()) return Usage();
+  flags::FlagSet flags = BuildFlags();
+  const Status parsed = flags.Parse(argc, argv, /*first=*/2);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpText().c_str());
+    return 0;
+  }
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     return Usage();
   }
-  const Flags& flags = flags_result.value();
   Status status;
   if (command == "gen") {
     status = RunGen(flags);

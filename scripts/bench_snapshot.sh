@@ -13,9 +13,10 @@
 # thread-count sweep) into BENCH_counting.json, bench/intersect_kernels
 # (scalar vs dispatched intersection kernels) into BENCH_intersect.json,
 # bench/engine_throughput (its own --benchmark_format=json mode) into
-# BENCH_engine.json, and bench/tidlist_budget (the TID-list memory-budget
-# sweep) into BENCH_tidlist.json. Honors DEMON_SCALE (default 0.1); set
-# DEMON_SCALE=1 for paper-scale runs.
+# BENCH_engine.json, bench/tidlist_budget (the TID-list memory-budget
+# sweep) into BENCH_tidlist.json, and bench/server_throughput (the
+# demon_serve socket-ingestion sweep) into BENCH_server.json. Honors
+# DEMON_SCALE (default 0.1); set DEMON_SCALE=1 for paper-scale runs.
 #
 # Every BENCH_*.json gets its "context" block stamped with the repo's
 # CMAKE_BUILD_TYPE, num_cpus, and the git SHA of the worktree the
@@ -89,6 +90,12 @@ echo "== tidlist_budget -> BENCH_tidlist.json"
 "$build_dir/bench/tidlist_budget" \
   --json_out="$repo_root/BENCH_tidlist.json"
 
+echo "== server_throughput -> BENCH_server.json"
+server_scratch="$(mktemp -d)"
+"$build_dir/bench/server_throughput" --benchmark_format=json \
+  --data_dir="$server_scratch" > "$repo_root/BENCH_server.json"
+rm -rf "$server_scratch"
+
 # Stamp provenance into every artifact's context block. Trace files are
 # Chrome trace-event JSON with no context object and are left alone.
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -123,3 +130,4 @@ echo "wrote $repo_root/BENCH_engine_trace.json"
 echo "wrote $repo_root/BENCH_engine_timeline.jsonl"
 echo "wrote $repo_root/BENCH_telemetry.json"
 echo "wrote $repo_root/BENCH_tidlist.json"
+echo "wrote $repo_root/BENCH_server.json"

@@ -47,6 +47,11 @@ Checks enforced (all are CI-blocking):
                  src/common/sync.h. All locking goes through the annotated
                  demon::Mutex / MutexLock / CondVar wrappers so clang's
                  -Wthread-safety analysis sees every acquisition.
+  raw-argv       `argv[...]` indexing outside src/common/. Command lines
+                 are declared on a flags::FlagSet (common/flags.h) and
+                 parsed with Parse/ParseKnown; positional words go
+                 through flags::Positional. Hand-rolled scanning is how
+                 typos silently fall back to defaults.
 
 Suppress a finding with `// lint:allow(<check>)` on the offending line.
 
@@ -102,6 +107,10 @@ NAKED_SYNC_RE = re.compile(
     r"|\bstd::condition_variable(?:_any)?\b"
     r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
 )
+
+
+# argv indexing outside the flags library.
+RAW_ARGV_RE = re.compile(r"\bargv\s*\[")
 
 
 def is_simd_file(path, root):
@@ -232,6 +241,12 @@ def lint_file(path, root, findings):
                    "raw std sync primitive outside src/common/sync.h; use "
                    "the annotated demon::Mutex / MutexLock / CondVar "
                    "wrappers so -Wthread-safety sees the acquisition")
+        if (RAW_ARGV_RE.search(code)
+                and not path.is_relative_to(root / "src" / "common")):
+            report(lineno, "raw-argv",
+                   "argv indexing outside src/common/; declare the flags "
+                   "on a flags::FlagSet and read positionals via "
+                   "flags::Positional")
         if (path.suffix in HEADER_EXT
                 and NODISCARD_DECL_RE.match(code)
                 and "[[nodiscard]]" not in code_lines[max(0, lineno - 2)]
@@ -336,6 +351,17 @@ SELF_TEST_CASES = [
     ("comments and strings never fire", "src/core/k.cc",
      "// std::mutex in a comment\n"
      "const char* s = \"std::condition_variable\";\n",
+     []),
+    ("raw-argv fires on argv indexing", "src/core/s.cc",
+     "int main(int argc, char** argv) {\n"
+     "  const char* first = argv[1];\n  Use(first);\n}\n",
+     ["raw-argv"]),
+    ("raw-argv exempts src/common", "src/common/args.cc",
+     "const char* F(char** argv) {\n  return argv[0];\n}\n",
+     []),
+    ("raw-argv respects lint:allow", "src/core/t.cc",
+     "const char* F(char** argv) {\n"
+     "  return argv[0];  // lint:allow(raw-argv)\n}\n",
      []),
     ("clean file stays clean", "src/core/l.cc",
      "void F() {}\n",

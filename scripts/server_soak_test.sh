@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Kill-and-recover soak test for demon_serve's multi-tenant durability.
+#
+#   SOAK_TENANTS=1000 scripts/server_soak_test.sh [build-dir]
+#
+# Two servers host the same deterministic per-tenant record streams
+# (demon_load regenerates record i of tenant t as a pure function of
+# (seed, t, i)):
+#
+#   1. Reference run: one uninterrupted server ingests every stream,
+#      flushes all tenants durably, and shuts down cleanly.
+#   2. Kill run: a server over a second data dir is SIGKILLed mid-load at
+#      three different points (early: mid-creation; middle: mid-stream
+#      with background flushes in flight; late: mid-checkpoint traffic).
+#      After every kill the next incarnation recovers from checkpoint +
+#      WAL and the load resumes from each tenant's server-side cursor
+#      (--resume), resending at-least-once across the crash boundary.
+#
+# Tenant checkpoints are a pure function of the record stream (deterministic
+# block cuts at flush_records boundaries, no wall-clock metadata), so the
+# test passes iff every one of the SOAK_TENANTS per-tenant checkpoints in
+# the kill run is byte-identical to the reference run's.
+#
+# Tunables (env): SOAK_TENANTS (default 1000), SOAK_RECORDS per tenant
+# (default 120), SOAK_CONNECTIONS (default 8).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+serve="$build_dir/examples/demon_serve"
+load="$build_dir/examples/demon_load"
+
+tenants="${SOAK_TENANTS:-1000}"
+records="${SOAK_RECORDS:-120}"
+connections="${SOAK_CONNECTIONS:-8}"
+flush_records=25
+checkpoint_blocks=2
+batch=40
+seed=42
+
+for bin in "$serve" "$load"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build the repo first" \
+         "(cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Starts demon_serve on an ephemeral port over $1, logging to $2; sets
+# $server_pid and $server_port once the listener line appears and a ping
+# round-trips.
+start_server() {
+  local data_dir="$1" log="$2"
+  "$serve" --port=0 --data_dir="$data_dir" \
+    --flush_records="$flush_records" \
+    --checkpoint_blocks="$checkpoint_blocks" > "$log" 2>&1 &
+  server_pid=$!
+  server_port=""
+  for _ in $(seq 1 100); do
+    server_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)"
+    [[ -n "$server_port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "error: demon_serve exited during startup:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$server_port" ]]; then
+    echo "error: demon_serve never printed its port" >&2
+    exit 1
+  fi
+  for _ in $(seq 1 100); do
+    "$load" --port="$server_port" --ping >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "error: demon_serve on port $server_port never answered a ping" >&2
+  exit 1
+}
+
+common_load() {
+  "$load" --host=127.0.0.1 --port="$server_port" --tenants="$tenants" \
+    --records="$records" --batch="$batch" --connections="$connections" \
+    --seed="$seed" "$@"
+}
+
+# --- 1. Reference run: uninterrupted ingest + durable shutdown. ---------
+ref_dir="$work/reference"
+start_server "$ref_dir" "$work/reference.log"
+common_load --flush --shutdown
+wait "$server_pid"
+server_pid=""
+echo "reference run: $tenants tenants ingested and shut down cleanly"
+
+# --- 2. Kill run: SIGKILL at three points, recover, resume. -------------
+kill_dir="$work/killed"
+for kill_after in 0.15 0.45 0.90; do
+  start_server "$kill_dir" "$work/kill_${kill_after}.log"
+  recovered="$(sed -n 's/.*tenants recovered=\([0-9]*\).*/\1/p' \
+    "$work/kill_${kill_after}.log" | head -1)"
+  common_load --resume > "$work/load_${kill_after}.log" 2>&1 &
+  load_pid=$!
+  sleep "$kill_after"
+  kill -9 "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+  wait "$load_pid" 2>/dev/null || true
+  echo "kill@${kill_after}s: SIGKILL delivered" \
+       "(incarnation had recovered $recovered tenants)"
+done
+
+# Final incarnation: recover everything, finish every stream, flush, stop.
+start_server "$kill_dir" "$work/final.log"
+common_load --resume --flush --shutdown
+wait "$server_pid"
+server_pid=""
+echo "final incarnation: all streams completed and flushed durably"
+
+# --- 3. Byte-compare every tenant checkpoint. ---------------------------
+failures=0
+missing=0
+for ((t = 0; t < tenants; ++t)); do
+  ref_ckpt="$ref_dir/tenants/t$t/checkpoint.demon"
+  kill_ckpt="$kill_dir/tenants/t$t/checkpoint.demon"
+  if [[ ! -f "$ref_ckpt" || ! -f "$kill_ckpt" ]]; then
+    missing=$((missing + 1))
+    continue
+  fi
+  cmp -s "$ref_ckpt" "$kill_ckpt" || failures=$((failures + 1))
+done
+
+if [[ "$missing" -ne 0 || "$failures" -ne 0 ]]; then
+  echo "server soak: FAIL ($failures checkpoint(s) diverged," \
+       "$missing missing of $tenants)" >&2
+  exit 1
+fi
+echo "server soak: all $tenants recovered tenant checkpoints are" \
+     "byte-identical to the uninterrupted run"

@@ -1,0 +1,274 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace demon::flags {
+
+namespace {
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+
+/// Classic Levenshtein distance, small inputs only (flag names).
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void FlagSet::Define(const std::string& name, Flag flag) {
+  DEMON_CHECK_MSG(!name.empty() && name.rfind("--", 0) != 0,
+                  "flag names are registered without the -- prefix");
+  const bool inserted = registered_.emplace(name, std::move(flag)).second;
+  DEMON_CHECK_MSG(inserted, "flag registered twice");
+}
+
+void FlagSet::DefineString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  Define(name, std::move(flag));
+}
+
+void FlagSet::DefineInt(const std::string& name, long default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.int_value = default_value;
+  Define(name, std::move(flag));
+}
+
+void FlagSet::DefineDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  Define(name, std::move(flag));
+}
+
+void FlagSet::DefineBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  Define(name, std::move(flag));
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  Flag& flag = registered_.at(name);
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = value;
+      break;
+    case Type::kInt: {
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects an integer, "
+                                       "got '" + value + "'");
+      }
+      flag.int_value = v;
+      break;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects a number, "
+                                       "got '" + value + "'");
+      }
+      flag.double_value = v;
+      break;
+    }
+    case Type::kBool:
+      if (value == "1" || value == "true" || value == "on") {
+        flag.bool_value = true;
+      } else if (value == "0" || value == "false" || value == "off") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name + " expects a boolean "
+                                       "(1/0/true/false/on/off), got '" +
+                                       value + "'");
+      }
+      break;
+  }
+  flag.provided = true;
+  return Status::OK();
+}
+
+std::string FlagSet::ClosestName(const std::string& name) const {
+  std::string best;
+  size_t best_distance = name.size();  // anything further is noise
+  for (const auto& [candidate, flag] : registered_) {
+    const size_t d = EditDistance(name, candidate);
+    if (d < best_distance || (d == best_distance && !best.empty() &&
+                              candidate.size() < best.size())) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return best_distance <= 3 ? best : "";
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      return Status::InvalidArgument("expected --flag, got '" + arg +
+                                     "' (see --help)");
+    }
+    const size_t eq = arg.find('=');
+    const std::string name =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    const auto it = registered_.find(name);
+    if (it == registered_.end()) {
+      const std::string closest = ClosestName(name);
+      std::string message = "unknown flag --" + name;
+      if (!closest.empty()) message += " (did you mean --" + closest + "?)";
+      return Status::InvalidArgument(message + "; see --help");
+    }
+    if (eq != std::string::npos) {
+      DEMON_RETURN_NOT_OK(SetValue(name, arg.substr(eq + 1)));
+      i += 1;
+    } else if (it->second.type == Type::kBool &&
+               (i + 1 >= argc ||
+                std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      // A bare boolean flag means true.
+      DEMON_RETURN_NOT_OK(SetValue(name, "1"));
+      i += 1;
+    } else if (i + 1 < argc) {
+      DEMON_RETURN_NOT_OK(SetValue(name, argv[i + 1]));
+      i += 2;
+    } else {
+      return Status::InvalidArgument("missing value for --" + name);
+    }
+  }
+  return Status::OK();
+}
+
+Status FlagSet::ParseKnown(int* argc, char** argv, int first) {
+  int out = first;
+  for (int i = first; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    // Only the self-contained `--name=value` spelling is recognized here;
+    // space-separated values would be ambiguous against the downstream
+    // parser's flags.
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      const std::string name = arg.substr(2, eq - 2);
+      if (registered_.count(name) > 0) {
+        DEMON_RETURN_NOT_OK(SetValue(name, arg.substr(eq + 1)));
+        continue;
+      }
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return Status::OK();
+}
+
+std::string FlagSet::HelpText() const {
+  std::string text = "usage: " + program_ + " [--flag value | --flag=value]\n";
+  if (!description_.empty()) text += description_ + "\n";
+  text += "\nflags:\n";
+  for (const auto& [name, flag] : registered_) {
+    std::string default_text;
+    switch (flag.type) {
+      case Type::kString:
+        default_text = "\"" + flag.string_value + "\"";
+        break;
+      case Type::kInt:
+        default_text = std::to_string(flag.int_value);
+        break;
+      case Type::kDouble: {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%g", flag.double_value);
+        default_text = buffer;
+        break;
+      }
+      case Type::kBool:
+        default_text = flag.bool_value ? "true" : "false";
+        break;
+    }
+    text += "  --" + name + " (" +
+            TypeName(static_cast<int>(flag.type)) + ", default " +
+            default_text + ")\n        " + flag.help + "\n";
+  }
+  return text;
+}
+
+const FlagSet::Flag& FlagSet::Lookup(const std::string& name,
+                                     Type type) const {
+  const auto it = registered_.find(name);
+  DEMON_CHECK_MSG(it != registered_.end(), "flag read but never registered");
+  DEMON_CHECK_MSG(it->second.type == type, "flag read with the wrong type");
+  return it->second;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).string_value;
+}
+
+long FlagSet::GetInt(const std::string& name) const {
+  return Lookup(name, Type::kInt).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+
+bool FlagSet::Provided(const std::string& name) const {
+  const auto it = registered_.find(name);
+  DEMON_CHECK_MSG(it != registered_.end(), "flag read but never registered");
+  return it->second.provided;
+}
+
+std::string Positional(int argc, const char* const* argv, int index,
+                       const std::string& fallback) {
+  if (index < 0 || index >= argc) return fallback;
+  return argv[index];  // lint:allow(raw-argv)
+}
+
+}  // namespace demon::flags

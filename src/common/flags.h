@@ -1,0 +1,110 @@
+#ifndef DEMON_COMMON_FLAGS_H_
+#define DEMON_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace demon::flags {
+
+/// \brief The one command-line surface of every DEMON binary.
+///
+/// Before this existed each tool scanned `argv` by hand (demon_cli's ad-hoc
+/// map, the benches' prefix matching), so a typo like `--minsop` silently
+/// fell back to the default. A FlagSet is declared up front — every flag
+/// carries a type, a default and one line of help — and `Parse` then
+/// rejects unknown flags (suggesting the nearest registered name), rejects
+/// malformed values, and renders `--help` from the declarations. The
+/// repo lint (`raw-argv`) bans `argv` indexing outside `src/common/`, so
+/// new tools cannot regress to hand-rolled scanning.
+///
+/// Accepted spellings: `--name=value`, `--name value`, and for booleans a
+/// bare `--name`. A single FlagSet is not thread-safe; parse before
+/// spawning threads.
+class FlagSet {
+ public:
+  /// `program` and `description` head the --help text.
+  FlagSet(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// \name Declarations (call before Parse; names are unique).
+  /// @{
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, long default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+  /// @}
+
+  /// Parses `argv[first..argc)`. Unknown flags, missing values and
+  /// unparsable numbers are InvalidArgument (the message names the
+  /// closest registered flag for likely typos). `--help` sets
+  /// `help_requested()` and stops parsing without error.
+  [[nodiscard]] Status Parse(int argc, const char* const* argv, int first = 1);
+
+  /// Like Parse, but leaves arguments it does not recognize in place
+  /// (compacting `argv` and updating `*argc`) instead of erroring — for
+  /// binaries that forward the remainder to another parser
+  /// (google-benchmark). Recognized flags must still parse cleanly.
+  [[nodiscard]] Status ParseKnown(int* argc, char** argv, int first = 1);
+
+  /// True once Parse consumed a `--help`.
+  bool help_requested() const { return help_requested_; }
+
+  /// The rendered help text: usage line, description, one line per flag
+  /// with its type, default and help string.
+  std::string HelpText() const;
+
+  /// \name Typed accessors (DEMON_CHECK on unregistered name or wrong
+  /// type — a programming error, not user input).
+  /// @{
+  std::string GetString(const std::string& name) const;
+  long GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  /// @}
+
+  /// True when the flag appeared on the command line (vs. its default).
+  bool Provided(const std::string& name) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Type type = Type::kString;
+    std::string help;
+    std::string string_value;
+    long int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    bool provided = false;
+  };
+
+  void Define(const std::string& name, Flag flag);
+  const Flag& Lookup(const std::string& name, Type type) const;
+  [[nodiscard]] Status SetValue(const std::string& name,
+                                const std::string& value);
+  /// The registered name closest to `name` by edit distance (for the
+  /// unknown-flag message); empty when nothing is remotely close.
+  std::string ClosestName(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> registered_;
+  bool help_requested_ = false;
+};
+
+/// The `index`-th positional argument (0 = program name), or `fallback`
+/// when absent — how subcommand drivers read the command word without
+/// indexing `argv` themselves.
+std::string Positional(int argc, const char* const* argv, int index,
+                       const std::string& fallback = "");
+
+}  // namespace demon::flags
+
+#endif  // DEMON_COMMON_FLAGS_H_

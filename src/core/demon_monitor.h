@@ -69,79 +69,6 @@ class DemonMonitor {
   /// The spec a monitor was registered with.
   [[nodiscard]] Result<const MonitorSpec*> SpecOf(MonitorId id) const;
 
-  // Legacy registration surface: thin shims over AddMonitor, kept one
-  // release so call sites can migrate to the spec struct.
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddUnrestrictedItemsetMonitor(
-      std::string name, double minsup, BlockSelectionSequence bss,
-      CountingStrategy strategy = CountingStrategy::kEcut) {
-    return AddMonitor({.kind = MonitorKind::kUnrestrictedItemsets,
-                       .name = std::move(name),
-                       .bss = std::move(bss),
-                       .minsup = minsup,
-                       .strategy = strategy});
-  }
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddWindowedItemsetMonitor(
-      std::string name, double minsup, size_t window,
-      BlockSelectionSequence bss,
-      CountingStrategy strategy = CountingStrategy::kEcut) {
-    return AddMonitor({.kind = MonitorKind::kWindowedItemsets,
-                       .name = std::move(name),
-                       .bss = std::move(bss),
-                       .window = window,
-                       .minsup = minsup,
-                       .strategy = strategy});
-  }
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddClusterMonitor(
-      std::string name, size_t dim, const BirchOptions& birch,
-      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks()) {
-    return AddMonitor({.kind = MonitorKind::kUnrestrictedClusters,
-                       .name = std::move(name),
-                       .bss = std::move(bss),
-                       .dim = dim,
-                       .birch = birch});
-  }
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddWindowedClusterMonitor(std::string name, size_t dim,
-                                              const BirchOptions& birch,
-                                              size_t window,
-                                              BlockSelectionSequence bss) {
-    return AddMonitor({.kind = MonitorKind::kWindowedClusters,
-                       .name = std::move(name),
-                       .bss = std::move(bss),
-                       .window = window,
-                       .dim = dim,
-                       .birch = birch});
-  }
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddClassifierMonitor(
-      std::string name, const LabeledSchema& schema,
-      const DTreeOptions& options,
-      BlockSelectionSequence bss = BlockSelectionSequence::AllBlocks()) {
-    return AddMonitor({.kind = MonitorKind::kClassifier,
-                       .name = std::move(name),
-                       .bss = std::move(bss),
-                       .schema = schema,
-                       .dtree = options});
-  }
-
-  [[deprecated("build a MonitorSpec and call AddMonitor")]] [[nodiscard]]
-  Result<MonitorId> AddPatternDetector(std::string name, double minsup,
-                                       double alpha, size_t window = 0) {
-    return AddMonitor({.kind = MonitorKind::kPatterns,
-                       .name = std::move(name),
-                       .window = window,
-                       .minsup = minsup,
-                       .alpha = alpha});
-  }
-
   /// Appends the next transaction block and updates every
   /// transaction-consuming monitor.
   void AddBlock(TransactionBlock block);

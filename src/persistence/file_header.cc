@@ -14,6 +14,8 @@ std::string DescribeFormat(uint32_t id) {
     case FormatId::kItemsetModel:
     case FormatId::kCheckpoint:
     case FormatId::kWriteAheadLog:
+    case FormatId::kWireRequest:
+    case FormatId::kWireResponse:
       return FormatIdToString(static_cast<FormatId>(id));
   }
   return "format#" + std::to_string(id);
@@ -62,6 +64,10 @@ const char* FormatIdToString(FormatId id) {
       return "checkpoint";
     case FormatId::kWriteAheadLog:
       return "write-ahead-log";
+    case FormatId::kWireRequest:
+      return "wire-request";
+    case FormatId::kWireResponse:
+      return "wire-response";
   }
   return "unknown";
 }

@@ -28,6 +28,8 @@ enum class FormatId : uint32_t {
   kItemsetModel = 4,     ///< itemsets/model_io: serialized ItemsetModel
   kCheckpoint = 5,       ///< core: DemonMonitor checkpoint container
   kWriteAheadLog = 6,    ///< core: block-arrival write-ahead log
+  kWireRequest = 7,      ///< server: one request frame on the wire
+  kWireResponse = 8,     ///< server: one response frame on the wire
 };
 
 /// Short stable name for error messages ("transaction-file", "checkpoint"...).

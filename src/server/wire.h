@@ -1,0 +1,154 @@
+#ifndef DEMON_SERVER_WIRE_H_
+#define DEMON_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/monitor_spec.h"
+#include "data/transaction.h"
+#include "persistence/file_header.h"
+
+namespace demon::server {
+
+/// \file
+/// The demon_serve wire protocol: length-prefixed binary frames reusing
+/// the persistence layer's codec and header discipline.
+///
+/// One frame on the wire is
+///
+///   [u32 payload bytes (LE)] [payload]
+///
+/// and a payload is
+///
+///   [FileHeader: magic "DEMONFS1", format kWireRequest|kWireResponse,
+///    version kWireVersion, flags 0]
+///   [u8 message type]
+///   [message body, Writer/Reader-encoded]
+///
+/// The same error taxonomy as the on-disk formats applies: a payload whose
+/// header has the wrong magic, the wrong format id, or a version newer
+/// than the peer supports decodes to `InvalidArgument` (the server replies
+/// cleanly and keeps the connection); a payload that ends mid-field, or
+/// carries a length its bytes cannot back, decodes to `DataLoss` (an
+/// intact frame with a corrupt body earns a DataLoss reply; a frame the
+/// socket itself truncates, or whose length prefix exceeds
+/// `kMaxFramePayloadBytes`, drops the connection and is accounted under
+/// `server/frames_dropped`).
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Upper bound on one frame's payload. Large enough for any sane batch,
+/// small enough that a corrupt or hostile length prefix cannot make the
+/// receiver allocate unbounded memory.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Request message types. Values are wire-stable; never renumber.
+enum class MsgType : uint8_t {
+  kPing = 1,          ///< liveness probe; empty body
+  kCreateTenant = 2,  ///< tenant, num_items, specs (idempotent)
+  kAppendBatch = 3,   ///< tenant, first_record_index, transactions
+  kFlushTenant = 4,   ///< tenant: cut staged records into blocks + checkpoint
+  kFlushAll = 5,      ///< every tenant, as kFlushTenant
+  kStats = 6,         ///< tenant ("" = host-wide)
+  kShutdown = 7,      ///< flush everything durably, then stop the server
+};
+
+/// Short stable name for telemetry and error messages.
+const char* MsgTypeToString(MsgType type);
+
+/// \brief One decoded request. Which fields are meaningful depends on
+/// `type` (see MsgType); unused fields stay at their defaults and are
+/// encoded only for the types that carry them.
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::string tenant;
+  /// kCreateTenant: item-universe size and the monitors to register.
+  uint64_t num_items = 0;
+  std::vector<MonitorSpec> specs;
+  /// kAppendBatch: cumulative index (0-based) of the first record in
+  /// `transactions` within the tenant's stream — the exactly-once cursor.
+  /// A resent batch overlaps the server's cursor and the overlap is
+  /// silently skipped; a batch starting beyond the cursor is a gap and
+  /// rejected, so a lost batch can never be papered over.
+  uint64_t first_record_index = 0;
+  std::vector<Transaction> transactions;
+};
+
+/// \brief One decoded response: a status (code + message) plus the
+/// tenant/host counters the request type reports.
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Records admitted into the tenant's stream (durable + staged) — the
+  /// cursor a client resumes from after reconnecting.
+  uint64_t records_admitted = 0;
+  /// Records sealed into blocks (WAL-covered, hence crash-durable).
+  uint64_t records_durable = 0;
+  /// Blocks in the tenant's evolving database.
+  uint64_t blocks = 0;
+  /// Tenants hosted (kStats with empty tenant, kFlushAll, kShutdown).
+  uint64_t num_tenants = 0;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// The response's status, for propagating a remote error locally.
+  [[nodiscard]] Status ToStatus() const;
+  /// An error response carrying `status` (OK allowed).
+  static Response FromStatus(const Status& status);
+};
+
+/// \name Frame codec (in-memory; sockets below)
+/// Encode builds the complete frame — length prefix included — ready to
+/// write to a socket. Decode takes the payload only (the receiver strips
+/// the length prefix) and validates it exhaustively: header, message
+/// type, every field bound, and that no trailing bytes follow.
+/// @{
+std::string EncodeRequestFrame(const Request& request);
+std::string EncodeResponseFrame(const Response& response);
+[[nodiscard]] Result<Request> DecodeRequestPayload(const std::string& payload);
+[[nodiscard]] Result<Response> DecodeResponsePayload(
+    const std::string& payload);
+/// @}
+
+/// \name Socket framing
+/// @{
+
+/// Writes all of `frame` (as produced by an Encode*Frame call) to `fd`.
+/// Short writes are retried; a peer reset is IoError (SIGPIPE suppressed).
+[[nodiscard]] Status SendFrame(int fd, const std::string& frame);
+
+/// Reads one length prefix plus payload from `fd` and returns the payload.
+/// A clean close at a frame boundary is `NotFound` ("connection closed") —
+/// the normal end of a conversation; a close mid-frame or a length prefix
+/// above `kMaxFramePayloadBytes` is `DataLoss`.
+[[nodiscard]] Result<std::string> ReceiveFramePayload(int fd);
+/// @}
+
+/// \brief A blocking request/response client connection — what demon_load,
+/// the soak driver and the tests speak through.
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection() { Close(); }
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Connects over TCP (`host` is a dotted-quad, e.g. "127.0.0.1").
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
+
+  /// Sends `request` and waits for the matching response. Transport
+  /// failures (send/receive) surface here; an application-level error is
+  /// returned as an OK Result whose Response carries the error code.
+  [[nodiscard]] Result<Response> Call(const Request& request);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace demon::server
+
+#endif  // DEMON_SERVER_WIRE_H_
